@@ -1,0 +1,53 @@
+// Shared helpers for the per-figure/table benchmark harnesses.
+#ifndef FSYNC_BENCH_BENCH_UTIL_H_
+#define FSYNC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "fsync/core/collection.h"
+#include "fsync/workload/release.h"
+
+namespace fsx::bench {
+
+/// Returns the total byte size of a collection.
+inline uint64_t CollectionBytes(const Collection& c) {
+  uint64_t total = 0;
+  for (const auto& [name, data] : c) {
+    total += data.size();
+  }
+  return total;
+}
+
+/// Prints a standard header naming the experiment being reproduced.
+inline void PrintHeader(const std::string& id, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s  --  %s\n", id.c_str(), what.c_str());
+  std::printf("(synthetic stand-in workloads; compare shapes/ratios, not\n");
+  std::printf(" absolute KB, against the paper)\n");
+  std::printf("==============================================================\n");
+}
+
+/// Reduced-scale profiles so every bench binary finishes in seconds.
+/// Raise num_files / sizes for a full-scale run.
+inline ReleaseProfile BenchGccProfile() {
+  ReleaseProfile p = GccLikeProfile();
+  p.num_files = 150;
+  p.min_file_bytes = 4 * 1024;   // ~27 KB average file, as in the paper's
+  p.max_file_bytes = 192 * 1024; // gcc/emacs trees
+  return p;
+}
+
+inline ReleaseProfile BenchEmacsProfile() {
+  ReleaseProfile p = EmacsLikeProfile();
+  p.num_files = 110;
+  p.min_file_bytes = 8 * 1024;
+  p.max_file_bytes = 256 * 1024;
+  return p;
+}
+
+inline double Kb(uint64_t bytes) { return bytes / 1024.0; }
+
+}  // namespace fsx::bench
+
+#endif  // FSYNC_BENCH_BENCH_UTIL_H_

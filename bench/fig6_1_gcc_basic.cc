@@ -1,0 +1,14 @@
+// Figure 6.1: performance of the basic protocol with different minimum
+// block sizes on the gcc data set, compared to rsync and zdelta.
+//
+// Expected shape (paper): total cost is U-shaped in the minimum block
+// size with the optimum around 16-128 bytes; even the basic protocol
+// beats rsync-with-best-block-size; the delta compressor lower-bounds
+// everything at roughly half the protocol's best cost.
+#include "bench/basic_sweep.h"
+
+int main() {
+  fsx::bench::PrintHeader("Figure 6.1",
+                          "basic protocol vs min block size (gcc data set)");
+  return fsx::bench_basic::Run(fsx::bench::BenchGccProfile(), "gcc");
+}

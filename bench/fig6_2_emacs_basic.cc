@@ -1,0 +1,9 @@
+// Figure 6.2: performance of the basic protocol with different minimum
+// block sizes on the emacs data set (same sweep as Figure 6.1).
+#include "bench/basic_sweep.h"
+
+int main() {
+  fsx::bench::PrintHeader(
+      "Figure 6.2", "basic protocol vs min block size (emacs data set)");
+  return fsx::bench_basic::Run(fsx::bench::BenchEmacsProfile(), "emacs");
+}

@@ -1,0 +1,117 @@
+// Microbenchmarks of the hashing substrate: digest throughput, rolling
+// update cost, and decomposition cost. These are the inner loops of both
+// endpoints (the paper flags CPU as a future bottleneck; these numbers
+// say where the time goes).
+#include <benchmark/benchmark.h>
+
+#include "fsync/hash/karp_rabin.h"
+#include "fsync/hash/md4.h"
+#include "fsync/hash/md5.h"
+#include "fsync/hash/rolling_adler.h"
+#include "fsync/hash/tabled_adler.h"
+#include "fsync/util/random.h"
+
+namespace fsx {
+namespace {
+
+Bytes MakeData(size_t n) {
+  Rng rng(42);
+  return rng.RandomBytes(n);
+}
+
+void BM_Md4Digest(benchmark::State& state) {
+  Bytes data = MakeData(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md4::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Md4Digest)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_Md5Digest(benchmark::State& state) {
+  Bytes data = MakeData(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Md5Digest)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_RollingAdlerScan(benchmark::State& state) {
+  Bytes data = MakeData(1 << 20);
+  const size_t w = state.range(0);
+  for (auto _ : state) {
+    RollingAdler roll(ByteSpan(data).subspan(0, w));
+    uint32_t acc = 0;
+    for (size_t pos = 0; pos + w < data.size(); ++pos) {
+      acc ^= roll.value();
+      roll.Roll(data[pos], data[pos + w]);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_RollingAdlerScan)->Arg(700)->Arg(64);
+
+void BM_TabledAdlerScan(benchmark::State& state) {
+  Bytes data = MakeData(1 << 20);
+  const size_t w = state.range(0);
+  for (auto _ : state) {
+    TabledAdlerWindow win(ByteSpan(data).subspan(0, w));
+    uint32_t acc = 0;
+    for (size_t pos = 0; pos + w < data.size(); ++pos) {
+      acc ^= TabledAdler::Truncate(win.pair(), 24);
+      win.Roll(data[pos], data[pos + w]);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_TabledAdlerScan)->Arg(2048)->Arg(64);
+
+void BM_KarpRabinScan(benchmark::State& state) {
+  Bytes data = MakeData(1 << 20);
+  const size_t w = state.range(0);
+  for (auto _ : state) {
+    KarpRabin kr(ByteSpan(data).subspan(0, w));
+    uint64_t acc = 0;
+    for (size_t pos = 0; pos + w < data.size(); ++pos) {
+      acc ^= kr.value();
+      kr.Roll(data[pos], data[pos + w]);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_KarpRabinScan)->Arg(64);
+
+void BM_TabledAdlerDecompose(benchmark::State& state) {
+  Bytes data = MakeData(4096);
+  AdlerPair parent = TabledAdler::Hash(data);
+  AdlerPair left = TabledAdler::Hash(ByteSpan(data).subspan(0, 2048));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TabledAdler::SplitRight(parent, left, 2048));
+  }
+}
+BENCHMARK(BM_TabledAdlerDecompose);
+
+void BM_BlockHashesPerMib(benchmark::State& state) {
+  // End-to-end cost of hashing every block of a 1 MiB file at one level.
+  Bytes data = MakeData(1 << 20);
+  const size_t b = state.range(0);
+  for (auto _ : state) {
+    uint32_t acc = 0;
+    for (size_t off = 0; off + b <= data.size(); off += b) {
+      acc ^= TabledAdler::Truncate(
+          TabledAdler::Hash(ByteSpan(data).subspan(off, b)), 24);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_BlockHashesPerMib)->Arg(2048)->Arg(256)->Arg(64);
+
+}  // namespace
+}  // namespace fsx
+
+BENCHMARK_MAIN();

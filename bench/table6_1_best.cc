@@ -1,0 +1,116 @@
+// Table 6.1: best results using all techniques, for the gcc and emacs
+// data sets, against rsync (default and per-file best block size) and the
+// two delta compressors.
+//
+// Expected shape (paper): all-techniques protocol saves a factor of
+// ~1.5-2.5 over rsync and lands within ~1.5-2x of the zdelta bound;
+// vcdiff is slightly worse than zdelta.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "fsync/rsync/rsync.h"
+
+namespace fsx {
+namespace {
+
+SyncConfig AllTechniquesConfig() {
+  SyncConfig config;
+  config.start_block_size = 2048;
+  config.min_block_size = 64;
+  config.min_continuation_block = 16;
+  config.use_continuation = true;
+  config.use_decomposable = true;
+  config.verify.group_size = 8;
+  config.verify.continuation_group_size = 2;
+  config.verify.max_batches = 2;
+  config.verify.adaptive_groups = true;
+  return config;
+}
+
+int RunDataset(const char* name, const ReleaseProfile& profile) {
+  using bench::Kb;
+  ReleasePair pair = MakeRelease(profile);
+  uint64_t total = bench::CollectionBytes(pair.new_release);
+  std::printf("\n--- %s-like data set: %zu files, %.1f MiB ---\n", name,
+              pair.new_release.size(), total / 1048576.0);
+  std::printf("%-26s %12s %10s\n", "method", "total KB", "vs full");
+
+  auto row = [&](const char* label, uint64_t bytes) {
+    std::printf("%-26s %12.1f %9.2f%%\n", label, Kb(bytes),
+                100.0 * bytes / total);
+  };
+
+  row("uncompressed full",
+      CollectionFullTransferBytes(pair.old_release, pair.new_release));
+  row("compressed full",
+      CollectionCompressedTransferBytes(pair.old_release,
+                                        pair.new_release));
+
+  RsyncParams def;
+  auto rs = SyncCollectionRsync(pair.old_release, pair.new_release, def);
+  if (!rs.ok()) return 1;
+  row("rsync (b=700)", rs->stats.total_bytes());
+
+  uint64_t best_total = 0;
+  static const Bytes kEmpty;
+  for (const auto& [fname, current] : pair.new_release) {
+    auto it = pair.old_release.find(fname);
+    const Bytes& outdated =
+        it != pair.old_release.end() ? it->second : kEmpty;
+    if (it != pair.old_release.end() && it->second == current) {
+      continue;
+    }
+    auto best = RsyncBestBlockSize(outdated, current, def);
+    if (!best.ok()) return 1;
+    best_total += best->stats.total_bytes();
+  }
+  row("rsync (best b per file)", best_total);
+
+  MultiroundParams mr_params;  // pure recursive partitioning (prior art)
+  auto mr = SyncCollectionMultiround(pair.old_release, pair.new_release,
+                                     mr_params);
+  if (!mr.ok()) return 1;
+  row("multiround rsync", mr->stats.total_bytes());
+
+  CdcSyncParams cdc_params;  // LBFS-style chunk exchange, extra baseline
+  auto cdc = SyncCollectionCdc(pair.old_release, pair.new_release,
+                               cdc_params);
+  if (!cdc.ok()) return 1;
+  row("cdc / LBFS-style", cdc->stats.total_bytes());
+
+  auto ours = SyncCollection(pair.old_release, pair.new_release,
+                             AllTechniquesConfig());
+  if (!ours.ok()) return 1;
+  row("this work (all techniques)", ours->stats.total_bytes());
+
+  auto zd = CollectionDeltaBytes(pair.old_release, pair.new_release,
+                                 DeltaCodec::kZd);
+  auto vc = CollectionDeltaBytes(pair.old_release, pair.new_release,
+                                 DeltaCodec::kVcdiff);
+  auto bs = CollectionDeltaBytes(pair.old_release, pair.new_release,
+                                 DeltaCodec::kBsdiff);
+  if (!zd.ok() || !vc.ok() || !bs.ok()) return 1;
+  row("zdelta-style (bound)", *zd);
+  row("vcdiff-style (bound)", *vc);
+  row("bsdiff-style (bound)", *bs);
+
+  std::printf("ratios: rsync/ours = %.2fx, ours/zdelta = %.2fx, "
+              "max roundtrips = %llu\n",
+              static_cast<double>(rs->stats.total_bytes()) /
+                  ours->stats.total_bytes(),
+              static_cast<double>(ours->stats.total_bytes()) / *zd,
+              static_cast<unsigned long long>(ours->stats.roundtrips));
+  return 0;
+}
+
+}  // namespace
+}  // namespace fsx
+
+int main() {
+  fsx::bench::PrintHeader("Table 6.1",
+                          "best results using all techniques (gcc and "
+                          "emacs data sets)");
+  if (fsx::RunDataset("gcc", fsx::bench::BenchGccProfile())) return 1;
+  if (fsx::RunDataset("emacs", fsx::bench::BenchEmacsProfile())) return 1;
+  return 0;
+}

@@ -1,0 +1,116 @@
+// delta_tool: a small command-line differ built on the delta codecs.
+//
+//   delta_tool encode <reference> <target> <delta-out>   [--vcdiff]
+//   delta_tool decode <reference> <delta>  <target-out>  [--vcdiff]
+//   delta_tool demo
+//
+// "demo" runs an in-memory round-trip and prints codec statistics; the
+// file modes make the library usable as an xdelta/zdelta-style utility.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "fsync/delta/delta.h"
+#include "fsync/util/random.h"
+#include "fsync/workload/edits.h"
+#include "fsync/workload/text_synth.h"
+
+namespace {
+
+using fsx::Bytes;
+
+bool ReadFile(const std::string& path, Bytes& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool WriteFile(const std::string& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return out.good();
+}
+
+int Demo() {
+  using namespace fsx;
+  Rng rng(7);
+  Bytes reference = SynthSourceFile(rng, 500 * 1024);
+  EditProfile edits;
+  edits.num_edits = 25;
+  Bytes target = ApplyEdits(reference, edits, rng);
+
+  std::printf("reference: %zu bytes, target: %zu bytes\n\n",
+              reference.size(), target.size());
+  struct Row {
+    const char* name;
+    DeltaCodec codec;
+  };
+  for (Row row : {Row{"zd (zdelta-style)", DeltaCodec::kZd},
+                  Row{"vcdiff-style", DeltaCodec::kVcdiff}}) {
+    auto delta = DeltaEncode(row.codec, reference, target);
+    if (!delta.ok()) {
+      std::fprintf(stderr, "%s encode failed\n", row.name);
+      return 1;
+    }
+    auto back = DeltaDecode(row.codec, reference, *delta);
+    bool ok = back.ok() && *back == target;
+    std::printf("%-20s delta = %8zu bytes (%.2f%% of target)  %s\n",
+                row.name, delta->size(),
+                100.0 * delta->size() / target.size(),
+                ok ? "round-trip OK" : "ROUND-TRIP FAILED");
+    if (!ok) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fsx;
+  if (argc >= 2 && std::strcmp(argv[1], "demo") == 0) {
+    return Demo();
+  }
+  if (argc < 5) {
+    std::fprintf(stderr,
+                 "usage: %s encode|decode <reference> <in> <out> "
+                 "[--vcdiff]\n       %s demo\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  DeltaCodec codec = DeltaCodec::kZd;
+  if (argc >= 6 && std::strcmp(argv[5], "--vcdiff") == 0) {
+    codec = DeltaCodec::kVcdiff;
+  }
+  Bytes reference;
+  Bytes input;
+  if (!ReadFile(argv[2], reference) || !ReadFile(argv[3], input)) {
+    std::fprintf(stderr, "cannot read input files\n");
+    return 1;
+  }
+  StatusOr<Bytes> out = std::strcmp(argv[1], "encode") == 0
+                            ? DeltaEncode(codec, reference, input)
+                            : DeltaDecode(codec, reference, input);
+  if (!out.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", argv[1],
+                 out.status().ToString().c_str());
+    return 1;
+  }
+  if (!WriteFile(argv[4], *out)) {
+    std::fprintf(stderr, "cannot write %s\n", argv[4]);
+    return 1;
+  }
+  std::printf("%s: %zu bytes in, %zu bytes out\n", argv[1], input.size(),
+              out->size());
+  return 0;
+}

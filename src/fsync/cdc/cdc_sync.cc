@@ -1,0 +1,174 @@
+#include "fsync/cdc/cdc_sync.h"
+
+#include <unordered_map>
+
+#include "fsync/compress/codec.h"
+#include "fsync/hash/fingerprint.h"
+#include "fsync/hash/md5.h"
+#include "fsync/util/bit_io.h"
+
+namespace fsx {
+
+namespace {
+
+uint64_t ChunkHash(ByteSpan data, const Chunk& c, uint32_t hash_bytes) {
+  return Md5::HashBits(data.subspan(c.offset, c.size), 8 * hash_bytes,
+                       /*salt=*/0x9DC);
+}
+
+}  // namespace
+
+StatusOr<CdcSyncResult> CdcSynchronize(ByteSpan outdated, ByteSpan current,
+                                       const CdcSyncParams& params,
+                                       SimulatedChannel& channel) {
+  using Dir = SimulatedChannel::Direction;
+  if (params.hash_bytes == 0 || params.hash_bytes > 8) {
+    return Status::InvalidArgument("cdc: hash_bytes must be in [1, 8]");
+  }
+  CdcSyncResult result;
+
+  // Client announces its fingerprint (unchanged-file detection).
+  Fingerprint old_fp = FileFingerprint(outdated);
+  channel.Send(Dir::kClientToServer, ByteSpan(old_fp.data(), old_fp.size()));
+  FSYNC_ASSIGN_OR_RETURN(Bytes req, channel.Receive(Dir::kClientToServer));
+
+  // Server: chunk the current file and send fingerprint + chunk hashes.
+  Fingerprint new_fp = FileFingerprint(current);
+  bool unchanged =
+      std::equal(new_fp.begin(), new_fp.end(), req.begin());
+  std::vector<Chunk> chunks = CdcChunk(current, params.chunking);
+  result.chunks_total = chunks.size();
+  {
+    BitWriter msg;
+    msg.WriteBit(unchanged);
+    msg.WriteBytes(ByteSpan(new_fp.data(), new_fp.size()));
+    if (!unchanged) {
+      msg.WriteVarint(chunks.size());
+      for (const Chunk& c : chunks) {
+        msg.WriteVarint(c.size);
+        msg.WriteBits(ChunkHash(current, c, params.hash_bytes),
+                      8 * params.hash_bytes);
+      }
+    }
+    channel.Send(Dir::kServerToClient, msg.Finish());
+  }
+  FSYNC_ASSIGN_OR_RETURN(Bytes offer, channel.Receive(Dir::kServerToClient));
+  BitReader offer_in(offer);
+  FSYNC_ASSIGN_OR_RETURN(bool is_unchanged, offer_in.ReadBit());
+  FSYNC_ASSIGN_OR_RETURN(Bytes fp_bytes, offer_in.ReadBytes(16));
+  if (is_unchanged) {
+    // Guard against a corrupted "unchanged" bit: the echoed fingerprint
+    // must match the local file.
+    if (!std::equal(old_fp.begin(), old_fp.end(), fp_bytes.begin())) {
+      return Status::DataLoss("cdc: unchanged reply mismatch");
+    }
+    result.reconstructed.assign(outdated.begin(), outdated.end());
+    result.stats = channel.stats();
+    return result;
+  }
+  FSYNC_ASSIGN_OR_RETURN(uint64_t n_chunks, offer_in.ReadVarint());
+  if (n_chunks > offer.size()) {
+    return Status::DataLoss("cdc: implausible chunk count");
+  }
+
+  // Client: index its own chunks by hash, then mark which offered chunks
+  // it can source locally.
+  std::vector<Chunk> own = CdcChunk(outdated, params.chunking);
+  std::unordered_map<uint64_t, Chunk> index;
+  index.reserve(own.size() * 2);
+  for (const Chunk& c : own) {
+    index.emplace(ChunkHash(outdated, c, params.hash_bytes), c);
+  }
+
+  struct Offered {
+    uint64_t size = 0;
+    uint64_t hash = 0;
+    bool have = false;
+    Chunk local;
+  };
+  std::vector<Offered> offered(n_chunks);
+  BitWriter have_msg;
+  for (uint64_t i = 0; i < n_chunks; ++i) {
+    FSYNC_ASSIGN_OR_RETURN(offered[i].size, offer_in.ReadVarint());
+    FSYNC_ASSIGN_OR_RETURN(offered[i].hash,
+                           offer_in.ReadBits(8 * params.hash_bytes));
+    auto it = index.find(offered[i].hash);
+    // The size must match too, or reconstruction would misalign.
+    if (it != index.end() && it->second.size == offered[i].size) {
+      offered[i].have = true;
+      offered[i].local = it->second;
+    }
+    have_msg.WriteBit(offered[i].have);
+  }
+  channel.Send(Dir::kClientToServer, have_msg.Finish());
+  FSYNC_ASSIGN_OR_RETURN(Bytes have, channel.Receive(Dir::kClientToServer));
+
+  // Server: send the chunks the client lacks.
+  {
+    BitReader have_in(have);
+    Bytes missing;
+    for (uint64_t i = 0; i < n_chunks; ++i) {
+      FSYNC_ASSIGN_OR_RETURN(bool client_has, have_in.ReadBit());
+      if (!client_has) {
+        Append(missing, current.subspan(chunks[i].offset, chunks[i].size));
+      }
+    }
+    Bytes payload =
+        params.compress_missing ? Compress(missing) : missing;
+    BitWriter msg;
+    msg.WriteBit(params.compress_missing);
+    msg.WriteVarint(payload.size());
+    msg.WriteBytes(payload);
+    channel.Send(Dir::kServerToClient, msg.Finish());
+  }
+  FSYNC_ASSIGN_OR_RETURN(Bytes data_msg,
+                         channel.Receive(Dir::kServerToClient));
+
+  // Client: reassemble.
+  BitReader data_in(data_msg);
+  FSYNC_ASSIGN_OR_RETURN(bool compressed, data_in.ReadBit());
+  FSYNC_ASSIGN_OR_RETURN(uint64_t payload_len, data_in.ReadVarint());
+  FSYNC_ASSIGN_OR_RETURN(Bytes payload, data_in.ReadBytes(payload_len));
+  Bytes missing;
+  if (compressed) {
+    FSYNC_ASSIGN_OR_RETURN(missing, Decompress(payload));
+  } else {
+    missing = std::move(payload);
+  }
+
+  Bytes rebuilt;
+  size_t miss_pos = 0;
+  for (const Offered& o : offered) {
+    if (o.have) {
+      Append(rebuilt, outdated.subspan(o.local.offset, o.local.size));
+    } else {
+      if (miss_pos + o.size > missing.size()) {
+        return Status::DataLoss("cdc: missing-chunk payload too short");
+      }
+      Append(rebuilt, ByteSpan(missing).subspan(miss_pos, o.size));
+      miss_pos += o.size;
+      ++result.chunks_missing;
+    }
+  }
+
+  Fingerprint got = FileFingerprint(rebuilt);
+  if (!std::equal(got.begin(), got.end(), fp_bytes.begin())) {
+    // Chunk-hash collision: fall back to a compressed full transfer.
+    Bytes ask = {1};
+    channel.Send(Dir::kClientToServer, ask);
+    FSYNC_ASSIGN_OR_RETURN(Bytes ask_msg,
+                           channel.Receive(Dir::kClientToServer));
+    (void)ask_msg;
+    Bytes full = Compress(current);
+    channel.Send(Dir::kServerToClient, full);
+    FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,
+                           channel.Receive(Dir::kServerToClient));
+    FSYNC_ASSIGN_OR_RETURN(rebuilt, Decompress(full_msg));
+    result.fell_back_to_full_transfer = true;
+  }
+  result.reconstructed = std::move(rebuilt);
+  result.stats = channel.stats();
+  return result;
+}
+
+}  // namespace fsx

@@ -1,0 +1,48 @@
+#include "fsync/cdc/chunker.h"
+
+#include "fsync/hash/karp_rabin.h"
+
+namespace fsx {
+
+std::vector<Chunk> CdcChunk(ByteSpan data, const CdcParams& params) {
+  std::vector<Chunk> chunks;
+  const uint64_t n = data.size();
+  if (n == 0) {
+    return chunks;
+  }
+  const uint64_t mask = (uint64_t{1} << params.mask_bits) - 1;
+  const uint64_t magic = mask;  // all-ones target, arbitrary fixed choice
+  const uint64_t w = params.window;
+
+  uint64_t start = 0;
+  while (start < n) {
+    uint64_t remaining = n - start;
+    if (remaining <= params.min_size || remaining <= w) {
+      chunks.push_back({start, remaining});
+      break;
+    }
+    uint64_t limit = std::min<uint64_t>(remaining, params.max_size);
+    // Begin testing boundaries once the chunk has min_size bytes; the
+    // window covers the last `w` bytes before the candidate boundary.
+    uint64_t cut = limit;  // default: forced boundary at max_size
+    uint64_t first_end = std::max<uint64_t>(params.min_size, w);
+    if (first_end <= limit) {
+      KarpRabin kr(data.subspan(start + first_end - w, w));
+      for (uint64_t end = first_end;; ++end) {
+        if ((kr.value() & mask) == magic) {
+          cut = end;
+          break;
+        }
+        if (end == limit) {
+          break;
+        }
+        kr.Roll(data[start + end - w], data[start + end]);
+      }
+    }
+    chunks.push_back({start, cut});
+    start += cut;
+  }
+  return chunks;
+}
+
+}  // namespace fsx

@@ -1,0 +1,38 @@
+// Content-defined chunking (Karp-Rabin boundary detection, as in LBFS and
+// the value-based caching line of work the paper cites as the main
+// hash-based alternative to rsync). A position ends a chunk when the
+// rolling fingerprint of the trailing window satisfies
+// (fp & mask) == magic, so chunk boundaries depend only on local content:
+// an insertion re-chunks O(1) chunks instead of shifting every block
+// boundary like fixed-size blocking does.
+#ifndef FSYNC_CDC_CHUNKER_H_
+#define FSYNC_CDC_CHUNKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// Chunking parameters. Expected chunk size is roughly `1 << mask_bits`
+/// bytes (plus min_size), clamped to [min_size, max_size].
+struct CdcParams {
+  uint32_t window = 48;        // rolling fingerprint window
+  uint32_t mask_bits = 11;     // ~2 KiB expected chunks
+  uint32_t min_size = 256;     // boundaries suppressed before this
+  uint32_t max_size = 16384;   // forced boundary after this
+};
+
+/// One chunk of a file.
+struct Chunk {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+};
+
+/// Splits `data` into content-defined chunks covering it exactly.
+std::vector<Chunk> CdcChunk(ByteSpan data, const CdcParams& params = {});
+
+}  // namespace fsx
+
+#endif  // FSYNC_CDC_CHUNKER_H_

@@ -1,0 +1,73 @@
+// Canonical Huffman coding: length-limited code construction (package-merge)
+// plus encoder/decoder tables over our LSB-first bitstream. Codes are
+// emitted bit-reversed (as in DEFLATE) so the decoder can accumulate bits
+// MSB-first.
+#ifndef FSYNC_COMPRESS_HUFFMAN_H_
+#define FSYNC_COMPRESS_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fsync/util/bit_io.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Computes length-limited canonical Huffman code lengths for `freqs`.
+/// Symbols with zero frequency get length 0. At most `max_bits` per code.
+/// Uses the package-merge algorithm, which is optimal under the limit.
+std::vector<uint8_t> BuildCodeLengths(const std::vector<uint64_t>& freqs,
+                                      int max_bits);
+
+/// Encoder table: canonical codes derived from code lengths.
+class HuffmanEncoder {
+ public:
+  /// Builds the canonical code for `lengths` (entry 0 = unused symbol).
+  /// Returns InvalidArgument if the lengths are not a valid (sub-)prefix
+  /// code, i.e. oversubscribe the code space.
+  static StatusOr<HuffmanEncoder> Build(const std::vector<uint8_t>& lengths);
+
+  /// Writes the code for `symbol`; the symbol must have nonzero length.
+  void Encode(uint32_t symbol, BitWriter& out) const;
+
+  /// Code length of `symbol` in bits (0 if unused).
+  int length(uint32_t symbol) const { return lengths_[symbol]; }
+
+ private:
+  std::vector<uint8_t> lengths_;
+  std::vector<uint32_t> reversed_codes_;
+};
+
+/// Serializes a code-length vector compactly: a 19-symbol code-length code
+/// (3-bit lengths) followed by the RLE-coded lengths, as in DEFLATE's
+/// dynamic block header. Used by every entropy-coded format in the library.
+void WriteCodeLengthTable(const std::vector<uint8_t>& lengths, BitWriter& out);
+
+/// Reads a table written by WriteCodeLengthTable. `count` is the alphabet
+/// size (must match the writer's `lengths.size()`).
+Status ReadCodeLengthTable(size_t count, BitReader& in,
+                           std::vector<uint8_t>& lengths);
+
+/// Decoder for a canonical Huffman code.
+class HuffmanDecoder {
+ public:
+  /// Builds decoding tables. Accepts incomplete codes only if exactly one
+  /// symbol is used (degenerate one-symbol alphabet, coded with 1 bit).
+  static StatusOr<HuffmanDecoder> Build(const std::vector<uint8_t>& lengths);
+
+  /// Decodes one symbol.
+  StatusOr<uint32_t> Decode(BitReader& in) const;
+
+ private:
+  int min_len_ = 0;
+  int max_len_ = 0;
+  // first_code_[l], first_index_[l]: canonical decoding per length l.
+  std::vector<uint32_t> first_code_;
+  std::vector<uint32_t> first_index_;
+  std::vector<uint32_t> count_;
+  std::vector<uint32_t> symbols_;  // symbols ordered by (length, symbol)
+};
+
+}  // namespace fsx
+
+#endif  // FSYNC_COMPRESS_HUFFMAN_H_

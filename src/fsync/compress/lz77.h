@@ -1,0 +1,36 @@
+// LZ77 tokenization with hash-chain match finding and one-step lazy
+// matching, DEFLATE-style: 32 KiB window, match lengths 3..258.
+#ifndef FSYNC_COMPRESS_LZ77_H_
+#define FSYNC_COMPRESS_LZ77_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// One LZ77 token: either a literal byte or a back-reference.
+struct Lz77Token {
+  bool is_match = false;
+  uint8_t literal = 0;     // valid when !is_match
+  uint32_t length = 0;     // valid when is_match, 3..258
+  uint32_t distance = 0;   // valid when is_match, 1..32768
+};
+
+/// Tuning knobs for the match finder.
+struct Lz77Params {
+  uint32_t window_size = 32768;   // max back-reference distance
+  uint32_t max_chain = 128;       // hash-chain probes per position
+  uint32_t good_length = 32;      // stop lazy evaluation above this length
+  uint32_t min_match = 3;
+  uint32_t max_match = 258;
+};
+
+/// Produces the token stream for `data`.
+std::vector<Lz77Token> Lz77Tokenize(ByteSpan data,
+                                    const Lz77Params& params = {});
+
+}  // namespace fsx
+
+#endif  // FSYNC_COMPRESS_LZ77_H_

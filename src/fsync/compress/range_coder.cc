@@ -1,0 +1,142 @@
+#include "fsync/compress/range_coder.h"
+
+#include "fsync/util/bit_io.h"
+
+namespace fsx {
+
+namespace {
+constexpr uint32_t kTopValue = 1u << 24;  // renormalization threshold
+}  // namespace
+
+void RangeEncoder::Normalize() {
+  while (range_ < kTopValue) {
+    // Shift one byte out of `low`, deferring bytes that might still
+    // receive a carry (the classic LZMA shift-low).
+    if (static_cast<uint32_t>(low_) < 0xFF000000u ||
+        (low_ >> 32) != 0) {
+      uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+      do {
+        out_.push_back(static_cast<uint8_t>(cache_ + carry));
+        cache_ = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ << 8) & 0xFFFFFFFFu;
+    range_ <<= 8;
+  }
+}
+
+void RangeEncoder::EncodeBit(BitModel& model, int bit) {
+  uint32_t bound = (range_ >> 11) * model.prob();
+  if (bit == 0) {
+    range_ = bound;
+  } else {
+    low_ += bound;
+    range_ -= bound;
+  }
+  model.Update(bit);
+  Normalize();
+}
+
+Bytes RangeEncoder::Finish() {
+  // Flush 5 bytes so the decoder's 4-byte bootstrap always has data.
+  for (int i = 0; i < 5; ++i) {
+    if (static_cast<uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+      uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+      do {
+        out_.push_back(static_cast<uint8_t>(cache_ + carry));
+        cache_ = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ << 8) & 0xFFFFFFFFu;
+  }
+  return std::move(out_);
+}
+
+RangeDecoder::RangeDecoder(ByteSpan data) : data_(data) {
+  ++pos_;  // the encoder's first output byte is always the zero cache
+  for (int i = 0; i < 4; ++i) {
+    code_ = (code_ << 8) | NextByte();
+  }
+}
+
+uint8_t RangeDecoder::NextByte() {
+  return pos_ < data_.size() ? data_[pos_++] : 0;
+}
+
+void RangeDecoder::Normalize() {
+  while (range_ < kTopValue) {
+    code_ = (code_ << 8) | NextByte();
+    range_ <<= 8;
+  }
+}
+
+int RangeDecoder::DecodeBit(BitModel& model) {
+  uint32_t bound = (range_ >> 11) * model.prob();
+  int bit;
+  if (code_ < bound) {
+    range_ = bound;
+    bit = 0;
+  } else {
+    code_ -= bound;
+    range_ -= bound;
+    bit = 1;
+  }
+  model.Update(bit);
+  Normalize();
+  return bit;
+}
+
+void ByteModel::EncodeByte(RangeEncoder& enc, uint8_t byte) {
+  uint32_t node = 1;
+  for (int i = 7; i >= 0; --i) {
+    int bit = (byte >> i) & 1;
+    enc.EncodeBit(tree_[node], bit);
+    node = (node << 1) | static_cast<uint32_t>(bit);
+  }
+}
+
+uint8_t ByteModel::DecodeByte(RangeDecoder& dec) {
+  uint32_t node = 1;
+  for (int i = 0; i < 8; ++i) {
+    node = (node << 1) | static_cast<uint32_t>(dec.DecodeBit(tree_[node]));
+  }
+  return static_cast<uint8_t>(node & 0xFF);
+}
+
+Bytes RangeCompress(ByteSpan data) {
+  RangeEncoder enc;
+  ByteModel model;
+  for (uint8_t b : data) {
+    model.EncodeByte(enc, b);
+  }
+  BitWriter out;
+  out.WriteVarint(data.size());
+  out.AlignToByte();
+  out.WriteBytes(enc.Finish());
+  return out.Finish();
+}
+
+StatusOr<Bytes> RangeDecompress(ByteSpan packed) {
+  BitReader in(packed);
+  FSYNC_ASSIGN_OR_RETURN(uint64_t size, in.ReadVarint());
+  if (size > (uint64_t{1} << 32)) {
+    return Status::DataLoss("range: implausible size");
+  }
+  in.AlignToByte();
+  FSYNC_ASSIGN_OR_RETURN(Bytes payload,
+                         in.ReadBytes(in.bits_remaining() / 8));
+  RangeDecoder dec(payload);
+  ByteModel model;
+  Bytes out;
+  out.reserve(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    out.push_back(model.DecodeByte(dec));
+  }
+  return out;
+}
+
+}  // namespace fsx

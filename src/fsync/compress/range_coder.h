@@ -1,0 +1,97 @@
+// Adaptive binary range coder (carry-propagating, byte-renormalized, in
+// the LZMA family) plus an order-0 adaptive byte model. Complements the
+// Huffman backend: adaptive probabilities shine on skewed, drifting
+// distributions -- e.g. the near-zero diff section of a bsdiff delta --
+// where a static Huffman table pays for its header and its integer code
+// lengths.
+#ifndef FSYNC_COMPRESS_RANGE_CODER_H_
+#define FSYNC_COMPRESS_RANGE_CODER_H_
+
+#include <array>
+#include <cstdint>
+
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Probability state of one adaptive binary context (11-bit, P(bit=0)).
+class BitModel {
+ public:
+  uint16_t prob() const { return prob_; }
+
+  /// Updates toward the observed bit (shift-5 exponential decay).
+  void Update(int bit) {
+    if (bit == 0) {
+      prob_ += (kTop - prob_) >> kShift;
+    } else {
+      prob_ -= prob_ >> kShift;
+    }
+  }
+
+  static constexpr uint16_t kTop = 1u << 11;
+
+ private:
+  static constexpr int kShift = 5;
+  uint16_t prob_ = kTop / 2;
+};
+
+/// Range encoder over adaptive bit contexts.
+class RangeEncoder {
+ public:
+  /// Encodes `bit` under `model` and adapts the model.
+  void EncodeBit(BitModel& model, int bit);
+
+  /// Flushes and returns the code bytes.
+  Bytes Finish();
+
+ private:
+  void Normalize();
+
+  Bytes out_;
+  uint64_t low_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  // Carry handling: count of 0xFF bytes pending behind cache_.
+  uint8_t cache_ = 0;
+  uint64_t cache_size_ = 1;
+};
+
+/// Decoder for RangeEncoder output.
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(ByteSpan data);
+
+  /// Decodes one bit under `model` and adapts it identically to the
+  /// encoder. Reading past the payload keeps returning bits derived from
+  /// zero padding (callers bound output by an out-of-band length).
+  int DecodeBit(BitModel& model);
+
+ private:
+  void Normalize();
+  uint8_t NextByte();
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint32_t code_ = 0;
+};
+
+/// Order-0 adaptive byte model: a bit tree of 255 contexts.
+class ByteModel {
+ public:
+  void EncodeByte(RangeEncoder& enc, uint8_t byte);
+  uint8_t DecodeByte(RangeDecoder& dec);
+
+ private:
+  std::array<BitModel, 256> tree_{};
+};
+
+/// One-shot order-0 adaptive compression (varint size header).
+Bytes RangeCompress(ByteSpan data);
+
+/// Inverse of RangeCompress.
+StatusOr<Bytes> RangeDecompress(ByteSpan packed);
+
+}  // namespace fsx
+
+#endif  // FSYNC_COMPRESS_RANGE_CODER_H_

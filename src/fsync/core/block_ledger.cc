@@ -1,0 +1,271 @@
+#include "fsync/core/block_ledger.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fsx {
+
+std::vector<size_t> RoundPlan::CandidateOrder() const {
+  std::vector<size_t> order;
+  order.reserve(continuation.size() + sent_global.size() + derived.size());
+  order.insert(order.end(), continuation.begin(), continuation.end());
+  order.insert(order.end(), sent_global.begin(), sent_global.end());
+  order.insert(order.end(), derived.begin(), derived.end());
+  return order;
+}
+
+BlockLedger::BlockLedger(uint64_t new_size, uint64_t old_size,
+                         const SyncConfig& config)
+    : config_(config), new_size_(new_size), old_size_(old_size) {
+  const uint64_t b = config.start_block_size;
+  for (uint64_t off = 0; off < new_size; off += b) {
+    Block blk;
+    blk.offset = off;
+    blk.size = std::min<uint64_t>(b, new_size - off);
+    blocks_.push_back(blk);
+    active_.push_back(blocks_.size() - 1);
+  }
+}
+
+bool BlockLedger::IsAdjacentToConfirmed(const Block& b) const {
+  return ConfirmedEndingAt(b.offset).has_value() ||
+         ConfirmedStartingAt(b.offset + b.size).has_value();
+}
+
+RoundPlan BlockLedger::BuildPlan() const {
+  RoundPlan plan;
+  std::vector<size_t> globals;
+  for (size_t id : active_) {
+    const Block& b = blocks_[id];
+    if (b.size > old_size_) {
+      plan.skipped.push_back(id);  // cannot occur anywhere in F_old
+    } else if (config_.use_continuation && IsAdjacentToConfirmed(b)) {
+      plan.continuation.push_back(id);
+    } else {
+      globals.push_back(id);
+    }
+  }
+  // Pair up siblings for decomposable suppression: the right sibling's
+  // hash is derivable when the parent's pair is known to the client and
+  // the left sibling's global hash is transmitted this round.
+  std::vector<bool> handled(globals.size(), false);
+  for (size_t i = 0; i < globals.size(); ++i) {
+    if (handled[i]) {
+      continue;
+    }
+    size_t id = globals[i];
+    const Block& b = blocks_[id];
+    bool paired = false;
+    if (config_.use_decomposable && b.is_left_child && b.parent >= 0 &&
+        blocks_[b.parent].pair_known && i + 1 < globals.size()) {
+      size_t sib = globals[i + 1];
+      const Block& s = blocks_[sib];
+      if (s.parent == b.parent && !s.is_left_child) {
+        plan.sent_global.push_back(id);
+        plan.derived.push_back(sib);
+        handled[i] = handled[i + 1] = true;
+        paired = true;
+      }
+    }
+    if (!paired) {
+      plan.sent_global.push_back(id);
+      handled[i] = true;
+    }
+  }
+  return plan;
+}
+
+void BlockLedger::MarkPlanned(const RoundPlan& plan) {
+  for (size_t id : plan.continuation) {
+    blocks_[id].continuation_probed = true;
+  }
+}
+
+bool BlockLedger::SiblingConfirmed(size_t id) const {
+  const Block& b = blocks_[id];
+  if (b.parent < 0) {
+    return false;
+  }
+  // Children of a split are allocated consecutively, left then right.
+  size_t sibling = b.is_left_child ? id + 1 : id - 1;
+  return blocks_[sibling].status == BlockStatus::kConfirmed;
+}
+
+void BlockLedger::Confirm(size_t id, uint64_t src) {
+  Block& b = blocks_[id];
+  assert(b.status == BlockStatus::kActive);
+  b.status = BlockStatus::kConfirmed;
+  b.match_pos = src;
+  confirmed_[b.offset] = ConfirmedRange{b.offset, b.offset + b.size, src};
+}
+
+bool BlockLedger::AdvanceRound() {
+  ++round_;
+  std::vector<size_t> next;
+
+  auto limit_for = [&](const Block& b) -> uint64_t {
+    if (config_.use_continuation && IsAdjacentToConfirmed(b)) {
+      return config_.min_continuation_block;
+    }
+    return config_.min_block_size;
+  };
+
+  for (size_t id : active_) {
+    Block& b = blocks_[id];
+    if (b.status == BlockStatus::kConfirmed) {
+      continue;
+    }
+    uint64_t limit = limit_for(b);
+    if (b.size >= 2 * limit) {
+      b.status = BlockStatus::kSplit;
+      Block left;
+      left.offset = b.offset;
+      left.size = (b.size + 1) / 2;
+      left.parent = static_cast<int64_t>(id);
+      left.is_left_child = true;
+      Block right;
+      right.offset = b.offset + left.size;
+      right.size = b.size - left.size;
+      right.parent = static_cast<int64_t>(id);
+      right.is_left_child = false;
+      blocks_.push_back(left);
+      next.push_back(blocks_.size() - 1);
+      blocks_.push_back(right);
+      next.push_back(blocks_.size() - 1);
+    } else {
+      b.status = BlockStatus::kRetired;
+    }
+  }
+
+  // Reactivate retired blocks that became adjacent to a confirmed range
+  // and are still large enough for continuation probing.
+  if (config_.use_continuation) {
+    for (size_t id = 0; id < blocks_.size(); ++id) {
+      Block& b = blocks_[id];
+      if (b.status == BlockStatus::kRetired && !b.continuation_probed &&
+          b.size >= config_.min_continuation_block &&
+          b.size <= old_size_ && IsAdjacentToConfirmed(b)) {
+        b.status = BlockStatus::kActive;
+        next.push_back(id);
+      }
+    }
+  }
+
+  std::sort(next.begin(), next.end(), [&](size_t a, size_t b) {
+    return blocks_[a].offset != blocks_[b].offset
+               ? blocks_[a].offset < blocks_[b].offset
+               : blocks_[a].size < blocks_[b].size;
+  });
+  active_ = std::move(next);
+  return !active_.empty();
+}
+
+std::optional<ConfirmedRange> BlockLedger::ConfirmedEndingAt(
+    uint64_t offset) const {
+  auto it = confirmed_.lower_bound(offset);
+  if (it == confirmed_.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  if (it->second.end == offset) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::optional<ConfirmedRange> BlockLedger::ConfirmedStartingAt(
+    uint64_t offset) const {
+  auto it = confirmed_.find(offset);
+  if (it == confirmed_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<ConfirmedRange> BlockLedger::ConfirmedRanges() const {
+  std::vector<ConfirmedRange> out;
+  out.reserve(confirmed_.size());
+  for (const auto& [begin, range] : confirmed_) {
+    out.push_back(range);
+  }
+  return out;
+}
+
+double BlockLedger::ConfirmedFraction() const {
+  if (new_size_ == 0) {
+    return 1.0;
+  }
+  uint64_t covered = 0;
+  for (const auto& [begin, range] : confirmed_) {
+    covered += range.end - range.begin;
+  }
+  return static_cast<double>(covered) / static_cast<double>(new_size_);
+}
+
+std::vector<VerifyGroup> BlockLedger::BuildGroups(
+    const std::vector<size_t>& matched_ids,
+    const std::vector<bool>& continuation_flags,
+    const VerifyConfig& vc) const {
+  assert(matched_ids.size() == continuation_flags.size());
+  std::vector<VerifyGroup> groups;
+
+  auto group_size_for = [&](size_t idx) -> size_t {
+    size_t base = continuation_flags[idx]
+                      ? std::max(1, vc.continuation_group_size)
+                      : std::max(1, vc.group_size);
+    if (vc.adaptive_groups && continuation_flags[idx]) {
+      // A continuation candidate extending an already-long confirmed run
+      // is very likely genuine: allow a larger group.
+      const Block& b = blocks_[matched_ids[idx]];
+      auto left = ConfirmedEndingAt(b.offset);
+      auto right = ConfirmedStartingAt(b.offset + b.size);
+      uint64_t run = 0;
+      if (left.has_value()) {
+        run = std::max(run, left->end - left->begin);
+      }
+      if (right.has_value()) {
+        run = std::max(run, right->end - right->begin);
+      }
+      if (run >= 4 * b.size) {
+        base *= 4;
+      }
+    }
+    return base;
+  };
+
+  // Contiguous grouping by kind keeps both sides' grouping identical and
+  // the wire order stable.
+  size_t i = 0;
+  while (i < matched_ids.size()) {
+    size_t want = group_size_for(i);
+    VerifyGroup g;
+    bool kind = continuation_flags[i];
+    while (i < matched_ids.size() && g.members.size() < want &&
+           continuation_flags[i] == kind) {
+      g.members.push_back(matched_ids[i]);
+      ++i;
+    }
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+std::vector<VerifyGroup> SplitGroups(const std::vector<VerifyGroup>& failed) {
+  std::vector<VerifyGroup> out;
+  for (const VerifyGroup& g : failed) {
+    if (g.members.size() <= 1) {
+      out.push_back(g);
+      continue;
+    }
+    size_t half = g.members.size() / 2;
+    VerifyGroup a;
+    a.members.assign(g.members.begin(), g.members.begin() + half);
+    VerifyGroup b;
+    b.members.assign(g.members.begin() + half, g.members.end());
+    out.push_back(std::move(a));
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace fsx

@@ -1,0 +1,156 @@
+// Shared deterministic protocol state. Client and server each hold a
+// BlockLedger and update it with identical rules from public information
+// (the configuration plus the bitmaps exchanged on the wire), so block
+// offsets, sizes, hash kinds, and verification groups never need to be
+// transmitted -- only the hash bits themselves. Divergence is impossible
+// unless a message is corrupted, which the final fingerprint check catches.
+#ifndef FSYNC_CORE_BLOCK_LEDGER_H_
+#define FSYNC_CORE_BLOCK_LEDGER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fsync/core/config.h"
+#include "fsync/hash/tabled_adler.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Lifecycle of one block of the current file F_new.
+enum class BlockStatus {
+  kActive,     // will be hashed this round
+  kConfirmed,  // verified match: the client holds these bytes
+  kRetired,    // gave up (too small to keep splitting)
+  kSplit,      // replaced by its two children
+};
+
+/// One block of F_new tracked by the protocol.
+struct Block {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  BlockStatus status = BlockStatus::kActive;
+  int64_t parent = -1;       // index into the ledger's block array
+  bool is_left_child = false;
+
+  // What the *client* knows about this block's tabled-Adler pair, either
+  // received or derived via decomposition. The server mirrors this
+  // knowledge to decide which sibling hashes it may suppress.
+  bool pair_known = false;
+  AdlerPair pair{};  // truncated pair (valid modulo the session hash width)
+
+  // Client only: the matched position in F_old (candidate, then confirmed).
+  uint64_t match_pos = 0;
+  bool has_candidate = false;
+
+  // A continuation probe was already spent on this block; retired blocks
+  // are only reactivated for continuation once (otherwise a failing probe
+  // would retire and reactivate forever).
+  bool continuation_probed = false;
+};
+
+/// A confirmed byte range of F_new. `src` is the position of the identical
+/// bytes in F_old (meaningful on the client; zero on the server).
+struct ConfirmedRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  uint64_t src = 0;
+};
+
+/// How each active block is hashed in the current round, in canonical
+/// (offset) order per category. Both sides compute the identical plan.
+struct RoundPlan {
+  std::vector<size_t> continuation;  // adjacent to a confirmed range
+  std::vector<size_t> sent_global;   // global hash transmitted
+  std::vector<size_t> derived;       // hash derived from parent + sibling
+  std::vector<size_t> skipped;       // unmatched by construction (e.g. the
+                                     // block is larger than F_old)
+
+  /// Candidate blocks in wire order (continuation, sent, derived).
+  std::vector<size_t> CandidateOrder() const;
+};
+
+/// One verification group: candidate block ids verified with a single hash.
+struct VerifyGroup {
+  std::vector<size_t> members;
+};
+
+/// Deterministic block bookkeeping shared by both endpoints.
+class BlockLedger {
+ public:
+  /// Partitions [0, new_size) into blocks of `config.start_block_size`.
+  BlockLedger(uint64_t new_size, uint64_t old_size, const SyncConfig& config);
+
+  /// Blocks to be hashed this round, ordered by offset.
+  const std::vector<size_t>& active() const { return active_; }
+
+  /// Computes the hashing plan for the current round.
+  RoundPlan BuildPlan() const;
+
+  /// Records that the plan's continuation probes were spent (call once
+  /// per accepted round, on both endpoints).
+  void MarkPlanned(const RoundPlan& plan);
+
+  /// True if `id`'s sibling block (the other child of its parent) is
+  /// currently confirmed. Used by the continuation-first optimization.
+  bool SiblingConfirmed(size_t id) const;
+
+  /// Marks `id` as a verified match. `src` is the client-side source
+  /// position (servers pass 0).
+  void Confirm(size_t id, uint64_t src);
+
+  /// Ends the round: unconfirmed active blocks split (if large enough) or
+  /// retire; retired blocks that became adjacent to confirmed ranges are
+  /// reactivated for continuation probing. Returns true while any block
+  /// remains active.
+  bool AdvanceRound();
+
+  /// Confirmed range whose end abuts `offset`, if any.
+  std::optional<ConfirmedRange> ConfirmedEndingAt(uint64_t offset) const;
+  /// Confirmed range whose begin abuts `offset`, if any.
+  std::optional<ConfirmedRange> ConfirmedStartingAt(uint64_t offset) const;
+
+  /// All confirmed ranges in offset order (the delta reference layout).
+  std::vector<ConfirmedRange> ConfirmedRanges() const;
+
+  /// Fraction of F_new covered by confirmed ranges.
+  double ConfirmedFraction() const;
+
+  Block& block(size_t id) { return blocks_[id]; }
+  const Block& block(size_t id) const { return blocks_[id]; }
+  size_t num_blocks() const { return blocks_.size(); }
+  int round() const { return round_; }
+  uint64_t old_size() const { return old_size_; }
+  uint64_t new_size() const { return new_size_; }
+
+  /// Builds the verification groups for a batch, given the candidate ids
+  /// that reported a match, in wire order. Deterministic on both sides.
+  /// `continuation_flags[i]` says whether candidate i came from a
+  /// continuation hash (smaller prior confidence -> smaller groups).
+  /// `vc` is the (possibly per-round overridden) verification config.
+  std::vector<VerifyGroup> BuildGroups(
+      const std::vector<size_t>& matched_ids,
+      const std::vector<bool>& continuation_flags,
+      const VerifyConfig& vc) const;
+
+ private:
+  bool IsAdjacentToConfirmed(const Block& b) const;
+
+  const SyncConfig config_;
+  uint64_t new_size_ = 0;
+  uint64_t old_size_ = 0;
+  int round_ = 0;
+  std::vector<Block> blocks_;
+  std::vector<size_t> active_;
+  // Confirmed ranges keyed by begin offset (non-overlapping, not merged).
+  std::map<uint64_t, ConfirmedRange> confirmed_;
+};
+
+/// Splits a failed verification group into halves (batch k+1 of the
+/// salvage protocol). Groups of one return themselves unchanged.
+std::vector<VerifyGroup> SplitGroups(const std::vector<VerifyGroup>& failed);
+
+}  // namespace fsx
+
+#endif  // FSYNC_CORE_BLOCK_LEDGER_H_

@@ -1,0 +1,256 @@
+#include "fsync/core/broadcast.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "fsync/hash/fingerprint.h"
+#include "fsync/hash/md5.h"
+#include "fsync/hash/tabled_adler.h"
+#include "fsync/util/bit_io.h"
+
+namespace fsx {
+
+namespace {
+
+constexpr uint64_t kStrongSalt = 0xBCA57;
+
+struct CastBlock {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+};
+
+// The full recursive split tree, level by level — identical on the
+// builder and every client, derived from (new_size, start, min) alone.
+std::vector<std::vector<CastBlock>> BuildTree(uint64_t new_size,
+                                              const HashCastConfig& cfg) {
+  std::vector<std::vector<CastBlock>> levels;
+  std::vector<CastBlock> cur;
+  for (uint64_t off = 0; off < new_size; off += cfg.start_block_size) {
+    cur.push_back(
+        {off, std::min<uint64_t>(cfg.start_block_size, new_size - off)});
+  }
+  while (!cur.empty()) {
+    levels.push_back(cur);
+    std::vector<CastBlock> next;
+    for (const CastBlock& b : cur) {
+      if (b.size >= 2 * cfg.min_block_size) {
+        uint64_t left = (b.size + 1) / 2;
+        next.push_back({b.offset, left});
+        next.push_back({b.offset + left, b.size - left});
+      }
+    }
+    cur = std::move(next);
+  }
+  return levels;
+}
+
+Status ValidateConfig(const HashCastConfig& cfg) {
+  if (cfg.start_block_size == 0 ||
+      (cfg.start_block_size & (cfg.start_block_size - 1)) != 0 ||
+      cfg.min_block_size == 0 || cfg.weak_bits < 1 || cfg.weak_bits > 32 ||
+      cfg.strong_bits < 1 || cfg.strong_bits > 64) {
+    return Status::InvalidArgument("hash cast: bad configuration");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+double CastMap::CoveredFraction() const {
+  if (new_size == 0) {
+    return 1.0;
+  }
+  uint64_t covered = 0;
+  for (const Range& r : ranges) {
+    covered += r.length;
+  }
+  return static_cast<double>(covered) / static_cast<double>(new_size);
+}
+
+StatusOr<Bytes> BuildHashCast(ByteSpan current,
+                              const HashCastConfig& config) {
+  FSYNC_RETURN_IF_ERROR(ValidateConfig(config));
+  BitWriter out;
+  out.WriteVarint(current.size());
+  Fingerprint fp = FileFingerprint(current);
+  out.WriteBytes(ByteSpan(fp.data(), fp.size()));
+  out.WriteVarint(config.start_block_size);
+  out.WriteVarint(config.min_block_size);
+  out.WriteBits(static_cast<uint64_t>(config.weak_bits), 6);
+  out.WriteBits(static_cast<uint64_t>(config.strong_bits), 7);
+  out.WriteBits(static_cast<uint64_t>(config.delta_codec), 4);
+
+  for (const auto& level : BuildTree(current.size(), config)) {
+    for (const CastBlock& b : level) {
+      ByteSpan block = current.subspan(b.offset, b.size);
+      out.WriteBits(TabledAdler::Truncate(TabledAdler::Hash(block),
+                                          config.weak_bits),
+                    config.weak_bits);
+      out.WriteBits(Md5::HashBits(block, config.strong_bits, kStrongSalt),
+                    config.strong_bits);
+    }
+  }
+  return out.Finish();
+}
+
+StatusOr<CastMap> ApplyHashCast(ByteSpan outdated, ByteSpan cast) {
+  BitReader in(cast);
+  CastMap map;
+  FSYNC_ASSIGN_OR_RETURN(map.new_size, in.ReadVarint());
+  if (map.new_size > (uint64_t{1} << 32)) {
+    return Status::DataLoss("hash cast: implausible size");
+  }
+  FSYNC_ASSIGN_OR_RETURN(Bytes fp, in.ReadBytes(16));
+  std::copy(fp.begin(), fp.end(), map.fingerprint.begin());
+  FSYNC_ASSIGN_OR_RETURN(uint64_t start, in.ReadVarint());
+  FSYNC_ASSIGN_OR_RETURN(uint64_t min, in.ReadVarint());
+  FSYNC_ASSIGN_OR_RETURN(uint64_t weak, in.ReadBits(6));
+  FSYNC_ASSIGN_OR_RETURN(uint64_t strong, in.ReadBits(7));
+  FSYNC_ASSIGN_OR_RETURN(uint64_t codec, in.ReadBits(4));
+  map.config.start_block_size = static_cast<uint32_t>(start);
+  map.config.min_block_size = static_cast<uint32_t>(min);
+  map.config.weak_bits = static_cast<int>(weak);
+  map.config.strong_bits = static_cast<int>(strong);
+  map.config.delta_codec = static_cast<DeltaCodec>(codec);
+  FSYNC_RETURN_IF_ERROR(ValidateConfig(map.config));
+
+  // Confirmed ranges keyed by begin (non-overlapping).
+  std::map<uint64_t, CastMap::Range> confirmed;
+  auto covered = [&](const CastBlock& b) {
+    auto it = confirmed.upper_bound(b.offset);
+    if (it == confirmed.begin()) {
+      return false;
+    }
+    --it;
+    return it->second.begin <= b.offset &&
+           it->second.begin + it->second.length >= b.offset + b.size;
+  };
+
+  struct Pending {
+    CastBlock block;
+    uint32_t weak = 0;
+    uint64_t strong = 0;
+    bool found = false;
+    uint64_t pos = 0;
+  };
+
+  for (const auto& level : BuildTree(map.new_size, map.config)) {
+    // Read every block's bits; only uncovered, fitting blocks join the
+    // matching pass.
+    std::vector<Pending> pending;
+    for (const CastBlock& b : level) {
+      Pending p;
+      p.block = b;
+      FSYNC_ASSIGN_OR_RETURN(uint64_t w,
+                             in.ReadBits(map.config.weak_bits));
+      FSYNC_ASSIGN_OR_RETURN(p.strong,
+                             in.ReadBits(map.config.strong_bits));
+      p.weak = static_cast<uint32_t>(w);
+      if (!covered(b) && b.size <= outdated.size()) {
+        pending.push_back(p);
+      }
+    }
+    // One rolling pass per distinct size; strong bits verified locally.
+    std::unordered_map<uint64_t, std::vector<size_t>> by_size;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      by_size[pending[i].block.size].push_back(i);
+    }
+    for (auto& [size, idxs] : by_size) {
+      if (size == 0 || size > outdated.size()) {
+        continue;
+      }
+      std::unordered_multimap<uint32_t, size_t> table;
+      size_t unmatched = idxs.size();
+      for (size_t i : idxs) {
+        table.emplace(pending[i].weak, i);
+      }
+      TabledAdlerWindow window(outdated.subspan(0, size));
+      for (uint64_t pos = 0;; ++pos) {
+        uint32_t key =
+            TabledAdler::Truncate(window.pair(), map.config.weak_bits);
+        auto [lo, hi] = table.equal_range(key);
+        for (auto it = lo; it != hi; ++it) {
+          Pending& p = pending[it->second];
+          if (!p.found &&
+              Md5::HashBits(outdated.subspan(pos, size),
+                            map.config.strong_bits,
+                            kStrongSalt) == p.strong) {
+            p.found = true;
+            p.pos = pos;
+            --unmatched;
+          }
+        }
+        if (unmatched == 0 || pos + size >= outdated.size()) {
+          break;
+        }
+        window.Roll(outdated[pos], outdated[pos + size]);
+      }
+    }
+    for (const Pending& p : pending) {
+      if (p.found) {
+        confirmed[p.block.offset] =
+            CastMap::Range{p.block.offset, p.block.size, p.pos};
+      }
+    }
+  }
+
+  map.ranges.reserve(confirmed.size());
+  for (const auto& [begin, r] : confirmed) {
+    map.ranges.push_back(r);
+  }
+  return map;
+}
+
+Bytes EncodeCastRequest(const CastMap& map) {
+  BitWriter out;
+  out.WriteVarint(map.ranges.size());
+  uint64_t prev_end = 0;
+  for (const CastMap::Range& r : map.ranges) {
+    out.WriteVarint(r.begin - prev_end);
+    out.WriteVarint(r.length);
+    prev_end = r.begin + r.length;
+  }
+  return out.Finish();
+}
+
+StatusOr<Bytes> MakeCastDelta(ByteSpan current, ByteSpan request,
+                              const HashCastConfig& config) {
+  BitReader in(request);
+  FSYNC_ASSIGN_OR_RETURN(uint64_t count, in.ReadVarint());
+  if (count > current.size() + 1) {
+    return Status::DataLoss("cast request: implausible range count");
+  }
+  Bytes ref;
+  uint64_t pos = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    FSYNC_ASSIGN_OR_RETURN(uint64_t gap, in.ReadVarint());
+    FSYNC_ASSIGN_OR_RETURN(uint64_t len, in.ReadVarint());
+    pos += gap;
+    if (pos + len > current.size()) {
+      return Status::DataLoss("cast request: range out of bounds");
+    }
+    Append(ref, current.subspan(pos, len));
+    pos += len;
+  }
+  return DeltaEncode(config.delta_codec, ref, current);
+}
+
+StatusOr<Bytes> ApplyCastDelta(ByteSpan outdated, const CastMap& map,
+                               ByteSpan delta) {
+  Bytes ref;
+  for (const CastMap::Range& r : map.ranges) {
+    if (r.src + r.length > outdated.size()) {
+      return Status::InvalidArgument("cast map: source out of bounds");
+    }
+    Append(ref, outdated.subspan(r.src, r.length));
+  }
+  FSYNC_ASSIGN_OR_RETURN(Bytes target,
+                         DeltaDecode(map.config.delta_codec, ref, delta));
+  Fingerprint got = FileFingerprint(target);
+  if (!std::equal(got.begin(), got.end(), map.fingerprint.begin())) {
+    return Status::DataLoss("cast delta: fingerprint mismatch");
+  }
+  return target;
+}
+
+}  // namespace fsx

@@ -1,0 +1,76 @@
+// Broadcast synchronization (paper Section 7: "asymmetric cases, e.g.,
+// cases with server broadcast capability"). The interactive protocol
+// prunes hash traffic with per-client feedback, which a broadcast medium
+// cannot do. Instead, the server emits one self-contained *hash cast* --
+// the full recursive block-hash tree of the current file, each block
+// carrying a rolling candidate hash plus strong verification bits that
+// clients check locally -- and every client, whatever outdated copy it
+// holds, builds its map from the same bytes. Only the small delta
+// request/response remains per-client, so the map-construction cost is
+// paid once per update instead of once per client (the WebBase-style
+// feed scenario from the paper's introduction).
+#ifndef FSYNC_CORE_BROADCAST_H_
+#define FSYNC_CORE_BROADCAST_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fsync/delta/delta.h"
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Hash-cast shape. Unlike the interactive protocol there is no
+/// verification dialogue, so the per-block strong bits carry the whole
+/// verification burden.
+struct HashCastConfig {
+  uint32_t start_block_size = 2048;  // power of two
+  uint32_t min_block_size = 64;
+  int weak_bits = 24;    // rolling candidate hash (<= 32)
+  int strong_bits = 16;  // local MD5 verification (<= 64)
+  DeltaCodec delta_codec = DeltaCodec::kZd;
+};
+
+/// Builds the broadcast payload for `current`.
+StatusOr<Bytes> BuildHashCast(ByteSpan current, const HashCastConfig& config);
+
+/// What a client learned from a cast: which ranges of the current file it
+/// already holds, and where.
+struct CastMap {
+  uint64_t new_size = 0;
+  std::array<uint8_t, 16> fingerprint{};
+  HashCastConfig config;  // as decoded from the cast
+  // Confirmed ranges of F_new in offset order: (begin, length, src).
+  struct Range {
+    uint64_t begin = 0;
+    uint64_t length = 0;
+    uint64_t src = 0;  // position in the client's outdated file
+  };
+  std::vector<Range> ranges;
+
+  /// Fraction of the new file covered by confirmed ranges.
+  double CoveredFraction() const;
+};
+
+/// Client side: digests a cast against the local outdated copy.
+StatusOr<CastMap> ApplyHashCast(ByteSpan outdated, ByteSpan cast);
+
+/// Client side: the compact per-client delta request (the confirmed
+/// ranges, delta-encoded varints).
+Bytes EncodeCastRequest(const CastMap& map);
+
+/// Server side: answers a cast request with the delta payload.
+StatusOr<Bytes> MakeCastDelta(ByteSpan current, ByteSpan request,
+                              const HashCastConfig& config);
+
+/// Client side: reconstructs the current file from its map and the
+/// server's delta. Fails with DataLoss if the result does not match the
+/// cast's fingerprint (callers then fetch a full copy).
+StatusOr<Bytes> ApplyCastDelta(ByteSpan outdated, const CastMap& map,
+                               ByteSpan delta);
+
+}  // namespace fsx
+
+#endif  // FSYNC_CORE_BROADCAST_H_

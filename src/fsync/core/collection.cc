@@ -1,0 +1,450 @@
+#include "fsync/core/collection.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "fsync/compress/codec.h"
+#include "fsync/core/endpoint.h"
+#include "fsync/hash/fingerprint.h"
+#include "fsync/util/bit_io.h"
+
+namespace fsx {
+
+namespace {
+
+// Fingerprint-exchange cost: the client announces (name, fingerprint) per
+// file; we charge 16 bytes plus the name for each file in the client set.
+uint64_t FingerprintExchangeBytes(const Collection& client) {
+  uint64_t total = 0;
+  for (const auto& [name, data] : client) {
+    total += 16 + name.size() + 1;
+  }
+  return total;
+}
+
+}  // namespace
+
+StatusOr<CollectionSyncResult> SyncCollection(const Collection& client,
+                                              const Collection& server,
+                                              const SyncConfig& config) {
+  CollectionSyncResult result;
+  result.stats.client_to_server_bytes += FingerprintExchangeBytes(client);
+  result.files_total = server.size();
+
+  uint64_t max_roundtrips = 0;
+  static const Bytes kEmpty;
+  for (const auto& [name, current] : server) {
+    auto it = client.find(name);
+    const Bytes& outdated = it != client.end() ? it->second : kEmpty;
+    if (it == client.end()) {
+      ++result.files_new;
+    }
+
+    SimulatedChannel channel;
+    FSYNC_ASSIGN_OR_RETURN(
+        FileSyncResult r,
+        SynchronizeFile(outdated, current, config, channel));
+    if (r.reconstructed != current) {
+      return Status::Internal("collection sync: reconstruction mismatch");
+    }
+    if (r.unchanged) {
+      ++result.files_unchanged;
+      // The fingerprint exchange above already paid for detecting this;
+      // do not charge the per-file session's fingerprint again.
+    } else {
+      result.stats.client_to_server_bytes +=
+          r.stats.client_to_server_bytes;
+      result.stats.server_to_client_bytes +=
+          r.stats.server_to_client_bytes;
+      max_roundtrips = std::max(max_roundtrips, r.stats.roundtrips);
+      result.map_server_to_client_bytes += r.map_server_to_client_bytes;
+      result.map_client_to_server_bytes += r.map_client_to_server_bytes;
+      result.delta_bytes += r.delta_bytes;
+    }
+    result.reconstructed[name] = std::move(r.reconstructed);
+  }
+  result.stats.roundtrips = max_roundtrips + 1;  // +1 fingerprint exchange
+  return result;
+}
+
+StatusOr<CollectionSyncResult> SyncCollectionBatched(
+    const Collection& client, const Collection& server,
+    const SyncConfig& config, SimulatedChannel& channel) {
+  using Dir = SimulatedChannel::Direction;
+  CollectionSyncResult result;
+  result.files_total = server.size();
+
+  // --- 1. Client announces (name, fingerprint) for every file. ---
+  {
+    BitWriter msg;
+    msg.WriteVarint(client.size());
+    for (const auto& [name, data] : client) {
+      msg.WriteVarint(name.size());
+      msg.WriteBytes(ToBytes(name));
+      Fingerprint fp = FileFingerprint(data);
+      msg.WriteBytes(ByteSpan(fp.data(), fp.size()));
+    }
+    channel.Send(Dir::kClientToServer, msg.Finish());
+  }
+  FSYNC_ASSIGN_OR_RETURN(Bytes announce,
+                         channel.Receive(Dir::kClientToServer));
+
+  // --- 2. Server classifies: per client file 2 bits (kept / sync /
+  //         delete), then the list of names only it has. ---
+  std::vector<std::string> sync_names;  // deterministic on both sides
+  {
+    BitReader in(announce);
+    FSYNC_ASSIGN_OR_RETURN(uint64_t count, in.ReadVarint());
+    if (count != client.size()) {
+      return Status::Internal("batched sync: announce desync");
+    }
+    BitWriter verdict;
+    for (uint64_t i = 0; i < count; ++i) {
+      FSYNC_ASSIGN_OR_RETURN(uint64_t len, in.ReadVarint());
+      FSYNC_ASSIGN_OR_RETURN(Bytes name_bytes, in.ReadBytes(len));
+      FSYNC_ASSIGN_OR_RETURN(Bytes fp_bytes, in.ReadBytes(16));
+      std::string name = ToString(name_bytes);
+      auto it = server.find(name);
+      if (it == server.end()) {
+        verdict.WriteBits(2, 2);  // delete
+        continue;
+      }
+      Fingerprint fp = FileFingerprint(it->second);
+      bool same = std::equal(fp.begin(), fp.end(), fp_bytes.begin());
+      verdict.WriteBits(same ? 0 : 1, 2);
+    }
+    std::vector<std::string> new_names;
+    for (const auto& [name, data] : server) {
+      if (!client.contains(name)) {
+        new_names.push_back(name);
+      }
+    }
+    verdict.WriteVarint(new_names.size());
+    for (const std::string& name : new_names) {
+      verdict.WriteVarint(name.size());
+      verdict.WriteBytes(ToBytes(name));
+    }
+    channel.Send(Dir::kServerToClient, verdict.Finish());
+  }
+  FSYNC_ASSIGN_OR_RETURN(Bytes verdict_msg,
+                         channel.Receive(Dir::kServerToClient));
+  {
+    BitReader in(verdict_msg);
+    for (const auto& [name, data] : client) {
+      FSYNC_ASSIGN_OR_RETURN(uint64_t code, in.ReadBits(2));
+      if (code == 0) {
+        result.reconstructed[name] = data;
+        ++result.files_unchanged;
+      } else if (code == 1) {
+        sync_names.push_back(name);
+      }  // code 2: deleted -> dropped
+    }
+    FSYNC_ASSIGN_OR_RETURN(uint64_t n_new, in.ReadVarint());
+    if (n_new > verdict_msg.size()) {
+      return Status::DataLoss("batched sync: implausible new-file count");
+    }
+    for (uint64_t i = 0; i < n_new; ++i) {
+      FSYNC_ASSIGN_OR_RETURN(uint64_t len, in.ReadVarint());
+      FSYNC_ASSIGN_OR_RETURN(Bytes name_bytes, in.ReadBytes(len));
+      sync_names.push_back(ToString(name_bytes));
+      ++result.files_new;
+    }
+    std::sort(sync_names.begin(), sync_names.end());
+  }
+
+  // --- 3. Multiplex the per-file sessions, one message per direction
+  //         per round for the whole batch. ---
+  static const Bytes kEmpty;
+  struct FileSession {
+    std::string name;
+    std::unique_ptr<SyncClientEndpoint> client_ep;
+    std::unique_ptr<SyncServerEndpoint> server_ep;
+    bool live = true;
+    bool fallback = false;
+  };
+  std::vector<FileSession> sessions;
+  sessions.reserve(sync_names.size());
+  for (const std::string& name : sync_names) {
+    auto cit = client.find(name);
+    const Bytes& f_old = cit != client.end() ? cit->second : kEmpty;
+    const Bytes& f_new = server.at(name);
+    FileSession s;
+    s.name = name;
+    s.client_ep = std::make_unique<SyncClientEndpoint>(f_old, config);
+    s.server_ep = std::make_unique<SyncServerEndpoint>(f_new, config);
+    sessions.push_back(std::move(s));
+  }
+
+  // Initial batch: every file's request.
+  {
+    BitWriter batch;
+    for (FileSession& s : sessions) {
+      Bytes req = s.client_ep->MakeRequest();
+      batch.WriteVarint(req.size());
+      batch.WriteBytes(req);
+    }
+    channel.Send(Dir::kClientToServer, batch.Finish());
+  }
+  FSYNC_ASSIGN_OR_RETURN(Bytes c2s, channel.Receive(Dir::kClientToServer));
+  bool first = true;
+  size_t live = sessions.size();
+  while (live > 0) {
+    // Server: one sub-payload per live file.
+    BitReader in(c2s);
+    BitWriter batch;
+    for (FileSession& s : sessions) {
+      if (!s.live) {
+        continue;
+      }
+      FSYNC_ASSIGN_OR_RETURN(uint64_t len, in.ReadVarint());
+      FSYNC_ASSIGN_OR_RETURN(Bytes payload, in.ReadBytes(len));
+      StatusOr<Bytes> reply = first ? s.server_ep->OnRequest(payload)
+                                    : s.server_ep->OnClientMessage(payload);
+      FSYNC_RETURN_IF_ERROR(reply.status());
+      batch.WriteVarint(reply->size());
+      batch.WriteBytes(*reply);
+    }
+    first = false;
+    channel.Send(Dir::kServerToClient, batch.Finish());
+    FSYNC_ASSIGN_OR_RETURN(Bytes s2c, channel.Receive(Dir::kServerToClient));
+
+    // Client: consume replies; files whose session finished drop out
+    // (the server knows too: its endpoint reports done()).
+    BitReader rin(s2c);
+    BitWriter next;
+    size_t still_live = 0;
+    for (FileSession& s : sessions) {
+      if (!s.live) {
+        continue;
+      }
+      FSYNC_ASSIGN_OR_RETURN(uint64_t len, rin.ReadVarint());
+      FSYNC_ASSIGN_OR_RETURN(Bytes payload, rin.ReadBytes(len));
+      FSYNC_ASSIGN_OR_RETURN(std::optional<Bytes> reply,
+                             s.client_ep->OnServerMessage(payload));
+      if (reply.has_value()) {
+        next.WriteVarint(reply->size());
+        next.WriteBytes(*reply);
+        ++still_live;
+      } else {
+        // The server's endpoint reaches done() in the same step, so both
+        // sides agree on the live set without signalling.
+        s.live = false;
+        s.fallback = s.client_ep->needs_fallback();
+      }
+    }
+    live = still_live;
+    if (live > 0) {
+      channel.Send(Dir::kClientToServer, next.Finish());
+      FSYNC_ASSIGN_OR_RETURN(c2s, channel.Receive(Dir::kClientToServer));
+    }
+  }
+
+  // --- 4. Fallbacks (rare): one extra exchange for all of them. ---
+  std::vector<size_t> fallback_ids;
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    if (sessions[i].fallback) {
+      fallback_ids.push_back(i);
+    }
+  }
+  if (!fallback_ids.empty()) {
+    BitWriter ask;
+    ask.WriteVarint(fallback_ids.size());
+    for (size_t i : fallback_ids) {
+      ask.WriteVarint(i);
+    }
+    channel.Send(Dir::kClientToServer, ask.Finish());
+    FSYNC_ASSIGN_OR_RETURN(Bytes ask_msg,
+                           channel.Receive(Dir::kClientToServer));
+    BitReader ain(ask_msg);
+    FSYNC_ASSIGN_OR_RETURN(uint64_t n, ain.ReadVarint());
+    BitWriter full_batch;
+    for (uint64_t k = 0; k < n; ++k) {
+      FSYNC_ASSIGN_OR_RETURN(uint64_t idx, ain.ReadVarint());
+      if (idx >= sessions.size()) {
+        return Status::DataLoss("batched sync: bad fallback index");
+      }
+      Bytes full = sessions[idx].server_ep->OnFallbackRequest();
+      full_batch.WriteVarint(full.size());
+      full_batch.WriteBytes(full);
+    }
+    channel.Send(Dir::kServerToClient, full_batch.Finish());
+    FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,
+                           channel.Receive(Dir::kServerToClient));
+    BitReader fin(full_msg);
+    for (size_t i : fallback_ids) {
+      FSYNC_ASSIGN_OR_RETURN(uint64_t len, fin.ReadVarint());
+      FSYNC_ASSIGN_OR_RETURN(Bytes payload, fin.ReadBytes(len));
+      FSYNC_RETURN_IF_ERROR(
+          sessions[i].client_ep->OnFallbackTransfer(payload));
+    }
+  }
+
+  for (FileSession& s : sessions) {
+    if (!s.client_ep->done()) {
+      return Status::Internal("batched sync: unfinished session");
+    }
+    result.reconstructed[s.name] = s.client_ep->result();
+  }
+  result.stats = channel.stats();
+  return result;
+}
+
+StatusOr<CollectionSyncResult> SyncCollectionRsync(const Collection& client,
+                                                   const Collection& server,
+                                                   const RsyncParams& params) {
+  CollectionSyncResult result;
+  result.stats.client_to_server_bytes += FingerprintExchangeBytes(client);
+  result.files_total = server.size();
+
+  uint64_t max_roundtrips = 0;
+  static const Bytes kEmpty;
+  for (const auto& [name, current] : server) {
+    auto it = client.find(name);
+    const Bytes& outdated = it != client.end() ? it->second : kEmpty;
+    if (it == client.end()) {
+      ++result.files_new;
+    }
+    bool unchanged = it != client.end() && it->second == current;
+    if (unchanged) {
+      ++result.files_unchanged;
+      result.reconstructed[name] = current;
+      continue;  // detected via the fingerprint exchange above
+    }
+    SimulatedChannel channel;
+    FSYNC_ASSIGN_OR_RETURN(
+        RsyncResult r, RsyncSynchronize(outdated, current, params, channel));
+    if (r.reconstructed != current) {
+      return Status::Internal("rsync collection: reconstruction mismatch");
+    }
+    // Exclude the per-file fingerprint handshake (16 + 17 bytes + framing)
+    // that the batched exchange already covers.
+    result.stats.client_to_server_bytes += r.stats.client_to_server_bytes;
+    result.stats.server_to_client_bytes += r.stats.server_to_client_bytes;
+    max_roundtrips = std::max(max_roundtrips, r.stats.roundtrips);
+    result.reconstructed[name] = std::move(r.reconstructed);
+  }
+  result.stats.roundtrips = max_roundtrips + 1;
+  return result;
+}
+
+StatusOr<CollectionSyncResult> SyncCollectionCdc(const Collection& client,
+                                                 const Collection& server,
+                                                 const CdcSyncParams& params) {
+  CollectionSyncResult result;
+  result.stats.client_to_server_bytes += FingerprintExchangeBytes(client);
+  result.files_total = server.size();
+
+  uint64_t max_roundtrips = 0;
+  static const Bytes kEmpty;
+  for (const auto& [name, current] : server) {
+    auto it = client.find(name);
+    const Bytes& outdated = it != client.end() ? it->second : kEmpty;
+    if (it == client.end()) {
+      ++result.files_new;
+    }
+    if (it != client.end() && it->second == current) {
+      ++result.files_unchanged;
+      result.reconstructed[name] = current;
+      continue;
+    }
+    SimulatedChannel channel;
+    FSYNC_ASSIGN_OR_RETURN(
+        CdcSyncResult r, CdcSynchronize(outdated, current, params, channel));
+    if (r.reconstructed != current) {
+      return Status::Internal("cdc collection: reconstruction mismatch");
+    }
+    result.stats.client_to_server_bytes += r.stats.client_to_server_bytes;
+    result.stats.server_to_client_bytes += r.stats.server_to_client_bytes;
+    max_roundtrips = std::max(max_roundtrips, r.stats.roundtrips);
+    result.reconstructed[name] = std::move(r.reconstructed);
+  }
+  result.stats.roundtrips = max_roundtrips + 1;
+  return result;
+}
+
+StatusOr<CollectionSyncResult> SyncCollectionMultiround(
+    const Collection& client, const Collection& server,
+    const MultiroundParams& params) {
+  CollectionSyncResult result;
+  result.stats.client_to_server_bytes += FingerprintExchangeBytes(client);
+  result.files_total = server.size();
+
+  uint64_t max_roundtrips = 0;
+  static const Bytes kEmpty;
+  for (const auto& [name, current] : server) {
+    auto it = client.find(name);
+    const Bytes& outdated = it != client.end() ? it->second : kEmpty;
+    if (it == client.end()) {
+      ++result.files_new;
+    }
+    if (it != client.end() && it->second == current) {
+      ++result.files_unchanged;
+      result.reconstructed[name] = current;
+      continue;
+    }
+    SimulatedChannel channel;
+    FSYNC_ASSIGN_OR_RETURN(
+        MultiroundResult r,
+        MultiroundSynchronize(outdated, current, params, channel));
+    if (r.reconstructed != current) {
+      return Status::Internal("multiround collection: mismatch");
+    }
+    result.stats.client_to_server_bytes += r.stats.client_to_server_bytes;
+    result.stats.server_to_client_bytes += r.stats.server_to_client_bytes;
+    max_roundtrips = std::max(max_roundtrips, r.stats.roundtrips);
+    result.reconstructed[name] = std::move(r.reconstructed);
+  }
+  result.stats.roundtrips = max_roundtrips + 1;
+  return result;
+}
+
+uint64_t CollectionFullTransferBytes(const Collection& client,
+                                     const Collection& server) {
+  uint64_t total = FingerprintExchangeBytes(client);
+  for (const auto& [name, current] : server) {
+    auto it = client.find(name);
+    if (it != client.end() && it->second == current) {
+      continue;
+    }
+    total += current.size();
+  }
+  return total;
+}
+
+uint64_t CollectionCompressedTransferBytes(const Collection& client,
+                                           const Collection& server) {
+  uint64_t total = FingerprintExchangeBytes(client);
+  for (const auto& [name, current] : server) {
+    auto it = client.find(name);
+    if (it != client.end() && it->second == current) {
+      continue;
+    }
+    total += Compress(current).size();
+  }
+  return total;
+}
+
+StatusOr<uint64_t> CollectionDeltaBytes(const Collection& client,
+                                        const Collection& server,
+                                        DeltaCodec codec) {
+  uint64_t total = FingerprintExchangeBytes(client);
+  static const Bytes kEmpty;
+  for (const auto& [name, current] : server) {
+    auto it = client.find(name);
+    const Bytes& outdated = it != client.end() ? it->second : kEmpty;
+    if (it != client.end() && it->second == current) {
+      continue;
+    }
+    FSYNC_ASSIGN_OR_RETURN(Bytes delta,
+                           DeltaEncode(codec, outdated, current));
+    // Sanity: the delta must round-trip.
+    FSYNC_ASSIGN_OR_RETURN(Bytes back, DeltaDecode(codec, outdated, delta));
+    if (back != current) {
+      return Status::Internal("delta baseline: round-trip mismatch");
+    }
+    total += delta.size();
+  }
+  return total;
+}
+
+}  // namespace fsx

@@ -1,0 +1,570 @@
+#include "fsync/core/endpoint.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "fsync/compress/codec.h"
+#include "fsync/delta/delta.h"
+#include "fsync/hash/md5.h"
+#include "fsync/hash/tabled_adler.h"
+
+namespace fsx {
+
+namespace core_internal {
+
+namespace {
+
+// Width of global candidate hashes for this session: enough bits that a
+// false positive costs ~2^-extra per transmitted hash (paper Section 5.2).
+int SessionHashBits(uint64_t old_size, const SyncConfig& config) {
+  int bits = std::bit_width(std::max<uint64_t>(old_size, 1)) +
+             config.global_extra_bits;
+  return std::clamp(bits, 8, 32);
+}
+
+uint64_t VerifySalt(int round, int batch, bool stage_a) {
+  return (uint64_t{0xF5A5} << 32) | (static_cast<uint64_t>(round) << 9) |
+         (static_cast<uint64_t>(stage_a) << 8) |
+         static_cast<uint64_t>(batch);
+}
+
+// Unpacks a wire hash value into a low-bits-meaningful AdlerPair, the
+// inverse of TabledAdler::Truncate.
+AdlerPair UnpackPair(uint32_t value, int num_bits) {
+  int a_bits = num_bits / 2;
+  int b_bits = num_bits - a_bits;
+  uint16_t a = static_cast<uint16_t>(
+      a_bits > 0 ? value & ((1u << a_bits) - 1) : 0);
+  uint16_t b = static_cast<uint16_t>(
+      (value >> a_bits) & ((b_bits >= 32 ? ~0u : (1u << b_bits) - 1)));
+  return {a, b};
+}
+
+}  // namespace
+
+uint64_t GroupVerifyHash(ByteSpan file, const std::vector<size_t>& members,
+                         const BlockLedger& ledger, bool client_side,
+                         int verify_bits, uint64_t salt) {
+  Md5 h;
+  uint8_t salt_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    salt_bytes[i] = static_cast<uint8_t>(salt >> (8 * i));
+  }
+  h.Update(ByteSpan(salt_bytes, 8));
+  for (size_t id : members) {
+    const Block& b = ledger.block(id);
+    uint64_t pos = client_side ? b.match_pos : b.offset;
+    h.Update(file.subspan(pos, b.size));
+  }
+  Md5Digest d = h.Finish();
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(d[i]) << (8 * i);
+  }
+  return verify_bits >= 64 ? v : v & ((uint64_t{1} << verify_bits) - 1);
+}
+
+Bytes BuildReference(ByteSpan file, const BlockLedger& ledger,
+                     bool client_side) {
+  Bytes ref;
+  for (const ConfirmedRange& r : ledger.ConfirmedRanges()) {
+    uint64_t pos = client_side ? r.src : r.begin;
+    Append(ref, file.subspan(pos, r.end - r.begin));
+  }
+  return ref;
+}
+
+bool EndpointBase::PrepareNextRound() {
+  if (!map_alive_ || !BudgetAllowsAnotherRound()) {
+    map_alive_ = false;
+    return false;
+  }
+  for (;;) {
+    RoundPlan plan = ledger_->BuildPlan();
+    if (!plan.continuation.empty() || !plan.sent_global.empty() ||
+        !plan.derived.empty()) {
+      round_ = RoundState{};
+      ledger_->MarkPlanned(plan);
+      if (config_.continuation_first && !plan.continuation.empty() &&
+          (!plan.sent_global.empty() || !plan.derived.empty())) {
+        // Stage A: continuation probes only; global hashes wait until
+        // the probe results are known.
+        round_.in_stage_a = true;
+        round_.stage_b_sent = std::move(plan.sent_global);
+        round_.stage_b_derived = std::move(plan.derived);
+        plan.sent_global.clear();
+        plan.derived.clear();
+      }
+      round_.plan = std::move(plan);
+      InstallCandidateOrder();
+      ++rounds_executed_;
+      return true;
+    }
+    if (!ledger_->AdvanceRound()) {
+      map_alive_ = false;
+      return false;
+    }
+  }
+}
+
+void EndpointBase::InstallCandidateOrder() {
+  round_.candidate_order = round_.plan.CandidateOrder();
+  round_.candidate_is_cont.assign(round_.candidate_order.size(), false);
+  for (size_t i = 0; i < round_.plan.continuation.size(); ++i) {
+    round_.candidate_is_cont[i] = true;
+  }
+  round_.batch = 0;
+  round_.matched_ids.clear();
+  round_.matched_is_cont.clear();
+  round_.pending_groups.clear();
+}
+
+bool EndpointBase::EnterStageB() {
+  round_.in_stage_a = false;
+  if (!BudgetAllowsAnotherRound()) {
+    return false;
+  }
+  RoundPlan plan;
+  for (size_t id : round_.stage_b_sent) {
+    if (!ledger_->SiblingConfirmed(id)) {
+      plan.sent_global.push_back(id);
+    }
+  }
+  // Derived blocks always keep their (global, transmitted) left-sibling
+  // pair partner, so they survive the filter together.
+  plan.derived = std::move(round_.stage_b_derived);
+  round_.stage_b_sent.clear();
+  if (plan.sent_global.empty() && plan.derived.empty()) {
+    return false;
+  }
+  round_.plan = std::move(plan);
+  InstallCandidateOrder();
+  return true;
+}
+
+}  // namespace core_internal
+
+using core_internal::BuildReference;
+using core_internal::GroupVerifyHash;
+using core_internal::SessionHashBits;
+using core_internal::UnpackPair;
+using core_internal::VerifySalt;
+
+// ---------------------------------------------------------------------
+// Server endpoint.
+// ---------------------------------------------------------------------
+
+StatusOr<Bytes> SyncServerEndpoint::OnRequest(ByteSpan msg) {
+  ++client_msgs_;
+  BitReader in(msg);
+  FSYNC_ASSIGN_OR_RETURN(Bytes fp_old, in.ReadBytes(16));
+  FSYNC_ASSIGN_OR_RETURN(uint64_t n_old, in.ReadVarint());
+  old_size_ = n_old;
+
+  Fingerprint fp_new = FileFingerprint(f_new_);
+  BitWriter out;
+  bool unchanged = std::equal(fp_new.begin(), fp_new.end(), fp_old.begin());
+  out.WriteBit(unchanged);
+  if (unchanged) {
+    // Echo the fingerprint so a corrupted "unchanged" bit cannot make the
+    // client silently keep a stale file.
+    out.WriteBytes(ByteSpan(fp_new.data(), fp_new.size()));
+    done_ = true;
+    return out.Finish();
+  }
+  out.WriteVarint(f_new_.size());
+  out.WriteBytes(ByteSpan(fp_new.data(), fp_new.size()));
+
+  ledger_.emplace(f_new_.size(), old_size_, config_);
+  hash_bits_ = SessionHashBits(old_size_, config_);
+  map_alive_ = !ledger_->active().empty();
+  if (PrepareNextRound()) {
+    AppendRoundHashes(out);
+  } else {
+    AppendDelta(out);
+  }
+  return out.Finish();
+}
+
+StatusOr<Bytes> SyncServerEndpoint::OnClientMessage(ByteSpan msg) {
+  ++client_msgs_;
+  BitReader in(msg);
+  if (round_.batch == 0) {
+    // Round reply: candidate bitmap + first verification batch.
+    round_.matched_ids.clear();
+    round_.matched_is_cont.clear();
+    for (size_t i = 0; i < round_.candidate_order.size(); ++i) {
+      FSYNC_ASSIGN_OR_RETURN(bool hit, in.ReadBit());
+      if (hit) {
+        round_.matched_ids.push_back(round_.candidate_order[i]);
+        round_.matched_is_cont.push_back(round_.candidate_is_cont[i]);
+      }
+    }
+    round_.pending_groups =
+        ledger_->BuildGroups(round_.matched_ids, round_.matched_is_cont,
+                             EffectiveVerify(config_, ledger_->round()));
+    round_.batch = 1;
+  } else {
+    ++round_.batch;
+  }
+  return ProcessBatch(in);
+}
+
+Bytes SyncServerEndpoint::OnFallbackRequest() const {
+  return Compress(f_new_);
+}
+
+StatusOr<Bytes> SyncServerEndpoint::ProcessBatch(BitReader& in) {
+  const VerifyConfig vc = EffectiveVerify(config_, ledger_->round());
+  uint64_t salt =
+      VerifySalt(ledger_->round(), round_.batch, round_.in_stage_a);
+
+  BitWriter out;
+  std::vector<VerifyGroup> failed_multi;
+  for (const VerifyGroup& g : round_.pending_groups) {
+    FSYNC_ASSIGN_OR_RETURN(uint64_t got, in.ReadBits(vc.verify_bits));
+    uint64_t want = GroupVerifyHash(f_new_, g.members, *ledger_,
+                                    /*client_side=*/false, vc.verify_bits,
+                                    salt);
+    bool pass = got == want;
+    out.WriteBit(pass);
+    if (pass) {
+      for (size_t id : g.members) {
+        ledger_->Confirm(id, 0);
+      }
+    } else if (g.members.size() > 1) {
+      failed_multi.push_back(g);
+    }
+  }
+
+  if (!failed_multi.empty() && round_.batch < vc.max_batches &&
+      BudgetAllowsSalvage()) {
+    round_.pending_groups = SplitGroups(failed_multi);
+    return out.Finish();  // expect a salvage message next
+  }
+
+  if (round_.in_stage_a && EnterStageB()) {
+    AppendRoundHashes(out);
+    return out.Finish();
+  }
+  FinishRound();
+  if (PrepareNextRound()) {
+    AppendRoundHashes(out);
+  } else {
+    AppendDelta(out);
+  }
+  return out.Finish();
+}
+
+void SyncServerEndpoint::AppendRoundHashes(BitWriter& out) {
+  const int cont_bits = EffectiveContinuationBits(config_, ledger_->round());
+  for (size_t id : round_.plan.continuation) {
+    Block& b = ledger_->block(id);
+    AdlerPair pair = TabledAdler::Hash(f_new_.subspan(b.offset, b.size));
+    out.WriteBits(TabledAdler::Truncate(pair, cont_bits), cont_bits);
+  }
+  for (size_t id : round_.plan.sent_global) {
+    Block& b = ledger_->block(id);
+    b.pair = TabledAdler::Hash(f_new_.subspan(b.offset, b.size));
+    b.pair_known = true;
+    out.WriteBits(TabledAdler::Truncate(b.pair, hash_bits_), hash_bits_);
+  }
+  for (size_t id : round_.plan.derived) {
+    Block& b = ledger_->block(id);
+    b.pair = TabledAdler::Hash(f_new_.subspan(b.offset, b.size));
+    b.pair_known = true;  // the client derives it; no bits on the wire
+  }
+}
+
+void SyncServerEndpoint::AppendDelta(BitWriter& out) {
+  Bytes ref = BuildReference(f_new_, *ledger_, /*client_side=*/false);
+  auto delta_or = DeltaEncode(config_.delta_codec, ref, f_new_);
+  // Both codecs only fail on invalid arguments, which cannot happen here.
+  Bytes delta = std::move(delta_or).value();
+  out.WriteVarint(delta.size());
+  out.WriteBytes(delta);
+  delta_payload_bytes_ = delta.size();
+  done_ = true;
+}
+
+// ---------------------------------------------------------------------
+// Client endpoint.
+// ---------------------------------------------------------------------
+
+Bytes SyncClientEndpoint::MakeRequest() {
+  ++client_msgs_;
+  Fingerprint fp = FileFingerprint(f_old_);
+  BitWriter out;
+  out.WriteBytes(ByteSpan(fp.data(), fp.size()));
+  out.WriteVarint(f_old_.size());
+  return out.Finish();
+}
+
+StatusOr<std::optional<Bytes>> SyncClientEndpoint::OnServerMessage(
+    ByteSpan msg) {
+  BitReader in(msg);
+  if (!started_) {
+    started_ = true;
+    FSYNC_ASSIGN_OR_RETURN(bool unchanged, in.ReadBit());
+    if (unchanged) {
+      FSYNC_ASSIGN_OR_RETURN(Bytes echo, in.ReadBytes(16));
+      Fingerprint own = FileFingerprint(f_old_);
+      if (!std::equal(own.begin(), own.end(), echo.begin())) {
+        return Status::DataLoss(
+            "session: unchanged reply does not match local file");
+      }
+      result_.assign(f_old_.begin(), f_old_.end());
+      unchanged_ = true;
+      done_ = true;
+      return std::optional<Bytes>();
+    }
+    FSYNC_ASSIGN_OR_RETURN(uint64_t n_new, in.ReadVarint());
+    if (n_new > (uint64_t{1} << 32)) {
+      return Status::DataLoss("session: implausible file size");
+    }
+    FSYNC_ASSIGN_OR_RETURN(Bytes fp, in.ReadBytes(16));
+    std::copy(fp.begin(), fp.end(), fp_new_.begin());
+
+    ledger_.emplace(n_new, f_old_.size(), config_);
+    hash_bits_ = SessionHashBits(f_old_.size(), config_);
+    map_alive_ = !ledger_->active().empty();
+    if (PrepareNextRound()) {
+      return ReadRoundAndReply(in);
+    }
+    FSYNC_RETURN_IF_ERROR(ReadDelta(in));
+    return std::optional<Bytes>();
+  }
+
+  // Verification results for the batch we just sent.
+  const VerifyConfig vc = EffectiveVerify(config_, ledger_->round());
+  std::vector<VerifyGroup> failed_multi;
+  for (const VerifyGroup& g : round_.pending_groups) {
+    FSYNC_ASSIGN_OR_RETURN(bool pass, in.ReadBit());
+    if (pass) {
+      for (size_t id : g.members) {
+        ledger_->Confirm(id, ledger_->block(id).match_pos);
+      }
+      if (!trace_.empty()) {
+        trace_.back().confirmed += static_cast<uint32_t>(g.members.size());
+      }
+    } else if (g.members.size() > 1) {
+      failed_multi.push_back(g);
+    }
+  }
+
+  if (!failed_multi.empty() && round_.batch < vc.max_batches &&
+      BudgetAllowsSalvage()) {
+    // Salvage: split the failed groups and send fresh hashes.
+    round_.pending_groups = SplitGroups(failed_multi);
+    ++round_.batch;
+    ++client_msgs_;
+    BitWriter reply;
+    uint64_t salt =
+        VerifySalt(ledger_->round(), round_.batch, round_.in_stage_a);
+    for (const VerifyGroup& g : round_.pending_groups) {
+      reply.WriteBits(GroupVerifyHash(f_old_, g.members, *ledger_,
+                                      /*client_side=*/true, vc.verify_bits,
+                                      salt),
+                      vc.verify_bits);
+    }
+    return std::optional<Bytes>(reply.Finish());
+  }
+
+  if (round_.in_stage_a && EnterStageB()) {
+    return ReadRoundAndReply(in);
+  }
+  FinishRound();
+  if (PrepareNextRound()) {
+    return ReadRoundAndReply(in);
+  }
+  FSYNC_RETURN_IF_ERROR(ReadDelta(in));
+  return std::optional<Bytes>();
+}
+
+Status SyncClientEndpoint::OnFallbackTransfer(ByteSpan msg) {
+  FSYNC_ASSIGN_OR_RETURN(Bytes full, Decompress(msg));
+  result_ = std::move(full);
+  needs_fallback_ = false;
+  done_ = true;
+  return Status::Ok();
+}
+
+StatusOr<std::optional<Bytes>> SyncClientEndpoint::ReadRoundAndReply(
+    BitReader& in) {
+  FSYNC_RETURN_IF_ERROR(ReadHashesAndMatch(in));
+  RecordTrace();
+
+  round_.matched_ids.clear();
+  round_.matched_is_cont.clear();
+  BitWriter reply;
+  for (size_t i = 0; i < round_.candidate_order.size(); ++i) {
+    size_t id = round_.candidate_order[i];
+    bool hit = ledger_->block(id).has_candidate;
+    reply.WriteBit(hit);
+    if (hit) {
+      round_.matched_ids.push_back(id);
+      round_.matched_is_cont.push_back(round_.candidate_is_cont[i]);
+    }
+  }
+  const VerifyConfig vc = EffectiveVerify(config_, ledger_->round());
+  round_.pending_groups =
+      ledger_->BuildGroups(round_.matched_ids, round_.matched_is_cont, vc);
+  round_.batch = 1;
+  uint64_t salt =
+      VerifySalt(ledger_->round(), round_.batch, round_.in_stage_a);
+  for (const VerifyGroup& g : round_.pending_groups) {
+    reply.WriteBits(GroupVerifyHash(f_old_, g.members, *ledger_,
+                                    /*client_side=*/true, vc.verify_bits,
+                                    salt),
+                    vc.verify_bits);
+  }
+  ++client_msgs_;
+  return std::optional<Bytes>(reply.Finish());
+}
+
+void SyncClientEndpoint::RecordTrace() {
+  RoundTrace t;
+  t.round = ledger_->round();
+  t.stage_a = round_.in_stage_a;
+  t.min_block = ~uint64_t{0};
+  t.continuation_hashes =
+      static_cast<uint32_t>(round_.plan.continuation.size());
+  t.global_hashes = static_cast<uint32_t>(round_.plan.sent_global.size());
+  t.derived_hashes = static_cast<uint32_t>(round_.plan.derived.size());
+  t.skipped_blocks = static_cast<uint32_t>(round_.plan.skipped.size());
+  for (size_t id : round_.candidate_order) {
+    const Block& b = ledger_->block(id);
+    t.min_block = std::min(t.min_block, b.size);
+    t.max_block = std::max(t.max_block, b.size);
+    t.candidates += b.has_candidate ? 1 : 0;
+  }
+  if (t.min_block == ~uint64_t{0}) {
+    t.min_block = 0;
+  }
+  trace_.push_back(t);
+}
+
+Status SyncClientEndpoint::ReadHashesAndMatch(BitReader& in) {
+  const int cont_bits = EffectiveContinuationBits(config_, ledger_->round());
+  // Continuation candidates: check the aligned extension positions.
+  for (size_t id : round_.plan.continuation) {
+    Block& b = ledger_->block(id);
+    b.has_candidate = false;
+    FSYNC_ASSIGN_OR_RETURN(uint64_t want, in.ReadBits(cont_bits));
+    auto try_pos = [&](uint64_t pos) {
+      if (b.has_candidate || pos + b.size > f_old_.size()) {
+        return;
+      }
+      AdlerPair p = TabledAdler::Hash(f_old_.subspan(pos, b.size));
+      if (TabledAdler::Truncate(p, cont_bits) == want) {
+        b.has_candidate = true;
+        b.match_pos = pos;
+      }
+    };
+    if (auto left = ledger_->ConfirmedEndingAt(b.offset)) {
+      uint64_t base = left->src + (left->end - left->begin);
+      for (int64_t r = 0; r <= config_.local_radius && !b.has_candidate;
+           ++r) {
+        try_pos(base + static_cast<uint64_t>(r));
+        if (r > 0 && base >= static_cast<uint64_t>(r)) {
+          try_pos(base - static_cast<uint64_t>(r));
+        }
+      }
+    }
+    if (auto right = ledger_->ConfirmedStartingAt(b.offset + b.size)) {
+      if (right->src >= b.size) {
+        uint64_t base = right->src - b.size;
+        for (int64_t r = 0; r <= config_.local_radius && !b.has_candidate;
+             ++r) {
+          try_pos(base + static_cast<uint64_t>(r));
+          if (r > 0 && base >= static_cast<uint64_t>(r)) {
+            try_pos(base - static_cast<uint64_t>(r));
+          }
+        }
+      }
+    }
+  }
+
+  // Global hashes: receive transmitted ones, derive suppressed ones.
+  for (size_t id : round_.plan.sent_global) {
+    Block& b = ledger_->block(id);
+    b.has_candidate = false;
+    FSYNC_ASSIGN_OR_RETURN(uint64_t value, in.ReadBits(hash_bits_));
+    b.pair = UnpackPair(static_cast<uint32_t>(value), hash_bits_);
+    b.pair_known = true;
+  }
+  for (size_t id : round_.plan.derived) {
+    Block& b = ledger_->block(id);
+    b.has_candidate = false;
+    const Block& left = ledger_->block(id - 1);
+    const Block& parent = ledger_->block(b.parent);
+    b.pair = TabledAdler::SplitRight(parent.pair, left.pair, b.size);
+    b.pair_known = true;
+  }
+  for (size_t id : round_.plan.skipped) {
+    ledger_->block(id).has_candidate = false;
+  }
+
+  // One rolling pass over F_old per distinct block size.
+  std::unordered_map<uint64_t, std::vector<size_t>> by_size;
+  for (size_t id : round_.plan.sent_global) {
+    by_size[ledger_->block(id).size].push_back(id);
+  }
+  for (size_t id : round_.plan.derived) {
+    by_size[ledger_->block(id).size].push_back(id);
+  }
+  for (auto& [size, ids] : by_size) {
+    if (size == 0 || size > f_old_.size()) {
+      continue;
+    }
+    std::unordered_multimap<uint32_t, size_t> table;
+    table.reserve(ids.size() * 2);
+    size_t unmatched = ids.size();
+    for (size_t id : ids) {
+      table.emplace(
+          TabledAdler::Truncate(ledger_->block(id).pair, hash_bits_), id);
+    }
+    TabledAdlerWindow window(f_old_.subspan(0, size));
+    for (uint64_t pos = 0;; ++pos) {
+      uint32_t key = TabledAdler::Truncate(window.pair(), hash_bits_);
+      auto [lo, hi] = table.equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        Block& b = ledger_->block(it->second);
+        if (!b.has_candidate) {
+          b.has_candidate = true;
+          b.match_pos = pos;
+          --unmatched;
+        }
+      }
+      if (unmatched == 0 || pos + size >= f_old_.size()) {
+        break;
+      }
+      window.Roll(f_old_[pos], f_old_[pos + size]);
+    }
+  }
+  return Status::Ok();
+}
+
+Status SyncClientEndpoint::ReadDelta(BitReader& in) {
+  FSYNC_ASSIGN_OR_RETURN(uint64_t len, in.ReadVarint());
+  FSYNC_ASSIGN_OR_RETURN(Bytes delta, in.ReadBytes(len));
+  Bytes ref = BuildReference(f_old_, *ledger_, /*client_side=*/true);
+  // A false verification (possible with very weak hash settings) makes
+  // the client's reference diverge from the server's; the decode may
+  // then fail or produce wrong bytes. Either way, fall back to a full
+  // transfer rather than reporting an error.
+  auto target_or = DeltaDecode(config_.delta_codec, ref, delta);
+  if (target_or.ok()) {
+    Fingerprint got = FileFingerprint(*target_or);
+    if (std::equal(got.begin(), got.end(), fp_new_.begin())) {
+      result_ = std::move(*target_or);
+      done_ = true;
+      return Status::Ok();
+    }
+  }
+  needs_fallback_ = true;
+  return Status::Ok();
+}
+
+}  // namespace fsx

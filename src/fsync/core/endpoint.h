@@ -1,0 +1,201 @@
+// Message-level protocol endpoints. These are the building blocks for
+// running the synchronization protocol over a real transport: each side
+// holds one endpoint, feeds it the peer's messages, and sends back the
+// returned payloads. SynchronizeFile (session.h) wires two endpoints
+// through the in-process SimulatedChannel; a network deployment would
+// frame the same messages over TCP.
+//
+// Wire protocol (all payloads bit-packed, see the design doc):
+//   client -> server   request: old-file fingerprint + size
+//   server -> client   round 1: unchanged flag | size+fingerprint+hashes
+//   client -> server   candidate bitmap + verification hashes
+//   server -> client   verification results [+ next hashes | delta]
+//   ... (repeat; salvage batches and two-phase rounds insert extra
+//        message pairs; both sides derive the schedule deterministically
+//        from the shared configuration, so no message types are needed)
+#ifndef FSYNC_CORE_ENDPOINT_H_
+#define FSYNC_CORE_ENDPOINT_H_
+
+#include <optional>
+#include <vector>
+
+#include "fsync/core/block_ledger.h"
+#include "fsync/core/config.h"
+#include "fsync/hash/fingerprint.h"
+#include "fsync/util/bit_io.h"
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Diagnostics for one protocol sub-round (stage A = continuation probes
+/// of a two-phase round). "Harvest rate" (paper Section 6.2) is
+/// confirmed / hashes_planned.
+struct RoundTrace {
+  int round = 0;            // ledger round index
+  bool stage_a = false;     // continuation-first stage A
+  uint64_t min_block = 0;   // smallest block hashed this sub-round
+  uint64_t max_block = 0;
+  uint32_t continuation_hashes = 0;
+  uint32_t global_hashes = 0;   // transmitted
+  uint32_t derived_hashes = 0;  // suppressed via decomposition
+  uint32_t skipped_blocks = 0;
+  uint32_t candidates = 0;  // hashes that found a match candidate
+  uint32_t confirmed = 0;   // candidates surviving verification
+
+  double HarvestRate() const {
+    uint32_t planned = continuation_hashes + global_hashes + derived_hashes;
+    return planned == 0 ? 0.0 : static_cast<double>(confirmed) / planned;
+  }
+};
+
+namespace core_internal {
+
+/// Shared per-round protocol progress; both endpoints advance one of
+/// these with identical rules so the wire carries only hash payloads.
+struct RoundState {
+  RoundPlan plan;                           // the active sub-round's plan
+  std::vector<size_t> candidate_order;      // wire order of candidates
+  std::vector<bool> candidate_is_cont;      // aligned with candidate_order
+  std::vector<size_t> matched_ids;          // candidates that found a match
+  std::vector<bool> matched_is_cont;        // aligned with matched_ids
+  std::vector<VerifyGroup> pending_groups;  // groups awaiting verification
+  int batch = 0;
+  // Two-phase (continuation-first) support: while stage A runs, the
+  // round's global candidates wait here for stage B.
+  bool in_stage_a = false;
+  std::vector<size_t> stage_b_sent;
+  std::vector<size_t> stage_b_derived;
+};
+
+/// Truncated-MD5 verification hash over the byte ranges of a group.
+uint64_t GroupVerifyHash(ByteSpan file, const std::vector<size_t>& members,
+                         const BlockLedger& ledger, bool client_side,
+                         int verify_bits, uint64_t salt);
+
+/// Builds the delta reference: the confirmed ranges' bytes in F_new order.
+/// `client_side` selects client (read F_old at range.src) or server
+/// (read F_new at range.begin) materialization.
+Bytes BuildReference(ByteSpan file, const BlockLedger& ledger,
+                     bool client_side);
+
+/// Control skeleton both endpoints share: round scheduling, stage
+/// transitions, and the roundtrip budget. The two sides must execute it
+/// identically -- that is what keeps offsets and groupings off the wire.
+class EndpointBase {
+ protected:
+  explicit EndpointBase(const SyncConfig& config) : config_(config) {}
+
+  /// Advances past rounds with no candidates. Returns true if a round
+  /// with candidates is ready (round_.plan filled), false when the map
+  /// phase is over.
+  bool PrepareNextRound();
+
+  /// Rebuilds the wire-order candidate bookkeeping from round_.plan.
+  void InstallCandidateOrder();
+
+  /// After stage A's verification, installs stage B (the round's global
+  /// hashes), dropping blocks whose sibling confirmed during stage A.
+  bool EnterStageB();
+
+  bool BudgetAllowsAnotherRound() const {
+    return config_.max_roundtrips == 0 ||
+           client_msgs_ + 1 < config_.max_roundtrips;
+  }
+  bool BudgetAllowsSalvage() const { return BudgetAllowsAnotherRound(); }
+
+  /// After the final batch of a round: move to the next round.
+  void FinishRound() { map_alive_ = ledger_->AdvanceRound(); }
+
+  const SyncConfig config_;
+  std::optional<BlockLedger> ledger_;
+  RoundState round_;
+  int hash_bits_ = 0;
+  bool map_alive_ = false;
+  int client_msgs_ = 0;  // client->server messages so far (both count)
+  int rounds_executed_ = 0;
+};
+
+}  // namespace core_internal
+
+/// Server side of one file synchronization: holds the *current* file.
+class SyncServerEndpoint : private core_internal::EndpointBase {
+ public:
+  /// `f_new` must outlive the endpoint (not copied).
+  SyncServerEndpoint(ByteSpan f_new, const SyncConfig& config)
+      : EndpointBase(config), f_new_(f_new) {}
+
+  /// Handles the client's initial request; returns the first server
+  /// message.
+  StatusOr<Bytes> OnRequest(ByteSpan msg);
+
+  /// Handles a round reply or a salvage batch; returns the response
+  /// (which may carry the next round's hashes or the final delta).
+  StatusOr<Bytes> OnClientMessage(ByteSpan msg);
+
+  /// Full-transfer payload after the client reports a reconstruction
+  /// failure (compressed current file).
+  Bytes OnFallbackRequest() const;
+
+  /// True once the unchanged short-circuit or the delta has been sent.
+  bool done() const { return done_; }
+  int rounds_executed() const { return rounds_executed_; }
+  uint64_t delta_payload_bytes() const { return delta_payload_bytes_; }
+
+ private:
+  StatusOr<Bytes> ProcessBatch(BitReader& in);
+  void AppendRoundHashes(BitWriter& out);
+  void AppendDelta(BitWriter& out);
+
+  ByteSpan f_new_;
+  uint64_t old_size_ = 0;
+  uint64_t delta_payload_bytes_ = 0;
+  bool done_ = false;
+};
+
+/// Client side of one file synchronization: holds the *outdated* file.
+class SyncClientEndpoint : private core_internal::EndpointBase {
+ public:
+  /// `f_old` must outlive the endpoint (not copied).
+  SyncClientEndpoint(ByteSpan f_old, const SyncConfig& config)
+      : EndpointBase(config), f_old_(f_old) {}
+
+  /// Builds the initial request message.
+  Bytes MakeRequest();
+
+  /// Processes a server message. Returns a reply to send, or nullopt when
+  /// the session is finished (check done() / needs_fallback()).
+  StatusOr<std::optional<Bytes>> OnServerMessage(ByteSpan msg);
+
+  /// After a fingerprint mismatch, applies the server's full transfer.
+  Status OnFallbackTransfer(ByteSpan msg);
+
+  bool done() const { return done_; }
+  bool unchanged() const { return unchanged_; }
+  bool needs_fallback() const { return needs_fallback_; }
+  const Bytes& result() const { return result_; }
+  const std::vector<RoundTrace>& trace() const { return trace_; }
+  int rounds_executed() const { return rounds_executed_; }
+  double confirmed_fraction() const {
+    return ledger_.has_value() ? ledger_->ConfirmedFraction() : 1.0;
+  }
+
+ private:
+  StatusOr<std::optional<Bytes>> ReadRoundAndReply(BitReader& in);
+  void RecordTrace();
+  Status ReadHashesAndMatch(BitReader& in);
+  Status ReadDelta(BitReader& in);
+
+  ByteSpan f_old_;
+  Fingerprint fp_new_{};
+  bool started_ = false;
+  bool done_ = false;
+  bool unchanged_ = false;
+  bool needs_fallback_ = false;
+  Bytes result_;
+  std::vector<RoundTrace> trace_;
+};
+
+}  // namespace fsx
+
+#endif  // FSYNC_CORE_ENDPOINT_H_

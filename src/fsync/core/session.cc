@@ -1,0 +1,86 @@
+#include "fsync/core/session.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "fsync/core/endpoint.h"
+
+namespace fsx {
+
+StatusOr<FileSyncResult> SynchronizeFile(ByteSpan f_old, ByteSpan f_new,
+                                         const SyncConfig& config,
+                                         SimulatedChannel& channel) {
+  using Dir = SimulatedChannel::Direction;
+  if (config.start_block_size == 0 || config.min_block_size == 0 ||
+      (config.start_block_size & (config.start_block_size - 1)) != 0) {
+    return Status::InvalidArgument(
+        "start_block_size must be a nonzero power of two");
+  }
+  if (config.min_continuation_block == 0 ||
+      config.min_continuation_block > config.min_block_size) {
+    return Status::InvalidArgument(
+        "min_continuation_block must be in [1, min_block_size]");
+  }
+  if (config.verify.verify_bits < 1 || config.verify.verify_bits > 64 ||
+      config.verify.max_batches < 1) {
+    return Status::InvalidArgument("bad verification configuration");
+  }
+
+  SyncClientEndpoint client(f_old, config);
+  SyncServerEndpoint server(f_new, config);
+  FileSyncResult result;
+
+  // Request.
+  channel.Send(Dir::kClientToServer, client.MakeRequest());
+  FSYNC_ASSIGN_OR_RETURN(Bytes req, channel.Receive(Dir::kClientToServer));
+  FSYNC_ASSIGN_OR_RETURN(Bytes server_msg, server.OnRequest(req));
+
+  // Map-construction + delta loop.
+  for (;;) {
+    channel.Send(Dir::kServerToClient, server_msg);
+    FSYNC_ASSIGN_OR_RETURN(Bytes msg, channel.Receive(Dir::kServerToClient));
+    FSYNC_ASSIGN_OR_RETURN(std::optional<Bytes> reply,
+                           client.OnServerMessage(msg));
+    if (!reply.has_value()) {
+      break;
+    }
+    channel.Send(Dir::kClientToServer, *reply);
+    FSYNC_ASSIGN_OR_RETURN(Bytes fwd, channel.Receive(Dir::kClientToServer));
+    FSYNC_ASSIGN_OR_RETURN(server_msg, server.OnClientMessage(fwd));
+  }
+  const uint64_t map_loop_s2c = channel.stats().server_to_client_bytes;
+  const uint64_t map_loop_c2s = channel.stats().client_to_server_bytes;
+
+  if (client.needs_fallback()) {
+    Bytes ask = {1};
+    channel.Send(Dir::kClientToServer, ask);
+    FSYNC_ASSIGN_OR_RETURN(Bytes ask_msg,
+                           channel.Receive(Dir::kClientToServer));
+    (void)ask_msg;
+    Bytes full = server.OnFallbackRequest();
+    channel.Send(Dir::kServerToClient, full);
+    FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,
+                           channel.Receive(Dir::kServerToClient));
+    FSYNC_RETURN_IF_ERROR(client.OnFallbackTransfer(full_msg));
+    result.fallback = true;
+  }
+
+  if (!client.done()) {
+    return Status::Internal("session ended without completion");
+  }
+  result.reconstructed = client.result();
+  result.stats = channel.stats();
+  result.unchanged = client.unchanged();
+  result.rounds = client.rounds_executed();
+  result.trace = client.trace();
+  result.confirmed_fraction = client.confirmed_fraction();
+  // Phase attribution: the delta rides in the final server message; the
+  // remainder of the loop traffic is map construction plus fixed headers.
+  result.delta_bytes = server.delta_payload_bytes();
+  result.map_server_to_client_bytes =
+      map_loop_s2c - std::min(map_loop_s2c, result.delta_bytes);
+  result.map_client_to_server_bytes = map_loop_c2s;
+  return result;
+}
+
+}  // namespace fsx

@@ -1,0 +1,43 @@
+// Single-file synchronization sessions: the multi-round map-construction
+// protocol (Section 5.6) followed by the delta phase, run between two
+// in-process endpoints over a SimulatedChannel with exact cost
+// accounting. For message-level endpoints usable over a real transport,
+// see fsync/core/endpoint.h.
+#ifndef FSYNC_CORE_SESSION_H_
+#define FSYNC_CORE_SESSION_H_
+
+#include <vector>
+
+#include "fsync/core/config.h"
+#include "fsync/core/endpoint.h"
+#include "fsync/net/channel.h"
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Outcome and cost breakdown of one file synchronization.
+struct FileSyncResult {
+  Bytes reconstructed;
+  TrafficStats stats;  // total session traffic (this file only)
+  uint64_t map_server_to_client_bytes = 0;
+  uint64_t map_client_to_server_bytes = 0;
+  uint64_t delta_bytes = 0;  // phase-2 payload (server -> client)
+  int rounds = 0;            // map-construction rounds executed
+  std::vector<RoundTrace> trace;  // one entry per protocol sub-round
+  double confirmed_fraction = 0.0;
+  bool unchanged = false;  // fingerprints matched; nothing transferred
+  bool fallback = false;   // hash failure forced a full transfer
+};
+
+/// Runs the full protocol between in-process endpoints over `channel`.
+/// On success the result's `reconstructed` equals `f_new` (guaranteed by
+/// the fingerprint check; a detected mismatch triggers the compressed
+/// full-transfer fallback, also through `channel`).
+StatusOr<FileSyncResult> SynchronizeFile(ByteSpan f_old, ByteSpan f_new,
+                                         const SyncConfig& config,
+                                         SimulatedChannel& channel);
+
+}  // namespace fsx
+
+#endif  // FSYNC_CORE_SESSION_H_

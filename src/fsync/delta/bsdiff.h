@@ -1,0 +1,26 @@
+// bsdiff-style delta codec (Percival): suffix-array matching with
+// *approximate* extension. Where zd/vcdiff emit exact copies plus
+// literals, bsdiff pairs each target region with a similar (not
+// necessarily identical) source region and stores the bytewise
+// difference, which is almost all zeros for executable-style data and
+// compresses extremely well. Sections (control triples, diff bytes,
+// extra bytes) are each compressed with the library's stream codec.
+// Included as a third delta family; excels when versions differ by many
+// small scattered byte changes.
+#ifndef FSYNC_DELTA_BSDIFF_H_
+#define FSYNC_DELTA_BSDIFF_H_
+
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Encodes `target` against `source`.
+StatusOr<Bytes> BsdiffEncode(ByteSpan source, ByteSpan target);
+
+/// Decodes a delta produced by BsdiffEncode.
+StatusOr<Bytes> BsdiffDecode(ByteSpan source, ByteSpan delta);
+
+}  // namespace fsx
+
+#endif  // FSYNC_DELTA_BSDIFF_H_

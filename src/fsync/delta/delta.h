@@ -1,0 +1,32 @@
+// Common delta-compression API. A delta encodes `target` relative to a
+// `reference` that the decoder also holds; file synchronization reduces to
+// delta compression once the map-construction phase has established the
+// common reference (paper Section 5.1).
+#ifndef FSYNC_DELTA_DELTA_H_
+#define FSYNC_DELTA_DELTA_H_
+
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Available delta codecs.
+enum class DeltaCodec {
+  kZd,      // LZ-over-reference with Huffman coding (zdelta-family)
+  kVcdiff,  // byte-aligned ADD/COPY/RUN instruction stream (vcdiff-family)
+  kBsdiff,  // suffix-array approximate matching, control/diff/extra
+            // sections (bsdiff-family)
+};
+
+/// Encodes `target` against `reference` with the chosen codec.
+StatusOr<Bytes> DeltaEncode(DeltaCodec codec, ByteSpan reference,
+                            ByteSpan target);
+
+/// Decodes a delta produced by DeltaEncode with the same codec and
+/// reference; returns the reconstructed target.
+StatusOr<Bytes> DeltaDecode(DeltaCodec codec, ByteSpan reference,
+                            ByteSpan delta);
+
+}  // namespace fsx
+
+#endif  // FSYNC_DELTA_DELTA_H_

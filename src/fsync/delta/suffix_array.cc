@@ -1,0 +1,94 @@
+#include "fsync/delta/suffix_array.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fsx {
+
+SuffixArray::SuffixArray(ByteSpan data) : data_(data) {
+  const size_t n = data.size();
+  sa_.resize(n);
+  std::iota(sa_.begin(), sa_.end(), 0);
+  if (n == 0) {
+    return;
+  }
+
+  // Prefix doubling: rank[i] is the order of suffix i by its first k
+  // characters; each round doubles k using (rank[i], rank[i+k]) pairs.
+  std::vector<uint32_t> rank(n);
+  std::vector<uint32_t> tmp(n);
+  for (size_t i = 0; i < n; ++i) {
+    rank[i] = data[i];
+  }
+  for (size_t k = 1;; k *= 2) {
+    auto pair_of = [&](uint32_t i) {
+      uint32_t second = i + k < n ? rank[i + k] + 1 : 0;
+      return (static_cast<uint64_t>(rank[i]) << 32) | second;
+    };
+    std::sort(sa_.begin(), sa_.end(), [&](uint32_t a, uint32_t b) {
+      return pair_of(a) < pair_of(b);
+    });
+    tmp[sa_[0]] = 0;
+    for (size_t i = 1; i < n; ++i) {
+      tmp[sa_[i]] = tmp[sa_[i - 1]] +
+                    (pair_of(sa_[i - 1]) != pair_of(sa_[i]) ? 1 : 0);
+    }
+    rank = tmp;
+    if (rank[sa_[n - 1]] == n - 1) {
+      break;  // all suffixes distinct
+    }
+  }
+}
+
+size_t SuffixArray::LongestMatch(ByteSpan pattern, size_t& pos) const {
+  pos = 0;
+  if (sa_.empty() || pattern.empty()) {
+    return 0;
+  }
+  // Binary search for the suffix range sharing the longest prefix with
+  // `pattern`; standard bsdiff-style search keeping the best seen match.
+  auto common = [&](uint32_t suffix) {
+    size_t len = 0;
+    size_t max = std::min(pattern.size(), data_.size() - suffix);
+    while (len < max && data_[suffix + len] == pattern[len]) {
+      ++len;
+    }
+    return len;
+  };
+  size_t lo = 0;
+  size_t hi = sa_.size() - 1;
+  size_t best_len = common(sa_[lo]);
+  pos = sa_[lo];
+  size_t hi_len = common(sa_[hi]);
+  if (hi_len > best_len) {
+    best_len = hi_len;
+    pos = sa_[hi];
+  }
+  while (hi - lo > 1) {
+    size_t mid = lo + (hi - lo) / 2;
+    uint32_t suffix = sa_[mid];
+    size_t len = common(suffix);
+    if (len > best_len) {
+      best_len = len;
+      pos = suffix;
+    }
+    // Decide the half by comparing at the first mismatch.
+    size_t max = std::min(pattern.size(), data_.size() - suffix);
+    bool go_right;
+    if (len == max) {
+      // Suffix is a prefix of the pattern (or vice versa): pattern sorts
+      // after a shorter suffix.
+      go_right = len < pattern.size();
+    } else {
+      go_right = data_[suffix + len] < pattern[len];
+    }
+    if (go_right) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return best_len;
+}
+
+}  // namespace fsx

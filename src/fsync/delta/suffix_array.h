@@ -1,0 +1,36 @@
+// Suffix array construction and longest-match search, the index behind
+// the bsdiff-style delta codec. Prefix-doubling construction
+// (O(n log^2 n), simple and cache-friendly at our scale).
+#ifndef FSYNC_DELTA_SUFFIX_ARRAY_H_
+#define FSYNC_DELTA_SUFFIX_ARRAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// Suffix array over a byte buffer with longest-match queries.
+class SuffixArray {
+ public:
+  /// Builds the index (the data is referenced, not copied; it must
+  /// outlive the SuffixArray).
+  explicit SuffixArray(ByteSpan data);
+
+  /// Longest common prefix between `pattern` and any suffix of the
+  /// indexed data. Returns the match length and sets `pos` to the start
+  /// of one best-matching suffix (0 when the length is 0).
+  size_t LongestMatch(ByteSpan pattern, size_t& pos) const;
+
+  /// The raw suffix order (for tests).
+  const std::vector<uint32_t>& order() const { return sa_; }
+
+ private:
+  ByteSpan data_;
+  std::vector<uint32_t> sa_;
+};
+
+}  // namespace fsx
+
+#endif  // FSYNC_DELTA_SUFFIX_ARRAY_H_

@@ -1,0 +1,23 @@
+// vcdiff-family delta codec (Korn & Vo, RFC 3284): a byte-aligned stream of
+// ADD/RUN/COPY instructions over a single window, with the RFC's address
+// caches (near + same). Simplifications vs the RFC: no combined-instruction
+// code table and no secondary compressors; each instruction is one opcode
+// byte plus varint size. This keeps the family's characteristic behaviour
+// (byte-aligned, cache-addressed copies) as the paper's second baseline.
+#ifndef FSYNC_DELTA_VCDIFF_H_
+#define FSYNC_DELTA_VCDIFF_H_
+
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Encodes `target` against `source`.
+StatusOr<Bytes> VcdiffEncode(ByteSpan source, ByteSpan target);
+
+/// Decodes a vcdiff delta produced by VcdiffEncode.
+StatusOr<Bytes> VcdiffDecode(ByteSpan source, ByteSpan delta);
+
+}  // namespace fsx
+
+#endif  // FSYNC_DELTA_VCDIFF_H_

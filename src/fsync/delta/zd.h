@@ -1,0 +1,31 @@
+// zdelta-style delta compressor: LZ parsing where copies may come from the
+// reference file (at any offset, any length) or from already-produced
+// target bytes, followed by Huffman entropy coding of ops, lengths, and
+// addresses. Reference copy addresses are coded relative to a moving
+// "expected position" pointer, which makes sequentially-continuing copies
+// nearly free -- the trick that lets delta compressors exploit long runs of
+// unchanged content.
+#ifndef FSYNC_DELTA_ZD_H_
+#define FSYNC_DELTA_ZD_H_
+
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Tuning knobs for the zd matcher.
+struct ZdParams {
+  uint32_t max_chain = 64;  // hash-chain probes per candidate source
+  uint32_t min_match = 4;   // shortest copy worth encoding
+};
+
+/// Encodes `target` against `reference`.
+StatusOr<Bytes> ZdEncode(ByteSpan reference, ByteSpan target,
+                         const ZdParams& params = {});
+
+/// Decodes a zd delta; `reference` must equal the encoder's reference.
+StatusOr<Bytes> ZdDecode(ByteSpan reference, ByteSpan delta);
+
+}  // namespace fsx
+
+#endif  // FSYNC_DELTA_ZD_H_

@@ -1,0 +1,9 @@
+#include "fsync/hash/fingerprint.h"
+
+#include "fsync/hash/md5.h"
+
+namespace fsx {
+
+Fingerprint FileFingerprint(ByteSpan data) { return Md5::Hash(data); }
+
+}  // namespace fsx

@@ -1,0 +1,23 @@
+// Whole-file fingerprints. Each synchronization exchanges one strong 16-byte
+// fingerprint per file up front; it detects unchanged files (skip) and, at
+// the end, the improbable failure of all block hashes (retry by full
+// transfer), exactly as the paper's prototype does.
+#ifndef FSYNC_HASH_FINGERPRINT_H_
+#define FSYNC_HASH_FINGERPRINT_H_
+
+#include <array>
+#include <cstdint>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// 16-byte strong file fingerprint (MD5-based).
+using Fingerprint = std::array<uint8_t, 16>;
+
+/// Computes the fingerprint of `data`.
+Fingerprint FileFingerprint(ByteSpan data);
+
+}  // namespace fsx
+
+#endif  // FSYNC_HASH_FINGERPRINT_H_

@@ -1,0 +1,60 @@
+#include "fsync/hash/karp_rabin.h"
+
+#include <cassert>
+
+namespace fsx {
+
+namespace {
+
+constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
+constexpr uint64_t kBase = 0x1FFB2D5A57ULL;  // fixed odd base < p
+
+// (x * y) mod (2^61 - 1) using 128-bit intermediate.
+inline uint64_t MulMod(uint64_t x, uint64_t y) {
+  unsigned __int128 z = static_cast<unsigned __int128>(x) * y;
+  uint64_t lo = static_cast<uint64_t>(z & kPrime);
+  uint64_t hi = static_cast<uint64_t>(z >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kPrime) {
+    r -= kPrime;
+  }
+  return r;
+}
+
+inline uint64_t AddMod(uint64_t x, uint64_t y) {
+  uint64_t r = x + y;
+  if (r >= kPrime) {
+    r -= kPrime;
+  }
+  return r;
+}
+
+inline uint64_t SubMod(uint64_t x, uint64_t y) {
+  return x >= y ? x - y : x + kPrime - y;
+}
+
+}  // namespace
+
+uint64_t KarpRabin::Hash(ByteSpan block) {
+  uint64_t h = 0;
+  for (uint8_t c : block) {
+    h = AddMod(MulMod(h, kBase), c + 1);
+  }
+  return h;
+}
+
+KarpRabin::KarpRabin(ByteSpan window) {
+  value_ = Hash(window);
+  top_power_ = 1;
+  for (size_t i = 0; i + 1 < window.size(); ++i) {
+    top_power_ = MulMod(top_power_, kBase);
+  }
+}
+
+void KarpRabin::Roll(uint8_t out, uint8_t in) {
+  uint64_t without_out =
+      SubMod(value_, MulMod(top_power_, static_cast<uint64_t>(out) + 1));
+  value_ = AddMod(MulMod(without_out, kBase), static_cast<uint64_t>(in) + 1);
+}
+
+}  // namespace fsx

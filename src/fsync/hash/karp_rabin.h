@@ -1,0 +1,40 @@
+// Karp-Rabin polynomial rolling fingerprint (mod 2^61 - 1). Used as an
+// alternative candidate hash (stronger mixing than tabled Adler, but not
+// decomposable) and by the content-defined chunking utilities.
+#ifndef FSYNC_HASH_KARP_RABIN_H_
+#define FSYNC_HASH_KARP_RABIN_H_
+
+#include <cstdint>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// Rolling polynomial hash: H(s) = sum_i s_i * base^(L-1-i) mod (2^61-1).
+class KarpRabin {
+ public:
+  /// One-shot fingerprint of `block`.
+  static uint64_t Hash(ByteSpan block);
+
+  /// Initializes a rolling window over `window`.
+  explicit KarpRabin(ByteSpan window);
+
+  /// Slides by one byte.
+  void Roll(uint8_t out, uint8_t in);
+
+  /// Current fingerprint.
+  uint64_t value() const { return value_; }
+
+  /// Truncates `value` to `num_bits` low bits (num_bits in [1, 61]).
+  static uint64_t Truncate(uint64_t value, int num_bits) {
+    return num_bits >= 61 ? value : (value & ((uint64_t{1} << num_bits) - 1));
+  }
+
+ private:
+  uint64_t value_ = 0;
+  uint64_t top_power_ = 1;  // base^(window_size-1) mod p
+};
+
+}  // namespace fsx
+
+#endif  // FSYNC_HASH_KARP_RABIN_H_

@@ -1,0 +1,145 @@
+#include "fsync/hash/md4.h"
+
+#include <cstring>
+
+namespace fsx {
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+inline uint32_t F(uint32_t x, uint32_t y, uint32_t z) {
+  return (x & y) | (~x & z);
+}
+inline uint32_t G(uint32_t x, uint32_t y, uint32_t z) {
+  return (x & y) | (x & z) | (y & z);
+}
+inline uint32_t H(uint32_t x, uint32_t y, uint32_t z) {
+  return x ^ y ^ z;
+}
+
+}  // namespace
+
+Md4::Md4() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xEFCDAB89;
+  state_[2] = 0x98BADCFE;
+  state_[3] = 0x10325476;
+}
+
+void Md4::Compress(const uint8_t block[64]) {
+  uint32_t x[16];
+  for (int i = 0; i < 16; ++i) {
+    x[i] = static_cast<uint32_t>(block[4 * i]) |
+           (static_cast<uint32_t>(block[4 * i + 1]) << 8) |
+           (static_cast<uint32_t>(block[4 * i + 2]) << 16) |
+           (static_cast<uint32_t>(block[4 * i + 3]) << 24);
+  }
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+
+  auto round1 = [&](uint32_t& w, uint32_t xx, uint32_t yy, uint32_t zz,
+                    int k, int s) { w = Rotl32(w + F(xx, yy, zz) + x[k], s); };
+  auto round2 = [&](uint32_t& w, uint32_t xx, uint32_t yy, uint32_t zz,
+                    int k, int s) {
+    w = Rotl32(w + G(xx, yy, zz) + x[k] + 0x5A827999u, s);
+  };
+  auto round3 = [&](uint32_t& w, uint32_t xx, uint32_t yy, uint32_t zz,
+                    int k, int s) {
+    w = Rotl32(w + H(xx, yy, zz) + x[k] + 0x6ED9EBA1u, s);
+  };
+
+  // Round 1.
+  for (int i = 0; i < 16; i += 4) {
+    round1(a, b, c, d, i + 0, 3);
+    round1(d, a, b, c, i + 1, 7);
+    round1(c, d, a, b, i + 2, 11);
+    round1(b, c, d, a, i + 3, 19);
+  }
+  // Round 2.
+  for (int i = 0; i < 4; ++i) {
+    round2(a, b, c, d, i + 0, 3);
+    round2(d, a, b, c, i + 4, 5);
+    round2(c, d, a, b, i + 8, 9);
+    round2(b, c, d, a, i + 12, 13);
+  }
+  // Round 3.
+  static constexpr int kOrder3[] = {0, 8, 4, 12, 2, 10, 6, 14,
+                                    1, 9, 5, 13, 3, 11, 7, 15};
+  for (int i = 0; i < 16; i += 4) {
+    round3(a, b, c, d, kOrder3[i + 0], 3);
+    round3(d, a, b, c, kOrder3[i + 1], 9);
+    round3(c, d, a, b, kOrder3[i + 2], 11);
+    round3(b, c, d, a, kOrder3[i + 3], 15);
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md4::Update(ByteSpan data) {
+  length_ += data.size();
+  size_t pos = 0;
+  if (buf_len_ > 0) {
+    size_t take = std::min(data.size(), 64 - buf_len_);
+    std::memcpy(buf_ + buf_len_, data.data(), take);
+    buf_len_ += take;
+    pos = take;
+    if (buf_len_ == 64) {
+      Compress(buf_);
+      buf_len_ = 0;
+    }
+  }
+  while (pos + 64 <= data.size()) {
+    Compress(data.data() + pos);
+    pos += 64;
+  }
+  if (pos < data.size()) {
+    std::memcpy(buf_, data.data() + pos, data.size() - pos);
+    buf_len_ = data.size() - pos;
+  }
+}
+
+Md4Digest Md4::Finish() {
+  uint64_t bit_len = length_ * 8;
+  uint8_t pad[72] = {0x80};
+  size_t pad_len = (buf_len_ < 56) ? (56 - buf_len_) : (120 - buf_len_);
+  Update(ByteSpan(pad, pad_len));
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(bit_len >> (8 * i));
+  }
+  Update(ByteSpan(len_bytes, 8));
+
+  Md4Digest out;
+  for (int i = 0; i < 4; ++i) {
+    out[4 * i] = static_cast<uint8_t>(state_[i]);
+    out[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(state_[i] >> 24);
+  }
+  return out;
+}
+
+Md4Digest Md4::Hash(ByteSpan data) {
+  Md4 h;
+  h.Update(data);
+  return h.Finish();
+}
+
+uint64_t Md4::HashBits(ByteSpan data, int num_bits) {
+  Md4Digest d = Hash(data);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(d[i]) << (8 * i);
+  }
+  if (num_bits >= 64) {
+    return v;
+  }
+  return v & ((uint64_t{1} << num_bits) - 1);
+}
+
+}  // namespace fsx

@@ -1,0 +1,47 @@
+// MD4 message digest (RFC 1320). rsync's strong per-block checksum uses
+// (truncated) MD4; we implement it from scratch and validate against the
+// RFC test vectors.
+#ifndef FSYNC_HASH_MD4_H_
+#define FSYNC_HASH_MD4_H_
+
+#include <array>
+#include <cstdint>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// 16-byte MD4 digest.
+using Md4Digest = std::array<uint8_t, 16>;
+
+/// Incremental MD4 hasher.
+class Md4 {
+ public:
+  Md4();
+
+  /// Absorbs `data`. May be called repeatedly.
+  void Update(ByteSpan data);
+
+  /// Finalizes and returns the digest. The hasher must not be reused after.
+  Md4Digest Finish();
+
+  /// One-shot convenience.
+  static Md4Digest Hash(ByteSpan data);
+
+  /// One-shot digest truncated to the low `num_bits` bits (num_bits <= 64),
+  /// taken from the leading digest bytes (little-endian). Used for the
+  /// short strong checksums the paper sends per block.
+  static uint64_t HashBits(ByteSpan data, int num_bits);
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  uint32_t state_[4];
+  uint64_t length_ = 0;  // total bytes absorbed
+  uint8_t buf_[64];
+  size_t buf_len_ = 0;
+};
+
+}  // namespace fsx
+
+#endif  // FSYNC_HASH_MD4_H_

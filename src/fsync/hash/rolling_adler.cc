@@ -1,0 +1,34 @@
+#include "fsync/hash/rolling_adler.h"
+
+namespace fsx {
+
+uint32_t RsyncWeakChecksum(ByteSpan block) {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  size_t n = block.size();
+  for (size_t i = 0; i < n; ++i) {
+    a += block[i];
+    b += static_cast<uint32_t>(n - i) * block[i];
+  }
+  return ((b & 0xFFFF) << 16) | (a & 0xFFFF);
+}
+
+RollingAdler::RollingAdler(ByteSpan window) {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  size_t n = window.size();
+  for (size_t i = 0; i < n; ++i) {
+    a += window[i];
+    b += static_cast<uint32_t>(n - i) * window[i];
+  }
+  a_ = static_cast<uint16_t>(a);
+  b_ = static_cast<uint16_t>(b);
+  window_size_ = static_cast<uint32_t>(n);
+}
+
+void RollingAdler::Roll(uint8_t out, uint8_t in) {
+  a_ = static_cast<uint16_t>(a_ - out + in);
+  b_ = static_cast<uint16_t>(b_ - window_size_ * out + a_);
+}
+
+}  // namespace fsx

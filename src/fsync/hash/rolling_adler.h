@@ -1,0 +1,45 @@
+// rsync's weak rolling checksum (Tridgell/MacKerras variant of Adler-32).
+//
+//   a(k,l) = sum_{i=k}^{l} X_i                 mod 2^16
+//   b(k,l) = sum_{i=k}^{l} (l - i + 1) * X_i   mod 2^16
+//   s      = a + 2^16 * b
+//
+// The checksum of window [k+1, l+1] is computable in O(1) from the checksum
+// of [k, l], which lets the receiver test a block hash against every byte
+// offset of its own file in one linear pass.
+#ifndef FSYNC_HASH_ROLLING_ADLER_H_
+#define FSYNC_HASH_ROLLING_ADLER_H_
+
+#include <cstdint>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// One-shot rsync weak checksum of `block`.
+uint32_t RsyncWeakChecksum(ByteSpan block);
+
+/// Maintains the rsync weak checksum of a sliding window.
+class RollingAdler {
+ public:
+  /// Initializes over `window` (the first window of the scan).
+  explicit RollingAdler(ByteSpan window);
+
+  /// Slides the window one byte: removes `out` (the old first byte) and
+  /// appends `in`.
+  void Roll(uint8_t out, uint8_t in);
+
+  /// Current 32-bit checksum value.
+  uint32_t value() const {
+    return (static_cast<uint32_t>(b_) << 16) | a_;
+  }
+
+ private:
+  uint16_t a_ = 0;
+  uint16_t b_ = 0;
+  uint32_t window_size_ = 0;
+};
+
+}  // namespace fsx
+
+#endif  // FSYNC_HASH_ROLLING_ADLER_H_

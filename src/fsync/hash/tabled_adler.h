@@ -1,0 +1,81 @@
+// The paper's "modified Adler" hash: a rolling hash that is also composable
+// and decomposable, so the hash of a right sibling block can be derived from
+// the hashes of the parent block and the left sibling, halving the bits the
+// server must transmit per level of the recursive splitting (Section 5.5).
+//
+// Definition over a block s[0..L):
+//   a(s) = sum_i T[s_i]              mod 2^16
+//   b(s) = sum_i (L - i) * T[s_i]    mod 2^16
+// where T is a fixed pseudo-random byte-substitution table that defeats the
+// plain Adler checksum's weakness on low-entropy and permuted inputs.
+//
+// Identities (parent p = left l ++ right r, |r| = n):
+//   a(p) = a(l) + a(r)
+//   b(p) = b(l) + n * a(l) + b(r)
+// These are linear, so they also hold modulo 2^k for any k <= 16: truncating
+// a transmitted hash to its low-order bits preserves decomposability
+// ("bit-prefix decomposable" in the paper's terms).
+#ifndef FSYNC_HASH_TABLED_ADLER_H_
+#define FSYNC_HASH_TABLED_ADLER_H_
+
+#include <cstdint>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// The (a, b) state of the tabled-Adler hash of one block.
+struct AdlerPair {
+  uint16_t a = 0;
+  uint16_t b = 0;
+
+  friend bool operator==(const AdlerPair&, const AdlerPair&) = default;
+};
+
+/// Namespace-style collection of tabled-Adler operations.
+class TabledAdler {
+ public:
+  /// Full-width hash of `block`.
+  static AdlerPair Hash(ByteSpan block);
+
+  /// Hash of the concatenation left++right. `right_len` is |right|.
+  static AdlerPair Compose(AdlerPair left, AdlerPair right, size_t right_len);
+
+  /// Hash of the right sibling given parent = left ++ right.
+  static AdlerPair SplitRight(AdlerPair parent, AdlerPair left,
+                              size_t right_len);
+
+  /// Hash of the left sibling given parent = left ++ right.
+  static AdlerPair SplitLeft(AdlerPair parent, AdlerPair right,
+                             size_t right_len);
+
+  /// Packs `pair` into a `num_bits`-wide value (num_bits in [1, 32]):
+  /// the low ceil(n/2) bits of b concatenated above the low floor(n/2) bits
+  /// of a. Truncations of both components are linear, so packed values of
+  /// derived (composed/decomposed) pairs still agree when widths match.
+  static uint32_t Truncate(AdlerPair pair, int num_bits);
+
+  /// The byte-substitution table (exposed for tests).
+  static const uint16_t* SubstitutionTable();
+};
+
+/// Rolling tabled-Adler over a fixed-size window.
+class TabledAdlerWindow {
+ public:
+  /// Initializes over `window`, which defines the window size.
+  explicit TabledAdlerWindow(ByteSpan window);
+
+  /// Slides by one byte: drops `out` (old first byte), appends `in`.
+  void Roll(uint8_t out, uint8_t in);
+
+  /// Current hash pair.
+  AdlerPair pair() const { return pair_; }
+
+ private:
+  AdlerPair pair_;
+  uint32_t window_size_ = 0;
+};
+
+}  // namespace fsx
+
+#endif  // FSYNC_HASH_TABLED_ADLER_H_

@@ -1,0 +1,64 @@
+#include "fsync/net/channel.h"
+
+#include <cassert>
+
+namespace fsx {
+
+namespace {
+
+// Length of the varint framing prefix for a payload of `n` bytes.
+uint64_t FramingBytes(uint64_t n) {
+  uint64_t len = 1;
+  while (n >= 0x80) {
+    n >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace
+
+void SimulatedChannel::Send(Direction dir, ByteSpan payload) {
+  uint64_t wire = payload.size() + FramingBytes(payload.size());
+  if (dir == Direction::kClientToServer) {
+    stats_.client_to_server_bytes += wire;
+    to_server_.emplace_back(payload.begin(), payload.end());
+    last_dir_ = dir;
+  } else {
+    stats_.server_to_client_bytes += wire;
+    to_client_.emplace_back(payload.begin(), payload.end());
+    // A server->client message following client->server traffic completes
+    // one request/response cycle.
+    if (last_dir_ == Direction::kClientToServer) {
+      ++stats_.roundtrips;
+    }
+    last_dir_ = dir;
+  }
+}
+
+StatusOr<Bytes> SimulatedChannel::Receive(Direction dir) {
+  auto& queue =
+      dir == Direction::kClientToServer ? to_server_ : to_client_;
+  if (queue.empty()) {
+    return Status::FailedPrecondition("channel: no pending message");
+  }
+  Bytes msg = std::move(queue.front());
+  queue.pop_front();
+  if (tamper_) {
+    tamper_(dir, msg);
+  }
+  return msg;
+}
+
+bool SimulatedChannel::HasPending(Direction dir) const {
+  return dir == Direction::kClientToServer ? !to_server_.empty()
+                                           : !to_client_.empty();
+}
+
+void SimulatedChannel::ResetStats() {
+  assert(to_server_.empty() && to_client_.empty());
+  stats_ = TrafficStats{};
+  last_dir_ = Direction::kServerToClient;
+}
+
+}  // namespace fsx

@@ -1,0 +1,89 @@
+// Simulated communication substrate. The paper evaluates protocols by bytes
+// sent in each direction and by roundtrip count; SimulatedChannel carries
+// framed messages between an in-process client and server while recording
+// exactly those quantities. LinkModel converts the traffic into transfer
+// time for a configurable (possibly asymmetric) link.
+#ifndef FSYNC_NET_CHANNEL_H_
+#define FSYNC_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Traffic accounting for one synchronization session.
+struct TrafficStats {
+  uint64_t client_to_server_bytes = 0;
+  uint64_t server_to_client_bytes = 0;
+  uint64_t roundtrips = 0;  // direction reversals / 2, see Channel
+
+  uint64_t total_bytes() const {
+    return client_to_server_bytes + server_to_client_bytes;
+  }
+};
+
+/// In-process duplex message channel with byte and roundtrip accounting.
+///
+/// Protocol code runs client and server as coroutine-style steps in one
+/// process: one party Sends, the other Receives. Messages are queued per
+/// direction. A roundtrip is counted each time the flow switches from
+/// client->server back to client (i.e. one full request/response cycle).
+class SimulatedChannel {
+ public:
+  enum class Direction { kClientToServer, kServerToClient };
+
+  /// Enqueues a message. Adds framing cost (varint length prefix) to the
+  /// byte accounting so protocols cannot hide message boundaries for free.
+  void Send(Direction dir, ByteSpan payload);
+
+  /// Dequeues the oldest message in `dir`. Fails if none is pending.
+  StatusOr<Bytes> Receive(Direction dir);
+
+  /// True if a message is waiting in `dir`.
+  bool HasPending(Direction dir) const;
+
+  const TrafficStats& stats() const { return stats_; }
+
+  /// Resets traffic counters (queues must be empty).
+  void ResetStats();
+
+  /// Test hook: every queued message passes through `tamper` before
+  /// delivery (fault injection for robustness tests). The byte accounting
+  /// reflects the original payload.
+  void SetTamper(std::function<void(Direction, Bytes&)> tamper) {
+    tamper_ = std::move(tamper);
+  }
+
+ private:
+  std::function<void(Direction, Bytes&)> tamper_;
+  std::deque<Bytes> to_server_;
+  std::deque<Bytes> to_client_;
+  TrafficStats stats_;
+  Direction last_dir_ = Direction::kServerToClient;
+};
+
+/// Link cost model: seconds to complete a session's traffic over a link
+/// with the given bandwidths and per-roundtrip latency.
+struct LinkModel {
+  double downstream_bytes_per_sec = 128 * 1024;  // server -> client
+  double upstream_bytes_per_sec = 128 * 1024;    // client -> server
+  double roundtrip_latency_sec = 0.1;
+
+  /// Transfer time for `stats`, assuming directions do not overlap (the
+  /// conservative model for a request/response protocol).
+  double TransferSeconds(const TrafficStats& stats) const {
+    return static_cast<double>(stats.server_to_client_bytes) /
+               downstream_bytes_per_sec +
+           static_cast<double>(stats.client_to_server_bytes) /
+               upstream_bytes_per_sec +
+           static_cast<double>(stats.roundtrips) * roundtrip_latency_sec;
+  }
+};
+
+}  // namespace fsx
+
+#endif  // FSYNC_NET_CHANNEL_H_

@@ -1,0 +1,195 @@
+#include "fsync/rsync/inplace.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <numeric>
+
+namespace fsx {
+
+namespace {
+
+struct Interval {
+  uint64_t begin = 0;
+  uint64_t end = 0;  // exclusive
+
+  bool Overlaps(const Interval& o) const {
+    return begin < o.end && o.begin < end;
+  }
+};
+
+Interval SourceOf(const ReconstructCommand& c) {
+  return {c.source_offset, c.source_offset + c.length};
+}
+
+Interval TargetOf(const ReconstructCommand& c) {
+  uint64_t len =
+      c.kind == ReconstructCommand::kCopy ? c.length : c.literal.size();
+  return {c.target_offset, c.target_offset + len};
+}
+
+}  // namespace
+
+StatusOr<InPlaceResult> InPlaceReconstruct(
+    ByteSpan outdated, std::vector<ReconstructCommand> commands,
+    uint64_t new_size) {
+  const size_t n = commands.size();
+
+  // Validate tiling and copy ranges.
+  {
+    std::vector<Interval> targets;
+    targets.reserve(n);
+    uint64_t covered = 0;
+    for (const ReconstructCommand& c : commands) {
+      Interval t = TargetOf(c);
+      if (t.end > new_size) {
+        return Status::InvalidArgument("in-place: command past new size");
+      }
+      if (c.kind == ReconstructCommand::kCopy &&
+          c.source_offset + c.length > outdated.size()) {
+        return Status::InvalidArgument("in-place: copy source out of range");
+      }
+      covered += t.end - t.begin;
+      targets.push_back(t);
+    }
+    std::sort(targets.begin(), targets.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.begin < b.begin;
+              });
+    for (size_t i = 0; i + 1 < targets.size(); ++i) {
+      if (targets[i].end > targets[i + 1].begin) {
+        return Status::InvalidArgument("in-place: overlapping targets");
+      }
+    }
+    if (covered != new_size) {
+      return Status::InvalidArgument("in-place: commands do not tile output");
+    }
+  }
+
+  // Copies sorted by source offset for overlap queries.
+  std::vector<size_t> copies_by_source;
+  for (size_t i = 0; i < n; ++i) {
+    if (commands[i].kind == ReconstructCommand::kCopy &&
+        commands[i].length > 0) {
+      copies_by_source.push_back(i);
+    }
+  }
+  std::sort(copies_by_source.begin(), copies_by_source.end(),
+            [&](size_t a, size_t b) {
+              return commands[a].source_offset < commands[b].source_offset;
+            });
+
+  // Arc u -> v means: command u's target overlaps copy v's source, so v
+  // must execute before u. in_degree[u] counts pending such v.
+  std::vector<std::vector<size_t>> blocked_by_copy(n);  // copy v -> users u
+  std::vector<uint32_t> in_degree(n, 0);
+  for (size_t u = 0; u < n; ++u) {
+    Interval t = TargetOf(commands[u]);
+    if (t.begin == t.end) {
+      continue;
+    }
+    // Find copies whose source interval overlaps t.
+    for (size_t v : copies_by_source) {
+      Interval s = SourceOf(commands[v]);
+      if (s.begin >= t.end) {
+        break;
+      }
+      if (v != u && s.Overlaps(t)) {
+        blocked_by_copy[v].push_back(u);
+        ++in_degree[u];
+      }
+    }
+  }
+
+  InPlaceResult result;
+  Bytes buf(outdated.begin(), outdated.end());
+  buf.resize(std::max<uint64_t>(new_size, buf.size()), 0);
+
+  std::deque<size_t> ready;
+  std::vector<bool> done(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    if (in_degree[i] == 0) {
+      ready.push_back(i);
+    }
+  }
+
+  auto execute = [&](size_t i) {
+    const ReconstructCommand& c = commands[i];
+    if (c.kind == ReconstructCommand::kLiteral) {
+      std::copy(c.literal.begin(), c.literal.end(),
+                buf.begin() + c.target_offset);
+    } else {
+      // Self-overlapping copies pick a safe direction.
+      if (c.target_offset <= c.source_offset) {
+        std::copy(buf.begin() + c.source_offset,
+                  buf.begin() + c.source_offset + c.length,
+                  buf.begin() + c.target_offset);
+      } else {
+        std::copy_backward(buf.begin() + c.source_offset,
+                           buf.begin() + c.source_offset + c.length,
+                           buf.begin() + c.target_offset + c.length);
+      }
+    }
+    done[i] = true;
+    if (c.kind == ReconstructCommand::kCopy) {
+      for (size_t u : blocked_by_copy[i]) {
+        if (!done[u] && --in_degree[u] == 0) {
+          ready.push_back(u);
+        }
+      }
+    }
+  };
+
+  size_t executed = 0;
+  while (executed < n) {
+    if (!ready.empty()) {
+      size_t i = ready.front();
+      ready.pop_front();
+      if (done[i]) {
+        continue;
+      }
+      execute(i);
+      ++executed;
+      continue;
+    }
+    // Cycle: promote the cheapest pending copy to a literal. The literal
+    // bytes come from the *old* content, which a cooperating server also
+    // holds; we charge them to promoted_literal_bytes.
+    size_t victim = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (!done[i] && commands[i].kind == ReconstructCommand::kCopy &&
+          (victim == n || commands[i].length < commands[victim].length)) {
+        victim = i;
+      }
+    }
+    if (victim == n) {
+      return Status::Internal("in-place: deadlock without pending copy");
+    }
+    ReconstructCommand& c = commands[victim];
+    c.literal.assign(outdated.begin() + c.source_offset,
+                     outdated.begin() + c.source_offset + c.length);
+    result.promoted_literal_bytes += c.length;
+    ++result.promoted_commands;
+    // Promotion removes the source dependency: unblock its users first.
+    for (size_t u : blocked_by_copy[victim]) {
+      if (!done[u] && --in_degree[u] == 0) {
+        ready.push_back(u);
+      }
+    }
+    blocked_by_copy[victim].clear();
+    c.kind = ReconstructCommand::kLiteral;
+    c.length = 0;
+    if (in_degree[victim] == 0) {
+      ready.push_back(victim);
+    }
+    // Note: the literal itself still waits for nothing new; it executes
+    // when its own in_degree reaches zero (it may still be blocked by
+    // copies reading its target range, which is correct).
+  }
+
+  buf.resize(new_size);
+  result.reconstructed = std::move(buf);
+  return result;
+}
+
+}  // namespace fsx

@@ -1,0 +1,52 @@
+// In-place reconstruction (after Rasch & Burns, "In-Place Rsync"): reorder
+// the copy commands of an rsync-style command list so the client can
+// transform its outdated file into the current one inside a single buffer,
+// promoting copies that participate in dependency cycles to literals.
+// The promoted bytes are exactly the extra data a cooperating server would
+// have to send, and are reported so callers can account for them.
+#ifndef FSYNC_RSYNC_INPLACE_H_
+#define FSYNC_RSYNC_INPLACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// One command of a reconstruction script.
+struct ReconstructCommand {
+  enum Kind { kLiteral, kCopy } kind = kLiteral;
+  // kLiteral: bytes to place at `target_offset`.
+  Bytes literal;
+  // kCopy: copy `length` bytes from `source_offset` in the *old* file.
+  uint64_t source_offset = 0;
+  uint64_t length = 0;
+  // Both kinds: where the data lands in the new file.
+  uint64_t target_offset = 0;
+};
+
+/// Result of in-place planning/execution.
+struct InPlaceResult {
+  Bytes reconstructed;
+  /// Bytes of copy commands that had to be promoted to literals to break
+  /// dependency cycles (extra traffic a real in-place server would send).
+  uint64_t promoted_literal_bytes = 0;
+  /// Number of copy commands promoted.
+  uint64_t promoted_commands = 0;
+};
+
+/// Executes `commands` against `outdated` using only the file buffer plus
+/// O(#commands) bookkeeping: copies are topologically ordered so no copy
+/// reads a region that an earlier command has already overwritten; cycles
+/// are broken by promoting the copy with the fewest bytes to a literal.
+/// `new_size` is the size of the reconstructed file. Commands must tile
+/// [0, new_size) without overlap.
+StatusOr<InPlaceResult> InPlaceReconstruct(
+    ByteSpan outdated, std::vector<ReconstructCommand> commands,
+    uint64_t new_size);
+
+}  // namespace fsx
+
+#endif  // FSYNC_RSYNC_INPLACE_H_

@@ -1,0 +1,325 @@
+#include "fsync/rsync/rsync.h"
+
+#include <unordered_map>
+
+#include "fsync/compress/codec.h"
+#include "fsync/hash/fingerprint.h"
+#include "fsync/hash/md4.h"
+#include "fsync/hash/rolling_adler.h"
+#include "fsync/util/bit_io.h"
+
+namespace fsx {
+
+namespace {
+
+// Token stream commands (before compression).
+// varint 0                -> literal run: varint length, raw bytes
+// varint k (k >= 1)       -> copy client block k-1
+constexpr uint64_t kLiteralTag = 0;
+
+}  // namespace
+
+std::vector<BlockSignature> ComputeSignatures(ByteSpan file,
+                                              const RsyncParams& params) {
+  std::vector<BlockSignature> sigs;
+  const size_t b = params.block_size;
+  sigs.reserve(file.size() / b);
+  for (size_t off = 0; off + b <= file.size(); off += b) {
+    ByteSpan block = file.subspan(off, b);
+    sigs.push_back({RsyncWeakChecksum(block),
+                    Md4::HashBits(block, 8 * params.strong_bytes)});
+  }
+  return sigs;
+}
+
+Bytes EncodeSignatures(const std::vector<BlockSignature>& sigs,
+                       const RsyncParams& params) {
+  BitWriter out;
+  out.WriteVarint(sigs.size());
+  for (const BlockSignature& s : sigs) {
+    out.WriteBits(s.weak, 32);
+    out.WriteBits(s.strong, 8 * params.strong_bytes);
+  }
+  return out.Finish();
+}
+
+StatusOr<std::vector<BlockSignature>> DecodeSignatures(
+    ByteSpan payload, const RsyncParams& params) {
+  BitReader in(payload);
+  FSYNC_ASSIGN_OR_RETURN(uint64_t count, in.ReadVarint());
+  if (count > payload.size()) {  // each signature needs > 1 byte
+    return Status::DataLoss("rsync signatures: implausible count");
+  }
+  std::vector<BlockSignature> sigs;
+  sigs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    BlockSignature s;
+    FSYNC_ASSIGN_OR_RETURN(uint64_t weak, in.ReadBits(32));
+    s.weak = static_cast<uint32_t>(weak);
+    FSYNC_ASSIGN_OR_RETURN(s.strong, in.ReadBits(8 * params.strong_bytes));
+    sigs.push_back(s);
+  }
+  return sigs;
+}
+
+Bytes RsyncServerEncode(ByteSpan current,
+                        const std::vector<BlockSignature>& sigs,
+                        const RsyncParams& params) {
+  const size_t b = params.block_size;
+  const size_t n = current.size();
+
+  // Weak checksum -> block indices (collisions chain in the vector).
+  std::unordered_map<uint32_t, std::vector<uint32_t>> table;
+  table.reserve(sigs.size() * 2);
+  for (size_t i = 0; i < sigs.size(); ++i) {
+    table[sigs[i].weak].push_back(static_cast<uint32_t>(i));
+  }
+
+  BitWriter raw;
+  raw.WriteVarint(n);
+
+  size_t lit_start = 0;
+  auto flush_literals = [&](size_t end) {
+    if (end > lit_start) {
+      raw.WriteVarint(kLiteralTag);
+      raw.WriteVarint(end - lit_start);
+      raw.WriteBytes(current.subspan(lit_start, end - lit_start));
+    }
+  };
+
+  if (n >= b && !sigs.empty()) {
+    RollingAdler roll(current.subspan(0, b));
+    size_t pos = 0;
+    while (pos + b <= n) {
+      auto it = table.find(roll.value());
+      bool matched = false;
+      if (it != table.end()) {
+        uint64_t strong = Md4::HashBits(current.subspan(pos, b),
+                                        8 * params.strong_bytes);
+        for (uint32_t idx : it->second) {
+          if (sigs[idx].strong == strong) {
+            flush_literals(pos);
+            raw.WriteVarint(static_cast<uint64_t>(idx) + 1);
+            pos += b;
+            lit_start = pos;
+            if (pos + b <= n) {
+              roll = RollingAdler(current.subspan(pos, b));
+            }
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (!matched) {
+        roll.Roll(current[pos], pos + b < n ? current[pos + b] : 0);
+        ++pos;
+      }
+    }
+  }
+  flush_literals(n);
+  Bytes stream = raw.Finish();
+
+  if (!params.compress_stream) {
+    Bytes out;
+    out.push_back(0);  // not compressed
+    Append(out, stream);
+    return out;
+  }
+  Bytes out;
+  out.push_back(1);
+  Bytes packed = Compress(stream);
+  Append(out, packed);
+  return out;
+}
+
+StatusOr<Bytes> RsyncClientApply(ByteSpan outdated, ByteSpan stream,
+                                 const RsyncParams& params) {
+  if (stream.empty()) {
+    return Status::DataLoss("rsync stream: empty");
+  }
+  Bytes decompressed;
+  ByteSpan body;
+  if (stream[0] == 1) {
+    FSYNC_ASSIGN_OR_RETURN(decompressed, Decompress(stream.subspan(1)));
+    body = decompressed;
+  } else if (stream[0] == 0) {
+    body = stream.subspan(1);
+  } else {
+    return Status::DataLoss("rsync stream: bad compression flag");
+  }
+
+  BitReader in(body);
+  FSYNC_ASSIGN_OR_RETURN(uint64_t new_size, in.ReadVarint());
+  if (new_size > (uint64_t{1} << 32)) {
+    return Status::DataLoss("rsync stream: implausible size");
+  }
+  const size_t b = params.block_size;
+
+  Bytes out;
+  out.reserve(new_size);
+  while (out.size() < new_size) {
+    FSYNC_ASSIGN_OR_RETURN(uint64_t tag, in.ReadVarint());
+    if (tag == kLiteralTag) {
+      FSYNC_ASSIGN_OR_RETURN(uint64_t len, in.ReadVarint());
+      if (out.size() + len > new_size) {
+        return Status::DataLoss("rsync stream: literal overruns");
+      }
+      FSYNC_ASSIGN_OR_RETURN(Bytes lit, in.ReadBytes(len));
+      Append(out, lit);
+    } else {
+      uint64_t idx = tag - 1;
+      if ((idx + 1) * b > outdated.size()) {
+        return Status::DataLoss("rsync stream: block index out of range");
+      }
+      if (out.size() + b > new_size) {
+        return Status::DataLoss("rsync stream: block copy overruns");
+      }
+      Append(out, outdated.subspan(idx * b, b));
+    }
+  }
+  return out;
+}
+
+StatusOr<CommandList> RsyncDecodeCommands(ByteSpan stream,
+                                          const RsyncParams& params,
+                                          uint64_t outdated_size) {
+  if (stream.empty()) {
+    return Status::DataLoss("rsync stream: empty");
+  }
+  Bytes decompressed;
+  ByteSpan body;
+  if (stream[0] == 1) {
+    FSYNC_ASSIGN_OR_RETURN(decompressed, Decompress(stream.subspan(1)));
+    body = decompressed;
+  } else if (stream[0] == 0) {
+    body = stream.subspan(1);
+  } else {
+    return Status::DataLoss("rsync stream: bad compression flag");
+  }
+
+  BitReader in(body);
+  CommandList out;
+  FSYNC_ASSIGN_OR_RETURN(out.new_size, in.ReadVarint());
+  if (out.new_size > (uint64_t{1} << 32)) {
+    return Status::DataLoss("rsync stream: implausible size");
+  }
+  const uint64_t b = params.block_size;
+  uint64_t pos = 0;
+  while (pos < out.new_size) {
+    FSYNC_ASSIGN_OR_RETURN(uint64_t tag, in.ReadVarint());
+    ReconstructCommand cmd;
+    cmd.target_offset = pos;
+    if (tag == kLiteralTag) {
+      FSYNC_ASSIGN_OR_RETURN(uint64_t len, in.ReadVarint());
+      if (pos + len > out.new_size) {
+        return Status::DataLoss("rsync stream: literal overruns");
+      }
+      FSYNC_ASSIGN_OR_RETURN(cmd.literal, in.ReadBytes(len));
+      cmd.kind = ReconstructCommand::kLiteral;
+      pos += len;
+    } else {
+      uint64_t idx = tag - 1;
+      if ((idx + 1) * b > outdated_size || pos + b > out.new_size) {
+        return Status::DataLoss("rsync stream: bad block reference");
+      }
+      cmd.kind = ReconstructCommand::kCopy;
+      cmd.source_offset = idx * b;
+      cmd.length = b;
+      pos += b;
+    }
+    out.commands.push_back(std::move(cmd));
+  }
+  return out;
+}
+
+StatusOr<RsyncResult> RsyncSynchronize(ByteSpan outdated, ByteSpan current,
+                                       const RsyncParams& params,
+                                       SimulatedChannel& channel) {
+  using Dir = SimulatedChannel::Direction;
+  RsyncResult result;
+
+  // 1. Client announces its file fingerprint (and requests the sync).
+  Fingerprint old_fp = FileFingerprint(outdated);
+  channel.Send(Dir::kClientToServer, ByteSpan(old_fp.data(), old_fp.size()));
+
+  // 2. Server compares; replies with one byte: 0 = unchanged, 1 = proceed.
+  Fingerprint new_fp = FileFingerprint(current);
+  FSYNC_ASSIGN_OR_RETURN(Bytes fp_msg, channel.Receive(Dir::kClientToServer));
+  bool unchanged = fp_msg.size() == new_fp.size() &&
+                   std::equal(new_fp.begin(), new_fp.end(), fp_msg.begin());
+  // The verdict echoes the fingerprint so a corrupted "unchanged" byte
+  // cannot make the client silently keep a stale file.
+  Bytes verdict = {static_cast<uint8_t>(unchanged ? 0 : 1)};
+  Append(verdict, ByteSpan(new_fp.data(), new_fp.size()));
+  channel.Send(Dir::kServerToClient, verdict);
+  FSYNC_ASSIGN_OR_RETURN(Bytes v, channel.Receive(Dir::kServerToClient));
+  if (v.size() < 17) {
+    return Status::DataLoss("rsync: short verdict message");
+  }
+  if (v.at(0) == 0) {
+    if (!std::equal(old_fp.begin(), old_fp.end(), v.begin() + 1)) {
+      return Status::DataLoss("rsync: unchanged verdict mismatch");
+    }
+    result.reconstructed.assign(outdated.begin(), outdated.end());
+    result.stats = channel.stats();
+    return result;
+  }
+
+  // 3. Client sends block signatures.
+  std::vector<BlockSignature> sigs = ComputeSignatures(outdated, params);
+  channel.Send(Dir::kClientToServer, EncodeSignatures(sigs, params));
+
+  // 4. Server matches and sends the token stream.
+  FSYNC_ASSIGN_OR_RETURN(Bytes sig_msg, channel.Receive(Dir::kClientToServer));
+  FSYNC_ASSIGN_OR_RETURN(std::vector<BlockSignature> server_sigs,
+                         DecodeSignatures(sig_msg, params));
+  Bytes stream = RsyncServerEncode(current, server_sigs, params);
+  channel.Send(Dir::kServerToClient, stream);
+
+  // 5. Client reconstructs and verifies against the file fingerprint the
+  //    verdict carried; on mismatch the server transfers the whole file.
+  FSYNC_ASSIGN_OR_RETURN(Bytes stream_msg, channel.Receive(Dir::kServerToClient));
+  FSYNC_ASSIGN_OR_RETURN(Bytes rebuilt,
+                         RsyncClientApply(outdated, stream_msg, params));
+  ByteSpan want_fp = ByteSpan(v).subspan(1, 16);
+  Fingerprint got_fp = FileFingerprint(rebuilt);
+  if (!std::equal(got_fp.begin(), got_fp.end(), want_fp.begin())) {
+    // Strong-hash collision defeated the block checksums: fall back.
+    Bytes full = Compress(current);
+    channel.Send(Dir::kServerToClient, full);
+    FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,
+                           channel.Receive(Dir::kServerToClient));
+    FSYNC_ASSIGN_OR_RETURN(rebuilt, Decompress(full_msg));
+    result.fell_back_to_full_transfer = true;
+  }
+  result.reconstructed = std::move(rebuilt);
+  result.stats = channel.stats();
+  return result;
+}
+
+StatusOr<RsyncResult> RsyncBestBlockSize(
+    ByteSpan outdated, ByteSpan current, const RsyncParams& base_params,
+    const std::vector<uint32_t>& candidates) {
+  std::vector<uint32_t> sizes = candidates;
+  if (sizes.empty()) {
+    sizes = {64, 128, 256, 512, 700, 1024, 2048, 4096, 8192};
+  }
+  std::optional<RsyncResult> best;
+  for (uint32_t b : sizes) {
+    if (b == 0) {
+      return Status::InvalidArgument("block size 0");
+    }
+    RsyncParams p = base_params;
+    p.block_size = b;
+    SimulatedChannel channel;
+    FSYNC_ASSIGN_OR_RETURN(RsyncResult r,
+                           RsyncSynchronize(outdated, current, p, channel));
+    if (!best.has_value() ||
+        r.stats.total_bytes() < best->stats.total_bytes()) {
+      best = std::move(r);
+    }
+  }
+  return *std::move(best);
+}
+
+}  // namespace fsx

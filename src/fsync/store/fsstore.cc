@@ -1,0 +1,191 @@
+#include "fsync/store/fsstore.h"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+
+#include "fsync/util/hex.h"
+
+namespace fsx {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kManifestName[] = ".fsx-manifest";
+
+StatusOr<Bytes> ReadFileBytes(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot read " + p.string());
+  }
+  Bytes data{std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>()};
+  return data;
+}
+
+Status WriteFileBytes(const fs::path& p, ByteSpan data) {
+  std::error_code ec;
+  fs::create_directories(p.parent_path(), ec);
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot write " + p.string());
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out.good()) {
+    return Status::Internal("short write to " + p.string());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Manifest BuildManifest(const Collection& files) {
+  Manifest m;
+  for (const auto& [name, data] : files) {
+    m[name] = ManifestEntry{data.size(), FileFingerprint(data)};
+  }
+  return m;
+}
+
+Bytes SerializeManifest(const Manifest& manifest) {
+  std::string out;
+  for (const auto& [name, e] : manifest) {
+    out += HexEncode(ByteSpan(e.fingerprint.data(), e.fingerprint.size()));
+    out += ' ';
+    out += std::to_string(e.size);
+    out += ' ';
+    out += name;
+    out += '\n';
+  }
+  return ToBytes(out);
+}
+
+StatusOr<Manifest> ParseManifest(ByteSpan data) {
+  Manifest m;
+  std::string text = ToString(data);
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      return Status::DataLoss("manifest: missing final newline");
+    }
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    size_t sp1 = line.find(' ');
+    size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp1 != 32 || sp2 == std::string::npos || sp2 + 1 >= line.size()) {
+      return Status::DataLoss("manifest: malformed line " +
+                              std::to_string(line_no));
+    }
+    Bytes fp_bytes = HexDecode(line.substr(0, sp1));
+    if (fp_bytes.size() != 16) {
+      return Status::DataLoss("manifest: bad fingerprint on line " +
+                              std::to_string(line_no));
+    }
+    ManifestEntry e;
+    std::copy(fp_bytes.begin(), fp_bytes.end(), e.fingerprint.begin());
+    const char* size_begin = line.data() + sp1 + 1;
+    const char* size_end = line.data() + sp2;
+    auto [ptr, parse_ec] = std::from_chars(size_begin, size_end, e.size);
+    if (parse_ec != std::errc{} || ptr != size_end) {
+      return Status::DataLoss("manifest: bad size on line " +
+                              std::to_string(line_no));
+    }
+    m[line.substr(sp2 + 1)] = e;
+  }
+  return m;
+}
+
+StatusOr<Collection> LoadTree(const std::string& root) {
+  std::error_code ec;
+  fs::path base(root);
+  if (!fs::is_directory(base, ec)) {
+    return Status::NotFound("not a directory: " + root);
+  }
+  Collection out;
+  for (auto it = fs::recursive_directory_iterator(base, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) {
+      return Status::Internal("walk failed: " + ec.message());
+    }
+    if (!it->is_regular_file(ec)) {
+      continue;
+    }
+    std::string rel = fs::relative(it->path(), base, ec).generic_string();
+    if (ec || rel.empty() || rel.starts_with("..")) {
+      return Status::Internal("path escapes tree: " + it->path().string());
+    }
+    if (rel == kManifestName) {
+      continue;  // metadata, not content
+    }
+    FSYNC_ASSIGN_OR_RETURN(Bytes data, ReadFileBytes(it->path()));
+    out[rel] = std::move(data);
+  }
+  return out;
+}
+
+Status StoreTree(const std::string& root, const Collection& files,
+                 bool delete_extra, bool write_manifest) {
+  std::error_code ec;
+  fs::path base(root);
+  fs::create_directories(base, ec);
+  for (const auto& [name, data] : files) {
+    if (name.empty() || name.find("..") != std::string::npos ||
+        name.front() == '/') {
+      return Status::InvalidArgument("unsafe path in collection: " + name);
+    }
+    FSYNC_RETURN_IF_ERROR(WriteFileBytes(base / name, data));
+  }
+  if (delete_extra) {
+    std::vector<fs::path> doomed;
+    for (auto it = fs::recursive_directory_iterator(base, ec);
+         it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (!it->is_regular_file(ec)) {
+        continue;
+      }
+      std::string rel =
+          fs::relative(it->path(), base, ec).generic_string();
+      if (rel != kManifestName && !files.contains(rel)) {
+        doomed.push_back(it->path());
+      }
+    }
+    for (const fs::path& p : doomed) {
+      fs::remove(p, ec);
+    }
+  }
+  if (write_manifest) {
+    FSYNC_RETURN_IF_ERROR(WriteFileBytes(
+        base / kManifestName, SerializeManifest(BuildManifest(files))));
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> VerifyTree(const std::string& root) {
+  FSYNC_ASSIGN_OR_RETURN(Bytes manifest_bytes,
+                         ReadFileBytes(fs::path(root) / kManifestName));
+  FSYNC_ASSIGN_OR_RETURN(Manifest want, ParseManifest(manifest_bytes));
+  FSYNC_ASSIGN_OR_RETURN(Collection files, LoadTree(root));
+  Manifest got = BuildManifest(files);
+
+  std::vector<std::string> dirty;
+  for (const auto& [name, e] : want) {
+    auto it = got.find(name);
+    if (it == got.end() || !(it->second == e)) {
+      dirty.push_back(name);
+    }
+  }
+  for (const auto& [name, e] : got) {
+    if (!want.contains(name)) {
+      dirty.push_back(name);
+    }
+  }
+  std::sort(dirty.begin(), dirty.end());
+  return dirty;
+}
+
+}  // namespace fsx

@@ -1,0 +1,55 @@
+// Filesystem snapshot store: load/save a Collection as a directory tree,
+// with a manifest (name, size, fingerprint per file) that lets tools skip
+// rehashing unchanged trees and detect tampering. The persistence layer
+// behind the fsxsync example tool.
+#ifndef FSYNC_STORE_FSSTORE_H_
+#define FSYNC_STORE_FSSTORE_H_
+
+#include <map>
+#include <string>
+
+#include "fsync/core/collection.h"
+#include "fsync/hash/fingerprint.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Per-file metadata recorded in a manifest.
+struct ManifestEntry {
+  uint64_t size = 0;
+  Fingerprint fingerprint{};
+
+  friend bool operator==(const ManifestEntry&,
+                         const ManifestEntry&) = default;
+};
+
+/// Snapshot manifest: relative path -> metadata.
+using Manifest = std::map<std::string, ManifestEntry>;
+
+/// Computes the manifest of an in-memory collection.
+Manifest BuildManifest(const Collection& files);
+
+/// Serializes / parses the manifest (stable text format, one line per
+/// file: "<hex fingerprint> <size> <path>\n", sorted by path).
+Bytes SerializeManifest(const Manifest& manifest);
+StatusOr<Manifest> ParseManifest(ByteSpan data);
+
+/// Reads every regular file under `root` (paths relative to it, '/'
+/// separators). Refuses paths that escape the tree.
+StatusOr<Collection> LoadTree(const std::string& root);
+
+/// Writes `files` under `root`, creating directories as needed. With
+/// `delete_extra`, regular files not in `files` are removed (mirror
+/// semantics). Also writes the manifest to `<root>/.fsx-manifest` when
+/// `write_manifest` is set.
+Status StoreTree(const std::string& root, const Collection& files,
+                 bool delete_extra, bool write_manifest = false);
+
+/// Verifies a tree against its stored manifest. Returns the names whose
+/// content changed, appeared, or disappeared since the manifest was
+/// written (empty vector = clean).
+StatusOr<std::vector<std::string>> VerifyTree(const std::string& root);
+
+}  // namespace fsx
+
+#endif  // FSYNC_STORE_FSSTORE_H_

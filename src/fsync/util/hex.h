@@ -1,0 +1,19 @@
+// Hex encoding helpers, mostly for logging and tests.
+#ifndef FSYNC_UTIL_HEX_H_
+#define FSYNC_UTIL_HEX_H_
+
+#include <string>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// Lower-case hex encoding of `bytes`.
+std::string HexEncode(ByteSpan bytes);
+
+/// Decodes a hex string; returns empty on odd length or bad digits.
+Bytes HexDecode(const std::string& hex);
+
+}  // namespace fsx
+
+#endif  // FSYNC_UTIL_HEX_H_

@@ -1,0 +1,47 @@
+// Deterministic PRNG used by workload generators and property tests.
+// xoshiro256** — fast, high quality, and stable across platforms, so
+// generated datasets are reproducible byte-for-byte.
+#ifndef FSYNC_UTIL_RANDOM_H_
+#define FSYNC_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Not cryptographic.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams on all platforms.
+  explicit Rng(uint64_t seed);
+
+  /// Next 64 random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Geometric-ish heavy-tailed size in [min, max]: each sample doubles with
+  /// probability 1/2, giving a realistic file/edit size distribution.
+  uint64_t SkewedSize(uint64_t min, uint64_t max);
+
+  /// `n` random bytes.
+  Bytes RandomBytes(size_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace fsx
+
+#endif  // FSYNC_UTIL_RANDOM_H_

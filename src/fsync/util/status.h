@@ -1,0 +1,147 @@
+// Lightweight error-handling primitives (no exceptions), in the spirit of
+// absl::Status / absl::StatusOr.
+#ifndef FSYNC_UTIL_STATUS_H_
+#define FSYNC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace fsx {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kDataLoss,        // corrupt/truncated encoded data
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "DATA_LOSS").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK (no
+/// allocation); carries a code plus message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with `code` and a descriptive `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Access to `value()` requires
+/// `ok()`; violating that aborts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (mirrors absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define FSYNC_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::fsx::Status fsync_status_macro_s_ = (expr);  \
+    if (!fsync_status_macro_s_.ok()) {               \
+      return fsync_status_macro_s_;                  \
+    }                                                \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression to `lhs`, or propagates the
+/// error. `lhs` may include a declaration, e.g.
+/// FSYNC_ASSIGN_OR_RETURN(auto x, Foo());
+#define FSYNC_ASSIGN_OR_RETURN(lhs, expr)                   \
+  FSYNC_ASSIGN_OR_RETURN_IMPL_(                             \
+      FSYNC_STATUS_CONCAT_(fsync_statusor_, __LINE__), lhs, expr)
+
+#define FSYNC_STATUS_CONCAT_INNER_(a, b) a##b
+#define FSYNC_STATUS_CONCAT_(a, b) FSYNC_STATUS_CONCAT_INNER_(a, b)
+#define FSYNC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace fsx
+
+#endif  // FSYNC_UTIL_STATUS_H_

@@ -1,0 +1,39 @@
+#include "fsync/workload/bundle.h"
+
+#include "fsync/util/bit_io.h"
+
+namespace fsx {
+
+Bytes BundleCollection(const Collection& files) {
+  BitWriter out;
+  out.WriteVarint(files.size());
+  for (const auto& [name, data] : files) {  // std::map: sorted, stable
+    out.WriteVarint(name.size());
+    out.WriteBytes(ToBytes(name));
+    out.WriteVarint(data.size());
+    out.WriteBytes(data);
+  }
+  return out.Finish();
+}
+
+StatusOr<Collection> UnbundleCollection(ByteSpan bundle) {
+  BitReader in(bundle);
+  FSYNC_ASSIGN_OR_RETURN(uint64_t count, in.ReadVarint());
+  if (count > bundle.size()) {
+    return Status::DataLoss("bundle: implausible file count");
+  }
+  Collection out;
+  for (uint64_t i = 0; i < count; ++i) {
+    FSYNC_ASSIGN_OR_RETURN(uint64_t name_len, in.ReadVarint());
+    if (name_len > 4096) {
+      return Status::DataLoss("bundle: implausible name length");
+    }
+    FSYNC_ASSIGN_OR_RETURN(Bytes name, in.ReadBytes(name_len));
+    FSYNC_ASSIGN_OR_RETURN(uint64_t data_len, in.ReadVarint());
+    FSYNC_ASSIGN_OR_RETURN(Bytes data, in.ReadBytes(data_len));
+    out[ToString(name)] = std::move(data);
+  }
+  return out;
+}
+
+}  // namespace fsx

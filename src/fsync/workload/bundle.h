@@ -1,0 +1,23 @@
+// Collection bundling: serialize a whole collection into one byte stream
+// (simple header-prefixed concatenation, in the role of the tar files the
+// paper's gcc/emacs data sets shipped as). Synchronizing the bundle as a
+// single file lets block matching cross file boundaries — content moved
+// *between* files still matches — at the cost of one huge session; the
+// `ablation_bundle` bench quantifies the tradeoff against per-file sync.
+#ifndef FSYNC_WORKLOAD_BUNDLE_H_
+#define FSYNC_WORKLOAD_BUNDLE_H_
+
+#include "fsync/core/collection.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Serializes `files` into one stream (names sorted; stable layout).
+Bytes BundleCollection(const Collection& files);
+
+/// Inverse of BundleCollection.
+StatusOr<Collection> UnbundleCollection(ByteSpan bundle);
+
+}  // namespace fsx
+
+#endif  // FSYNC_WORKLOAD_BUNDLE_H_

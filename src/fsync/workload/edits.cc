@@ -1,0 +1,110 @@
+#include "fsync/workload/edits.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace fsx {
+
+namespace {
+
+constexpr char kTextChars[] =
+    "abcdefghijklmnopqrstuvwxyz0123456789 _=+();\n  ";
+
+constexpr const char* kFillWords[] = {
+    "result", "update", "buffer", "index",  "return", "status",
+    "length", "offset", "value",  "count",  "if",     "else",
+    "while",  "static", "const",  "struct", "char",   "int"};
+
+Bytes RandomChars(Rng& rng, uint64_t n) {
+  Bytes out(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(
+        kTextChars[rng.Uniform(sizeof(kTextChars) - 1)]);
+  }
+  return out;
+}
+
+// Word-structured filler: redundant like real code, so compressors and
+// delta coders see realistic entropy in the changed regions.
+Bytes StructuredText(Rng& rng, uint64_t n) {
+  Bytes out;
+  out.reserve(n + 16);
+  while (out.size() < n) {
+    const char* w =
+        kFillWords[rng.Uniform(std::size(kFillWords))];
+    out.insert(out.end(), w, w + std::char_traits<char>::length(w));
+    switch (rng.Uniform(6)) {
+      case 0:
+        out.push_back('_');
+        break;
+      case 1: {
+        std::string num = std::to_string(rng.Uniform(1000));
+        out.insert(out.end(), num.begin(), num.end());
+        out.push_back(' ');
+        break;
+      }
+      case 2:
+        out.push_back('(');
+        out.push_back(')');
+        out.push_back(';');
+        out.push_back('\n');
+        break;
+      default:
+        out.push_back(' ');
+        break;
+    }
+  }
+  out.resize(n);
+  return out;
+}
+
+Bytes TextBytes(Rng& rng, uint64_t n, bool structured) {
+  return structured ? StructuredText(rng, n) : RandomChars(rng, n);
+}
+
+}  // namespace
+
+Bytes ApplyEdits(ByteSpan base, const EditProfile& profile, Rng& rng) {
+  Bytes out(base.begin(), base.end());
+
+  // Hot regions are chosen on the original coordinates; as edits shift
+  // offsets the regions drift a little, which is harmless.
+  std::vector<uint64_t> hot;
+  for (int i = 0; i < profile.num_hot_regions; ++i) {
+    hot.push_back(base.empty() ? 0 : rng.Uniform(base.size() + 1));
+  }
+
+  for (int e = 0; e < profile.num_edits; ++e) {
+    uint64_t len =
+        rng.SkewedSize(std::max<uint64_t>(1, profile.min_edit_size),
+                       std::max(profile.min_edit_size + 1,
+                                profile.max_edit_size));
+    uint64_t pos;
+    if (!hot.empty() && rng.Bernoulli(profile.locality)) {
+      uint64_t center = hot[rng.Uniform(hot.size())];
+      uint64_t spread = std::max<uint64_t>(64, len * 4);
+      uint64_t lo = center > spread ? center - spread : 0;
+      uint64_t hi = std::min<uint64_t>(out.size(), center + spread);
+      pos = lo + (hi > lo ? rng.Uniform(hi - lo + 1) : 0);
+    } else {
+      pos = out.empty() ? 0 : rng.Uniform(out.size() + 1);
+    }
+    pos = std::min<uint64_t>(pos, out.size());
+
+    double kind = rng.NextDouble();
+    if (kind < profile.p_insert || out.empty()) {
+      Bytes ins = TextBytes(rng, len, profile.structured_fill);
+      out.insert(out.begin() + pos, ins.begin(), ins.end());
+    } else if (kind < profile.p_insert + profile.p_delete) {
+      uint64_t n = std::min<uint64_t>(len, out.size() - pos);
+      out.erase(out.begin() + pos, out.begin() + pos + n);
+    } else {
+      uint64_t n = std::min<uint64_t>(len, out.size() - pos);
+      Bytes repl = TextBytes(rng, n, profile.structured_fill);
+      std::copy(repl.begin(), repl.end(), out.begin() + pos);
+    }
+  }
+  return out;
+}
+
+}  // namespace fsx

@@ -1,0 +1,41 @@
+// Edit-script engine: derives a "new version" of a file by applying
+// randomized insert/delete/replace operations with controllable locality.
+// The paper observes that rsync's effectiveness depends on whether changes
+// are clustered in a few areas or dispersed; this knob reproduces both.
+#ifndef FSYNC_WORKLOAD_EDITS_H_
+#define FSYNC_WORKLOAD_EDITS_H_
+
+#include "fsync/util/bytes.h"
+#include "fsync/util/random.h"
+
+namespace fsx {
+
+/// Parameters of one randomized editing pass.
+struct EditProfile {
+  /// Number of edit operations to apply.
+  int num_edits = 8;
+  /// Byte size of each operation, sampled skewed in [min, max].
+  uint64_t min_edit_size = 4;
+  uint64_t max_edit_size = 256;
+  /// Fraction of edits landing inside a few "hot" regions (1.0 = fully
+  /// clustered as in typical source edits, 0.0 = uniformly dispersed).
+  double locality = 0.8;
+  /// Number of hot regions when locality > 0.
+  int num_hot_regions = 3;
+  /// Relative probabilities of the three operation kinds.
+  double p_insert = 0.3;
+  double p_delete = 0.3;  // remainder is replace
+  /// When true (default), inserted/replacement bytes are word-structured
+  /// text with realistic redundancy (as in real code edits); when false,
+  /// they are near-random characters (worst case for compressors).
+  bool structured_fill = true;
+};
+
+/// Applies `profile` to `base` and returns the edited version. Inserted
+/// and replacement bytes are drawn as plausible text (letters, digits,
+/// whitespace) so compressors see realistic content.
+Bytes ApplyEdits(ByteSpan base, const EditProfile& profile, Rng& rng);
+
+}  // namespace fsx
+
+#endif  // FSYNC_WORKLOAD_EDITS_H_

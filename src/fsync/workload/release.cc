@@ -1,0 +1,93 @@
+#include "fsync/workload/release.h"
+
+#include "fsync/workload/edits.h"
+#include "fsync/workload/text_synth.h"
+
+namespace fsx {
+
+ReleaseProfile GccLikeProfile() {
+  ReleaseProfile p;
+  p.seed = 0x6CC;
+  p.num_files = 240;
+  p.min_file_bytes = 1 * 1024;
+  p.max_file_bytes = 96 * 1024;
+  p.frac_unchanged = 0.50;
+  p.frac_light = 0.38;
+  p.frac_heavy = 0.10;
+  p.files_added = 5;
+  p.files_removed = 3;
+  return p;
+}
+
+ReleaseProfile EmacsLikeProfile() {
+  ReleaseProfile p;
+  p.seed = 0xE6AC5;
+  p.num_files = 180;
+  p.min_file_bytes = 2 * 1024;
+  p.max_file_bytes = 160 * 1024;
+  p.frac_unchanged = 0.40;
+  p.frac_light = 0.40;
+  p.frac_heavy = 0.15;
+  p.files_added = 6;
+  p.files_removed = 4;
+  return p;
+}
+
+ReleasePair MakeRelease(const ReleaseProfile& profile) {
+  Rng rng(profile.seed);
+  ReleasePair pair;
+
+  for (int i = 0; i < profile.num_files; ++i) {
+    std::string name = SynthFileName(rng, ".c", i);
+    uint64_t size =
+        rng.SkewedSize(profile.min_file_bytes, profile.max_file_bytes);
+    Bytes content = SynthSourceFile(rng, size);
+    pair.old_release[name] = content;
+
+    double bucket = rng.NextDouble();
+    if (bucket < profile.frac_unchanged) {
+      pair.new_release[name] = std::move(content);
+    } else if (bucket < profile.frac_unchanged + profile.frac_light) {
+      EditProfile ep;
+      ep.num_edits = static_cast<int>(rng.UniformInt(2, 12));
+      ep.min_edit_size = 2;
+      ep.max_edit_size = 200;
+      ep.locality = 0.85;
+      pair.new_release[name] = ApplyEdits(content, ep, rng);
+    } else if (bucket < profile.frac_unchanged + profile.frac_light +
+                            profile.frac_heavy) {
+      EditProfile ep;
+      ep.num_edits = static_cast<int>(rng.UniformInt(20, 80));
+      ep.min_edit_size = 8;
+      ep.max_edit_size = 2048;
+      ep.locality = 0.4;
+      pair.new_release[name] = ApplyEdits(content, ep, rng);
+    } else {
+      // Rewritten: same name, fresh content of similar size.
+      pair.new_release[name] = SynthSourceFile(rng, size);
+    }
+  }
+
+  // Additions exist only in the new release.
+  for (int i = 0; i < profile.files_added; ++i) {
+    std::string name =
+        SynthFileName(rng, ".c", profile.num_files + i);
+    uint64_t size =
+        rng.SkewedSize(profile.min_file_bytes, profile.max_file_bytes);
+    pair.new_release[name] = SynthSourceFile(rng, size);
+  }
+  // Removals: drop the lexicographically first N from the new release.
+  int removed = 0;
+  for (auto it = pair.new_release.begin();
+       it != pair.new_release.end() && removed < profile.files_removed;) {
+    if (pair.old_release.contains(it->first)) {
+      it = pair.new_release.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return pair;
+}
+
+}  // namespace fsx

@@ -1,0 +1,49 @@
+// Software-release collection generator: stands in for the paper's gcc
+// 2.7.0 -> 2.7.1 and emacs 19.28 -> 19.29 data sets. Produces a source
+// tree (old release) plus a new release derived from it with realistic
+// inter-version edits: most files unchanged or lightly edited in clustered
+// spots, some files heavily rewritten, a few added or removed.
+#ifndef FSYNC_WORKLOAD_RELEASE_H_
+#define FSYNC_WORKLOAD_RELEASE_H_
+
+#include <cstdint>
+
+#include "fsync/core/collection.h"
+
+namespace fsx {
+
+/// Shape of a synthetic release pair.
+struct ReleaseProfile {
+  uint64_t seed = 1;
+  int num_files = 200;
+  uint64_t min_file_bytes = 1 * 1024;
+  uint64_t max_file_bytes = 128 * 1024;
+  /// Fraction of files untouched between releases.
+  double frac_unchanged = 0.45;
+  /// Fraction lightly edited (small clustered edits, the common case).
+  double frac_light = 0.40;
+  /// Fraction heavily edited; the remainder is rewritten from scratch.
+  double frac_heavy = 0.12;
+  /// Files added in / removed from the new release.
+  int files_added = 4;
+  int files_removed = 3;
+};
+
+/// A "gcc-like" preset: more files, mostly light edits.
+ReleaseProfile GccLikeProfile();
+
+/// An "emacs-like" preset: larger files, slightly heavier edits.
+ReleaseProfile EmacsLikeProfile();
+
+/// The generated pair of snapshots.
+struct ReleasePair {
+  Collection old_release;
+  Collection new_release;
+};
+
+/// Generates a release pair from `profile` (deterministic in the seed).
+ReleasePair MakeRelease(const ReleaseProfile& profile);
+
+}  // namespace fsx
+
+#endif  // FSYNC_WORKLOAD_RELEASE_H_

@@ -1,0 +1,129 @@
+#include "fsync/workload/text_synth.h"
+
+#include <array>
+#include <string>
+
+namespace fsx {
+
+namespace {
+
+constexpr std::array<const char*, 24> kIdentRoots = {
+    "buffer", "parse",  "token",  "index",  "table", "cache",
+    "entry",  "stream", "handle", "config", "state", "queue",
+    "node",   "block",  "hash",   "field",  "value", "count",
+    "offset", "length", "record", "cursor", "frame", "slot"};
+
+constexpr std::array<const char*, 12> kTypes = {
+    "int", "char", "long", "unsigned", "size_t", "void",
+    "double", "float", "short", "struct item", "uint32_t", "bool"};
+
+constexpr std::array<const char*, 10> kWords = {
+    "server", "update", "network", "crawler", "archive",
+    "research", "mirror", "replica", "storage", "protocol"};
+
+std::string Ident(Rng& rng) {
+  std::string s = kIdentRoots[rng.Uniform(kIdentRoots.size())];
+  if (rng.Bernoulli(0.5)) {
+    s += "_";
+    s += kIdentRoots[rng.Uniform(kIdentRoots.size())];
+  }
+  if (rng.Bernoulli(0.25)) {
+    s += std::to_string(rng.Uniform(32));
+  }
+  return s;
+}
+
+void AppendStr(Bytes& out, const std::string& s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+}  // namespace
+
+Bytes SynthSourceFile(Rng& rng, size_t target_bytes) {
+  Bytes out;
+  out.reserve(target_bytes + 256);
+  AppendStr(out, "/* generated module */\n");
+  int includes = static_cast<int>(rng.UniformInt(2, 6));
+  for (int i = 0; i < includes; ++i) {
+    AppendStr(out, "#include \"" + Ident(rng) + ".h\"\n");
+  }
+  AppendStr(out, "\n");
+
+  while (out.size() < target_bytes) {
+    std::string type = kTypes[rng.Uniform(kTypes.size())];
+    std::string fname = Ident(rng);
+    AppendStr(out, "static " + type + " " + fname + "(" +
+                       std::string(kTypes[rng.Uniform(kTypes.size())]) +
+                       " " + Ident(rng) + ") {\n");
+    int lines = static_cast<int>(rng.UniformInt(3, 18));
+    for (int l = 0; l < lines; ++l) {
+      switch (rng.Uniform(5)) {
+        case 0:
+          AppendStr(out, "  " + Ident(rng) + " = " + Ident(rng) + " + " +
+                             std::to_string(rng.Uniform(100)) + ";\n");
+          break;
+        case 1:
+          AppendStr(out, "  if (" + Ident(rng) + " < " +
+                             std::to_string(rng.Uniform(1000)) +
+                             ") {\n    return " + Ident(rng) + ";\n  }\n");
+          break;
+        case 2:
+          AppendStr(out, "  /* " + Ident(rng) + " adjusts the " +
+                             Ident(rng) + " */\n");
+          break;
+        case 3:
+          AppendStr(out, "  for (i = 0; i < " + Ident(rng) +
+                             "; i++) {\n    " + Ident(rng) + "[i] = " +
+                             std::to_string(rng.Uniform(256)) + ";\n  }\n");
+          break;
+        default:
+          AppendStr(out, "  " + Ident(rng) + "(" + Ident(rng) + ", &" +
+                             Ident(rng) + ");\n");
+          break;
+      }
+    }
+    AppendStr(out, "  return 0;\n}\n\n");
+  }
+  return out;
+}
+
+Bytes SynthWebPage(Rng& rng, size_t target_bytes) {
+  Bytes out;
+  out.reserve(target_bytes + 512);
+  std::string topic = kWords[rng.Uniform(kWords.size())];
+  AppendStr(out, "<html>\n<head>\n<title>" + topic + " " +
+                     std::to_string(rng.Uniform(1000)) +
+                     "</title>\n</head>\n<body>\n");
+  AppendStr(out, "<!-- generated: 2001-10-01 00:00:00 -->\n");
+  AppendStr(out, "<div class=\"nav\">\n");
+  int links = static_cast<int>(rng.UniformInt(4, 12));
+  for (int i = 0; i < links; ++i) {
+    std::string w = kWords[rng.Uniform(kWords.size())];
+    AppendStr(out, "<a href=\"/" + w + "/" +
+                       std::to_string(rng.Uniform(10000)) + ".html\">" + w +
+                       "</a>\n");
+  }
+  AppendStr(out, "</div>\n");
+
+  while (out.size() < target_bytes) {
+    AppendStr(out, "<p>");
+    int words = static_cast<int>(rng.UniformInt(20, 80));
+    for (int w = 0; w < words; ++w) {
+      AppendStr(out, std::string(kWords[rng.Uniform(kWords.size())]) + " ");
+      if (rng.Bernoulli(0.06)) {
+        AppendStr(out, std::to_string(rng.Uniform(100000)) + " ");
+      }
+    }
+    AppendStr(out, "</p>\n");
+  }
+  AppendStr(out, "</body>\n</html>\n");
+  return out;
+}
+
+std::string SynthFileName(Rng& rng, const std::string& ext, int index) {
+  std::string dir = kIdentRoots[rng.Uniform(kIdentRoots.size())];
+  std::string base = kIdentRoots[rng.Uniform(kIdentRoots.size())];
+  return "src/" + dir + "/" + base + "_" + std::to_string(index) + ext;
+}
+
+}  // namespace fsx

@@ -1,0 +1,29 @@
+// Deterministic synthetic text: C-like source files and HTML-like web
+// pages. The synchronization algorithms only see byte strings; what the
+// generators must reproduce from the paper's data sets is the *texture*
+// (token redundancy, line structure, compressibility) so compressors and
+// block hashes behave realistically.
+#ifndef FSYNC_WORKLOAD_TEXT_SYNTH_H_
+#define FSYNC_WORKLOAD_TEXT_SYNTH_H_
+
+#include <string>
+
+#include "fsync/util/bytes.h"
+#include "fsync/util/random.h"
+
+namespace fsx {
+
+/// Generates roughly `target_bytes` of C-like source: include lines,
+/// comments, function definitions over a shared identifier pool.
+Bytes SynthSourceFile(Rng& rng, size_t target_bytes);
+
+/// Generates an HTML-like page of roughly `target_bytes` with a header
+/// (title, timestamp slot), navigation links, and paragraph content.
+Bytes SynthWebPage(Rng& rng, size_t target_bytes);
+
+/// A human-ish file name such as "src/parse/lexer_17.c".
+std::string SynthFileName(Rng& rng, const std::string& ext, int index);
+
+}  // namespace fsx
+
+#endif  // FSYNC_WORKLOAD_TEXT_SYNTH_H_

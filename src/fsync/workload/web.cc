@@ -1,0 +1,97 @@
+#include "fsync/workload/web.h"
+
+#include <string>
+
+#include "fsync/workload/edits.h"
+#include "fsync/workload/text_synth.h"
+
+namespace fsx {
+
+namespace {
+
+// Rewrites the "generated:" timestamp comment and any long digit runs --
+// the trivial churn real pages exhibit between crawls.
+Bytes TrivialChurn(ByteSpan page, int day, Rng& rng) {
+  Bytes out(page.begin(), page.end());
+  const std::string needle = "generated: 2001-10-";
+  std::string stamp = needle + (day < 9 ? "0" : "") +
+                      std::to_string(day + 1);
+  for (size_t i = 0; i + needle.size() <= out.size(); ++i) {
+    if (std::equal(needle.begin(), needle.end(), out.begin() + i)) {
+      std::copy(stamp.begin(), stamp.end(), out.begin() + i);
+      break;
+    }
+  }
+  // Touch a few digit runs (hit counters, dates inside the content).
+  int touched = 0;
+  for (size_t i = 0; i < out.size() && touched < 5; ++i) {
+    if (out[i] >= '0' && out[i] <= '9' && rng.Bernoulli(0.1)) {
+      size_t j = i;
+      while (j < out.size() && out[j] >= '0' && out[j] <= '9') {
+        out[j] = static_cast<uint8_t>('0' + rng.Uniform(10));
+        ++j;
+      }
+      i = j;
+      ++touched;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+WebCollectionModel::WebCollectionModel(const WebProfile& profile)
+    : profile_(profile), day_seed_(profile.seed) {
+  Rng rng(profile_.seed);
+  Collection base;
+  for (int i = 0; i < profile_.num_pages; ++i) {
+    std::string name = "pages/p" + std::to_string(i) + ".html";
+    uint64_t size =
+        rng.SkewedSize(profile_.min_page_bytes, profile_.max_page_bytes);
+    base[name] = SynthWebPage(rng, size);
+  }
+  days_.push_back(std::move(base));
+}
+
+const Collection& WebCollectionModel::Snapshot(int day) {
+  while (static_cast<int>(days_.size()) <= day) {
+    AdvanceOneDay();
+  }
+  return days_[day];
+}
+
+void WebCollectionModel::AdvanceOneDay() {
+  int day = static_cast<int>(days_.size());
+  Rng rng(day_seed_ + static_cast<uint64_t>(day) * 0x9E3779B97F4A7C15ULL);
+  Collection next;
+  for (const auto& [name, page] : days_.back()) {
+    if (rng.Bernoulli(profile_.p_unchanged_per_day)) {
+      next[name] = page;
+      continue;
+    }
+    if (rng.Bernoulli(profile_.p_rewrite)) {
+      uint64_t size =
+          rng.SkewedSize(profile_.min_page_bytes, profile_.max_page_bytes);
+      next[name] = SynthWebPage(rng, size);
+      continue;
+    }
+    if (rng.Bernoulli(profile_.p_trivial_change)) {
+      next[name] = TrivialChurn(page, day, rng);
+      continue;
+    }
+    // Real content edit: a few clustered changes (new paragraph, edited
+    // links), plus the trivial churn.
+    EditProfile ep;
+    ep.num_edits = static_cast<int>(rng.UniformInt(1, 6));
+    ep.min_edit_size = 16;
+    ep.max_edit_size = 1024;
+    ep.locality = 0.7;
+    ep.p_insert = 0.45;
+    ep.p_delete = 0.2;
+    Bytes churned = TrivialChurn(page, day, rng);
+    next[name] = ApplyEdits(churned, ep, rng);
+  }
+  days_.push_back(std::move(next));
+}
+
+}  // namespace fsx

@@ -1,0 +1,55 @@
+// Web-collection generator with a daily update model: stands in for the
+// paper's ten thousand web pages recrawled nightly (Fall 2001). Each day,
+// a fraction of pages stay byte-identical; changed pages receive small
+// localized edits (timestamps, counters, rotated links) and occasionally
+// larger content updates -- the change texture the paper's Table 6.2
+// depends on.
+#ifndef FSYNC_WORKLOAD_WEB_H_
+#define FSYNC_WORKLOAD_WEB_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "fsync/core/collection.h"
+
+namespace fsx {
+
+/// Shape of the synthetic web collection and its daily churn.
+struct WebProfile {
+  uint64_t seed = 0x3EB;
+  int num_pages = 1000;
+  uint64_t min_page_bytes = 2 * 1024;
+  uint64_t max_page_bytes = 64 * 1024;
+  /// Per-day probability that a page does not change at all.
+  double p_unchanged_per_day = 0.65;
+  /// Among changed pages: probability of only trivial churn (timestamp,
+  /// counters, rotated links) vs. a real content edit.
+  double p_trivial_change = 0.6;
+  /// Probability a changed page is completely replaced (site redesigns).
+  double p_rewrite = 0.02;
+};
+
+/// A web snapshot generator. Day 0 is the base crawl; Snapshot(d) derives
+/// day d deterministically by iterating the daily model, so
+/// Snapshot(7) == seven applications of the same churn process.
+class WebCollectionModel {
+ public:
+  explicit WebCollectionModel(const WebProfile& profile);
+
+  /// The crawl of day `day` (day 0 = base). Iterates the daily update
+  /// model; results are cached, so requesting days out of order is fine.
+  /// Returned references stay valid for the model's lifetime (snapshots
+  /// are stored in a deque).
+  const Collection& Snapshot(int day);
+
+ private:
+  void AdvanceOneDay();
+
+  WebProfile profile_;
+  std::deque<Collection> days_;
+  uint64_t day_seed_ = 0;
+};
+
+}  // namespace fsx
+
+#endif  // FSYNC_WORKLOAD_WEB_H_

@@ -1,0 +1,245 @@
+#include "fsync/zsync/zsync.h"
+
+#include <unordered_map>
+
+#include "fsync/compress/codec.h"
+#include "fsync/hash/fingerprint.h"
+#include "fsync/hash/md5.h"
+#include "fsync/hash/tabled_adler.h"
+#include "fsync/util/bit_io.h"
+
+namespace fsx {
+
+namespace {
+
+constexpr uint64_t kStrongSalt = 0x25A6C;
+
+Status ValidateParams(const ZsyncParams& p) {
+  if (p.block_size == 0 || p.weak_bits < 1 || p.weak_bits > 32 ||
+      p.strong_bits < 1 || p.strong_bits > 64) {
+    return Status::InvalidArgument("zsync: bad parameters");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::vector<ZsyncPlan::Range> ZsyncPlan::Missing() const {
+  std::vector<Range> out;
+  for (size_t i = 0; i < sources.size(); ++i) {
+    if (sources[i] != kMissing) {
+      continue;
+    }
+    uint64_t begin = static_cast<uint64_t>(i) * block_size;
+    uint64_t end = std::min<uint64_t>(begin + block_size, new_size);
+    if (!out.empty() && out.back().begin + out.back().length == begin) {
+      out.back().length += end - begin;  // coalesce adjacent blocks
+    } else {
+      out.push_back({begin, end - begin});
+    }
+  }
+  return out;
+}
+
+double ZsyncPlan::CoveredFraction() const {
+  if (new_size == 0) {
+    return 1.0;
+  }
+  uint64_t missing = 0;
+  for (const Range& r : Missing()) {
+    missing += r.length;
+  }
+  return 1.0 - static_cast<double>(missing) / static_cast<double>(new_size);
+}
+
+StatusOr<Bytes> MakeZsyncControl(ByteSpan current,
+                                 const ZsyncParams& params) {
+  FSYNC_RETURN_IF_ERROR(ValidateParams(params));
+  BitWriter out;
+  out.WriteVarint(current.size());
+  Fingerprint fp = FileFingerprint(current);
+  out.WriteBytes(ByteSpan(fp.data(), fp.size()));
+  out.WriteVarint(params.block_size);
+  out.WriteBits(static_cast<uint64_t>(params.weak_bits), 6);
+  out.WriteBits(static_cast<uint64_t>(params.strong_bits), 7);
+  out.WriteBit(params.compress_ranges);
+
+  for (uint64_t off = 0; off < current.size(); off += params.block_size) {
+    ByteSpan block = current.subspan(
+        off, std::min<uint64_t>(params.block_size, current.size() - off));
+    out.WriteBits(TabledAdler::Truncate(TabledAdler::Hash(block),
+                                        params.weak_bits),
+                  params.weak_bits);
+    out.WriteBits(Md5::HashBits(block, params.strong_bits, kStrongSalt),
+                  params.strong_bits);
+  }
+  return out.Finish();
+}
+
+StatusOr<ZsyncPlan> PlanFromControl(ByteSpan outdated, ByteSpan control) {
+  BitReader in(control);
+  ZsyncPlan plan;
+  FSYNC_ASSIGN_OR_RETURN(plan.new_size, in.ReadVarint());
+  if (plan.new_size > (uint64_t{1} << 32)) {
+    return Status::DataLoss("zsync: implausible size");
+  }
+  FSYNC_ASSIGN_OR_RETURN(Bytes fp, in.ReadBytes(16));
+  std::copy(fp.begin(), fp.end(), plan.fingerprint.begin());
+  FSYNC_ASSIGN_OR_RETURN(uint64_t bs, in.ReadVarint());
+  FSYNC_ASSIGN_OR_RETURN(uint64_t weak_bits, in.ReadBits(6));
+  FSYNC_ASSIGN_OR_RETURN(uint64_t strong_bits, in.ReadBits(7));
+  FSYNC_ASSIGN_OR_RETURN(bool compressed, in.ReadBit());
+  plan.block_size = static_cast<uint32_t>(bs);
+  plan.compress_ranges = compressed;
+  ZsyncParams params;
+  params.block_size = plan.block_size;
+  params.weak_bits = static_cast<int>(weak_bits);
+  params.strong_bits = static_cast<int>(strong_bits);
+  FSYNC_RETURN_IF_ERROR(ValidateParams(params));
+
+  struct Pending {
+    uint32_t weak = 0;
+    uint64_t strong = 0;
+  };
+  uint64_t n_blocks =
+      plan.new_size == 0
+          ? 0
+          : (plan.new_size + plan.block_size - 1) / plan.block_size;
+  std::vector<Pending> blocks(n_blocks);
+  for (Pending& p : blocks) {
+    FSYNC_ASSIGN_OR_RETURN(uint64_t w, in.ReadBits(params.weak_bits));
+    FSYNC_ASSIGN_OR_RETURN(p.strong, in.ReadBits(params.strong_bits));
+    p.weak = static_cast<uint32_t>(w);
+  }
+  plan.sources.assign(n_blocks, ZsyncPlan::kMissing);
+
+  // Full blocks: one rolling pass over the outdated file.
+  if (n_blocks > 0 && plan.block_size <= outdated.size()) {
+    std::unordered_multimap<uint32_t, size_t> table;
+    uint64_t full_blocks =
+        plan.new_size / plan.block_size;  // tail handled below
+    size_t unmatched = 0;
+    for (size_t i = 0; i < full_blocks; ++i) {
+      table.emplace(blocks[i].weak, i);
+      ++unmatched;
+    }
+    if (unmatched > 0) {
+      TabledAdlerWindow window(outdated.subspan(0, plan.block_size));
+      for (uint64_t pos = 0;; ++pos) {
+        uint32_t key =
+            TabledAdler::Truncate(window.pair(), params.weak_bits);
+        auto [lo, hi] = table.equal_range(key);
+        for (auto it = lo; it != hi; ++it) {
+          size_t i = it->second;
+          if (plan.sources[i] == ZsyncPlan::kMissing &&
+              Md5::HashBits(outdated.subspan(pos, plan.block_size),
+                            params.strong_bits,
+                            kStrongSalt) == blocks[i].strong) {
+            plan.sources[i] = pos;
+            --unmatched;
+          }
+        }
+        if (unmatched == 0 || pos + plan.block_size >= outdated.size()) {
+          break;
+        }
+        window.Roll(outdated[pos], outdated[pos + plan.block_size]);
+      }
+    }
+  }
+  // Tail block: check every position of its exact (short) size.
+  if (n_blocks > 0 && plan.new_size % plan.block_size != 0) {
+    uint64_t tail_len = plan.new_size % plan.block_size;
+    size_t i = n_blocks - 1;
+    if (tail_len <= outdated.size()) {
+      TabledAdlerWindow window(outdated.subspan(0, tail_len));
+      for (uint64_t pos = 0;; ++pos) {
+        if (TabledAdler::Truncate(window.pair(), params.weak_bits) ==
+                blocks[i].weak &&
+            Md5::HashBits(outdated.subspan(pos, tail_len),
+                          params.strong_bits,
+                          kStrongSalt) == blocks[i].strong) {
+          plan.sources[i] = pos;
+          break;
+        }
+        if (pos + tail_len >= outdated.size()) {
+          break;
+        }
+        window.Roll(outdated[pos], outdated[pos + tail_len]);
+      }
+    }
+  }
+  return plan;
+}
+
+Bytes EncodeRangeRequest(const ZsyncPlan& plan) {
+  std::vector<ZsyncPlan::Range> missing = plan.Missing();
+  BitWriter out;
+  out.WriteVarint(missing.size());
+  uint64_t prev_end = 0;
+  for (const ZsyncPlan::Range& r : missing) {
+    out.WriteVarint(r.begin - prev_end);
+    out.WriteVarint(r.length);
+    prev_end = r.begin + r.length;
+  }
+  return out.Finish();
+}
+
+StatusOr<Bytes> ServeRanges(ByteSpan current, ByteSpan request,
+                            const ZsyncParams& params) {
+  BitReader in(request);
+  FSYNC_ASSIGN_OR_RETURN(uint64_t count, in.ReadVarint());
+  if (count > current.size() + 1) {
+    return Status::DataLoss("zsync: implausible range count");
+  }
+  Bytes raw;
+  uint64_t pos = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    FSYNC_ASSIGN_OR_RETURN(uint64_t gap, in.ReadVarint());
+    FSYNC_ASSIGN_OR_RETURN(uint64_t len, in.ReadVarint());
+    pos += gap;
+    if (pos + len > current.size()) {
+      return Status::DataLoss("zsync: range out of bounds");
+    }
+    Append(raw, current.subspan(pos, len));
+    pos += len;
+  }
+  return params.compress_ranges ? Compress(raw) : raw;
+}
+
+StatusOr<Bytes> ApplyZsync(ByteSpan outdated, const ZsyncPlan& plan,
+                           ByteSpan payload) {
+  Bytes ranges;
+  if (plan.compress_ranges) {
+    FSYNC_ASSIGN_OR_RETURN(ranges, Decompress(payload));
+  } else {
+    ranges.assign(payload.begin(), payload.end());
+  }
+
+  Bytes out;
+  out.reserve(plan.new_size);
+  size_t range_pos = 0;
+  for (size_t i = 0; i < plan.sources.size(); ++i) {
+    uint64_t begin = static_cast<uint64_t>(i) * plan.block_size;
+    uint64_t len =
+        std::min<uint64_t>(plan.block_size, plan.new_size - begin);
+    if (plan.sources[i] == ZsyncPlan::kMissing) {
+      if (range_pos + len > ranges.size()) {
+        return Status::DataLoss("zsync: payload too short");
+      }
+      Append(out, ByteSpan(ranges).subspan(range_pos, len));
+      range_pos += len;
+    } else {
+      if (plan.sources[i] + len > outdated.size()) {
+        return Status::InvalidArgument("zsync: plan source out of bounds");
+      }
+      Append(out, outdated.subspan(plan.sources[i], len));
+    }
+  }
+  Fingerprint got = FileFingerprint(out);
+  if (!std::equal(got.begin(), got.end(), plan.fingerprint.begin())) {
+    return Status::DataLoss("zsync: fingerprint mismatch");
+  }
+  return out;
+}
+
+}  // namespace fsx

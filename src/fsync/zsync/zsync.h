@@ -1,0 +1,74 @@
+// zsync-style synchronization: the inverse deployment of rsync for
+// HTTP-like servers. The publisher precomputes a small *control file*
+// (per-block rolling + strong hashes of the current file at one fixed
+// block size); the client downloads it, matches blocks against its local
+// outdated copy entirely client-side, and then requests only the byte
+// ranges it misses. The server stays dumb (static file + range requests),
+// which is the operational niche rsync and the paper's interactive
+// protocol cannot serve. Included as the fixed-block one-way comparator
+// to the recursive hash cast (core/broadcast.h).
+#ifndef FSYNC_ZSYNC_ZSYNC_H_
+#define FSYNC_ZSYNC_ZSYNC_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Control-file shape.
+struct ZsyncParams {
+  uint32_t block_size = 2048;
+  int weak_bits = 24;    // rolling hash per block (<= 32)
+  int strong_bits = 24;  // MD5 bits per block, verified client-side
+  bool compress_ranges = true;
+};
+
+/// Builds the control file for `current` (published once, fetched by
+/// every client).
+StatusOr<Bytes> MakeZsyncControl(ByteSpan current,
+                                 const ZsyncParams& params);
+
+/// What the client worked out locally from the control file.
+struct ZsyncPlan {
+  uint64_t new_size = 0;
+  std::array<uint8_t, 16> fingerprint{};
+  uint32_t block_size = 0;
+  bool compress_ranges = true;
+  /// Per block of the new file: source position in the *old* file, or
+  /// kMissing when the client must fetch it.
+  static constexpr uint64_t kMissing = ~uint64_t{0};
+  std::vector<uint64_t> sources;
+
+  /// Missing byte ranges of the new file, coalesced and in order.
+  struct Range {
+    uint64_t begin = 0;
+    uint64_t length = 0;
+  };
+  std::vector<Range> Missing() const;
+
+  /// Fraction of the new file the client already holds.
+  double CoveredFraction() const;
+};
+
+/// Client side: matches the control file against `outdated`.
+StatusOr<ZsyncPlan> PlanFromControl(ByteSpan outdated, ByteSpan control);
+
+/// The client's range request (coalesced missing ranges, varint-coded).
+Bytes EncodeRangeRequest(const ZsyncPlan& plan);
+
+/// Server side: returns the requested ranges of `current` (compressed
+/// when the control file said so).
+StatusOr<Bytes> ServeRanges(ByteSpan current, ByteSpan request,
+                            const ZsyncParams& params);
+
+/// Client side: reassembles the new file and verifies its fingerprint.
+StatusOr<Bytes> ApplyZsync(ByteSpan outdated, const ZsyncPlan& plan,
+                           ByteSpan payload);
+
+}  // namespace fsx
+
+#endif  // FSYNC_ZSYNC_ZSYNC_H_

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "fsync/cdc/cdc_sync.h"
+#include "fsync/cdc/chunker.h"
+#include "fsync/util/random.h"
+#include "fsync/workload/edits.h"
+#include "fsync/workload/text_synth.h"
+
+namespace fsx {
+namespace {
+
+TEST(Chunker, ChunksTileTheInput) {
+  Rng rng(1);
+  Bytes data = rng.RandomBytes(100000);
+  std::vector<Chunk> chunks = CdcChunk(data);
+  uint64_t pos = 0;
+  for (const Chunk& c : chunks) {
+    EXPECT_EQ(c.offset, pos);
+    EXPECT_GT(c.size, 0u);
+    pos += c.size;
+  }
+  EXPECT_EQ(pos, data.size());
+}
+
+TEST(Chunker, RespectsSizeBounds) {
+  Rng rng(2);
+  Bytes data = rng.RandomBytes(200000);
+  CdcParams params;
+  params.min_size = 512;
+  params.max_size = 8192;
+  std::vector<Chunk> chunks = CdcChunk(data, params);
+  for (size_t i = 0; i + 1 < chunks.size(); ++i) {  // last may be short
+    EXPECT_GE(chunks[i].size, params.min_size);
+    EXPECT_LE(chunks[i].size, params.max_size);
+  }
+}
+
+TEST(Chunker, ExpectedSizeTracksMaskBits) {
+  Rng rng(3);
+  Bytes data = rng.RandomBytes(1 << 20);
+  CdcParams small;
+  small.mask_bits = 9;
+  CdcParams large;
+  large.mask_bits = 13;
+  size_t n_small = CdcChunk(data, small).size();
+  size_t n_large = CdcChunk(data, large).size();
+  EXPECT_GT(n_small, n_large * 3);
+}
+
+TEST(Chunker, EmptyAndTinyInputs) {
+  EXPECT_TRUE(CdcChunk({}).empty());
+  Bytes tiny = ToBytes("abc");
+  std::vector<Chunk> chunks = CdcChunk(tiny);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].size, 3u);
+}
+
+TEST(Chunker, InsertionOnlyReChunksLocally) {
+  // The defining CDC property: an edit changes O(1) chunk boundaries.
+  Rng rng(4);
+  Bytes base = rng.RandomBytes(300000);
+  Bytes edited = base;
+  Bytes ins = ToBytes("INSERTED CONTENT HERE");
+  edited.insert(edited.begin() + 150000, ins.begin(), ins.end());
+
+  auto hashes = [](const Bytes& data) {
+    std::vector<std::pair<uint64_t, uint64_t>> out;  // (size, first bytes)
+    for (const Chunk& c : CdcChunk(data)) {
+      uint64_t head = 0;
+      for (int i = 0; i < 8 && static_cast<uint64_t>(i) < c.size; ++i) {
+        head = (head << 8) | data[c.offset + i];
+      }
+      out.push_back({c.size, head});
+    }
+    return out;
+  };
+  auto a = hashes(base);
+  auto b = hashes(edited);
+  // Count identical (size, head) chunk signatures present in both.
+  std::multiset<std::pair<uint64_t, uint64_t>> sa(a.begin(), a.end());
+  size_t shared = 0;
+  for (const auto& x : b) {
+    auto it = sa.find(x);
+    if (it != sa.end()) {
+      ++shared;
+      sa.erase(it);
+    }
+  }
+  // Nearly all chunks survive the insertion.
+  EXPECT_GT(shared + 4, b.size());
+}
+
+CdcSyncResult MustCdcSync(const Bytes& f_old, const Bytes& f_new,
+                          const CdcSyncParams& params) {
+  SimulatedChannel channel;
+  auto r = CdcSynchronize(f_old, f_new, params, channel);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, f_new);
+  return std::move(*r);
+}
+
+TEST(CdcSync, UnchangedFileIsCheap) {
+  Rng rng(5);
+  Bytes f = SynthSourceFile(rng, 50000);
+  CdcSyncParams params;
+  CdcSyncResult r = MustCdcSync(f, f, params);
+  EXPECT_LT(r.stats.total_bytes(), 64u);
+}
+
+TEST(CdcSync, SmallEditTransfersFewChunks) {
+  Rng rng(6);
+  Bytes f_old = SynthSourceFile(rng, 200000);
+  EditProfile ep;
+  ep.num_edits = 3;
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+  CdcSyncParams params;
+  CdcSyncResult r = MustCdcSync(f_old, f_new, params);
+  EXPECT_LT(r.chunks_missing * 10, r.chunks_total);
+  EXPECT_LT(r.stats.total_bytes(), f_new.size() / 4);
+}
+
+TEST(CdcSync, EmptyFiles) {
+  Rng rng(7);
+  Bytes f = SynthSourceFile(rng, 10000);
+  CdcSyncParams params;
+  CdcSyncResult a = MustCdcSync({}, f, params);
+  EXPECT_EQ(a.reconstructed, f);
+  CdcSyncResult b = MustCdcSync(f, {}, params);
+  EXPECT_TRUE(b.reconstructed.empty());
+}
+
+class CdcFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CdcFuzz, AlwaysReconstructs) {
+  Rng rng(GetParam());
+  Bytes f_old = SynthSourceFile(rng, 1 + rng.Uniform(60000));
+  EditProfile ep;
+  ep.num_edits = static_cast<int>(rng.Uniform(30));
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+  CdcSyncParams params;
+  params.chunking.mask_bits = 8 + static_cast<uint32_t>(rng.Uniform(5));
+  params.chunking.min_size = 64 << rng.Uniform(3);
+  params.hash_bytes = 2 + static_cast<uint32_t>(rng.Uniform(6));
+  MustCdcSync(f_old, f_new, params);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdcFuzz, ::testing::Range<uint64_t>(0, 20));
+
+TEST(CdcSync, WeakHashesStillEndCorrect) {
+  // 1-byte chunk hashes guarantee collisions on a large file; the
+  // fingerprint check must detect the bad reassembly and fall back.
+  Rng rng(8);
+  Bytes f_old = SynthSourceFile(rng, 300000);
+  EditProfile ep;
+  ep.num_edits = 10;
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+  CdcSyncParams params;
+  params.hash_bytes = 1;
+  CdcSyncResult r = MustCdcSync(f_old, f_new, params);
+  EXPECT_EQ(r.reconstructed, f_new);  // correctness regardless of fallback
+}
+
+}  // namespace
+}  // namespace fsx

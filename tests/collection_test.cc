@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "fsync/core/collection.h"
+#include "fsync/util/random.h"
+#include "fsync/workload/edits.h"
+#include "fsync/workload/text_synth.h"
+
+namespace fsx {
+namespace {
+
+struct Snapshots {
+  Collection old_snap;
+  Collection new_snap;
+};
+
+Snapshots MakeSnapshots(uint64_t seed, int files) {
+  Rng rng(seed);
+  Snapshots s;
+  for (int i = 0; i < files; ++i) {
+    std::string name = "f" + std::to_string(i);
+    Bytes content = SynthSourceFile(rng, 2000 + rng.Uniform(20000));
+    s.old_snap[name] = content;
+    if (i % 3 == 0) {
+      s.new_snap[name] = content;  // unchanged
+    } else {
+      EditProfile ep;
+      ep.num_edits = static_cast<int>(rng.UniformInt(1, 10));
+      s.new_snap[name] = ApplyEdits(content, ep, rng);
+    }
+  }
+  return s;
+}
+
+TEST(Collection, SyncReconstructsEveryFile) {
+  Snapshots s = MakeSnapshots(1, 12);
+  SyncConfig config;
+  auto r = SyncCollection(s.old_snap, s.new_snap, config);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, s.new_snap);
+  EXPECT_EQ(r->files_total, s.new_snap.size());
+  EXPECT_EQ(r->files_unchanged, 4u);
+}
+
+TEST(Collection, UnchangedFilesCostOnlyFingerprints) {
+  Snapshots s;
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    Bytes content = SynthSourceFile(rng, 10000);
+    s.old_snap["f" + std::to_string(i)] = content;
+    s.new_snap["f" + std::to_string(i)] = content;
+  }
+  SyncConfig config;
+  auto r = SyncCollection(s.old_snap, s.new_snap, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->files_unchanged, 10u);
+  // Fingerprint exchange only: ~(16 + name) per file.
+  EXPECT_LT(r->stats.total_bytes(), 10 * 64u);
+}
+
+TEST(Collection, NewFilesAreTransferred) {
+  Snapshots s = MakeSnapshots(3, 5);
+  Rng rng(4);
+  s.new_snap["brand_new"] = SynthSourceFile(rng, 15000);
+  SyncConfig config;
+  auto r = SyncCollection(s.old_snap, s.new_snap, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->files_new, 1u);
+  EXPECT_EQ(r->reconstructed.at("brand_new"), s.new_snap.at("brand_new"));
+}
+
+TEST(Collection, DeletedFilesDisappear) {
+  Snapshots s = MakeSnapshots(5, 5);
+  s.new_snap.erase(s.new_snap.begin());
+  SyncConfig config;
+  auto r = SyncCollection(s.old_snap, s.new_snap, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->reconstructed, s.new_snap);
+}
+
+TEST(Collection, RsyncBaselineReconstructs) {
+  Snapshots s = MakeSnapshots(6, 10);
+  RsyncParams params;
+  auto r = SyncCollectionRsync(s.old_snap, s.new_snap, params);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, s.new_snap);
+}
+
+TEST(Collection, CdcBaselineReconstructs) {
+  Snapshots s = MakeSnapshots(9, 10);
+  CdcSyncParams params;
+  auto r = SyncCollectionCdc(s.old_snap, s.new_snap, params);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, s.new_snap);
+  // Single-roundtrip family: chunk offer + have-bitmap + data.
+  EXPECT_LT(r->stats.roundtrips, 6u);
+}
+
+TEST(Collection, CostOrderingMatchesPaper) {
+  // full > gzip > rsync > fsync-protocol > delta lower bound.
+  Snapshots s = MakeSnapshots(7, 16);
+  SyncConfig config;
+  RsyncParams rsync_params;
+
+  uint64_t full = CollectionFullTransferBytes(s.old_snap, s.new_snap);
+  uint64_t gz = CollectionCompressedTransferBytes(s.old_snap, s.new_snap);
+  auto ours = SyncCollection(s.old_snap, s.new_snap, config);
+  auto rs = SyncCollectionRsync(s.old_snap, s.new_snap, rsync_params);
+  auto delta = CollectionDeltaBytes(s.old_snap, s.new_snap, DeltaCodec::kZd);
+  ASSERT_TRUE(ours.ok());
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(delta.ok());
+
+  EXPECT_LT(gz, full);
+  EXPECT_LT(rs->stats.total_bytes(), gz);
+  EXPECT_LT(ours->stats.total_bytes(), rs->stats.total_bytes());
+  EXPECT_LE(*delta, ours->stats.total_bytes());
+}
+
+TEST(Collection, RoundtripsAreBatchedNotSummed) {
+  Snapshots s = MakeSnapshots(8, 20);
+  SyncConfig config;
+  auto r = SyncCollection(s.old_snap, s.new_snap, config);
+  ASSERT_TRUE(r.ok());
+  // Roundtrips must scale with protocol depth, not with file count.
+  EXPECT_LT(r->stats.roundtrips, 30u);
+}
+
+TEST(CollectionBatched, ReconstructsAndSharesRoundtrips) {
+  Snapshots s = MakeSnapshots(10, 15);
+  SyncConfig config;
+  SimulatedChannel channel;
+  auto r = SyncCollectionBatched(s.old_snap, s.new_snap, config, channel);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, s.new_snap);
+  // True multiplexing: total roundtrips ~= deepest single file's session
+  // plus the announce exchange, far below #files * rounds.
+  EXPECT_LT(r->stats.roundtrips, 30u);
+  // And it should be comparable in bytes to the per-file accounting.
+  auto per_file = SyncCollection(s.old_snap, s.new_snap, config);
+  ASSERT_TRUE(per_file.ok());
+  EXPECT_LT(r->stats.total_bytes(),
+            per_file->stats.total_bytes() * 3 / 2 + 4096);
+}
+
+TEST(CollectionBatched, HandlesNewDeletedAndUnchanged) {
+  Snapshots s = MakeSnapshots(11, 8);
+  Rng rng(12);
+  s.new_snap.erase(s.new_snap.begin());
+  s.new_snap["added_file"] = SynthSourceFile(rng, 12000);
+  SyncConfig config;
+  SimulatedChannel channel;
+  auto r = SyncCollectionBatched(s.old_snap, s.new_snap, config, channel);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, s.new_snap);
+  EXPECT_EQ(r->files_new, 1u);
+  EXPECT_GT(r->files_unchanged, 0u);
+}
+
+TEST(CollectionBatched, EmptyCollections) {
+  SyncConfig config;
+  SimulatedChannel channel;
+  auto r = SyncCollectionBatched({}, {}, config, channel);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->reconstructed.empty());
+}
+
+TEST(CollectionBatched, AllUnchangedCostsOnlyAnnounce) {
+  Snapshots s;
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    Bytes content = SynthSourceFile(rng, 20000);
+    s.old_snap["f" + std::to_string(i)] = content;
+    s.new_snap["f" + std::to_string(i)] = content;
+  }
+  SyncConfig config;
+  SimulatedChannel channel;
+  auto r = SyncCollectionBatched(s.old_snap, s.new_snap, config, channel);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->files_unchanged, 10u);
+  EXPECT_EQ(r->stats.roundtrips, 1u);  // announce/verdict only
+  EXPECT_LT(r->stats.total_bytes(), 10 * 64u);
+}
+
+TEST(Collection, EmptyCollections) {
+  SyncConfig config;
+  auto r = SyncCollection({}, {}, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->reconstructed.empty());
+}
+
+}  // namespace
+}  // namespace fsx

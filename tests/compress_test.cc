@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "fsync/compress/codec.h"
+#include "fsync/compress/huffman.h"
+#include "fsync/compress/lz77.h"
+#include "fsync/util/random.h"
+#include "fsync/workload/text_synth.h"
+
+namespace fsx {
+namespace {
+
+// --- Huffman -----------------------------------------------------------
+
+TEST(Huffman, CodeLengthsRespectLimitAndKraft) {
+  std::vector<uint64_t> freqs(64);
+  for (size_t i = 0; i < freqs.size(); ++i) {
+    freqs[i] = (i + 1) * (i + 1) * (i + 1);  // heavily skewed
+  }
+  std::vector<uint8_t> lens = BuildCodeLengths(freqs, 7);
+  double kraft = 0;
+  for (uint8_t l : lens) {
+    ASSERT_LE(l, 7);
+    ASSERT_GE(l, 1);  // all symbols used
+    kraft += 1.0 / (1 << l);
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-9);
+}
+
+TEST(Huffman, SingleSymbolGetsOneBit) {
+  std::vector<uint64_t> freqs(10, 0);
+  freqs[4] = 100;
+  std::vector<uint8_t> lens = BuildCodeLengths(freqs, 15);
+  EXPECT_EQ(lens[4], 1);
+  for (size_t i = 0; i < lens.size(); ++i) {
+    if (i != 4) {
+      EXPECT_EQ(lens[i], 0);
+    }
+  }
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip) {
+  std::vector<uint64_t> freqs = {50, 20, 10, 5, 5, 5, 3, 1, 1};
+  std::vector<uint8_t> lens = BuildCodeLengths(freqs, 15);
+  auto enc = HuffmanEncoder::Build(lens);
+  ASSERT_TRUE(enc.ok());
+  auto dec = HuffmanDecoder::Build(lens);
+  ASSERT_TRUE(dec.ok());
+
+  Rng rng(11);
+  std::vector<uint32_t> symbols;
+  for (int i = 0; i < 2000; ++i) {
+    symbols.push_back(static_cast<uint32_t>(rng.Uniform(freqs.size())));
+  }
+  BitWriter w;
+  for (uint32_t s : symbols) {
+    enc->Encode(s, w);
+  }
+  Bytes buf = w.Finish();
+  BitReader r(buf);
+  for (uint32_t s : symbols) {
+    auto got = dec->Decode(r);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, s);
+  }
+}
+
+TEST(Huffman, OptimalForSkewedDistribution) {
+  // The most frequent symbol must get the shortest code.
+  std::vector<uint64_t> freqs = {1000, 1, 1, 1};
+  std::vector<uint8_t> lens = BuildCodeLengths(freqs, 15);
+  EXPECT_LT(lens[0], lens[1]);
+}
+
+TEST(Huffman, DecoderRejectsOversubscribedCode) {
+  std::vector<uint8_t> bad = {1, 1, 1};  // 3 codes of length 1
+  EXPECT_FALSE(HuffmanDecoder::Build(bad).ok());
+}
+
+TEST(Huffman, DecoderRejectsIncompleteMultiSymbolCode) {
+  std::vector<uint8_t> bad = {2, 2, 0};  // covers half the space, 2 symbols
+  EXPECT_FALSE(HuffmanDecoder::Build(bad).ok());
+}
+
+TEST(Huffman, CodeLengthTableRoundTrip) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint64_t> freqs(286, 0);
+    int used = 1 + static_cast<int>(rng.Uniform(200));
+    for (int i = 0; i < used; ++i) {
+      freqs[rng.Uniform(freqs.size())] += 1 + rng.Uniform(1000);
+    }
+    std::vector<uint8_t> lens = BuildCodeLengths(freqs, 15);
+    BitWriter w;
+    WriteCodeLengthTable(lens, w);
+    Bytes buf = w.Finish();
+    BitReader r(buf);
+    std::vector<uint8_t> back;
+    ASSERT_TRUE(ReadCodeLengthTable(lens.size(), r, back).ok());
+    EXPECT_EQ(back, lens);
+  }
+}
+
+// --- LZ77 ---------------------------------------------------------------
+
+TEST(Lz77, TokensReconstructInput) {
+  Rng rng(21);
+  Bytes data = SynthSourceFile(rng, 20000);
+  std::vector<Lz77Token> tokens = Lz77Tokenize(data);
+  Bytes rebuilt;
+  for (const Lz77Token& t : tokens) {
+    if (t.is_match) {
+      ASSERT_LE(t.distance, rebuilt.size());
+      size_t start = rebuilt.size() - t.distance;
+      for (uint32_t k = 0; k < t.length; ++k) {
+        rebuilt.push_back(rebuilt[start + k]);
+      }
+    } else {
+      rebuilt.push_back(t.literal);
+    }
+  }
+  EXPECT_EQ(rebuilt, data);
+}
+
+TEST(Lz77, FindsLongRepeats) {
+  Bytes data;
+  Bytes unit = ToBytes("0123456789abcdef");
+  for (int i = 0; i < 64; ++i) {
+    Append(data, unit);
+  }
+  std::vector<Lz77Token> tokens = Lz77Tokenize(data);
+  // A repetitive kilobyte must collapse to a handful of tokens.
+  EXPECT_LT(tokens.size(), 40u);
+}
+
+TEST(Lz77, ShortInputsAreLiterals) {
+  Bytes data = ToBytes("ab");
+  std::vector<Lz77Token> tokens = Lz77Tokenize(data);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_FALSE(tokens[0].is_match);
+  EXPECT_FALSE(tokens[1].is_match);
+}
+
+// --- Codec ----------------------------------------------------------------
+
+class CodecRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecRoundTrip, RandomizedContent) {
+  Rng rng(GetParam());
+  size_t size = rng.Uniform(50000);
+  // Mix of three textures: random (incompressible), text, repetitive.
+  Bytes data;
+  switch (GetParam() % 3) {
+    case 0:
+      data = rng.RandomBytes(size);
+      break;
+    case 1:
+      data = SynthSourceFile(rng, size);
+      break;
+    default: {
+      Bytes unit = rng.RandomBytes(1 + rng.Uniform(64));
+      while (data.size() < size) {
+        Append(data, unit);
+      }
+      break;
+    }
+  }
+  Bytes packed = Compress(data);
+  auto back = Decompress(packed);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CodecRoundTrip, ::testing::Range(0, 24));
+
+TEST(Codec, EmptyInput) {
+  Bytes packed = Compress({});
+  auto back = Decompress(packed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Codec, CompressesText) {
+  Rng rng(31);
+  Bytes data = SynthSourceFile(rng, 100000);
+  Bytes packed = Compress(data);
+  // Synthetic source is highly redundant; expect at least 3x.
+  EXPECT_LT(packed.size(), data.size() / 3);
+}
+
+TEST(Codec, IncompressibleFallsBackToStored) {
+  Rng rng(33);
+  Bytes data = rng.RandomBytes(10000);
+  Bytes packed = Compress(data);
+  // Stored mode: tiny overhead only.
+  EXPECT_LE(packed.size(), data.size() + 16);
+}
+
+TEST(Codec, DecompressRejectsCorruptHeader) {
+  EXPECT_FALSE(Decompress(Bytes{}).ok());
+  Bytes garbage = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                   0xFF, 0xFF};
+  EXPECT_FALSE(Decompress(garbage).ok());
+}
+
+TEST(Codec, DecompressRejectsTruncation) {
+  Rng rng(35);
+  Bytes data = SynthSourceFile(rng, 5000);
+  Bytes packed = Compress(data);
+  for (size_t cut : {packed.size() / 4, packed.size() / 2,
+                     packed.size() - 1}) {
+    Bytes truncated(packed.begin(), packed.begin() + cut);
+    auto r = Decompress(truncated);
+    EXPECT_FALSE(r.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Codec, BitflipsNeverCrash) {
+  Rng rng(37);
+  Bytes data = SynthSourceFile(rng, 3000);
+  Bytes packed = Compress(data);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes corrupt = packed;
+    corrupt[rng.Uniform(corrupt.size())] ^=
+        static_cast<uint8_t>(1 << rng.Uniform(8));
+    auto r = Decompress(corrupt);  // must not crash; may fail or differ
+    if (r.ok() && *r == data) {
+      continue;  // flip in padding
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fsx

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fsync/hash/fingerprint.h"
+#include "fsync/hash/karp_rabin.h"
+#include "fsync/hash/md4.h"
+#include "fsync/hash/md5.h"
+#include "fsync/hash/rolling_adler.h"
+#include "fsync/hash/tabled_adler.h"
+#include "fsync/util/hex.h"
+#include "fsync/util/random.h"
+
+namespace fsx {
+namespace {
+
+Bytes B(const std::string& s) { return ToBytes(s); }
+
+// --- MD4: RFC 1320 test vectors -------------------------------------
+
+struct DigestCase {
+  const char* input;
+  const char* hex;
+};
+
+class Md4Vectors : public ::testing::TestWithParam<DigestCase> {};
+
+TEST_P(Md4Vectors, MatchesRfc1320) {
+  const auto& c = GetParam();
+  Bytes in = B(c.input);
+  EXPECT_EQ(HexEncode(Md4::Hash(in)), c.hex);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc1320, Md4Vectors,
+    ::testing::Values(
+        DigestCase{"", "31d6cfe0d16ae931b73c59d7e0c089c0"},
+        DigestCase{"a", "bde52cb31de33e46245e05fbdbd6fb24"},
+        DigestCase{"abc", "a448017aaf21d8525fc10ae87aa6729d"},
+        DigestCase{"message digest", "d9130a8164549fe818874806e1c7014b"},
+        DigestCase{"abcdefghijklmnopqrstuvwxyz",
+                   "d79e1c308aa5bbcdeea8ed63df412da9"},
+        DigestCase{
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+            "043f8582f241db351ce627e153e7f0e4"},
+        DigestCase{"1234567890123456789012345678901234567890123456789012345"
+                   "6789012345678901234567890",
+                   "e33b4ddc9c38f2199c3e7b164fcc0536"}));
+
+// --- MD5: RFC 1321 test vectors -------------------------------------
+
+class Md5Vectors : public ::testing::TestWithParam<DigestCase> {};
+
+TEST_P(Md5Vectors, MatchesRfc1321) {
+  const auto& c = GetParam();
+  Bytes in = B(c.input);
+  EXPECT_EQ(HexEncode(Md5::Hash(in)), c.hex);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc1321, Md5Vectors,
+    ::testing::Values(
+        DigestCase{"", "d41d8cd98f00b204e9800998ecf8427e"},
+        DigestCase{"a", "0cc175b9c0f1b6a831c399e269772661"},
+        DigestCase{"abc", "900150983cd24fb0d6963f7d28e17f72"},
+        DigestCase{"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+        DigestCase{"abcdefghijklmnopqrstuvwxyz",
+                   "c3fcd3d76192e4007dfb496cca67e13b"},
+        DigestCase{
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+            "d174ab98d277d9f5a5611c2c9f419d9f"},
+        DigestCase{"1234567890123456789012345678901234567890123456789012345"
+                   "6789012345678901234567890",
+                   "57edf4a22be3c955ac49da2e2107b67a"}));
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  Rng rng(7);
+  Bytes data = rng.RandomBytes(1000);
+  Md5 h;
+  h.Update(ByteSpan(data).subspan(0, 1));
+  h.Update(ByteSpan(data).subspan(1, 62));
+  h.Update(ByteSpan(data).subspan(63, 65));
+  h.Update(ByteSpan(data).subspan(128, 872));
+  EXPECT_EQ(h.Finish(), Md5::Hash(data));
+}
+
+TEST(Md4, IncrementalMatchesOneShot) {
+  Rng rng(9);
+  Bytes data = rng.RandomBytes(517);
+  Md4 h;
+  h.Update(ByteSpan(data).subspan(0, 100));
+  h.Update(ByteSpan(data).subspan(100, 417));
+  EXPECT_EQ(h.Finish(), Md4::Hash(data));
+}
+
+TEST(Md5, HashBitsSaltChangesValue) {
+  Bytes data = B("some verification payload");
+  EXPECT_NE(Md5::HashBits(data, 32, 1), Md5::HashBits(data, 32, 2));
+  EXPECT_EQ(Md5::HashBits(data, 16, 5), Md5::HashBits(data, 16, 5));
+  EXPECT_LT(Md5::HashBits(data, 8, 0), 256u);
+}
+
+// --- Rolling Adler (rsync weak checksum) ----------------------------
+
+TEST(RollingAdler, RollMatchesDirectComputation) {
+  Rng rng(42);
+  Bytes data = rng.RandomBytes(4096);
+  const size_t w = 700;
+  RollingAdler roll(ByteSpan(data).subspan(0, w));
+  for (size_t pos = 0;; ++pos) {
+    EXPECT_EQ(roll.value(), RsyncWeakChecksum(ByteSpan(data).subspan(pos, w)))
+        << "at pos " << pos;
+    if (pos + w >= data.size()) {
+      break;
+    }
+    roll.Roll(data[pos], data[pos + w]);
+  }
+}
+
+TEST(RollingAdler, WindowOfOne) {
+  Bytes data = B("xyz");
+  RollingAdler roll(ByteSpan(data).subspan(0, 1));
+  EXPECT_EQ(roll.value(), RsyncWeakChecksum(ByteSpan(data).subspan(0, 1)));
+  roll.Roll(data[0], data[1]);
+  EXPECT_EQ(roll.value(), RsyncWeakChecksum(ByteSpan(data).subspan(1, 1)));
+}
+
+// --- Tabled Adler: rolling, composable, decomposable -----------------
+
+TEST(TabledAdler, RollMatchesDirect) {
+  Rng rng(1);
+  Bytes data = rng.RandomBytes(2000);
+  const size_t w = 128;
+  TabledAdlerWindow win(ByteSpan(data).subspan(0, w));
+  for (size_t pos = 0;; ++pos) {
+    EXPECT_EQ(win.pair(), TabledAdler::Hash(ByteSpan(data).subspan(pos, w)))
+        << "at pos " << pos;
+    if (pos + w >= data.size()) {
+      break;
+    }
+    win.Roll(data[pos], data[pos + w]);
+  }
+}
+
+class TabledAdlerSplit : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TabledAdlerSplit, ComposeAndDecomposeIdentities) {
+  Rng rng(GetParam());
+  size_t total = 2 + rng.Uniform(512);
+  size_t cut = 1 + rng.Uniform(total - 1);
+  Bytes data = rng.RandomBytes(total);
+  ByteSpan whole(data);
+  AdlerPair parent = TabledAdler::Hash(whole);
+  AdlerPair left = TabledAdler::Hash(whole.subspan(0, cut));
+  AdlerPair right = TabledAdler::Hash(whole.subspan(cut));
+
+  EXPECT_EQ(TabledAdler::Compose(left, right, total - cut), parent);
+  EXPECT_EQ(TabledAdler::SplitRight(parent, left, total - cut), right);
+  EXPECT_EQ(TabledAdler::SplitLeft(parent, right, total - cut), left);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSplits, TabledAdlerSplit,
+                         ::testing::Range<size_t>(0, 50));
+
+TEST(TabledAdler, TruncationPreservesDecomposition) {
+  // Derived-from-truncated pairs must agree with the truncation of the
+  // true pair: the protocol relies on this to suppress sibling hashes.
+  Rng rng(77);
+  Bytes data = rng.RandomBytes(256);
+  ByteSpan whole(data);
+  AdlerPair parent = TabledAdler::Hash(whole);
+  AdlerPair left = TabledAdler::Hash(whole.subspan(0, 100));
+  AdlerPair right = TabledAdler::Hash(whole.subspan(100));
+
+  for (int bits = 2; bits <= 32; bits += 3) {
+    // Simulate the client: it only holds the truncated parent and left.
+    auto truncate_pair = [&](AdlerPair p) {
+      uint32_t packed = TabledAdler::Truncate(p, bits);
+      int a_bits = bits / 2;
+      int b_bits = bits - a_bits;
+      AdlerPair out;
+      out.a = static_cast<uint16_t>(
+          a_bits > 0 ? packed & ((1u << a_bits) - 1) : 0);
+      out.b = static_cast<uint16_t>(
+          (packed >> a_bits) &
+          (b_bits >= 16 ? 0xFFFFu : ((1u << b_bits) - 1)));
+      return out;
+    };
+    AdlerPair derived = TabledAdler::SplitRight(truncate_pair(parent),
+                                                truncate_pair(left), 156);
+    EXPECT_EQ(TabledAdler::Truncate(derived, bits),
+              TabledAdler::Truncate(right, bits))
+        << "bits=" << bits;
+  }
+}
+
+TEST(TabledAdler, PermutedStringsUsuallyDiffer) {
+  // The plain Adler 'a' component is permutation-invariant; the tabled
+  // pair's 'b' component must separate permutations.
+  Bytes a = B("abcdefgh12345678");
+  Bytes b = B("hgfedcba87654321");
+  EXPECT_NE(TabledAdler::Hash(a), TabledAdler::Hash(b));
+}
+
+TEST(TabledAdler, SubstitutionTableIsStable) {
+  // The table must be identical across runs/platforms or the two
+  // endpoints would disagree; pin a few entries.
+  const uint16_t* t = TabledAdler::SubstitutionTable();
+  uint16_t t0 = t[0], t255 = t[255];
+  EXPECT_EQ(t0, TabledAdler::SubstitutionTable()[0]);
+  EXPECT_EQ(t255, TabledAdler::SubstitutionTable()[255]);
+  // Not the identity mapping.
+  int diffs = 0;
+  for (int i = 0; i < 256; ++i) {
+    diffs += (t[i] != i);
+  }
+  EXPECT_GT(diffs, 250);
+}
+
+// --- Karp-Rabin ------------------------------------------------------
+
+TEST(KarpRabin, RollMatchesDirect) {
+  Rng rng(3);
+  Bytes data = rng.RandomBytes(1500);
+  const size_t w = 64;
+  KarpRabin kr(ByteSpan(data).subspan(0, w));
+  for (size_t pos = 0;; ++pos) {
+    EXPECT_EQ(kr.value(), KarpRabin::Hash(ByteSpan(data).subspan(pos, w)))
+        << "at pos " << pos;
+    if (pos + w >= data.size()) {
+      break;
+    }
+    kr.Roll(data[pos], data[pos + w]);
+  }
+}
+
+TEST(KarpRabin, DistinguishesPrefixesOfZeros) {
+  Bytes zeros1(10, 0);
+  Bytes zeros2(11, 0);
+  EXPECT_NE(KarpRabin::Hash(zeros1), KarpRabin::Hash(zeros2));
+}
+
+// --- Fingerprint ------------------------------------------------------
+
+TEST(Fingerprint, EqualIffEqualContent) {
+  Bytes a = B("identical content");
+  Bytes b = B("identical content");
+  Bytes c = B("different content");
+  EXPECT_EQ(FileFingerprint(a), FileFingerprint(b));
+  EXPECT_NE(FileFingerprint(a), FileFingerprint(c));
+}
+
+}  // namespace
+}  // namespace fsx

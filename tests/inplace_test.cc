@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "fsync/rsync/inplace.h"
+#include "fsync/rsync/rsync.h"
+#include "fsync/util/random.h"
+#include "fsync/workload/edits.h"
+#include "fsync/workload/text_synth.h"
+
+namespace fsx {
+namespace {
+
+ReconstructCommand Copy(uint64_t src, uint64_t len, uint64_t dst) {
+  ReconstructCommand c;
+  c.kind = ReconstructCommand::kCopy;
+  c.source_offset = src;
+  c.length = len;
+  c.target_offset = dst;
+  return c;
+}
+
+ReconstructCommand Lit(const std::string& s, uint64_t dst) {
+  ReconstructCommand c;
+  c.kind = ReconstructCommand::kLiteral;
+  c.literal = ToBytes(s);
+  c.target_offset = dst;
+  return c;
+}
+
+TEST(InPlace, IdentityCopy) {
+  Bytes old_file = ToBytes("hello world");
+  auto r = InPlaceReconstruct(old_file, {Copy(0, 11, 0)}, 11);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, old_file);
+  EXPECT_EQ(r->promoted_commands, 0u);
+}
+
+TEST(InPlace, SwapTwoBlocksRequiresPromotion) {
+  // new = old[4..8) ++ old[0..4): a 2-cycle that ordering cannot solve.
+  Bytes old_file = ToBytes("AAAABBBB");
+  auto r = InPlaceReconstruct(old_file, {Copy(4, 4, 0), Copy(0, 4, 4)}, 8);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, ToBytes("BBBBAAAA"));
+  EXPECT_GE(r->promoted_commands, 1u);
+  EXPECT_LE(r->promoted_literal_bytes, 4u);  // promotes the cheaper copy
+}
+
+TEST(InPlace, ShiftRightOrdersCorrectly) {
+  // new = "xx" ++ old: every copy reads bytes its own write would clobber
+  // if executed naively left-to-right; ordering (or backward copy) fixes
+  // it without promotion.
+  Bytes old_file = ToBytes("abcdefgh");
+  std::vector<ReconstructCommand> cmds = {Lit("xx", 0), Copy(0, 8, 2)};
+  auto r = InPlaceReconstruct(old_file, cmds, 10);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, ToBytes("xxabcdefgh"));
+}
+
+TEST(InPlace, LiteralOverwritingCopySource) {
+  // The literal at [0,4) destroys the source of the copy; the copy must
+  // execute first.
+  Bytes old_file = ToBytes("SRCDATA!");
+  std::vector<ReconstructCommand> cmds = {Lit("LITE", 0), Copy(0, 4, 4)};
+  auto r = InPlaceReconstruct(old_file, cmds, 8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->reconstructed, ToBytes("LITESRCD"));
+  EXPECT_EQ(r->promoted_commands, 0u);
+}
+
+TEST(InPlace, RejectsBadTiling) {
+  Bytes old_file = ToBytes("abcd");
+  // Gap at [2,4).
+  auto r = InPlaceReconstruct(old_file, {Copy(0, 2, 0)}, 4);
+  EXPECT_FALSE(r.ok());
+  // Overlap.
+  auto r2 =
+      InPlaceReconstruct(old_file, {Copy(0, 3, 0), Copy(0, 3, 2)}, 5);
+  EXPECT_FALSE(r2.ok());
+  // Source out of range.
+  auto r3 = InPlaceReconstruct(old_file, {Copy(10, 2, 0)}, 2);
+  EXPECT_FALSE(r3.ok());
+}
+
+TEST(InPlace, RandomizedPermutationsReconstruct) {
+  Rng rng(42);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t block = 16;
+    const size_t nblocks = 2 + rng.Uniform(24);
+    Bytes old_file = rng.RandomBytes(block * nblocks);
+
+    // New file = random permutation of old blocks + occasional literals.
+    std::vector<ReconstructCommand> cmds;
+    Bytes expected;
+    uint64_t dst = 0;
+    for (size_t i = 0; i < nblocks; ++i) {
+      if (rng.Bernoulli(0.2)) {
+        Bytes lit = rng.RandomBytes(block);
+        ReconstructCommand c;
+        c.kind = ReconstructCommand::kLiteral;
+        c.literal = lit;
+        c.target_offset = dst;
+        cmds.push_back(c);
+        Append(expected, lit);
+      } else {
+        size_t src_block = rng.Uniform(nblocks);
+        cmds.push_back(Copy(src_block * block, block, dst));
+        Append(expected, ByteSpan(old_file).subspan(src_block * block,
+                                                    block));
+      }
+      dst += block;
+    }
+    auto r = InPlaceReconstruct(old_file, cmds, dst);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->reconstructed, expected) << "trial " << trial;
+  }
+}
+
+TEST(InPlace, PromotedBytesBoundedByNewSize) {
+  Rng rng(43);
+  const size_t block = 32;
+  const size_t nblocks = 32;
+  Bytes old_file = rng.RandomBytes(block * nblocks);
+  // Full reversal: many cycles.
+  std::vector<ReconstructCommand> cmds;
+  for (size_t i = 0; i < nblocks; ++i) {
+    cmds.push_back(
+        Copy((nblocks - 1 - i) * block, block, i * block));
+  }
+  auto r = InPlaceReconstruct(old_file, cmds, block * nblocks);
+  ASSERT_TRUE(r.ok());
+  Bytes expected;
+  for (size_t i = 0; i < nblocks; ++i) {
+    Append(expected, ByteSpan(old_file).subspan((nblocks - 1 - i) * block,
+                                                block));
+  }
+  EXPECT_EQ(r->reconstructed, expected);
+  EXPECT_LT(r->promoted_literal_bytes, block * nblocks);
+}
+
+TEST(InPlaceRsync, TokenStreamToInPlaceReconstruction) {
+  // End-to-end: run the rsync server encoder, decode the stream into an
+  // explicit command list, and apply it in place ("in-place rsync").
+  Rng rng(44);
+  Bytes f_old = SynthSourceFile(rng, 60000);
+  EditProfile ep;
+  ep.num_edits = 10;
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+
+  RsyncParams params;
+  params.block_size = 512;
+  std::vector<BlockSignature> sigs = ComputeSignatures(f_old, params);
+  Bytes stream = RsyncServerEncode(f_new, sigs, params);
+
+  auto cmds = RsyncDecodeCommands(stream, params, f_old.size());
+  ASSERT_TRUE(cmds.ok()) << cmds.status().ToString();
+  EXPECT_EQ(cmds->new_size, f_new.size());
+
+  auto r = InPlaceReconstruct(f_old, cmds->commands, cmds->new_size);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, f_new);
+  // The promoted extra traffic must be a small fraction of the file.
+  EXPECT_LT(r->promoted_literal_bytes, f_new.size() / 4);
+}
+
+TEST(InPlaceRsync, CommandListMatchesDirectApply) {
+  Rng rng(45);
+  Bytes f_old = SynthSourceFile(rng, 30000);
+  EditProfile ep;
+  ep.num_edits = 25;
+  ep.locality = 0.1;
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+
+  RsyncParams params;
+  params.block_size = 256;
+  std::vector<BlockSignature> sigs = ComputeSignatures(f_old, params);
+  Bytes stream = RsyncServerEncode(f_new, sigs, params);
+
+  auto direct = RsyncClientApply(f_old, stream, params);
+  ASSERT_TRUE(direct.ok());
+  auto cmds = RsyncDecodeCommands(stream, params, f_old.size());
+  ASSERT_TRUE(cmds.ok());
+  Bytes rebuilt;
+  for (const ReconstructCommand& c : cmds->commands) {
+    if (c.kind == ReconstructCommand::kLiteral) {
+      Append(rebuilt, c.literal);
+    } else {
+      Append(rebuilt, ByteSpan(f_old).subspan(c.source_offset, c.length));
+    }
+  }
+  EXPECT_EQ(rebuilt, *direct);
+  EXPECT_EQ(rebuilt, f_new);
+}
+
+TEST(InPlaceRsync, RejectsCorruptStream) {
+  RsyncParams params;
+  Bytes junk = {0x02, 0xFF, 0x00, 0x13};
+  EXPECT_FALSE(RsyncDecodeCommands(junk, params, 100).ok());
+  EXPECT_FALSE(RsyncDecodeCommands({}, params, 100).ok());
+}
+
+}  // namespace
+}  // namespace fsx

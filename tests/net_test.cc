@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "fsync/net/channel.h"
+
+namespace fsx {
+namespace {
+
+using Dir = SimulatedChannel::Direction;
+
+TEST(Channel, DeliversInOrder) {
+  SimulatedChannel ch;
+  Bytes a = {1, 2, 3};
+  Bytes b = {4};
+  ch.Send(Dir::kClientToServer, a);
+  ch.Send(Dir::kClientToServer, b);
+  EXPECT_EQ(ch.Receive(Dir::kClientToServer).value(), a);
+  EXPECT_EQ(ch.Receive(Dir::kClientToServer).value(), b);
+}
+
+TEST(Channel, ReceiveOnEmptyFails) {
+  SimulatedChannel ch;
+  EXPECT_FALSE(ch.Receive(Dir::kServerToClient).ok());
+}
+
+TEST(Channel, CountsBytesWithFraming) {
+  SimulatedChannel ch;
+  Bytes payload(200, 7);
+  ch.Send(Dir::kClientToServer, payload);
+  // 200 bytes + 2-byte varint frame.
+  EXPECT_EQ(ch.stats().client_to_server_bytes, 202u);
+  ch.Send(Dir::kServerToClient, Bytes(5, 1));
+  EXPECT_EQ(ch.stats().server_to_client_bytes, 6u);
+  EXPECT_EQ(ch.stats().total_bytes(), 208u);
+}
+
+TEST(Channel, CountsRoundtrips) {
+  SimulatedChannel ch;
+  Bytes m = {0};
+  // request -> response = 1 roundtrip.
+  ch.Send(Dir::kClientToServer, m);
+  ch.Send(Dir::kServerToClient, m);
+  EXPECT_EQ(ch.stats().roundtrips, 1u);
+  // Consecutive server messages do not add roundtrips.
+  ch.Send(Dir::kServerToClient, m);
+  ch.Send(Dir::kServerToClient, m);
+  EXPECT_EQ(ch.stats().roundtrips, 1u);
+  // Another request/response cycle.
+  ch.Send(Dir::kClientToServer, m);
+  ch.Send(Dir::kServerToClient, m);
+  EXPECT_EQ(ch.stats().roundtrips, 2u);
+}
+
+TEST(Channel, HasPending) {
+  SimulatedChannel ch;
+  EXPECT_FALSE(ch.HasPending(Dir::kClientToServer));
+  ch.Send(Dir::kClientToServer, Bytes{1});
+  EXPECT_TRUE(ch.HasPending(Dir::kClientToServer));
+  EXPECT_FALSE(ch.HasPending(Dir::kServerToClient));
+  (void)ch.Receive(Dir::kClientToServer);
+  EXPECT_FALSE(ch.HasPending(Dir::kClientToServer));
+}
+
+TEST(Channel, ResetStatsClearsCounters) {
+  SimulatedChannel ch;
+  ch.Send(Dir::kClientToServer, Bytes{1, 2});
+  (void)ch.Receive(Dir::kClientToServer);
+  ch.ResetStats();
+  EXPECT_EQ(ch.stats().total_bytes(), 0u);
+  EXPECT_EQ(ch.stats().roundtrips, 0u);
+}
+
+TEST(LinkModel, TransferSeconds) {
+  LinkModel link;
+  link.downstream_bytes_per_sec = 1000;
+  link.upstream_bytes_per_sec = 500;
+  link.roundtrip_latency_sec = 0.25;
+  TrafficStats stats;
+  stats.server_to_client_bytes = 2000;
+  stats.client_to_server_bytes = 500;
+  stats.roundtrips = 4;
+  EXPECT_DOUBLE_EQ(link.TransferSeconds(stats), 2.0 + 1.0 + 1.0);
+}
+
+TEST(LinkModel, AsymmetricLinksPenalizeUploads) {
+  LinkModel slow_up;
+  slow_up.downstream_bytes_per_sec = 1 << 20;
+  slow_up.upstream_bytes_per_sec = 1 << 14;
+  TrafficStats up_heavy;
+  up_heavy.client_to_server_bytes = 1 << 18;
+  TrafficStats down_heavy;
+  down_heavy.server_to_client_bytes = 1 << 18;
+  EXPECT_GT(slow_up.TransferSeconds(up_heavy),
+            slow_up.TransferSeconds(down_heavy));
+}
+
+}  // namespace
+}  // namespace fsx

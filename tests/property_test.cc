@@ -1,0 +1,237 @@
+// Randomized property sweeps over the whole stack: for arbitrary inputs
+// and parameter combinations, encode/decode identities must hold exactly
+// and protocol invariants must never be violated.
+#include <gtest/gtest.h>
+
+#include "fsync/compress/codec.h"
+#include "fsync/core/session.h"
+#include "fsync/delta/delta.h"
+#include "fsync/rsync/rsync.h"
+#include "fsync/util/random.h"
+#include "fsync/workload/edits.h"
+#include "fsync/workload/text_synth.h"
+
+namespace fsx {
+namespace {
+
+// Generates adversarial file pairs: random textures, pathological
+// repetition, shared/unshared content, tiny and empty files.
+struct FuzzPair {
+  Bytes f_old;
+  Bytes f_new;
+};
+
+FuzzPair MakeFuzzPair(uint64_t seed) {
+  Rng rng(seed);
+  FuzzPair p;
+  switch (seed % 7) {
+    case 0: {  // classic edited text
+      p.f_old = SynthSourceFile(rng, 1 + rng.Uniform(40000));
+      EditProfile ep;
+      ep.num_edits = static_cast<int>(rng.Uniform(30));
+      p.f_new = ApplyEdits(p.f_old, ep, rng);
+      break;
+    }
+    case 1:  // unrelated random blobs
+      p.f_old = rng.RandomBytes(rng.Uniform(20000));
+      p.f_new = rng.RandomBytes(rng.Uniform(20000));
+      break;
+    case 2: {  // highly repetitive (worst case for weak hashes)
+      Bytes unit = rng.RandomBytes(1 + rng.Uniform(8));
+      while (p.f_old.size() < 10000) {
+        Append(p.f_old, unit);
+      }
+      p.f_new = p.f_old;
+      Bytes extra = rng.RandomBytes(100);
+      p.f_new.insert(p.f_new.begin() + rng.Uniform(p.f_new.size()),
+                     extra.begin(), extra.end());
+      break;
+    }
+    case 3:  // new is a substring of old
+      p.f_old = SynthSourceFile(rng, 30000);
+      p.f_new.assign(p.f_old.begin() + 5000, p.f_old.begin() + 12000);
+      break;
+    case 4: {  // old is a substring of new
+      p.f_new = SynthSourceFile(rng, 30000);
+      p.f_old.assign(p.f_new.begin() + 2000, p.f_new.begin() + 9000);
+      break;
+    }
+    case 5:  // tiny files
+      p.f_old = rng.RandomBytes(rng.Uniform(8));
+      p.f_new = rng.RandomBytes(rng.Uniform(8));
+      break;
+    default: {  // duplicated blocks everywhere (ambiguous matches)
+      Bytes chunk = SynthSourceFile(rng, 2000);
+      for (int i = 0; i < 8; ++i) {
+        Append(p.f_old, chunk);
+        Append(p.f_new, chunk);
+      }
+      EditProfile ep;
+      ep.num_edits = 5;
+      p.f_new = ApplyEdits(p.f_new, ep, rng);
+      break;
+    }
+  }
+  return p;
+}
+
+class ProtocolFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProtocolFuzz, SessionAlwaysReconstructs) {
+  FuzzPair p = MakeFuzzPair(GetParam());
+  SyncConfig config;
+  // Vary the configuration with the seed too.
+  Rng cfg_rng(GetParam() * 31 + 7);
+  config.start_block_size = 256u << cfg_rng.Uniform(5);
+  config.min_block_size = 32u << cfg_rng.Uniform(3);
+  config.min_continuation_block =
+      std::min<uint32_t>(config.min_block_size, 8u << cfg_rng.Uniform(2));
+  config.verify.group_size = 1 + static_cast<int>(cfg_rng.Uniform(16));
+  config.verify.max_batches = 1 + static_cast<int>(cfg_rng.Uniform(3));
+  config.use_decomposable = cfg_rng.Bernoulli(0.5);
+  config.use_continuation = cfg_rng.Bernoulli(0.8);
+  config.global_extra_bits = 4 + static_cast<int>(cfg_rng.Uniform(8));
+  config.continuation_bits = 2 + static_cast<int>(cfg_rng.Uniform(10));
+
+  SimulatedChannel channel;
+  auto r = SynchronizeFile(p.f_old, p.f_new, config, channel);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, p.f_new) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
+                         ::testing::Range<uint64_t>(0, 60));
+
+class RsyncFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RsyncFuzz, RsyncAlwaysReconstructs) {
+  FuzzPair p = MakeFuzzPair(GetParam() + 1000);
+  Rng cfg_rng(GetParam());
+  RsyncParams params;
+  params.block_size = 16u << cfg_rng.Uniform(8);
+  params.strong_bytes = 1 + cfg_rng.Uniform(8);
+  SimulatedChannel channel;
+  auto r = RsyncSynchronize(p.f_old, p.f_new, params, channel);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, p.f_new) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RsyncFuzz,
+                         ::testing::Range<uint64_t>(0, 40));
+
+class DeltaFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaFuzz, BothCodecsRoundTrip) {
+  FuzzPair p = MakeFuzzPair(GetParam() + 2000);
+  for (DeltaCodec codec :
+       {DeltaCodec::kZd, DeltaCodec::kVcdiff, DeltaCodec::kBsdiff}) {
+    auto delta = DeltaEncode(codec, p.f_old, p.f_new);
+    ASSERT_TRUE(delta.ok());
+    auto back = DeltaDecode(codec, p.f_old, *delta);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, p.f_new);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaFuzz,
+                         ::testing::Range<uint64_t>(0, 40));
+
+class CompressFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompressFuzz, CodecRoundTrips) {
+  FuzzPair p = MakeFuzzPair(GetParam() + 3000);
+  for (const Bytes& data : {p.f_old, p.f_new}) {
+    auto back = Decompress(Compress(data));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressFuzz,
+                         ::testing::Range<uint64_t>(0, 30));
+
+class KitchenSinkFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KitchenSinkFuzz, AllFeaturesComposeCorrectly) {
+  // Every optional feature enabled/randomized at once: two-phase rounds,
+  // per-round overrides, local hashes, roundtrip caps, all three delta
+  // codecs. Whatever the combination, reconstruction must be exact.
+  FuzzPair p = MakeFuzzPair(GetParam() + 4000);
+  Rng cfg_rng(GetParam() * 77 + 5);
+  SyncConfig config;
+  config.start_block_size = 256u << cfg_rng.Uniform(5);
+  config.min_block_size = 32u << cfg_rng.Uniform(3);
+  config.min_continuation_block =
+      std::min<uint32_t>(config.min_block_size, 8u << cfg_rng.Uniform(2));
+  config.use_decomposable = cfg_rng.Bernoulli(0.7);
+  config.use_continuation = cfg_rng.Bernoulli(0.8);
+  config.continuation_first = cfg_rng.Bernoulli(0.5);
+  config.local_radius = static_cast<int>(cfg_rng.Uniform(3));
+  config.continuation_bits = 4 + static_cast<int>(cfg_rng.Uniform(8));
+  config.verify.group_size = 1 + static_cast<int>(cfg_rng.Uniform(16));
+  config.verify.max_batches = 1 + static_cast<int>(cfg_rng.Uniform(3));
+  config.verify.adaptive_groups = cfg_rng.Bernoulli(0.5);
+  if (cfg_rng.Bernoulli(0.3)) {
+    config.max_roundtrips = 1 + static_cast<int>(cfg_rng.Uniform(8));
+  }
+  switch (cfg_rng.Uniform(3)) {
+    case 0:
+      config.delta_codec = DeltaCodec::kZd;
+      break;
+    case 1:
+      config.delta_codec = DeltaCodec::kVcdiff;
+      break;
+    default:
+      config.delta_codec = DeltaCodec::kBsdiff;
+      break;
+  }
+  // Random per-round overrides.
+  config.round_overrides.resize(cfg_rng.Uniform(8));
+  for (auto& o : config.round_overrides) {
+    if (cfg_rng.Bernoulli(0.5)) {
+      o.verify_bits = 4 + static_cast<int>(cfg_rng.Uniform(28));
+    }
+    if (cfg_rng.Bernoulli(0.5)) {
+      o.group_size = 1 + static_cast<int>(cfg_rng.Uniform(20));
+    }
+    if (cfg_rng.Bernoulli(0.3)) {
+      o.continuation_bits = 2 + static_cast<int>(cfg_rng.Uniform(10));
+    }
+    if (cfg_rng.Bernoulli(0.3)) {
+      o.max_batches = 1 + static_cast<int>(cfg_rng.Uniform(3));
+    }
+  }
+
+  SimulatedChannel channel;
+  auto r = SynchronizeFile(p.f_old, p.f_new, config, channel);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, p.f_new) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KitchenSinkFuzz,
+                         ::testing::Range<uint64_t>(0, 40));
+
+TEST(ProtocolInvariant, WeakVerificationStillEndsCorrect) {
+  // Even with absurdly weak hashes (guaranteeing false candidates and
+  // group failures), the final fingerprint check must force correctness.
+  Rng rng(99);
+  Bytes f_old = SynthSourceFile(rng, 30000);
+  EditProfile ep;
+  ep.num_edits = 15;
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+
+  SyncConfig config;
+  config.global_extra_bits = 0;
+  config.continuation_bits = 2;
+  config.verify.verify_bits = 4;  // 1/16 chance a bad group passes
+  config.verify.group_size = 16;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    SimulatedChannel channel;
+    auto r = SynchronizeFile(f_old, f_new, config, channel);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->reconstructed, f_new);
+  }
+}
+
+}  // namespace
+}  // namespace fsx

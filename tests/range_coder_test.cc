@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fsync/compress/codec.h"
+#include "fsync/compress/range_coder.h"
+#include "fsync/util/random.h"
+#include "fsync/workload/text_synth.h"
+
+namespace fsx {
+namespace {
+
+TEST(RangeCoder, BitRoundTripAcrossBiases) {
+  for (double p1 : {0.01, 0.2, 0.5, 0.8, 0.99}) {
+    Rng rng(static_cast<uint64_t>(p1 * 1000));
+    std::vector<int> bits;
+    for (int i = 0; i < 20000; ++i) {
+      bits.push_back(rng.Bernoulli(p1) ? 1 : 0);
+    }
+    RangeEncoder enc;
+    BitModel enc_model;
+    for (int b : bits) {
+      enc.EncodeBit(enc_model, b);
+    }
+    Bytes code = enc.Finish();
+    RangeDecoder dec(code);
+    BitModel dec_model;
+    for (size_t i = 0; i < bits.size(); ++i) {
+      ASSERT_EQ(dec.DecodeBit(dec_model), bits[i]) << "at bit " << i;
+    }
+  }
+}
+
+TEST(RangeCoder, ApproachesEntropyOnBiasedBits) {
+  // 20000 bits at P(1)=0.05: entropy ~0.286 bits/bit ~ 716 bytes. The
+  // adaptive coder must land within ~15% of that; a Huffman coder cannot
+  // go below 1 bit/symbol on a binary alphabet at all.
+  Rng rng(7);
+  RangeEncoder enc;
+  BitModel model;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    enc.EncodeBit(model, rng.Bernoulli(0.05) ? 1 : 0);
+  }
+  Bytes code = enc.Finish();
+  double entropy_bits =
+      n * (-(0.05 * std::log2(0.05) + 0.95 * std::log2(0.95)));
+  EXPECT_LT(code.size() * 8.0, entropy_bits * 1.15);
+  EXPECT_GT(code.size() * 8.0, entropy_bits * 0.9);
+}
+
+TEST(RangeCoder, ByteModelRoundTrip) {
+  Rng rng(9);
+  Bytes data = rng.RandomBytes(5000);
+  RangeEncoder enc;
+  ByteModel em;
+  for (uint8_t b : data) {
+    em.EncodeByte(enc, b);
+  }
+  Bytes code = enc.Finish();
+  RangeDecoder dec(code);
+  ByteModel dm;
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(dm.DecodeByte(dec), data[i]) << "at byte " << i;
+  }
+}
+
+TEST(RangeCompressTest, RoundTripVariedContent) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    Bytes data;
+    switch (trial % 3) {
+      case 0:
+        data = rng.RandomBytes(rng.Uniform(20000));
+        break;
+      case 1:
+        data = SynthSourceFile(rng, 10000);
+        break;
+      default:
+        data.assign(10000, 0);  // degenerate
+        for (int i = 0; i < 50; ++i) {
+          data[rng.Uniform(data.size())] = 1;
+        }
+        break;
+    }
+    Bytes packed = RangeCompress(data);
+    auto back = RangeDecompress(packed);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, data);
+  }
+}
+
+TEST(RangeCompressTest, CrushesNearZeroData) {
+  // bsdiff's diff section: almost all zeros. The adaptive order-0 coder
+  // should beat the LZ+Huffman codec decisively here.
+  Rng rng(13);
+  Bytes data(100000, 0);
+  for (int i = 0; i < 800; ++i) {
+    data[rng.Uniform(data.size())] =
+        static_cast<uint8_t>(1 + rng.Uniform(255));
+  }
+  Bytes rc = RangeCompress(data);
+  EXPECT_LT(rc.size(), data.size() / 25);
+}
+
+TEST(RangeCompressTest, EmptyInput) {
+  Bytes packed = RangeCompress({});
+  auto back = RangeDecompress(packed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(RangeCompressTest, GarbageInputFailsOrBounds) {
+  // Decoding garbage must never crash or over-allocate; the size header
+  // bounds the output.
+  Bytes junk = {0x10, 0xAB, 0xCD, 0xEF, 0x01, 0x23};
+  auto r = RangeDecompress(junk);
+  if (r.ok()) {
+    EXPECT_EQ(r->size(), 0x10u);
+  }
+  EXPECT_FALSE(RangeDecompress(Bytes{}).ok());
+}
+
+}  // namespace
+}  // namespace fsx

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "fsync/reconcile/merkle.h"
+#include "fsync/util/random.h"
+#include "fsync/workload/text_synth.h"
+
+namespace fsx {
+namespace {
+
+FileDigestMap MakeDigests(uint64_t seed, int n, const std::string& prefix) {
+  Rng rng(seed);
+  FileDigestMap out;
+  for (int i = 0; i < n; ++i) {
+    Fingerprint fp;
+    Bytes r = rng.RandomBytes(16);
+    std::copy(r.begin(), r.end(), fp.begin());
+    out[prefix + std::to_string(i)] = fp;
+  }
+  return out;
+}
+
+ReconcileResult MustReconcile(const FileDigestMap& client,
+                              const FileDigestMap& server,
+                              const MerkleParams& params = {}) {
+  SimulatedChannel channel;
+  auto r = MerkleReconcile(client, server, params, channel);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(*r);
+}
+
+// Reference answer computed directly.
+void ExpectExact(const FileDigestMap& client, const FileDigestMap& server,
+                 const ReconcileResult& r) {
+  std::vector<std::string> want_stale;
+  std::vector<std::string> want_extra;
+  for (const auto& [name, fp] : server) {
+    auto it = client.find(name);
+    if (it == client.end() || it->second != fp) {
+      want_stale.push_back(name);
+    }
+  }
+  for (const auto& [name, fp] : client) {
+    if (!server.contains(name)) {
+      want_extra.push_back(name);
+    }
+  }
+  EXPECT_EQ(r.stale, want_stale);
+  EXPECT_EQ(r.extra, want_extra);
+}
+
+TEST(Merkle, IdenticalSetsCostOneRound) {
+  FileDigestMap files = MakeDigests(1, 500, "f");
+  ReconcileResult r = MustReconcile(files, files);
+  EXPECT_TRUE(r.stale.empty());
+  EXPECT_TRUE(r.extra.empty());
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_LT(r.stats.total_bytes(), 64u);
+}
+
+TEST(Merkle, SingleChangedFileFound) {
+  FileDigestMap client = MakeDigests(2, 1000, "f");
+  FileDigestMap server = client;
+  server["f123"][0] ^= 0xFF;
+  ReconcileResult r = MustReconcile(client, server);
+  ASSERT_EQ(r.stale.size(), 1u);
+  EXPECT_EQ(r.stale[0], "f123");
+  EXPECT_TRUE(r.extra.empty());
+  // Far cheaper than exchanging 1000 fingerprints (~20 KB).
+  EXPECT_LT(r.stats.total_bytes(), FullExchangeBytes(client) / 10);
+}
+
+TEST(Merkle, AddedAndRemovedFiles) {
+  FileDigestMap client = MakeDigests(3, 200, "f");
+  FileDigestMap server = client;
+  server.erase("f7");
+  server.erase("f42");
+  Fingerprint fp{};
+  server["brand/new"] = fp;
+  ReconcileResult r = MustReconcile(client, server);
+  ExpectExact(client, server, r);
+}
+
+TEST(Merkle, DisjointSets) {
+  FileDigestMap client = MakeDigests(4, 50, "a");
+  FileDigestMap server = MakeDigests(5, 50, "b");
+  ReconcileResult r = MustReconcile(client, server);
+  ExpectExact(client, server, r);
+  EXPECT_EQ(r.stale.size(), 50u);
+  EXPECT_EQ(r.extra.size(), 50u);
+}
+
+TEST(Merkle, EmptySides) {
+  FileDigestMap files = MakeDigests(6, 20, "f");
+  ReconcileResult a = MustReconcile({}, files);
+  EXPECT_EQ(a.stale.size(), 20u);
+  ReconcileResult b = MustReconcile(files, {});
+  EXPECT_EQ(b.extra.size(), 20u);
+  ReconcileResult c = MustReconcile({}, {});
+  EXPECT_TRUE(c.stale.empty());
+  EXPECT_TRUE(c.extra.empty());
+}
+
+TEST(Merkle, CostScalesWithChangesNotCollectionSize) {
+  FileDigestMap small_client = MakeDigests(7, 100, "f");
+  FileDigestMap big_client = MakeDigests(7, 10000, "f");
+  FileDigestMap small_server = small_client;
+  FileDigestMap big_server = big_client;
+  small_server["f5"][0] ^= 1;
+  big_server["f5"][0] ^= 1;
+  ReconcileResult rs = MustReconcile(small_client, small_server);
+  ReconcileResult rb = MustReconcile(big_client, big_server);
+  // 100x the files must cost far less than 100x the bytes (log growth).
+  EXPECT_LT(rb.stats.total_bytes(), rs.stats.total_bytes() * 8);
+}
+
+class MerkleFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MerkleFuzz, AlwaysExact) {
+  Rng rng(GetParam());
+  int n = 1 + static_cast<int>(rng.Uniform(400));
+  FileDigestMap client = MakeDigests(GetParam() * 13 + 1, n, "f");
+  FileDigestMap server = client;
+  // Random churn.
+  int changes = static_cast<int>(rng.Uniform(20));
+  for (int i = 0; i < changes; ++i) {
+    switch (rng.Uniform(3)) {
+      case 0: {  // modify
+        auto it = server.begin();
+        std::advance(it, rng.Uniform(server.size()));
+        it->second[rng.Uniform(16)] ^= static_cast<uint8_t>(1 + rng.Uniform(255));
+        break;
+      }
+      case 1: {  // delete
+        if (!server.empty()) {
+          auto it = server.begin();
+          std::advance(it, rng.Uniform(server.size()));
+          server.erase(it);
+        }
+        break;
+      }
+      default: {  // add
+        Fingerprint fp;
+        Bytes r = rng.RandomBytes(16);
+        std::copy(r.begin(), r.end(), fp.begin());
+        server["new" + std::to_string(rng.Uniform(1000))] = fp;
+        break;
+      }
+    }
+  }
+  MerkleParams params;
+  params.leaf_batch = 1 + static_cast<uint32_t>(rng.Uniform(8));
+  params.node_hash_bytes = 4 + static_cast<uint32_t>(rng.Uniform(5));
+  ReconcileResult r = MustReconcile(client, server, params);
+  ExpectExact(client, server, r);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MerkleFuzz,
+                         ::testing::Range<uint64_t>(0, 25));
+
+TEST(Merkle, DigestCollectionMatchesFingerprints) {
+  Rng rng(8);
+  std::map<std::string, Bytes> files;
+  files["a"] = SynthSourceFile(rng, 1000);
+  files["b"] = SynthSourceFile(rng, 2000);
+  FileDigestMap digests = DigestCollection(files);
+  EXPECT_EQ(digests.at("a"), FileFingerprint(files.at("a")));
+  EXPECT_EQ(digests.at("b"), FileFingerprint(files.at("b")));
+}
+
+}  // namespace
+}  // namespace fsx

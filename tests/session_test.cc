@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include "fsync/core/session.h"
+#include "fsync/util/random.h"
+#include "fsync/workload/edits.h"
+#include "fsync/workload/text_synth.h"
+
+namespace fsx {
+namespace {
+
+FileSyncResult MustSync(const Bytes& f_old, const Bytes& f_new,
+                        const SyncConfig& config) {
+  SimulatedChannel channel;
+  auto r = SynchronizeFile(f_old, f_new, config, channel);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, f_new);
+  return std::move(*r);
+}
+
+TEST(Session, UnchangedFileCostsOnlyFingerprints) {
+  Rng rng(1);
+  Bytes f = SynthSourceFile(rng, 20000);
+  SyncConfig config;
+  FileSyncResult r = MustSync(f, f, config);
+  EXPECT_TRUE(r.unchanged);
+  EXPECT_LT(r.stats.total_bytes(), 64u);
+}
+
+TEST(Session, SmallEditCheaperThanCompressedFull) {
+  Rng rng(2);
+  Bytes f_old = SynthSourceFile(rng, 100000);
+  EditProfile ep;
+  ep.num_edits = 5;
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+  SyncConfig config;
+  FileSyncResult r = MustSync(f_old, f_new, config);
+  EXPECT_FALSE(r.unchanged);
+  EXPECT_GT(r.confirmed_fraction, 0.5);
+  // Far cheaper than shipping the (compressible) file.
+  EXPECT_LT(r.stats.total_bytes(), f_new.size() / 4);
+}
+
+TEST(Session, EmptyOldFile) {
+  Rng rng(3);
+  Bytes f_new = SynthSourceFile(rng, 30000);
+  SyncConfig config;
+  FileSyncResult r = MustSync({}, f_new, config);
+  EXPECT_EQ(r.reconstructed, f_new);
+}
+
+TEST(Session, EmptyNewFile) {
+  Rng rng(4);
+  Bytes f_old = SynthSourceFile(rng, 10000);
+  SyncConfig config;
+  FileSyncResult r = MustSync(f_old, {}, config);
+  EXPECT_TRUE(r.reconstructed.empty());
+  EXPECT_LT(r.stats.total_bytes(), 128u);
+}
+
+TEST(Session, BothEmpty) {
+  SyncConfig config;
+  FileSyncResult r = MustSync({}, {}, config);
+  EXPECT_TRUE(r.unchanged);
+}
+
+TEST(Session, CompletelyDifferentFiles) {
+  Rng rng(5);
+  Bytes f_old = rng.RandomBytes(20000);
+  Bytes f_new = rng.RandomBytes(20000);
+  SyncConfig config;
+  FileSyncResult r = MustSync(f_old, f_new, config);
+  // Nothing to match; cost is dominated by the delta (~ full file for
+  // random bytes) plus modest map-phase overhead.
+  EXPECT_LT(r.confirmed_fraction, 0.05);
+  EXPECT_LT(r.stats.total_bytes(), f_new.size() * 5 / 4 + 4096);
+}
+
+TEST(Session, TinyFiles) {
+  SyncConfig config;
+  Bytes a = ToBytes("x");
+  Bytes b = ToBytes("y");
+  FileSyncResult r = MustSync(a, b, config);
+  EXPECT_EQ(r.reconstructed, b);
+}
+
+TEST(Session, NewFileMuchLargerThanOld) {
+  Rng rng(6);
+  Bytes f_old = SynthSourceFile(rng, 2000);
+  Bytes f_new = f_old;
+  Bytes extra = SynthSourceFile(rng, 60000);
+  Append(f_new, extra);
+  SyncConfig config;
+  FileSyncResult r = MustSync(f_old, f_new, config);
+  EXPECT_EQ(r.reconstructed, f_new);
+}
+
+TEST(Session, OldFileMuchLargerThanNew) {
+  Rng rng(7);
+  Bytes f_old = SynthSourceFile(rng, 60000);
+  Bytes f_new(f_old.begin() + 20000, f_old.begin() + 30000);
+  SyncConfig config;
+  FileSyncResult r = MustSync(f_old, f_new, config);
+  EXPECT_EQ(r.reconstructed, f_new);
+  // The content exists verbatim in F_old: the map should find most of it.
+  EXPECT_GT(r.confirmed_fraction, 0.8);
+  EXPECT_LT(r.stats.total_bytes(), 2000u);
+}
+
+TEST(Session, InsertionShiftsAlignment) {
+  // A single insertion near the front must not defeat the matcher: all
+  // content after the insertion is shifted by an arbitrary amount.
+  Rng rng(8);
+  Bytes f_old = SynthSourceFile(rng, 50000);
+  Bytes f_new = f_old;
+  Bytes ins = ToBytes("INSERTED-SEGMENT-123");
+  f_new.insert(f_new.begin() + 100, ins.begin(), ins.end());
+  SyncConfig config;
+  FileSyncResult r = MustSync(f_old, f_new, config);
+  EXPECT_GT(r.confirmed_fraction, 0.8);
+  EXPECT_LT(r.stats.total_bytes(), 4000u);
+}
+
+TEST(Session, RoundtripCapIsHonored) {
+  Rng rng(9);
+  Bytes f_old = SynthSourceFile(rng, 40000);
+  EditProfile ep;
+  ep.num_edits = 10;
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+
+  SyncConfig capped;
+  capped.max_roundtrips = 2;
+  FileSyncResult r = MustSync(f_old, f_new, capped);
+  EXPECT_LE(r.stats.roundtrips, 2u);
+
+  SyncConfig uncapped;
+  FileSyncResult r2 = MustSync(f_old, f_new, uncapped);
+  EXPECT_GT(r2.stats.roundtrips, 2u);
+}
+
+TEST(Session, DecomposableReducesServerTraffic) {
+  Rng rng(10);
+  Bytes f_old = SynthSourceFile(rng, 80000);
+  EditProfile ep;
+  ep.num_edits = 30;
+  ep.locality = 0.3;
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+
+  SyncConfig with;
+  with.use_decomposable = true;
+  SyncConfig without;
+  without.use_decomposable = false;
+  FileSyncResult rw = MustSync(f_old, f_new, with);
+  FileSyncResult ro = MustSync(f_old, f_new, without);
+  EXPECT_LT(rw.map_server_to_client_bytes, ro.map_server_to_client_bytes);
+}
+
+TEST(Session, ContinuationEnablesSmallerBlocks) {
+  Rng rng(11);
+  Bytes f_old = SynthSourceFile(rng, 60000);
+  EditProfile ep;
+  ep.num_edits = 12;
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+
+  SyncConfig with;
+  with.use_continuation = true;
+  with.min_continuation_block = 16;
+  SyncConfig without;
+  without.use_continuation = false;
+  without.min_continuation_block = without.min_block_size;
+  FileSyncResult rw = MustSync(f_old, f_new, with);
+  FileSyncResult ro = MustSync(f_old, f_new, without);
+  // Continuation must increase map coverage (its whole point).
+  EXPECT_GE(rw.confirmed_fraction, ro.confirmed_fraction);
+}
+
+TEST(Session, ContinuationFirstReconstructsAndSavesHashes) {
+  Rng rng(12);
+  Bytes f_old = SynthSourceFile(rng, 80000);
+  EditProfile ep;
+  ep.num_edits = 20;
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+
+  SyncConfig two_phase;
+  two_phase.continuation_first = true;
+  FileSyncResult r = MustSync(f_old, f_new, two_phase);
+  EXPECT_EQ(r.reconstructed, f_new);
+
+  SyncConfig one_phase;
+  one_phase.continuation_first = false;
+  FileSyncResult r1 = MustSync(f_old, f_new, one_phase);
+  // The two-phase variant trades roundtrips for (at most modest) hash
+  // savings; it must not send more server->client map data.
+  EXPECT_LE(r.map_server_to_client_bytes,
+            r1.map_server_to_client_bytes + 64);
+  EXPECT_GE(r.stats.roundtrips, r1.stats.roundtrips);
+}
+
+TEST(Session, ContinuationFirstAcrossFuzzPairs) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    Bytes f_old = SynthSourceFile(rng, 1000 + rng.Uniform(40000));
+    EditProfile ep;
+    ep.num_edits = static_cast<int>(rng.Uniform(25));
+    Bytes f_new = ApplyEdits(f_old, ep, rng);
+    SyncConfig config;
+    config.continuation_first = true;
+    config.min_continuation_block = 8;
+    FileSyncResult r = MustSync(f_old, f_new, config);
+    EXPECT_EQ(r.reconstructed, f_new) << "seed=" << seed;
+  }
+}
+
+TEST(Session, InvalidConfigRejected) {
+  SimulatedChannel channel;
+  Bytes a = ToBytes("a");
+  SyncConfig bad;
+  bad.start_block_size = 1000;  // not a power of two
+  EXPECT_FALSE(SynchronizeFile(a, a, bad, channel).ok());
+
+  SyncConfig bad2;
+  bad2.min_continuation_block = 0;
+  SimulatedChannel ch2;
+  EXPECT_FALSE(SynchronizeFile(a, a, bad2, ch2).ok());
+}
+
+TEST(SessionTrace, InvariantsHold) {
+  Rng rng(13);
+  Bytes f_old = SynthSourceFile(rng, 60000);
+  EditProfile ep;
+  ep.num_edits = 15;
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+  SyncConfig config;
+  FileSyncResult r = MustSync(f_old, f_new, config);
+
+  ASSERT_FALSE(r.trace.empty());
+  uint64_t prev_min = ~uint64_t{0};
+  for (const RoundTrace& t : r.trace) {
+    uint32_t planned =
+        t.continuation_hashes + t.global_hashes + t.derived_hashes;
+    EXPECT_GT(planned, 0u);
+    EXPECT_LE(t.candidates, planned);
+    EXPECT_LE(t.confirmed, t.candidates);
+    EXPECT_GE(t.max_block, t.min_block);
+    EXPECT_LE(t.HarvestRate(), 1.0);
+    // Block sizes shrink (not strictly: reactivated blocks may be larger,
+    // but never above the start size).
+    EXPECT_LE(t.max_block, config.start_block_size);
+    prev_min = std::min(prev_min, t.min_block);
+  }
+  // The recursion reached small blocks.
+  EXPECT_LE(prev_min, 2 * config.min_block_size);
+  // Overall, something was confirmed (files are similar).
+  uint32_t total_confirmed = 0;
+  for (const RoundTrace& t : r.trace) {
+    total_confirmed += t.confirmed;
+  }
+  EXPECT_GT(total_confirmed, 0u);
+}
+
+TEST(SessionTrace, ContinuationHarvestBeatsGlobalOnSimilarFiles) {
+  // Paper Section 6.2: blocks that qualify for continuation hashes have a
+  // high harvest rate, which is why tiny continuation hashes pay off.
+  Rng rng(14);
+  Bytes f_old = SynthSourceFile(rng, 120000);
+  EditProfile ep;
+  ep.num_edits = 6;
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+  SyncConfig config;
+  config.min_continuation_block = 8;
+  FileSyncResult r = MustSync(f_old, f_new, config);
+
+  uint64_t cont_planned = 0, cont_confirmed = 0;
+  for (const RoundTrace& t : r.trace) {
+    if (t.continuation_hashes > 0 && t.global_hashes == 0 &&
+        t.derived_hashes == 0) {
+      cont_planned += t.continuation_hashes;
+      cont_confirmed += t.confirmed;
+    }
+  }
+  if (cont_planned > 10) {
+    EXPECT_GT(static_cast<double>(cont_confirmed) / cont_planned, 0.3);
+  }
+}
+
+TEST(SessionRobustness, TamperedMessagesNeverCrash) {
+  // Any corruption must surface as a Status error, a fallback transfer,
+  // or (if the flipped bits were immaterial) a correct result -- never a
+  // crash or a silently wrong file.
+  Rng rng(15);
+  Bytes f_old = SynthSourceFile(rng, 30000);
+  EditProfile ep;
+  ep.num_edits = 8;
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+  SyncConfig config;
+
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Rng trng(seed);
+    uint64_t target_msg = trng.Uniform(20);
+    uint64_t count = 0;
+    SimulatedChannel channel;
+    channel.SetTamper([&](SimulatedChannel::Direction, Bytes& msg) {
+      if (count++ == target_msg && !msg.empty()) {
+        msg[trng.Uniform(msg.size())] ^=
+            static_cast<uint8_t>(1 + trng.Uniform(255));
+      }
+    });
+    auto r = SynchronizeFile(f_old, f_new, config, channel);
+    if (r.ok()) {
+      // If the session claims success, the result must be right or the
+      // corruption must have been absorbed by the fallback path.
+      EXPECT_EQ(r->reconstructed, f_new) << "seed=" << seed;
+    }
+  }
+}
+
+class SessionParamSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {};
+
+TEST_P(SessionParamSweep, ReconstructsExactly) {
+  auto [seed, min_block, group_size, decomposable] = GetParam();
+  Rng rng(seed);
+  size_t size = 3000 + rng.Uniform(60000);
+  Bytes f_old = SynthSourceFile(rng, size);
+  EditProfile ep;
+  ep.num_edits = static_cast<int>(rng.Uniform(40));
+  ep.locality = rng.NextDouble();
+  Bytes f_new = ApplyEdits(f_old, ep, rng);
+
+  SyncConfig config;
+  config.min_block_size = min_block;
+  config.min_continuation_block = std::min(16u, config.min_block_size);
+  config.verify.group_size = group_size;
+  config.use_decomposable = decomposable;
+  FileSyncResult r = MustSync(f_old, f_new, config);
+  EXPECT_EQ(r.reconstructed, f_new);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SessionParamSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(32, 64, 256),
+                       ::testing::Values(1, 8),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace fsx

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "fsync/store/fsstore.h"
+#include "fsync/util/random.h"
+#include "fsync/workload/text_synth.h"
+
+namespace fsx {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             ("fsx_store_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name()))
+                .string();
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_;
+};
+
+Collection SampleCollection(uint64_t seed) {
+  Rng rng(seed);
+  Collection c;
+  c["a.txt"] = SynthSourceFile(rng, 1000);
+  c["dir/b.txt"] = SynthSourceFile(rng, 3000);
+  c["dir/deep/c.bin"] = rng.RandomBytes(500);
+  c["empty"] = Bytes{};
+  return c;
+}
+
+TEST_F(StoreTest, StoreLoadRoundTrip) {
+  Collection files = SampleCollection(1);
+  ASSERT_TRUE(StoreTree(root_, files, false).ok());
+  auto back = LoadTree(root_);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, files);
+}
+
+TEST_F(StoreTest, DeleteExtraMirrors) {
+  Collection files = SampleCollection(2);
+  ASSERT_TRUE(StoreTree(root_, files, false).ok());
+  Collection fewer = files;
+  fewer.erase("dir/b.txt");
+  ASSERT_TRUE(StoreTree(root_, fewer, /*delete_extra=*/true).ok());
+  auto back = LoadTree(root_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, fewer);
+}
+
+TEST_F(StoreTest, KeepExtraPreserves) {
+  Collection files = SampleCollection(3);
+  ASSERT_TRUE(StoreTree(root_, files, false).ok());
+  Collection fewer;
+  fewer["new.txt"] = ToBytes("hello");
+  ASSERT_TRUE(StoreTree(root_, fewer, /*delete_extra=*/false).ok());
+  auto back = LoadTree(root_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), files.size() + 1);
+}
+
+TEST_F(StoreTest, RejectsUnsafePaths) {
+  Collection evil;
+  evil["../escape"] = ToBytes("nope");
+  EXPECT_FALSE(StoreTree(root_, evil, false).ok());
+  Collection evil2;
+  evil2["/absolute"] = ToBytes("nope");
+  EXPECT_FALSE(StoreTree(root_, evil2, false).ok());
+}
+
+TEST_F(StoreTest, LoadMissingDirectoryFails) {
+  auto r = LoadTree(root_ + "/does_not_exist");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ManifestTest, SerializeParseRoundTrip) {
+  Collection files = SampleCollection(4);
+  Manifest m = BuildManifest(files);
+  Bytes wire = SerializeManifest(m);
+  auto back = ParseManifest(wire);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, m);
+}
+
+TEST(ManifestTest, ParseRejectsGarbage) {
+  EXPECT_TRUE(ParseManifest(Bytes{}).ok());  // empty manifest is valid
+  EXPECT_FALSE(ParseManifest(ToBytes("not a manifest\n")).ok());
+  EXPECT_FALSE(ParseManifest(ToBytes("deadbeef 12 x\n")).ok());  // short fp
+  EXPECT_FALSE(
+      ParseManifest(ToBytes(std::string(32, 'a') + " 12 x")).ok());  // no \n
+  EXPECT_FALSE(
+      ParseManifest(ToBytes(std::string(32, 'a') + " notanum x\n")).ok());
+}
+
+TEST_F(StoreTest, VerifyDetectsTampering) {
+  Collection files = SampleCollection(5);
+  ASSERT_TRUE(StoreTree(root_, files, true, /*write_manifest=*/true).ok());
+  auto clean = VerifyTree(root_);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_TRUE(clean->empty());
+
+  // Tamper with one file, add another, remove a third.
+  {
+    std::ofstream out(fs::path(root_) / "a.txt", std::ios::app);
+    out << "tampered";
+  }
+  {
+    std::ofstream out(fs::path(root_) / "sneaky.txt");
+    out << "new";
+  }
+  fs::remove(fs::path(root_) / "dir/b.txt");
+
+  auto dirty = VerifyTree(root_);
+  ASSERT_TRUE(dirty.ok());
+  std::vector<std::string> want = {"a.txt", "dir/b.txt", "sneaky.txt"};
+  EXPECT_EQ(*dirty, want);
+}
+
+TEST_F(StoreTest, ManifestExcludedFromLoad) {
+  Collection files = SampleCollection(6);
+  ASSERT_TRUE(StoreTree(root_, files, true, /*write_manifest=*/true).ok());
+  auto back = LoadTree(root_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, files);  // .fsx-manifest not part of the content
+}
+
+}  // namespace
+}  // namespace fsx

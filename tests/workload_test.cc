@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "fsync/compress/codec.h"
+#include "fsync/workload/edits.h"
+#include "fsync/workload/bundle.h"
+#include "fsync/workload/release.h"
+#include "fsync/workload/text_synth.h"
+#include "fsync/workload/web.h"
+
+namespace fsx {
+namespace {
+
+TEST(TextSynth, SourceFilesAreDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(SynthSourceFile(a, 10000), SynthSourceFile(b, 10000));
+}
+
+TEST(TextSynth, SourceFilesAreCompressibleText) {
+  Rng rng(6);
+  Bytes f = SynthSourceFile(rng, 50000);
+  EXPECT_GE(f.size(), 50000u);
+  // Mostly printable.
+  size_t printable = 0;
+  for (uint8_t c : f) {
+    printable += (c >= 32 && c < 127) || c == '\n';
+  }
+  EXPECT_GT(printable, f.size() * 99 / 100);
+  // Compresses at least 3x (like real source code).
+  EXPECT_LT(Compress(f).size(), f.size() / 3);
+}
+
+TEST(TextSynth, WebPagesLookLikeHtml) {
+  Rng rng(7);
+  Bytes p = SynthWebPage(rng, 8000);
+  std::string s = ToString(p);
+  EXPECT_NE(s.find("<html>"), std::string::npos);
+  EXPECT_NE(s.find("generated: 2001-10-01"), std::string::npos);
+  EXPECT_NE(s.find("</html>"), std::string::npos);
+}
+
+TEST(Edits, ProducesRequestedKindOfChange) {
+  Rng rng(8);
+  Bytes base = SynthSourceFile(rng, 30000);
+
+  EditProfile insert_only;
+  insert_only.p_insert = 1.0;
+  insert_only.p_delete = 0.0;
+  insert_only.num_edits = 10;
+  Bytes grown = ApplyEdits(base, insert_only, rng);
+  EXPECT_GT(grown.size(), base.size());
+
+  EditProfile delete_only;
+  delete_only.p_insert = 0.0;
+  delete_only.p_delete = 1.0;
+  delete_only.num_edits = 10;
+  Bytes shrunk = ApplyEdits(base, delete_only, rng);
+  EXPECT_LT(shrunk.size(), base.size());
+
+  EditProfile replace_only;
+  replace_only.p_insert = 0.0;
+  replace_only.p_delete = 0.0;
+  replace_only.num_edits = 10;
+  Bytes replaced = ApplyEdits(base, replace_only, rng);
+  EXPECT_EQ(replaced.size(), base.size());
+  EXPECT_NE(replaced, base);
+}
+
+TEST(Edits, LocalityClustersChanges) {
+  Rng rng(9);
+  Bytes base(100000, 'a');
+
+  auto changed_span = [&](double locality, uint64_t seed) {
+    Rng r(seed);
+    EditProfile ep;
+    ep.num_edits = 20;
+    ep.locality = locality;
+    ep.num_hot_regions = 1;
+    ep.p_insert = 0;
+    ep.p_delete = 0;  // replacements only, to keep alignment
+    Bytes edited = ApplyEdits(base, ep, r);
+    size_t first = base.size();
+    size_t last = 0;
+    for (size_t i = 0; i < base.size(); ++i) {
+      if (edited[i] != base[i]) {
+        first = std::min(first, i);
+        last = std::max(last, i);
+      }
+    }
+    return last > first ? last - first : 0;
+  };
+  // Average over seeds to avoid flakiness.
+  uint64_t local_span = 0;
+  uint64_t dispersed_span = 0;
+  for (uint64_t s = 0; s < 5; ++s) {
+    local_span += changed_span(1.0, s);
+    dispersed_span += changed_span(0.0, s + 100);
+  }
+  EXPECT_LT(local_span, dispersed_span);
+}
+
+TEST(Release, ProfilesProduceExpectedShape) {
+  ReleaseProfile p = GccLikeProfile();
+  p.num_files = 40;  // keep the test fast
+  ReleasePair pair = MakeRelease(p);
+  EXPECT_EQ(pair.old_release.size(), 40u);
+  EXPECT_EQ(pair.new_release.size(),
+            40u + p.files_added - p.files_removed);
+
+  int unchanged = 0;
+  for (const auto& [name, content] : pair.new_release) {
+    auto it = pair.old_release.find(name);
+    if (it != pair.old_release.end() && it->second == content) {
+      ++unchanged;
+    }
+  }
+  // Roughly frac_unchanged of files survive byte-identical.
+  EXPECT_GT(unchanged, 10);
+  EXPECT_LT(unchanged, 35);
+}
+
+TEST(Release, DeterministicInSeed) {
+  ReleaseProfile p = GccLikeProfile();
+  p.num_files = 10;
+  ReleasePair a = MakeRelease(p);
+  ReleasePair b = MakeRelease(p);
+  EXPECT_EQ(a.old_release, b.old_release);
+  EXPECT_EQ(a.new_release, b.new_release);
+}
+
+TEST(Bundle, RoundTripsCollections) {
+  ReleaseProfile p = GccLikeProfile();
+  p.num_files = 12;
+  ReleasePair pair = MakeRelease(p);
+  Bytes bundle = BundleCollection(pair.new_release);
+  auto back = UnbundleCollection(bundle);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, pair.new_release);
+}
+
+TEST(Bundle, EmptyCollection) {
+  Bytes bundle = BundleCollection({});
+  auto back = UnbundleCollection(bundle);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Bundle, GarbageRejected) {
+  Bytes junk = {0xFF, 0xFF, 0xFF, 0x01, 0x02};
+  EXPECT_FALSE(UnbundleCollection(junk).ok());
+  EXPECT_FALSE(UnbundleCollection(Bytes{}).ok());
+}
+
+TEST(Bundle, LayoutIsStable) {
+  // Bundles of equal collections must be byte-identical (sorted names),
+  // or bundle-level sync would see phantom changes.
+  Collection a;
+  a["z"] = ToBytes("zz");
+  a["a"] = ToBytes("aa");
+  Collection b;
+  b["a"] = ToBytes("aa");
+  b["z"] = ToBytes("zz");
+  EXPECT_EQ(BundleCollection(a), BundleCollection(b));
+}
+
+TEST(Web, DailyChurnMatchesModel) {
+  WebProfile p;
+  p.num_pages = 60;
+  p.min_page_bytes = 1024;
+  p.max_page_bytes = 8192;
+  p.p_unchanged_per_day = 0.7;
+  WebCollectionModel model(p);
+  const Collection& day0 = model.Snapshot(0);
+  const Collection& day1 = model.Snapshot(1);
+  ASSERT_EQ(day0.size(), day1.size());
+
+  int unchanged = 0;
+  for (const auto& [name, page] : day1) {
+    unchanged += day0.at(name) == page;
+  }
+  // ~70% of 60 pages; allow generous slack.
+  EXPECT_GT(unchanged, 30);
+  EXPECT_LT(unchanged, 56);
+}
+
+TEST(Web, ChurnCompoundsOverDays) {
+  WebProfile p;
+  p.num_pages = 50;
+  WebCollectionModel model(p);
+  const Collection& day0 = model.Snapshot(0);
+  auto count_unchanged = [&](const Collection& day) {
+    int n = 0;
+    for (const auto& [name, page] : day) {
+      n += day0.at(name) == page;
+    }
+    return n;
+  };
+  int after1 = count_unchanged(model.Snapshot(1));
+  int after7 = count_unchanged(model.Snapshot(7));
+  EXPECT_GT(after1, after7);
+}
+
+TEST(Web, SnapshotsAreCachedAndStable) {
+  WebProfile p;
+  p.num_pages = 20;
+  WebCollectionModel model(p);
+  const Collection& a = model.Snapshot(3);
+  Collection copy = a;
+  const Collection& b = model.Snapshot(3);
+  EXPECT_EQ(copy, b);
+}
+
+}  // namespace
+}  // namespace fsx
