@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bundle.dir/ablation_bundle.cc.o"
+  "CMakeFiles/ablation_bundle.dir/ablation_bundle.cc.o.d"
+  "ablation_bundle"
+  "ablation_bundle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bundle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

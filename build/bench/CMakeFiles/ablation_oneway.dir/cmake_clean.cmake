@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_oneway.dir/ablation_oneway.cc.o"
+  "CMakeFiles/ablation_oneway.dir/ablation_oneway.cc.o.d"
+  "ablation_oneway"
+  "ablation_oneway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_oneway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

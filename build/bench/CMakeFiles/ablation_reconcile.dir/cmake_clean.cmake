@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reconcile.dir/ablation_reconcile.cc.o"
+  "CMakeFiles/ablation_reconcile.dir/ablation_reconcile.cc.o.d"
+  "ablation_reconcile"
+  "ablation_reconcile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reconcile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

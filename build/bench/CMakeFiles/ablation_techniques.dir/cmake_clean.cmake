@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_techniques.dir/ablation_techniques.cc.o"
+  "CMakeFiles/ablation_techniques.dir/ablation_techniques.cc.o.d"
+  "ablation_techniques"
+  "ablation_techniques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

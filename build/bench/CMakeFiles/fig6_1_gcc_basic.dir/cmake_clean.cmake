@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_1_gcc_basic.dir/fig6_1_gcc_basic.cc.o"
+  "CMakeFiles/fig6_1_gcc_basic.dir/fig6_1_gcc_basic.cc.o.d"
+  "fig6_1_gcc_basic"
+  "fig6_1_gcc_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_1_gcc_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_2_emacs_basic.dir/fig6_2_emacs_basic.cc.o"
+  "CMakeFiles/fig6_2_emacs_basic.dir/fig6_2_emacs_basic.cc.o.d"
+  "fig6_2_emacs_basic"
+  "fig6_2_emacs_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_2_emacs_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

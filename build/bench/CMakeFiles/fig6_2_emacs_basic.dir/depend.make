@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_2_emacs_basic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_3_continuation.dir/fig6_3_continuation.cc.o"
+  "CMakeFiles/fig6_3_continuation.dir/fig6_3_continuation.cc.o.d"
+  "fig6_3_continuation"
+  "fig6_3_continuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_3_continuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

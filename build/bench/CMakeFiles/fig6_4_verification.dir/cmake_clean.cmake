@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_4_verification.dir/fig6_4_verification.cc.o"
+  "CMakeFiles/fig6_4_verification.dir/fig6_4_verification.cc.o.d"
+  "fig6_4_verification"
+  "fig6_4_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_4_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_1_best.dir/table6_1_best.cc.o"
+  "CMakeFiles/table6_1_best.dir/table6_1_best.cc.o.d"
+  "table6_1_best"
+  "table6_1_best.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_1_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

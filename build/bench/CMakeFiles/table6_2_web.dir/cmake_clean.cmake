@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_2_web.dir/table6_2_web.cc.o"
+  "CMakeFiles/table6_2_web.dir/table6_2_web.cc.o.d"
+  "table6_2_web"
+  "table6_2_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_2_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_feed.dir/broadcast_feed.cpp.o"
+  "CMakeFiles/broadcast_feed.dir/broadcast_feed.cpp.o.d"
+  "broadcast_feed"
+  "broadcast_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

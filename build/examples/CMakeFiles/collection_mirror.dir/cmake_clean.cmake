@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collection_mirror.dir/collection_mirror.cpp.o"
+  "CMakeFiles/collection_mirror.dir/collection_mirror.cpp.o.d"
+  "collection_mirror"
+  "collection_mirror.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collection_mirror.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_tool.dir/delta_tool.cpp.o"
+  "CMakeFiles/delta_tool.dir/delta_tool.cpp.o.d"
+  "delta_tool"
+  "delta_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

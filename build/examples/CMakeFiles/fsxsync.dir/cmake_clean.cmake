@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsxsync.dir/fsxsync.cpp.o"
+  "CMakeFiles/fsxsync.dir/fsxsync.cpp.o.d"
+  "fsxsync"
+  "fsxsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsxsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

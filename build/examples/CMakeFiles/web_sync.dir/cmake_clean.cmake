@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_sync.dir/web_sync.cpp.o"
+  "CMakeFiles/web_sync.dir/web_sync.cpp.o.d"
+  "web_sync"
+  "web_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

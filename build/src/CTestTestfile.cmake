@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("fsync/util")
+subdirs("fsync/hash")
+subdirs("fsync/compress")
+subdirs("fsync/delta")
+subdirs("fsync/net")
+subdirs("fsync/cdc")
+subdirs("fsync/multiround")
+subdirs("fsync/reconcile")
+subdirs("fsync/zsync")
+subdirs("fsync/rsync")
+subdirs("fsync/core")
+subdirs("fsync/workload")
+subdirs("fsync/store")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsync_cdc.dir/cdc_sync.cc.o"
+  "CMakeFiles/fsync_cdc.dir/cdc_sync.cc.o.d"
+  "CMakeFiles/fsync_cdc.dir/chunker.cc.o"
+  "CMakeFiles/fsync_cdc.dir/chunker.cc.o.d"
+  "libfsync_cdc.a"
+  "libfsync_cdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsync_cdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

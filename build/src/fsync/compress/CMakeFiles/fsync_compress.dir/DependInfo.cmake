@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsync/compress/codec.cc" "src/fsync/compress/CMakeFiles/fsync_compress.dir/codec.cc.o" "gcc" "src/fsync/compress/CMakeFiles/fsync_compress.dir/codec.cc.o.d"
+  "/root/repo/src/fsync/compress/huffman.cc" "src/fsync/compress/CMakeFiles/fsync_compress.dir/huffman.cc.o" "gcc" "src/fsync/compress/CMakeFiles/fsync_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/fsync/compress/lz77.cc" "src/fsync/compress/CMakeFiles/fsync_compress.dir/lz77.cc.o" "gcc" "src/fsync/compress/CMakeFiles/fsync_compress.dir/lz77.cc.o.d"
+  "/root/repo/src/fsync/compress/range_coder.cc" "src/fsync/compress/CMakeFiles/fsync_compress.dir/range_coder.cc.o" "gcc" "src/fsync/compress/CMakeFiles/fsync_compress.dir/range_coder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsync/util/CMakeFiles/fsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsync_compress.dir/codec.cc.o"
+  "CMakeFiles/fsync_compress.dir/codec.cc.o.d"
+  "CMakeFiles/fsync_compress.dir/huffman.cc.o"
+  "CMakeFiles/fsync_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/fsync_compress.dir/lz77.cc.o"
+  "CMakeFiles/fsync_compress.dir/lz77.cc.o.d"
+  "CMakeFiles/fsync_compress.dir/range_coder.cc.o"
+  "CMakeFiles/fsync_compress.dir/range_coder.cc.o.d"
+  "libfsync_compress.a"
+  "libfsync_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsync_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsync/core/adaptive.cc" "src/fsync/core/CMakeFiles/fsync_core.dir/adaptive.cc.o" "gcc" "src/fsync/core/CMakeFiles/fsync_core.dir/adaptive.cc.o.d"
+  "/root/repo/src/fsync/core/block_ledger.cc" "src/fsync/core/CMakeFiles/fsync_core.dir/block_ledger.cc.o" "gcc" "src/fsync/core/CMakeFiles/fsync_core.dir/block_ledger.cc.o.d"
+  "/root/repo/src/fsync/core/broadcast.cc" "src/fsync/core/CMakeFiles/fsync_core.dir/broadcast.cc.o" "gcc" "src/fsync/core/CMakeFiles/fsync_core.dir/broadcast.cc.o.d"
+  "/root/repo/src/fsync/core/collection.cc" "src/fsync/core/CMakeFiles/fsync_core.dir/collection.cc.o" "gcc" "src/fsync/core/CMakeFiles/fsync_core.dir/collection.cc.o.d"
+  "/root/repo/src/fsync/core/config_io.cc" "src/fsync/core/CMakeFiles/fsync_core.dir/config_io.cc.o" "gcc" "src/fsync/core/CMakeFiles/fsync_core.dir/config_io.cc.o.d"
+  "/root/repo/src/fsync/core/endpoint.cc" "src/fsync/core/CMakeFiles/fsync_core.dir/endpoint.cc.o" "gcc" "src/fsync/core/CMakeFiles/fsync_core.dir/endpoint.cc.o.d"
+  "/root/repo/src/fsync/core/session.cc" "src/fsync/core/CMakeFiles/fsync_core.dir/session.cc.o" "gcc" "src/fsync/core/CMakeFiles/fsync_core.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsync/cdc/CMakeFiles/fsync_cdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/multiround/CMakeFiles/fsync_multiround.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/delta/CMakeFiles/fsync_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/hash/CMakeFiles/fsync_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/net/CMakeFiles/fsync_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/rsync/CMakeFiles/fsync_rsync.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/compress/CMakeFiles/fsync_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/util/CMakeFiles/fsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsync_core.dir/adaptive.cc.o"
+  "CMakeFiles/fsync_core.dir/adaptive.cc.o.d"
+  "CMakeFiles/fsync_core.dir/block_ledger.cc.o"
+  "CMakeFiles/fsync_core.dir/block_ledger.cc.o.d"
+  "CMakeFiles/fsync_core.dir/broadcast.cc.o"
+  "CMakeFiles/fsync_core.dir/broadcast.cc.o.d"
+  "CMakeFiles/fsync_core.dir/collection.cc.o"
+  "CMakeFiles/fsync_core.dir/collection.cc.o.d"
+  "CMakeFiles/fsync_core.dir/config_io.cc.o"
+  "CMakeFiles/fsync_core.dir/config_io.cc.o.d"
+  "CMakeFiles/fsync_core.dir/endpoint.cc.o"
+  "CMakeFiles/fsync_core.dir/endpoint.cc.o.d"
+  "CMakeFiles/fsync_core.dir/session.cc.o"
+  "CMakeFiles/fsync_core.dir/session.cc.o.d"
+  "libfsync_core.a"
+  "libfsync_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsync_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

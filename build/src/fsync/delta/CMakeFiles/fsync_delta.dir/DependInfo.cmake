@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsync/delta/bsdiff.cc" "src/fsync/delta/CMakeFiles/fsync_delta.dir/bsdiff.cc.o" "gcc" "src/fsync/delta/CMakeFiles/fsync_delta.dir/bsdiff.cc.o.d"
+  "/root/repo/src/fsync/delta/delta.cc" "src/fsync/delta/CMakeFiles/fsync_delta.dir/delta.cc.o" "gcc" "src/fsync/delta/CMakeFiles/fsync_delta.dir/delta.cc.o.d"
+  "/root/repo/src/fsync/delta/suffix_array.cc" "src/fsync/delta/CMakeFiles/fsync_delta.dir/suffix_array.cc.o" "gcc" "src/fsync/delta/CMakeFiles/fsync_delta.dir/suffix_array.cc.o.d"
+  "/root/repo/src/fsync/delta/vcdiff.cc" "src/fsync/delta/CMakeFiles/fsync_delta.dir/vcdiff.cc.o" "gcc" "src/fsync/delta/CMakeFiles/fsync_delta.dir/vcdiff.cc.o.d"
+  "/root/repo/src/fsync/delta/zd.cc" "src/fsync/delta/CMakeFiles/fsync_delta.dir/zd.cc.o" "gcc" "src/fsync/delta/CMakeFiles/fsync_delta.dir/zd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsync/compress/CMakeFiles/fsync_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/util/CMakeFiles/fsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

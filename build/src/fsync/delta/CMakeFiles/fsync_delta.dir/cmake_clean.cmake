@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsync_delta.dir/bsdiff.cc.o"
+  "CMakeFiles/fsync_delta.dir/bsdiff.cc.o.d"
+  "CMakeFiles/fsync_delta.dir/delta.cc.o"
+  "CMakeFiles/fsync_delta.dir/delta.cc.o.d"
+  "CMakeFiles/fsync_delta.dir/suffix_array.cc.o"
+  "CMakeFiles/fsync_delta.dir/suffix_array.cc.o.d"
+  "CMakeFiles/fsync_delta.dir/vcdiff.cc.o"
+  "CMakeFiles/fsync_delta.dir/vcdiff.cc.o.d"
+  "CMakeFiles/fsync_delta.dir/zd.cc.o"
+  "CMakeFiles/fsync_delta.dir/zd.cc.o.d"
+  "libfsync_delta.a"
+  "libfsync_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsync_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsync/hash/fingerprint.cc" "src/fsync/hash/CMakeFiles/fsync_hash.dir/fingerprint.cc.o" "gcc" "src/fsync/hash/CMakeFiles/fsync_hash.dir/fingerprint.cc.o.d"
+  "/root/repo/src/fsync/hash/karp_rabin.cc" "src/fsync/hash/CMakeFiles/fsync_hash.dir/karp_rabin.cc.o" "gcc" "src/fsync/hash/CMakeFiles/fsync_hash.dir/karp_rabin.cc.o.d"
+  "/root/repo/src/fsync/hash/md4.cc" "src/fsync/hash/CMakeFiles/fsync_hash.dir/md4.cc.o" "gcc" "src/fsync/hash/CMakeFiles/fsync_hash.dir/md4.cc.o.d"
+  "/root/repo/src/fsync/hash/md5.cc" "src/fsync/hash/CMakeFiles/fsync_hash.dir/md5.cc.o" "gcc" "src/fsync/hash/CMakeFiles/fsync_hash.dir/md5.cc.o.d"
+  "/root/repo/src/fsync/hash/rolling_adler.cc" "src/fsync/hash/CMakeFiles/fsync_hash.dir/rolling_adler.cc.o" "gcc" "src/fsync/hash/CMakeFiles/fsync_hash.dir/rolling_adler.cc.o.d"
+  "/root/repo/src/fsync/hash/tabled_adler.cc" "src/fsync/hash/CMakeFiles/fsync_hash.dir/tabled_adler.cc.o" "gcc" "src/fsync/hash/CMakeFiles/fsync_hash.dir/tabled_adler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsync/util/CMakeFiles/fsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsync_hash.dir/fingerprint.cc.o"
+  "CMakeFiles/fsync_hash.dir/fingerprint.cc.o.d"
+  "CMakeFiles/fsync_hash.dir/karp_rabin.cc.o"
+  "CMakeFiles/fsync_hash.dir/karp_rabin.cc.o.d"
+  "CMakeFiles/fsync_hash.dir/md4.cc.o"
+  "CMakeFiles/fsync_hash.dir/md4.cc.o.d"
+  "CMakeFiles/fsync_hash.dir/md5.cc.o"
+  "CMakeFiles/fsync_hash.dir/md5.cc.o.d"
+  "CMakeFiles/fsync_hash.dir/rolling_adler.cc.o"
+  "CMakeFiles/fsync_hash.dir/rolling_adler.cc.o.d"
+  "CMakeFiles/fsync_hash.dir/tabled_adler.cc.o"
+  "CMakeFiles/fsync_hash.dir/tabled_adler.cc.o.d"
+  "libfsync_hash.a"
+  "libfsync_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsync_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

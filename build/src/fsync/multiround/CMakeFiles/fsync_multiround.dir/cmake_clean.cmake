@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsync_multiround.dir/multiround.cc.o"
+  "CMakeFiles/fsync_multiround.dir/multiround.cc.o.d"
+  "libfsync_multiround.a"
+  "libfsync_multiround.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsync_multiround.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfsync_multiround.a"
+)

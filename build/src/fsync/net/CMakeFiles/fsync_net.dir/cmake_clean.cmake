@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsync_net.dir/channel.cc.o"
+  "CMakeFiles/fsync_net.dir/channel.cc.o.d"
+  "libfsync_net.a"
+  "libfsync_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsync_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

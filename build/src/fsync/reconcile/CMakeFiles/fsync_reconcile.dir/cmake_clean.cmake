@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsync_reconcile.dir/merkle.cc.o"
+  "CMakeFiles/fsync_reconcile.dir/merkle.cc.o.d"
+  "libfsync_reconcile.a"
+  "libfsync_reconcile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsync_reconcile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

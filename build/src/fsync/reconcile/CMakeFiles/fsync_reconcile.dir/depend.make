@@ -1,0 +1,2 @@
+# Empty dependencies file for fsync_reconcile.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsync/rsync/inplace.cc" "src/fsync/rsync/CMakeFiles/fsync_rsync.dir/inplace.cc.o" "gcc" "src/fsync/rsync/CMakeFiles/fsync_rsync.dir/inplace.cc.o.d"
+  "/root/repo/src/fsync/rsync/rsync.cc" "src/fsync/rsync/CMakeFiles/fsync_rsync.dir/rsync.cc.o" "gcc" "src/fsync/rsync/CMakeFiles/fsync_rsync.dir/rsync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsync/compress/CMakeFiles/fsync_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/hash/CMakeFiles/fsync_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/net/CMakeFiles/fsync_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/util/CMakeFiles/fsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

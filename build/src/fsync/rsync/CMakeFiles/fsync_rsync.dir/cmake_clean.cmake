@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsync_rsync.dir/inplace.cc.o"
+  "CMakeFiles/fsync_rsync.dir/inplace.cc.o.d"
+  "CMakeFiles/fsync_rsync.dir/rsync.cc.o"
+  "CMakeFiles/fsync_rsync.dir/rsync.cc.o.d"
+  "libfsync_rsync.a"
+  "libfsync_rsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsync_rsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

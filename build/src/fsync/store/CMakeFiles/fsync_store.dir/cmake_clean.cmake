@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsync_store.dir/fsstore.cc.o"
+  "CMakeFiles/fsync_store.dir/fsstore.cc.o.d"
+  "libfsync_store.a"
+  "libfsync_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsync_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsync/util/bit_io.cc" "src/fsync/util/CMakeFiles/fsync_util.dir/bit_io.cc.o" "gcc" "src/fsync/util/CMakeFiles/fsync_util.dir/bit_io.cc.o.d"
+  "/root/repo/src/fsync/util/hex.cc" "src/fsync/util/CMakeFiles/fsync_util.dir/hex.cc.o" "gcc" "src/fsync/util/CMakeFiles/fsync_util.dir/hex.cc.o.d"
+  "/root/repo/src/fsync/util/random.cc" "src/fsync/util/CMakeFiles/fsync_util.dir/random.cc.o" "gcc" "src/fsync/util/CMakeFiles/fsync_util.dir/random.cc.o.d"
+  "/root/repo/src/fsync/util/status.cc" "src/fsync/util/CMakeFiles/fsync_util.dir/status.cc.o" "gcc" "src/fsync/util/CMakeFiles/fsync_util.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

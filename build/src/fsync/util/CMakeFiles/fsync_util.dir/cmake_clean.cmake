@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsync_util.dir/bit_io.cc.o"
+  "CMakeFiles/fsync_util.dir/bit_io.cc.o.d"
+  "CMakeFiles/fsync_util.dir/hex.cc.o"
+  "CMakeFiles/fsync_util.dir/hex.cc.o.d"
+  "CMakeFiles/fsync_util.dir/random.cc.o"
+  "CMakeFiles/fsync_util.dir/random.cc.o.d"
+  "CMakeFiles/fsync_util.dir/status.cc.o"
+  "CMakeFiles/fsync_util.dir/status.cc.o.d"
+  "libfsync_util.a"
+  "libfsync_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsync_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsync_workload.dir/bundle.cc.o"
+  "CMakeFiles/fsync_workload.dir/bundle.cc.o.d"
+  "CMakeFiles/fsync_workload.dir/edits.cc.o"
+  "CMakeFiles/fsync_workload.dir/edits.cc.o.d"
+  "CMakeFiles/fsync_workload.dir/release.cc.o"
+  "CMakeFiles/fsync_workload.dir/release.cc.o.d"
+  "CMakeFiles/fsync_workload.dir/text_synth.cc.o"
+  "CMakeFiles/fsync_workload.dir/text_synth.cc.o.d"
+  "CMakeFiles/fsync_workload.dir/web.cc.o"
+  "CMakeFiles/fsync_workload.dir/web.cc.o.d"
+  "libfsync_workload.a"
+  "libfsync_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsync_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsync/zsync/zsync.cc" "src/fsync/zsync/CMakeFiles/fsync_zsync.dir/zsync.cc.o" "gcc" "src/fsync/zsync/CMakeFiles/fsync_zsync.dir/zsync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsync/compress/CMakeFiles/fsync_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/hash/CMakeFiles/fsync_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/util/CMakeFiles/fsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

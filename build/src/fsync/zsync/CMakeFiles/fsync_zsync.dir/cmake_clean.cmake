@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsync_zsync.dir/zsync.cc.o"
+  "CMakeFiles/fsync_zsync.dir/zsync.cc.o.d"
+  "libfsync_zsync.a"
+  "libfsync_zsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsync_zsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

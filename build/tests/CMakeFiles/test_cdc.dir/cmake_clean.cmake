@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdc.dir/cdc_test.cc.o"
+  "CMakeFiles/test_cdc.dir/cdc_test.cc.o.d"
+  "test_cdc"
+  "test_cdc.pdb"
+  "test_cdc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

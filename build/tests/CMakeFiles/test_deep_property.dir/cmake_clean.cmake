@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deep_property.dir/deep_property_test.cc.o"
+  "CMakeFiles/test_deep_property.dir/deep_property_test.cc.o.d"
+  "test_deep_property"
+  "test_deep_property.pdb"
+  "test_deep_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deep_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inplace.dir/inplace_test.cc.o"
+  "CMakeFiles/test_inplace.dir/inplace_test.cc.o.d"
+  "test_inplace"
+  "test_inplace.pdb"
+  "test_inplace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiround.dir/multiround_test.cc.o"
+  "CMakeFiles/test_multiround.dir/multiround_test.cc.o.d"
+  "test_multiround"
+  "test_multiround.pdb"
+  "test_multiround[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiround.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

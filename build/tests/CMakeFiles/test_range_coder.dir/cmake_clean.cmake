@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_range_coder.dir/range_coder_test.cc.o"
+  "CMakeFiles/test_range_coder.dir/range_coder_test.cc.o.d"
+  "test_range_coder"
+  "test_range_coder.pdb"
+  "test_range_coder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_range_coder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

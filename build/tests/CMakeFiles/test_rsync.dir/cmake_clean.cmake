@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rsync.dir/rsync_test.cc.o"
+  "CMakeFiles/test_rsync.dir/rsync_test.cc.o.d"
+  "test_rsync"
+  "test_rsync.pdb"
+  "test_rsync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rsync.
+# This may be replaced when dependencies are built.

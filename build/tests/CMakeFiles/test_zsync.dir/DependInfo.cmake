@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/zsync_test.cc" "tests/CMakeFiles/test_zsync.dir/zsync_test.cc.o" "gcc" "tests/CMakeFiles/test_zsync.dir/zsync_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fsync/store/CMakeFiles/fsync_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/core/CMakeFiles/fsync_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/workload/CMakeFiles/fsync_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/rsync/CMakeFiles/fsync_rsync.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/cdc/CMakeFiles/fsync_cdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/multiround/CMakeFiles/fsync_multiround.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/reconcile/CMakeFiles/fsync_reconcile.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/zsync/CMakeFiles/fsync_zsync.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/delta/CMakeFiles/fsync_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/compress/CMakeFiles/fsync_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/hash/CMakeFiles/fsync_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/net/CMakeFiles/fsync_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fsync/util/CMakeFiles/fsync_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zsync.dir/zsync_test.cc.o"
+  "CMakeFiles/test_zsync.dir/zsync_test.cc.o.d"
+  "test_zsync"
+  "test_zsync.pdb"
+  "test_zsync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_hash[1]_include.cmake")
+include("/root/repo/build/tests/test_compress[1]_include.cmake")
+include("/root/repo/build/tests/test_range_coder[1]_include.cmake")
+include("/root/repo/build/tests/test_delta[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_rsync[1]_include.cmake")
+include("/root/repo/build/tests/test_cdc[1]_include.cmake")
+include("/root/repo/build/tests/test_multiround[1]_include.cmake")
+include("/root/repo/build/tests/test_reconcile[1]_include.cmake")
+include("/root/repo/build/tests/test_zsync[1]_include.cmake")
+include("/root/repo/build/tests/test_inplace[1]_include.cmake")
+include("/root/repo/build/tests/test_ledger[1]_include.cmake")
+include("/root/repo/build/tests/test_session[1]_include.cmake")
+include("/root/repo/build/tests/test_endpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_collection[1]_include.cmake")
+include("/root/repo/build/tests/test_broadcast[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_config_io[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_deep_property[1]_include.cmake")
+include("/root/repo/build/tests/test_store[1]_include.cmake")
