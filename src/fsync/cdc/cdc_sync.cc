@@ -34,8 +34,10 @@ StatusOr<CdcSyncResult> CdcSynchronize(ByteSpan outdated, ByteSpan current,
 
   // Server: chunk the current file and send fingerprint + chunk hashes.
   Fingerprint new_fp = FileFingerprint(current);
-  bool unchanged =
-      std::equal(new_fp.begin(), new_fp.end(), req.begin());
+  // The request may be truncated in transit: check the size before
+  // comparing, or std::equal reads past the end of a short message.
+  bool unchanged = req.size() == new_fp.size() &&
+                   std::equal(new_fp.begin(), new_fp.end(), req.begin());
   std::vector<Chunk> chunks = CdcChunk(current, params.chunking);
   result.chunks_total = chunks.size();
   {
@@ -164,6 +166,11 @@ StatusOr<CdcSyncResult> CdcSynchronize(ByteSpan outdated, ByteSpan current,
     FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,
                            channel.Receive(Dir::kServerToClient));
     FSYNC_ASSIGN_OR_RETURN(rebuilt, Decompress(full_msg));
+    // Verify the fallback too: it crosses the same untrusted channel.
+    Fingerprint fb = FileFingerprint(rebuilt);
+    if (!std::equal(fb.begin(), fb.end(), fp_bytes.begin())) {
+      return Status::DataLoss("cdc: fallback transfer mismatch");
+    }
     result.fell_back_to_full_transfer = true;
   }
   result.reconstructed = std::move(rebuilt);

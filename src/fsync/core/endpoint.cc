@@ -384,6 +384,13 @@ StatusOr<std::optional<Bytes>> SyncClientEndpoint::OnServerMessage(
 
 Status SyncClientEndpoint::OnFallbackTransfer(ByteSpan msg) {
   FSYNC_ASSIGN_OR_RETURN(Bytes full, Decompress(msg));
+  // The fallback crosses the same untrusted channel as the map rounds;
+  // verify it against the fingerprint announced in round 1 so a corrupted
+  // full transfer cannot be accepted silently.
+  Fingerprint got = FileFingerprint(full);
+  if (!std::equal(got.begin(), got.end(), fp_new_.begin())) {
+    return Status::DataLoss("session: fallback transfer mismatch");
+  }
   result_ = std::move(full);
   needs_fallback_ = false;
   done_ = true;

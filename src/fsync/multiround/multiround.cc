@@ -65,7 +65,10 @@ StatusOr<MultiroundResult> MultiroundSynchronize(
   FSYNC_ASSIGN_OR_RETURN(Bytes req, channel.Receive(Dir::kClientToServer));
 
   Fingerprint new_fp = FileFingerprint(current);
-  bool unchanged = std::equal(new_fp.begin(), new_fp.end(), req.begin());
+  // The request may be truncated in transit: check the size before
+  // comparing, or std::equal reads past the end of a short message.
+  bool unchanged = req.size() == new_fp.size() &&
+                   std::equal(new_fp.begin(), new_fp.end(), req.begin());
   {
     BitWriter msg;
     msg.WriteBit(unchanged);
@@ -281,6 +284,11 @@ StatusOr<MultiroundResult> MultiroundSynchronize(
     FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,
                            channel.Receive(Dir::kServerToClient));
     FSYNC_ASSIGN_OR_RETURN(rebuilt, Decompress(full_msg));
+    // Verify the fallback too: it crosses the same untrusted channel.
+    Fingerprint fb = FileFingerprint(rebuilt);
+    if (!std::equal(fb.begin(), fb.end(), fp_bytes.begin())) {
+      return Status::DataLoss("multiround: fallback transfer mismatch");
+    }
     result.fell_back_to_full_transfer = true;
   }
   result.reconstructed = std::move(rebuilt);

@@ -22,17 +22,34 @@ void SimulatedChannel::Send(Direction dir, ByteSpan payload) {
   uint64_t wire = payload.size() + FramingBytes(payload.size());
   if (dir == Direction::kClientToServer) {
     stats_.client_to_server_bytes += wire;
-    to_server_.emplace_back(payload.begin(), payload.end());
     last_dir_ = dir;
   } else {
     stats_.server_to_client_bytes += wire;
-    to_client_.emplace_back(payload.begin(), payload.end());
     // A server->client message following client->server traffic completes
     // one request/response cycle.
     if (last_dir_ == Direction::kClientToServer) {
       ++stats_.roundtrips;
     }
     last_dir_ = dir;
+  }
+
+  auto& queue =
+      dir == Direction::kClientToServer ? to_server_ : to_client_;
+  FaultAction action =
+      fault_ ? fault_(dir, payload) : FaultAction::kDeliver;
+  switch (action) {
+    case FaultAction::kDrop:
+      return;
+    case FaultAction::kDuplicate:
+      queue.emplace_back(payload.begin(), payload.end());
+      queue.emplace_back(payload.begin(), payload.end());
+      return;
+    case FaultAction::kReorder:
+      queue.emplace_front(payload.begin(), payload.end());
+      return;
+    case FaultAction::kDeliver:
+      queue.emplace_back(payload.begin(), payload.end());
+      return;
   }
 }
 

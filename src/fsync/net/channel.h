@@ -53,13 +53,30 @@ class SimulatedChannel {
 
   /// Test hook: every queued message passes through `tamper` before
   /// delivery (fault injection for robustness tests). The byte accounting
-  /// reflects the original payload.
+  /// reflects the original payload, not the tampered one: the sender paid
+  /// for what it sent, regardless of what the network did to it.
   void SetTamper(std::function<void(Direction, Bytes&)> tamper) {
     tamper_ = std::move(tamper);
   }
 
+  /// Queue-level fault decision, consulted once per Send.
+  enum class FaultAction {
+    kDeliver,    // enqueue normally
+    kDrop,       // lose the message (never enqueued)
+    kDuplicate,  // enqueue two copies
+    kReorder,    // enqueue at the front, jumping past pending messages
+  };
+
+  /// Test hook: decides the fate of each sent message (drop, duplication,
+  /// reordering). Like SetTamper, byte and roundtrip accounting always
+  /// reflect the original send; faults change delivery, not cost.
+  void SetFault(std::function<FaultAction(Direction, ByteSpan)> fault) {
+    fault_ = std::move(fault);
+  }
+
  private:
   std::function<void(Direction, Bytes&)> tamper_;
+  std::function<FaultAction(Direction, ByteSpan)> fault_;
   std::deque<Bytes> to_server_;
   std::deque<Bytes> to_client_;
   TrafficStats stats_;

@@ -1,5 +1,6 @@
 #include "fsync/rsync/rsync.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "fsync/compress/codec.h"
@@ -156,7 +157,10 @@ StatusOr<Bytes> RsyncClientApply(ByteSpan outdated, ByteSpan stream,
   const size_t b = params.block_size;
 
   Bytes out;
-  out.reserve(new_size);
+  // `new_size` is attacker-controlled until the final fingerprint check;
+  // cap the speculative reservation so a corrupted header cannot force a
+  // multi-gigabyte allocation before decoding fails.
+  out.reserve(std::min<uint64_t>(new_size, uint64_t{16} << 20));
   while (out.size() < new_size) {
     FSYNC_ASSIGN_OR_RETURN(uint64_t tag, in.ReadVarint());
     if (tag == kLiteralTag) {
@@ -290,6 +294,85 @@ StatusOr<RsyncResult> RsyncSynchronize(ByteSpan outdated, ByteSpan current,
     FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,
                            channel.Receive(Dir::kServerToClient));
     FSYNC_ASSIGN_OR_RETURN(rebuilt, Decompress(full_msg));
+    // The fallback travels over the same untrusted channel as everything
+    // else; without this check a corrupted full transfer that survives
+    // decompression would be accepted silently.
+    Fingerprint fb_fp = FileFingerprint(rebuilt);
+    if (!std::equal(fb_fp.begin(), fb_fp.end(), want_fp.begin())) {
+      return Status::DataLoss("rsync: fallback transfer mismatch");
+    }
+    result.fell_back_to_full_transfer = true;
+  }
+  result.reconstructed = std::move(rebuilt);
+  result.stats = channel.stats();
+  return result;
+}
+
+StatusOr<InplaceSyncResult> InplaceSynchronize(ByteSpan outdated,
+                                               ByteSpan current,
+                                               const RsyncParams& params,
+                                               SimulatedChannel& channel) {
+  using Dir = SimulatedChannel::Direction;
+  InplaceSyncResult result;
+
+  // Wire flow is identical to RsyncSynchronize: fingerprint exchange,
+  // signatures, token stream. Only the client's apply step differs.
+  Fingerprint old_fp = FileFingerprint(outdated);
+  channel.Send(Dir::kClientToServer, ByteSpan(old_fp.data(), old_fp.size()));
+
+  Fingerprint new_fp = FileFingerprint(current);
+  FSYNC_ASSIGN_OR_RETURN(Bytes fp_msg, channel.Receive(Dir::kClientToServer));
+  bool unchanged = fp_msg.size() == new_fp.size() &&
+                   std::equal(new_fp.begin(), new_fp.end(), fp_msg.begin());
+  Bytes verdict = {static_cast<uint8_t>(unchanged ? 0 : 1)};
+  Append(verdict, ByteSpan(new_fp.data(), new_fp.size()));
+  channel.Send(Dir::kServerToClient, verdict);
+  FSYNC_ASSIGN_OR_RETURN(Bytes v, channel.Receive(Dir::kServerToClient));
+  if (v.size() < 17) {
+    return Status::DataLoss("inplace: short verdict message");
+  }
+  if (v.at(0) == 0) {
+    if (!std::equal(old_fp.begin(), old_fp.end(), v.begin() + 1)) {
+      return Status::DataLoss("inplace: unchanged verdict mismatch");
+    }
+    result.reconstructed.assign(outdated.begin(), outdated.end());
+    result.stats = channel.stats();
+    return result;
+  }
+
+  std::vector<BlockSignature> sigs = ComputeSignatures(outdated, params);
+  channel.Send(Dir::kClientToServer, EncodeSignatures(sigs, params));
+
+  FSYNC_ASSIGN_OR_RETURN(Bytes sig_msg, channel.Receive(Dir::kClientToServer));
+  FSYNC_ASSIGN_OR_RETURN(std::vector<BlockSignature> server_sigs,
+                         DecodeSignatures(sig_msg, params));
+  Bytes stream = RsyncServerEncode(current, server_sigs, params);
+  channel.Send(Dir::kServerToClient, stream);
+
+  FSYNC_ASSIGN_OR_RETURN(Bytes stream_msg,
+                         channel.Receive(Dir::kServerToClient));
+  FSYNC_ASSIGN_OR_RETURN(
+      CommandList cmds,
+      RsyncDecodeCommands(stream_msg, params, outdated.size()));
+  FSYNC_ASSIGN_OR_RETURN(
+      InPlaceResult applied,
+      InPlaceReconstruct(outdated, std::move(cmds.commands), cmds.new_size));
+  result.promoted_literal_bytes = applied.promoted_literal_bytes;
+  result.promoted_commands = applied.promoted_commands;
+  Bytes rebuilt = std::move(applied.reconstructed);
+
+  ByteSpan want_fp = ByteSpan(v).subspan(1, 16);
+  Fingerprint got_fp = FileFingerprint(rebuilt);
+  if (!std::equal(got_fp.begin(), got_fp.end(), want_fp.begin())) {
+    Bytes full = Compress(current);
+    channel.Send(Dir::kServerToClient, full);
+    FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,
+                           channel.Receive(Dir::kServerToClient));
+    FSYNC_ASSIGN_OR_RETURN(rebuilt, Decompress(full_msg));
+    Fingerprint fb_fp = FileFingerprint(rebuilt);
+    if (!std::equal(fb_fp.begin(), fb_fp.end(), want_fp.begin())) {
+      return Status::DataLoss("inplace: fallback transfer mismatch");
+    }
     result.fell_back_to_full_transfer = true;
   }
   result.reconstructed = std::move(rebuilt);

@@ -86,6 +86,27 @@ StatusOr<RsyncResult> RsyncSynchronize(ByteSpan outdated, ByteSpan current,
                                        const RsyncParams& params,
                                        SimulatedChannel& channel);
 
+/// Result of an in-place rsync session.
+struct InplaceSyncResult {
+  Bytes reconstructed;
+  TrafficStats stats;
+  /// Copy bytes promoted to literals to break dependency cycles (the
+  /// extra traffic a cooperating in-place server would have sent).
+  uint64_t promoted_literal_bytes = 0;
+  uint64_t promoted_commands = 0;
+  bool fell_back_to_full_transfer = false;
+};
+
+/// Runs the rsync wire protocol but reconstructs on the client via the
+/// in-place executor (fsync/rsync/inplace.h): the token stream is decoded
+/// into an explicit command list and applied inside a single buffer, as a
+/// constrained-memory receiver would. Wire traffic matches
+/// RsyncSynchronize; reconstruction and verification differ.
+StatusOr<InplaceSyncResult> InplaceSynchronize(ByteSpan outdated,
+                                               ByteSpan current,
+                                               const RsyncParams& params,
+                                               SimulatedChannel& channel);
+
 /// "Idealized rsync": runs RsyncSynchronize for each candidate block size
 /// and returns the cheapest session (the per-file oracle the paper compares
 /// against). If `candidates` is empty a default power-of-two sweep is used.

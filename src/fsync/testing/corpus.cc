@@ -1,0 +1,241 @@
+#include "fsync/testing/corpus.h"
+
+#include <algorithm>
+
+#include "fsync/util/random.h"
+#include "fsync/workload/edits.h"
+#include "fsync/workload/text_synth.h"
+
+namespace fsx {
+
+namespace {
+
+// Sizes are kept modest (tens of KB) so the full corpus times every
+// protocol in seconds, while still spanning several blocks at every
+// default block size in the library.
+constexpr size_t kBaseBytes = 24 * 1024;
+
+Bytes SourceOfSize(Rng& rng, size_t target) {
+  return SynthSourceFile(rng, std::max<size_t>(target, 1));
+}
+
+CorpusPair EditedPair(CorpusShape shape, uint64_t seed, double locality,
+                      int num_edits) {
+  CorpusPair p;
+  p.shape = shape;
+  p.seed = seed;
+  Rng rng(seed);
+  p.f_old = SourceOfSize(rng, kBaseBytes / 2 + rng.Uniform(kBaseBytes));
+  EditProfile ep;
+  ep.num_edits = num_edits;
+  ep.locality = locality;
+  p.f_new = ApplyEdits(p.f_old, ep, rng);
+  return p;
+}
+
+}  // namespace
+
+const std::vector<CorpusShape>& AllCorpusShapes() {
+  static const std::vector<CorpusShape> kShapes = {
+      CorpusShape::kClusteredEdits,
+      CorpusShape::kDispersedEdits,
+      CorpusShape::kBlockMove,
+      CorpusShape::kPrepend,
+      CorpusShape::kAppend,
+      CorpusShape::kDeleteMiddle,
+      CorpusShape::kBinaryEdit,
+      CorpusShape::kPathologicalRepeats,
+      CorpusShape::kEmptyOld,
+      CorpusShape::kEmptyNew,
+      CorpusShape::kBothEmpty,
+      CorpusShape::kIdentical,
+      CorpusShape::kDisjoint,
+      CorpusShape::kTinyFiles,
+      CorpusShape::kWebPageEdit,
+      CorpusShape::kTruncateTail,
+      CorpusShape::kOddSizes,
+  };
+  return kShapes;
+}
+
+const char* CorpusShapeName(CorpusShape shape) {
+  switch (shape) {
+    case CorpusShape::kClusteredEdits:
+      return "clustered-edits";
+    case CorpusShape::kDispersedEdits:
+      return "dispersed-edits";
+    case CorpusShape::kBlockMove:
+      return "block-move";
+    case CorpusShape::kPrepend:
+      return "prepend";
+    case CorpusShape::kAppend:
+      return "append";
+    case CorpusShape::kDeleteMiddle:
+      return "delete-middle";
+    case CorpusShape::kBinaryEdit:
+      return "binary-edit";
+    case CorpusShape::kPathologicalRepeats:
+      return "pathological-repeats";
+    case CorpusShape::kEmptyOld:
+      return "empty-old";
+    case CorpusShape::kEmptyNew:
+      return "empty-new";
+    case CorpusShape::kBothEmpty:
+      return "both-empty";
+    case CorpusShape::kIdentical:
+      return "identical";
+    case CorpusShape::kDisjoint:
+      return "disjoint";
+    case CorpusShape::kTinyFiles:
+      return "tiny-files";
+    case CorpusShape::kWebPageEdit:
+      return "web-page-edit";
+    case CorpusShape::kTruncateTail:
+      return "truncate-tail";
+    case CorpusShape::kOddSizes:
+      return "odd-sizes";
+  }
+  return "unknown";
+}
+
+std::string CorpusPair::Label() const {
+  return std::string(CorpusShapeName(shape)) + "/" + std::to_string(seed);
+}
+
+CorpusPair MakeCorpusPair(CorpusShape shape, uint64_t seed) {
+  CorpusPair p;
+  p.shape = shape;
+  p.seed = seed;
+  Rng rng(seed ^ (static_cast<uint64_t>(shape) << 48));
+
+  switch (shape) {
+    case CorpusShape::kClusteredEdits:
+      return EditedPair(shape, seed, /*locality=*/1.0, /*num_edits=*/12);
+    case CorpusShape::kDispersedEdits:
+      return EditedPair(shape, seed, /*locality=*/0.0, /*num_edits=*/20);
+    case CorpusShape::kBlockMove: {
+      p.f_old = SourceOfSize(rng, kBaseBytes);
+      // Relocate a sizeable interior region to a new position.
+      size_t n = p.f_old.size();
+      size_t len = n / 4 + rng.Uniform(n / 4);
+      size_t from = rng.Uniform(n - len);
+      Bytes moved(p.f_old.begin() + from, p.f_old.begin() + from + len);
+      Bytes rest = p.f_old;
+      rest.erase(rest.begin() + from, rest.begin() + from + len);
+      size_t to = rng.Uniform(rest.size() + 1);
+      p.f_new = rest;
+      p.f_new.insert(p.f_new.begin() + to, moved.begin(), moved.end());
+      return p;
+    }
+    case CorpusShape::kPrepend: {
+      p.f_old = SourceOfSize(rng, kBaseBytes);
+      Bytes prefix = SourceOfSize(rng, 64 + rng.Uniform(4096));
+      p.f_new = prefix;
+      Append(p.f_new, p.f_old);
+      return p;
+    }
+    case CorpusShape::kAppend: {
+      p.f_old = SourceOfSize(rng, kBaseBytes);
+      p.f_new = p.f_old;
+      Append(p.f_new, SourceOfSize(rng, 64 + rng.Uniform(4096)));
+      return p;
+    }
+    case CorpusShape::kDeleteMiddle: {
+      p.f_old = SourceOfSize(rng, kBaseBytes);
+      size_t n = p.f_old.size();
+      size_t len = 1 + rng.Uniform(n / 2);
+      size_t from = rng.Uniform(n - len);
+      p.f_new = p.f_old;
+      p.f_new.erase(p.f_new.begin() + from, p.f_new.begin() + from + len);
+      return p;
+    }
+    case CorpusShape::kBinaryEdit: {
+      p.f_old = rng.RandomBytes(kBaseBytes / 2 + rng.Uniform(kBaseBytes));
+      EditProfile ep;
+      ep.num_edits = 10;
+      ep.structured_fill = false;
+      p.f_new = ApplyEdits(p.f_old, ep, rng);
+      return p;
+    }
+    case CorpusShape::kPathologicalRepeats: {
+      // A tiny repeating unit: every block has the same weak hash, so
+      // hash tables degenerate into one giant collision chain.
+      Bytes unit = rng.RandomBytes(1 + rng.Uniform(8));
+      while (p.f_old.size() < kBaseBytes / 2) {
+        Append(p.f_old, unit);
+      }
+      p.f_new = p.f_old;
+      Bytes wedge = rng.RandomBytes(64 + rng.Uniform(256));
+      p.f_new.insert(p.f_new.begin() + rng.Uniform(p.f_new.size()),
+                     wedge.begin(), wedge.end());
+      return p;
+    }
+    case CorpusShape::kEmptyOld:
+      p.f_new = SourceOfSize(rng, 1 + rng.Uniform(kBaseBytes));
+      return p;
+    case CorpusShape::kEmptyNew:
+      p.f_old = SourceOfSize(rng, 1 + rng.Uniform(kBaseBytes));
+      return p;
+    case CorpusShape::kBothEmpty:
+      return p;
+    case CorpusShape::kIdentical:
+      p.f_old = SourceOfSize(rng, 1 + rng.Uniform(kBaseBytes));
+      p.f_new = p.f_old;
+      return p;
+    case CorpusShape::kDisjoint:
+      p.f_old = rng.RandomBytes(1 + rng.Uniform(kBaseBytes));
+      p.f_new = rng.RandomBytes(1 + rng.Uniform(kBaseBytes));
+      return p;
+    case CorpusShape::kTinyFiles:
+      p.f_old = rng.RandomBytes(rng.Uniform(16));
+      p.f_new = rng.RandomBytes(rng.Uniform(16));
+      return p;
+    case CorpusShape::kWebPageEdit: {
+      p.f_old = SynthWebPage(rng, 4096 + rng.Uniform(kBaseBytes));
+      EditProfile ep;
+      ep.num_edits = 6;
+      p.f_new = ApplyEdits(p.f_old, ep, rng);
+      return p;
+    }
+    case CorpusShape::kTruncateTail: {
+      p.f_old = SourceOfSize(rng, kBaseBytes);
+      size_t keep = rng.Uniform(p.f_old.size());
+      p.f_new.assign(p.f_old.begin(), p.f_old.begin() + keep);
+      return p;
+    }
+    case CorpusShape::kOddSizes: {
+      // Prime-ish sizes that are never multiples of any block size, so
+      // every protocol exercises its ragged-tail handling.
+      size_t n_old = 1021 + rng.Uniform(9973);
+      size_t n_new = 1021 + rng.Uniform(9973);
+      p.f_old = SourceOfSize(rng, n_old);
+      p.f_old.resize(n_old | 1);
+      p.f_new.assign(p.f_old.begin(),
+                     p.f_old.begin() + std::min(n_new | 1, p.f_old.size()));
+      EditProfile ep;
+      ep.num_edits = 5;
+      p.f_new = ApplyEdits(p.f_new, ep, rng);
+      if (!p.f_new.empty() && p.f_new.size() % 2 == 0) {
+        p.f_new.pop_back();  // force an odd length
+      }
+      return p;
+    }
+  }
+  return p;
+}
+
+std::vector<CorpusPair> MakeConformanceCorpus(int pairs_per_shape,
+                                              uint64_t base_seed) {
+  std::vector<CorpusPair> corpus;
+  corpus.reserve(AllCorpusShapes().size() *
+                 static_cast<size_t>(pairs_per_shape));
+  for (CorpusShape shape : AllCorpusShapes()) {
+    for (int i = 0; i < pairs_per_shape; ++i) {
+      corpus.push_back(
+          MakeCorpusPair(shape, base_seed + static_cast<uint64_t>(i)));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace fsx

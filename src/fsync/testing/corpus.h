@@ -1,0 +1,67 @@
+// Deterministic conformance corpus: seeded (F_old, F_new) pairs spanning
+// the workload shapes the paper evaluates (clustered vs dispersed edits,
+// block moves, prepends, deletions) plus the degenerate and pathological
+// inputs that historically break block-matching protocols (empty files,
+// identical files, disjoint content, tiny files, repetitive content,
+// non-power-of-two tails). Every pair is a pure function of (shape, seed),
+// so a failure anywhere reproduces from two integers.
+#ifndef FSYNC_TESTING_CORPUS_H_
+#define FSYNC_TESTING_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// Workload shapes covered by the conformance corpus.
+enum class CorpusShape {
+  kClusteredEdits,       // few hot regions, as in source-code edits
+  kDispersedEdits,       // edits scattered uniformly
+  kBlockMove,            // a large region relocated
+  kPrepend,              // bytes added at the front (shifts everything)
+  kAppend,               // bytes added at the end
+  kDeleteMiddle,         // a region removed
+  kBinaryEdit,           // incompressible content with random edits
+  kPathologicalRepeats,  // tiny repeating unit (weak-hash worst case)
+  kEmptyOld,             // F_old empty: pure download
+  kEmptyNew,             // F_new empty
+  kBothEmpty,            // both empty
+  kIdentical,            // unchanged file (fingerprint short-circuit)
+  kDisjoint,             // no shared content at all
+  kTinyFiles,            // both under one block
+  kWebPageEdit,          // HTML-like texture, header/timestamp churn
+  kTruncateTail,         // F_new is a prefix of F_old
+  kOddSizes,             // non-power-of-two sizes and ragged tails
+};
+
+/// All shapes, in declaration order.
+const std::vector<CorpusShape>& AllCorpusShapes();
+
+/// Stable lowercase name for `shape` (used in failure messages).
+const char* CorpusShapeName(CorpusShape shape);
+
+/// One conformance input.
+struct CorpusPair {
+  CorpusShape shape = CorpusShape::kClusteredEdits;
+  uint64_t seed = 0;
+  Bytes f_old;
+  Bytes f_new;
+
+  /// "shape/seed" label for diagnostics.
+  std::string Label() const;
+};
+
+/// Deterministically generates the pair for (shape, seed).
+CorpusPair MakeCorpusPair(CorpusShape shape, uint64_t seed);
+
+/// The full corpus: `pairs_per_shape` seeded variants of every shape.
+/// Seeds are derived from `base_seed` so FSX_SEED reshuffles everything.
+std::vector<CorpusPair> MakeConformanceCorpus(int pairs_per_shape,
+                                              uint64_t base_seed);
+
+}  // namespace fsx
+
+#endif  // FSYNC_TESTING_CORPUS_H_

@@ -1,0 +1,116 @@
+#include "fsync/testing/differential.h"
+
+#include <sstream>
+
+#include "fsync/compress/codec.h"
+
+namespace fsx {
+
+namespace {
+
+void CheckOne(const ProtocolEntry& protocol, const CorpusPair& pair,
+              const DifferentialOptions& options,
+              std::vector<DifferentialFailure>& failures) {
+  auto fail = [&](std::string what) {
+    failures.push_back({protocol.name, pair.Label(), std::move(what)});
+  };
+
+  SimulatedChannel channel;
+  auto r = protocol.run(pair.f_old, pair.f_new, channel);
+  if (!r.ok()) {
+    fail("status: " + r.status().ToString());
+    return;
+  }
+
+  // 1. Exact reconstruction — the paper's core guarantee.
+  if (r->reconstructed != pair.f_new) {
+    std::ostringstream os;
+    os << "reconstruction mismatch: got " << r->reconstructed.size()
+       << " bytes, want " << pair.f_new.size();
+    fail(os.str());
+  }
+
+  // 2. Truthful accounting: the protocol's reported stats must equal the
+  //    channel's ground truth, and the total must be the directional sum.
+  const TrafficStats& truth = channel.stats();
+  if (r->stats.client_to_server_bytes != truth.client_to_server_bytes ||
+      r->stats.server_to_client_bytes != truth.server_to_client_bytes ||
+      r->stats.roundtrips != truth.roundtrips) {
+    fail("reported stats disagree with channel accounting");
+  }
+  if (r->stats.total_bytes() != r->stats.client_to_server_bytes +
+                                    r->stats.server_to_client_bytes) {
+    fail("total_bytes is not the sum of both directions");
+  }
+
+  // 3. The channel must be drained: leftover messages mean the two sides
+  //    disagreed about the protocol's shape.
+  if (channel.HasPending(SimulatedChannel::Direction::kClientToServer) ||
+      channel.HasPending(SimulatedChannel::Direction::kServerToClient)) {
+    fail("undelivered messages left in the channel");
+  }
+
+  // 4. Roundtrips: any exchange that moved bytes both ways completes at
+  //    least one request/response cycle, and a protocol that counts its
+  //    own rounds can never have fewer channel roundtrips than rounds.
+  if (truth.client_to_server_bytes > 0 && truth.server_to_client_bytes > 0 &&
+      truth.roundtrips == 0) {
+    fail("two-way traffic with zero recorded roundtrips");
+  }
+  if (r->rounds > 0 &&
+      truth.roundtrips < static_cast<uint64_t>(r->rounds)) {
+    std::ostringstream os;
+    os << "protocol claims " << r->rounds << " rounds but the channel saw "
+       << truth.roundtrips << " roundtrips";
+    fail(os.str());
+  }
+
+  // 5. Bit-budget sanity: no protocol may cost more than a constant
+  //    factor of simply compressing F_new and sending it (the fallback
+  //    every protocol already implements), modulo fixed overhead.
+  uint64_t full = Compress(pair.f_new).size();
+  double bound = options.traffic_factor * static_cast<double>(full) +
+                 static_cast<double>(options.traffic_slack_bytes);
+  if (static_cast<double>(truth.total_bytes()) > bound) {
+    std::ostringstream os;
+    os << "traffic " << truth.total_bytes()
+       << " exceeds bound " << static_cast<uint64_t>(bound)
+       << " (compressed full transfer is " << full << ")";
+    fail(os.str());
+  }
+}
+
+}  // namespace
+
+std::string DifferentialReport::Summary() const {
+  std::ostringstream os;
+  for (const DifferentialFailure& f : failures) {
+    os << f.protocol << " on " << f.pair << ": " << f.what << "\n";
+  }
+  os << runs << " runs (" << protocols << " protocols x " << pairs
+     << " pairs), " << failures.size() << " failures";
+  return os.str();
+}
+
+DifferentialReport RunDifferential(
+    const std::vector<CorpusPair>& corpus,
+    const std::vector<ProtocolEntry>& protocols,
+    const DifferentialOptions& options) {
+  DifferentialReport report;
+  report.protocols = protocols.size();
+  report.pairs = corpus.size();
+  for (const ProtocolEntry& protocol : protocols) {
+    for (const CorpusPair& pair : corpus) {
+      ++report.runs;
+      CheckOne(protocol, pair, options, report.failures);
+    }
+  }
+  return report;
+}
+
+DifferentialReport RunDifferential(const std::vector<CorpusPair>& corpus,
+                                   const DifferentialOptions& options) {
+  return RunDifferential(corpus, ConformanceProtocols(), options);
+}
+
+}  // namespace fsx

@@ -1,0 +1,111 @@
+#include "fsync/testing/faults.h"
+
+#include <memory>
+
+#include "fsync/util/random.h"
+
+namespace fsx {
+
+const std::vector<FaultKind>& AllFaultKinds() {
+  static const std::vector<FaultKind> kKinds = {
+      FaultKind::kBitFlip,   FaultKind::kTruncate,  FaultKind::kGarbage,
+      FaultKind::kDrop,      FaultKind::kDuplicate, FaultKind::kReorder,
+  };
+  return kKinds;
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBitFlip:
+      return "bit-flip";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kGarbage:
+      return "garbage";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDuplicate:
+      return "duplicate";
+    case FaultKind::kReorder:
+      return "reorder";
+  }
+  return "unknown";
+}
+
+std::string FaultSpec::Label() const {
+  return std::string(FaultKindName(kind)) + "@" +
+         std::to_string(target_message) + "/" + std::to_string(seed);
+}
+
+void ArmFault(SimulatedChannel& channel, const FaultSpec& spec) {
+  // State shared by the hook across calls: a message counter and the
+  // fault's private RNG. shared_ptr because std::function must be
+  // copyable.
+  struct State {
+    uint64_t count = 0;
+    Rng rng;
+    explicit State(uint64_t seed) : rng(seed) {}
+  };
+  auto state = std::make_shared<State>(spec.seed);
+
+  switch (spec.kind) {
+    case FaultKind::kBitFlip:
+      channel.SetFault(nullptr);
+      channel.SetTamper([state, spec](SimulatedChannel::Direction,
+                                      Bytes& msg) {
+        if (state->count++ != spec.target_message || msg.empty()) {
+          return;
+        }
+        uint64_t bit = state->rng.Uniform(msg.size() * 8);
+        msg[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      });
+      return;
+    case FaultKind::kTruncate:
+      channel.SetFault(nullptr);
+      channel.SetTamper([state, spec](SimulatedChannel::Direction,
+                                      Bytes& msg) {
+        if (state->count++ != spec.target_message || msg.empty()) {
+          return;
+        }
+        msg.resize(state->rng.Uniform(msg.size()));
+      });
+      return;
+    case FaultKind::kGarbage:
+      channel.SetFault(nullptr);
+      channel.SetTamper([state, spec](SimulatedChannel::Direction,
+                                      Bytes& msg) {
+        if (state->count++ != spec.target_message) {
+          return;
+        }
+        // Same length, random content: headers parse far enough to hurt.
+        msg = state->rng.RandomBytes(msg.size());
+      });
+      return;
+    case FaultKind::kDrop:
+      channel.SetTamper(nullptr);
+      channel.SetFault([state, spec](SimulatedChannel::Direction, ByteSpan) {
+        return state->count++ == spec.target_message
+                   ? SimulatedChannel::FaultAction::kDrop
+                   : SimulatedChannel::FaultAction::kDeliver;
+      });
+      return;
+    case FaultKind::kDuplicate:
+      channel.SetTamper(nullptr);
+      channel.SetFault([state, spec](SimulatedChannel::Direction, ByteSpan) {
+        return state->count++ == spec.target_message
+                   ? SimulatedChannel::FaultAction::kDuplicate
+                   : SimulatedChannel::FaultAction::kDeliver;
+      });
+      return;
+    case FaultKind::kReorder:
+      channel.SetTamper(nullptr);
+      channel.SetFault([state, spec](SimulatedChannel::Direction, ByteSpan) {
+        return state->count++ == spec.target_message
+                   ? SimulatedChannel::FaultAction::kReorder
+                   : SimulatedChannel::FaultAction::kDeliver;
+      });
+      return;
+  }
+}
+
+}  // namespace fsx

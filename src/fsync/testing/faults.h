@@ -1,0 +1,53 @@
+// Adversarial channel faults for the conformance suite. Each FaultSpec
+// describes one deterministic fault (kind, target message, seed); ArmFault
+// installs it on a SimulatedChannel through the SetTamper / SetFault
+// hooks. The contract under any fault: a protocol must either return a
+// non-OK Status or reconstruct F_new byte-exactly — silent corruption is
+// the one outcome that is never acceptable.
+#ifndef FSYNC_TESTING_FAULTS_H_
+#define FSYNC_TESTING_FAULTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsync/net/channel.h"
+
+namespace fsx {
+
+/// Fault families the harness injects.
+enum class FaultKind {
+  kBitFlip,    // flip one random bit of the target message
+  kTruncate,   // shorten the target message (possibly to empty)
+  kGarbage,    // replace the target message with random bytes
+  kDrop,       // lose the target message entirely
+  kDuplicate,  // deliver the target message twice
+  kReorder,    // deliver the target message ahead of queued ones
+};
+
+/// All fault kinds, in declaration order.
+const std::vector<FaultKind>& AllFaultKinds();
+
+/// Stable lowercase name for `kind` (used in failure messages).
+const char* FaultKindName(FaultKind kind);
+
+/// One deterministic fault.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kBitFlip;
+  /// Zero-based index of the message to hit, counted per hook (receives
+  /// for mutating kinds, sends for queue kinds). If the session ends
+  /// before the target message, the fault never fires — that run
+  /// degenerates to a clean one, which is harmless.
+  uint64_t target_message = 0;
+  /// Seed for the fault's own randomness (bit position, cut point, ...).
+  uint64_t seed = 0;
+
+  std::string Label() const;
+};
+
+/// Installs `spec` on `channel`, replacing any previous hooks.
+void ArmFault(SimulatedChannel& channel, const FaultSpec& spec);
+
+}  // namespace fsx
+
+#endif  // FSYNC_TESTING_FAULTS_H_

@@ -1,0 +1,119 @@
+#include "fsync/testing/protocols.h"
+
+#include "fsync/cdc/cdc_sync.h"
+#include "fsync/core/session.h"
+#include "fsync/multiround/multiround.h"
+#include "fsync/rsync/rsync.h"
+#include "fsync/zsync/zsync.h"
+
+namespace fsx {
+
+namespace {
+
+StatusOr<ProtocolOutcome> RunRsync(ByteSpan f_old, ByteSpan f_new,
+                                   SimulatedChannel& channel) {
+  RsyncParams params;
+  FSYNC_ASSIGN_OR_RETURN(RsyncResult r,
+                         RsyncSynchronize(f_old, f_new, params, channel));
+  ProtocolOutcome out;
+  out.reconstructed = std::move(r.reconstructed);
+  out.stats = r.stats;
+  out.fell_back = r.fell_back_to_full_transfer;
+  return out;
+}
+
+StatusOr<ProtocolOutcome> RunInplace(ByteSpan f_old, ByteSpan f_new,
+                                     SimulatedChannel& channel) {
+  RsyncParams params;
+  FSYNC_ASSIGN_OR_RETURN(InplaceSyncResult r,
+                         InplaceSynchronize(f_old, f_new, params, channel));
+  ProtocolOutcome out;
+  out.reconstructed = std::move(r.reconstructed);
+  out.stats = r.stats;
+  out.fell_back = r.fell_back_to_full_transfer;
+  return out;
+}
+
+StatusOr<ProtocolOutcome> RunZsync(ByteSpan f_old, ByteSpan f_new,
+                                   SimulatedChannel& channel) {
+  ZsyncParams params;
+  FSYNC_ASSIGN_OR_RETURN(ZsyncSyncResult r,
+                         ZsyncSynchronize(f_old, f_new, params, channel));
+  ProtocolOutcome out;
+  out.reconstructed = std::move(r.reconstructed);
+  out.stats = r.stats;
+  out.fell_back = r.fell_back_to_full_transfer;
+  return out;
+}
+
+StatusOr<ProtocolOutcome> RunCdc(ByteSpan f_old, ByteSpan f_new,
+                                 SimulatedChannel& channel) {
+  CdcSyncParams params;
+  FSYNC_ASSIGN_OR_RETURN(CdcSyncResult r,
+                         CdcSynchronize(f_old, f_new, params, channel));
+  ProtocolOutcome out;
+  out.reconstructed = std::move(r.reconstructed);
+  out.stats = r.stats;
+  out.fell_back = r.fell_back_to_full_transfer;
+  return out;
+}
+
+StatusOr<ProtocolOutcome> RunMultiround(ByteSpan f_old, ByteSpan f_new,
+                                        SimulatedChannel& channel) {
+  MultiroundParams params;
+  FSYNC_ASSIGN_OR_RETURN(
+      MultiroundResult r,
+      MultiroundSynchronize(f_old, f_new, params, channel));
+  ProtocolOutcome out;
+  out.reconstructed = std::move(r.reconstructed);
+  out.stats = r.stats;
+  out.fell_back = r.fell_back_to_full_transfer;
+  out.rounds = r.rounds;
+  return out;
+}
+
+StatusOr<ProtocolOutcome> RunSession(ByteSpan f_old, ByteSpan f_new,
+                                     SimulatedChannel& channel) {
+  SyncConfig config;
+  FSYNC_ASSIGN_OR_RETURN(FileSyncResult r,
+                         SynchronizeFile(f_old, f_new, config, channel));
+  ProtocolOutcome out;
+  out.reconstructed = std::move(r.reconstructed);
+  out.stats = r.stats;
+  out.fell_back = r.fallback;
+  out.rounds = r.rounds;
+  return out;
+}
+
+StatusOr<ProtocolOutcome> RunSessionCapped(ByteSpan f_old, ByteSpan f_new,
+                                           SimulatedChannel& channel) {
+  // The paper's restricted-roundtrip mode: the map phase is cut short and
+  // the delta phase must absorb whatever is unresolved.
+  SyncConfig config;
+  config.max_roundtrips = 2;
+  FSYNC_ASSIGN_OR_RETURN(FileSyncResult r,
+                         SynchronizeFile(f_old, f_new, config, channel));
+  ProtocolOutcome out;
+  out.reconstructed = std::move(r.reconstructed);
+  out.stats = r.stats;
+  out.fell_back = r.fallback;
+  out.rounds = r.rounds;
+  return out;
+}
+
+}  // namespace
+
+const std::vector<ProtocolEntry>& ConformanceProtocols() {
+  static const std::vector<ProtocolEntry> kProtocols = {
+      {"rsync", RunRsync},
+      {"inplace", RunInplace},
+      {"zsync", RunZsync},
+      {"cdc", RunCdc},
+      {"multiround", RunMultiround},
+      {"session", RunSession},
+      {"session-capped", RunSessionCapped},
+  };
+  return kProtocols;
+}
+
+}  // namespace fsx

@@ -1,6 +1,8 @@
 #include "fsync/util/random.h"
 
 #include <cassert>
+#include <cerrno>
+#include <cstdlib>
 
 namespace fsx {
 
@@ -80,6 +82,20 @@ uint64_t Rng::SkewedSize(uint64_t min, uint64_t max) {
   // Uniform within the chosen octave for a smooth distribution.
   uint64_t hi = std::min(max, size * 2 - 1);
   return size + (hi > size ? Uniform(hi - size + 1) : 0);
+}
+
+uint64_t SeedFromEnv(uint64_t default_seed) {
+  const char* env = std::getenv("FSX_SEED");
+  if (env == nullptr || *env == '\0') {
+    return default_seed;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (errno != 0 || end == env || *end != '\0') {
+    return default_seed;  // malformed override: fall back silently
+  }
+  return static_cast<uint64_t>(parsed);
 }
 
 Bytes Rng::RandomBytes(size_t n) {

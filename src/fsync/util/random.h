@@ -42,6 +42,13 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// Base seed for randomized tests: returns `default_seed` unless the
+/// FSX_SEED environment variable holds a decimal number, which takes
+/// precedence. Tests derive all their Rng seeds from this and print the
+/// effective value on failure, so any failing run can be replayed with
+/// `FSX_SEED=<seed> ctest ...`.
+uint64_t SeedFromEnv(uint64_t default_seed);
+
 }  // namespace fsx
 
 #endif  // FSYNC_UTIL_RANDOM_H_

@@ -216,7 +216,10 @@ StatusOr<Bytes> ApplyZsync(ByteSpan outdated, const ZsyncPlan& plan,
   }
 
   Bytes out;
-  out.reserve(plan.new_size);
+  // `plan.new_size` comes from the (possibly corrupted) control file; cap
+  // the speculative reservation so a bad header cannot force a huge
+  // allocation before reassembly fails.
+  out.reserve(std::min<uint64_t>(plan.new_size, uint64_t{16} << 20));
   size_t range_pos = 0;
   for (size_t i = 0; i < plan.sources.size(); ++i) {
     uint64_t begin = static_cast<uint64_t>(i) * plan.block_size;
@@ -240,6 +243,74 @@ StatusOr<Bytes> ApplyZsync(ByteSpan outdated, const ZsyncPlan& plan,
     return Status::DataLoss("zsync: fingerprint mismatch");
   }
   return out;
+}
+
+StatusOr<ZsyncSyncResult> ZsyncSynchronize(ByteSpan outdated,
+                                           ByteSpan current,
+                                           const ZsyncParams& params,
+                                           SimulatedChannel& channel) {
+  using Dir = SimulatedChannel::Direction;
+  FSYNC_RETURN_IF_ERROR(ValidateParams(params));
+  ZsyncSyncResult result;
+
+  // 1. Client asks for the control file (one request byte: in a real
+  //    deployment this is the HTTP GET of the .zsync file).
+  Bytes get = {0x5A};
+  channel.Send(Dir::kClientToServer, get);
+  FSYNC_ASSIGN_OR_RETURN(Bytes req, channel.Receive(Dir::kClientToServer));
+  (void)req;
+
+  // 2. Server publishes the control file.
+  FSYNC_ASSIGN_OR_RETURN(Bytes control, MakeZsyncControl(current, params));
+  channel.Send(Dir::kServerToClient, control);
+
+  // 3. Client matches it against its outdated copy and requests the
+  //    missing byte ranges.
+  FSYNC_ASSIGN_OR_RETURN(Bytes control_msg,
+                         channel.Receive(Dir::kServerToClient));
+  FSYNC_ASSIGN_OR_RETURN(ZsyncPlan plan,
+                         PlanFromControl(outdated, control_msg));
+  result.covered_fraction = plan.CoveredFraction();
+  channel.Send(Dir::kClientToServer, EncodeRangeRequest(plan));
+
+  // 4. Server serves the ranges (the HTTP range request).
+  FSYNC_ASSIGN_OR_RETURN(Bytes range_req,
+                         channel.Receive(Dir::kClientToServer));
+  FSYNC_ASSIGN_OR_RETURN(Bytes ranges,
+                         ServeRanges(current, range_req, params));
+  channel.Send(Dir::kServerToClient, ranges);
+
+  // 5. Client reassembles and verifies. A mismatch (hash collision in the
+  //    client-side matching) falls back to a verified full transfer.
+  FSYNC_ASSIGN_OR_RETURN(Bytes payload,
+                         channel.Receive(Dir::kServerToClient));
+  auto rebuilt = ApplyZsync(outdated, plan, payload);
+  if (rebuilt.ok()) {
+    result.reconstructed = std::move(rebuilt).value();
+    result.stats = channel.stats();
+    return result;
+  }
+
+  Bytes ask = {1};
+  channel.Send(Dir::kClientToServer, ask);
+  FSYNC_ASSIGN_OR_RETURN(Bytes ask_msg,
+                         channel.Receive(Dir::kClientToServer));
+  (void)ask_msg;
+  Bytes full = Compress(current);
+  channel.Send(Dir::kServerToClient, full);
+  FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,
+                         channel.Receive(Dir::kServerToClient));
+  FSYNC_ASSIGN_OR_RETURN(Bytes recovered, Decompress(full_msg));
+  // Verify the fallback against the control file's fingerprint so a
+  // corrupted transfer is rejected rather than silently accepted.
+  Fingerprint fb = FileFingerprint(recovered);
+  if (!std::equal(fb.begin(), fb.end(), plan.fingerprint.begin())) {
+    return Status::DataLoss("zsync: fallback transfer mismatch");
+  }
+  result.reconstructed = std::move(recovered);
+  result.fell_back_to_full_transfer = true;
+  result.stats = channel.stats();
+  return result;
 }
 
 }  // namespace fsx

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fsync/net/channel.h"
 #include "fsync/util/bytes.h"
 #include "fsync/util/status.h"
 
@@ -68,6 +69,25 @@ StatusOr<Bytes> ServeRanges(ByteSpan current, ByteSpan request,
 /// Client side: reassembles the new file and verifies its fingerprint.
 StatusOr<Bytes> ApplyZsync(ByteSpan outdated, const ZsyncPlan& plan,
                            ByteSpan payload);
+
+/// Result of a full zsync session run over a simulated channel.
+struct ZsyncSyncResult {
+  Bytes reconstructed;
+  TrafficStats stats;
+  double covered_fraction = 0.0;
+  bool fell_back_to_full_transfer = false;
+};
+
+/// Runs the whole zsync deployment over `channel` with the usual cost
+/// accounting: the client requests the control file, matches it locally,
+/// asks for the missing ranges, and reassembles. A fingerprint mismatch
+/// after reassembly (e.g. a truncated-hash collision in the plan) falls
+/// back to a verified compressed full transfer, so on success the result
+/// is always byte-exact.
+StatusOr<ZsyncSyncResult> ZsyncSynchronize(ByteSpan outdated,
+                                           ByteSpan current,
+                                           const ZsyncParams& params,
+                                           SimulatedChannel& channel);
 
 }  // namespace fsx
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <unordered_set>
 
 #include "fsync/cdc/cdc_sync.h"
@@ -19,12 +20,21 @@
 namespace fsx {
 namespace {
 
+// Effective base seed for the randomized suites below; FSX_SEED=<n>
+// replays a failing run exactly. Failure messages print the derived seed.
+uint64_t BaseSeed() {
+  static const uint64_t kBase = SeedFromEnv(0);
+  return kBase;
+}
+
 // --- Bit I/O vs. a vector<bool> reference model -------------------------
 
 class BitIoModel : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(BitIoModel, MatchesReferenceBitVector) {
-  Rng rng(GetParam());
+  const uint64_t seed = BaseSeed() + GetParam();
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  Rng rng(seed);
   struct Op {
     uint64_t value;
     int bits;
@@ -118,7 +128,8 @@ TEST(TabledAdlerQuality, FalsePositiveRateNearTheoretical) {
   // Compare 10k random 64-byte block pairs at 16 truncated bits: the
   // collision rate must be within 3x of 2^-16 (i.e. behave like a real
   // hash, unlike the raw Adler whose sums are biased).
-  Rng rng(3);
+  SCOPED_TRACE("seed=" + std::to_string(BaseSeed() + 3));
+  Rng rng(BaseSeed() + 3);
   const int kBits = 16;
   const int kTrials = 20000;
   int collisions = 0;
@@ -135,7 +146,8 @@ TEST(TabledAdlerQuality, FalsePositiveRateNearTheoretical) {
 TEST(TabledAdlerQuality, TextBlocksSpreadAcrossBuckets) {
   // Low-entropy text must still fill the truncated hash space; the raw
   // Adler 'a'-sum concentrates badly here.
-  Rng rng(4);
+  SCOPED_TRACE("seed=" + std::to_string(BaseSeed() + 4));
+  Rng rng(BaseSeed() + 4);
   Bytes text = SynthSourceFile(rng, 300000);
   const int kBits = 12;
   std::vector<int> buckets(1 << kBits, 0);
@@ -161,7 +173,9 @@ TEST(TabledAdlerQuality, TextBlocksSpreadAcrossBuckets) {
 
 template <typename SyncFn>
 void TamperLoop(SyncFn&& sync, const Bytes& f_old, const Bytes& f_new) {
-  for (uint64_t seed = 0; seed < 15; ++seed) {
+  for (uint64_t i = 0; i < 15; ++i) {
+    const uint64_t seed = BaseSeed() + i;
+    SCOPED_TRACE("seed=" + std::to_string(seed));
     Rng trng(seed);
     uint64_t target_msg = trng.Uniform(6);
     uint64_t count = 0;
@@ -179,7 +193,7 @@ void TamperLoop(SyncFn&& sync, const Bytes& f_old, const Bytes& f_new) {
 }
 
 TEST(TamperRobustness, CdcNeverCrashesOrLies) {
-  Rng rng(5);
+  Rng rng(BaseSeed() + 5);
   Bytes f_old = SynthSourceFile(rng, 30000);
   EditProfile ep;
   Bytes f_new = ApplyEdits(f_old, ep, rng);
@@ -195,7 +209,7 @@ TEST(TamperRobustness, CdcNeverCrashesOrLies) {
 }
 
 TEST(TamperRobustness, MultiroundNeverCrashesOrLies) {
-  Rng rng(6);
+  Rng rng(BaseSeed() + 6);
   Bytes f_old = SynthSourceFile(rng, 30000);
   EditProfile ep;
   Bytes f_new = ApplyEdits(f_old, ep, rng);

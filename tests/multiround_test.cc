@@ -49,6 +49,50 @@ TEST(Multiround, EmptyEdgeCases) {
   EXPECT_TRUE(MustSync({}, {}, params).reconstructed.empty());
 }
 
+TEST(Multiround, NewFileSmallerThanMinBlockSize) {
+  // F_new below min_block_size cannot host even one block; recursion must
+  // bottom out immediately and fall through to literals.
+  Rng rng(30);
+  Bytes f_old = SynthSourceFile(rng, 20000);
+  Bytes f_new = rng.RandomBytes(17);
+  MultiroundParams params;
+  params.min_block_size = 64;
+  EXPECT_EQ(MustSync(f_old, f_new, params).reconstructed, f_new);
+  // And the mirrored case: tiny F_old against a full-size F_new.
+  EXPECT_EQ(MustSync(f_new, f_old, params).reconstructed, f_old);
+}
+
+TEST(Multiround, OldFileSmallerThanStartBlockSize) {
+  // F_old fits inside a single top-level block: round 0 has exactly one
+  // hash to offer and everything hinges on the recursion split.
+  Rng rng(31);
+  Bytes f_old = SynthSourceFile(rng, 300);
+  MultiroundParams params;
+  params.start_block_size = 2048;
+  Bytes f_new = f_old;
+  Bytes tail = rng.RandomBytes(40);
+  Append(f_new, tail);
+  EXPECT_EQ(MustSync(f_old, f_new, params).reconstructed, f_new);
+}
+
+TEST(Multiround, NonPowerOfTwoTails) {
+  // Sizes chosen so every recursion level ends with a partial block; the
+  // tail block shrinks below min_block_size on the last level.
+  Rng rng(32);
+  MultiroundParams params;
+  params.start_block_size = 1024;
+  params.min_block_size = 128;
+  for (size_t size : {size_t{1}, size_t{127}, size_t{1025}, size_t{65539},
+                      size_t{100001}}) {
+    Bytes f_old = SynthSourceFile(rng, size);
+    EditProfile ep;
+    ep.num_edits = 3;
+    Bytes f_new = ApplyEdits(f_old, ep, rng);
+    EXPECT_EQ(MustSync(f_old, f_new, params).reconstructed, f_new)
+        << "size=" << size;
+  }
+}
+
 TEST(Multiround, InvalidParamsRejected) {
   SimulatedChannel ch;
   Bytes a = ToBytes("x");

@@ -69,6 +69,79 @@ TEST(Channel, ResetStatsClearsCounters) {
   EXPECT_EQ(ch.stats().roundtrips, 0u);
 }
 
+TEST(Channel, TamperedDeliveryKeepsOriginalAccounting) {
+  // The documented contract: byte accounting reflects the payload as
+  // sent, not as delivered. Grow and shrink the message in transit and
+  // check the counters both times.
+  SimulatedChannel ch;
+  ch.SetTamper([](Dir, Bytes& msg) { msg.resize(msg.size() * 2, 0xEE); });
+  Bytes payload(200, 7);
+  ch.Send(Dir::kClientToServer, payload);
+  EXPECT_EQ(ch.stats().client_to_server_bytes, 202u);  // 200 + 2B frame
+  auto grown = ch.Receive(Dir::kClientToServer);
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(grown->size(), 400u);  // delivery shows the tampered bytes
+  EXPECT_EQ(ch.stats().client_to_server_bytes, 202u);  // accounting doesn't
+
+  ch.SetTamper([](Dir, Bytes& msg) { msg.resize(3); });
+  ch.Send(Dir::kServerToClient, payload);
+  EXPECT_EQ(ch.stats().server_to_client_bytes, 202u);
+  auto shrunk = ch.Receive(Dir::kServerToClient);
+  ASSERT_TRUE(shrunk.ok());
+  EXPECT_EQ(shrunk->size(), 3u);
+  EXPECT_EQ(ch.stats().server_to_client_bytes, 202u);
+}
+
+TEST(Channel, DropFaultLosesMessageButCountsBytes) {
+  SimulatedChannel ch;
+  ch.SetFault([](Dir, ByteSpan) {
+    return SimulatedChannel::FaultAction::kDrop;
+  });
+  ch.Send(Dir::kClientToServer, Bytes(10, 1));
+  EXPECT_FALSE(ch.HasPending(Dir::kClientToServer));
+  EXPECT_EQ(ch.stats().client_to_server_bytes, 11u);  // sender still paid
+  EXPECT_FALSE(ch.Receive(Dir::kClientToServer).ok());
+}
+
+TEST(Channel, DuplicateFaultDeliversTwiceCountsOnce) {
+  SimulatedChannel ch;
+  ch.SetFault([](Dir, ByteSpan) {
+    return SimulatedChannel::FaultAction::kDuplicate;
+  });
+  Bytes m = {1, 2, 3};
+  ch.Send(Dir::kServerToClient, m);
+  EXPECT_EQ(ch.stats().server_to_client_bytes, 4u);  // one send's cost
+  EXPECT_EQ(ch.Receive(Dir::kServerToClient).value(), m);
+  EXPECT_EQ(ch.Receive(Dir::kServerToClient).value(), m);
+  EXPECT_FALSE(ch.HasPending(Dir::kServerToClient));
+}
+
+TEST(Channel, ReorderFaultJumpsTheQueue) {
+  SimulatedChannel ch;
+  Bytes first = {1};
+  Bytes second = {2};
+  ch.Send(Dir::kClientToServer, first);
+  ch.SetFault([](Dir, ByteSpan) {
+    return SimulatedChannel::FaultAction::kReorder;
+  });
+  ch.Send(Dir::kClientToServer, second);
+  EXPECT_EQ(ch.Receive(Dir::kClientToServer).value(), second);
+  EXPECT_EQ(ch.Receive(Dir::kClientToServer).value(), first);
+}
+
+TEST(Channel, FaultHooksCanBeCleared) {
+  SimulatedChannel ch;
+  ch.SetFault([](Dir, ByteSpan) {
+    return SimulatedChannel::FaultAction::kDrop;
+  });
+  ch.SetTamper([](Dir, Bytes& msg) { msg.clear(); });
+  ch.SetFault(nullptr);
+  ch.SetTamper(nullptr);
+  Bytes m = {9};
+  ch.Send(Dir::kClientToServer, m);
+  EXPECT_EQ(ch.Receive(Dir::kClientToServer).value(), m);
+}
+
 TEST(LinkModel, TransferSeconds) {
   LinkModel link;
   link.downstream_bytes_per_sec = 1000;

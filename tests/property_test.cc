@@ -21,6 +21,14 @@ struct FuzzPair {
   Bytes f_new;
 };
 
+// Effective base seed for every fuzz suite below. All derived seeds are
+// offsets from this, so FSX_SEED=<n> replays (or reshuffles) the whole
+// file deterministically; failure messages print the derived seed.
+uint64_t BaseSeed() {
+  static const uint64_t kBase = SeedFromEnv(0);
+  return kBase;
+}
+
 FuzzPair MakeFuzzPair(uint64_t seed) {
   Rng rng(seed);
   FuzzPair p;
@@ -78,10 +86,11 @@ FuzzPair MakeFuzzPair(uint64_t seed) {
 class ProtocolFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ProtocolFuzz, SessionAlwaysReconstructs) {
-  FuzzPair p = MakeFuzzPair(GetParam());
+  const uint64_t seed = BaseSeed() + GetParam();
+  FuzzPair p = MakeFuzzPair(seed);
   SyncConfig config;
   // Vary the configuration with the seed too.
-  Rng cfg_rng(GetParam() * 31 + 7);
+  Rng cfg_rng(seed * 31 + 7);
   config.start_block_size = 256u << cfg_rng.Uniform(5);
   config.min_block_size = 32u << cfg_rng.Uniform(3);
   config.min_continuation_block =
@@ -95,8 +104,9 @@ TEST_P(ProtocolFuzz, SessionAlwaysReconstructs) {
 
   SimulatedChannel channel;
   auto r = SynchronizeFile(p.f_old, p.f_new, config, channel);
-  ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r->reconstructed, p.f_new) << "seed=" << GetParam();
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << " seed=" << seed;
+  EXPECT_EQ(r->reconstructed, p.f_new)
+      << "seed=" << seed << " (replay with FSX_SEED=" << BaseSeed() << ")";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
@@ -105,15 +115,17 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
 class RsyncFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RsyncFuzz, RsyncAlwaysReconstructs) {
-  FuzzPair p = MakeFuzzPair(GetParam() + 1000);
-  Rng cfg_rng(GetParam());
+  const uint64_t seed = BaseSeed() + GetParam();
+  FuzzPair p = MakeFuzzPair(seed + 1000);
+  Rng cfg_rng(seed);
   RsyncParams params;
   params.block_size = 16u << cfg_rng.Uniform(8);
   params.strong_bytes = 1 + cfg_rng.Uniform(8);
   SimulatedChannel channel;
   auto r = RsyncSynchronize(p.f_old, p.f_new, params, channel);
-  ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r->reconstructed, p.f_new) << "seed=" << GetParam();
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << " seed=" << seed;
+  EXPECT_EQ(r->reconstructed, p.f_new)
+      << "seed=" << seed << " (replay with FSX_SEED=" << BaseSeed() << ")";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RsyncFuzz,
@@ -122,14 +134,15 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RsyncFuzz,
 class DeltaFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DeltaFuzz, BothCodecsRoundTrip) {
-  FuzzPair p = MakeFuzzPair(GetParam() + 2000);
+  const uint64_t seed = BaseSeed() + GetParam();
+  FuzzPair p = MakeFuzzPair(seed + 2000);
   for (DeltaCodec codec :
        {DeltaCodec::kZd, DeltaCodec::kVcdiff, DeltaCodec::kBsdiff}) {
     auto delta = DeltaEncode(codec, p.f_old, p.f_new);
-    ASSERT_TRUE(delta.ok());
+    ASSERT_TRUE(delta.ok()) << "seed=" << seed;
     auto back = DeltaDecode(codec, p.f_old, *delta);
-    ASSERT_TRUE(back.ok()) << back.status().ToString();
-    EXPECT_EQ(*back, p.f_new);
+    ASSERT_TRUE(back.ok()) << back.status().ToString() << " seed=" << seed;
+    EXPECT_EQ(*back, p.f_new) << "seed=" << seed;
   }
 }
 
@@ -139,11 +152,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DeltaFuzz,
 class CompressFuzz : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CompressFuzz, CodecRoundTrips) {
-  FuzzPair p = MakeFuzzPair(GetParam() + 3000);
+  const uint64_t seed = BaseSeed() + GetParam();
+  FuzzPair p = MakeFuzzPair(seed + 3000);
   for (const Bytes& data : {p.f_old, p.f_new}) {
     auto back = Decompress(Compress(data));
-    ASSERT_TRUE(back.ok());
-    EXPECT_EQ(*back, data);
+    ASSERT_TRUE(back.ok()) << "seed=" << seed;
+    EXPECT_EQ(*back, data) << "seed=" << seed;
   }
 }
 
@@ -156,8 +170,9 @@ TEST_P(KitchenSinkFuzz, AllFeaturesComposeCorrectly) {
   // Every optional feature enabled/randomized at once: two-phase rounds,
   // per-round overrides, local hashes, roundtrip caps, all three delta
   // codecs. Whatever the combination, reconstruction must be exact.
-  FuzzPair p = MakeFuzzPair(GetParam() + 4000);
-  Rng cfg_rng(GetParam() * 77 + 5);
+  const uint64_t seed = BaseSeed() + GetParam();
+  FuzzPair p = MakeFuzzPair(seed + 4000);
+  Rng cfg_rng(seed * 77 + 5);
   SyncConfig config;
   config.start_block_size = 256u << cfg_rng.Uniform(5);
   config.min_block_size = 32u << cfg_rng.Uniform(3);
@@ -204,8 +219,9 @@ TEST_P(KitchenSinkFuzz, AllFeaturesComposeCorrectly) {
 
   SimulatedChannel channel;
   auto r = SynchronizeFile(p.f_old, p.f_new, config, channel);
-  ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r->reconstructed, p.f_new) << "seed=" << GetParam();
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << " seed=" << seed;
+  EXPECT_EQ(r->reconstructed, p.f_new)
+      << "seed=" << seed << " (replay with FSX_SEED=" << BaseSeed() << ")";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KitchenSinkFuzz,
@@ -214,7 +230,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, KitchenSinkFuzz,
 TEST(ProtocolInvariant, WeakVerificationStillEndsCorrect) {
   // Even with absurdly weak hashes (guaranteeing false candidates and
   // group failures), the final fingerprint check must force correctness.
-  Rng rng(99);
+  Rng rng(BaseSeed() + 99);
   Bytes f_old = SynthSourceFile(rng, 30000);
   EditProfile ep;
   ep.num_edits = 15;
@@ -228,8 +244,9 @@ TEST(ProtocolInvariant, WeakVerificationStillEndsCorrect) {
   for (uint64_t seed = 0; seed < 5; ++seed) {
     SimulatedChannel channel;
     auto r = SynchronizeFile(f_old, f_new, config, channel);
-    ASSERT_TRUE(r.ok()) << r.status().ToString();
-    EXPECT_EQ(r->reconstructed, f_new);
+    ASSERT_TRUE(r.ok()) << r.status().ToString()
+                        << " base=" << BaseSeed() + 99;
+    EXPECT_EQ(r->reconstructed, f_new) << "base=" << BaseSeed() + 99;
   }
 }
 

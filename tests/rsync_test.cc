@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "fsync/rsync/rsync.h"
 #include "fsync/util/random.h"
 #include "fsync/workload/edits.h"
@@ -94,6 +96,53 @@ TEST(Rsync, FileSmallerThanBlockSize) {
   params.block_size = 700;
   RsyncResult r = MustRsync(f_old, f_new, params);
   EXPECT_EQ(r.reconstructed, f_new);
+}
+
+TEST(Rsync, SingleByteFiles) {
+  Bytes a = {0x41};
+  Bytes b = {0x42};
+  RsyncParams params;
+  EXPECT_EQ(MustRsync(a, b, params).reconstructed, b);
+  EXPECT_EQ(MustRsync(a, a, params).reconstructed, a);
+}
+
+TEST(Rsync, NonPowerOfTwoTail) {
+  // File length deliberately not a multiple of the block size: the final
+  // partial block has no signature, so it must travel as a literal while
+  // the aligned prefix still matches.
+  Rng rng(20);
+  RsyncParams params;
+  params.block_size = 512;
+  Bytes f_old = SynthSourceFile(rng, 512 * 39 + 37);
+  Bytes f_new = f_old;
+  Bytes tail_edit = rng.RandomBytes(5);
+  // Edit inside the ragged tail only.
+  std::copy(tail_edit.begin(), tail_edit.end(), f_new.end() - 10);
+  RsyncResult r = MustRsync(f_old, f_new, params);
+  EXPECT_FALSE(r.fell_back_to_full_transfer);
+  // The matched prefix keeps traffic near signature cost, far below the
+  // file size.
+  EXPECT_LT(r.stats.total_bytes(), f_new.size() / 4);
+}
+
+TEST(Rsync, TailShrinksAndGrowsAcrossOddSizes) {
+  Rng rng(21);
+  RsyncParams params;
+  params.block_size = 700;
+  for (size_t old_size : {size_t{699}, size_t{701}, size_t{700 * 3 + 1}}) {
+    for (int delta : {-13, 0, +29}) {
+      Bytes f_old = SynthSourceFile(rng, old_size);
+      Bytes f_new = f_old;
+      if (delta < 0) {
+        f_new.resize(f_new.size() - static_cast<size_t>(-delta));
+      } else if (delta > 0) {
+        Bytes extra = rng.RandomBytes(static_cast<size_t>(delta));
+        Append(f_new, extra);
+      }
+      EXPECT_EQ(MustRsync(f_old, f_new, params).reconstructed, f_new)
+          << "old=" << old_size << " delta=" << delta;
+    }
+  }
 }
 
 class RsyncBlockSizes : public ::testing::TestWithParam<uint32_t> {};
