@@ -12,12 +12,13 @@
 namespace fsx {
 namespace {
 
-int Run() {
+int Run(bench::JsonReport& report) {
   using bench::Kb;
   ReleaseProfile profile = bench::BenchGccProfile();
   profile.num_files = 80;  // the bundle session is O(total size)
   ReleasePair pair = MakeRelease(profile);
   uint64_t total = bench::CollectionBytes(pair.new_release);
+  report.AddWorkload("gcc", pair.new_release.size(), total);
   std::printf("data set: gcc-like, %zu files, %.1f MiB\n\n",
               pair.new_release.size(), total / 1048576.0);
 
@@ -26,17 +27,28 @@ int Run() {
   config.min_block_size = 64;
   config.min_continuation_block = 16;
 
-  auto per_file = SyncCollection(pair.old_release, pair.new_release, config);
+  obs::SyncObserver per_file_obs;
+  bench::WallTimer per_file_timer;
+  auto per_file = SyncCollection(pair.old_release, pair.new_release, config,
+                                 &per_file_obs);
   if (!per_file.ok()) {
     std::fprintf(stderr, "per-file sync failed: %s\n",
                  per_file.status().ToString().c_str());
     return 1;
   }
+  report.Add("per-file sessions")
+      .Config("mode", "per-file")
+      .Observed(per_file_obs)
+      .Rounds(per_file->stats.roundtrips)
+      .WallNs(per_file_timer.Ns());
 
   Bytes old_bundle = BundleCollection(pair.old_release);
   Bytes new_bundle = BundleCollection(pair.new_release);
   SimulatedChannel channel;
-  auto bundled = SynchronizeFile(old_bundle, new_bundle, config, channel);
+  obs::SyncObserver bundle_obs;
+  bench::WallTimer bundle_timer;
+  auto bundled = SynchronizeFile(old_bundle, new_bundle, config, channel,
+                                 &bundle_obs);
   if (!bundled.ok()) {
     std::fprintf(stderr, "bundle sync failed: %s\n",
                  bundled.status().ToString().c_str());
@@ -47,6 +59,11 @@ int Run() {
     std::fprintf(stderr, "bundle round-trip mismatch\n");
     return 1;
   }
+  report.Add("one bundled session")
+      .Config("mode", "bundle")
+      .Observed(bundle_obs)
+      .Rounds(bundled->stats.roundtrips)
+      .WallNs(bundle_timer.Ns());
 
   std::printf("%-28s %12s %12s %12s\n", "mode", "map KB", "delta KB",
               "total KB");
@@ -69,8 +86,13 @@ int Run() {
 }  // namespace
 }  // namespace fsx
 
-int main() {
+int main(int argc, char** argv) {
+  fsx::bench::JsonReport report(
+      "ablation_bundle",
+      "per-file vs bundled-collection synchronization");
+  report.ParseArgs(argc, argv);
   fsx::bench::PrintHeader("Ablation (bundle)",
                           "per-file vs bundled-collection synchronization");
-  return fsx::Run();
+  int rc = fsx::Run(report);
+  return rc != 0 ? rc : report.Write();
 }

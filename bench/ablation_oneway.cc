@@ -17,7 +17,7 @@
 namespace fsx {
 namespace {
 
-int Run() {
+int Run(bench::JsonReport& report) {
   Rng rng(0x0E1);
   Bytes base = SynthSourceFile(rng, 400 * 1024);
   std::vector<Bytes> versions = {base};
@@ -27,6 +27,7 @@ int Run() {
     versions.push_back(ApplyEdits(versions.back(), ep, rng));
   }
   const Bytes& latest = versions.back();
+  report.AddWorkload("synthetic-document", 1, latest.size());
   std::printf("document: %zu KiB, 4 staleness levels\n\n",
               latest.size() / 1024);
 
@@ -69,8 +70,26 @@ int Run() {
 
     SyncConfig sc;
     SimulatedChannel channel;
-    auto inter = SynchronizeFile(f_old, latest, sc, channel);
+    obs::SyncObserver observer;
+    bench::WallTimer timer;
+    auto inter = SynchronizeFile(f_old, latest, sc, channel, &observer);
     if (!inter.ok()) return 1;
+
+    char label[48];
+    std::snprintf(label, sizeof(label), "zsync, lag %d", lag);
+    report.Add(label)
+        .Config("lag", static_cast<uint64_t>(lag))
+        .Total(zreq.size() + zdata->size());
+    std::snprintf(label, sizeof(label), "hashcast, lag %d", lag);
+    report.Add(label)
+        .Config("lag", static_cast<uint64_t>(lag))
+        .Total(creq.size() + cdelta->size());
+    std::snprintf(label, sizeof(label), "interactive, lag %d", lag);
+    report.Add(label)
+        .Config("lag", static_cast<uint64_t>(lag))
+        .Observed(observer)
+        .Rounds(inter->stats.roundtrips)
+        .WallNs(timer.Ns());
 
     std::printf("%-6d %22.1f %22.1f %16.1f\n", lag,
                 (zreq.size() + zdata->size()) / 1024.0,
@@ -88,9 +107,14 @@ int Run() {
 }  // namespace
 }  // namespace fsx
 
-int main() {
+int main(int argc, char** argv) {
+  fsx::bench::JsonReport report(
+      "ablation_oneway",
+      "zsync-style vs hash-cast vs interactive synchronization");
+  report.ParseArgs(argc, argv);
   fsx::bench::PrintHeader(
       "Ablation (one-way)",
       "zsync-style vs hash-cast vs interactive synchronization");
-  return fsx::Run();
+  int rc = fsx::Run(report);
+  return rc != 0 ? rc : report.Write();
 }

@@ -13,7 +13,7 @@
 namespace fsx {
 namespace {
 
-int Run() {
+int Run(bench::JsonReport& report) {
   const int kFiles = 5000;
   Rng rng(0xF11E5);
   FileDigestMap client;
@@ -24,6 +24,8 @@ int Run() {
     client["pages/p" + std::to_string(i) + ".html"] = fp;
   }
   uint64_t flat = FullExchangeBytes(client);
+  report.AddWorkload("digest-map", kFiles, flat);
+  report.Add("flat fingerprint exchange").Total(flat);
   std::printf("collection: %d files; flat fingerprint exchange = %.1f KB\n\n",
               kFiles, flat / 1024.0);
   std::printf("%-18s %14s %10s %14s\n", "changed fraction",
@@ -42,12 +44,22 @@ int Run() {
     }
     SimulatedChannel channel;
     MerkleParams params;
-    auto r = MerkleReconcile(client, server, params, channel);
+    obs::SyncObserver observer;
+    bench::WallTimer timer;
+    auto r = MerkleReconcile(client, server, params, channel, &observer);
     if (!r.ok()) {
       std::fprintf(stderr, "reconcile failed: %s\n",
                    r.status().ToString().c_str());
       return 1;
     }
+    char label[48];
+    std::snprintf(label, sizeof(label), "merkle, %.1f%% changed",
+                  100 * frac);
+    report.Add(label)
+        .Config("changed_fraction", std::to_string(frac))
+        .Observed(observer)
+        .Rounds(static_cast<uint64_t>(r->rounds))
+        .WallNs(timer.Ns());
     std::printf("%17.1f%% %14.1f %10d %13.2fx\n", 100 * frac,
                 r->stats.total_bytes() / 1024.0, r->rounds,
                 static_cast<double>(flat) / r->stats.total_bytes());
@@ -60,9 +72,14 @@ int Run() {
 }  // namespace
 }  // namespace fsx
 
-int main() {
+int main(int argc, char** argv) {
+  fsx::bench::JsonReport report(
+      "ablation_reconcile",
+      "changed-file identification: flat fingerprints vs Merkle trie");
+  report.ParseArgs(argc, argv);
   fsx::bench::PrintHeader(
       "Ablation (reconcile)",
       "changed-file identification: flat fingerprints vs Merkle trie");
-  return fsx::Run();
+  int rc = fsx::Run(report);
+  return rc != 0 ? rc : report.Write();
 }

@@ -20,9 +20,11 @@ SyncConfig FullConfig() {
   return config;
 }
 
-int Run() {
+int Run(bench::JsonReport& report) {
   using bench::Kb;
   ReleasePair pair = MakeRelease(bench::BenchGccProfile());
+  report.AddWorkload("gcc", pair.new_release.size(),
+                     bench::CollectionBytes(pair.new_release));
   std::printf("data set: gcc-like, %zu files, %.1f MiB\n\n",
               pair.new_release.size(),
               bench::CollectionBytes(pair.new_release) / 1048576.0);
@@ -30,12 +32,22 @@ int Run() {
   std::printf("%-34s %12s %12s %12s\n", "variant", "map KB", "delta KB",
               "total KB");
   auto run_one = [&](const char* label, const SyncConfig& config) -> int {
-    auto r = SyncCollection(pair.old_release, pair.new_release, config);
+    obs::SyncObserver observer;
+    bench::WallTimer timer;
+    auto r = SyncCollection(pair.old_release, pair.new_release, config,
+                            &observer);
     if (!r.ok()) {
       std::fprintf(stderr, "sync failed: %s\n",
                    r.status().ToString().c_str());
       return 1;
     }
+    report.Add(label)
+        .Config("min_block", config.min_block_size)
+        .Config("group_size",
+                static_cast<uint64_t>(config.verify.group_size))
+        .Observed(observer)
+        .Rounds(r->stats.roundtrips)
+        .WallNs(timer.Ns());
     std::printf("%-34s %12.1f %12.1f %12.1f\n", label,
                 Kb(r->map_server_to_client_bytes +
                    r->map_client_to_server_bytes),
@@ -83,8 +95,13 @@ int Run() {
 }  // namespace
 }  // namespace fsx
 
-int main() {
+int main(int argc, char** argv) {
+  fsx::bench::JsonReport report(
+      "ablation_techniques",
+      "per-technique contribution and hash-width sweep");
+  report.ParseArgs(argc, argv);
   fsx::bench::PrintHeader("Ablation",
                           "per-technique contribution and hash-width sweep");
-  return fsx::Run();
+  int rc = fsx::Run(report);
+  return rc != 0 ? rc : report.Write();
 }

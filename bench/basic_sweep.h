@@ -24,10 +24,12 @@ SyncConfig BasicConfig(uint32_t min_block) {
   return config;
 }
 
-int Run(const ReleaseProfile& profile, const char* dataset) {
+int Run(const ReleaseProfile& profile, const char* dataset,
+        bench::JsonReport& report) {
   using bench::Kb;
   ReleasePair pair = MakeRelease(profile);
   uint64_t total = bench::CollectionBytes(pair.new_release);
+  report.AddWorkload(dataset, pair.new_release.size(), total);
   std::printf("data set: %s-like, %zu files, %.1f MiB\n\n", dataset,
               pair.new_release.size(), total / 1048576.0);
 
@@ -35,14 +37,21 @@ int Run(const ReleaseProfile& profile, const char* dataset) {
               "c->s map KB", "delta KB", "total KB");
 
   for (uint32_t min_block : {512u, 256u, 128u, 64u, 32u, 16u}) {
+    obs::SyncObserver observer;
+    bench::WallTimer timer;
     auto r = SyncCollection(pair.old_release, pair.new_release,
-                            BasicConfig(min_block));
+                            BasicConfig(min_block), &observer);
     if (!r.ok()) {
       std::fprintf(stderr, "sync failed: %s\n", r.status().ToString().c_str());
       return 1;
     }
     char label[32];
     std::snprintf(label, sizeof(label), "basic, min b=%u", min_block);
+    report.Add(label)
+        .Config("min_block", min_block)
+        .Observed(observer)
+        .Rounds(r->stats.roundtrips)
+        .WallNs(timer.Ns());
     std::printf("%-22s %12.1f %12.1f %12.1f %12.1f\n", label,
                 Kb(r->map_server_to_client_bytes),
                 Kb(r->map_client_to_server_bytes), Kb(r->delta_bytes),
@@ -50,10 +59,18 @@ int Run(const ReleaseProfile& profile, const char* dataset) {
   }
 
   RsyncParams def;
-  auto rs = SyncCollectionRsync(pair.old_release, pair.new_release, def);
+  obs::SyncObserver rsync_observer;
+  bench::WallTimer rsync_timer;
+  auto rs = SyncCollectionRsync(pair.old_release, pair.new_release, def,
+                                &rsync_observer);
   if (!rs.ok()) {
     return 1;
   }
+  report.Add("rsync (b=700)")
+      .Config("block_size", 700)
+      .Observed(rsync_observer)
+      .Rounds(rs->stats.roundtrips)
+      .WallNs(rsync_timer.Ns());
   std::printf("%-22s %12s %12s %12s %12.1f\n", "rsync (b=700)", "-", "-",
               "-", Kb(rs->stats.total_bytes()));
 
@@ -75,6 +92,7 @@ int Run(const ReleaseProfile& profile, const char* dataset) {
       best_total += best->stats.total_bytes();
     }
   }
+  report.Add("rsync (best b/file)").Total(best_total);
   std::printf("%-22s %12s %12s %12s %12.1f\n", "rsync (best b/file)", "-",
               "-", "-", Kb(best_total));
 
@@ -83,6 +101,7 @@ int Run(const ReleaseProfile& profile, const char* dataset) {
   if (!bound.ok()) {
     return 1;
   }
+  report.Add("zdelta-style bound").Total(*bound);
   std::printf("%-22s %12s %12s %12s %12.1f\n", "zdelta-style bound", "-",
               "-", "-", Kb(*bound));
   return 0;

@@ -1,11 +1,21 @@
-// Shared helpers for the per-figure/table benchmark harnesses.
+// Shared helpers for the per-figure/table benchmark harnesses: reduced
+// workload profiles, console headers, and the machine-readable
+// BENCH_<name>.json report (schema fsx-bench-v1, documented in
+// docs/benchmarks.md and validated by tools/validate_bench_json.py).
 #ifndef FSYNC_BENCH_BENCH_UTIL_H_
 #define FSYNC_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "fsync/core/collection.h"
+#include "fsync/obs/json.h"
+#include "fsync/obs/sync_obs.h"
 #include "fsync/workload/release.h"
 
 namespace fsx::bench {
@@ -47,6 +57,215 @@ inline ReleaseProfile BenchEmacsProfile() {
 }
 
 inline double Kb(uint64_t bytes) { return bytes / 1024.0; }
+
+/// Wall-clock stopwatch for timing one benchmark row.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  uint64_t Ns() const {
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One row of a benchmark report. `Total` alone suffices for analytic
+/// bounds; `Traffic` adds the per-direction split; `Observed` pulls the
+/// full per-phase attribution (and rounds/wall time) from a SyncObserver
+/// that was attached to the run. Setters chain.
+struct BenchResult {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> config;
+  uint64_t rounds = 0;
+  uint64_t wall_ns = 0;
+  uint64_t total = 0;
+  uint64_t up = 0;
+  uint64_t down = 0;
+  bool has_dirs = false;
+  bool has_phases = false;
+  uint64_t phases[obs::kNumPhases][2] = {};
+
+  BenchResult& Config(const std::string& key, const std::string& value) {
+    config.emplace_back(key, value);
+    return *this;
+  }
+  BenchResult& Config(const std::string& key, uint64_t value) {
+    return Config(key, std::to_string(value));
+  }
+  BenchResult& Rounds(uint64_t n) {
+    rounds = n;
+    return *this;
+  }
+  BenchResult& WallNs(uint64_t ns) {
+    wall_ns = ns;
+    return *this;
+  }
+  BenchResult& Total(uint64_t bytes) {
+    total = bytes;
+    return *this;
+  }
+  BenchResult& Traffic(const TrafficStats& stats) {
+    up = stats.client_to_server_bytes;
+    down = stats.server_to_client_bytes;
+    total = up + down;
+    has_dirs = true;
+    return *this;
+  }
+  BenchResult& Observed(const obs::SyncObserver& o) {
+    up = o.dir_bytes(obs::Flow::kUp);
+    down = o.dir_bytes(obs::Flow::kDown);
+    total = up + down;
+    has_dirs = true;
+    has_phases = true;
+    for (int p = 0; p < obs::kNumPhases; ++p) {
+      phases[p][0] = o.phase_bytes(static_cast<obs::Phase>(p),
+                                   obs::Flow::kUp);
+      phases[p][1] = o.phase_bytes(static_cast<obs::Phase>(p),
+                                   obs::Flow::kDown);
+    }
+    rounds = o.rounds();
+    wall_ns = o.wall_ns();
+    return *this;
+  }
+};
+
+/// Collects benchmark rows and, when `--json[=path]` was passed on the
+/// command line, writes them as BENCH_<benchmark>.json in the current
+/// directory (or to the given path). Without the flag everything is a
+/// no-op, so the human-readable console output stays the default.
+class JsonReport {
+ public:
+  JsonReport(std::string benchmark, std::string title)
+      : benchmark_(std::move(benchmark)), title_(std::move(title)) {}
+
+  /// Recognizes `--json` and `--json=<path>`; other arguments are left
+  /// for the driver (none of the figure/table drivers take any).
+  void ParseArgs(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        enabled_ = true;
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        enabled_ = true;
+        path_ = argv[i] + 7;
+      }
+    }
+  }
+  bool enabled() const { return enabled_; }
+
+  /// Describes (or, called repeatedly, extends) the workload the rows
+  /// ran against; multi-dataset drivers accumulate files and bytes.
+  void AddWorkload(const std::string& dataset, uint64_t files,
+                   uint64_t bytes) {
+    dataset_ = dataset_.empty() ? dataset : dataset_ + "+" + dataset;
+    files_ += files;
+    bytes_ += bytes;
+  }
+
+  BenchResult& Add(std::string name) {
+    results_.emplace_back();
+    results_.back().name = std::move(name);
+    return results_.back();
+  }
+
+  /// Writes the report if enabled. Returns 0 on success (or when
+  /// disabled), 1 on an I/O failure.
+  int Write() const {
+    if (!enabled_) {
+      return 0;
+    }
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema");
+    w.String("fsx-bench-v1");
+    w.Key("benchmark");
+    w.String(benchmark_);
+    w.Key("title");
+    w.String(title_);
+    w.Key("workload");
+    w.BeginObject();
+    w.Key("dataset");
+    w.String(dataset_);
+    w.Key("files");
+    w.Uint(files_);
+    w.Key("bytes");
+    w.Uint(bytes_);
+    w.EndObject();
+    w.Key("results");
+    w.BeginArray();
+    for (const BenchResult& r : results_) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(r.name);
+      w.Key("config");
+      w.BeginObject();
+      for (const auto& [key, value] : r.config) {
+        w.Key(key);
+        w.String(value);
+      }
+      w.EndObject();
+      w.Key("rounds");
+      w.Uint(r.rounds);
+      w.Key("wall_ns");
+      w.Uint(r.wall_ns);
+      w.Key("bytes");
+      w.BeginObject();
+      w.Key("total");
+      w.Uint(r.total);
+      if (r.has_dirs) {
+        w.Key("up");
+        w.Uint(r.up);
+        w.Key("down");
+        w.Uint(r.down);
+      }
+      if (r.has_phases) {
+        w.Key("phases");
+        w.BeginObject();
+        for (int p = 0; p < obs::kNumPhases; ++p) {
+          if (r.phases[p][0] == 0 && r.phases[p][1] == 0) {
+            continue;
+          }
+          w.Key(obs::PhaseName(static_cast<obs::Phase>(p)));
+          w.BeginObject();
+          w.Key("up");
+          w.Uint(r.phases[p][0]);
+          w.Key("down");
+          w.Uint(r.phases[p][1]);
+          w.EndObject();
+        }
+        w.EndObject();
+      }
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+
+    std::string path =
+        path_.empty() ? "BENCH_" + benchmark_ + ".json" : path_;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << w.Take() << "\n";
+    std::printf("\nwrote %s\n", path.c_str());
+    return out.good() ? 0 : 1;
+  }
+
+ private:
+  std::string benchmark_;
+  std::string title_;
+  std::string path_;
+  std::string dataset_;
+  uint64_t files_ = 0;
+  uint64_t bytes_ = 0;
+  bool enabled_ = false;
+  std::vector<BenchResult> results_;
+};
 
 }  // namespace fsx::bench
 

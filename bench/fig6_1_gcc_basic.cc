@@ -5,10 +5,17 @@
 // size with the optimum around 16-128 bytes; even the basic protocol
 // beats rsync-with-best-block-size; the delta compressor lower-bounds
 // everything at roughly half the protocol's best cost.
+//
+// `--json[=path]` additionally writes BENCH_fig6_1.json (fsx-bench-v1).
 #include "bench/basic_sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
+  fsx::bench::JsonReport report(
+      "fig6_1", "basic protocol vs min block size (gcc data set)");
+  report.ParseArgs(argc, argv);
   fsx::bench::PrintHeader("Figure 6.1",
                           "basic protocol vs min block size (gcc data set)");
-  return fsx::bench_basic::Run(fsx::bench::BenchGccProfile(), "gcc");
+  int rc = fsx::bench_basic::Run(fsx::bench::BenchGccProfile(), "gcc",
+                                 report);
+  return rc != 0 ? rc : report.Write();
 }

@@ -1,9 +1,16 @@
 // Figure 6.2: performance of the basic protocol with different minimum
 // block sizes on the emacs data set (same sweep as Figure 6.1).
+//
+// `--json[=path]` additionally writes BENCH_fig6_2.json (fsx-bench-v1).
 #include "bench/basic_sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
+  fsx::bench::JsonReport report(
+      "fig6_2", "basic protocol vs min block size (emacs data set)");
+  report.ParseArgs(argc, argv);
   fsx::bench::PrintHeader(
       "Figure 6.2", "basic protocol vs min block size (emacs data set)");
-  return fsx::bench_basic::Run(fsx::bench::BenchEmacsProfile(), "emacs");
+  int rc = fsx::bench_basic::Run(fsx::bench::BenchEmacsProfile(), "emacs",
+                                 report);
+  return rc != 0 ? rc : report.Write();
 }

@@ -16,9 +16,11 @@
 namespace fsx {
 namespace {
 
-int Run() {
+int Run(bench::JsonReport& report) {
   using bench::Kb;
   ReleasePair pair = MakeRelease(bench::BenchGccProfile());
+  report.AddWorkload("gcc", pair.new_release.size(),
+                     bench::CollectionBytes(pair.new_release));
   std::printf("data set: gcc-like, %zu files, %.1f MiB\n\n",
               pair.new_release.size(),
               bench::CollectionBytes(pair.new_release) / 1048576.0);
@@ -35,12 +37,22 @@ int Run() {
     config.use_continuation = use_cont;
     config.verify.group_size = 8;  // group verification throughout
     config.verify.max_batches = 2;
-    auto r = SyncCollection(pair.old_release, pair.new_release, config);
+    obs::SyncObserver observer;
+    bench::WallTimer timer;
+    auto r = SyncCollection(pair.old_release, pair.new_release, config,
+                            &observer);
     if (!r.ok()) {
       std::fprintf(stderr, "sync failed: %s\n",
                    r.status().ToString().c_str());
       return 1;
     }
+    report.Add(label)
+        .Config("min_block", min_global)
+        .Config("min_continuation_block", config.min_continuation_block)
+        .Config("use_continuation", use_cont ? "true" : "false")
+        .Observed(observer)
+        .Rounds(r->stats.roundtrips)
+        .WallNs(timer.Ns());
     std::printf("%-34s %12.1f %12.1f %12.1f\n", label,
                 Kb(r->map_server_to_client_bytes +
                    r->map_client_to_server_bytes),
@@ -64,9 +76,14 @@ int Run() {
 }  // namespace
 }  // namespace fsx
 
-int main() {
+int main(int argc, char** argv) {
+  fsx::bench::JsonReport report(
+      "fig6_3",
+      "continuation hashes with varying minimum block sizes (gcc)");
+  report.ParseArgs(argc, argv);
   fsx::bench::PrintHeader("Figure 6.3",
                           "continuation hashes with varying minimum block "
                           "sizes (gcc data set)");
-  return fsx::Run();
+  int rc = fsx::Run(report);
+  return rc != 0 ? rc : report.Write();
 }

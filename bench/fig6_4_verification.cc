@@ -13,9 +13,11 @@
 namespace fsx {
 namespace {
 
-int Run() {
+int Run(bench::JsonReport& report) {
   using bench::Kb;
   ReleasePair pair = MakeRelease(bench::BenchGccProfile());
+  report.AddWorkload("gcc", pair.new_release.size(),
+                     bench::CollectionBytes(pair.new_release));
   std::printf("data set: gcc-like, %zu files, %.1f MiB\n\n",
               pair.new_release.size(),
               bench::CollectionBytes(pair.new_release) / 1048576.0);
@@ -49,12 +51,23 @@ int Run() {
     config.verify.max_batches = s.batches;
     config.verify.verify_bits = s.verify_bits;
     config.verify.adaptive_groups = s.adaptive;
-    auto r = SyncCollection(pair.old_release, pair.new_release, config);
+    obs::SyncObserver observer;
+    bench::WallTimer timer;
+    auto r = SyncCollection(pair.old_release, pair.new_release, config,
+                            &observer);
     if (!r.ok()) {
       std::fprintf(stderr, "sync failed: %s\n",
                    r.status().ToString().c_str());
       return 1;
     }
+    report.Add(s.label)
+        .Config("group_size", static_cast<uint64_t>(s.group_size))
+        .Config("max_batches", static_cast<uint64_t>(s.batches))
+        .Config("verify_bits", static_cast<uint64_t>(s.verify_bits))
+        .Config("adaptive_groups", s.adaptive ? "true" : "false")
+        .Observed(observer)
+        .Rounds(r->stats.roundtrips)
+        .WallNs(timer.Ns());
     std::printf("%-38s %10llu %12.1f %12.1f\n", s.label,
                 static_cast<unsigned long long>(r->stats.roundtrips),
                 Kb(r->map_client_to_server_bytes),
@@ -66,8 +79,12 @@ int Run() {
 }  // namespace
 }  // namespace fsx
 
-int main() {
+int main(int argc, char** argv) {
+  fsx::bench::JsonReport report(
+      "fig6_4", "match-verification strategies (gcc data set)");
+  report.ParseArgs(argc, argv);
   fsx::bench::PrintHeader(
       "Figure 6.4", "match-verification strategies (gcc data set)");
-  return fsx::Run();
+  int rc = fsx::Run(report);
+  return rc != 0 ? rc : report.Write();
 }

@@ -27,17 +27,33 @@ SyncConfig AllTechniquesConfig() {
   return config;
 }
 
-int RunDataset(const char* name, const ReleaseProfile& profile) {
+int RunDataset(const char* name, const ReleaseProfile& profile,
+               bench::JsonReport& report) {
   using bench::Kb;
   ReleasePair pair = MakeRelease(profile);
   uint64_t total = bench::CollectionBytes(pair.new_release);
+  report.AddWorkload(name, pair.new_release.size(), total);
   std::printf("\n--- %s-like data set: %zu files, %.1f MiB ---\n", name,
               pair.new_release.size(), total / 1048576.0);
   std::printf("%-26s %12s %10s\n", "method", "total KB", "vs full");
 
   auto row = [&](const char* label, uint64_t bytes) {
+    report.Add(label).Config("dataset", name).Total(bytes);
     std::printf("%-26s %12.1f %9.2f%%\n", label, Kb(bytes),
                 100.0 * bytes / total);
+  };
+  // Rows run through a channel carry the full per-phase attribution.
+  auto observed_row = [&](const char* label,
+                          const obs::SyncObserver& observer,
+                          const CollectionSyncResult& r, uint64_t ns) {
+    report.Add(label)
+        .Config("dataset", name)
+        .Observed(observer)
+        .Rounds(r.stats.roundtrips)
+        .WallNs(ns);
+    std::printf("%-26s %12.1f %9.2f%%\n", label,
+                Kb(r.stats.total_bytes()),
+                100.0 * r.stats.total_bytes() / total);
   };
 
   row("uncompressed full",
@@ -47,9 +63,12 @@ int RunDataset(const char* name, const ReleaseProfile& profile) {
                                         pair.new_release));
 
   RsyncParams def;
-  auto rs = SyncCollectionRsync(pair.old_release, pair.new_release, def);
+  obs::SyncObserver rs_obs;
+  bench::WallTimer rs_timer;
+  auto rs = SyncCollectionRsync(pair.old_release, pair.new_release, def,
+                                &rs_obs);
   if (!rs.ok()) return 1;
-  row("rsync (b=700)", rs->stats.total_bytes());
+  observed_row("rsync (b=700)", rs_obs, *rs, rs_timer.Ns());
 
   uint64_t best_total = 0;
   static const Bytes kEmpty;
@@ -67,21 +86,28 @@ int RunDataset(const char* name, const ReleaseProfile& profile) {
   row("rsync (best b per file)", best_total);
 
   MultiroundParams mr_params;  // pure recursive partitioning (prior art)
+  obs::SyncObserver mr_obs;
+  bench::WallTimer mr_timer;
   auto mr = SyncCollectionMultiround(pair.old_release, pair.new_release,
-                                     mr_params);
+                                     mr_params, &mr_obs);
   if (!mr.ok()) return 1;
-  row("multiround rsync", mr->stats.total_bytes());
+  observed_row("multiround rsync", mr_obs, *mr, mr_timer.Ns());
 
   CdcSyncParams cdc_params;  // LBFS-style chunk exchange, extra baseline
+  obs::SyncObserver cdc_obs;
+  bench::WallTimer cdc_timer;
   auto cdc = SyncCollectionCdc(pair.old_release, pair.new_release,
-                               cdc_params);
+                               cdc_params, &cdc_obs);
   if (!cdc.ok()) return 1;
-  row("cdc / LBFS-style", cdc->stats.total_bytes());
+  observed_row("cdc / LBFS-style", cdc_obs, *cdc, cdc_timer.Ns());
 
+  obs::SyncObserver ours_obs;
+  bench::WallTimer ours_timer;
   auto ours = SyncCollection(pair.old_release, pair.new_release,
-                             AllTechniquesConfig());
+                             AllTechniquesConfig(), &ours_obs);
   if (!ours.ok()) return 1;
-  row("this work (all techniques)", ours->stats.total_bytes());
+  observed_row("this work (all techniques)", ours_obs, *ours,
+               ours_timer.Ns());
 
   auto zd = CollectionDeltaBytes(pair.old_release, pair.new_release,
                                  DeltaCodec::kZd);
@@ -106,11 +132,18 @@ int RunDataset(const char* name, const ReleaseProfile& profile) {
 }  // namespace
 }  // namespace fsx
 
-int main() {
+int main(int argc, char** argv) {
+  fsx::bench::JsonReport report(
+      "table6_1", "best results using all techniques (gcc and emacs)");
+  report.ParseArgs(argc, argv);
   fsx::bench::PrintHeader("Table 6.1",
                           "best results using all techniques (gcc and "
                           "emacs data sets)");
-  if (fsx::RunDataset("gcc", fsx::bench::BenchGccProfile())) return 1;
-  if (fsx::RunDataset("emacs", fsx::bench::BenchEmacsProfile())) return 1;
-  return 0;
+  if (fsx::RunDataset("gcc", fsx::bench::BenchGccProfile(), report)) {
+    return 1;
+  }
+  if (fsx::RunDataset("emacs", fsx::bench::BenchEmacsProfile(), report)) {
+    return 1;
+  }
+  return report.Write();
 }

@@ -15,7 +15,7 @@
 namespace fsx {
 namespace {
 
-int Run() {
+int Run(bench::JsonReport& report) {
   using bench::Kb;
   WebProfile profile;
   profile.num_pages = 400;  // scaled from the paper's 10,000
@@ -23,6 +23,7 @@ int Run() {
   profile.max_page_bytes = 64 * 1024;
   WebCollectionModel model(profile);
   uint64_t total = bench::CollectionBytes(model.Snapshot(0));
+  report.AddWorkload("web", profile.num_pages, total);
   std::printf("collection: %d pages, %.1f MiB (scale factor to paper: "
               "%.1fx pages)\n\n",
               profile.num_pages, total / 1048576.0,
@@ -45,6 +46,9 @@ int Run() {
     const Collection& new_snap = model.Snapshot(gap);
 
     auto row = [&](const char* method, uint64_t bytes) {
+      report.Add(method)
+          .Config("interval_days", static_cast<uint64_t>(gap))
+          .Total(bytes);
       std::printf("%6d day %-22s %12.1f %16.0f\n", gap, method, Kb(bytes),
                   Kb(bytes) * scale);
     };
@@ -53,17 +57,36 @@ int Run() {
     row("compressed full",
         CollectionCompressedTransferBytes(old_snap, new_snap));
 
-    auto rs = SyncCollectionRsync(old_snap, new_snap, rsync_params);
+    obs::SyncObserver rs_obs;
+    bench::WallTimer rs_timer;
+    auto rs = SyncCollectionRsync(old_snap, new_snap, rsync_params,
+                                  &rs_obs);
     if (!rs.ok()) return 1;
-    row("rsync (b=700)", rs->stats.total_bytes());
+    report.Add("rsync (b=700)")
+        .Config("interval_days", static_cast<uint64_t>(gap))
+        .Observed(rs_obs)
+        .Rounds(rs->stats.roundtrips)
+        .WallNs(rs_timer.Ns());
+    std::printf("%6d day %-22s %12.1f %16.0f\n", gap, "rsync (b=700)",
+                Kb(rs->stats.total_bytes()),
+                Kb(rs->stats.total_bytes()) * scale);
 
-    auto ours = SyncCollection(old_snap, new_snap, config);
+    obs::SyncObserver ours_obs;
+    bench::WallTimer ours_timer;
+    auto ours = SyncCollection(old_snap, new_snap, config, &ours_obs);
     if (!ours.ok()) return 1;
     if (ours->reconstructed != new_snap) {
       std::fprintf(stderr, "reconstruction mismatch!\n");
       return 1;
     }
-    row("this work", ours->stats.total_bytes());
+    report.Add("this work")
+        .Config("interval_days", static_cast<uint64_t>(gap))
+        .Observed(ours_obs)
+        .Rounds(ours->stats.roundtrips)
+        .WallNs(ours_timer.Ns());
+    std::printf("%6d day %-22s %12.1f %16.0f\n", gap, "this work",
+                Kb(ours->stats.total_bytes()),
+                Kb(ours->stats.total_bytes()) * scale);
 
     auto bound = CollectionDeltaBytes(old_snap, new_snap, DeltaCodec::kZd);
     if (!bound.ok()) return 1;
@@ -76,9 +99,14 @@ int Run() {
 }  // namespace
 }  // namespace fsx
 
-int main() {
+int main(int argc, char** argv) {
+  fsx::bench::JsonReport report(
+      "table6_2",
+      "updating a replicated web collection at various frequencies");
+  report.ParseArgs(argc, argv);
   fsx::bench::PrintHeader(
       "Table 6.2", "updating a replicated web collection at various "
                    "frequencies");
-  return fsx::Run();
+  int rc = fsx::Run(report);
+  return rc != 0 ? rc : report.Write();
 }

@@ -4,9 +4,16 @@
 // byte accounting is exact, the link is simulated).
 //
 //   fsxsync <source-dir> <dest-dir> [--method fsx|rsync|cdc|multiround]
-//           [--dry-run] [--keep-extra]
+//           [--dry-run] [--keep-extra] [--trace]
+//           [--metrics-json[=path]]
 //   fsxsync verify <dir>      # check a tree against its manifest
 //   fsxsync demo
+//
+// --trace streams one line per wire message / protocol round / session
+// to stderr as it happens; --metrics-json emits the per-phase byte
+// attribution and aggregate metrics as JSON (to stdout, or to the given
+// path). Both are host-side observers: they never change what goes over
+// the (simulated) wire.
 //
 // Files present only in <dest-dir> are deleted (mirror semantics) unless
 // --keep-extra is given. A manifest is written to the destination so a
@@ -21,6 +28,8 @@
 #include "fsync/core/adaptive.h"
 #include "fsync/core/config_io.h"
 #include "fsync/core/collection.h"
+#include "fsync/obs/json.h"
+#include "fsync/obs/sync_obs.h"
 #include "fsync/store/fsstore.h"
 #include "fsync/workload/release.h"
 
@@ -28,23 +37,104 @@ namespace {
 
 using fsx::Collection;
 
-void PrintStats(const char* method, const fsx::CollectionSyncResult& r,
-                uint64_t tree_bytes) {
-  std::printf("method:        %s\n", method);
-  std::printf("files:         %llu total, %llu unchanged, %llu new\n",
-              static_cast<unsigned long long>(r.files_total),
-              static_cast<unsigned long long>(r.files_unchanged),
-              static_cast<unsigned long long>(r.files_new));
-  std::printf("traffic:       %.1f KiB (%.2f%% of tree)\n",
-              r.stats.total_bytes() / 1024.0,
-              tree_bytes ? 100.0 * r.stats.total_bytes() / tree_bytes : 0.0);
-  std::printf("roundtrips:    %llu (batched across files)\n",
-              static_cast<unsigned long long>(r.stats.roundtrips));
+/// --trace sink: one stderr line per observed event, as it happens.
+class StderrTraceSink : public fsx::obs::TraceSink {
+ public:
+  void OnEvent(const fsx::obs::TraceEvent& event) override {
+    using fsx::obs::EventKind;
+    switch (event.kind) {
+      case EventKind::kMessage:
+        std::fprintf(stderr,
+                     "trace: %-14s msg   round=%-3u phase=%-12s %-4s "
+                     "%llu bytes\n",
+                     event.protocol, event.round, PhaseName(event.phase),
+                     FlowName(event.dir),
+                     static_cast<unsigned long long>(event.bytes));
+        break;
+      case EventKind::kRound:
+        std::fprintf(stderr, "trace: %-14s round round=%-3u %llu ns\n",
+                     event.protocol, event.round,
+                     static_cast<unsigned long long>(event.wall_ns));
+        break;
+      case EventKind::kSession:
+        std::fprintf(stderr,
+                     "trace: %-14s end   %llu bytes total, %llu ns\n",
+                     event.protocol,
+                     static_cast<unsigned long long>(event.bytes),
+                     static_cast<unsigned long long>(event.wall_ns));
+        break;
+    }
+  }
+};
+
+/// --metrics-json output: phase attribution + aggregate instruments.
+int WriteMetricsJson(const fsx::obs::SyncObserver& observer,
+                     const std::string& method, const std::string& path) {
+  fsx::obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("fsx-metrics-v1");
+  w.Key("method");
+  w.String(method);
+  w.Key("bytes");
+  w.BeginObject();
+  w.Key("total");
+  w.Uint(observer.total_bytes());
+  w.Key("up");
+  w.Uint(observer.dir_bytes(fsx::obs::Flow::kUp));
+  w.Key("down");
+  w.Uint(observer.dir_bytes(fsx::obs::Flow::kDown));
+  w.Key("phases");
+  fsx::obs::WritePhaseBytes(w, observer);
+  w.EndObject();
+  w.Key("rounds");
+  w.Uint(observer.rounds());
+  w.Key("wall_ns");
+  w.Uint(observer.wall_ns());
+  fsx::obs::MetricsRegistry registry;
+  observer.FlushTo(registry, method);
+  w.Key("metrics");
+  fsx::obs::WriteMetrics(w, registry);
+  w.EndObject();
+  std::string doc = w.Take();
+  if (path.empty()) {
+    std::printf("%s\n", doc.c_str());
+    return 0;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << doc << "\n";
+  std::printf("metrics written to %s\n", path.c_str());
+  return out.good() ? 0 : 1;
 }
+
+void PrintStats(std::FILE* out, const char* method,
+                const fsx::CollectionSyncResult& r, uint64_t tree_bytes) {
+  std::fprintf(out, "method:        %s\n", method);
+  std::fprintf(out, "files:         %llu total, %llu unchanged, %llu new\n",
+               static_cast<unsigned long long>(r.files_total),
+               static_cast<unsigned long long>(r.files_unchanged),
+               static_cast<unsigned long long>(r.files_new));
+  std::fprintf(out, "traffic:       %.1f KiB (%.2f%% of tree)\n",
+               r.stats.total_bytes() / 1024.0,
+               tree_bytes ? 100.0 * r.stats.total_bytes() / tree_bytes : 0.0);
+  std::fprintf(out, "roundtrips:    %llu (batched across files)\n",
+               static_cast<unsigned long long>(r.stats.roundtrips));
+}
+
+struct ObserveOptions {
+  bool trace = false;
+  bool metrics_json = false;
+  std::string metrics_path;  // empty = stdout
+};
 
 int RunSync(const std::string& src_dir, const std::string& dst_dir,
             const std::string& method, bool dry_run, bool keep_extra,
-            const std::string& config_path = "") {
+            const std::string& config_path = "",
+            const ObserveOptions& observe = {}) {
   auto server_tree = fsx::LoadTree(src_dir);
   if (!server_tree.ok()) {
     std::fprintf(stderr, "source: %s\n",
@@ -62,17 +152,25 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
     tree_bytes += data.size();
   }
 
+  fsx::obs::SyncObserver observer;
+  StderrTraceSink trace_sink;
+  if (observe.trace) {
+    observer.set_sink(&trace_sink);
+  }
+  fsx::obs::SyncObserver* obs =
+      observe.trace || observe.metrics_json ? &observer : nullptr;
+
   fsx::StatusOr<fsx::CollectionSyncResult> result =
       fsx::Status::Internal("unset");
   if (method == "rsync") {
     result = SyncCollectionRsync(*client_tree, *server_tree,
-                                 fsx::RsyncParams{});
+                                 fsx::RsyncParams{}, obs);
   } else if (method == "cdc") {
     result = SyncCollectionCdc(*client_tree, *server_tree,
-                               fsx::CdcSyncParams{});
+                               fsx::CdcSyncParams{}, obs);
   } else if (method == "multiround") {
     result = SyncCollectionMultiround(*client_tree, *server_tree,
-                                      fsx::MultiroundParams{});
+                                      fsx::MultiroundParams{}, obs);
   } else if (method == "fsx") {
     fsx::SyncConfig config = fsx::ChooseConfig(32 * 1024, 32 * 1024);
     if (!config_path.empty()) {
@@ -94,7 +192,7 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
     }
     fsx::SimulatedChannel channel;
     result = SyncCollectionBatched(*client_tree, *server_tree, config,
-                                   channel);
+                                   channel, obs);
   } else {
     std::fprintf(stderr, "unknown method '%s' (fsx|rsync|cdc|multiround)\n",
                  method.c_str());
@@ -106,13 +204,22 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
     return 1;
   }
 
-  PrintStats(method.c_str(), *result, tree_bytes);
+  // With --metrics-json to stdout, keep stdout machine-readable: the JSON
+  // document is the only thing printed there; everything human goes to
+  // stderr so `fsxsync ... --metrics-json | jq .` works.
+  std::FILE* human =
+      observe.metrics_json && observe.metrics_path.empty() ? stderr : stdout;
+  PrintStats(human, method.c_str(), *result, tree_bytes);
+  if (observe.metrics_json &&
+      WriteMetricsJson(observer, method, observe.metrics_path) != 0) {
+    return 1;
+  }
   if (result->reconstructed != *server_tree) {
     std::fprintf(stderr, "internal error: reconstruction mismatch\n");
     return 1;
   }
   if (dry_run) {
-    std::printf("dry run: destination not modified\n");
+    std::fprintf(human, "dry run: destination not modified\n");
     return 0;
   }
   fsx::Status st = fsx::StoreTree(dst_dir, result->reconstructed,
@@ -122,7 +229,7 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  std::printf("destination updated (manifest written)\n");
+  std::fprintf(human, "destination updated (manifest written)\n");
   return 0;
 }
 
@@ -182,7 +289,8 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: %s <source-dir> <dest-dir> [--method fsx|rsync|cdc|"
-        "multiround] [--dry-run] [--keep-extra]\n"
+        "multiround] [--dry-run] [--keep-extra] [--trace] "
+        "[--metrics-json[=path]]\n"
         "       %s verify <dir>\n       %s demo\n",
         argv[0], argv[0], argv[0]);
     return 2;
@@ -191,6 +299,7 @@ int main(int argc, char** argv) {
   std::string config_path;
   bool dry_run = false;
   bool keep_extra = false;
+  ObserveOptions observe;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--method") == 0 && i + 1 < argc) {
       method = argv[++i];
@@ -200,11 +309,18 @@ int main(int argc, char** argv) {
       dry_run = true;
     } else if (std::strcmp(argv[i], "--keep-extra") == 0) {
       keep_extra = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      observe.trace = true;
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      observe.metrics_json = true;
+    } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+      observe.metrics_json = true;
+      observe.metrics_path = argv[i] + 15;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
     }
   }
   return RunSync(argv[1], argv[2], method, dry_run, keep_extra,
-                 config_path);
+                 config_path, observe);
 }

@@ -20,14 +20,17 @@ uint64_t ChunkHash(ByteSpan data, const Chunk& c, uint32_t hash_bytes) {
 
 StatusOr<CdcSyncResult> CdcSynchronize(ByteSpan outdated, ByteSpan current,
                                        const CdcSyncParams& params,
-                                       SimulatedChannel& channel) {
+                                       SimulatedChannel& channel,
+                                       obs::SyncObserver* obs) {
   using Dir = SimulatedChannel::Direction;
   if (params.hash_bytes == 0 || params.hash_bytes > 8) {
     return Status::InvalidArgument("cdc: hash_bytes must be in [1, 8]");
   }
+  ObservedSession scope(channel, obs, "cdc");
   CdcSyncResult result;
 
   // Client announces its fingerprint (unchanged-file detection).
+  obs::SetPhase(obs, obs::Phase::kHandshake);
   Fingerprint old_fp = FileFingerprint(outdated);
   channel.Send(Dir::kClientToServer, ByteSpan(old_fp.data(), old_fp.size()));
   FSYNC_ASSIGN_OR_RETURN(Bytes req, channel.Receive(Dir::kClientToServer));
@@ -52,6 +55,8 @@ StatusOr<CdcSyncResult> CdcSynchronize(ByteSpan outdated, ByteSpan current,
                       8 * params.hash_bytes);
       }
     }
+    // The offer is dominated by the per-chunk hash list (candidates).
+    obs::SetPhase(obs, obs::Phase::kCandidates);
     channel.Send(Dir::kServerToClient, msg.Finish());
   }
   FSYNC_ASSIGN_OR_RETURN(Bytes offer, channel.Receive(Dir::kServerToClient));
@@ -102,6 +107,7 @@ StatusOr<CdcSyncResult> CdcSynchronize(ByteSpan outdated, ByteSpan current,
     }
     have_msg.WriteBit(offered[i].have);
   }
+  obs::SetPhase(obs, obs::Phase::kVerification);
   channel.Send(Dir::kClientToServer, have_msg.Finish());
   FSYNC_ASSIGN_OR_RETURN(Bytes have, channel.Receive(Dir::kClientToServer));
 
@@ -121,6 +127,7 @@ StatusOr<CdcSyncResult> CdcSynchronize(ByteSpan outdated, ByteSpan current,
     msg.WriteBit(params.compress_missing);
     msg.WriteVarint(payload.size());
     msg.WriteBytes(payload);
+    obs::SetPhase(obs, obs::Phase::kLiterals);
     channel.Send(Dir::kServerToClient, msg.Finish());
   }
   FSYNC_ASSIGN_OR_RETURN(Bytes data_msg,
@@ -156,6 +163,7 @@ StatusOr<CdcSyncResult> CdcSynchronize(ByteSpan outdated, ByteSpan current,
   Fingerprint got = FileFingerprint(rebuilt);
   if (!std::equal(got.begin(), got.end(), fp_bytes.begin())) {
     // Chunk-hash collision: fall back to a compressed full transfer.
+    obs::SetPhase(obs, obs::Phase::kFallback);
     Bytes ask = {1};
     channel.Send(Dir::kClientToServer, ask);
     FSYNC_ASSIGN_OR_RETURN(Bytes ask_msg,

@@ -37,7 +37,8 @@ struct CdcSyncResult {
 /// transfer fallback, as elsewhere in the library).
 StatusOr<CdcSyncResult> CdcSynchronize(ByteSpan outdated, ByteSpan current,
                                        const CdcSyncParams& params,
-                                       SimulatedChannel& channel);
+                                       SimulatedChannel& channel,
+                                       obs::SyncObserver* obs = nullptr);
 
 }  // namespace fsx
 

@@ -1,6 +1,7 @@
 #include "fsync/core/collection.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "fsync/compress/codec.h"
@@ -26,9 +27,14 @@ uint64_t FingerprintExchangeBytes(const Collection& client) {
 
 StatusOr<CollectionSyncResult> SyncCollection(const Collection& client,
                                               const Collection& server,
-                                              const SyncConfig& config) {
+                                              const SyncConfig& config,
+                                              obs::SyncObserver* obs) {
   CollectionSyncResult result;
   result.stats.client_to_server_bytes += FingerprintExchangeBytes(client);
+  // The fingerprint exchange is charged out-of-band (no channel carries
+  // it); mirror it into the observer so phase sums match the stats.
+  obs::AddBytes(obs, obs::Phase::kHandshake, obs::Flow::kUp,
+                FingerprintExchangeBytes(client));
   result.files_total = server.size();
 
   uint64_t max_roundtrips = 0;
@@ -40,10 +46,16 @@ StatusOr<CollectionSyncResult> SyncCollection(const Collection& client,
       ++result.files_new;
     }
 
+    // Unchanged files' session traffic is excluded from the collection
+    // stats below; snapshot the observer so it can be rolled back too.
+    obs::SyncObserver::State mark;
+    if (obs != nullptr) {
+      mark = obs->Snapshot();
+    }
     SimulatedChannel channel;
     FSYNC_ASSIGN_OR_RETURN(
         FileSyncResult r,
-        SynchronizeFile(outdated, current, config, channel));
+        SynchronizeFile(outdated, current, config, channel, obs));
     if (r.reconstructed != current) {
       return Status::Internal("collection sync: reconstruction mismatch");
     }
@@ -51,6 +63,9 @@ StatusOr<CollectionSyncResult> SyncCollection(const Collection& client,
       ++result.files_unchanged;
       // The fingerprint exchange above already paid for detecting this;
       // do not charge the per-file session's fingerprint again.
+      if (obs != nullptr) {
+        obs->Restore(mark);
+      }
     } else {
       result.stats.client_to_server_bytes +=
           r.stats.client_to_server_bytes;
@@ -69,12 +84,15 @@ StatusOr<CollectionSyncResult> SyncCollection(const Collection& client,
 
 StatusOr<CollectionSyncResult> SyncCollectionBatched(
     const Collection& client, const Collection& server,
-    const SyncConfig& config, SimulatedChannel& channel) {
+    const SyncConfig& config, SimulatedChannel& channel,
+    obs::SyncObserver* obs) {
   using Dir = SimulatedChannel::Direction;
+  ObservedSession scope(channel, obs, "session-batched");
   CollectionSyncResult result;
   result.files_total = server.size();
 
   // --- 1. Client announces (name, fingerprint) for every file. ---
+  obs::SetPhase(obs, obs::Phase::kHandshake);
   {
     BitWriter msg;
     msg.WriteVarint(client.size());
@@ -188,8 +206,14 @@ StatusOr<CollectionSyncResult> SyncCollectionBatched(
   FSYNC_ASSIGN_OR_RETURN(Bytes c2s, channel.Receive(Dir::kClientToServer));
   bool first = true;
   size_t live = sessions.size();
+  uint32_t batch_round = 0;
   while (live > 0) {
+    obs::SetRound(obs, ++batch_round);
+    const auto round_start = obs != nullptr
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
     // Server: one sub-payload per live file.
+    obs::SetPhase(obs, obs::Phase::kCandidates);
     BitReader in(c2s);
     BitWriter batch;
     for (FileSession& s : sessions) {
@@ -234,9 +258,37 @@ StatusOr<CollectionSyncResult> SyncCollectionBatched(
     }
     live = still_live;
     if (live > 0) {
+      obs::SetPhase(obs, obs::Phase::kVerification);
       channel.Send(Dir::kClientToServer, next.Finish());
       FSYNC_ASSIGN_OR_RETURN(c2s, channel.Receive(Dir::kClientToServer));
     }
+    if (obs != nullptr) {
+      auto elapsed = std::chrono::steady_clock::now() - round_start;
+      obs->RecordRound(
+          batch_round,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()));
+    }
+  }
+
+  if (obs != nullptr) {
+    // As in SynchronizeFile: move the embedded delta payloads and the
+    // continuation-hash bits out of the candidate phase, summed over
+    // every multiplexed per-file session. Clamped moves preserve totals.
+    uint64_t delta_bytes = 0;
+    uint64_t continuation_bits = 0;
+    for (const FileSession& s : sessions) {
+      delta_bytes += s.server_ep->delta_payload_bytes();
+      for (const RoundTrace& t : s.client_ep->trace()) {
+        continuation_bits += static_cast<uint64_t>(t.continuation_hashes) *
+                             EffectiveContinuationBits(config, t.round);
+      }
+    }
+    obs->Reattribute(obs::Phase::kCandidates, obs::Phase::kDelta,
+                     obs::Flow::kDown, delta_bytes);
+    obs->Reattribute(obs::Phase::kCandidates, obs::Phase::kContinuation,
+                     obs::Flow::kDown, continuation_bits / 8);
   }
 
   // --- 4. Fallbacks (rare): one extra exchange for all of them. ---
@@ -247,6 +299,7 @@ StatusOr<CollectionSyncResult> SyncCollectionBatched(
     }
   }
   if (!fallback_ids.empty()) {
+    obs::SetPhase(obs, obs::Phase::kFallback);
     BitWriter ask;
     ask.WriteVarint(fallback_ids.size());
     for (size_t i : fallback_ids) {
@@ -291,9 +344,12 @@ StatusOr<CollectionSyncResult> SyncCollectionBatched(
 
 StatusOr<CollectionSyncResult> SyncCollectionRsync(const Collection& client,
                                                    const Collection& server,
-                                                   const RsyncParams& params) {
+                                                   const RsyncParams& params,
+                                                   obs::SyncObserver* obs) {
   CollectionSyncResult result;
   result.stats.client_to_server_bytes += FingerprintExchangeBytes(client);
+  obs::AddBytes(obs, obs::Phase::kHandshake, obs::Flow::kUp,
+                FingerprintExchangeBytes(client));
   result.files_total = server.size();
 
   uint64_t max_roundtrips = 0;
@@ -312,7 +368,8 @@ StatusOr<CollectionSyncResult> SyncCollectionRsync(const Collection& client,
     }
     SimulatedChannel channel;
     FSYNC_ASSIGN_OR_RETURN(
-        RsyncResult r, RsyncSynchronize(outdated, current, params, channel));
+        RsyncResult r,
+        RsyncSynchronize(outdated, current, params, channel, obs));
     if (r.reconstructed != current) {
       return Status::Internal("rsync collection: reconstruction mismatch");
     }
@@ -329,9 +386,12 @@ StatusOr<CollectionSyncResult> SyncCollectionRsync(const Collection& client,
 
 StatusOr<CollectionSyncResult> SyncCollectionCdc(const Collection& client,
                                                  const Collection& server,
-                                                 const CdcSyncParams& params) {
+                                                 const CdcSyncParams& params,
+                                                 obs::SyncObserver* obs) {
   CollectionSyncResult result;
   result.stats.client_to_server_bytes += FingerprintExchangeBytes(client);
+  obs::AddBytes(obs, obs::Phase::kHandshake, obs::Flow::kUp,
+                FingerprintExchangeBytes(client));
   result.files_total = server.size();
 
   uint64_t max_roundtrips = 0;
@@ -349,7 +409,8 @@ StatusOr<CollectionSyncResult> SyncCollectionCdc(const Collection& client,
     }
     SimulatedChannel channel;
     FSYNC_ASSIGN_OR_RETURN(
-        CdcSyncResult r, CdcSynchronize(outdated, current, params, channel));
+        CdcSyncResult r,
+        CdcSynchronize(outdated, current, params, channel, obs));
     if (r.reconstructed != current) {
       return Status::Internal("cdc collection: reconstruction mismatch");
     }
@@ -364,9 +425,11 @@ StatusOr<CollectionSyncResult> SyncCollectionCdc(const Collection& client,
 
 StatusOr<CollectionSyncResult> SyncCollectionMultiround(
     const Collection& client, const Collection& server,
-    const MultiroundParams& params) {
+    const MultiroundParams& params, obs::SyncObserver* obs) {
   CollectionSyncResult result;
   result.stats.client_to_server_bytes += FingerprintExchangeBytes(client);
+  obs::AddBytes(obs, obs::Phase::kHandshake, obs::Flow::kUp,
+                FingerprintExchangeBytes(client));
   result.files_total = server.size();
 
   uint64_t max_roundtrips = 0;
@@ -385,7 +448,7 @@ StatusOr<CollectionSyncResult> SyncCollectionMultiround(
     SimulatedChannel channel;
     FSYNC_ASSIGN_OR_RETURN(
         MultiroundResult r,
-        MultiroundSynchronize(outdated, current, params, channel));
+        MultiroundSynchronize(outdated, current, params, channel, obs));
     if (r.reconstructed != current) {
       return Status::Internal("multiround collection: mismatch");
     }

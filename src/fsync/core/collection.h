@@ -37,9 +37,15 @@ struct CollectionSyncResult {
 
 /// Synchronizes `client` to the server's `server` snapshot with the
 /// paper's protocol. Returns per-collection traffic totals.
-StatusOr<CollectionSyncResult> SyncCollection(const Collection& client,
-                                              const Collection& server,
-                                              const SyncConfig& config);
+///
+/// All collection entry points accept an optional `obs::SyncObserver*`:
+/// when set, per-file sessions attribute their traffic to phases and the
+/// observer's totals match the returned stats exactly (unchanged files'
+/// excluded session traffic is rolled back in the observer too, and the
+/// out-of-band fingerprint exchange is charged to the handshake phase).
+StatusOr<CollectionSyncResult> SyncCollection(
+    const Collection& client, const Collection& server,
+    const SyncConfig& config, obs::SyncObserver* obs = nullptr);
 
 /// Like SyncCollection, but genuinely multiplexes every per-file session
 /// over the single `channel`: each protocol round sends ONE message per
@@ -50,24 +56,25 @@ StatusOr<CollectionSyncResult> SyncCollection(const Collection& client,
 /// deletions.
 StatusOr<CollectionSyncResult> SyncCollectionBatched(
     const Collection& client, const Collection& server,
-    const SyncConfig& config, SimulatedChannel& channel);
+    const SyncConfig& config, SimulatedChannel& channel,
+    obs::SyncObserver* obs = nullptr);
 
 /// Same, using classic rsync per changed file (the baseline).
-StatusOr<CollectionSyncResult> SyncCollectionRsync(const Collection& client,
-                                                   const Collection& server,
-                                                   const RsyncParams& params);
+StatusOr<CollectionSyncResult> SyncCollectionRsync(
+    const Collection& client, const Collection& server,
+    const RsyncParams& params, obs::SyncObserver* obs = nullptr);
 
 /// Same, using the LBFS-style content-defined-chunking protocol per
 /// changed file (the "hash-based OS techniques" baseline).
-StatusOr<CollectionSyncResult> SyncCollectionCdc(const Collection& client,
-                                                 const Collection& server,
-                                                 const CdcSyncParams& params);
+StatusOr<CollectionSyncResult> SyncCollectionCdc(
+    const Collection& client, const Collection& server,
+    const CdcSyncParams& params, obs::SyncObserver* obs = nullptr);
 
 /// Same, using the pure recursive-partitioning "multiround rsync"
 /// baseline per changed file (the paper's prior-art starting point).
 StatusOr<CollectionSyncResult> SyncCollectionMultiround(
     const Collection& client, const Collection& server,
-    const MultiroundParams& params);
+    const MultiroundParams& params, obs::SyncObserver* obs = nullptr);
 
 /// Baseline: transferring every changed file in full, uncompressed.
 uint64_t CollectionFullTransferBytes(const Collection& client,

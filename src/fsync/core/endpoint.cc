@@ -303,6 +303,9 @@ Bytes SyncClientEndpoint::MakeRequest() {
 
 StatusOr<std::optional<Bytes>> SyncClientEndpoint::OnServerMessage(
     ByteSpan msg) {
+  if (observer_ != nullptr) {
+    msg_start_ = std::chrono::steady_clock::now();
+  }
   BitReader in(msg);
   if (!started_) {
     started_ = true;
@@ -450,6 +453,16 @@ void SyncClientEndpoint::RecordTrace() {
     t.min_block = 0;
   }
   trace_.push_back(t);
+  if (observer_ != nullptr) {
+    // The span from the server message's arrival to here covers hash
+    // decoding and the rolling-match pass — the client's per-round cost.
+    auto elapsed = std::chrono::steady_clock::now() - msg_start_;
+    observer_->RecordRound(
+        static_cast<uint32_t>(trace_.size()),
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
 }
 
 Status SyncClientEndpoint::ReadHashesAndMatch(BitReader& in) {

@@ -16,12 +16,14 @@
 #ifndef FSYNC_CORE_ENDPOINT_H_
 #define FSYNC_CORE_ENDPOINT_H_
 
+#include <chrono>
 #include <optional>
 #include <vector>
 
 #include "fsync/core/block_ledger.h"
 #include "fsync/core/config.h"
 #include "fsync/hash/fingerprint.h"
+#include "fsync/obs/sync_obs.h"
 #include "fsync/util/bit_io.h"
 #include "fsync/util/bytes.h"
 #include "fsync/util/status.h"
@@ -176,6 +178,12 @@ class SyncClientEndpoint : private core_internal::EndpointBase {
   const Bytes& result() const { return result_; }
   const std::vector<RoundTrace>& trace() const { return trace_; }
   int rounds_executed() const { return rounds_executed_; }
+
+  /// Optional observability hook: when set, every protocol sub-round
+  /// emits a kRound trace event whose wall-clock span covers the server
+  /// message's processing up to and including candidate matching (the
+  /// endpoint's dominant cost). Host-side only; never affects the wire.
+  void set_observer(obs::SyncObserver* obs) { observer_ = obs; }
   double confirmed_fraction() const {
     return ledger_.has_value() ? ledger_->ConfirmedFraction() : 1.0;
   }
@@ -188,6 +196,8 @@ class SyncClientEndpoint : private core_internal::EndpointBase {
 
   ByteSpan f_old_;
   Fingerprint fp_new_{};
+  obs::SyncObserver* observer_ = nullptr;
+  std::chrono::steady_clock::time_point msg_start_;
   bool started_ = false;
   bool done_ = false;
   bool unchanged_ = false;

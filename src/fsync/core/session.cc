@@ -9,7 +9,8 @@ namespace fsx {
 
 StatusOr<FileSyncResult> SynchronizeFile(ByteSpan f_old, ByteSpan f_new,
                                          const SyncConfig& config,
-                                         SimulatedChannel& channel) {
+                                         SimulatedChannel& channel,
+                                         obs::SyncObserver* obs) {
   using Dir = SimulatedChannel::Direction;
   if (config.start_block_size == 0 || config.min_block_size == 0 ||
       (config.start_block_size & (config.start_block_size - 1)) != 0) {
@@ -26,17 +27,26 @@ StatusOr<FileSyncResult> SynchronizeFile(ByteSpan f_old, ByteSpan f_new,
     return Status::InvalidArgument("bad verification configuration");
   }
 
+  ObservedSession scope(channel, obs, "session");
   SyncClientEndpoint client(f_old, config);
   SyncServerEndpoint server(f_new, config);
+  client.set_observer(obs);
   FileSyncResult result;
 
   // Request.
+  obs::SetPhase(obs, obs::Phase::kHandshake);
   channel.Send(Dir::kClientToServer, client.MakeRequest());
   FSYNC_ASSIGN_OR_RETURN(Bytes req, channel.Receive(Dir::kClientToServer));
   FSYNC_ASSIGN_OR_RETURN(Bytes server_msg, server.OnRequest(req));
 
-  // Map-construction + delta loop.
+  // Map-construction + delta loop. Server messages carry the round's
+  // candidate hashes (plus, mixed in, continuation hashes and eventually
+  // the delta — re-attributed below); client replies carry match bitmaps
+  // and verification hashes.
+  uint32_t exchange = 0;
   for (;;) {
+    obs::SetRound(obs, ++exchange);
+    obs::SetPhase(obs, obs::Phase::kCandidates);
     channel.Send(Dir::kServerToClient, server_msg);
     FSYNC_ASSIGN_OR_RETURN(Bytes msg, channel.Receive(Dir::kServerToClient));
     FSYNC_ASSIGN_OR_RETURN(std::optional<Bytes> reply,
@@ -44,6 +54,7 @@ StatusOr<FileSyncResult> SynchronizeFile(ByteSpan f_old, ByteSpan f_new,
     if (!reply.has_value()) {
       break;
     }
+    obs::SetPhase(obs, obs::Phase::kVerification);
     channel.Send(Dir::kClientToServer, *reply);
     FSYNC_ASSIGN_OR_RETURN(Bytes fwd, channel.Receive(Dir::kClientToServer));
     FSYNC_ASSIGN_OR_RETURN(server_msg, server.OnClientMessage(fwd));
@@ -51,7 +62,25 @@ StatusOr<FileSyncResult> SynchronizeFile(ByteSpan f_old, ByteSpan f_new,
   const uint64_t map_loop_s2c = channel.stats().server_to_client_bytes;
   const uint64_t map_loop_c2s = channel.stats().client_to_server_bytes;
 
+  if (obs != nullptr) {
+    // Per-message attribution charged every server message to
+    // kCandidates, but the final message embeds the delta payload and the
+    // round messages embed continuation hashes. Move those slices now
+    // that all sends are counted; Reattribute clamps, so totals (and the
+    // conformance cross-check) are preserved exactly.
+    obs->Reattribute(obs::Phase::kCandidates, obs::Phase::kDelta,
+                     obs::Flow::kDown, server.delta_payload_bytes());
+    uint64_t continuation_bits = 0;
+    for (const RoundTrace& t : client.trace()) {
+      continuation_bits += static_cast<uint64_t>(t.continuation_hashes) *
+                           EffectiveContinuationBits(config, t.round);
+    }
+    obs->Reattribute(obs::Phase::kCandidates, obs::Phase::kContinuation,
+                     obs::Flow::kDown, continuation_bits / 8);
+  }
+
   if (client.needs_fallback()) {
+    obs::SetPhase(obs, obs::Phase::kFallback);
     Bytes ask = {1};
     channel.Send(Dir::kClientToServer, ask);
     FSYNC_ASSIGN_OR_RETURN(Bytes ask_msg,

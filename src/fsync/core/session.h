@@ -34,9 +34,14 @@ struct FileSyncResult {
 /// On success the result's `reconstructed` equals `f_new` (guaranteed by
 /// the fingerprint check; a detected mismatch triggers the compressed
 /// full-transfer fallback, also through `channel`).
+/// When `obs` is non-null the session additionally attributes its wire
+/// traffic per phase (handshake / candidates / verification /
+/// continuation / delta / fallback) and emits per-round trace events;
+/// see fsync/obs/sync_obs.h. Passing nullptr costs one branch per send.
 StatusOr<FileSyncResult> SynchronizeFile(ByteSpan f_old, ByteSpan f_new,
                                          const SyncConfig& config,
-                                         SimulatedChannel& channel);
+                                         SimulatedChannel& channel,
+                                         obs::SyncObserver* obs = nullptr);
 
 }  // namespace fsx
 

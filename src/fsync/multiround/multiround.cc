@@ -1,5 +1,6 @@
 #include "fsync/multiround/multiround.h"
 
+#include <chrono>
 #include <unordered_map>
 #include <vector>
 
@@ -48,7 +49,7 @@ bool SplitUnresolved(std::vector<MrBlock>& blocks, uint32_t min_size) {
 
 StatusOr<MultiroundResult> MultiroundSynchronize(
     ByteSpan outdated, ByteSpan current, const MultiroundParams& params,
-    SimulatedChannel& channel) {
+    SimulatedChannel& channel, obs::SyncObserver* obs) {
   using Dir = SimulatedChannel::Direction;
   if (params.start_block_size == 0 ||
       (params.start_block_size & (params.start_block_size - 1)) != 0 ||
@@ -57,9 +58,11 @@ StatusOr<MultiroundResult> MultiroundSynchronize(
       params.strong_bits < 0 || params.strong_bits > 64) {
     return Status::InvalidArgument("multiround: bad parameters");
   }
+  ObservedSession scope(channel, obs, "multiround");
   MultiroundResult result;
 
   // Request: fingerprint for unchanged detection.
+  obs::SetPhase(obs, obs::Phase::kHandshake);
   Fingerprint old_fp = FileFingerprint(outdated);
   channel.Send(Dir::kClientToServer, ByteSpan(old_fp.data(), old_fp.size()));
   FSYNC_ASSIGN_OR_RETURN(Bytes req, channel.Receive(Dir::kClientToServer));
@@ -112,7 +115,12 @@ StatusOr<MultiroundResult> MultiroundSynchronize(
   bool more = !server_blocks.empty();
   while (more) {
     ++result.rounds;
+    obs::SetRound(obs, static_cast<uint32_t>(result.rounds));
+    const auto round_start = obs != nullptr
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
     // Server: one (weak, strong) hash per unresolved block.
+    obs::SetPhase(obs, obs::Phase::kCandidates);
     BitWriter hashes;
     for (const MrBlock& b : server_blocks) {
       if (b.resolved || b.size > outdated.size()) {
@@ -203,6 +211,7 @@ StatusOr<MultiroundResult> MultiroundSynchronize(
         b.src = p.pos;
       }
     }
+    obs::SetPhase(obs, obs::Phase::kVerification);
     channel.Send(Dir::kClientToServer, bitmap.Finish());
     FSYNC_ASSIGN_OR_RETURN(Bytes bmsg, channel.Receive(Dir::kClientToServer));
     BitReader bin(bmsg);
@@ -221,6 +230,14 @@ StatusOr<MultiroundResult> MultiroundSynchronize(
       return Status::Internal("multiround: state desync");
     }
     more = s_more;
+    if (obs != nullptr) {
+      auto elapsed = std::chrono::steady_clock::now() - round_start;
+      obs->RecordRound(
+          static_cast<uint32_t>(result.rounds),
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()));
+    }
   }
 
   // Server: ship the unresolved regions literally.
@@ -237,6 +254,7 @@ StatusOr<MultiroundResult> MultiroundSynchronize(
     msg.WriteBit(params.compress_literals);
     msg.WriteVarint(payload.size());
     msg.WriteBytes(payload);
+    obs::SetPhase(obs, obs::Phase::kLiterals);
     channel.Send(Dir::kServerToClient, msg.Finish());
   }
   FSYNC_ASSIGN_OR_RETURN(Bytes lit_msg,
@@ -274,6 +292,7 @@ StatusOr<MultiroundResult> MultiroundSynchronize(
 
   Fingerprint got = FileFingerprint(rebuilt);
   if (!std::equal(got.begin(), got.end(), fp_bytes.begin())) {
+    obs::SetPhase(obs, obs::Phase::kFallback);
     Bytes ask = {1};
     channel.Send(Dir::kClientToServer, ask);
     FSYNC_ASSIGN_OR_RETURN(Bytes ask_msg,

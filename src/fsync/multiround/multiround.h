@@ -42,7 +42,7 @@ struct MultiroundResult {
 /// exactly (fingerprint check + compressed full-transfer fallback).
 StatusOr<MultiroundResult> MultiroundSynchronize(
     ByteSpan outdated, ByteSpan current, const MultiroundParams& params,
-    SimulatedChannel& channel);
+    SimulatedChannel& channel, obs::SyncObserver* obs = nullptr);
 
 }  // namespace fsx
 

@@ -32,6 +32,15 @@ void SimulatedChannel::Send(Direction dir, ByteSpan payload) {
     }
     last_dir_ = dir;
   }
+  if (observer_ != nullptr) {
+    // Attribution happens here, against the same `wire` figure the stats
+    // were just charged, so phase sums match TrafficStats exactly — even
+    // for dropped/duplicated messages (cost reflects the original send).
+    observer_->OnWireMessage(dir == Direction::kClientToServer
+                                 ? obs::Flow::kUp
+                                 : obs::Flow::kDown,
+                             wire);
+  }
 
   auto& queue =
       dir == Direction::kClientToServer ? to_server_ : to_client_;

@@ -6,10 +6,12 @@
 #ifndef FSYNC_NET_CHANNEL_H_
 #define FSYNC_NET_CHANNEL_H_
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 
+#include "fsync/obs/sync_obs.h"
 #include "fsync/util/bytes.h"
 #include "fsync/util/status.h"
 
@@ -51,6 +53,15 @@ class SimulatedChannel {
   /// Resets traffic counters (queues must be empty).
   void ResetStats();
 
+  /// Attaches (or detaches, with nullptr) a sync observer. Every Send
+  /// reports its exact wire cost — payload plus framing, the same number
+  /// just added to stats() — to the observer under the phase the protocol
+  /// most recently declared, so per-phase sums equal TrafficStats by
+  /// construction. Observation never alters payloads, accounting, or
+  /// fault handling; with no observer the cost is one branch per Send.
+  void SetObserver(obs::SyncObserver* observer) { observer_ = observer; }
+  obs::SyncObserver* observer() const { return observer_; }
+
   /// Test hook: every queued message passes through `tamper` before
   /// delivery (fault injection for robustness tests). The byte accounting
   /// reflects the original payload, not the tampered one: the sender paid
@@ -75,12 +86,55 @@ class SimulatedChannel {
   }
 
  private:
+  obs::SyncObserver* observer_ = nullptr;
   std::function<void(Direction, Bytes&)> tamper_;
   std::function<FaultAction(Direction, ByteSpan)> fault_;
   std::deque<Bytes> to_server_;
   std::deque<Bytes> to_client_;
   TrafficStats stats_;
   Direction last_dir_ = Direction::kServerToClient;
+};
+
+/// RAII scope tying an observer to one protocol run over a channel:
+/// attaches the observer (when non-null), names the protocol for trace
+/// events, and on destruction records the session wall-clock span and
+/// detaches. Null observer = no-op, so protocol entry points can open
+/// the scope unconditionally:
+///
+///   StatusOr<R> FooSynchronize(..., SimulatedChannel& ch,
+///                              obs::SyncObserver* obs) {
+///     ObservedSession scope(ch, obs, "foo");
+///     ...
+///   }
+class ObservedSession {
+ public:
+  ObservedSession(SimulatedChannel& channel, obs::SyncObserver* observer,
+                  const char* protocol)
+      : channel_(channel), observer_(observer) {
+    if (observer_ != nullptr) {
+      previous_ = channel_.observer();
+      observer_->set_protocol(protocol);
+      channel_.SetObserver(observer_);
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ObservedSession() {
+    if (observer_ != nullptr) {
+      auto elapsed = std::chrono::steady_clock::now() - start_;
+      observer_->RecordSession(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+      channel_.SetObserver(previous_);
+    }
+  }
+  ObservedSession(const ObservedSession&) = delete;
+  ObservedSession& operator=(const ObservedSession&) = delete;
+
+ private:
+  SimulatedChannel& channel_;
+  obs::SyncObserver* observer_;
+  obs::SyncObserver* previous_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Link cost model: seconds to complete a session's traffic over a link

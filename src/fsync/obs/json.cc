@@ -1,0 +1,194 @@
+#include "fsync/obs/json.h"
+
+#include <cassert>
+#include <cinttypes>
+#include <cstdio>
+
+namespace fsx::obs {
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // comma was handled when the key was written
+  }
+  if (needs_comma_) {
+    out_ += ',';
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Context::kObject);
+  needs_comma_ = false;
+}
+
+void JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back() == Context::kObject);
+  stack_.pop_back();
+  out_ += '}';
+  needs_comma_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Context::kArray);
+  needs_comma_ = false;
+}
+
+void JsonWriter::EndArray() {
+  assert(!stack_.empty() && stack_.back() == Context::kArray);
+  stack_.pop_back();
+  out_ += ']';
+  needs_comma_ = true;
+}
+
+void JsonWriter::Key(const std::string& name) {
+  assert(!stack_.empty() && stack_.back() == Context::kObject);
+  if (needs_comma_) {
+    out_ += ',';
+  }
+  out_ += '"';
+  AppendEscaped(name);
+  out_ += "\":";
+  needs_comma_ = false;
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  AppendEscaped(value);
+  out_ += '"';
+  needs_comma_ = true;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out_ += buf;
+  needs_comma_ = true;
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out_ += buf;
+  needs_comma_ = true;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+  needs_comma_ = true;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  needs_comma_ = true;
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  needs_comma_ = true;
+}
+
+std::string JsonWriter::Take() {
+  assert(stack_.empty());
+  std::string result = std::move(out_);
+  out_.clear();
+  needs_comma_ = false;
+  pending_key_ = false;
+  return result;
+}
+
+void JsonWriter::AppendEscaped(const std::string& s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+void WritePhaseBytes(JsonWriter& w, const SyncObserver& obs) {
+  w.BeginObject();
+  for (int p = 0; p < kNumPhases; ++p) {
+    const Phase phase = static_cast<Phase>(p);
+    if (obs.phase_bytes(phase) == 0) {
+      continue;
+    }
+    w.Key(PhaseName(phase));
+    w.BeginObject();
+    w.Key("up");
+    w.Uint(obs.phase_bytes(phase, Flow::kUp));
+    w.Key("down");
+    w.Uint(obs.phase_bytes(phase, Flow::kDown));
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+void WriteMetrics(JsonWriter& w, const MetricsRegistry& registry) {
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, counter] : registry.counters()) {
+    w.Key(name);
+    w.Uint(counter.value());
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, hist] : registry.histograms()) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(hist.count());
+    w.Key("sum");
+    w.Uint(hist.sum());
+    w.Key("min");
+    w.Uint(hist.min());
+    w.Key("max");
+    w.Uint(hist.max());
+    w.Key("mean");
+    w.Double(hist.mean());
+    w.Key("p50");
+    w.Uint(hist.PercentileUpperBound(0.50));
+    w.Key("p99");
+    w.Uint(hist.PercentileUpperBound(0.99));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace fsx::obs

@@ -1,0 +1,72 @@
+// Minimal JSON emitter for the observability layer: a streaming writer
+// with automatic comma/nesting management plus helpers that serialize a
+// SyncObserver's per-phase byte matrix and a MetricsRegistry. This is
+// the only JSON producer in the repo (no third-party dependency); the
+// BENCH_*.json schema built on it is documented in docs/benchmarks.md
+// and validated by tools/validate_bench_json.py.
+#ifndef FSYNC_OBS_JSON_H_
+#define FSYNC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsync/obs/metrics.h"
+#include "fsync/obs/sync_obs.h"
+
+namespace fsx::obs {
+
+/// Streaming JSON writer. Tracks the open object/array contexts so
+/// callers never emit commas or braces by hand; strings are escaped per
+/// RFC 8259 (quotes, backslash, control characters). Numbers are written
+/// as unsigned decimal (uint64) or shortest-round-trip double.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("schema"); w.String("fsx-bench-v1");
+///   w.Key("results"); w.BeginArray();
+///   ... w.EndArray();
+///   w.EndObject();
+///   std::string out = w.Take();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  /// Emits the key for the next value; must be inside an object.
+  void Key(const std::string& name);
+  void String(const std::string& value);
+  void Uint(uint64_t value);
+  void Int(int64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Returns the finished document; all contexts must be closed.
+  std::string Take();
+
+ private:
+  enum class Context : uint8_t { kObject, kArray };
+  void BeforeValue();
+  void AppendEscaped(const std::string& s);
+
+  std::string out_;
+  std::vector<Context> stack_;
+  bool needs_comma_ = false;
+  bool pending_key_ = false;
+};
+
+/// Writes the observer's nonzero per-phase byte matrix as an object:
+///   {"candidates": {"up": 12, "down": 3400}, ...}
+/// Emitted inside an open object position (after Key()).
+void WritePhaseBytes(JsonWriter& w, const SyncObserver& obs);
+
+/// Writes a registry as {"counters": {...}, "histograms": {...}} where
+/// each histogram carries count/sum/min/max/mean/p50/p99 summaries.
+void WriteMetrics(JsonWriter& w, const MetricsRegistry& registry);
+
+}  // namespace fsx::obs
+
+#endif  // FSYNC_OBS_JSON_H_

@@ -1,0 +1,56 @@
+#include "fsync/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace fsx::obs {
+
+void Histogram::Record(uint64_t value) {
+  // bit_width(0) == 0, so the value 0 lands in bucket 0 and values in
+  // [2^(i-1), 2^i) land in bucket i — exactly the documented layout.
+  ++buckets_[std::bit_width(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+uint64_t Histogram::PercentileUpperBound(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested percentile, 1-based, rounded up.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(p * static_cast<double>(count_) + 0.5));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      if (i == 0) {
+        return 0;
+      }
+      // Upper edge of bucket i is 2^i - 1; clamp to the exact max so the
+      // estimate never exceeds an observed value.
+      const uint64_t edge =
+          i >= 64 ? ~uint64_t{0} : (uint64_t{1} << i) - 1;
+      return std::min(edge, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace fsx::obs

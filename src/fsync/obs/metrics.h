@@ -1,0 +1,125 @@
+// Lightweight process-local metrics primitives for the synchronization
+// library: monotonic counters, power-of-two-bucketed histograms for byte
+// and duration distributions, and an RAII scoped timer. Everything here
+// is host-side instrumentation only — nothing in this module ever adds a
+// byte to any wire format (pinned by tests/obs_test.cc).
+//
+// Design constraints (see docs/architecture.md, "obs layer"):
+//  - zero dependencies beyond fsync/util, so every module may link it;
+//  - no locks and no allocation on the hot recording paths (Counter::Add
+//    and Histogram::Record are a few arithmetic instructions);
+//  - a registry that names instruments for machine-readable emission
+//    (fsync/obs/json.h) without the instruments knowing about JSON.
+#ifndef FSYNC_OBS_METRICS_H_
+#define FSYNC_OBS_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace fsx::obs {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_ += n; }
+  void Increment() { ++value_; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+/// Histogram over uint64 values with power-of-two buckets: bucket 0
+/// holds the value 0, bucket i >= 1 holds values in [2^(i-1), 2^i).
+/// 65 buckets cover the full uint64 range; recording is a bit_width plus
+/// one increment. Tracks exact count/sum/min/max alongside the buckets.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;
+
+  void Record(uint64_t value);
+  /// Adds every observation of `other` into this histogram (used to
+  /// aggregate per-session instruments into a long-lived registry).
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  /// Smallest / largest recorded value; 0 when empty.
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+  uint64_t bucket(int i) const { return buckets_[i]; }
+
+  /// Upper-bound estimate of the p-th percentile (p in [0, 1]): the
+  /// upper edge of the bucket containing that rank. Exact for min/max.
+  uint64_t PercentileUpperBound(double p) const;
+
+ private:
+  uint64_t buckets_[kNumBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~uint64_t{0};
+  uint64_t max_ = 0;
+};
+
+/// Named instruments, created on first use. Name lookup allocates and is
+/// not for per-message paths: resolve instruments once, record through
+/// the returned references (stable for the registry's lifetime).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// Ordered iteration for emitters (fsync/obs/json.h).
+  const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// RAII wall-clock span: records elapsed nanoseconds into a histogram at
+/// scope exit. A null histogram makes the timer a no-op (the no-sink
+/// fast path costs one branch and no clock read).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* sink) : sink_(sink) {
+    if (sink_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (sink_ != nullptr) {
+      sink_->Record(ElapsedNs());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  uint64_t ElapsedNs() const {
+    if (sink_ == nullptr) {
+      return 0;
+    }
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+  }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fsx::obs
+
+#endif  // FSYNC_OBS_METRICS_H_

@@ -1,0 +1,107 @@
+// Trace-event vocabulary for the observability layer: the phase taxonomy
+// every protocol attributes its traffic to, the flow direction relative
+// to the client, and the TraceEvent/TraceSink pair that carries per-
+// message, per-round, and per-session records to an optional consumer.
+//
+// The taxonomy follows the paper's Section 6 breakdowns: candidate
+// hashes, verification (group/salvage) hashes, continuation hashes, the
+// final delta, raw literals, and the compressed-full-transfer fallback.
+// Protocols attribute each wire message to the phase that dominates it —
+// the mapping per protocol is documented in docs/architecture.md.
+#ifndef FSYNC_OBS_TRACE_H_
+#define FSYNC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsx::obs {
+
+/// What a wire message (or a reattributed slice of one) pays for.
+enum class Phase : uint8_t {
+  kHandshake,     ///< fingerprints, verdicts, parameter negotiation
+  kCandidates,    ///< candidate block/chunk hashes (map construction)
+  kVerification,  ///< group/salvage verification hashes, match bitmaps
+  kContinuation,  ///< continuation hashes inside session round messages
+  kLiterals,      ///< raw or chunk literals shipped to fill holes
+  kDelta,         ///< encoded delta payload (zd / vcdiff / bsdiff)
+  kFallback,      ///< compressed full-file transfer after a failure
+};
+
+inline constexpr int kNumPhases = 7;
+
+/// Stable lower-case name, used as the JSON key in BENCH_*.json.
+inline const char* PhaseName(Phase p) {
+  switch (p) {
+    case Phase::kHandshake:
+      return "handshake";
+    case Phase::kCandidates:
+      return "candidates";
+    case Phase::kVerification:
+      return "verification";
+    case Phase::kContinuation:
+      return "continuation";
+    case Phase::kLiterals:
+      return "literals";
+    case Phase::kDelta:
+      return "delta";
+    case Phase::kFallback:
+      return "fallback";
+  }
+  return "unknown";
+}
+
+/// Direction of a wire message relative to the client. Mirrors
+/// SimulatedChannel::Direction without depending on fsync/net (obs is a
+/// leaf library linked by net, not the other way around).
+enum class Flow : uint8_t {
+  kUp,    ///< client -> server
+  kDown,  ///< server -> client
+};
+
+inline const char* FlowName(Flow f) {
+  return f == Flow::kUp ? "up" : "down";
+}
+
+/// What a TraceEvent describes.
+enum class EventKind : uint8_t {
+  kMessage,  ///< one wire message: phase, dir, bytes (incl. framing)
+  kRound,    ///< one protocol round completed: round index, wall_ns
+  kSession,  ///< whole session span: total bytes observed, wall_ns
+};
+
+/// One observation delivered to a TraceSink. Fields not meaningful for a
+/// kind are zero (e.g. a kMessage event has wall_ns == 0).
+struct TraceEvent {
+  const char* protocol = "";  ///< stable protocol name ("rsync", ...)
+  EventKind kind = EventKind::kMessage;
+  uint32_t round = 0;    ///< protocol round the event belongs to
+  Phase phase = Phase::kHandshake;
+  Flow dir = Flow::kUp;
+  uint64_t bytes = 0;    ///< wire bytes including framing cost
+  uint64_t wall_ns = 0;  ///< elapsed wall-clock for kRound / kSession
+};
+
+/// Consumer of trace events. Implementations must tolerate events from
+/// interleaved protocols (collection sync runs one session per file).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const TraceEvent& event) = 0;
+};
+
+/// Sink that buffers every event; for tests and post-run inspection.
+class VectorTraceSink : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent& event) override {
+    events_.push_back(event);
+  }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace fsx::obs
+
+#endif  // FSYNC_OBS_TRACE_H_

@@ -1,6 +1,7 @@
 #include "fsync/reconcile/merkle.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "fsync/hash/md5.h"
 #include "fsync/util/bit_io.h"
@@ -147,11 +148,13 @@ uint64_t FullExchangeBytes(const FileDigestMap& client_files) {
 StatusOr<ReconcileResult> MerkleReconcile(const FileDigestMap& client_files,
                                           const FileDigestMap& server_files,
                                           const MerkleParams& params,
-                                          SimulatedChannel& channel) {
+                                          SimulatedChannel& channel,
+                                          obs::SyncObserver* obs) {
   using Dir = SimulatedChannel::Direction;
   if (params.node_hash_bytes == 0 || params.node_hash_bytes > 8) {
     return Status::InvalidArgument("merkle: node_hash_bytes in [1,8]");
   }
+  ObservedSession scope(channel, obs, "merkle");
   ReconcileResult result;
   std::vector<Entry> client = BuildEntries(client_files);
   std::vector<Entry> server = BuildEntries(server_files);
@@ -164,7 +167,12 @@ StatusOr<ReconcileResult> MerkleReconcile(const FileDigestMap& client_files,
 
   while (!pending.empty()) {
     ++result.rounds;
+    obs::SetRound(obs, static_cast<uint32_t>(result.rounds));
+    const auto round_start = obs != nullptr
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
     // Client -> server: the nodes it wants resolved (+ root hash once).
+    obs::SetPhase(obs, obs::Phase::kCandidates);
     BitWriter ask;
     ask.WriteVarint(pending.size());
     for (NodeId n : pending) {
@@ -191,6 +199,7 @@ StatusOr<ReconcileResult> MerkleReconcile(const FileDigestMap& client_files,
       asked.push_back(n);
     }
     BitWriter reply;
+    bool reply_has_leaves = false;
     for (size_t i = 0; i < asked.size(); ++i) {
       NodeId n = asked[i];
       if (first_round && i == 0) {
@@ -206,6 +215,7 @@ StatusOr<ReconcileResult> MerkleReconcile(const FileDigestMap& client_files,
       if (hi - lo <= params.leaf_batch || n.depth >= kMaxDepth) {
         reply.WriteBits(kReplyLeaves, 2);
         WriteEntryList(reply, server, lo, hi);
+        reply_has_leaves = true;
       } else {
         reply.WriteBits(kReplyChildren, 2);
         for (int bit = 0; bit < 2; ++bit) {
@@ -215,6 +225,10 @@ StatusOr<ReconcileResult> MerkleReconcile(const FileDigestMap& client_files,
         }
       }
     }
+    // Replies carrying entry lists are dominated by the shipped leaves;
+    // pure child-hash replies stay in the candidate phase.
+    obs::SetPhase(obs, reply_has_leaves ? obs::Phase::kLiterals
+                                        : obs::Phase::kCandidates);
     channel.Send(Dir::kServerToClient, reply.Finish());
     FSYNC_ASSIGN_OR_RETURN(Bytes reply_msg,
                            channel.Receive(Dir::kServerToClient));
@@ -276,6 +290,14 @@ StatusOr<ReconcileResult> MerkleReconcile(const FileDigestMap& client_files,
     }
     pending = std::move(next);
     first_round = false;
+    if (obs != nullptr) {
+      auto elapsed = std::chrono::steady_clock::now() - round_start;
+      obs->RecordRound(
+          static_cast<uint32_t>(result.rounds),
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()));
+    }
   }
 
   std::sort(result.stale.begin(), result.stale.end());

@@ -52,7 +52,8 @@ struct MerkleParams {
 StatusOr<ReconcileResult> MerkleReconcile(const FileDigestMap& client_files,
                                           const FileDigestMap& server_files,
                                           const MerkleParams& params,
-                                          SimulatedChannel& channel);
+                                          SimulatedChannel& channel,
+                                          obs::SyncObserver* obs = nullptr);
 
 /// Baseline for comparison: the full fingerprint exchange used by
 /// SyncCollection (client sends every (name, fingerprint)).

@@ -238,11 +238,14 @@ StatusOr<CommandList> RsyncDecodeCommands(ByteSpan stream,
 
 StatusOr<RsyncResult> RsyncSynchronize(ByteSpan outdated, ByteSpan current,
                                        const RsyncParams& params,
-                                       SimulatedChannel& channel) {
+                                       SimulatedChannel& channel,
+                                       obs::SyncObserver* obs) {
   using Dir = SimulatedChannel::Direction;
+  ObservedSession scope(channel, obs, "rsync");
   RsyncResult result;
 
   // 1. Client announces its file fingerprint (and requests the sync).
+  obs::SetPhase(obs, obs::Phase::kHandshake);
   Fingerprint old_fp = FileFingerprint(outdated);
   channel.Send(Dir::kClientToServer, ByteSpan(old_fp.data(), old_fp.size()));
 
@@ -270,6 +273,7 @@ StatusOr<RsyncResult> RsyncSynchronize(ByteSpan outdated, ByteSpan current,
   }
 
   // 3. Client sends block signatures.
+  obs::SetPhase(obs, obs::Phase::kCandidates);
   std::vector<BlockSignature> sigs = ComputeSignatures(outdated, params);
   channel.Send(Dir::kClientToServer, EncodeSignatures(sigs, params));
 
@@ -278,6 +282,7 @@ StatusOr<RsyncResult> RsyncSynchronize(ByteSpan outdated, ByteSpan current,
   FSYNC_ASSIGN_OR_RETURN(std::vector<BlockSignature> server_sigs,
                          DecodeSignatures(sig_msg, params));
   Bytes stream = RsyncServerEncode(current, server_sigs, params);
+  obs::SetPhase(obs, obs::Phase::kDelta);
   channel.Send(Dir::kServerToClient, stream);
 
   // 5. Client reconstructs and verifies against the file fingerprint the
@@ -289,6 +294,7 @@ StatusOr<RsyncResult> RsyncSynchronize(ByteSpan outdated, ByteSpan current,
   Fingerprint got_fp = FileFingerprint(rebuilt);
   if (!std::equal(got_fp.begin(), got_fp.end(), want_fp.begin())) {
     // Strong-hash collision defeated the block checksums: fall back.
+    obs::SetPhase(obs, obs::Phase::kFallback);
     Bytes full = Compress(current);
     channel.Send(Dir::kServerToClient, full);
     FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,
@@ -308,15 +314,16 @@ StatusOr<RsyncResult> RsyncSynchronize(ByteSpan outdated, ByteSpan current,
   return result;
 }
 
-StatusOr<InplaceSyncResult> InplaceSynchronize(ByteSpan outdated,
-                                               ByteSpan current,
-                                               const RsyncParams& params,
-                                               SimulatedChannel& channel) {
+StatusOr<InplaceSyncResult> InplaceSynchronize(
+    ByteSpan outdated, ByteSpan current, const RsyncParams& params,
+    SimulatedChannel& channel, obs::SyncObserver* obs) {
   using Dir = SimulatedChannel::Direction;
+  ObservedSession scope(channel, obs, "inplace");
   InplaceSyncResult result;
 
   // Wire flow is identical to RsyncSynchronize: fingerprint exchange,
   // signatures, token stream. Only the client's apply step differs.
+  obs::SetPhase(obs, obs::Phase::kHandshake);
   Fingerprint old_fp = FileFingerprint(outdated);
   channel.Send(Dir::kClientToServer, ByteSpan(old_fp.data(), old_fp.size()));
 
@@ -340,6 +347,7 @@ StatusOr<InplaceSyncResult> InplaceSynchronize(ByteSpan outdated,
     return result;
   }
 
+  obs::SetPhase(obs, obs::Phase::kCandidates);
   std::vector<BlockSignature> sigs = ComputeSignatures(outdated, params);
   channel.Send(Dir::kClientToServer, EncodeSignatures(sigs, params));
 
@@ -347,6 +355,7 @@ StatusOr<InplaceSyncResult> InplaceSynchronize(ByteSpan outdated,
   FSYNC_ASSIGN_OR_RETURN(std::vector<BlockSignature> server_sigs,
                          DecodeSignatures(sig_msg, params));
   Bytes stream = RsyncServerEncode(current, server_sigs, params);
+  obs::SetPhase(obs, obs::Phase::kDelta);
   channel.Send(Dir::kServerToClient, stream);
 
   FSYNC_ASSIGN_OR_RETURN(Bytes stream_msg,
@@ -364,6 +373,7 @@ StatusOr<InplaceSyncResult> InplaceSynchronize(ByteSpan outdated,
   ByteSpan want_fp = ByteSpan(v).subspan(1, 16);
   Fingerprint got_fp = FileFingerprint(rebuilt);
   if (!std::equal(got_fp.begin(), got_fp.end(), want_fp.begin())) {
+    obs::SetPhase(obs, obs::Phase::kFallback);
     Bytes full = Compress(current);
     channel.Send(Dir::kServerToClient, full);
     FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,

@@ -84,7 +84,8 @@ struct RsyncResult {
 /// and whole-file verification with full-transfer fallback.
 StatusOr<RsyncResult> RsyncSynchronize(ByteSpan outdated, ByteSpan current,
                                        const RsyncParams& params,
-                                       SimulatedChannel& channel);
+                                       SimulatedChannel& channel,
+                                       obs::SyncObserver* obs = nullptr);
 
 /// Result of an in-place rsync session.
 struct InplaceSyncResult {
@@ -102,10 +103,9 @@ struct InplaceSyncResult {
 /// into an explicit command list and applied inside a single buffer, as a
 /// constrained-memory receiver would. Wire traffic matches
 /// RsyncSynchronize; reconstruction and verification differ.
-StatusOr<InplaceSyncResult> InplaceSynchronize(ByteSpan outdated,
-                                               ByteSpan current,
-                                               const RsyncParams& params,
-                                               SimulatedChannel& channel);
+StatusOr<InplaceSyncResult> InplaceSynchronize(
+    ByteSpan outdated, ByteSpan current, const RsyncParams& params,
+    SimulatedChannel& channel, obs::SyncObserver* obs = nullptr);
 
 /// "Idealized rsync": runs RsyncSynchronize for each candidate block size
 /// and returns the cheapest session (the per-file oracle the paper compares

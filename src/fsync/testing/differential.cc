@@ -16,7 +16,8 @@ void CheckOne(const ProtocolEntry& protocol, const CorpusPair& pair,
   };
 
   SimulatedChannel channel;
-  auto r = protocol.run(pair.f_old, pair.f_new, channel);
+  obs::SyncObserver observer;
+  auto r = protocol.run(pair.f_old, pair.f_new, channel, &observer);
   if (!r.ok()) {
     fail("status: " + r.status().ToString());
     return;
@@ -76,6 +77,22 @@ void CheckOne(const ProtocolEntry& protocol, const CorpusPair& pair,
     os << "traffic " << truth.total_bytes()
        << " exceeds bound " << static_cast<uint64_t>(bound)
        << " (compressed full transfer is " << full << ")";
+    fail(os.str());
+  }
+
+  // 6. Complete phase attribution: every wire byte the channel charged
+  //    must land in exactly one (phase, direction) bucket of the
+  //    observer, per direction. A protocol that sends without declaring
+  //    a phase, or reattributes more than it sent, breaks the equality.
+  if (observer.dir_bytes(obs::Flow::kUp) != truth.client_to_server_bytes ||
+      observer.dir_bytes(obs::Flow::kDown) !=
+          truth.server_to_client_bytes) {
+    std::ostringstream os;
+    os << "phase attribution disagrees with channel totals: up "
+       << observer.dir_bytes(obs::Flow::kUp) << " vs "
+       << truth.client_to_server_bytes << ", down "
+       << observer.dir_bytes(obs::Flow::kDown) << " vs "
+       << truth.server_to_client_bytes;
     fail(os.str());
   }
 }

@@ -11,10 +11,11 @@ namespace fsx {
 namespace {
 
 StatusOr<ProtocolOutcome> RunRsync(ByteSpan f_old, ByteSpan f_new,
-                                   SimulatedChannel& channel) {
+                                   SimulatedChannel& channel,
+                                   obs::SyncObserver* obs) {
   RsyncParams params;
-  FSYNC_ASSIGN_OR_RETURN(RsyncResult r,
-                         RsyncSynchronize(f_old, f_new, params, channel));
+  FSYNC_ASSIGN_OR_RETURN(
+      RsyncResult r, RsyncSynchronize(f_old, f_new, params, channel, obs));
   ProtocolOutcome out;
   out.reconstructed = std::move(r.reconstructed);
   out.stats = r.stats;
@@ -23,10 +24,12 @@ StatusOr<ProtocolOutcome> RunRsync(ByteSpan f_old, ByteSpan f_new,
 }
 
 StatusOr<ProtocolOutcome> RunInplace(ByteSpan f_old, ByteSpan f_new,
-                                     SimulatedChannel& channel) {
+                                     SimulatedChannel& channel,
+                                     obs::SyncObserver* obs) {
   RsyncParams params;
-  FSYNC_ASSIGN_OR_RETURN(InplaceSyncResult r,
-                         InplaceSynchronize(f_old, f_new, params, channel));
+  FSYNC_ASSIGN_OR_RETURN(
+      InplaceSyncResult r,
+      InplaceSynchronize(f_old, f_new, params, channel, obs));
   ProtocolOutcome out;
   out.reconstructed = std::move(r.reconstructed);
   out.stats = r.stats;
@@ -35,10 +38,11 @@ StatusOr<ProtocolOutcome> RunInplace(ByteSpan f_old, ByteSpan f_new,
 }
 
 StatusOr<ProtocolOutcome> RunZsync(ByteSpan f_old, ByteSpan f_new,
-                                   SimulatedChannel& channel) {
+                                   SimulatedChannel& channel,
+                                   obs::SyncObserver* obs) {
   ZsyncParams params;
-  FSYNC_ASSIGN_OR_RETURN(ZsyncSyncResult r,
-                         ZsyncSynchronize(f_old, f_new, params, channel));
+  FSYNC_ASSIGN_OR_RETURN(
+      ZsyncSyncResult r, ZsyncSynchronize(f_old, f_new, params, channel, obs));
   ProtocolOutcome out;
   out.reconstructed = std::move(r.reconstructed);
   out.stats = r.stats;
@@ -47,10 +51,11 @@ StatusOr<ProtocolOutcome> RunZsync(ByteSpan f_old, ByteSpan f_new,
 }
 
 StatusOr<ProtocolOutcome> RunCdc(ByteSpan f_old, ByteSpan f_new,
-                                 SimulatedChannel& channel) {
+                                 SimulatedChannel& channel,
+                                 obs::SyncObserver* obs) {
   CdcSyncParams params;
   FSYNC_ASSIGN_OR_RETURN(CdcSyncResult r,
-                         CdcSynchronize(f_old, f_new, params, channel));
+                         CdcSynchronize(f_old, f_new, params, channel, obs));
   ProtocolOutcome out;
   out.reconstructed = std::move(r.reconstructed);
   out.stats = r.stats;
@@ -59,11 +64,12 @@ StatusOr<ProtocolOutcome> RunCdc(ByteSpan f_old, ByteSpan f_new,
 }
 
 StatusOr<ProtocolOutcome> RunMultiround(ByteSpan f_old, ByteSpan f_new,
-                                        SimulatedChannel& channel) {
+                                        SimulatedChannel& channel,
+                                        obs::SyncObserver* obs) {
   MultiroundParams params;
   FSYNC_ASSIGN_OR_RETURN(
       MultiroundResult r,
-      MultiroundSynchronize(f_old, f_new, params, channel));
+      MultiroundSynchronize(f_old, f_new, params, channel, obs));
   ProtocolOutcome out;
   out.reconstructed = std::move(r.reconstructed);
   out.stats = r.stats;
@@ -73,10 +79,11 @@ StatusOr<ProtocolOutcome> RunMultiround(ByteSpan f_old, ByteSpan f_new,
 }
 
 StatusOr<ProtocolOutcome> RunSession(ByteSpan f_old, ByteSpan f_new,
-                                     SimulatedChannel& channel) {
+                                     SimulatedChannel& channel,
+                                     obs::SyncObserver* obs) {
   SyncConfig config;
   FSYNC_ASSIGN_OR_RETURN(FileSyncResult r,
-                         SynchronizeFile(f_old, f_new, config, channel));
+                         SynchronizeFile(f_old, f_new, config, channel, obs));
   ProtocolOutcome out;
   out.reconstructed = std::move(r.reconstructed);
   out.stats = r.stats;
@@ -86,13 +93,14 @@ StatusOr<ProtocolOutcome> RunSession(ByteSpan f_old, ByteSpan f_new,
 }
 
 StatusOr<ProtocolOutcome> RunSessionCapped(ByteSpan f_old, ByteSpan f_new,
-                                           SimulatedChannel& channel) {
+                                           SimulatedChannel& channel,
+                                           obs::SyncObserver* obs) {
   // The paper's restricted-roundtrip mode: the map phase is cut short and
   // the delta phase must absorb whatever is unresolved.
   SyncConfig config;
   config.max_roundtrips = 2;
   FSYNC_ASSIGN_OR_RETURN(FileSyncResult r,
-                         SynchronizeFile(f_old, f_new, config, channel));
+                         SynchronizeFile(f_old, f_new, config, channel, obs));
   ProtocolOutcome out;
   out.reconstructed = std::move(r.reconstructed);
   out.stats = r.stats;

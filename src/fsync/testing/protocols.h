@@ -23,9 +23,13 @@ struct ProtocolOutcome {
   int rounds = 0;  // protocol rounds when the protocol counts them
 };
 
-/// Runs one protocol end to end over `channel`.
+/// Runs one protocol end to end over `channel`. `obs` may be null; when
+/// set, the protocol attributes every wire message to a phase through it
+/// (the conformance suite cross-checks those sums against the channel's
+/// TrafficStats).
 using ProtocolFn = std::function<StatusOr<ProtocolOutcome>(
-    ByteSpan f_old, ByteSpan f_new, SimulatedChannel& channel)>;
+    ByteSpan f_old, ByteSpan f_new, SimulatedChannel& channel,
+    obs::SyncObserver* obs)>;
 
 struct ProtocolEntry {
   std::string name;

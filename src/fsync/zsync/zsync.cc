@@ -248,19 +248,24 @@ StatusOr<Bytes> ApplyZsync(ByteSpan outdated, const ZsyncPlan& plan,
 StatusOr<ZsyncSyncResult> ZsyncSynchronize(ByteSpan outdated,
                                            ByteSpan current,
                                            const ZsyncParams& params,
-                                           SimulatedChannel& channel) {
+                                           SimulatedChannel& channel,
+                                           obs::SyncObserver* obs) {
   using Dir = SimulatedChannel::Direction;
   FSYNC_RETURN_IF_ERROR(ValidateParams(params));
+  ObservedSession scope(channel, obs, "zsync");
   ZsyncSyncResult result;
 
   // 1. Client asks for the control file (one request byte: in a real
   //    deployment this is the HTTP GET of the .zsync file).
+  obs::SetPhase(obs, obs::Phase::kHandshake);
   Bytes get = {0x5A};
   channel.Send(Dir::kClientToServer, get);
   FSYNC_ASSIGN_OR_RETURN(Bytes req, channel.Receive(Dir::kClientToServer));
   (void)req;
 
-  // 2. Server publishes the control file.
+  // 2. Server publishes the control file (the per-block hash list — the
+  //    candidate phase of this protocol).
+  obs::SetPhase(obs, obs::Phase::kCandidates);
   FSYNC_ASSIGN_OR_RETURN(Bytes control, MakeZsyncControl(current, params));
   channel.Send(Dir::kServerToClient, control);
 
@@ -271,6 +276,7 @@ StatusOr<ZsyncSyncResult> ZsyncSynchronize(ByteSpan outdated,
   FSYNC_ASSIGN_OR_RETURN(ZsyncPlan plan,
                          PlanFromControl(outdated, control_msg));
   result.covered_fraction = plan.CoveredFraction();
+  obs::SetPhase(obs, obs::Phase::kVerification);
   channel.Send(Dir::kClientToServer, EncodeRangeRequest(plan));
 
   // 4. Server serves the ranges (the HTTP range request).
@@ -278,6 +284,7 @@ StatusOr<ZsyncSyncResult> ZsyncSynchronize(ByteSpan outdated,
                          channel.Receive(Dir::kClientToServer));
   FSYNC_ASSIGN_OR_RETURN(Bytes ranges,
                          ServeRanges(current, range_req, params));
+  obs::SetPhase(obs, obs::Phase::kLiterals);
   channel.Send(Dir::kServerToClient, ranges);
 
   // 5. Client reassembles and verifies. A mismatch (hash collision in the
@@ -291,6 +298,7 @@ StatusOr<ZsyncSyncResult> ZsyncSynchronize(ByteSpan outdated,
     return result;
   }
 
+  obs::SetPhase(obs, obs::Phase::kFallback);
   Bytes ask = {1};
   channel.Send(Dir::kClientToServer, ask);
   FSYNC_ASSIGN_OR_RETURN(Bytes ask_msg,

@@ -87,7 +87,8 @@ struct ZsyncSyncResult {
 StatusOr<ZsyncSyncResult> ZsyncSynchronize(ByteSpan outdated,
                                            ByteSpan current,
                                            const ZsyncParams& params,
-                                           SimulatedChannel& channel);
+                                           SimulatedChannel& channel,
+                                           obs::SyncObserver* obs = nullptr);
 
 }  // namespace fsx
 

@@ -78,7 +78,7 @@ TEST(Conformance, UnchangedFilesCostAlmostNothing) {
       continue;
     }
     SimulatedChannel channel;
-    auto r = protocol.run(pair.f_old, pair.f_new, channel);
+    auto r = protocol.run(pair.f_old, pair.f_new, channel, nullptr);
     ASSERT_TRUE(r.ok()) << protocol.name << ": " << r.status().ToString();
     EXPECT_EQ(r->reconstructed, pair.f_new) << protocol.name;
     EXPECT_LT(r->stats.total_bytes(), 256u)
@@ -90,7 +90,8 @@ TEST(Conformance, ReportSummarizesFailures) {
   // A protocol that always returns garbage must be caught and named.
   std::vector<ProtocolEntry> protocols = {
       {"liar",
-       [](ByteSpan, ByteSpan, SimulatedChannel& channel) {
+       [](ByteSpan, ByteSpan, SimulatedChannel& channel,
+          obs::SyncObserver*) {
          Bytes one = {1};
          channel.Send(SimulatedChannel::Direction::kClientToServer, one);
          (void)channel.Receive(SimulatedChannel::Direction::kClientToServer);

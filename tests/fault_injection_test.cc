@@ -41,7 +41,7 @@ TEST_P(FaultInjection, ErrorOrExactUnderEveryFault) {
         spec.seed = base_seed ^ (static_cast<uint64_t>(kind) << 32);
         SimulatedChannel channel;
         ArmFault(channel, spec);
-        auto r = protocol.run(pair.f_old, pair.f_new, channel);
+        auto r = protocol.run(pair.f_old, pair.f_new, channel, nullptr);
         if (r.ok()) {
           EXPECT_EQ(r->reconstructed, pair.f_new)
               << "SILENT CORRUPTION: " << protocol.name << " under "
@@ -70,7 +70,7 @@ TEST(FaultInjection, EveryMessageOfOneSessionBitFlipped) {
     clean.SetTamper([&messages](SimulatedChannel::Direction, Bytes&) {
       ++messages;
     });
-    auto clean_run = protocol.run(pair.f_old, pair.f_new, clean);
+    auto clean_run = protocol.run(pair.f_old, pair.f_new, clean, nullptr);
     ASSERT_TRUE(clean_run.ok()) << protocol.name;
     ASSERT_GT(messages, 0u) << protocol.name;
 
@@ -81,7 +81,7 @@ TEST(FaultInjection, EveryMessageOfOneSessionBitFlipped) {
       spec.seed = base_seed + target;
       SimulatedChannel channel;
       ArmFault(channel, spec);
-      auto r = protocol.run(pair.f_old, pair.f_new, channel);
+      auto r = protocol.run(pair.f_old, pair.f_new, channel, nullptr);
       if (r.ok()) {
         EXPECT_EQ(r->reconstructed, pair.f_new)
             << "SILENT CORRUPTION: " << protocol.name << " under "
@@ -105,7 +105,7 @@ TEST(FaultInjection, TamperEveryMessageStillNoSilentCorruption) {
         msg[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
       }
     });
-    auto r = protocol.run(pair.f_old, pair.f_new, channel);
+    auto r = protocol.run(pair.f_old, pair.f_new, channel, nullptr);
     if (r.ok()) {
       EXPECT_EQ(r->reconstructed, pair.f_new)
           << "SILENT CORRUPTION: " << protocol.name

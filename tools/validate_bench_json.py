@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files against the fsx-bench-v1 schema.
+
+Usage: validate_bench_json.py FILE [FILE...]
+
+Checks the structural schema documented in docs/benchmarks.md plus the
+accounting invariants the observability layer guarantees:
+  - bytes.up + bytes.down == bytes.total whenever the split is present;
+  - the per-phase byte matrix sums to exactly bytes.up / bytes.down per
+    direction whenever phases are present (the same equality the
+    conformance suite pins against the channel's TrafficStats).
+
+Standard library only; exits non-zero on the first invalid file.
+"""
+
+import json
+import sys
+
+PHASES = {
+    "handshake",
+    "candidates",
+    "verification",
+    "continuation",
+    "literals",
+    "delta",
+    "fallback",
+}
+
+
+class Invalid(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise Invalid(msg)
+
+
+def is_uint(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_bytes(where, b):
+    require(isinstance(b, dict), f"{where}: 'bytes' must be an object")
+    require(is_uint(b.get("total")),
+            f"{where}: bytes.total must be a non-negative integer")
+    has_up = "up" in b
+    has_down = "down" in b
+    require(has_up == has_down,
+            f"{where}: bytes.up and bytes.down must appear together")
+    if has_up:
+        require(is_uint(b["up"]) and is_uint(b["down"]),
+                f"{where}: bytes.up/down must be non-negative integers")
+        require(b["up"] + b["down"] == b["total"],
+                f"{where}: up ({b['up']}) + down ({b['down']}) != "
+                f"total ({b['total']})")
+    if "phases" in b:
+        require(has_up, f"{where}: phases require the up/down split")
+        phases = b["phases"]
+        require(isinstance(phases, dict),
+                f"{where}: bytes.phases must be an object")
+        sum_up = sum_down = 0
+        for name, split in phases.items():
+            require(name in PHASES,
+                    f"{where}: unknown phase '{name}' "
+                    f"(expected one of {sorted(PHASES)})")
+            require(isinstance(split, dict) and is_uint(split.get("up"))
+                    and is_uint(split.get("down")),
+                    f"{where}: phase '{name}' must be "
+                    "{{\"up\": uint, \"down\": uint}}")
+            sum_up += split["up"]
+            sum_down += split["down"]
+        require(sum_up == b["up"],
+                f"{where}: phase up-bytes sum to {sum_up}, "
+                f"but bytes.up is {b['up']}")
+        require(sum_down == b["down"],
+                f"{where}: phase down-bytes sum to {sum_down}, "
+                f"but bytes.down is {b['down']}")
+
+
+def check_result(index, r):
+    where = f"results[{index}]"
+    require(isinstance(r, dict), f"{where}: must be an object")
+    require(isinstance(r.get("name"), str) and r["name"],
+            f"{where}: 'name' must be a non-empty string")
+    where = f"results[{index}] ({r['name']!r})"
+    config = r.get("config")
+    require(isinstance(config, dict),
+            f"{where}: 'config' must be an object")
+    for k, v in config.items():
+        require(isinstance(v, str),
+                f"{where}: config['{k}'] must be a string")
+    require(is_uint(r.get("rounds")),
+            f"{where}: 'rounds' must be a non-negative integer")
+    require(is_uint(r.get("wall_ns")),
+            f"{where}: 'wall_ns' must be a non-negative integer")
+    require("bytes" in r, f"{where}: missing 'bytes'")
+    check_bytes(where, r["bytes"])
+
+
+def check_document(doc):
+    require(isinstance(doc, dict), "top level must be an object")
+    require(doc.get("schema") == "fsx-bench-v1",
+            f"'schema' must be 'fsx-bench-v1', got {doc.get('schema')!r}")
+    require(isinstance(doc.get("benchmark"), str) and doc["benchmark"],
+            "'benchmark' must be a non-empty string")
+    require(isinstance(doc.get("title"), str),
+            "'title' must be a string")
+    workload = doc.get("workload")
+    require(isinstance(workload, dict), "'workload' must be an object")
+    require(isinstance(workload.get("dataset"), str),
+            "workload.dataset must be a string")
+    require(is_uint(workload.get("files")),
+            "workload.files must be a non-negative integer")
+    require(is_uint(workload.get("bytes")),
+            "workload.bytes must be a non-negative integer")
+    results = doc.get("results")
+    require(isinstance(results, list) and results,
+            "'results' must be a non-empty array")
+    for i, r in enumerate(results):
+        check_result(i, r)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        try:
+            with open(path, "rb") as f:
+                doc = json.load(f)
+            check_document(doc)
+            n_phases = sum(
+                1 for r in doc["results"] if "phases" in r["bytes"])
+            print(f"{path}: OK ({len(doc['results'])} results, "
+                  f"{n_phases} with phase attribution)")
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: UNREADABLE: {e}", file=sys.stderr)
+            failures += 1
+        except Invalid as e:
+            print(f"{path}: INVALID: {e}", file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
