@@ -1,10 +1,10 @@
 #include "fsync/cdc/cdc_sync.h"
 
-#include <unordered_map>
-
 #include "fsync/compress/codec.h"
 #include "fsync/hash/fingerprint.h"
 #include "fsync/hash/md5.h"
+#include "fsync/index/block_index.h"
+#include "fsync/par/thread_pool.h"
 #include "fsync/util/bit_io.h"
 
 namespace fsx {
@@ -14,6 +14,18 @@ namespace {
 uint64_t ChunkHash(ByteSpan data, const Chunk& c, uint32_t hash_bytes) {
   return Md5::HashBits(data.subspan(c.offset, c.size), 8 * hash_bytes,
                        /*salt=*/0x9DC);
+}
+
+// Hashes every chunk of `data`, fanning out across worker threads; the
+// returned vector is in chunk order regardless of thread count.
+std::vector<uint64_t> HashChunks(ByteSpan data,
+                                 const std::vector<Chunk>& chunks,
+                                 uint32_t hash_bytes, int num_threads) {
+  std::vector<uint64_t> hashes(chunks.size());
+  par::ParallelFor(num_threads, chunks.size(), [&](size_t i) {
+    hashes[i] = ChunkHash(data, chunks[i], hash_bytes);
+  });
+  return hashes;
 }
 
 }  // namespace
@@ -49,10 +61,11 @@ StatusOr<CdcSyncResult> CdcSynchronize(ByteSpan outdated, ByteSpan current,
     msg.WriteBytes(ByteSpan(new_fp.data(), new_fp.size()));
     if (!unchanged) {
       msg.WriteVarint(chunks.size());
-      for (const Chunk& c : chunks) {
-        msg.WriteVarint(c.size);
-        msg.WriteBits(ChunkHash(current, c, params.hash_bytes),
-                      8 * params.hash_bytes);
+      std::vector<uint64_t> hashes = HashChunks(
+          current, chunks, params.hash_bytes, params.num_threads);
+      for (size_t i = 0; i < chunks.size(); ++i) {
+        msg.WriteVarint(chunks[i].size);
+        msg.WriteBits(hashes[i], 8 * params.hash_bytes);
       }
     }
     // The offer is dominated by the per-chunk hash list (candidates).
@@ -79,12 +92,15 @@ StatusOr<CdcSyncResult> CdcSynchronize(ByteSpan outdated, ByteSpan current,
   }
 
   // Client: index its own chunks by hash, then mark which offered chunks
-  // it can source locally.
+  // it can source locally. FindFirst keeps the old `emplace` semantics:
+  // the first chunk inserted with a hash wins.
   std::vector<Chunk> own = CdcChunk(outdated, params.chunking);
-  std::unordered_map<uint64_t, Chunk> index;
-  index.reserve(own.size() * 2);
-  for (const Chunk& c : own) {
-    index.emplace(ChunkHash(outdated, c, params.hash_bytes), c);
+  std::vector<uint64_t> own_hashes =
+      HashChunks(outdated, own, params.hash_bytes, params.num_threads);
+  BlockIndex index;
+  index.Reserve(own.size());
+  for (size_t i = 0; i < own.size(); ++i) {
+    index.Insert(own_hashes[i], 0, static_cast<uint32_t>(i));
   }
 
   struct Offered {
@@ -99,11 +115,11 @@ StatusOr<CdcSyncResult> CdcSynchronize(ByteSpan outdated, ByteSpan current,
     FSYNC_ASSIGN_OR_RETURN(offered[i].size, offer_in.ReadVarint());
     FSYNC_ASSIGN_OR_RETURN(offered[i].hash,
                            offer_in.ReadBits(8 * params.hash_bytes));
-    auto it = index.find(offered[i].hash);
+    const BlockIndex::Entry* e = index.FindFirst(offered[i].hash);
     // The size must match too, or reconstruction would misalign.
-    if (it != index.end() && it->second.size == offered[i].size) {
+    if (e != nullptr && own[e->idx].size == offered[i].size) {
       offered[i].have = true;
-      offered[i].local = it->second;
+      offered[i].local = own[e->idx];
     }
     have_msg.WriteBit(offered[i].have);
   }

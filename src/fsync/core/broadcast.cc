@@ -1,11 +1,12 @@
 #include "fsync/core/broadcast.h"
 
 #include <map>
-#include <unordered_map>
 
 #include "fsync/hash/fingerprint.h"
 #include "fsync/hash/md5.h"
 #include "fsync/hash/tabled_adler.h"
+#include "fsync/index/scan.h"
+#include "fsync/par/thread_pool.h"
 #include "fsync/util/bit_io.h"
 
 namespace fsx {
@@ -68,7 +69,8 @@ double CastMap::CoveredFraction() const {
 }
 
 StatusOr<Bytes> BuildHashCast(ByteSpan current,
-                              const HashCastConfig& config) {
+                              const HashCastConfig& config,
+                              int num_threads) {
   FSYNC_RETURN_IF_ERROR(ValidateConfig(config));
   BitWriter out;
   out.WriteVarint(current.size());
@@ -80,20 +82,32 @@ StatusOr<Bytes> BuildHashCast(ByteSpan current,
   out.WriteBits(static_cast<uint64_t>(config.strong_bits), 7);
   out.WriteBits(static_cast<uint64_t>(config.delta_codec), 4);
 
+  // Hash every tree block in parallel; serialization stays in tree order,
+  // so the cast payload is identical for any thread count.
+  std::vector<CastBlock> flat;
   for (const auto& level : BuildTree(current.size(), config)) {
-    for (const CastBlock& b : level) {
-      ByteSpan block = current.subspan(b.offset, b.size);
-      out.WriteBits(TabledAdler::Truncate(TabledAdler::Hash(block),
-                                          config.weak_bits),
-                    config.weak_bits);
-      out.WriteBits(Md5::HashBits(block, config.strong_bits, kStrongSalt),
-                    config.strong_bits);
-    }
+    flat.insert(flat.end(), level.begin(), level.end());
+  }
+  struct WeakStrong {
+    uint32_t weak = 0;
+    uint64_t strong = 0;
+  };
+  std::vector<WeakStrong> hashes(flat.size());
+  par::ParallelFor(num_threads, flat.size(), [&](size_t i) {
+    ByteSpan block = current.subspan(flat[i].offset, flat[i].size);
+    hashes[i] = {static_cast<uint32_t>(TabledAdler::Truncate(
+                     TabledAdler::Hash(block), config.weak_bits)),
+                 Md5::HashBits(block, config.strong_bits, kStrongSalt)};
+  });
+  for (const WeakStrong& h : hashes) {
+    out.WriteBits(h.weak, config.weak_bits);
+    out.WriteBits(h.strong, config.strong_bits);
   }
   return out.Finish();
 }
 
-StatusOr<CastMap> ApplyHashCast(ByteSpan outdated, ByteSpan cast) {
+StatusOr<CastMap> ApplyHashCast(ByteSpan outdated, ByteSpan cast,
+                                int num_threads) {
   BitReader in(cast);
   CastMap map;
   FSYNC_ASSIGN_OR_RETURN(map.new_size, in.ReadVarint());
@@ -134,10 +148,18 @@ StatusOr<CastMap> ApplyHashCast(ByteSpan outdated, ByteSpan cast) {
     uint64_t pos = 0;
   };
 
+  // Scan scratch reused across levels.
+  BlockIndex scan_scratch;
+  std::vector<uint32_t> scan_keys;
+  std::vector<uint64_t> scan_pos;
+  std::vector<Pending> pending;
+  ScanOptions scan_opts;
+  scan_opts.num_threads = num_threads;
+
   for (const auto& level : BuildTree(map.new_size, map.config)) {
     // Read every block's bits; only uncovered, fitting blocks join the
     // matching pass.
-    std::vector<Pending> pending;
+    pending.clear();
     for (const CastBlock& b : level) {
       Pending p;
       p.block = b;
@@ -150,40 +172,30 @@ StatusOr<CastMap> ApplyHashCast(ByteSpan outdated, ByteSpan cast) {
         pending.push_back(p);
       }
     }
-    // One rolling pass per distinct size; strong bits verified locally.
-    std::unordered_map<uint64_t, std::vector<size_t>> by_size;
-    for (size_t i = 0; i < pending.size(); ++i) {
-      by_size[pending[i].block.size].push_back(i);
-    }
-    for (auto& [size, idxs] : by_size) {
-      if (size == 0 || size > outdated.size()) {
-        continue;
+    // One rolling pass per distinct size via the shared matching core;
+    // strong bits verified locally.
+    for (const auto& [size, idxs] : GroupBySize(
+             pending.size(),
+             [&](size_t i) { return pending[i].block.size; })) {
+      scan_keys.resize(idxs.size());
+      for (size_t j = 0; j < idxs.size(); ++j) {
+        scan_keys[j] = pending[idxs[j]].weak;
       }
-      std::unordered_multimap<uint32_t, size_t> table;
-      size_t unmatched = idxs.size();
-      for (size_t i : idxs) {
-        table.emplace(pending[i].weak, i);
-      }
-      TabledAdlerWindow window(outdated.subspan(0, size));
-      for (uint64_t pos = 0;; ++pos) {
-        uint32_t key =
-            TabledAdler::Truncate(window.pair(), map.config.weak_bits);
-        auto [lo, hi] = table.equal_range(key);
-        for (auto it = lo; it != hi; ++it) {
-          Pending& p = pending[it->second];
-          if (!p.found &&
-              Md5::HashBits(outdated.subspan(pos, size),
-                            map.config.strong_bits,
-                            kStrongSalt) == p.strong) {
-            p.found = true;
-            p.pos = pos;
-            --unmatched;
-          }
+      const uint64_t block_size = size;
+      const std::vector<size_t>& items = idxs;
+      ScanForKeys(
+          outdated, block_size, map.config.weak_bits, scan_keys,
+          [&](size_t j, uint64_t pos) {
+            return Md5::HashBits(outdated.subspan(pos, block_size),
+                                 map.config.strong_bits,
+                                 kStrongSalt) == pending[items[j]].strong;
+          },
+          scan_pos, scan_opts, &scan_scratch);
+      for (size_t j = 0; j < idxs.size(); ++j) {
+        if (scan_pos[j] != kScanNoMatch) {
+          pending[idxs[j]].found = true;
+          pending[idxs[j]].pos = scan_pos[j];
         }
-        if (unmatched == 0 || pos + size >= outdated.size()) {
-          break;
-        }
-        window.Roll(outdated[pos], outdated[pos + size]);
       }
     }
     for (const Pending& p : pending) {

@@ -33,8 +33,11 @@ struct HashCastConfig {
   DeltaCodec delta_codec = DeltaCodec::kZd;
 };
 
-/// Builds the broadcast payload for `current`.
-StatusOr<Bytes> BuildHashCast(ByteSpan current, const HashCastConfig& config);
+/// Builds the broadcast payload for `current`. `num_threads` parallelizes
+/// the per-block hashing; it is a host-side execution knob (never encoded
+/// in the cast) and every value produces an identical payload.
+StatusOr<Bytes> BuildHashCast(ByteSpan current, const HashCastConfig& config,
+                              int num_threads = 1);
 
 /// What a client learned from a cast: which ranges of the current file it
 /// already holds, and where.
@@ -55,7 +58,10 @@ struct CastMap {
 };
 
 /// Client side: digests a cast against the local outdated copy.
-StatusOr<CastMap> ApplyHashCast(ByteSpan outdated, ByteSpan cast);
+/// `num_threads` shards the rolling scans; the resulting map is identical
+/// for any value (all matching parameters come from the cast itself).
+StatusOr<CastMap> ApplyHashCast(ByteSpan outdated, ByteSpan cast,
+                                int num_threads = 1);
 
 /// Client side: the compact per-client delta request (the confirmed
 /// ranges, delta-encoded varints).

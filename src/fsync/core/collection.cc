@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <optional>
 
 #include "fsync/compress/codec.h"
 #include "fsync/core/endpoint.h"
 #include "fsync/hash/fingerprint.h"
+#include "fsync/par/thread_pool.h"
 #include "fsync/util/bit_io.h"
 
 namespace fsx {
@@ -21,6 +23,29 @@ uint64_t FingerprintExchangeBytes(const Collection& client) {
     total += 16 + name.size() + 1;
   }
   return total;
+}
+
+// Per-file fan-out: runs `run_file(name, current)` for every server file
+// across the worker pool and materializes the outcomes in collection
+// iteration order. The caller's fold loop then consumes them in that same
+// order, so stats accumulation and error selection are identical to a
+// serial run (threads change wall-clock time only). A nullopt outcome
+// means run_file skipped the file (unchanged); the fold never reads those
+// slots. Callers must only fan out when no observer is attached — the
+// observer protocol (Snapshot/Restore, phase bytes) is order-sensitive.
+template <typename R, typename Fn>
+std::vector<std::optional<StatusOr<R>>> ParallelSessions(
+    const Collection& server, int num_threads, const Fn& run_file) {
+  std::vector<const Collection::value_type*> files;
+  files.reserve(server.size());
+  for (const auto& kv : server) {
+    files.push_back(&kv);
+  }
+  std::vector<std::optional<StatusOr<R>>> out(files.size());
+  par::ParallelFor(num_threads, files.size(), [&](size_t i) {
+    out[i] = run_file(files[i]->first, files[i]->second);
+  });
+  return out;
 }
 
 }  // namespace
@@ -39,9 +64,26 @@ StatusOr<CollectionSyncResult> SyncCollection(const Collection& client,
 
   uint64_t max_roundtrips = 0;
   static const Bytes kEmpty;
-  for (const auto& [name, current] : server) {
+  // Per-file sessions are independent; fan them out when configured and
+  // no observer is attached (the observer's Snapshot/Restore rollback is
+  // order-sensitive). The fold below consumes outcomes in collection
+  // order, so results and stats are identical to the serial path.
+  auto run_one = [&](const std::string& name,
+                     const Bytes& current) -> StatusOr<FileSyncResult> {
     auto it = client.find(name);
     const Bytes& outdated = it != client.end() ? it->second : kEmpty;
+    SimulatedChannel channel;
+    return SynchronizeFile(outdated, current, config, channel, obs);
+  };
+  std::vector<std::optional<StatusOr<FileSyncResult>>> pre;
+  if (config.num_threads > 1 && obs == nullptr) {
+    pre = ParallelSessions<FileSyncResult>(server, config.num_threads,
+                                           run_one);
+  }
+  size_t file_idx = 0;
+  for (const auto& [name, current] : server) {
+    const size_t idx = file_idx++;
+    auto it = client.find(name);
     if (it == client.end()) {
       ++result.files_new;
     }
@@ -52,10 +94,9 @@ StatusOr<CollectionSyncResult> SyncCollection(const Collection& client,
     if (obs != nullptr) {
       mark = obs->Snapshot();
     }
-    SimulatedChannel channel;
-    FSYNC_ASSIGN_OR_RETURN(
-        FileSyncResult r,
-        SynchronizeFile(outdated, current, config, channel, obs));
+    StatusOr<FileSyncResult> r_or =
+        pre.empty() ? run_one(name, current) : std::move(*pre[idx]);
+    FSYNC_ASSIGN_OR_RETURN(FileSyncResult r, std::move(r_or));
     if (r.reconstructed != current) {
       return Status::Internal("collection sync: reconstruction mismatch");
     }
@@ -354,9 +395,30 @@ StatusOr<CollectionSyncResult> SyncCollectionRsync(const Collection& client,
 
   uint64_t max_roundtrips = 0;
   static const Bytes kEmpty;
-  for (const auto& [name, current] : server) {
+  auto run_one = [&](const std::string& name,
+                     const Bytes& current) -> StatusOr<RsyncResult> {
     auto it = client.find(name);
     const Bytes& outdated = it != client.end() ? it->second : kEmpty;
+    SimulatedChannel channel;
+    return RsyncSynchronize(outdated, current, params, channel, obs);
+  };
+  std::vector<std::optional<StatusOr<RsyncResult>>> pre;
+  if (params.num_threads > 1 && obs == nullptr) {
+    pre = ParallelSessions<RsyncResult>(
+        server, params.num_threads,
+        [&](const std::string& name,
+            const Bytes& current) -> std::optional<StatusOr<RsyncResult>> {
+          auto it = client.find(name);
+          if (it != client.end() && it->second == current) {
+            return std::nullopt;  // unchanged: the fold skips it
+          }
+          return run_one(name, current);
+        });
+  }
+  size_t file_idx = 0;
+  for (const auto& [name, current] : server) {
+    const size_t idx = file_idx++;
+    auto it = client.find(name);
     if (it == client.end()) {
       ++result.files_new;
     }
@@ -366,10 +428,9 @@ StatusOr<CollectionSyncResult> SyncCollectionRsync(const Collection& client,
       result.reconstructed[name] = current;
       continue;  // detected via the fingerprint exchange above
     }
-    SimulatedChannel channel;
-    FSYNC_ASSIGN_OR_RETURN(
-        RsyncResult r,
-        RsyncSynchronize(outdated, current, params, channel, obs));
+    StatusOr<RsyncResult> r_or =
+        pre.empty() ? run_one(name, current) : std::move(*pre[idx]);
+    FSYNC_ASSIGN_OR_RETURN(RsyncResult r, std::move(r_or));
     if (r.reconstructed != current) {
       return Status::Internal("rsync collection: reconstruction mismatch");
     }
@@ -396,9 +457,30 @@ StatusOr<CollectionSyncResult> SyncCollectionCdc(const Collection& client,
 
   uint64_t max_roundtrips = 0;
   static const Bytes kEmpty;
-  for (const auto& [name, current] : server) {
+  auto run_one = [&](const std::string& name,
+                     const Bytes& current) -> StatusOr<CdcSyncResult> {
     auto it = client.find(name);
     const Bytes& outdated = it != client.end() ? it->second : kEmpty;
+    SimulatedChannel channel;
+    return CdcSynchronize(outdated, current, params, channel, obs);
+  };
+  std::vector<std::optional<StatusOr<CdcSyncResult>>> pre;
+  if (params.num_threads > 1 && obs == nullptr) {
+    pre = ParallelSessions<CdcSyncResult>(
+        server, params.num_threads,
+        [&](const std::string& name, const Bytes& current)
+            -> std::optional<StatusOr<CdcSyncResult>> {
+          auto it = client.find(name);
+          if (it != client.end() && it->second == current) {
+            return std::nullopt;
+          }
+          return run_one(name, current);
+        });
+  }
+  size_t file_idx = 0;
+  for (const auto& [name, current] : server) {
+    const size_t idx = file_idx++;
+    auto it = client.find(name);
     if (it == client.end()) {
       ++result.files_new;
     }
@@ -407,10 +489,9 @@ StatusOr<CollectionSyncResult> SyncCollectionCdc(const Collection& client,
       result.reconstructed[name] = current;
       continue;
     }
-    SimulatedChannel channel;
-    FSYNC_ASSIGN_OR_RETURN(
-        CdcSyncResult r,
-        CdcSynchronize(outdated, current, params, channel, obs));
+    StatusOr<CdcSyncResult> r_or =
+        pre.empty() ? run_one(name, current) : std::move(*pre[idx]);
+    FSYNC_ASSIGN_OR_RETURN(CdcSyncResult r, std::move(r_or));
     if (r.reconstructed != current) {
       return Status::Internal("cdc collection: reconstruction mismatch");
     }
@@ -434,9 +515,30 @@ StatusOr<CollectionSyncResult> SyncCollectionMultiround(
 
   uint64_t max_roundtrips = 0;
   static const Bytes kEmpty;
-  for (const auto& [name, current] : server) {
+  auto run_one = [&](const std::string& name,
+                     const Bytes& current) -> StatusOr<MultiroundResult> {
     auto it = client.find(name);
     const Bytes& outdated = it != client.end() ? it->second : kEmpty;
+    SimulatedChannel channel;
+    return MultiroundSynchronize(outdated, current, params, channel, obs);
+  };
+  std::vector<std::optional<StatusOr<MultiroundResult>>> pre;
+  if (params.num_threads > 1 && obs == nullptr) {
+    pre = ParallelSessions<MultiroundResult>(
+        server, params.num_threads,
+        [&](const std::string& name, const Bytes& current)
+            -> std::optional<StatusOr<MultiroundResult>> {
+          auto it = client.find(name);
+          if (it != client.end() && it->second == current) {
+            return std::nullopt;
+          }
+          return run_one(name, current);
+        });
+  }
+  size_t file_idx = 0;
+  for (const auto& [name, current] : server) {
+    const size_t idx = file_idx++;
+    auto it = client.find(name);
     if (it == client.end()) {
       ++result.files_new;
     }
@@ -445,10 +547,9 @@ StatusOr<CollectionSyncResult> SyncCollectionMultiround(
       result.reconstructed[name] = current;
       continue;
     }
-    SimulatedChannel channel;
-    FSYNC_ASSIGN_OR_RETURN(
-        MultiroundResult r,
-        MultiroundSynchronize(outdated, current, params, channel, obs));
+    StatusOr<MultiroundResult> r_or =
+        pre.empty() ? run_one(name, current) : std::move(*pre[idx]);
+    FSYNC_ASSIGN_OR_RETURN(MultiroundResult r, std::move(r_or));
     if (r.reconstructed != current) {
       return Status::Internal("multiround collection: mismatch");
     }

@@ -85,6 +85,14 @@ struct SyncConfig {
   /// reached the protocol jumps straight to the delta phase with whatever
   /// map has been built (the paper's restricted-roundtrip mode).
   int max_roundtrips = 0;
+
+  /// Worker threads for the client's candidate scans and for per-file
+  /// fan-out in collection synchronization (1 = serial). Pure execution
+  /// knob: it never enters any wire message, and every value produces
+  /// bit-identical traffic and results (see docs/architecture.md,
+  /// "Determinism contract"). Hence it is deliberately NOT part of the
+  /// hash-cast wire config either.
+  int num_threads = 1;
 };
 
 /// Effective continuation-hash width for round `round` (applies any

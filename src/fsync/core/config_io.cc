@@ -142,7 +142,7 @@ StatusOr<SyncConfig> ParseSyncConfig(const std::string& text) {
         key == "continuation_bits" || key == "local_radius" ||
         key == "max_roundtrips" || key == "verify_bits" ||
         key == "group_size" || key == "max_batches" ||
-        key == "continuation_group_size") {
+        key == "continuation_group_size" || key == "num_threads") {
       FSYNC_ASSIGN_OR_RETURN(int64_t v, ParseInt(value, line_no));
       if (key == "start_block_size") {
         config.start_block_size = static_cast<uint32_t>(v);
@@ -164,6 +164,8 @@ StatusOr<SyncConfig> ParseSyncConfig(const std::string& text) {
         config.verify.group_size = static_cast<int>(v);
       } else if (key == "max_batches") {
         config.verify.max_batches = static_cast<int>(v);
+      } else if (key == "num_threads") {
+        config.num_threads = static_cast<int>(v);
       } else {
         config.verify.continuation_group_size = static_cast<int>(v);
       }
@@ -212,7 +214,7 @@ std::string SerializeSyncConfig(const SyncConfig& config) {
       "use_continuation = %s\ncontinuation_first = %s\nlocal_radius = %d\n"
       "verify_bits = %d\ngroup_size = %d\nmax_batches = %d\n"
       "continuation_group_size = %d\nadaptive_groups = %s\n"
-      "delta_codec = %s\nmax_roundtrips = %d\n",
+      "delta_codec = %s\nmax_roundtrips = %d\nnum_threads = %d\n",
       config.start_block_size, config.min_block_size,
       config.min_continuation_block, config.global_extra_bits,
       config.continuation_bits, config.use_decomposable ? "true" : "false",
@@ -225,7 +227,7 @@ std::string SerializeSyncConfig(const SyncConfig& config) {
           ? "zd"
           : (config.delta_codec == DeltaCodec::kVcdiff ? "vcdiff"
                                                        : "bsdiff"),
-      config.max_roundtrips);
+      config.max_roundtrips, config.num_threads);
   out = buf;
   for (size_t r = 0; r < config.round_overrides.size(); ++r) {
     const SyncConfig::RoundOverride& o = config.round_overrides[r];

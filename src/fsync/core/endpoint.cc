@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <bit>
-#include <unordered_map>
 
 #include "fsync/compress/codec.h"
 #include "fsync/delta/delta.h"
 #include "fsync/hash/md5.h"
 #include "fsync/hash/tabled_adler.h"
+#include "fsync/index/scan.h"
 
 namespace fsx {
 
@@ -526,41 +526,34 @@ Status SyncClientEndpoint::ReadHashesAndMatch(BitReader& in) {
     ledger_->block(id).has_candidate = false;
   }
 
-  // One rolling pass over F_old per distinct block size.
-  std::unordered_map<uint64_t, std::vector<size_t>> by_size;
-  for (size_t id : round_.plan.sent_global) {
-    by_size[ledger_->block(id).size].push_back(id);
-  }
-  for (size_t id : round_.plan.derived) {
-    by_size[ledger_->block(id).size].push_back(id);
-  }
-  for (auto& [size, ids] : by_size) {
-    if (size == 0 || size > f_old_.size()) {
-      continue;
+  // One rolling pass over F_old per distinct block size, via the shared
+  // matching core (weak-hash-only candidates; verification is a later
+  // protocol phase). Sharded across config_.num_threads when > 1.
+  scan_ids_.clear();
+  scan_ids_.insert(scan_ids_.end(), round_.plan.sent_global.begin(),
+                   round_.plan.sent_global.end());
+  scan_ids_.insert(scan_ids_.end(), round_.plan.derived.begin(),
+                   round_.plan.derived.end());
+  ScanOptions scan_opts;
+  scan_opts.num_threads = config_.num_threads;
+  for (const auto& [size, idxs] : GroupBySize(scan_ids_.size(), [&](size_t k) {
+         return ledger_->block(scan_ids_[k]).size;
+       })) {
+    scan_keys_.resize(idxs.size());
+    for (size_t j = 0; j < idxs.size(); ++j) {
+      scan_keys_[j] = TabledAdler::Truncate(
+          ledger_->block(scan_ids_[idxs[j]]).pair, hash_bits_);
     }
-    std::unordered_multimap<uint32_t, size_t> table;
-    table.reserve(ids.size() * 2);
-    size_t unmatched = ids.size();
-    for (size_t id : ids) {
-      table.emplace(
-          TabledAdler::Truncate(ledger_->block(id).pair, hash_bits_), id);
-    }
-    TabledAdlerWindow window(f_old_.subspan(0, size));
-    for (uint64_t pos = 0;; ++pos) {
-      uint32_t key = TabledAdler::Truncate(window.pair(), hash_bits_);
-      auto [lo, hi] = table.equal_range(key);
-      for (auto it = lo; it != hi; ++it) {
-        Block& b = ledger_->block(it->second);
-        if (!b.has_candidate) {
-          b.has_candidate = true;
-          b.match_pos = pos;
-          --unmatched;
-        }
+    ScanForKeys(
+        f_old_, size, hash_bits_, scan_keys_,
+        [](size_t, uint64_t) { return true; }, scan_pos_, scan_opts,
+        &scan_scratch_);
+    for (size_t j = 0; j < idxs.size(); ++j) {
+      if (scan_pos_[j] != kScanNoMatch) {
+        Block& b = ledger_->block(scan_ids_[idxs[j]]);
+        b.has_candidate = true;
+        b.match_pos = scan_pos_[j];
       }
-      if (unmatched == 0 || pos + size >= f_old_.size()) {
-        break;
-      }
-      window.Roll(f_old_[pos], f_old_[pos + size]);
     }
   }
   return Status::Ok();

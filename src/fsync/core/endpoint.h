@@ -23,6 +23,7 @@
 #include "fsync/core/block_ledger.h"
 #include "fsync/core/config.h"
 #include "fsync/hash/fingerprint.h"
+#include "fsync/index/block_index.h"
 #include "fsync/obs/sync_obs.h"
 #include "fsync/util/bit_io.h"
 #include "fsync/util/bytes.h"
@@ -196,6 +197,12 @@ class SyncClientEndpoint : private core_internal::EndpointBase {
 
   ByteSpan f_old_;
   Fingerprint fp_new_{};
+  // Candidate-scan scratch, reused across rounds (allocations and the
+  // flat index's capacity survive between ReadHashesAndMatch calls).
+  BlockIndex scan_scratch_;
+  std::vector<size_t> scan_ids_;
+  std::vector<uint32_t> scan_keys_;
+  std::vector<uint64_t> scan_pos_;
   obs::SyncObserver* observer_ = nullptr;
   std::chrono::steady_clock::time_point msg_start_;
   bool started_ = false;

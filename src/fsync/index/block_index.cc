@@ -1,0 +1,95 @@
+#include "fsync/index/block_index.h"
+
+#include <algorithm>
+
+namespace fsx {
+
+namespace {
+
+size_t CapacityFor(size_t n) {
+  // Load factor <= 0.5, minimum 16 slots.
+  size_t cap = 16;
+  while (cap < n * 2) {
+    cap <<= 1;
+  }
+  return cap;
+}
+
+}  // namespace
+
+void BlockIndex::Reserve(size_t n) {
+  size_t cap = CapacityFor(n);
+  if (cap != slots_.size()) {
+    slots_.assign(cap, Entry{});
+    full_.assign(cap, 0);
+    mask_ = cap - 1;
+    bitmap_.fill(0);
+    size_ = 0;
+    next_seq_ = 0;
+    return;
+  }
+  Clear();
+}
+
+void BlockIndex::Clear() {
+  if (size_ != 0) {
+    std::fill(full_.begin(), full_.end(), 0);
+    bitmap_.fill(0);
+  }
+  size_ = 0;
+  next_seq_ = 0;
+}
+
+void BlockIndex::InsertNoGrow(const Entry& e) {
+  size_t i = Mix(e.key) & mask_;
+  while (full_[i]) {
+    i = (i + 1) & mask_;
+  }
+  slots_[i] = e;
+  full_[i] = 1;
+  uint32_t f = Fold16(e.key);
+  bitmap_[f >> 6] |= uint64_t{1} << (f & 63);
+  ++size_;
+}
+
+void BlockIndex::Insert(uint64_t key, uint64_t tag, uint32_t idx) {
+  if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) {
+    Grow(size_ + 1);
+  }
+  InsertNoGrow(Entry{key, tag, idx, next_seq_++});
+}
+
+void BlockIndex::Grow(size_t min_entries) {
+  std::vector<Entry> old;
+  old.reserve(size_);
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (full_[i]) {
+      old.push_back(slots_[i]);
+    }
+  }
+  // Probe order for equal keys must stay insertion order across the
+  // rehash; slot order does not imply it (wraparound), so sort by seq.
+  std::sort(old.begin(), old.end(),
+            [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+
+  size_t cap = CapacityFor(std::max(min_entries, size_));
+  slots_.assign(cap, Entry{});
+  full_.assign(cap, 0);
+  mask_ = cap - 1;
+  bitmap_.fill(0);
+  size_ = 0;
+  for (const Entry& e : old) {
+    InsertNoGrow(e);
+  }
+}
+
+const BlockIndex::Entry* BlockIndex::FindFirst(uint64_t key) const {
+  const Entry* found = nullptr;
+  ForEach(key, [&](const Entry& e) {
+    found = &e;
+    return true;
+  });
+  return found;
+}
+
+}  // namespace fsx

@@ -1,0 +1,120 @@
+// The shared matching-core index: a cache-friendly open-addressing flat
+// hash table keyed by the weak (rolling) hash, with the strong-hash tag
+// and the block ordinal stored inline in the slot, fronted by a
+// 2^16-entry membership bitmap.
+//
+// The per-byte scan loop of every protocol probes this structure once per
+// window position, and the overwhelming majority of positions match no
+// block. The bitmap prefilter turns that common case into a single 8 KiB
+// -resident load — no bucket walk, no pointer chase, no strong-hash
+// computation — which is where the measured speedup over the previous
+// per-protocol `std::unordered_map<hash, vector<idx>>` tables comes from
+// (bench/micro_index.cc).
+//
+// Semantics are deliberately minimal: insert-only (no deletion, no
+// tombstones), duplicate keys allowed, and probe order for equal keys is
+// insertion order — the property rsync's match selection (lowest block
+// index wins) relies on for bit-identical wire output.
+#ifndef FSYNC_INDEX_BLOCK_INDEX_H_
+#define FSYNC_INDEX_BLOCK_INDEX_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fsx {
+
+class BlockIndex {
+ public:
+  /// One slot: the weak key, an inline strong-hash tag (caller-defined,
+  /// 0 when unused), and the caller's payload ordinal. `seq` records
+  /// insertion order so a rare growth rehash preserves probe order.
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t tag = 0;
+    uint32_t idx = 0;
+    uint32_t seq = 0;
+  };
+
+  BlockIndex() = default;
+
+  /// Sizes the table for `n` entries (capacity = smallest power of two
+  /// keeping load factor <= 0.5) and clears it. Call once up front —
+  /// sized from e.g. `sigs.size()` — so no rehash happens mid-build.
+  void Reserve(size_t n);
+
+  /// Drops all entries and prefilter bits, keeping capacity (scratch
+  /// reuse across rounds).
+  void Clear();
+
+  /// Appends an entry. Duplicate keys are fine; they are found in
+  /// insertion order. Amortized O(1); grows (rare) if Reserve was not
+  /// called or was outgrown.
+  void Insert(uint64_t key, uint64_t tag, uint32_t idx);
+
+  /// Prefilter: definitive "no" in one load, maybe-yes otherwise. False
+  /// positive rate is bounded by distinct_keys / 2^16 for keys drawn
+  /// independently of the fold (see index_test.cc).
+  bool MaybeContains(uint64_t key) const {
+    uint32_t f = Fold16(key);
+    return (bitmap_[f >> 6] >> (f & 63)) & 1;
+  }
+
+  /// Invokes fn(entry) for every entry with this key, in insertion
+  /// order. fn returns true to stop early.
+  template <typename Fn>
+  void ForEach(uint64_t key, Fn&& fn) const {
+    if (slots_.empty()) {
+      return;
+    }
+    size_t i = Mix(key) & mask_;
+    while (full_[i]) {
+      const Entry& e = slots_[i];
+      if (e.key == key && fn(e)) {
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// First-inserted entry with this key, or nullptr. Mirrors the lookup
+  /// behaviour of `unordered_map::emplace` + `find` (first wins).
+  const Entry* FindFirst(uint64_t key) const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+
+  /// The prefilter fold: XOR of the four 16-bit lanes of the key. Every
+  /// caller-visible key width (24/32-bit truncated weak hashes, 48/64-bit
+  /// chunk hashes) keeps all its entropy under this fold.
+  static uint32_t Fold16(uint64_t key) {
+    uint64_t f = key ^ (key >> 32);
+    f ^= f >> 16;
+    return static_cast<uint32_t>(f & 0xFFFF);
+  }
+
+ private:
+  static uint64_t Mix(uint64_t key) {
+    // splitmix64 finalizer: distributes weak-hash keys (whose low bits
+    // are structured sums) uniformly over the slot space.
+    uint64_t z = key + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  void Grow(size_t min_entries);
+  void InsertNoGrow(const Entry& e);
+
+  std::array<uint64_t, 1024> bitmap_{};  // 2^16 bits = 8 KiB
+  std::vector<Entry> slots_;
+  std::vector<uint8_t> full_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  uint32_t next_seq_ = 0;
+};
+
+}  // namespace fsx
+
+#endif  // FSYNC_INDEX_BLOCK_INDEX_H_

@@ -1,0 +1,156 @@
+// Earliest-match rolling scans over a haystack file, shared by every
+// protocol that slides a tabled-Adler window over F_old looking for
+// transmitted block hashes: zsync's plan construction, multiround's
+// per-round matching, the session endpoint's candidate scan, and the
+// broadcast hash cast. Replaces four hand-rolled copies of the same
+// "group by size, build a weak-hash multimap, roll, verify" loop.
+//
+// Semantics: for each item, find the SMALLEST window position whose
+// truncated weak hash equals the item's key and whose `verify` callback
+// accepts — exactly what each former loop computed, which makes the
+// sharded parallel path below observationally identical to the serial
+// one (earliest match per shard, shards merged in order). Parallelism
+// can change wall-clock time only, never results — the determinism
+// contract the threaded conformance suite pins.
+#ifndef FSYNC_INDEX_SCAN_H_
+#define FSYNC_INDEX_SCAN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fsync/hash/tabled_adler.h"
+#include "fsync/index/block_index.h"
+#include "fsync/par/thread_pool.h"
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// "No position matched" marker in scan results.
+inline constexpr uint64_t kScanNoMatch = ~uint64_t{0};
+
+/// Execution knobs for the scan loops.
+struct ScanOptions {
+  /// Worker lanes for sharded scans; 1 (the default) runs the classic
+  /// serial loop with its global early exit.
+  int num_threads = 1;
+  /// A shard must cover at least this many window starts, or the scan
+  /// stays serial (sharding overhead would dominate the work saved).
+  uint64_t min_shard_windows = 64 * 1024;
+};
+
+/// Finds, for every item i, the earliest position p in `haystack` such
+/// that Truncate(hash(haystack[p, p+size)), weak_bits) == keys[i] and
+/// verify(i, p) returns true; writes it to out_pos[i] (kScanNoMatch when
+/// none). `verify` must be a pure function of (item, position) — with
+/// options.num_threads > 1 it is called concurrently from several
+/// threads. `scratch` (optional) reuses a BlockIndex's allocation across
+/// calls; the per-byte probe uses its bitmap prefilter, so non-matching
+/// positions cost one load.
+template <typename Verify>
+void ScanForKeys(ByteSpan haystack, uint64_t size, int weak_bits,
+                 const std::vector<uint32_t>& keys, Verify&& verify,
+                 std::vector<uint64_t>& out_pos,
+                 const ScanOptions& options = {},
+                 BlockIndex* scratch = nullptr) {
+  out_pos.assign(keys.size(), kScanNoMatch);
+  if (keys.empty() || size == 0 || size > haystack.size()) {
+    return;
+  }
+
+  BlockIndex local;
+  BlockIndex& index = scratch != nullptr ? *scratch : local;
+  index.Reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    index.Insert(keys[i], 0, static_cast<uint32_t>(i));
+  }
+
+  const uint64_t total = haystack.size() - size + 1;  // window starts
+
+  // Scans starts [begin, end); `pos` must be pre-filled with kScanNoMatch.
+  // Exits early once every item matched within this range.
+  auto scan_range = [&](uint64_t begin, uint64_t end,
+                        std::vector<uint64_t>& pos) {
+    size_t unmatched = keys.size();
+    TabledAdlerWindow window(haystack.subspan(begin, size));
+    for (uint64_t p = begin; p < end; ++p) {
+      uint32_t key = TabledAdler::Truncate(window.pair(), weak_bits);
+      if (index.MaybeContains(key)) {
+        index.ForEach(key, [&](const BlockIndex::Entry& e) {
+          if (pos[e.idx] == kScanNoMatch && verify(e.idx, p)) {
+            pos[e.idx] = p;
+            --unmatched;
+          }
+          return false;  // several items may share a key
+        });
+        if (unmatched == 0) {
+          return;
+        }
+      }
+      if (p + 1 < end) {
+        window.Roll(haystack[p], haystack[p + size]);
+      }
+    }
+  };
+
+  uint64_t shards =
+      options.num_threads <= 1 || options.min_shard_windows == 0
+          ? 1
+          : std::min<uint64_t>(options.num_threads,
+                               total / options.min_shard_windows);
+  if (shards <= 1) {
+    scan_range(0, total, out_pos);
+    return;
+  }
+
+  // Shard by region; each shard re-seeds its window at its first start,
+  // so consecutive shards overlap by one block length of haystack bytes.
+  const uint64_t chunk = (total + shards - 1) / shards;
+  std::vector<std::vector<uint64_t>> shard_pos = par::ParallelMap(
+      options.num_threads, static_cast<size_t>(shards), [&](size_t s) {
+        std::vector<uint64_t> pos(keys.size(), kScanNoMatch);
+        uint64_t begin = s * chunk;
+        uint64_t end = std::min(total, begin + chunk);
+        if (begin < end) {
+          scan_range(begin, end, pos);
+        }
+        return pos;
+      });
+  // Merge in shard order: the first shard holding a match holds the
+  // earliest position (shard ranges are ordered and disjoint).
+  for (const std::vector<uint64_t>& pos : shard_pos) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (out_pos[i] == kScanNoMatch) {
+        out_pos[i] = pos[i];
+      }
+    }
+  }
+}
+
+/// Groups item ordinals [0, n) by size_of(i), preserving first-seen
+/// order of the sizes and index order within each group (deterministic,
+/// unlike the `unordered_map` iteration this replaces at three call
+/// sites — the outcomes never depended on that order, but determinism
+/// here makes the scans reproducible byte for byte).
+template <typename SizeOf>
+std::vector<std::pair<uint64_t, std::vector<size_t>>> GroupBySize(
+    size_t n, SizeOf&& size_of) {
+  std::vector<std::pair<uint64_t, std::vector<size_t>>> groups;
+  std::unordered_map<uint64_t, size_t> ordinal;
+  ordinal.reserve(8);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t size = size_of(i);
+    auto [it, inserted] = ordinal.try_emplace(size, groups.size());
+    if (inserted) {
+      groups.emplace_back(size, std::vector<size_t>{});
+    }
+    groups[it->second].second.push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace fsx
+
+#endif  // FSYNC_INDEX_SCAN_H_

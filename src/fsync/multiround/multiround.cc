@@ -1,13 +1,14 @@
 #include "fsync/multiround/multiround.h"
 
 #include <chrono>
-#include <unordered_map>
 #include <vector>
 
 #include "fsync/compress/codec.h"
 #include "fsync/hash/fingerprint.h"
 #include "fsync/hash/md5.h"
 #include "fsync/hash/tabled_adler.h"
+#include "fsync/index/scan.h"
+#include "fsync/par/thread_pool.h"
 #include "fsync/util/bit_io.h"
 
 namespace fsx {
@@ -112,6 +113,29 @@ StatusOr<MultiroundResult> MultiroundSynchronize(
     client_blocks.push_back(b);
   }
 
+  // Scratch reused across rounds: the matcher's flat index and result
+  // buffers, the server's hash batch, and the pending list all keep
+  // their allocations instead of churning the allocator every round.
+  struct Pending {
+    size_t index;
+    uint32_t weak;
+    uint64_t strong;
+    bool found = false;
+    uint64_t pos = 0;
+  };
+  struct WeakStrong {
+    uint32_t weak = 0;
+    uint64_t strong = 0;
+  };
+  std::vector<Pending> pending;
+  std::vector<const MrBlock*> to_hash;
+  std::vector<WeakStrong> round_hashes;
+  std::vector<uint32_t> scan_keys;
+  std::vector<uint64_t> scan_pos;
+  BlockIndex scan_scratch;
+  ScanOptions scan_opts;
+  scan_opts.num_threads = params.num_threads;
+
   bool more = !server_blocks.empty();
   while (more) {
     ++result.rounds;
@@ -119,20 +143,32 @@ StatusOr<MultiroundResult> MultiroundSynchronize(
     const auto round_start = obs != nullptr
                                  ? std::chrono::steady_clock::now()
                                  : std::chrono::steady_clock::time_point();
-    // Server: one (weak, strong) hash per unresolved block.
+    // Server: one (weak, strong) hash per unresolved block. Hashes are
+    // computed in parallel and serialized in block order, so the message
+    // is identical for any thread count.
     obs::SetPhase(obs, obs::Phase::kCandidates);
-    BitWriter hashes;
+    to_hash.clear();
     for (const MrBlock& b : server_blocks) {
       if (b.resolved || b.size > outdated.size()) {
         continue;  // oversized blocks cannot match; send nothing
       }
-      ByteSpan block = current.subspan(b.offset, b.size);
-      hashes.WriteBits(
-          TabledAdler::Truncate(TabledAdler::Hash(block), params.weak_bits),
-          params.weak_bits);
+      to_hash.push_back(&b);
+    }
+    round_hashes.assign(to_hash.size(), WeakStrong{});
+    par::ParallelFor(params.num_threads, to_hash.size(), [&](size_t i) {
+      ByteSpan block = current.subspan(to_hash[i]->offset, to_hash[i]->size);
+      round_hashes[i].weak = static_cast<uint32_t>(
+          TabledAdler::Truncate(TabledAdler::Hash(block), params.weak_bits));
       if (params.strong_bits > 0) {
-        hashes.WriteBits(Md5::HashBits(block, params.strong_bits, 0xA11),
-                         params.strong_bits);
+        round_hashes[i].strong =
+            Md5::HashBits(block, params.strong_bits, 0xA11);
+      }
+    });
+    BitWriter hashes;
+    for (const WeakStrong& h : round_hashes) {
+      hashes.WriteBits(h.weak, params.weak_bits);
+      if (params.strong_bits > 0) {
+        hashes.WriteBits(h.strong, params.strong_bits);
       }
     }
     channel.Send(Dir::kServerToClient, hashes.Finish());
@@ -140,14 +176,7 @@ StatusOr<MultiroundResult> MultiroundSynchronize(
 
     // Client: match via one rolling pass per distinct size.
     BitReader hin(hmsg);
-    struct Pending {
-      size_t index;
-      uint32_t weak;
-      uint64_t strong;
-      bool found = false;
-      uint64_t pos = 0;
-    };
-    std::vector<Pending> pending;
+    pending.clear();
     for (size_t i = 0; i < client_blocks.size(); ++i) {
       MrBlock& b = client_blocks[i];
       if (b.resolved || b.size > outdated.size()) {
@@ -163,41 +192,32 @@ StatusOr<MultiroundResult> MultiroundSynchronize(
       }
       pending.push_back(p);
     }
-    std::unordered_map<uint64_t, std::vector<size_t>> by_size;
-    for (size_t k = 0; k < pending.size(); ++k) {
-      by_size[client_blocks[pending[k].index].size].push_back(k);
-    }
-    for (auto& [size, idxs] : by_size) {
-      if (size == 0 || size > outdated.size()) {
-        continue;
+    for (const auto& [size, idxs] :
+         GroupBySize(pending.size(),
+                     [&](size_t k) {
+                       return client_blocks[pending[k].index].size;
+                     })) {
+      scan_keys.resize(idxs.size());
+      for (size_t j = 0; j < idxs.size(); ++j) {
+        scan_keys[j] = pending[idxs[j]].weak;
       }
-      std::unordered_multimap<uint32_t, size_t> table;
-      size_t unmatched = idxs.size();
-      for (size_t k : idxs) {
-        table.emplace(pending[k].weak, k);
-      }
-      TabledAdlerWindow window(outdated.subspan(0, size));
-      for (uint64_t pos = 0;; ++pos) {
-        uint32_t key =
-            TabledAdler::Truncate(window.pair(), params.weak_bits);
-        auto [lo, hi] = table.equal_range(key);
-        for (auto it = lo; it != hi; ++it) {
-          Pending& p = pending[it->second];
-          if (!p.found) {
+      const uint64_t block_size = size;
+      const std::vector<size_t>& items = idxs;
+      ScanForKeys(
+          outdated, block_size, params.weak_bits, scan_keys,
+          [&](size_t j, uint64_t pos) {
             // Verify the strong bits locally before accepting.
-            if (params.strong_bits == 0 ||
-                Md5::HashBits(outdated.subspan(pos, size),
-                              params.strong_bits, 0xA11) == p.strong) {
-              p.found = true;
-              p.pos = pos;
-              --unmatched;
-            }
-          }
+            return params.strong_bits == 0 ||
+                   Md5::HashBits(outdated.subspan(pos, block_size),
+                                 params.strong_bits,
+                                 0xA11) == pending[items[j]].strong;
+          },
+          scan_pos, scan_opts, &scan_scratch);
+      for (size_t j = 0; j < idxs.size(); ++j) {
+        if (scan_pos[j] != kScanNoMatch) {
+          pending[idxs[j]].found = true;
+          pending[idxs[j]].pos = scan_pos[j];
         }
-        if (unmatched == 0 || pos + size >= outdated.size()) {
-          break;
-        }
-        window.Roll(outdated[pos], outdated[pos + size]);
       }
     }
 

@@ -27,6 +27,10 @@ struct MultiroundParams {
   /// Extra strong-hash bits (MD5) verifying the candidate position.
   int strong_bits = 16;
   bool compress_literals = true;
+  /// Worker threads for per-round block hashing and the client's rolling
+  /// scans (1 = serial). Execution knob only: wire traffic is
+  /// bit-identical for any value.
+  int num_threads = 1;
 };
 
 /// Outcome of a multiround-rsync session.

@@ -42,6 +42,10 @@ void SimulatedChannel::Send(Direction dir, ByteSpan payload) {
                              wire);
   }
 
+  if (record_transcript_) {
+    transcript_.push_back({dir, Bytes(payload.begin(), payload.end())});
+  }
+
   auto& queue =
       dir == Direction::kClientToServer ? to_server_ : to_client_;
   FaultAction action =

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "fsync/obs/sync_obs.h"
 #include "fsync/util/bytes.h"
@@ -85,12 +86,29 @@ class SimulatedChannel {
     fault_ = std::move(fault);
   }
 
+  /// One message as originally sent (before tamper/fault processing).
+  struct TranscriptEntry {
+    Direction dir;
+    Bytes payload;
+  };
+
+  /// Test hook: when enabled, every Send appends its direction and exact
+  /// payload to an in-order transcript. The threaded conformance suite
+  /// compares transcripts across `num_threads` settings to pin the
+  /// determinism contract (parallelism may never change wire traffic).
+  void EnableTranscript() { record_transcript_ = true; }
+  const std::vector<TranscriptEntry>& transcript() const {
+    return transcript_;
+  }
+
  private:
   obs::SyncObserver* observer_ = nullptr;
   std::function<void(Direction, Bytes&)> tamper_;
   std::function<FaultAction(Direction, ByteSpan)> fault_;
   std::deque<Bytes> to_server_;
   std::deque<Bytes> to_client_;
+  std::vector<TranscriptEntry> transcript_;
+  bool record_transcript_ = false;
   TrafficStats stats_;
   Direction last_dir_ = Direction::kServerToClient;
 };

@@ -1,0 +1,189 @@
+#include "fsync/par/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+namespace fsx::par {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = std::clamp(num_threads, 1, 64);
+  queues_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  // Drain: workers keep running until every submitted task has finished,
+  // so destruction never strands work (the shutdown contract par_test
+  // pins). New Submits after this point are a caller bug.
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t q = submit_cursor_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_acq_rel);
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::TryPop(size_t queue, bool steal,
+                        std::function<void()>& out) {
+  WorkerQueue& wq = *queues_[queue];
+  std::lock_guard<std::mutex> lock(wq.mu);
+  if (wq.tasks.empty()) {
+    return false;
+  }
+  if (steal) {
+    out = std::move(wq.tasks.front());  // FIFO: take the oldest, coldest
+    wq.tasks.pop_front();
+  } else {
+    out = std::move(wq.tasks.back());  // LIFO: newest is cache-warm
+    wq.tasks.pop_back();
+  }
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+bool ThreadPool::FindWork(size_t self, std::function<void()>& out) {
+  if (TryPop(self, /*steal=*/false, out)) {
+    return true;
+  }
+  for (size_t i = 1; i < queues_.size(); ++i) {
+    if (TryPop((self + i) % queues_.size(), /*steal=*/true, out)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::Finish() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+      stop_.load(std::memory_order_acquire)) {
+    idle_cv_.notify_all();  // unblock workers waiting to shut down
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  std::function<void()> task;
+  for (;;) {
+    if (FindWork(self, task)) {
+      task();
+      task = nullptr;
+      Finish();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    if (queued_.load(std::memory_order_acquire) > 0) {
+      continue;  // a task arrived between FindWork and the lock
+    }
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(10));
+  }
+}
+
+bool ThreadPool::RunOne() {
+  std::function<void()> task;
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    if (TryPop(i, /*steal=*/true, task)) {
+      task();
+      Finish();
+      return true;
+    }
+  }
+  return false;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = [] {
+    unsigned hw = std::thread::hardware_concurrency();
+    int n = std::clamp(static_cast<int>(hw == 0 ? 1 : hw), 1, 16);
+    // Leaked intentionally: worker threads may outlive static destruction
+    // order, and process exit reclaims everything.
+    return new ThreadPool(n);
+  }();
+  return *pool;
+}
+
+void ParallelFor(int num_threads, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  size_t lanes =
+      std::min<size_t>(n, static_cast<size_t>(std::max(num_threads, 1)));
+  if (lanes <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  ThreadPool& pool = ThreadPool::Shared();
+  lanes =
+      std::min<size_t>(lanes, static_cast<size_t>(pool.num_threads()) + 1);
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> live{lanes};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  auto lane = [&]() {
+    size_t i;
+    while ((i = next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      try {
+        fn(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!failed.load(std::memory_order_relaxed)) {
+            error = std::current_exception();
+            failed.store(true, std::memory_order_release);
+          }
+        }
+        next.store(n, std::memory_order_relaxed);  // abandon the rest
+        break;
+      }
+    }
+    live.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  for (size_t l = 1; l < lanes; ++l) {
+    pool.Submit(lane);
+  }
+  lane();  // the calling thread is a lane too
+  // Help drain the pool while waiting: if our lanes are queued behind
+  // other tasks (or this is a nested ParallelFor running inside a pool
+  // worker), executing pending tasks here guarantees forward progress.
+  while (live.load(std::memory_order_acquire) > 0) {
+    if (!pool.RunOne()) {
+      std::this_thread::yield();
+    }
+  }
+  if (failed.load(std::memory_order_acquire)) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace fsx::par

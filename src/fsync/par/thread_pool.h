@@ -1,0 +1,105 @@
+// Fixed-size work-stealing thread pool and deterministic parallel-for,
+// the execution substrate of the matching core's hot paths (signature
+// generation, sharded block scans, per-file collection fan-out).
+//
+// Determinism contract: parallelism in this library may change wall-clock
+// time and nothing else. Every parallel construct here therefore collects
+// results by index (ParallelMap) or lets callers write to disjoint
+// per-index slots (ParallelFor); which thread executes which index is
+// unspecified, but the merged result is a pure function of the inputs.
+// Protocols exploit this to keep wire traffic bit-identical whatever
+// `num_threads` says (verified by the threaded conformance suite).
+#ifndef FSYNC_PAR_THREAD_POOL_H_
+#define FSYNC_PAR_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fsx::par {
+
+/// Fixed-size pool of worker threads with per-worker deques and work
+/// stealing: a worker serves its own deque LIFO (cache-warm) and steals
+/// FIFO from siblings when empty. Waiters can help drain the pool via
+/// RunOne(), which is what makes nested ParallelFor calls deadlock-free.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to [1, 64]).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains every pending task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues a task (round-robin across worker deques). Thread-safe.
+  /// Tasks must not throw across the pool boundary; wrap exceptions
+  /// (ParallelFor does this for its lanes).
+  void Submit(std::function<void()> task);
+
+  /// Runs one pending task on the calling thread, if any. Returns false
+  /// when every deque is empty. Lets a thread that is blocked on a
+  /// subset of tasks make progress instead of sleeping.
+  bool RunOne();
+
+  /// Number of tasks submitted but not yet finished.
+  int pending() const { return pending_.load(std::memory_order_acquire); }
+
+  /// Process-wide pool, created on first use and sized to the hardware
+  /// (min 1, max 16 workers). Protocol code funnels through this pool so
+  /// nested parallel regions share one fixed set of threads.
+  static ThreadPool& Shared();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t self);
+  bool TryPop(size_t queue, bool steal, std::function<void()>& out);
+  bool FindWork(size_t self, std::function<void()>& out);
+  void Finish();
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> submit_cursor_{0};
+  std::atomic<int> pending_{0};
+  std::atomic<int> queued_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+};
+
+/// Runs fn(i) for every i in [0, n), using up to `num_threads` lanes on
+/// the shared pool (the calling thread is one of them). Blocks until all
+/// indices ran. With num_threads <= 1 or n <= 1 this is a plain inline
+/// loop — zero threading overhead, the default everywhere.
+///
+/// `fn` must be safe to call concurrently for distinct indices. If any
+/// invocation throws, remaining indices are abandoned and the first
+/// captured exception is rethrown on the calling thread.
+void ParallelFor(int num_threads, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// Deterministic-order result collection: out[i] = fn(i), computed in
+/// parallel, returned in index order regardless of execution order.
+template <typename Fn>
+auto ParallelMap(int num_threads, size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(size_t{0}))> {
+  std::vector<decltype(fn(size_t{0}))> out(n);
+  ParallelFor(num_threads, n, [&](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace fsx::par
+
+#endif  // FSYNC_PAR_THREAD_POOL_H_

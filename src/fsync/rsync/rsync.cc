@@ -1,12 +1,13 @@
 #include "fsync/rsync/rsync.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "fsync/compress/codec.h"
 #include "fsync/hash/fingerprint.h"
 #include "fsync/hash/md4.h"
 #include "fsync/hash/rolling_adler.h"
+#include "fsync/index/block_index.h"
+#include "fsync/par/thread_pool.h"
 #include "fsync/util/bit_io.h"
 
 namespace fsx {
@@ -22,14 +23,14 @@ constexpr uint64_t kLiteralTag = 0;
 
 std::vector<BlockSignature> ComputeSignatures(ByteSpan file,
                                               const RsyncParams& params) {
-  std::vector<BlockSignature> sigs;
   const size_t b = params.block_size;
-  sigs.reserve(file.size() / b);
-  for (size_t off = 0; off + b <= file.size(); off += b) {
-    ByteSpan block = file.subspan(off, b);
-    sigs.push_back({RsyncWeakChecksum(block),
-                    Md4::HashBits(block, 8 * params.strong_bytes)});
-  }
+  const size_t n_blocks = b == 0 ? 0 : file.size() / b;
+  std::vector<BlockSignature> sigs(n_blocks);
+  par::ParallelFor(params.num_threads, n_blocks, [&](size_t i) {
+    ByteSpan block = file.subspan(i * b, b);
+    sigs[i] = {RsyncWeakChecksum(block),
+               Md4::HashBits(block, 8 * params.strong_bytes)};
+  });
   return sigs;
 }
 
@@ -69,11 +70,12 @@ Bytes RsyncServerEncode(ByteSpan current,
   const size_t b = params.block_size;
   const size_t n = current.size();
 
-  // Weak checksum -> block indices (collisions chain in the vector).
-  std::unordered_map<uint32_t, std::vector<uint32_t>> table;
-  table.reserve(sigs.size() * 2);
+  // Weak checksum -> block entries; equal keys probe in insertion order,
+  // so the lowest matching block index still wins below.
+  BlockIndex table;
+  table.Reserve(sigs.size());
   for (size_t i = 0; i < sigs.size(); ++i) {
-    table[sigs[i].weak].push_back(static_cast<uint32_t>(i));
+    table.Insert(sigs[i].weak, sigs[i].strong, static_cast<uint32_t>(i));
   }
 
   BitWriter raw;
@@ -92,24 +94,33 @@ Bytes RsyncServerEncode(ByteSpan current,
     RollingAdler roll(current.subspan(0, b));
     size_t pos = 0;
     while (pos + b <= n) {
-      auto it = table.find(roll.value());
       bool matched = false;
-      if (it != table.end()) {
-        uint64_t strong = Md4::HashBits(current.subspan(pos, b),
-                                        8 * params.strong_bytes);
-        for (uint32_t idx : it->second) {
-          if (sigs[idx].strong == strong) {
-            flush_literals(pos);
-            raw.WriteVarint(static_cast<uint64_t>(idx) + 1);
-            pos += b;
-            lit_start = pos;
-            if (pos + b <= n) {
-              roll = RollingAdler(current.subspan(pos, b));
-            }
-            matched = true;
-            break;
+      const uint32_t weak = roll.value();
+      if (table.MaybeContains(weak)) {
+        // The strong hash is computed lazily, only once a probe actually
+        // reaches an entry with this weak key (same condition as the old
+        // `table.find` hit).
+        uint64_t strong = 0;
+        bool have_strong = false;
+        table.ForEach(weak, [&](const BlockIndex::Entry& e) {
+          if (!have_strong) {
+            strong = Md4::HashBits(current.subspan(pos, b),
+                                   8 * params.strong_bytes);
+            have_strong = true;
           }
-        }
+          if (e.tag != strong) {
+            return false;
+          }
+          flush_literals(pos);
+          raw.WriteVarint(static_cast<uint64_t>(e.idx) + 1);
+          pos += b;
+          lit_start = pos;
+          if (pos + b <= n) {
+            roll = RollingAdler(current.subspan(pos, b));
+          }
+          matched = true;
+          return true;
+        });
       }
       if (!matched) {
         roll.Roll(current[pos], pos + b < n ? current[pos + b] : 0);

@@ -26,6 +26,11 @@ struct RsyncParams {
   /// Compress the server's literal/index stream (rsync -z behaviour, and
   /// what the paper measures).
   bool compress_stream = true;
+  /// Worker threads for signature generation (1 = serial). Execution
+  /// knob only: wire traffic and results are bit-identical for any value
+  /// (the determinism contract, checked by the threaded conformance
+  /// suite).
+  int num_threads = 1;
 };
 
 /// Signature of one client block.

@@ -10,10 +10,15 @@ namespace fsx {
 
 namespace {
 
-StatusOr<ProtocolOutcome> RunRsync(ByteSpan f_old, ByteSpan f_new,
-                                   SimulatedChannel& channel,
+// Every Run* takes the thread-count execution knob so the registry can be
+// instantiated serial (the default) or threaded; the determinism contract
+// requires both to behave identically on the wire.
+
+StatusOr<ProtocolOutcome> RunRsync(int num_threads, ByteSpan f_old,
+                                   ByteSpan f_new, SimulatedChannel& channel,
                                    obs::SyncObserver* obs) {
   RsyncParams params;
+  params.num_threads = num_threads;
   FSYNC_ASSIGN_OR_RETURN(
       RsyncResult r, RsyncSynchronize(f_old, f_new, params, channel, obs));
   ProtocolOutcome out;
@@ -23,10 +28,11 @@ StatusOr<ProtocolOutcome> RunRsync(ByteSpan f_old, ByteSpan f_new,
   return out;
 }
 
-StatusOr<ProtocolOutcome> RunInplace(ByteSpan f_old, ByteSpan f_new,
-                                     SimulatedChannel& channel,
+StatusOr<ProtocolOutcome> RunInplace(int num_threads, ByteSpan f_old,
+                                     ByteSpan f_new, SimulatedChannel& channel,
                                      obs::SyncObserver* obs) {
   RsyncParams params;
+  params.num_threads = num_threads;
   FSYNC_ASSIGN_OR_RETURN(
       InplaceSyncResult r,
       InplaceSynchronize(f_old, f_new, params, channel, obs));
@@ -37,10 +43,11 @@ StatusOr<ProtocolOutcome> RunInplace(ByteSpan f_old, ByteSpan f_new,
   return out;
 }
 
-StatusOr<ProtocolOutcome> RunZsync(ByteSpan f_old, ByteSpan f_new,
-                                   SimulatedChannel& channel,
+StatusOr<ProtocolOutcome> RunZsync(int num_threads, ByteSpan f_old,
+                                   ByteSpan f_new, SimulatedChannel& channel,
                                    obs::SyncObserver* obs) {
   ZsyncParams params;
+  params.num_threads = num_threads;
   FSYNC_ASSIGN_OR_RETURN(
       ZsyncSyncResult r, ZsyncSynchronize(f_old, f_new, params, channel, obs));
   ProtocolOutcome out;
@@ -50,10 +57,11 @@ StatusOr<ProtocolOutcome> RunZsync(ByteSpan f_old, ByteSpan f_new,
   return out;
 }
 
-StatusOr<ProtocolOutcome> RunCdc(ByteSpan f_old, ByteSpan f_new,
-                                 SimulatedChannel& channel,
+StatusOr<ProtocolOutcome> RunCdc(int num_threads, ByteSpan f_old,
+                                 ByteSpan f_new, SimulatedChannel& channel,
                                  obs::SyncObserver* obs) {
   CdcSyncParams params;
+  params.num_threads = num_threads;
   FSYNC_ASSIGN_OR_RETURN(CdcSyncResult r,
                          CdcSynchronize(f_old, f_new, params, channel, obs));
   ProtocolOutcome out;
@@ -63,10 +71,12 @@ StatusOr<ProtocolOutcome> RunCdc(ByteSpan f_old, ByteSpan f_new,
   return out;
 }
 
-StatusOr<ProtocolOutcome> RunMultiround(ByteSpan f_old, ByteSpan f_new,
+StatusOr<ProtocolOutcome> RunMultiround(int num_threads, ByteSpan f_old,
+                                        ByteSpan f_new,
                                         SimulatedChannel& channel,
                                         obs::SyncObserver* obs) {
   MultiroundParams params;
+  params.num_threads = num_threads;
   FSYNC_ASSIGN_OR_RETURN(
       MultiroundResult r,
       MultiroundSynchronize(f_old, f_new, params, channel, obs));
@@ -78,10 +88,11 @@ StatusOr<ProtocolOutcome> RunMultiround(ByteSpan f_old, ByteSpan f_new,
   return out;
 }
 
-StatusOr<ProtocolOutcome> RunSession(ByteSpan f_old, ByteSpan f_new,
-                                     SimulatedChannel& channel,
+StatusOr<ProtocolOutcome> RunSession(int num_threads, ByteSpan f_old,
+                                     ByteSpan f_new, SimulatedChannel& channel,
                                      obs::SyncObserver* obs) {
   SyncConfig config;
+  config.num_threads = num_threads;
   FSYNC_ASSIGN_OR_RETURN(FileSyncResult r,
                          SynchronizeFile(f_old, f_new, config, channel, obs));
   ProtocolOutcome out;
@@ -92,13 +103,15 @@ StatusOr<ProtocolOutcome> RunSession(ByteSpan f_old, ByteSpan f_new,
   return out;
 }
 
-StatusOr<ProtocolOutcome> RunSessionCapped(ByteSpan f_old, ByteSpan f_new,
+StatusOr<ProtocolOutcome> RunSessionCapped(int num_threads, ByteSpan f_old,
+                                           ByteSpan f_new,
                                            SimulatedChannel& channel,
                                            obs::SyncObserver* obs) {
   // The paper's restricted-roundtrip mode: the map phase is cut short and
   // the delta phase must absorb whatever is unresolved.
   SyncConfig config;
   config.max_roundtrips = 2;
+  config.num_threads = num_threads;
   FSYNC_ASSIGN_OR_RETURN(FileSyncResult r,
                          SynchronizeFile(f_old, f_new, config, channel, obs));
   ProtocolOutcome out;
@@ -109,19 +122,34 @@ StatusOr<ProtocolOutcome> RunSessionCapped(ByteSpan f_old, ByteSpan f_new,
   return out;
 }
 
+std::vector<ProtocolEntry> MakeProtocols(int num_threads) {
+  auto bind = [num_threads](auto fn) {
+    return [num_threads, fn](ByteSpan f_old, ByteSpan f_new,
+                             SimulatedChannel& channel,
+                             obs::SyncObserver* obs) {
+      return fn(num_threads, f_old, f_new, channel, obs);
+    };
+  };
+  return {
+      {"rsync", bind(RunRsync)},
+      {"inplace", bind(RunInplace)},
+      {"zsync", bind(RunZsync)},
+      {"cdc", bind(RunCdc)},
+      {"multiround", bind(RunMultiround)},
+      {"session", bind(RunSession)},
+      {"session-capped", bind(RunSessionCapped)},
+  };
+}
+
 }  // namespace
 
 const std::vector<ProtocolEntry>& ConformanceProtocols() {
-  static const std::vector<ProtocolEntry> kProtocols = {
-      {"rsync", RunRsync},
-      {"inplace", RunInplace},
-      {"zsync", RunZsync},
-      {"cdc", RunCdc},
-      {"multiround", RunMultiround},
-      {"session", RunSession},
-      {"session-capped", RunSessionCapped},
-  };
+  static const std::vector<ProtocolEntry> kProtocols = MakeProtocols(1);
   return kProtocols;
+}
+
+std::vector<ProtocolEntry> ThreadedConformanceProtocols(int num_threads) {
+  return MakeProtocols(num_threads);
 }
 
 }  // namespace fsx

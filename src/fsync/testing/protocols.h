@@ -41,6 +41,12 @@ struct ProtocolEntry {
 /// library-default parameters.
 const std::vector<ProtocolEntry>& ConformanceProtocols();
 
+/// The same registry with every protocol's `num_threads` execution knob
+/// set. The determinism contract says any value must produce wire traffic
+/// and results bit-identical to ConformanceProtocols(); the threaded
+/// conformance suite runs both and compares channel transcripts.
+std::vector<ProtocolEntry> ThreadedConformanceProtocols(int num_threads);
+
 }  // namespace fsx
 
 #endif  // FSYNC_TESTING_PROTOCOLS_H_

@@ -1,11 +1,11 @@
 #include "fsync/zsync/zsync.h"
 
-#include <unordered_map>
-
 #include "fsync/compress/codec.h"
 #include "fsync/hash/fingerprint.h"
 #include "fsync/hash/md5.h"
 #include "fsync/hash/tabled_adler.h"
+#include "fsync/index/scan.h"
+#include "fsync/par/thread_pool.h"
 #include "fsync/util/bit_io.h"
 
 namespace fsx {
@@ -13,6 +13,9 @@ namespace fsx {
 namespace {
 
 constexpr uint64_t kStrongSalt = 0x25A6C;
+
+static_assert(ZsyncPlan::kMissing == kScanNoMatch,
+              "scan results are assigned to plan.sources unconverted");
 
 Status ValidateParams(const ZsyncParams& p) {
   if (p.block_size == 0 || p.weak_bits < 1 || p.weak_bits > 32 ||
@@ -64,19 +67,32 @@ StatusOr<Bytes> MakeZsyncControl(ByteSpan current,
   out.WriteBits(static_cast<uint64_t>(params.strong_bits), 7);
   out.WriteBit(params.compress_ranges);
 
-  for (uint64_t off = 0; off < current.size(); off += params.block_size) {
-    ByteSpan block = current.subspan(
-        off, std::min<uint64_t>(params.block_size, current.size() - off));
-    out.WriteBits(TabledAdler::Truncate(TabledAdler::Hash(block),
-                                        params.weak_bits),
-                  params.weak_bits);
-    out.WriteBits(Md5::HashBits(block, params.strong_bits, kStrongSalt),
-                  params.strong_bits);
+  // Per-block hashing is embarrassingly parallel; serialization stays in
+  // block order, so the control file is identical for any thread count.
+  const uint64_t bs = params.block_size;
+  const size_t n_blocks = (current.size() + bs - 1) / bs;
+  struct BlockHashes {
+    uint32_t weak = 0;
+    uint64_t strong = 0;
+  };
+  std::vector<BlockHashes> hashes(n_blocks);
+  par::ParallelFor(params.num_threads, n_blocks, [&](size_t i) {
+    uint64_t off = i * bs;
+    ByteSpan block =
+        current.subspan(off, std::min<uint64_t>(bs, current.size() - off));
+    hashes[i] = {static_cast<uint32_t>(TabledAdler::Truncate(
+                     TabledAdler::Hash(block), params.weak_bits)),
+                 Md5::HashBits(block, params.strong_bits, kStrongSalt)};
+  });
+  for (const BlockHashes& h : hashes) {
+    out.WriteBits(h.weak, params.weak_bits);
+    out.WriteBits(h.strong, params.strong_bits);
   }
   return out.Finish();
 }
 
-StatusOr<ZsyncPlan> PlanFromControl(ByteSpan outdated, ByteSpan control) {
+StatusOr<ZsyncPlan> PlanFromControl(ByteSpan outdated, ByteSpan control,
+                                    int num_threads) {
   BitReader in(control);
   ZsyncPlan plan;
   FSYNC_ASSIGN_OR_RETURN(plan.new_size, in.ReadVarint());
@@ -113,60 +129,44 @@ StatusOr<ZsyncPlan> PlanFromControl(ByteSpan outdated, ByteSpan control) {
   }
   plan.sources.assign(n_blocks, ZsyncPlan::kMissing);
 
-  // Full blocks: one rolling pass over the outdated file.
-  if (n_blocks > 0 && plan.block_size <= outdated.size()) {
-    std::unordered_multimap<uint32_t, size_t> table;
+  // Full blocks: one rolling pass over the outdated file (earliest weak +
+  // strong match per block, via the shared matching core).
+  ScanOptions scan_opts;
+  scan_opts.num_threads = num_threads;
+  std::vector<uint64_t> found;
+  if (n_blocks > 0) {
     uint64_t full_blocks =
         plan.new_size / plan.block_size;  // tail handled below
-    size_t unmatched = 0;
+    std::vector<uint32_t> keys(full_blocks);
     for (size_t i = 0; i < full_blocks; ++i) {
-      table.emplace(blocks[i].weak, i);
-      ++unmatched;
+      keys[i] = blocks[i].weak;
     }
-    if (unmatched > 0) {
-      TabledAdlerWindow window(outdated.subspan(0, plan.block_size));
-      for (uint64_t pos = 0;; ++pos) {
-        uint32_t key =
-            TabledAdler::Truncate(window.pair(), params.weak_bits);
-        auto [lo, hi] = table.equal_range(key);
-        for (auto it = lo; it != hi; ++it) {
-          size_t i = it->second;
-          if (plan.sources[i] == ZsyncPlan::kMissing &&
-              Md5::HashBits(outdated.subspan(pos, plan.block_size),
-                            params.strong_bits,
-                            kStrongSalt) == blocks[i].strong) {
-            plan.sources[i] = pos;
-            --unmatched;
-          }
-        }
-        if (unmatched == 0 || pos + plan.block_size >= outdated.size()) {
-          break;
-        }
-        window.Roll(outdated[pos], outdated[pos + plan.block_size]);
-      }
+    ScanForKeys(
+        outdated, plan.block_size, params.weak_bits, keys,
+        [&](size_t i, uint64_t pos) {
+          return Md5::HashBits(outdated.subspan(pos, plan.block_size),
+                               params.strong_bits,
+                               kStrongSalt) == blocks[i].strong;
+        },
+        found, scan_opts);
+    for (size_t i = 0; i < full_blocks; ++i) {
+      plan.sources[i] = found[i];  // kScanNoMatch == kMissing
     }
   }
   // Tail block: check every position of its exact (short) size.
   if (n_blocks > 0 && plan.new_size % plan.block_size != 0) {
     uint64_t tail_len = plan.new_size % plan.block_size;
     size_t i = n_blocks - 1;
-    if (tail_len <= outdated.size()) {
-      TabledAdlerWindow window(outdated.subspan(0, tail_len));
-      for (uint64_t pos = 0;; ++pos) {
-        if (TabledAdler::Truncate(window.pair(), params.weak_bits) ==
-                blocks[i].weak &&
-            Md5::HashBits(outdated.subspan(pos, tail_len),
-                          params.strong_bits,
-                          kStrongSalt) == blocks[i].strong) {
-          plan.sources[i] = pos;
-          break;
-        }
-        if (pos + tail_len >= outdated.size()) {
-          break;
-        }
-        window.Roll(outdated[pos], outdated[pos + tail_len]);
-      }
-    }
+    std::vector<uint32_t> keys = {blocks[i].weak};
+    ScanForKeys(
+        outdated, tail_len, params.weak_bits, keys,
+        [&](size_t, uint64_t pos) {
+          return Md5::HashBits(outdated.subspan(pos, tail_len),
+                               params.strong_bits,
+                               kStrongSalt) == blocks[i].strong;
+        },
+        found, scan_opts);
+    plan.sources[i] = found[0];
   }
   return plan;
 }
@@ -273,8 +273,9 @@ StatusOr<ZsyncSyncResult> ZsyncSynchronize(ByteSpan outdated,
   //    missing byte ranges.
   FSYNC_ASSIGN_OR_RETURN(Bytes control_msg,
                          channel.Receive(Dir::kServerToClient));
-  FSYNC_ASSIGN_OR_RETURN(ZsyncPlan plan,
-                         PlanFromControl(outdated, control_msg));
+  FSYNC_ASSIGN_OR_RETURN(
+      ZsyncPlan plan,
+      PlanFromControl(outdated, control_msg, params.num_threads));
   result.covered_fraction = plan.CoveredFraction();
   obs::SetPhase(obs, obs::Phase::kVerification);
   channel.Send(Dir::kClientToServer, EncodeRangeRequest(plan));

@@ -26,6 +26,10 @@ struct ZsyncParams {
   int weak_bits = 24;    // rolling hash per block (<= 32)
   int strong_bits = 24;  // MD5 bits per block, verified client-side
   bool compress_ranges = true;
+  /// Worker threads for control-file hashing and the client-side block
+  /// scan (1 = serial). Execution knob only — never encoded in the
+  /// control file; any value yields bit-identical wire traffic.
+  int num_threads = 1;
 };
 
 /// Builds the control file for `current` (published once, fetched by
@@ -56,7 +60,10 @@ struct ZsyncPlan {
 };
 
 /// Client side: matches the control file against `outdated`.
-StatusOr<ZsyncPlan> PlanFromControl(ByteSpan outdated, ByteSpan control);
+/// `num_threads` shards the rolling scan (results are identical for any
+/// value; the control file fully determines matching parameters).
+StatusOr<ZsyncPlan> PlanFromControl(ByteSpan outdated, ByteSpan control,
+                                    int num_threads = 1);
 
 /// The client's range request (coalesced missing ranges, varint-coded).
 Bytes EncodeRangeRequest(const ZsyncPlan& plan);

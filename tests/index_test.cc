@@ -1,0 +1,246 @@
+// Unit tests for the shared matching core's flat block index and rolling
+// scan: insertion-order probing (the property rsync's wire format leans
+// on), growth rehash, the bitmap prefilter's false-positive bound, and
+// serial/sharded scan equivalence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "fsync/index/block_index.h"
+#include "fsync/index/scan.h"
+#include "fsync/util/random.h"
+
+namespace fsx {
+namespace {
+
+TEST(BlockIndex, EmptyIndexFindsNothing) {
+  BlockIndex index;
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.FindFirst(0), nullptr);
+  EXPECT_EQ(index.FindFirst(12345), nullptr);
+  int calls = 0;
+  index.ForEach(7, [&](const BlockIndex::Entry&) {
+    ++calls;
+    return false;
+  });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(BlockIndex, InsertAndFindFirst) {
+  BlockIndex index;
+  index.Reserve(4);
+  index.Insert(10, 0xAA, 1);
+  index.Insert(20, 0xBB, 2);
+  index.Insert(30, 0xCC, 3);
+  ASSERT_NE(index.FindFirst(20), nullptr);
+  EXPECT_EQ(index.FindFirst(20)->tag, 0xBBu);
+  EXPECT_EQ(index.FindFirst(20)->idx, 2u);
+  EXPECT_EQ(index.FindFirst(40), nullptr);
+  EXPECT_EQ(index.size(), 3u);
+}
+
+TEST(BlockIndex, DuplicateKeysProbeInInsertionOrder) {
+  BlockIndex index;
+  index.Reserve(8);
+  // Same key inserted out of idx order: probe order must follow the
+  // inserts, not the payloads (rsync's lowest-block-index-wins selection
+  // inserts in block order and depends on getting them back that way).
+  index.Insert(99, 0x1, 5);
+  index.Insert(99, 0x2, 3);
+  index.Insert(99, 0x3, 8);
+  std::vector<uint32_t> seen;
+  index.ForEach(99, [&](const BlockIndex::Entry& e) {
+    seen.push_back(e.idx);
+    return false;
+  });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{5, 3, 8}));
+  ASSERT_NE(index.FindFirst(99), nullptr);
+  EXPECT_EQ(index.FindFirst(99)->idx, 5u);
+}
+
+TEST(BlockIndex, ForEachStopsEarlyWhenFnReturnsTrue) {
+  BlockIndex index;
+  index.Insert(7, 0, 0);
+  index.Insert(7, 0, 1);
+  index.Insert(7, 0, 2);
+  std::vector<uint32_t> seen;
+  index.ForEach(7, [&](const BlockIndex::Entry& e) {
+    seen.push_back(e.idx);
+    return e.idx == 1;
+  });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(BlockIndex, GrowthRehashPreservesProbeOrder) {
+  // Insert far past the default capacity with no Reserve, forcing
+  // several growth rehashes, with duplicate keys sprinkled throughout.
+  BlockIndex index;
+  constexpr uint64_t kDupKey = 0xDEADBEEF;
+  std::vector<uint32_t> expected_dups;
+  for (uint32_t i = 0; i < 5000; ++i) {
+    if (i % 7 == 0) {
+      index.Insert(kDupKey, i, i);
+      expected_dups.push_back(i);
+    } else {
+      index.Insert(i, i * 2 + 1, i);
+    }
+  }
+  EXPECT_EQ(index.size(), 5000u);
+  std::vector<uint32_t> seen;
+  index.ForEach(kDupKey, [&](const BlockIndex::Entry& e) {
+    seen.push_back(e.idx);
+    return false;
+  });
+  EXPECT_EQ(seen, expected_dups);
+  // Unique keys survived the rehashes too.
+  ASSERT_NE(index.FindFirst(12), nullptr);
+  EXPECT_EQ(index.FindFirst(12)->tag, 25u);
+}
+
+TEST(BlockIndex, ClearKeepsCapacityAndDropsEverything) {
+  BlockIndex index;
+  index.Reserve(1000);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    index.Insert(i, 0, i);
+  }
+  size_t cap = index.capacity();
+  EXPECT_GE(cap, 2000u);
+  index.Clear();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.capacity(), cap);
+  EXPECT_EQ(index.FindFirst(5), nullptr);
+  EXPECT_FALSE(index.MaybeContains(5));
+  // Reusable after Clear.
+  index.Insert(5, 1, 2);
+  ASSERT_NE(index.FindFirst(5), nullptr);
+  EXPECT_TRUE(index.MaybeContains(5));
+}
+
+TEST(BlockIndex, PrefilterHasNoFalseNegatives) {
+  BlockIndex index;
+  Rng rng(17);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 4096; ++i) {
+    keys.push_back(rng.Next());
+    index.Insert(keys.back(), 0, static_cast<uint32_t>(i));
+  }
+  for (uint64_t key : keys) {
+    EXPECT_TRUE(index.MaybeContains(key));
+    EXPECT_NE(index.FindFirst(key), nullptr);
+  }
+}
+
+TEST(BlockIndex, PrefilterFalsePositiveRateIsBounded) {
+  // With k distinct keys the prefilter sets at most k of 2^16 bits, so
+  // the FP rate for independent absent keys is <= k / 65536. Allow 2x
+  // slack for sampling noise.
+  BlockIndex index;
+  Rng rng(23);
+  std::unordered_set<uint64_t> present;
+  constexpr int kKeys = 2048;
+  for (int i = 0; i < kKeys; ++i) {
+    uint64_t key = rng.Next();
+    present.insert(key);
+    index.Insert(key, 0, static_cast<uint32_t>(i));
+  }
+  int probes = 0;
+  int hits = 0;
+  while (probes < 100000) {
+    uint64_t key = rng.Next();
+    if (present.count(key)) {
+      continue;
+    }
+    ++probes;
+    if (index.MaybeContains(key)) {
+      ++hits;
+    }
+  }
+  double rate = static_cast<double>(hits) / probes;
+  double bound = 2.0 * kKeys / 65536.0;
+  EXPECT_LT(rate, bound) << "FP rate " << rate << " exceeds " << bound;
+}
+
+TEST(BlockIndex, PrefilterCollisionResolvedByFullKey) {
+  // 0x1 and 0x10000 fold to the same prefilter bit; the probe itself
+  // must still separate them.
+  ASSERT_EQ(BlockIndex::Fold16(0x1), BlockIndex::Fold16(0x10000));
+  BlockIndex index;
+  index.Insert(0x10000, 0, 1);
+  EXPECT_TRUE(index.MaybeContains(0x1));  // prefilter false positive
+  EXPECT_EQ(index.FindFirst(0x1), nullptr);
+  ASSERT_NE(index.FindFirst(0x10000), nullptr);
+}
+
+TEST(Scan, FindsEarliestMatchPerKey) {
+  // haystack: "abcdXXabcdYYabcd", size 4, key of "abcd" must report the
+  // first occurrence even though it repeats.
+  Bytes hay = {'a', 'b', 'c', 'd', 'X', 'X', 'a', 'b',
+               'c', 'd', 'Y', 'Y', 'a', 'b', 'c', 'd'};
+  uint32_t key = TabledAdler::Truncate(
+      TabledAdler::Hash(ByteSpan(hay.data(), 4)), 32);
+  std::vector<uint32_t> keys = {key, 0xDEAD};
+  std::vector<uint64_t> pos;
+  ScanForKeys(hay, 4, 32, keys,
+              [](size_t, uint64_t) { return true; }, pos);
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_EQ(pos[0], 0u);
+  EXPECT_EQ(pos[1], kScanNoMatch);
+}
+
+TEST(Scan, VerifyRejectionSkipsToLaterPosition) {
+  Bytes hay = {'a', 'b', 'a', 'b', 'a', 'b'};
+  uint32_t key = TabledAdler::Truncate(
+      TabledAdler::Hash(ByteSpan(hay.data(), 2)), 24);
+  std::vector<uint32_t> keys = {key};
+  std::vector<uint64_t> pos;
+  // Reject position 0; the scan must settle on the next weak match.
+  ScanForKeys(hay, 2, 24, keys,
+              [](size_t, uint64_t p) { return p > 0; }, pos);
+  ASSERT_EQ(pos.size(), 1u);
+  EXPECT_EQ(pos[0], 2u);
+}
+
+TEST(Scan, ShardedScanMatchesSerialScan) {
+  Rng rng(31);
+  Bytes hay = rng.RandomBytes(300000);
+  constexpr uint64_t kSize = 128;
+  // Keys taken from real positions (guaranteed matches at known offsets)
+  // plus random absent keys.
+  std::vector<uint32_t> keys;
+  for (uint64_t off : {0ull, 777ull, 150000ull, 299000ull}) {
+    keys.push_back(TabledAdler::Truncate(
+        TabledAdler::Hash(ByteSpan(hay.data() + off, kSize)), 32));
+  }
+  for (int i = 0; i < 16; ++i) {
+    keys.push_back(static_cast<uint32_t>(rng.Next()));
+  }
+  auto verify = [](size_t, uint64_t) { return true; };
+  std::vector<uint64_t> serial;
+  ScanForKeys(hay, kSize, 32, keys, verify, serial);
+  ScanOptions opts;
+  opts.num_threads = 4;
+  opts.min_shard_windows = 1024;  // force sharding on this small input
+  BlockIndex scratch;
+  std::vector<uint64_t> sharded;
+  ScanForKeys(hay, kSize, 32, keys, verify, sharded, opts, &scratch);
+  EXPECT_EQ(serial, sharded);
+  EXPECT_EQ(serial[0], 0u);
+}
+
+TEST(Scan, GroupBySizeIsFirstSeenOrder) {
+  std::vector<uint64_t> sizes = {8, 4, 8, 16, 4, 8};
+  auto groups =
+      GroupBySize(sizes.size(), [&](size_t i) { return sizes[i]; });
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].first, 8u);
+  EXPECT_EQ(groups[0].second, (std::vector<size_t>{0, 2, 5}));
+  EXPECT_EQ(groups[1].first, 4u);
+  EXPECT_EQ(groups[1].second, (std::vector<size_t>{1, 4}));
+  EXPECT_EQ(groups[2].first, 16u);
+  EXPECT_EQ(groups[2].second, (std::vector<size_t>{3}));
+}
+
+}  // namespace
+}  // namespace fsx

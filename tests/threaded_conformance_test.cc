@@ -1,0 +1,122 @@
+// Pins the determinism contract: `num_threads` is a host-side execution
+// knob, so running any protocol with a thread pool must produce wire
+// traffic — every message, byte for byte, in order — and results
+// identical to the serial run. Compares full channel transcripts across
+// thread counts for all registered protocols, then repeats the whole
+// differential invariant sweep threaded. Labeled `conformance` (and run
+// under TSAN in CI, where the transcript comparison doubles as a data
+// race driver for the parallel hot paths).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fsync/core/broadcast.h"
+#include "fsync/testing/corpus.h"
+#include "fsync/testing/differential.h"
+#include "fsync/testing/protocols.h"
+#include "fsync/util/random.h"
+
+namespace fsx {
+namespace {
+
+constexpr int kThreads = 4;
+
+// Shapes that exercise every matching path: heavy scanning, tail blocks,
+// empties, and near-identical files.
+std::vector<CorpusPair> TranscriptCorpus(uint64_t seed) {
+  std::vector<CorpusPair> corpus;
+  for (CorpusShape shape : AllCorpusShapes()) {
+    corpus.push_back(MakeCorpusPair(shape, seed));
+  }
+  return corpus;
+}
+
+TEST(ThreadedConformance, RegistriesPairUp) {
+  const auto& serial = ConformanceProtocols();
+  std::vector<ProtocolEntry> threaded =
+      ThreadedConformanceProtocols(kThreads);
+  ASSERT_EQ(serial.size(), threaded.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].name, threaded[i].name);
+  }
+}
+
+TEST(ThreadedConformance, WireTrafficBitIdenticalAcrossThreadCounts) {
+  const uint64_t seed = SeedFromEnv(29);
+  const auto& serial = ConformanceProtocols();
+  std::vector<ProtocolEntry> threaded =
+      ThreadedConformanceProtocols(kThreads);
+  for (const CorpusPair& pair : TranscriptCorpus(seed)) {
+    for (size_t p = 0; p < serial.size(); ++p) {
+      SimulatedChannel ch1;
+      ch1.EnableTranscript();
+      auto r1 = serial[p].run(pair.f_old, pair.f_new, ch1, nullptr);
+      SimulatedChannel chn;
+      chn.EnableTranscript();
+      auto rn = threaded[p].run(pair.f_old, pair.f_new, chn, nullptr);
+
+      SCOPED_TRACE(serial[p].name + " / " + pair.Label() +
+                   " FSX_SEED=" + std::to_string(seed));
+      ASSERT_EQ(r1.ok(), rn.ok());
+      if (!r1.ok()) {
+        continue;
+      }
+      EXPECT_EQ(r1->reconstructed, rn->reconstructed);
+      EXPECT_EQ(r1->stats.total_bytes(), rn->stats.total_bytes());
+      EXPECT_EQ(r1->stats.roundtrips, rn->stats.roundtrips);
+      EXPECT_EQ(r1->fell_back, rn->fell_back);
+      EXPECT_EQ(r1->rounds, rn->rounds);
+
+      const auto& t1 = ch1.transcript();
+      const auto& tn = chn.transcript();
+      ASSERT_EQ(t1.size(), tn.size()) << "message count diverged";
+      for (size_t m = 0; m < t1.size(); ++m) {
+        ASSERT_EQ(static_cast<int>(t1[m].dir), static_cast<int>(tn[m].dir))
+            << "message " << m;
+        ASSERT_EQ(t1[m].payload, tn[m].payload)
+            << "payload of message " << m << " diverged";
+      }
+    }
+  }
+}
+
+TEST(ThreadedConformance, DifferentialSweepPassesThreaded) {
+  // The full invariant sweep (reconstruction, accounting, drained
+  // channel, traffic bounds, cross-protocol agreement) with every
+  // protocol running on the pool.
+  const uint64_t seed = SeedFromEnv(3);
+  std::vector<CorpusPair> corpus = MakeConformanceCorpus(1, seed);
+  std::vector<ProtocolEntry> threaded =
+      ThreadedConformanceProtocols(kThreads);
+  DifferentialReport report = RunDifferential(corpus, threaded);
+  EXPECT_TRUE(report.ok()) << "FSX_SEED=" << seed << "\n"
+                           << report.Summary();
+  EXPECT_EQ(report.runs, corpus.size() * threaded.size());
+}
+
+TEST(ThreadedConformance, HashCastPayloadIdenticalAcrossThreadCounts) {
+  // The broadcast builder takes num_threads as an argument (it has no
+  // params struct); its cast payload and the client's map must not
+  // depend on it.
+  const uint64_t seed = SeedFromEnv(41);
+  CorpusPair pair = MakeCorpusPair(CorpusShape::kClusteredEdits, seed);
+  HashCastConfig config;
+  auto serial_cast = BuildHashCast(pair.f_new, config, 1);
+  auto threaded_cast = BuildHashCast(pair.f_new, config, kThreads);
+  ASSERT_TRUE(serial_cast.ok() && threaded_cast.ok());
+  EXPECT_EQ(*serial_cast, *threaded_cast);
+
+  auto serial_map = ApplyHashCast(pair.f_old, *serial_cast, 1);
+  auto threaded_map = ApplyHashCast(pair.f_old, *serial_cast, kThreads);
+  ASSERT_TRUE(serial_map.ok() && threaded_map.ok());
+  ASSERT_EQ(serial_map->ranges.size(), threaded_map->ranges.size());
+  for (size_t i = 0; i < serial_map->ranges.size(); ++i) {
+    EXPECT_EQ(serial_map->ranges[i].begin, threaded_map->ranges[i].begin);
+    EXPECT_EQ(serial_map->ranges[i].length,
+              threaded_map->ranges[i].length);
+    EXPECT_EQ(serial_map->ranges[i].src, threaded_map->ranges[i].src);
+  }
+}
+
+}  // namespace
+}  // namespace fsx
