@@ -6,6 +6,7 @@
 //   fsxsync <source-dir> <dest-dir> [--method fsx|rsync|cdc|multiround]
 //           [--dry-run] [--keep-extra] [--trace]
 //           [--metrics-json[=path]]
+//           [--fault-drop=P] [--fault-corrupt=P] [--retries=N]
 //   fsxsync verify <dir>      # check a tree against its manifest
 //   fsxsync demo
 //
@@ -15,12 +16,21 @@
 // path). Both are host-side observers: they never change what goes over
 // the (simulated) wire.
 //
+// --fault-drop / --fault-corrupt (fsx method only) run the sync over the
+// reliable transport with the given per-message Bernoulli loss /
+// corruption probability on the simulated link; --retries bounds the
+// retransmit attempts before the session fails with UNAVAILABLE. The
+// fault seed honors FSX_SEED, and the retransmit counters land in
+// --metrics-json under "transport".
+//
 // Files present only in <dest-dir> are deleted (mirror semantics) unless
 // --keep-extra is given. A manifest is written to the destination so a
 // later `fsxsync verify` can spot local modifications cheaply.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
 
 #include <fstream>
@@ -31,6 +41,9 @@
 #include "fsync/obs/json.h"
 #include "fsync/obs/sync_obs.h"
 #include "fsync/store/fsstore.h"
+#include "fsync/testing/faults.h"
+#include "fsync/transport/reliable.h"
+#include "fsync/util/random.h"
 #include "fsync/workload/release.h"
 
 namespace {
@@ -68,8 +81,10 @@ class StderrTraceSink : public fsx::obs::TraceSink {
 };
 
 /// --metrics-json output: phase attribution + aggregate instruments.
+/// `transport` is non-null when the sync ran over the reliable transport.
 int WriteMetricsJson(const fsx::obs::SyncObserver& observer,
-                     const std::string& method, const std::string& path) {
+                     const std::string& method, const std::string& path,
+                     const fsx::transport::TransportCounters* transport) {
   fsx::obs::JsonWriter w;
   w.BeginObject();
   w.Key("schema");
@@ -91,6 +106,33 @@ int WriteMetricsJson(const fsx::obs::SyncObserver& observer,
   w.Uint(observer.rounds());
   w.Key("wall_ns");
   w.Uint(observer.wall_ns());
+  if (transport != nullptr) {
+    w.Key("transport");
+    w.BeginObject();
+    w.Key("records_sent");
+    w.Uint(transport->records_sent);
+    w.Key("retransmits");
+    w.Uint(transport->retransmits);
+    w.Key("timeouts");
+    w.Uint(transport->timeouts);
+    w.Key("corrupt_dropped");
+    w.Uint(transport->corrupt_dropped);
+    w.Key("duplicate_dropped");
+    w.Uint(transport->duplicate_dropped);
+    w.Key("reorder_buffered");
+    w.Uint(transport->reorder_buffered);
+    w.Key("delivered");
+    w.Uint(transport->delivered);
+    w.EndObject();
+  }
+  w.Key("events");
+  w.BeginObject();
+  for (int i = 0; i < fsx::obs::kNumEvents; ++i) {
+    fsx::obs::Event e = static_cast<fsx::obs::Event>(i);
+    w.Key(fsx::obs::EventName(e));
+    w.Uint(observer.event_count(e));
+  }
+  w.EndObject();
   fsx::obs::MetricsRegistry registry;
   observer.FlushTo(registry, method);
   w.Key("metrics");
@@ -131,10 +173,18 @@ struct ObserveOptions {
   std::string metrics_path;  // empty = stdout
 };
 
+struct FaultOptions {
+  double drop = 0.0;     // per-message loss probability, both directions
+  double corrupt = 0.0;  // per-message bit-flip probability
+  int retries = 0;       // 0 = transport default
+  bool any() const { return drop > 0 || corrupt > 0 || retries > 0; }
+};
+
 int RunSync(const std::string& src_dir, const std::string& dst_dir,
             const std::string& method, bool dry_run, bool keep_extra,
             const std::string& config_path = "",
-            const ObserveOptions& observe = {}) {
+            const ObserveOptions& observe = {},
+            const FaultOptions& faults = {}) {
   auto server_tree = fsx::LoadTree(src_dir);
   if (!server_tree.ok()) {
     std::fprintf(stderr, "source: %s\n",
@@ -160,8 +210,15 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
   fsx::obs::SyncObserver* obs =
       observe.trace || observe.metrics_json ? &observer : nullptr;
 
+  if (faults.any() && method != "fsx") {
+    std::fprintf(stderr,
+                 "--fault-drop/--fault-corrupt/--retries need --method fsx\n");
+    return 2;
+  }
+
   fsx::StatusOr<fsx::CollectionSyncResult> result =
       fsx::Status::Internal("unset");
+  std::optional<fsx::transport::TransportCounters> transport_counters;
   if (method == "rsync") {
     result = SyncCollectionRsync(*client_tree, *server_tree,
                                  fsx::RsyncParams{}, obs);
@@ -191,8 +248,38 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
       config = *parsed;
     }
     fsx::SimulatedChannel channel;
-    result = SyncCollectionBatched(*client_tree, *server_tree, config,
-                                   channel, obs);
+    if (faults.any()) {
+      // Lossy-link mode: arm the faults on the raw channel and run the
+      // whole collection over the reliable record transport.
+      fsx::FaultSchedule schedule;
+      schedule.name = "cli";
+      schedule.seed = fsx::SeedFromEnv(0xF5C11);
+      for (int d = 0; d < 2; ++d) {
+        schedule.drop[d] = faults.drop;
+        schedule.corrupt[d] = faults.corrupt;
+      }
+      ArmSchedule(channel, schedule);
+      fsx::transport::ReliableParams params;
+      if (faults.retries > 0) {
+        params.max_attempts = faults.retries;
+      }
+      fsx::transport::ReliableChannel reliable(channel, params);
+      result = SyncCollectionBatched(*client_tree, *server_tree, config,
+                                     reliable, obs);
+      transport_counters = reliable.counters();
+      std::fprintf(stderr,
+                   "transport: %llu records, %llu retransmits, "
+                   "%llu timeouts\n",
+                   static_cast<unsigned long long>(
+                       transport_counters->records_sent),
+                   static_cast<unsigned long long>(
+                       transport_counters->retransmits),
+                   static_cast<unsigned long long>(
+                       transport_counters->timeouts));
+    } else {
+      result = SyncCollectionBatched(*client_tree, *server_tree, config,
+                                     channel, obs);
+    }
   } else {
     std::fprintf(stderr, "unknown method '%s' (fsx|rsync|cdc|multiround)\n",
                  method.c_str());
@@ -211,7 +298,10 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
       observe.metrics_json && observe.metrics_path.empty() ? stderr : stdout;
   PrintStats(human, method.c_str(), *result, tree_bytes);
   if (observe.metrics_json &&
-      WriteMetricsJson(observer, method, observe.metrics_path) != 0) {
+      WriteMetricsJson(observer, method, observe.metrics_path,
+                       transport_counters.has_value()
+                           ? &*transport_counters
+                           : nullptr) != 0) {
     return 1;
   }
   if (result->reconstructed != *server_tree) {
@@ -290,7 +380,8 @@ int main(int argc, char** argv) {
         stderr,
         "usage: %s <source-dir> <dest-dir> [--method fsx|rsync|cdc|"
         "multiround] [--dry-run] [--keep-extra] [--trace] "
-        "[--metrics-json[=path]]\n"
+        "[--metrics-json[=path]] [--fault-drop=P] [--fault-corrupt=P] "
+        "[--retries=N]\n"
         "       %s verify <dir>\n       %s demo\n",
         argv[0], argv[0], argv[0]);
     return 2;
@@ -300,6 +391,16 @@ int main(int argc, char** argv) {
   bool dry_run = false;
   bool keep_extra = false;
   ObserveOptions observe;
+  FaultOptions faults;
+  auto parse_prob = [](const char* text, double* out) {
+    char* end = nullptr;
+    double v = std::strtod(text, &end);
+    if (end == text || *end != '\0' || v < 0.0 || v >= 1.0) {
+      return false;
+    }
+    *out = v;
+    return true;
+  };
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--method") == 0 && i + 1 < argc) {
       method = argv[++i];
@@ -316,11 +417,28 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
       observe.metrics_json = true;
       observe.metrics_path = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--fault-drop=", 13) == 0) {
+      if (!parse_prob(argv[i] + 13, &faults.drop)) {
+        std::fprintf(stderr, "--fault-drop needs a probability in [0,1)\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--fault-corrupt=", 16) == 0) {
+      if (!parse_prob(argv[i] + 16, &faults.corrupt)) {
+        std::fprintf(stderr,
+                     "--fault-corrupt needs a probability in [0,1)\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+      faults.retries = std::atoi(argv[i] + 10);
+      if (faults.retries < 1) {
+        std::fprintf(stderr, "--retries needs a positive count\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
     }
   }
   return RunSync(argv[1], argv[2], method, dry_run, keep_extra,
-                 config_path, observe);
+                 config_path, observe, faults);
 }

@@ -1,0 +1,223 @@
+#include "fsync/core/checkpoint.h"
+
+#include <algorithm>
+
+#include "fsync/hash/crc32c.h"
+#include "fsync/hash/tabled_adler.h"
+#include "fsync/util/bit_io.h"
+
+namespace fsx {
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x46535843;  // "FSXC"
+constexpr uint64_t kCheckpointVersion = 1;
+
+void Mix(uint64_t& h, uint64_t v) {
+  // FNV-1a over the value's 8 bytes.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ull;
+  }
+}
+
+}  // namespace
+
+uint64_t ConfigWireDigest(const SyncConfig& config) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  Mix(h, config.start_block_size);
+  Mix(h, config.min_block_size);
+  Mix(h, config.min_continuation_block);
+  Mix(h, static_cast<uint64_t>(config.global_extra_bits));
+  Mix(h, static_cast<uint64_t>(config.continuation_bits));
+  Mix(h, config.use_decomposable ? 1 : 0);
+  Mix(h, config.use_continuation ? 1 : 0);
+  Mix(h, config.continuation_first ? 1 : 0);
+  Mix(h, static_cast<uint64_t>(config.local_radius));
+  Mix(h, static_cast<uint64_t>(config.verify.verify_bits));
+  Mix(h, static_cast<uint64_t>(config.verify.group_size));
+  Mix(h, static_cast<uint64_t>(config.verify.max_batches));
+  Mix(h, static_cast<uint64_t>(config.verify.continuation_group_size));
+  Mix(h, config.verify.adaptive_groups ? 1 : 0);
+  Mix(h, config.round_overrides.size());
+  for (const SyncConfig::RoundOverride& o : config.round_overrides) {
+    Mix(h, static_cast<uint64_t>(o.continuation_bits));
+    Mix(h, static_cast<uint64_t>(o.verify_bits));
+    Mix(h, static_cast<uint64_t>(o.group_size));
+    Mix(h, static_cast<uint64_t>(o.max_batches));
+  }
+  Mix(h, static_cast<uint64_t>(config.delta_codec));
+  Mix(h, static_cast<uint64_t>(config.max_roundtrips));
+  return h;
+}
+
+Bytes SerializeCheckpoint(const SessionCheckpoint& cp) {
+  BitWriter out;
+  out.WriteBits(kCheckpointMagic, 32);
+  out.WriteVarint(kCheckpointVersion);
+  out.WriteBytes(ByteSpan(cp.fp_old.data(), cp.fp_old.size()));
+  out.WriteBytes(ByteSpan(cp.fp_new.data(), cp.fp_new.size()));
+  out.WriteVarint(cp.old_size);
+  out.WriteVarint(cp.new_size);
+  out.WriteBits(cp.config_digest, 64);
+  out.WriteVarint(static_cast<uint64_t>(cp.completed_rounds));
+  out.WriteVarint(cp.confirms.size());
+  for (const SessionCheckpoint::ConfirmEntry& e : cp.confirms) {
+    out.WriteVarint(static_cast<uint64_t>(e.round));
+    out.WriteVarint(e.id);
+    out.WriteVarint(e.src);
+  }
+  out.WriteVarint(cp.pairs.size());
+  for (const SessionCheckpoint::PairEntry& e : cp.pairs) {
+    out.WriteVarint(static_cast<uint64_t>(e.round));
+    out.WriteVarint(e.id);
+    out.WriteBits(e.pair.a, 16);
+    out.WriteBits(e.pair.b, 16);
+  }
+  Bytes body = out.Finish();
+  const uint32_t crc = Crc32c(ByteSpan(body.data(), body.size()));
+  for (int i = 0; i < 4; ++i) {
+    body.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+  }
+  return body;
+}
+
+StatusOr<SessionCheckpoint> ParseCheckpoint(ByteSpan data) {
+  if (data.size() < 4) {
+    return Status::DataLoss("checkpoint: truncated");
+  }
+  const size_t body_len = data.size() - 4;
+  uint32_t want = 0;
+  for (int i = 0; i < 4; ++i) {
+    want |= static_cast<uint32_t>(data[body_len + i]) << (8 * i);
+  }
+  if (Crc32c(data.subspan(0, body_len)) != want) {
+    return Status::DataLoss("checkpoint: CRC mismatch");
+  }
+  BitReader in(data.subspan(0, body_len));
+  FSYNC_ASSIGN_OR_RETURN(uint64_t magic, in.ReadBits(32));
+  if (magic != kCheckpointMagic) {
+    return Status::DataLoss("checkpoint: bad magic");
+  }
+  FSYNC_ASSIGN_OR_RETURN(uint64_t version, in.ReadVarint());
+  if (version != kCheckpointVersion) {
+    return Status::DataLoss("checkpoint: unsupported version");
+  }
+  SessionCheckpoint cp;
+  FSYNC_ASSIGN_OR_RETURN(Bytes fp_old, in.ReadBytes(16));
+  std::copy(fp_old.begin(), fp_old.end(), cp.fp_old.begin());
+  FSYNC_ASSIGN_OR_RETURN(Bytes fp_new, in.ReadBytes(16));
+  std::copy(fp_new.begin(), fp_new.end(), cp.fp_new.begin());
+  FSYNC_ASSIGN_OR_RETURN(cp.old_size, in.ReadVarint());
+  FSYNC_ASSIGN_OR_RETURN(cp.new_size, in.ReadVarint());
+  FSYNC_ASSIGN_OR_RETURN(cp.config_digest, in.ReadBits(64));
+  FSYNC_ASSIGN_OR_RETURN(uint64_t rounds, in.ReadVarint());
+  if (rounds > (1u << 20)) {
+    return Status::DataLoss("checkpoint: implausible round count");
+  }
+  cp.completed_rounds = static_cast<int>(rounds);
+  FSYNC_ASSIGN_OR_RETURN(uint64_t n_confirms, in.ReadVarint());
+  if (n_confirms > (uint64_t{1} << 28)) {
+    return Status::DataLoss("checkpoint: implausible confirm count");
+  }
+  cp.confirms.reserve(n_confirms);
+  for (uint64_t i = 0; i < n_confirms; ++i) {
+    SessionCheckpoint::ConfirmEntry e;
+    FSYNC_ASSIGN_OR_RETURN(uint64_t round, in.ReadVarint());
+    FSYNC_ASSIGN_OR_RETURN(uint64_t id, in.ReadVarint());
+    FSYNC_ASSIGN_OR_RETURN(e.src, in.ReadVarint());
+    e.round = static_cast<int>(round);
+    e.id = static_cast<uint32_t>(id);
+    cp.confirms.push_back(e);
+  }
+  FSYNC_ASSIGN_OR_RETURN(uint64_t n_pairs, in.ReadVarint());
+  if (n_pairs > (uint64_t{1} << 28)) {
+    return Status::DataLoss("checkpoint: implausible pair count");
+  }
+  cp.pairs.reserve(n_pairs);
+  for (uint64_t i = 0; i < n_pairs; ++i) {
+    SessionCheckpoint::PairEntry e;
+    FSYNC_ASSIGN_OR_RETURN(uint64_t round, in.ReadVarint());
+    FSYNC_ASSIGN_OR_RETURN(uint64_t id, in.ReadVarint());
+    FSYNC_ASSIGN_OR_RETURN(uint64_t a, in.ReadBits(16));
+    FSYNC_ASSIGN_OR_RETURN(uint64_t b, in.ReadBits(16));
+    e.round = static_cast<int>(round);
+    e.id = static_cast<uint32_t>(id);
+    e.pair = AdlerPair{static_cast<uint16_t>(a), static_cast<uint16_t>(b)};
+    cp.pairs.push_back(e);
+  }
+  return cp;
+}
+
+StatusOr<bool> ReplayCheckpoint(const SessionCheckpoint& cp,
+                                const SyncConfig& config, bool server_side,
+                                ByteSpan f_new, BlockLedger& ledger) {
+  if (config.continuation_first) {
+    return Status::FailedPrecondition(
+        "checkpoint: resume unsupported with continuation_first");
+  }
+  bool alive = !ledger.active().empty();
+  size_t ci = 0;  // cursor into cp.confirms (sorted by round)
+  size_t pi = 0;  // cursor into cp.pairs
+  while (alive && ledger.round() < cp.completed_rounds) {
+    const int r = ledger.round();
+    RoundPlan plan = ledger.BuildPlan();
+    const bool has_candidates = !plan.continuation.empty() ||
+                                !plan.sent_global.empty() ||
+                                !plan.derived.empty();
+    if (has_candidates) {
+      ledger.MarkPlanned(plan);
+      // Reinstall hash-pair knowledge exactly as the live round did:
+      // transmitted pairs in wire order, derived pairs via decomposition.
+      if (server_side) {
+        for (size_t id : plan.sent_global) {
+          Block& b = ledger.block(id);
+          b.pair = TabledAdler::Hash(f_new.subspan(b.offset, b.size));
+          b.pair_known = true;
+        }
+        for (size_t id : plan.derived) {
+          Block& b = ledger.block(id);
+          b.pair = TabledAdler::Hash(f_new.subspan(b.offset, b.size));
+          b.pair_known = true;
+        }
+      } else {
+        for (size_t id : plan.sent_global) {
+          if (pi >= cp.pairs.size() || cp.pairs[pi].round != r ||
+              cp.pairs[pi].id != id) {
+            return Status::DataLoss("checkpoint: pair log out of sync");
+          }
+          Block& b = ledger.block(id);
+          b.pair = cp.pairs[pi++].pair;
+          b.pair_known = true;
+        }
+        for (size_t id : plan.derived) {
+          Block& b = ledger.block(id);
+          const Block& left = ledger.block(id - 1);
+          const Block& parent = ledger.block(b.parent);
+          b.pair = TabledAdler::SplitRight(parent.pair, left.pair, b.size);
+          b.pair_known = true;
+        }
+      }
+      while (ci < cp.confirms.size() && cp.confirms[ci].round == r) {
+        const SessionCheckpoint::ConfirmEntry& e = cp.confirms[ci++];
+        if (e.id >= ledger.num_blocks() ||
+            ledger.block(e.id).status != BlockStatus::kActive) {
+          return Status::DataLoss("checkpoint: confirm log out of sync");
+        }
+        ledger.Confirm(e.id, server_side ? 0 : e.src);
+      }
+    } else if (ci < cp.confirms.size() && cp.confirms[ci].round == r) {
+      return Status::DataLoss("checkpoint: confirms in an empty round");
+    }
+    alive = ledger.AdvanceRound();
+  }
+  if (ledger.round() != cp.completed_rounds) {
+    return Status::DataLoss("checkpoint: ledger died before logged rounds");
+  }
+  if (ci != cp.confirms.size() || (!server_side && pi != cp.pairs.size())) {
+    return Status::DataLoss("checkpoint: trailing log entries");
+  }
+  return alive;
+}
+
+}  // namespace fsx

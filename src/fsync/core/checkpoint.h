@@ -1,0 +1,91 @@
+// Resumable-session checkpoints. A SyncSession snapshots the client's
+// map-construction progress after each completed ledger round; if the
+// session dies (network gone, process killed), a later session replays
+// the checkpoint onto a fresh BlockLedger and asks the server to do the
+// same, resuming from the last confirmed round instead of round zero.
+//
+// The key property making this cheap is that BlockLedger evolution is a
+// deterministic function of (sizes, config, per-round confirmed ids,
+// received hash pairs): no hash values, offsets, or group layouts need to
+// be persisted beyond the pairs the client actually received. See
+// docs/PROTOCOL.md, "Resumable sessions".
+#ifndef FSYNC_CORE_CHECKPOINT_H_
+#define FSYNC_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fsync/core/block_ledger.h"
+#include "fsync/core/config.h"
+#include "fsync/hash/fingerprint.h"
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// Client-side map-construction progress through the last completed
+/// round. Only data from rounds < completed_rounds is included; an
+/// in-flight round is deliberately dropped (the resumed session redoes
+/// it), which keeps the checkpoint consistent at round boundaries.
+struct SessionCheckpoint {
+  Fingerprint fp_old{};  // the outdated file this progress applies to
+  Fingerprint fp_new{};  // the target announced by the server in round 1
+  uint64_t old_size = 0;
+  uint64_t new_size = 0;
+  /// Digest of the wire-affecting configuration (ConfigWireDigest); both
+  /// sides must run the identical config for the replay to agree.
+  uint64_t config_digest = 0;
+  /// Ledger rounds fully completed (FinishRound ran on the client).
+  int completed_rounds = 0;
+
+  /// One confirmed block: the round it confirmed in, its ledger id, and
+  /// the matched source position in F_old (client knowledge; the server
+  /// replays with src = 0, as in a live session).
+  struct ConfirmEntry {
+    int round = 0;
+    uint32_t id = 0;
+    uint64_t src = 0;
+  };
+  /// One received global hash pair, in wire order within its round. The
+  /// client needs these to re-derive sibling hashes after resuming; the
+  /// server recomputes everything from F_new and ignores them.
+  struct PairEntry {
+    int round = 0;
+    uint32_t id = 0;
+    AdlerPair pair{};
+  };
+
+  std::vector<ConfirmEntry> confirms;  // ascending (round, confirm order)
+  std::vector<PairEntry> pairs;        // ascending (round, wire order)
+};
+
+/// FNV-1a digest over every configuration field that influences wire
+/// layout or ledger evolution. Execution knobs (num_threads) and
+/// failure-path knobs (repair) are excluded on purpose: they may differ
+/// between the killed and the resumed session without breaking replay.
+uint64_t ConfigWireDigest(const SyncConfig& config);
+
+/// Self-contained serialization (magic + version + CRC32C trailer), the
+/// payload fsstore persists. Parse failures mean "start fresh", never a
+/// crash.
+Bytes SerializeCheckpoint(const SessionCheckpoint& cp);
+StatusOr<SessionCheckpoint> ParseCheckpoint(ByteSpan data);
+
+/// Replays rounds [0, cp.completed_rounds) onto a freshly constructed
+/// `ledger`. Server side (`server_side` true) recomputes hash pairs from
+/// `f_new` and confirms with src = 0; client side (`f_new` empty) takes
+/// pairs from cp.pairs and confirms with the logged src. Returns the
+/// map-alive flag (same meaning as BlockLedger::AdvanceRound). Fails
+/// with kDataLoss on any inconsistency between checkpoint and ledger —
+/// callers treat that as "checkpoint unusable, start fresh".
+///
+/// Not supported (returns kFailedPrecondition): continuation_first
+/// configurations, whose stage-A/B filtering makes the pair-knowledge
+/// replay ambiguous.
+StatusOr<bool> ReplayCheckpoint(const SessionCheckpoint& cp,
+                                const SyncConfig& config, bool server_side,
+                                ByteSpan f_new, BlockLedger& ledger);
+
+}  // namespace fsx
+
+#endif  // FSYNC_CORE_CHECKPOINT_H_

@@ -30,6 +30,21 @@ struct VerifyConfig {
   bool adaptive_groups = true;
 };
 
+/// Graceful-degradation ladder for reconstruction failures (corrupted or
+/// falsely verified map). Instead of jumping straight to a full transfer,
+/// the client re-verifies the decoded candidate per region with strong
+/// hashes and asks only for the literal bytes of the bad regions.
+struct RepairConfig {
+  /// Attempt region repair before a full transfer.
+  bool enabled = true;
+  /// Region granularity of the re-verification pass.
+  uint32_t region_size = 4096;
+  /// When more than this fraction of regions is bad, the server sends the
+  /// whole file instead (region literals would cost more than a full
+  /// compressed transfer).
+  double max_bad_fraction = 0.5;
+};
+
 /// Full protocol configuration for one file synchronization.
 struct SyncConfig {
   /// Initial block size; must be a power of two.
@@ -80,6 +95,10 @@ struct SyncConfig {
 
   /// Delta codec for phase 2.
   DeltaCodec delta_codec = DeltaCodec::kZd;
+
+  /// Failure-path behaviour (never enters the map-phase wire layout, so it
+  /// is excluded from ConfigWireDigest and may differ across a resume).
+  RepairConfig repair;
 
   /// Hard cap on protocol roundtrips (0 = unlimited). When the cap is
   /// reached the protocol jumps straight to the delta phase with whatever

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdio>
+#include <cstdlib>
 
 namespace fsx {
 
@@ -142,7 +143,8 @@ StatusOr<SyncConfig> ParseSyncConfig(const std::string& text) {
         key == "continuation_bits" || key == "local_radius" ||
         key == "max_roundtrips" || key == "verify_bits" ||
         key == "group_size" || key == "max_batches" ||
-        key == "continuation_group_size" || key == "num_threads") {
+        key == "continuation_group_size" || key == "num_threads" ||
+        key == "repair_region_size") {
       FSYNC_ASSIGN_OR_RETURN(int64_t v, ParseInt(value, line_no));
       if (key == "start_block_size") {
         config.start_block_size = static_cast<uint32_t>(v);
@@ -166,11 +168,14 @@ StatusOr<SyncConfig> ParseSyncConfig(const std::string& text) {
         config.verify.max_batches = static_cast<int>(v);
       } else if (key == "num_threads") {
         config.num_threads = static_cast<int>(v);
+      } else if (key == "repair_region_size") {
+        config.repair.region_size = static_cast<uint32_t>(v);
       } else {
         config.verify.continuation_group_size = static_cast<int>(v);
       }
     } else if (key == "use_decomposable" || key == "use_continuation" ||
-               key == "continuation_first" || key == "adaptive_groups") {
+               key == "continuation_first" || key == "adaptive_groups" ||
+               key == "repair_enabled") {
       FSYNC_ASSIGN_OR_RETURN(bool v, ParseBool(value, line_no));
       if (key == "use_decomposable") {
         config.use_decomposable = v;
@@ -178,9 +183,21 @@ StatusOr<SyncConfig> ParseSyncConfig(const std::string& text) {
         config.use_continuation = v;
       } else if (key == "continuation_first") {
         config.continuation_first = v;
+      } else if (key == "repair_enabled") {
+        config.repair.enabled = v;
       } else {
         config.verify.adaptive_groups = v;
       }
+    } else if (key == "repair_max_bad_fraction") {
+      char* end = nullptr;
+      double v = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() + value.size() || v < 0.0 || v > 1.0) {
+        return Status::InvalidArgument("config line " +
+                                       std::to_string(line_no) +
+                                       ": expected fraction in [0,1], got '" +
+                                       value + "'");
+      }
+      config.repair.max_bad_fraction = v;
     } else if (key == "delta_codec") {
       if (value == "zd") {
         config.delta_codec = DeltaCodec::kZd;
@@ -214,7 +231,9 @@ std::string SerializeSyncConfig(const SyncConfig& config) {
       "use_continuation = %s\ncontinuation_first = %s\nlocal_radius = %d\n"
       "verify_bits = %d\ngroup_size = %d\nmax_batches = %d\n"
       "continuation_group_size = %d\nadaptive_groups = %s\n"
-      "delta_codec = %s\nmax_roundtrips = %d\nnum_threads = %d\n",
+      "delta_codec = %s\nmax_roundtrips = %d\nnum_threads = %d\n"
+      "repair_enabled = %s\nrepair_region_size = %u\n"
+      "repair_max_bad_fraction = %g\n",
       config.start_block_size, config.min_block_size,
       config.min_continuation_block, config.global_extra_bits,
       config.continuation_bits, config.use_decomposable ? "true" : "false",
@@ -227,7 +246,9 @@ std::string SerializeSyncConfig(const SyncConfig& config) {
           ? "zd"
           : (config.delta_codec == DeltaCodec::kVcdiff ? "vcdiff"
                                                        : "bsdiff"),
-      config.max_roundtrips, config.num_threads);
+      config.max_roundtrips, config.num_threads,
+      config.repair.enabled ? "true" : "false", config.repair.region_size,
+      config.repair.max_bad_fraction);
   out = buf;
   for (size_t r = 0; r < config.round_overrides.size(); ++r) {
     const SyncConfig::RoundOverride& o = config.round_overrides[r];

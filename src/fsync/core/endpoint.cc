@@ -43,6 +43,18 @@ AdlerPair UnpackPair(uint32_t value, int num_bits) {
 
 }  // namespace
 
+// 64-bit truncated MD5 of one repair region (degradation-ladder rung 2).
+static uint64_t RegionHash(ByteSpan region) {
+  Md5 h;
+  h.Update(region);
+  Md5Digest d = h.Finish();
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(d[i]) << (8 * i);
+  }
+  return v;
+}
+
 uint64_t GroupVerifyHash(ByteSpan file, const std::vector<size_t>& members,
                          const BlockLedger& ledger, bool client_side,
                          int verify_bits, uint64_t salt) {
@@ -147,9 +159,23 @@ bool EndpointBase::EnterStageB() {
 
 using core_internal::BuildReference;
 using core_internal::GroupVerifyHash;
+using core_internal::RegionHash;
 using core_internal::SessionHashBits;
 using core_internal::UnpackPair;
 using core_internal::VerifySalt;
+
+namespace {
+
+// Region layout shared by both repair endpoints.
+uint64_t RepairRegionSize(const SyncConfig& config) {
+  return std::max<uint64_t>(config.repair.region_size, 1);
+}
+
+uint64_t RepairRegionCount(uint64_t file_size, uint64_t region) {
+  return file_size == 0 ? 0 : (file_size + region - 1) / region;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------
 // Server endpoint.
@@ -160,10 +186,15 @@ StatusOr<Bytes> SyncServerEndpoint::OnRequest(ByteSpan msg) {
   BitReader in(msg);
   FSYNC_ASSIGN_OR_RETURN(Bytes fp_old, in.ReadBytes(16));
   FSYNC_ASSIGN_OR_RETURN(uint64_t n_old, in.ReadVarint());
-  old_size_ = n_old;
-
-  Fingerprint fp_new = FileFingerprint(f_new_);
   BitWriter out;
+  StartFresh(ByteSpan(fp_old.data(), fp_old.size()), n_old, out);
+  return out.Finish();
+}
+
+void SyncServerEndpoint::StartFresh(ByteSpan fp_old, uint64_t n_old,
+                                    BitWriter& out) {
+  old_size_ = n_old;
+  Fingerprint fp_new = FileFingerprint(f_new_);
   bool unchanged = std::equal(fp_new.begin(), fp_new.end(), fp_old.begin());
   out.WriteBit(unchanged);
   if (unchanged) {
@@ -171,7 +202,7 @@ StatusOr<Bytes> SyncServerEndpoint::OnRequest(ByteSpan msg) {
     // client silently keep a stale file.
     out.WriteBytes(ByteSpan(fp_new.data(), fp_new.size()));
     done_ = true;
-    return out.Finish();
+    return;
   }
   out.WriteVarint(f_new_.size());
   out.WriteBytes(ByteSpan(fp_new.data(), fp_new.size()));
@@ -184,6 +215,113 @@ StatusOr<Bytes> SyncServerEndpoint::OnRequest(ByteSpan msg) {
   } else {
     AppendDelta(out);
   }
+}
+
+StatusOr<Bytes> SyncServerEndpoint::OnResumeRequest(ByteSpan msg) {
+  ++client_msgs_;
+  BitReader in(msg);
+  FSYNC_ASSIGN_OR_RETURN(Bytes fp_old, in.ReadBytes(16));
+  FSYNC_ASSIGN_OR_RETURN(uint64_t n_old, in.ReadVarint());
+  FSYNC_ASSIGN_OR_RETURN(Bytes fp_new, in.ReadBytes(16));
+  FSYNC_ASSIGN_OR_RETURN(uint64_t n_new, in.ReadVarint());
+  FSYNC_ASSIGN_OR_RETURN(uint64_t digest, in.ReadBits(64));
+  FSYNC_ASSIGN_OR_RETURN(uint64_t rounds, in.ReadVarint());
+  if (rounds > (1u << 20)) {
+    return Status::DataLoss("resume: implausible round count");
+  }
+  SessionCheckpoint cp;
+  cp.old_size = n_old;
+  cp.new_size = n_new;
+  cp.config_digest = digest;
+  cp.completed_rounds = static_cast<int>(rounds);
+  for (int r = 0; r < cp.completed_rounds; ++r) {
+    FSYNC_ASSIGN_OR_RETURN(uint64_t count, in.ReadVarint());
+    if (count > (uint64_t{1} << 28)) {
+      return Status::DataLoss("resume: implausible confirm count");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      FSYNC_ASSIGN_OR_RETURN(uint64_t id, in.ReadVarint());
+      cp.confirms.push_back({r, static_cast<uint32_t>(id), 0});
+    }
+  }
+
+  // The checkpoint must describe *this* target file and wire config;
+  // anything stale means the saved progress is meaningless, so fall back
+  // to a fresh session (embedded in the same reply).
+  Fingerprint own = FileFingerprint(f_new_);
+  bool ok = std::equal(own.begin(), own.end(), fp_new.begin()) &&
+            n_new == f_new_.size() && digest == ConfigWireDigest(config_) &&
+            !config_.continuation_first;
+  if (ok) {
+    BlockLedger replayed(f_new_.size(), n_old, config_);
+    auto alive_or = ReplayCheckpoint(cp, config_, /*server_side=*/true,
+                                     f_new_, replayed);
+    if (alive_or.ok()) {
+      BitWriter out;
+      out.WriteBit(true);
+      old_size_ = n_old;
+      ledger_.emplace(std::move(replayed));
+      hash_bits_ = SessionHashBits(old_size_, config_);
+      map_alive_ = *alive_or;
+      resumed_ = true;
+      if (PrepareNextRound()) {
+        AppendRoundHashes(out);
+      } else {
+        AppendDelta(out);
+      }
+      return out.Finish();
+    }
+  }
+  BitWriter out;
+  out.WriteBit(false);
+  StartFresh(ByteSpan(fp_old.data(), fp_old.size()), n_old, out);
+  return out.Finish();
+}
+
+StatusOr<Bytes> SyncServerEndpoint::OnRepairRequest(ByteSpan msg) {
+  const uint64_t region = RepairRegionSize(config_);
+  const uint64_t count = RepairRegionCount(f_new_.size(), region);
+  BitReader in(msg);
+  std::vector<uint64_t> bad;
+  for (uint64_t i = 0; i < count; ++i) {
+    FSYNC_ASSIGN_OR_RETURN(uint64_t got, in.ReadBits(64));
+    uint64_t off = i * region;
+    uint64_t len = std::min(region, f_new_.size() - off);
+    if (got != RegionHash(f_new_.subspan(off, len))) {
+      bad.push_back(i);
+    }
+  }
+  repair_bad_regions_ = static_cast<uint32_t>(bad.size());
+
+  BitWriter out;
+  const bool use_full =
+      count == 0 || static_cast<double>(bad.size()) >
+                        config_.repair.max_bad_fraction *
+                            static_cast<double>(count);
+  out.WriteBit(use_full);
+  if (use_full) {
+    repair_used_full_ = true;
+    Bytes full = Compress(f_new_);
+    out.WriteVarint(full.size());
+    out.WriteBytes(full);
+    return out.Finish();
+  }
+  size_t next_bad = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    bool is_bad = next_bad < bad.size() && bad[next_bad] == i;
+    out.WriteBit(is_bad);
+    if (is_bad) {
+      ++next_bad;
+    }
+  }
+  Bytes literals;
+  for (uint64_t i : bad) {
+    uint64_t off = i * region;
+    Append(literals, f_new_.subspan(off, std::min(region, f_new_.size() - off)));
+  }
+  Bytes comp = Compress(literals);
+  out.WriteVarint(comp.size());
+  out.WriteBytes(comp);
   return out.Finish();
 }
 
@@ -294,11 +432,146 @@ void SyncServerEndpoint::AppendDelta(BitWriter& out) {
 
 Bytes SyncClientEndpoint::MakeRequest() {
   ++client_msgs_;
-  Fingerprint fp = FileFingerprint(f_old_);
+  fp_old_ = FileFingerprint(f_old_);
   BitWriter out;
-  out.WriteBytes(ByteSpan(fp.data(), fp.size()));
+  out.WriteBytes(ByteSpan(fp_old_.data(), fp_old_.size()));
   out.WriteVarint(f_old_.size());
   return out.Finish();
+}
+
+Status SyncClientEndpoint::InstallCheckpoint(const SessionCheckpoint& cp) {
+  if (config_.continuation_first) {
+    return Status::FailedPrecondition(
+        "checkpoint: resume unsupported with continuation_first");
+  }
+  if (cp.old_size != f_old_.size()) {
+    return Status::FailedPrecondition("checkpoint: old file size changed");
+  }
+  Fingerprint own = FileFingerprint(f_old_);
+  if (own != cp.fp_old) {
+    return Status::FailedPrecondition("checkpoint: old file changed");
+  }
+  if (cp.config_digest != ConfigWireDigest(config_)) {
+    return Status::FailedPrecondition("checkpoint: config drift");
+  }
+  // Trial replay: guarantees OnResumeReply cannot fail on our own data,
+  // and rejects a checkpoint corrupted in ways the CRC cannot see.
+  BlockLedger trial(cp.new_size, cp.old_size, config_);
+  FSYNC_RETURN_IF_ERROR(ReplayCheckpoint(cp, config_, /*server_side=*/false,
+                                         ByteSpan(), trial)
+                            .status());
+  fp_old_ = own;
+  pending_resume_ = cp;
+  return Status::Ok();
+}
+
+Bytes SyncClientEndpoint::MakeResumeRequest() {
+  ++client_msgs_;
+  const SessionCheckpoint& cp = *pending_resume_;
+  BitWriter out;
+  out.WriteBytes(ByteSpan(cp.fp_old.data(), cp.fp_old.size()));
+  out.WriteVarint(cp.old_size);
+  out.WriteBytes(ByteSpan(cp.fp_new.data(), cp.fp_new.size()));
+  out.WriteVarint(cp.new_size);
+  out.WriteBits(cp.config_digest, 64);
+  out.WriteVarint(static_cast<uint64_t>(cp.completed_rounds));
+  size_t i = 0;
+  for (int r = 0; r < cp.completed_rounds; ++r) {
+    size_t j = i;
+    while (j < cp.confirms.size() && cp.confirms[j].round == r) {
+      ++j;
+    }
+    out.WriteVarint(j - i);
+    for (; i < j; ++i) {
+      out.WriteVarint(cp.confirms[i].id);
+    }
+  }
+  return out.Finish();
+}
+
+StatusOr<std::optional<Bytes>> SyncClientEndpoint::OnResumeReply(
+    ByteSpan msg) {
+  if (observer_ != nullptr) {
+    msg_start_ = std::chrono::steady_clock::now();
+  }
+  started_ = true;
+  BitReader in(msg);
+  FSYNC_ASSIGN_OR_RETURN(bool accepted, in.ReadBit());
+  if (!accepted) {
+    pending_resume_.reset();
+    return StartFromHeader(in);
+  }
+  const SessionCheckpoint cp = std::move(*pending_resume_);
+  pending_resume_.reset();
+  fp_new_ = cp.fp_new;
+  ledger_.emplace(cp.new_size, f_old_.size(), config_);
+  hash_bits_ = SessionHashBits(f_old_.size(), config_);
+  FSYNC_ASSIGN_OR_RETURN(
+      bool alive, ReplayCheckpoint(cp, config_, /*server_side=*/false,
+                                   ByteSpan(), *ledger_));
+  map_alive_ = alive;
+  resumed_ = true;
+  completed_rounds_ = cp.completed_rounds;
+  confirm_log_ = cp.confirms;
+  pair_log_ = cp.pairs;
+  if (PrepareNextRound()) {
+    return ReadRoundAndReply(in);
+  }
+  FSYNC_RETURN_IF_ERROR(ReadDelta(in));
+  return std::optional<Bytes>();
+}
+
+SessionCheckpoint SyncClientEndpoint::MakeCheckpoint() const {
+  SessionCheckpoint cp;
+  cp.fp_old = fp_old_;
+  cp.fp_new = fp_new_;
+  cp.old_size = f_old_.size();
+  cp.new_size = ledger_.has_value() ? ledger_->new_size() : 0;
+  cp.config_digest = ConfigWireDigest(config_);
+  cp.completed_rounds = completed_rounds_;
+  for (const SessionCheckpoint::ConfirmEntry& e : confirm_log_) {
+    if (e.round < completed_rounds_) {
+      cp.confirms.push_back(e);
+    }
+  }
+  for (const SessionCheckpoint::PairEntry& e : pair_log_) {
+    if (e.round < completed_rounds_) {
+      cp.pairs.push_back(e);
+    }
+  }
+  return cp;
+}
+
+StatusOr<std::optional<Bytes>> SyncClientEndpoint::StartFromHeader(
+    BitReader& in) {
+  FSYNC_ASSIGN_OR_RETURN(bool unchanged, in.ReadBit());
+  if (unchanged) {
+    FSYNC_ASSIGN_OR_RETURN(Bytes echo, in.ReadBytes(16));
+    Fingerprint own = FileFingerprint(f_old_);
+    if (!std::equal(own.begin(), own.end(), echo.begin())) {
+      return Status::DataLoss(
+          "session: unchanged reply does not match local file");
+    }
+    result_.assign(f_old_.begin(), f_old_.end());
+    unchanged_ = true;
+    done_ = true;
+    return std::optional<Bytes>();
+  }
+  FSYNC_ASSIGN_OR_RETURN(uint64_t n_new, in.ReadVarint());
+  if (n_new > (uint64_t{1} << 32)) {
+    return Status::DataLoss("session: implausible file size");
+  }
+  FSYNC_ASSIGN_OR_RETURN(Bytes fp, in.ReadBytes(16));
+  std::copy(fp.begin(), fp.end(), fp_new_.begin());
+
+  ledger_.emplace(n_new, f_old_.size(), config_);
+  hash_bits_ = SessionHashBits(f_old_.size(), config_);
+  map_alive_ = !ledger_->active().empty();
+  if (PrepareNextRound()) {
+    return ReadRoundAndReply(in);
+  }
+  FSYNC_RETURN_IF_ERROR(ReadDelta(in));
+  return std::optional<Bytes>();
 }
 
 StatusOr<std::optional<Bytes>> SyncClientEndpoint::OnServerMessage(
@@ -309,34 +582,7 @@ StatusOr<std::optional<Bytes>> SyncClientEndpoint::OnServerMessage(
   BitReader in(msg);
   if (!started_) {
     started_ = true;
-    FSYNC_ASSIGN_OR_RETURN(bool unchanged, in.ReadBit());
-    if (unchanged) {
-      FSYNC_ASSIGN_OR_RETURN(Bytes echo, in.ReadBytes(16));
-      Fingerprint own = FileFingerprint(f_old_);
-      if (!std::equal(own.begin(), own.end(), echo.begin())) {
-        return Status::DataLoss(
-            "session: unchanged reply does not match local file");
-      }
-      result_.assign(f_old_.begin(), f_old_.end());
-      unchanged_ = true;
-      done_ = true;
-      return std::optional<Bytes>();
-    }
-    FSYNC_ASSIGN_OR_RETURN(uint64_t n_new, in.ReadVarint());
-    if (n_new > (uint64_t{1} << 32)) {
-      return Status::DataLoss("session: implausible file size");
-    }
-    FSYNC_ASSIGN_OR_RETURN(Bytes fp, in.ReadBytes(16));
-    std::copy(fp.begin(), fp.end(), fp_new_.begin());
-
-    ledger_.emplace(n_new, f_old_.size(), config_);
-    hash_bits_ = SessionHashBits(f_old_.size(), config_);
-    map_alive_ = !ledger_->active().empty();
-    if (PrepareNextRound()) {
-      return ReadRoundAndReply(in);
-    }
-    FSYNC_RETURN_IF_ERROR(ReadDelta(in));
-    return std::optional<Bytes>();
+    return StartFromHeader(in);
   }
 
   // Verification results for the batch we just sent.
@@ -346,7 +592,10 @@ StatusOr<std::optional<Bytes>> SyncClientEndpoint::OnServerMessage(
     FSYNC_ASSIGN_OR_RETURN(bool pass, in.ReadBit());
     if (pass) {
       for (size_t id : g.members) {
-        ledger_->Confirm(id, ledger_->block(id).match_pos);
+        uint64_t src = ledger_->block(id).match_pos;
+        ledger_->Confirm(id, src);
+        confirm_log_.push_back(
+            {ledger_->round(), static_cast<uint32_t>(id), src});
       }
       if (!trace_.empty()) {
         trace_.back().confirmed += static_cast<uint32_t>(g.members.size());
@@ -378,11 +627,84 @@ StatusOr<std::optional<Bytes>> SyncClientEndpoint::OnServerMessage(
     return ReadRoundAndReply(in);
   }
   FinishRound();
+  // The round boundary is the checkpoint boundary: everything logged for
+  // rounds < completed_rounds_ is now consistent and resumable.
+  completed_rounds_ = ledger_->round();
   if (PrepareNextRound()) {
     return ReadRoundAndReply(in);
   }
   FSYNC_RETURN_IF_ERROR(ReadDelta(in));
   return std::optional<Bytes>();
+}
+
+Bytes SyncClientEndpoint::MakeRepairRequest() {
+  ++client_msgs_;
+  Bytes& cand = *repair_candidate_;
+  const uint64_t region = RepairRegionSize(config_);
+  const uint64_t count = RepairRegionCount(cand.size(), region);
+  repair_region_count_ = static_cast<uint32_t>(count);
+  BitWriter out;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t off = i * region;
+    uint64_t len = std::min<uint64_t>(region, cand.size() - off);
+    out.WriteBits(RegionHash(ByteSpan(cand.data() + off, len)), 64);
+  }
+  return out.Finish();
+}
+
+StatusOr<RepairOutcome> SyncClientEndpoint::OnRepairReply(ByteSpan msg) {
+  BitReader in(msg);
+  FSYNC_ASSIGN_OR_RETURN(bool use_full, in.ReadBit());
+  if (use_full) {
+    FSYNC_ASSIGN_OR_RETURN(uint64_t len, in.ReadVarint());
+    FSYNC_ASSIGN_OR_RETURN(Bytes comp, in.ReadBytes(len));
+    FSYNC_ASSIGN_OR_RETURN(Bytes full, Decompress(comp));
+    Fingerprint got = FileFingerprint(full);
+    if (got != fp_new_) {
+      return Status::DataLoss("session: repair full transfer mismatch");
+    }
+    result_ = std::move(full);
+    repair_candidate_.reset();
+    needs_fallback_ = false;
+    done_ = true;
+    return RepairOutcome::kFullTransfer;
+  }
+  Bytes& cand = *repair_candidate_;
+  const uint64_t region = RepairRegionSize(config_);
+  std::vector<uint64_t> bad;
+  for (uint64_t i = 0; i < repair_region_count_; ++i) {
+    FSYNC_ASSIGN_OR_RETURN(bool is_bad, in.ReadBit());
+    if (is_bad) {
+      bad.push_back(i);
+    }
+  }
+  FSYNC_ASSIGN_OR_RETURN(uint64_t len, in.ReadVarint());
+  FSYNC_ASSIGN_OR_RETURN(Bytes comp, in.ReadBytes(len));
+  FSYNC_ASSIGN_OR_RETURN(Bytes literals, Decompress(comp));
+  size_t cursor = 0;
+  for (uint64_t i : bad) {
+    uint64_t off = i * region;
+    uint64_t n = std::min<uint64_t>(region, cand.size() - off);
+    if (cursor + n > literals.size()) {
+      return Status::DataLoss("session: repair literals truncated");
+    }
+    std::copy(literals.begin() + cursor, literals.begin() + cursor + n,
+              cand.begin() + off);
+    cursor += n;
+  }
+  if (cursor != literals.size()) {
+    return Status::DataLoss("session: trailing repair literals");
+  }
+  Fingerprint got = FileFingerprint(cand);
+  if (got != fp_new_) {
+    return RepairOutcome::kStillBroken;  // rung 3: full transfer
+  }
+  result_ = std::move(cand);
+  repair_candidate_.reset();
+  repaired_regions_ = static_cast<uint32_t>(bad.size());
+  needs_fallback_ = false;
+  done_ = true;
+  return RepairOutcome::kRepaired;
 }
 
 Status SyncClientEndpoint::OnFallbackTransfer(ByteSpan msg) {
@@ -513,6 +835,8 @@ Status SyncClientEndpoint::ReadHashesAndMatch(BitReader& in) {
     FSYNC_ASSIGN_OR_RETURN(uint64_t value, in.ReadBits(hash_bits_));
     b.pair = UnpackPair(static_cast<uint32_t>(value), hash_bits_);
     b.pair_known = true;
+    pair_log_.push_back(
+        {ledger_->round(), static_cast<uint32_t>(id), b.pair});
   }
   for (size_t id : round_.plan.derived) {
     Block& b = ledger_->block(id);
@@ -574,6 +898,14 @@ Status SyncClientEndpoint::ReadDelta(BitReader& in) {
       result_ = std::move(*target_or);
       done_ = true;
       return Status::Ok();
+    }
+    // Keep the mismatched reconstruction: most of it is usually correct,
+    // and the degradation ladder (MakeRepairRequest) can patch just the
+    // bad regions instead of re-fetching the whole file. Sized to the
+    // announced length so the region layout matches the server's.
+    if (config_.repair.enabled) {
+      repair_candidate_ = std::move(*target_or);
+      repair_candidate_->resize(ledger_->new_size());
     }
   }
   needs_fallback_ = true;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fsync/core/block_ledger.h"
+#include "fsync/core/checkpoint.h"
 #include "fsync/core/config.h"
 #include "fsync/hash/fingerprint.h"
 #include "fsync/index/block_index.h"
@@ -30,6 +31,15 @@
 #include "fsync/util/status.h"
 
 namespace fsx {
+
+/// Result of the client's region-repair attempt (rung 2 of the
+/// graceful-degradation ladder; see docs/PROTOCOL.md, "Degradation
+/// ladder").
+enum class RepairOutcome {
+  kRepaired,      // region patching fixed the file; done
+  kFullTransfer,  // server chose to send the whole file; done
+  kStillBroken,   // patched file still mismatches -> full-transfer rung
+};
 
 /// Diagnostics for one protocol sub-round (stage A = continuation probes
 /// of a two-phase round). "Harvest rate" (paper Section 6.2) is
@@ -132,21 +142,37 @@ class SyncServerEndpoint : private core_internal::EndpointBase {
   /// message.
   StatusOr<Bytes> OnRequest(ByteSpan msg);
 
+  /// Handles a resume request: validates the client's checkpoint claim,
+  /// replays the logged rounds onto a fresh ledger, and answers with
+  /// either "accepted" + the next round's hashes, or "rejected" + a full
+  /// fresh round-1 message (the client falls back transparently).
+  StatusOr<Bytes> OnResumeRequest(ByteSpan msg);
+
   /// Handles a round reply or a salvage batch; returns the response
   /// (which may carry the next round's hashes or the final delta).
   StatusOr<Bytes> OnClientMessage(ByteSpan msg);
 
+  /// Handles a region-repair request (rung 2 of the degradation ladder):
+  /// compares the client's per-region hashes of its broken candidate with
+  /// the real file and replies with the bad regions' literal bytes, or
+  /// with a full compressed transfer when too much is broken.
+  StatusOr<Bytes> OnRepairRequest(ByteSpan msg);
+
   /// Full-transfer payload after the client reports a reconstruction
-  /// failure (compressed current file).
+  /// failure (compressed current file; the ladder's last rung).
   Bytes OnFallbackRequest() const;
 
   /// True once the unchanged short-circuit or the delta has been sent.
   bool done() const { return done_; }
   int rounds_executed() const { return rounds_executed_; }
   uint64_t delta_payload_bytes() const { return delta_payload_bytes_; }
+  bool resumed() const { return resumed_; }
+  bool repair_used_full() const { return repair_used_full_; }
+  uint32_t repair_bad_regions() const { return repair_bad_regions_; }
 
  private:
   StatusOr<Bytes> ProcessBatch(BitReader& in);
+  void StartFresh(ByteSpan fp_old, uint64_t n_old, BitWriter& out);
   void AppendRoundHashes(BitWriter& out);
   void AppendDelta(BitWriter& out);
 
@@ -154,6 +180,9 @@ class SyncServerEndpoint : private core_internal::EndpointBase {
   uint64_t old_size_ = 0;
   uint64_t delta_payload_bytes_ = 0;
   bool done_ = false;
+  bool resumed_ = false;
+  bool repair_used_full_ = false;
+  uint32_t repair_bad_regions_ = 0;
 };
 
 /// Client side of one file synchronization: holds the *outdated* file.
@@ -166,9 +195,34 @@ class SyncClientEndpoint : private core_internal::EndpointBase {
   /// Builds the initial request message.
   Bytes MakeRequest();
 
+  /// Validates a persisted checkpoint against the local file and config.
+  /// On success the next message must be built with MakeResumeRequest()
+  /// and its reply fed to OnResumeReply(). Failure (stale fp_old, config
+  /// drift, unsupported continuation_first) means "start fresh with
+  /// MakeRequest()" — never an error the caller must handle.
+  Status InstallCheckpoint(const SessionCheckpoint& cp);
+
+  /// Builds the resume request (requires a successful InstallCheckpoint).
+  Bytes MakeResumeRequest();
+
+  /// Processes the server's answer to a resume request. Accepted resumes
+  /// replay the checkpoint locally and continue mid-protocol; rejected
+  /// ones transparently process the embedded fresh round-1 message.
+  StatusOr<std::optional<Bytes>> OnResumeReply(ByteSpan msg);
+
   /// Processes a server message. Returns a reply to send, or nullopt when
   /// the session is finished (check done() / needs_fallback()).
   StatusOr<std::optional<Bytes>> OnServerMessage(ByteSpan msg);
+
+  /// Snapshot of the progress through the last completed round, for
+  /// persisting via fsstore. Meaningful once the map phase has started.
+  SessionCheckpoint MakeCheckpoint() const;
+
+  /// Rung-2 repair exchange: hashes the broken reconstruction candidate
+  /// per region (requires has_repair_candidate()).
+  Bytes MakeRepairRequest();
+  /// Applies the server's repair reply (region literals or full file).
+  StatusOr<RepairOutcome> OnRepairReply(ByteSpan msg);
 
   /// After a fingerprint mismatch, applies the server's full transfer.
   Status OnFallbackTransfer(ByteSpan msg);
@@ -176,9 +230,15 @@ class SyncClientEndpoint : private core_internal::EndpointBase {
   bool done() const { return done_; }
   bool unchanged() const { return unchanged_; }
   bool needs_fallback() const { return needs_fallback_; }
+  /// ReadDelta decoded a full-length candidate that failed the
+  /// fingerprint check; region repair can likely fix it in place.
+  bool has_repair_candidate() const { return repair_candidate_.has_value(); }
   const Bytes& result() const { return result_; }
   const std::vector<RoundTrace>& trace() const { return trace_; }
   int rounds_executed() const { return rounds_executed_; }
+  int completed_rounds() const { return completed_rounds_; }
+  bool resumed() const { return resumed_; }
+  uint32_t repaired_regions() const { return repaired_regions_; }
 
   /// Optional observability hook: when set, every protocol sub-round
   /// emits a kRound trace event whose wall-clock span covers the server
@@ -190,13 +250,26 @@ class SyncClientEndpoint : private core_internal::EndpointBase {
   }
 
  private:
+  StatusOr<std::optional<Bytes>> StartFromHeader(BitReader& in);
   StatusOr<std::optional<Bytes>> ReadRoundAndReply(BitReader& in);
   void RecordTrace();
   Status ReadHashesAndMatch(BitReader& in);
   Status ReadDelta(BitReader& in);
 
   ByteSpan f_old_;
+  Fingerprint fp_old_{};
   Fingerprint fp_new_{};
+  // Resume machinery: the validated checkpoint awaiting the server's
+  // verdict, and the logs feeding the next MakeCheckpoint().
+  std::optional<SessionCheckpoint> pending_resume_;
+  std::vector<SessionCheckpoint::ConfirmEntry> confirm_log_;
+  std::vector<SessionCheckpoint::PairEntry> pair_log_;
+  int completed_rounds_ = 0;
+  bool resumed_ = false;
+  // Degradation-ladder state: the decoded-but-mismatched reconstruction.
+  std::optional<Bytes> repair_candidate_;
+  uint32_t repaired_regions_ = 0;
+  uint32_t repair_region_count_ = 0;
   // Candidate-scan scratch, reused across rounds (allocations and the
   // flat index's capacity survive between ReadHashesAndMatch calls).
   BlockIndex scan_scratch_;

@@ -7,50 +7,78 @@
 
 namespace fsx {
 
-StatusOr<FileSyncResult> SynchronizeFile(ByteSpan f_old, ByteSpan f_new,
-                                         const SyncConfig& config,
-                                         SimulatedChannel& channel,
-                                         obs::SyncObserver* obs) {
+StatusOr<FileSyncResult> SyncSession::Run(SimulatedChannel& channel,
+                                          obs::SyncObserver* obs) {
   using Dir = SimulatedChannel::Direction;
-  if (config.start_block_size == 0 || config.min_block_size == 0 ||
-      (config.start_block_size & (config.start_block_size - 1)) != 0) {
+  if (config_.start_block_size == 0 || config_.min_block_size == 0 ||
+      (config_.start_block_size & (config_.start_block_size - 1)) != 0) {
     return Status::InvalidArgument(
         "start_block_size must be a nonzero power of two");
   }
-  if (config.min_continuation_block == 0 ||
-      config.min_continuation_block > config.min_block_size) {
+  if (config_.min_continuation_block == 0 ||
+      config_.min_continuation_block > config_.min_block_size) {
     return Status::InvalidArgument(
         "min_continuation_block must be in [1, min_block_size]");
   }
-  if (config.verify.verify_bits < 1 || config.verify.verify_bits > 64 ||
-      config.verify.max_batches < 1) {
+  if (config_.verify.verify_bits < 1 || config_.verify.verify_bits > 64 ||
+      config_.verify.max_batches < 1) {
     return Status::InvalidArgument("bad verification configuration");
   }
 
   ObservedSession scope(channel, obs, "session");
-  SyncClientEndpoint client(f_old, config);
-  SyncServerEndpoint server(f_new, config);
+  SyncClientEndpoint client(f_old_, config_);
+  SyncServerEndpoint server(f_new_, config_);
   client.set_observer(obs);
   FileSyncResult result;
 
-  // Request.
+  // Request. A usable checkpoint turns it into a resume request; the
+  // server validates the claim and either continues mid-protocol or
+  // embeds a fresh round-1 message in its rejection.
   obs::SetPhase(obs, obs::Phase::kHandshake);
-  channel.Send(Dir::kClientToServer, client.MakeRequest());
-  FSYNC_ASSIGN_OR_RETURN(Bytes req, channel.Receive(Dir::kClientToServer));
-  FSYNC_ASSIGN_OR_RETURN(Bytes server_msg, server.OnRequest(req));
+  bool resuming =
+      resume_cp_.has_value() && client.InstallCheckpoint(*resume_cp_).ok();
+  Bytes server_msg;
+  if (resuming) {
+    channel.Send(Dir::kClientToServer, client.MakeResumeRequest());
+    FSYNC_ASSIGN_OR_RETURN(Bytes req,
+                           channel.Receive(Dir::kClientToServer));
+    FSYNC_ASSIGN_OR_RETURN(server_msg, server.OnResumeRequest(req));
+  } else {
+    channel.Send(Dir::kClientToServer, client.MakeRequest());
+    FSYNC_ASSIGN_OR_RETURN(Bytes req,
+                           channel.Receive(Dir::kClientToServer));
+    FSYNC_ASSIGN_OR_RETURN(server_msg, server.OnRequest(req));
+  }
 
   // Map-construction + delta loop. Server messages carry the round's
   // candidate hashes (plus, mixed in, continuation hashes and eventually
   // the delta — re-attributed below); client replies carry match bitmaps
   // and verification hashes.
+  int saved_rounds = 0;  // rounds the checkpoint hook has already seen
   uint32_t exchange = 0;
+  bool first_reply = resuming;
   for (;;) {
     obs::SetRound(obs, ++exchange);
     obs::SetPhase(obs, obs::Phase::kCandidates);
     channel.Send(Dir::kServerToClient, server_msg);
     FSYNC_ASSIGN_OR_RETURN(Bytes msg, channel.Receive(Dir::kServerToClient));
-    FSYNC_ASSIGN_OR_RETURN(std::optional<Bytes> reply,
-                           client.OnServerMessage(msg));
+    std::optional<Bytes> reply;
+    if (first_reply) {
+      first_reply = false;
+      FSYNC_ASSIGN_OR_RETURN(reply, client.OnResumeReply(msg));
+      if (client.resumed()) {
+        saved_rounds = client.completed_rounds();
+        result.resumed = true;
+        result.resumed_rounds = saved_rounds;
+        obs::AddEvent(obs, obs::Event::kResume);
+      }
+    } else {
+      FSYNC_ASSIGN_OR_RETURN(reply, client.OnServerMessage(msg));
+    }
+    if (checkpoint_fn_ && client.completed_rounds() > saved_rounds) {
+      saved_rounds = client.completed_rounds();
+      checkpoint_fn_(client.MakeCheckpoint());
+    }
     if (!reply.has_value()) {
       break;
     }
@@ -73,25 +101,66 @@ StatusOr<FileSyncResult> SynchronizeFile(ByteSpan f_old, ByteSpan f_new,
     uint64_t continuation_bits = 0;
     for (const RoundTrace& t : client.trace()) {
       continuation_bits += static_cast<uint64_t>(t.continuation_hashes) *
-                           EffectiveContinuationBits(config, t.round);
+                           EffectiveContinuationBits(config_, t.round);
     }
     obs->Reattribute(obs::Phase::kCandidates, obs::Phase::kContinuation,
                      obs::Flow::kDown, continuation_bits / 8);
   }
 
   if (client.needs_fallback()) {
-    obs::SetPhase(obs, obs::Phase::kFallback);
-    Bytes ask = {1};
-    channel.Send(Dir::kClientToServer, ask);
-    FSYNC_ASSIGN_OR_RETURN(Bytes ask_msg,
-                           channel.Receive(Dir::kClientToServer));
-    (void)ask_msg;
-    Bytes full = server.OnFallbackRequest();
-    channel.Send(Dir::kServerToClient, full);
-    FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,
-                           channel.Receive(Dir::kServerToClient));
-    FSYNC_RETURN_IF_ERROR(client.OnFallbackTransfer(full_msg));
-    result.fallback = true;
+    // Graceful-degradation ladder (docs/PROTOCOL.md): the decoded
+    // reconstruction failed its fingerprint check. Rung 2 re-verifies it
+    // per region with strong hashes and fetches only the bad regions'
+    // literals; rung 3 is the compressed full transfer of old.
+    if (client.has_repair_candidate()) {
+      obs::SetPhase(obs, obs::Phase::kVerification);
+      channel.Send(Dir::kClientToServer, client.MakeRepairRequest());
+      FSYNC_ASSIGN_OR_RETURN(Bytes rreq,
+                             channel.Receive(Dir::kClientToServer));
+      FSYNC_ASSIGN_OR_RETURN(Bytes rreply, server.OnRepairRequest(rreq));
+      obs::SetPhase(obs, obs::Phase::kLiterals);
+      channel.Send(Dir::kServerToClient, rreply);
+      FSYNC_ASSIGN_OR_RETURN(Bytes rmsg,
+                             channel.Receive(Dir::kServerToClient));
+      FSYNC_ASSIGN_OR_RETURN(RepairOutcome outcome,
+                             client.OnRepairReply(rmsg));
+      if (server.repair_used_full()) {
+        // The reply actually carried the whole file, not region literals.
+        obs::Reattribute(obs, obs::Phase::kLiterals, obs::Phase::kFallback,
+                         obs::Flow::kDown, MessageWireBytes(rreply.size()));
+      }
+      switch (outcome) {
+        case RepairOutcome::kRepaired:
+          result.degradation_level = 1;
+          result.repaired_regions = client.repaired_regions();
+          obs::AddEvent(obs, obs::Event::kRepairRegion,
+                        client.repaired_regions());
+          break;
+        case RepairOutcome::kFullTransfer:
+          result.degradation_level = 2;
+          result.fallback = true;
+          obs::AddEvent(obs, obs::Event::kFullFallback);
+          break;
+        case RepairOutcome::kStillBroken:
+          break;  // fall through to rung 3 below
+      }
+    }
+    if (client.needs_fallback()) {
+      obs::SetPhase(obs, obs::Phase::kFallback);
+      Bytes ask = {1};
+      channel.Send(Dir::kClientToServer, ask);
+      FSYNC_ASSIGN_OR_RETURN(Bytes ask_msg,
+                             channel.Receive(Dir::kClientToServer));
+      (void)ask_msg;
+      Bytes full = server.OnFallbackRequest();
+      channel.Send(Dir::kServerToClient, full);
+      FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,
+                             channel.Receive(Dir::kServerToClient));
+      FSYNC_RETURN_IF_ERROR(client.OnFallbackTransfer(full_msg));
+      result.degradation_level = 2;
+      result.fallback = true;
+      obs::AddEvent(obs, obs::Event::kFullFallback);
+    }
   }
 
   if (!client.done()) {
@@ -110,6 +179,14 @@ StatusOr<FileSyncResult> SynchronizeFile(ByteSpan f_old, ByteSpan f_new,
       map_loop_s2c - std::min(map_loop_s2c, result.delta_bytes);
   result.map_client_to_server_bytes = map_loop_c2s;
   return result;
+}
+
+StatusOr<FileSyncResult> SynchronizeFile(ByteSpan f_old, ByteSpan f_new,
+                                         const SyncConfig& config,
+                                         SimulatedChannel& channel,
+                                         obs::SyncObserver* obs) {
+  SyncSession session(f_old, f_new, config);
+  return session.Run(channel, obs);
 }
 
 }  // namespace fsx

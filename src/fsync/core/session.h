@@ -6,8 +6,11 @@
 #ifndef FSYNC_CORE_SESSION_H_
 #define FSYNC_CORE_SESSION_H_
 
+#include <functional>
+#include <optional>
 #include <vector>
 
+#include "fsync/core/checkpoint.h"
 #include "fsync/core/config.h"
 #include "fsync/core/endpoint.h"
 #include "fsync/net/channel.h"
@@ -27,13 +30,59 @@ struct FileSyncResult {
   std::vector<RoundTrace> trace;  // one entry per protocol sub-round
   double confirmed_fraction = 0.0;
   bool unchanged = false;  // fingerprints matched; nothing transferred
-  bool fallback = false;   // hash failure forced a full transfer
+  bool fallback = false;   // reconstruction failure forced a full transfer
+  // Robustness outcomes (see docs/PROTOCOL.md).
+  bool resumed = false;      // the server accepted a checkpoint resume
+  int resumed_rounds = 0;    // map rounds skipped thanks to the resume
+  // Degradation ladder rung that finished the session: 0 = normal delta
+  // reconstruction, 1 = region repair, 2 = full transfer.
+  int degradation_level = 0;
+  uint32_t repaired_regions = 0;  // regions patched at level 1
+};
+
+/// One file synchronization between in-process endpoints, with optional
+/// resume-from-checkpoint and round-granular checkpoint persistence.
+/// Construct, optionally install a checkpoint / checkpoint callback, then
+/// Run() once. SynchronizeFile below is the plain fire-and-forget shape.
+class SyncSession {
+ public:
+  /// `f_old` / `f_new` must outlive the session (not copied).
+  SyncSession(ByteSpan f_old, ByteSpan f_new, const SyncConfig& config)
+      : f_old_(f_old), f_new_(f_new), config_(config) {}
+
+  /// Asks Run() to resume from `cp` instead of starting fresh. An
+  /// unusable checkpoint (stale files, config drift, corrupt logs) is
+  /// silently ignored — the session starts fresh, never fails.
+  void set_resume_checkpoint(SessionCheckpoint cp) {
+    resume_cp_ = std::move(cp);
+  }
+
+  /// Installs a persistence hook, invoked after every newly completed
+  /// map-construction round with the up-to-date checkpoint. Keep it
+  /// cheap; it runs inside the protocol loop.
+  void set_checkpoint_fn(std::function<void(const SessionCheckpoint&)> fn) {
+    checkpoint_fn_ = std::move(fn);
+  }
+
+  /// Runs the protocol to completion over `channel`. See SynchronizeFile
+  /// for the contract; additionally fills the resume/degradation fields
+  /// of FileSyncResult and fires the checkpoint hook.
+  StatusOr<FileSyncResult> Run(SimulatedChannel& channel,
+                               obs::SyncObserver* obs = nullptr);
+
+ private:
+  ByteSpan f_old_;
+  ByteSpan f_new_;
+  const SyncConfig config_;
+  std::optional<SessionCheckpoint> resume_cp_;
+  std::function<void(const SessionCheckpoint&)> checkpoint_fn_;
 };
 
 /// Runs the full protocol between in-process endpoints over `channel`.
 /// On success the result's `reconstructed` equals `f_new` (guaranteed by
-/// the fingerprint check; a detected mismatch triggers the compressed
-/// full-transfer fallback, also through `channel`).
+/// the fingerprint check; a detected mismatch walks the degradation
+/// ladder: bounded region repair first, compressed full transfer last,
+/// also through `channel`).
 /// When `obs` is non-null the session additionally attributes its wire
 /// traffic per phase (handshake / candidates / verification /
 /// continuation / delta / fallback) and emits per-round trace events;

@@ -1,0 +1,60 @@
+#include "fsync/hash/crc32c.h"
+
+#include <array>
+
+namespace fsx {
+
+namespace {
+
+// Four 256-entry tables for slice-by-4: table[0] is the classic
+// byte-at-a-time table for the reflected Castagnoli polynomial; table[k]
+// extends each entry by k extra zero bytes.
+struct Crc32cTables {
+  uint32_t t[4][256];
+
+  constexpr Crc32cTables() : t{} {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+constexpr Crc32cTables kTables{};
+
+}  // namespace
+
+uint32_t Crc32cUpdate(uint32_t crc, ByteSpan data) {
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][crc & 0xFFu] ^ kTables.t[2][(crc >> 8) & 0xFFu] ^
+          kTables.t[1][(crc >> 16) & 0xFFu] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p) & 0xFFu];
+    ++p;
+    --n;
+  }
+  return crc;
+}
+
+uint32_t Crc32c(ByteSpan data) {
+  return Crc32cFinish(Crc32cUpdate(kCrc32cInit, data));
+}
+
+}  // namespace fsx

@@ -1,0 +1,27 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78), the
+// checksum the reliable transport uses to frame records. Chosen over the
+// protocol's rolling hashes because record integrity needs burst-error
+// detection, not rollability; CRC32C detects all single-bit errors and
+// all bursts up to 32 bits. Software table-driven (slice-by-4); no
+// hardware dependency so results are identical on every platform.
+#ifndef FSYNC_HASH_CRC32C_H_
+#define FSYNC_HASH_CRC32C_H_
+
+#include <cstdint>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// CRC32C of `data` (standard init/xorout: ~0 in, ~0 out).
+uint32_t Crc32c(ByteSpan data);
+
+/// Incremental form: `crc` is the value returned by a previous call (or
+/// kCrc32cInit for the first chunk); finish with Crc32cFinish.
+inline constexpr uint32_t kCrc32cInit = 0xFFFFFFFFu;
+uint32_t Crc32cUpdate(uint32_t crc, ByteSpan data);
+inline uint32_t Crc32cFinish(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+}  // namespace fsx
+
+#endif  // FSYNC_HASH_CRC32C_H_

@@ -18,6 +18,10 @@ uint64_t FramingBytes(uint64_t n) {
 
 }  // namespace
 
+uint64_t MessageWireBytes(uint64_t payload_size) {
+  return payload_size + FramingBytes(payload_size);
+}
+
 void SimulatedChannel::Send(Direction dir, ByteSpan payload) {
   uint64_t wire = payload.size() + FramingBytes(payload.size());
   if (dir == Direction::kClientToServer) {

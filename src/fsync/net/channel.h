@@ -29,30 +29,44 @@ struct TrafficStats {
   }
 };
 
+/// Wire cost of one channel message carrying `payload_size` bytes: the
+/// payload plus its varint length-prefix framing. Exposed so transport
+/// decorators can account their per-record overhead exactly (the reliable
+/// layer reattributes `its wire cost - MessageWireBytes(logical size)` to
+/// the transport phase).
+uint64_t MessageWireBytes(uint64_t payload_size);
+
 /// In-process duplex message channel with byte and roundtrip accounting.
 ///
 /// Protocol code runs client and server as coroutine-style steps in one
 /// process: one party Sends, the other Receives. Messages are queued per
 /// direction. A roundtrip is counted each time the flow switches from
 /// client->server back to client (i.e. one full request/response cycle).
+///
+/// The entry points are virtual so a transport layer can decorate a
+/// channel (fsync/transport/reliable.h wraps a lossy channel and presents
+/// the same interface); protocol code is written against this class and
+/// never needs to know which concrete channel it runs over.
 class SimulatedChannel {
  public:
   enum class Direction { kClientToServer, kServerToClient };
 
+  virtual ~SimulatedChannel() = default;
+
   /// Enqueues a message. Adds framing cost (varint length prefix) to the
   /// byte accounting so protocols cannot hide message boundaries for free.
-  void Send(Direction dir, ByteSpan payload);
+  virtual void Send(Direction dir, ByteSpan payload);
 
   /// Dequeues the oldest message in `dir`. Fails if none is pending.
-  StatusOr<Bytes> Receive(Direction dir);
+  virtual StatusOr<Bytes> Receive(Direction dir);
 
   /// True if a message is waiting in `dir`.
-  bool HasPending(Direction dir) const;
+  virtual bool HasPending(Direction dir) const;
 
-  const TrafficStats& stats() const { return stats_; }
+  virtual const TrafficStats& stats() const { return stats_; }
 
   /// Resets traffic counters (queues must be empty).
-  void ResetStats();
+  virtual void ResetStats();
 
   /// Attaches (or detaches, with nullptr) a sync observer. Every Send
   /// reports its exact wire cost — payload plus framing, the same number
@@ -60,14 +74,16 @@ class SimulatedChannel {
   /// most recently declared, so per-phase sums equal TrafficStats by
   /// construction. Observation never alters payloads, accounting, or
   /// fault handling; with no observer the cost is one branch per Send.
-  void SetObserver(obs::SyncObserver* observer) { observer_ = observer; }
-  obs::SyncObserver* observer() const { return observer_; }
+  virtual void SetObserver(obs::SyncObserver* observer) {
+    observer_ = observer;
+  }
+  virtual obs::SyncObserver* observer() const { return observer_; }
 
   /// Test hook: every queued message passes through `tamper` before
   /// delivery (fault injection for robustness tests). The byte accounting
   /// reflects the original payload, not the tampered one: the sender paid
   /// for what it sent, regardless of what the network did to it.
-  void SetTamper(std::function<void(Direction, Bytes&)> tamper) {
+  virtual void SetTamper(std::function<void(Direction, Bytes&)> tamper) {
     tamper_ = std::move(tamper);
   }
 
@@ -82,7 +98,7 @@ class SimulatedChannel {
   /// Test hook: decides the fate of each sent message (drop, duplication,
   /// reordering). Like SetTamper, byte and roundtrip accounting always
   /// reflect the original send; faults change delivery, not cost.
-  void SetFault(std::function<FaultAction(Direction, ByteSpan)> fault) {
+  virtual void SetFault(std::function<FaultAction(Direction, ByteSpan)> fault) {
     fault_ = std::move(fault);
   }
 
@@ -96,8 +112,8 @@ class SimulatedChannel {
   /// payload to an in-order transcript. The threaded conformance suite
   /// compares transcripts across `num_threads` settings to pin the
   /// determinism contract (parallelism may never change wire traffic).
-  void EnableTranscript() { record_transcript_ = true; }
-  const std::vector<TranscriptEntry>& transcript() const {
+  virtual void EnableTranscript() { record_transcript_ = true; }
+  virtual const std::vector<TranscriptEntry>& transcript() const {
     return transcript_;
   }
 

@@ -68,12 +68,14 @@ uint64_t SyncObserver::dir_bytes(Flow dir) const {
 SyncObserver::State SyncObserver::Snapshot() const {
   State state;
   std::memcpy(state.bytes, bytes_, sizeof(bytes_));
+  std::memcpy(state.events, events_, sizeof(events_));
   state.rounds = rounds_completed_;
   return state;
 }
 
 void SyncObserver::Restore(const State& state) {
   std::memcpy(bytes_, state.bytes, sizeof(bytes_));
+  std::memcpy(events_, state.events, sizeof(events_));
   rounds_completed_ = state.rounds;
 }
 
@@ -89,6 +91,14 @@ void SyncObserver::FlushTo(MetricsRegistry& registry,
                      FlowName(dir))
             .Add(n);
       }
+    }
+  }
+  for (int e = 0; e < kNumEvents; ++e) {
+    const uint64_t n = events_[e];
+    if (n != 0) {
+      registry
+          .counter(prefix + ".events." + EventName(static_cast<Event>(e)))
+          .Add(n);
     }
   }
   registry.counter(prefix + ".rounds").Add(rounds_completed_);

@@ -21,6 +21,46 @@
 
 namespace fsx::obs {
 
+/// Discrete robustness events the transport and session layers report.
+/// Counted per observer (i.e. per observed session) and flushed to the
+/// registry as `<prefix>.events.<name>` counters, so retransmission and
+/// degradation behavior is visible in BENCH_*.json / --metrics-json.
+enum class Event : uint8_t {
+  kRetransmit,        ///< a data record was re-sent after a timeout
+  kTimeout,           ///< a receive deadline expired (clock advanced)
+  kCorruptRecord,     ///< record discarded: CRC32C/frame check failed
+  kDuplicateRecord,   ///< record discarded: sequence number already seen
+  kReorderBuffered,   ///< out-of-order record parked in the reorder buffer
+  kResume,            ///< a session resumed from a checkpoint
+  kRepairRegion,      ///< one region repaired by the degradation ladder
+  kFullFallback,      ///< last-resort compressed full transfer
+};
+
+inline constexpr int kNumEvents = 8;
+
+/// Stable lower-case name, used as the JSON/metrics key.
+inline const char* EventName(Event e) {
+  switch (e) {
+    case Event::kRetransmit:
+      return "retransmits";
+    case Event::kTimeout:
+      return "timeouts";
+    case Event::kCorruptRecord:
+      return "corrupt_records";
+    case Event::kDuplicateRecord:
+      return "duplicate_records";
+    case Event::kReorderBuffered:
+      return "reorder_buffered";
+    case Event::kResume:
+      return "resumes";
+    case Event::kRepairRegion:
+      return "repaired_regions";
+    case Event::kFullFallback:
+      return "full_fallbacks";
+  }
+  return "unknown";
+}
+
 /// Per-(phase, direction) byte accumulator with optional trace fan-out.
 class SyncObserver {
  public:
@@ -58,6 +98,14 @@ class SyncObserver {
   /// hashes, and delta fragments together).
   void Reattribute(Phase from, Phase to, Flow dir, uint64_t bytes);
 
+  /// Counts `n` occurrences of a robustness event (see Event).
+  void AddEvent(Event e, uint64_t n = 1) {
+    events_[static_cast<int>(e)] += n;
+  }
+  uint64_t event_count(Event e) const {
+    return events_[static_cast<int>(e)];
+  }
+
   /// Records a completed protocol round and its wall-clock span.
   void RecordRound(uint32_t round, uint64_t wall_ns);
 
@@ -86,6 +134,7 @@ class SyncObserver {
   /// agree with the collection's stats, so it rolls back too).
   struct State {
     uint64_t bytes[kNumPhases][2] = {};
+    uint64_t events[kNumEvents] = {};
     uint32_t rounds = 0;
   };
   State Snapshot() const;
@@ -108,6 +157,7 @@ class SyncObserver {
   uint32_t rounds_completed_ = 0;
   uint64_t wall_ns_ = 0;
   uint64_t bytes_[kNumPhases][2] = {};
+  uint64_t events_[kNumEvents] = {};
   Histogram round_ns_;
   Histogram message_bytes_;
 };
@@ -136,6 +186,10 @@ inline void Reattribute(SyncObserver* obs, Phase from, Phase to, Flow dir,
 inline void RecordRound(SyncObserver* obs, uint32_t round,
                         uint64_t wall_ns) {
   if (obs != nullptr) obs->RecordRound(round, wall_ns);
+}
+
+inline void AddEvent(SyncObserver* obs, Event e, uint64_t n = 1) {
+  if (obs != nullptr) obs->AddEvent(e, n);
 }
 
 }  // namespace fsx::obs

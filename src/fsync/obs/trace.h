@@ -26,9 +26,11 @@ enum class Phase : uint8_t {
   kLiterals,      ///< raw or chunk literals shipped to fill holes
   kDelta,         ///< encoded delta payload (zd / vcdiff / bsdiff)
   kFallback,      ///< compressed full-file transfer after a failure
+  kTransport,     ///< reliable-transport overhead: record headers, CRCs,
+                  ///< and the full cost of retransmitted records
 };
 
-inline constexpr int kNumPhases = 7;
+inline constexpr int kNumPhases = 8;
 
 /// Stable lower-case name, used as the JSON key in BENCH_*.json.
 inline const char* PhaseName(Phase p) {
@@ -47,6 +49,8 @@ inline const char* PhaseName(Phase p) {
       return "delta";
     case Phase::kFallback:
       return "fallback";
+    case Phase::kTransport:
+      return "transport";
   }
   return "unknown";
 }

@@ -188,4 +188,29 @@ StatusOr<std::vector<std::string>> VerifyTree(const std::string& root) {
   return dirty;
 }
 
+Status SaveCheckpointFile(const std::string& path,
+                          const SessionCheckpoint& cp) {
+  fs::path target(path);
+  fs::path tmp = target;
+  tmp += ".tmp";
+  FSYNC_RETURN_IF_ERROR(WriteFileBytes(tmp, SerializeCheckpoint(cp)));
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::Internal("cannot rename checkpoint into " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<SessionCheckpoint> LoadCheckpointFile(const std::string& path) {
+  FSYNC_ASSIGN_OR_RETURN(Bytes data, ReadFileBytes(fs::path(path)));
+  return ParseCheckpoint(data);
+}
+
+void RemoveCheckpointFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(fs::path(path), ec);
+}
+
 }  // namespace fsx

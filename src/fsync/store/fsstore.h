@@ -8,6 +8,7 @@
 #include <map>
 #include <string>
 
+#include "fsync/core/checkpoint.h"
 #include "fsync/core/collection.h"
 #include "fsync/hash/fingerprint.h"
 #include "fsync/util/status.h"
@@ -49,6 +50,21 @@ Status StoreTree(const std::string& root, const Collection& files,
 /// content changed, appeared, or disappeared since the manifest was
 /// written (empty vector = clean).
 StatusOr<std::vector<std::string>> VerifyTree(const std::string& root);
+
+/// Persists a session checkpoint (SerializeCheckpoint payload) to `path`,
+/// so a killed synchronization can resume in a later process. The write
+/// goes through a temp file + rename, so a crash mid-write leaves either
+/// the old checkpoint or none — never a torn one.
+Status SaveCheckpointFile(const std::string& path,
+                          const SessionCheckpoint& cp);
+
+/// Loads a checkpoint saved by SaveCheckpointFile. kNotFound when the
+/// file does not exist; kDataLoss when it is corrupt (callers treat both
+/// as "start fresh").
+StatusOr<SessionCheckpoint> LoadCheckpointFile(const std::string& path);
+
+/// Removes a checkpoint file if present (after a successful session).
+void RemoveCheckpointFile(const std::string& path);
 
 }  // namespace fsx
 

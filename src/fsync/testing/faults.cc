@@ -108,4 +108,76 @@ void ArmFault(SimulatedChannel& channel, const FaultSpec& spec) {
   }
 }
 
+std::string FaultSchedule::Label() const {
+  return (name.empty() ? std::string("schedule") : name) + "/" +
+         std::to_string(seed);
+}
+
+void ArmSchedule(SimulatedChannel& channel, const FaultSchedule& schedule) {
+  // Independent RNGs for the two hooks so the corruption stream does not
+  // depend on how many queue faults fired before it.
+  struct State {
+    Rng queue_rng;
+    Rng tamper_rng;
+    explicit State(uint64_t seed)
+        : queue_rng(seed ^ 0x9E3779B97F4A7C15ull), tamper_rng(~seed) {}
+  };
+  auto state = std::make_shared<State>(schedule.seed);
+
+  channel.SetFault([state, schedule](SimulatedChannel::Direction dir,
+                                     ByteSpan) {
+    int d = static_cast<int>(dir);
+    if (state->queue_rng.Bernoulli(schedule.drop[d])) {
+      return SimulatedChannel::FaultAction::kDrop;
+    }
+    if (state->queue_rng.Bernoulli(schedule.duplicate[d])) {
+      return SimulatedChannel::FaultAction::kDuplicate;
+    }
+    if (state->queue_rng.Bernoulli(schedule.reorder[d])) {
+      return SimulatedChannel::FaultAction::kReorder;
+    }
+    return SimulatedChannel::FaultAction::kDeliver;
+  });
+  channel.SetTamper([state, schedule](SimulatedChannel::Direction dir,
+                                      Bytes& msg) {
+    int d = static_cast<int>(dir);
+    if (msg.empty() || !state->tamper_rng.Bernoulli(schedule.corrupt[d])) {
+      return;
+    }
+    uint64_t bit = state->tamper_rng.Uniform(msg.size() * 8);
+    msg[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  });
+}
+
+std::vector<FaultSchedule> ChaosSchedules(uint64_t base_seed) {
+  auto make = [&](const char* name, double drop, double dup, double reorder,
+                  double corrupt, uint64_t salt) {
+    FaultSchedule s;
+    s.name = name;
+    for (int d = 0; d < 2; ++d) {
+      s.drop[d] = drop;
+      s.duplicate[d] = dup;
+      s.reorder[d] = reorder;
+      s.corrupt[d] = corrupt;
+    }
+    s.seed = base_seed ^ (salt * 0x2545F4914F6CDD1Dull);
+    return s;
+  };
+  std::vector<FaultSchedule> out;
+  out.push_back(make("drop10", 0.10, 0, 0, 0, 1));
+  out.push_back(make("drop20", 0.20, 0, 0, 0, 2));
+  out.push_back(make("dup15", 0, 0.15, 0, 0, 3));
+  out.push_back(make("reorder20", 0, 0, 0.20, 0, 4));
+  out.push_back(make("corrupt15", 0, 0, 0, 0.15, 5));
+  out.push_back(make("mix10", 0.10, 0.10, 0.10, 0.10, 6));
+  out.push_back(make("mix20", 0.20, 0.15, 0.15, 0.20, 7));
+  // Asymmetric: the download direction is the lossy one (typical of the
+  // paper's slow-link setting).
+  FaultSchedule down = make("down-lossy", 0, 0, 0, 0, 8);
+  down.drop[1] = 0.20;
+  down.corrupt[1] = 0.10;
+  out.push_back(down);
+  return out;
+}
+
 }  // namespace fsx

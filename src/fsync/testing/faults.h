@@ -48,6 +48,33 @@ struct FaultSpec {
 /// Installs `spec` on `channel`, replacing any previous hooks.
 void ArmFault(SimulatedChannel& channel, const FaultSpec& spec);
 
+/// Seeded probabilistic fault schedule: every message independently
+/// rolls Bernoulli trials for drop / duplicate / reorder (queue faults)
+/// and corruption (a random bit flip), with separate rates per
+/// direction. Deterministic given `seed`; chaos tests derive the seed
+/// from SeedFromEnv so any failure replays with FSX_SEED=<seed>.
+struct FaultSchedule {
+  /// Per-direction rates, indexed by SimulatedChannel::Direction
+  /// ([0] = client->server, [1] = server->client).
+  double drop[2] = {0, 0};
+  double duplicate[2] = {0, 0};
+  double reorder[2] = {0, 0};
+  double corrupt[2] = {0, 0};
+  uint64_t seed = 0;
+  std::string name;  // stable label for test output
+
+  std::string Label() const;
+};
+
+/// Installs `schedule` on `channel`, replacing any previous hooks. Queue
+/// faults are mutually exclusive per message (drop beats duplicate beats
+/// reorder); corruption applies independently at dequeue.
+void ArmSchedule(SimulatedChannel& channel, const FaultSchedule& schedule);
+
+/// The chaos suite's preset schedules (10-20% mixed fault rates plus a
+/// few single-fault ones), with `base_seed` folded into every entry.
+std::vector<FaultSchedule> ChaosSchedules(uint64_t base_seed);
+
 }  // namespace fsx
 
 #endif  // FSYNC_TESTING_FAULTS_H_

@@ -1,0 +1,57 @@
+#include "fsync/transport/record.h"
+
+#include "fsync/hash/crc32c.h"
+
+namespace fsx::transport {
+
+namespace {
+
+void PutLe32(Bytes& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t GetLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Bytes EncodeRecord(uint8_t type, uint32_t seq, uint32_t ack,
+                   ByteSpan payload) {
+  Bytes out;
+  out.reserve(kRecordOverheadBytes + payload.size());
+  out.push_back(type);
+  PutLe32(out, seq);
+  PutLe32(out, ack);
+  Append(out, payload);
+  PutLe32(out, Crc32c(ByteSpan(out.data(), out.size())));
+  return out;
+}
+
+StatusOr<Record> DecodeRecord(ByteSpan frame) {
+  if (frame.size() < kRecordOverheadBytes) {
+    return Status::DataLoss("transport: record shorter than header");
+  }
+  const size_t body = frame.size() - 4;
+  const uint32_t want = GetLe32(frame.data() + body);
+  const uint32_t got = Crc32c(frame.subspan(0, body));
+  if (want != got) {
+    return Status::DataLoss("transport: record CRC mismatch");
+  }
+  Record rec;
+  rec.type = frame[0];
+  if (rec.type != kRecordTypeData) {
+    return Status::DataLoss("transport: unknown record type");
+  }
+  rec.seq = GetLe32(frame.data() + 1);
+  rec.ack = GetLe32(frame.data() + 5);
+  rec.payload.assign(frame.begin() + 9, frame.begin() + body);
+  return rec;
+}
+
+}  // namespace fsx::transport

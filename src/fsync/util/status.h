@@ -20,6 +20,7 @@ enum class StatusCode {
   kNotFound,
   kInternal,
   kUnimplemented,
+  kUnavailable,     // peer unreachable / retry budget exhausted
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "DATA_LOSS").
@@ -57,6 +58,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

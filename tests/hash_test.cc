@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "fsync/hash/crc32c.h"
 #include "fsync/hash/fingerprint.h"
 #include "fsync/hash/karp_rabin.h"
 #include "fsync/hash/md4.h"
@@ -248,6 +249,43 @@ TEST(Fingerprint, EqualIffEqualContent) {
   Bytes c = B("different content");
   EXPECT_EQ(FileFingerprint(a), FileFingerprint(b));
   EXPECT_NE(FileFingerprint(a), FileFingerprint(c));
+}
+
+// --- CRC32C (RFC 3720 test vectors) -----------------------------------
+
+TEST(Crc32c, MatchesKnownVectors) {
+  EXPECT_EQ(Crc32c(ByteSpan()), 0x00000000u);
+  EXPECT_EQ(Crc32c(B("123456789")), 0xE3069283u);  // the "check" value
+  EXPECT_EQ(Crc32c(B("a")), 0xC1D04330u);
+  EXPECT_EQ(Crc32c(B("The quick brown fox jumps over the lazy dog")),
+            0x22620404u);
+  Bytes zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);  // RFC 3720 B.4: 32 bytes of 0
+  Bytes ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);  // RFC 3720 B.4: 32 bytes of 0xFF
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  Bytes data = Rng(42).RandomBytes(1023);  // odd size: exercises the tail
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{7}, size_t{512}}) {
+    uint32_t crc = kCrc32cInit;
+    crc = Crc32cUpdate(crc, ByteSpan(data.data(), cut));
+    crc = Crc32cUpdate(crc, ByteSpan(data.data() + cut, data.size() - cut));
+    EXPECT_EQ(Crc32cFinish(crc), Crc32c(data)) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitErrors) {
+  Bytes data = B("framing integrity");
+  const uint32_t good = Crc32c(data);
+  for (size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes bad = data;
+      bad[byte] ^= static_cast<uint8_t>(1u << bit);
+      EXPECT_NE(Crc32c(bad), good)
+          << "bit " << bit << " of byte " << byte;
+    }
+  }
 }
 
 }  // namespace

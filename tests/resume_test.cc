@@ -1,0 +1,335 @@
+// Resumable-session tests: checkpoint serialization (self-validating,
+// corruption-proof), the config wire digest's include/exclude contract,
+// fsstore persistence, and the end-to-end kill-and-resume property — a
+// session killed mid-map resumes from its last completed round and
+// moves strictly fewer bytes than starting over.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fsync/core/checkpoint.h"
+#include "fsync/core/session.h"
+#include "fsync/hash/fingerprint.h"
+#include "fsync/obs/sync_obs.h"
+#include "fsync/store/fsstore.h"
+#include "fsync/testing/corpus.h"
+#include "fsync/transport/reliable.h"
+#include "fsync/util/random.h"
+
+namespace fsx {
+namespace {
+
+using Direction = SimulatedChannel::Direction;
+
+SessionCheckpoint SampleCheckpoint() {
+  SessionCheckpoint cp;
+  cp.fp_old = FileFingerprint(ToBytes("old file"));
+  cp.fp_new = FileFingerprint(ToBytes("new file"));
+  cp.old_size = 123456;
+  cp.new_size = 654321;
+  cp.config_digest = ConfigWireDigest(SyncConfig{});
+  cp.completed_rounds = 3;
+  cp.confirms = {{0, 4, 8192}, {1, 9, 0}, {2, 17, 70000}};
+  cp.pairs = {{0, 1, {111, 222}}, {1, 3, {444, 555}}, {2, 2, {7, 65535}}};
+  return cp;
+}
+
+// --- ConfigWireDigest ------------------------------------------------
+
+TEST(ConfigWireDigest, IgnoresExecutionAndFailurePathKnobs) {
+  SyncConfig base;
+  const uint64_t digest = ConfigWireDigest(base);
+
+  SyncConfig threads = base;
+  threads.num_threads = 8;
+  EXPECT_EQ(ConfigWireDigest(threads), digest);
+
+  SyncConfig repair = base;
+  repair.repair.enabled = false;
+  repair.repair.region_size = 512;
+  repair.repair.max_bad_fraction = 0.1;
+  EXPECT_EQ(ConfigWireDigest(repair), digest);
+}
+
+TEST(ConfigWireDigest, CoversWireAffectingKnobs) {
+  SyncConfig base;
+  const uint64_t digest = ConfigWireDigest(base);
+
+  SyncConfig blocks = base;
+  blocks.start_block_size = 4096;
+  EXPECT_NE(ConfigWireDigest(blocks), digest);
+
+  SyncConfig verify = base;
+  verify.verify.verify_bits = 24;
+  EXPECT_NE(ConfigWireDigest(verify), digest);
+
+  SyncConfig rounds = base;
+  rounds.max_roundtrips = 6;
+  EXPECT_NE(ConfigWireDigest(rounds), digest);
+
+  SyncConfig overrides = base;
+  overrides.round_overrides.push_back({});
+  overrides.round_overrides.back().verify_bits = 12;
+  EXPECT_NE(ConfigWireDigest(overrides), digest);
+}
+
+// --- Serialization ---------------------------------------------------
+
+TEST(Checkpoint, SerializeParseRoundTrips) {
+  SessionCheckpoint cp = SampleCheckpoint();
+  Bytes wire = SerializeCheckpoint(cp);
+  auto got = ParseCheckpoint(wire);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->fp_old, cp.fp_old);
+  EXPECT_EQ(got->fp_new, cp.fp_new);
+  EXPECT_EQ(got->old_size, cp.old_size);
+  EXPECT_EQ(got->new_size, cp.new_size);
+  EXPECT_EQ(got->config_digest, cp.config_digest);
+  EXPECT_EQ(got->completed_rounds, cp.completed_rounds);
+  ASSERT_EQ(got->confirms.size(), cp.confirms.size());
+  for (size_t i = 0; i < cp.confirms.size(); ++i) {
+    EXPECT_EQ(got->confirms[i].round, cp.confirms[i].round);
+    EXPECT_EQ(got->confirms[i].id, cp.confirms[i].id);
+    EXPECT_EQ(got->confirms[i].src, cp.confirms[i].src);
+  }
+  ASSERT_EQ(got->pairs.size(), cp.pairs.size());
+  for (size_t i = 0; i < cp.pairs.size(); ++i) {
+    EXPECT_EQ(got->pairs[i].round, cp.pairs[i].round);
+    EXPECT_EQ(got->pairs[i].id, cp.pairs[i].id);
+    EXPECT_TRUE(got->pairs[i].pair == cp.pairs[i].pair);
+  }
+}
+
+TEST(Checkpoint, ParseRejectsAnyCorruption) {
+  Bytes wire = SerializeCheckpoint(SampleCheckpoint());
+  EXPECT_FALSE(ParseCheckpoint(ByteSpan()).ok());
+  // Truncations.
+  for (size_t n : {size_t{1}, size_t{4}, wire.size() / 2, wire.size() - 1}) {
+    EXPECT_FALSE(ParseCheckpoint(ByteSpan(wire.data(), n)).ok())
+        << "accepted a " << n << "-byte prefix";
+  }
+  // Every single-byte flip must be caught by the CRC32C trailer.
+  for (size_t i = 0; i < wire.size(); ++i) {
+    Bytes bad = wire;
+    bad[i] ^= 0x40;
+    auto got = ParseCheckpoint(bad);
+    EXPECT_FALSE(got.ok()) << "flip at byte " << i << " went undetected";
+  }
+}
+
+// --- fsstore persistence ---------------------------------------------
+
+TEST(Checkpoint, SaveLoadRemoveFile) {
+  const std::string path =
+      ::testing::TempDir() + "/fsx_checkpoint_test.fsxc";
+  SessionCheckpoint cp = SampleCheckpoint();
+  ASSERT_TRUE(SaveCheckpointFile(path, cp).ok());
+  auto got = LoadCheckpointFile(path);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->fp_new, cp.fp_new);
+  EXPECT_EQ(got->completed_rounds, cp.completed_rounds);
+  EXPECT_EQ(got->confirms.size(), cp.confirms.size());
+  RemoveCheckpointFile(path);
+  auto gone = LoadCheckpointFile(path);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Checkpoint, LoadRejectsCorruptFile) {
+  const std::string path =
+      ::testing::TempDir() + "/fsx_checkpoint_corrupt.fsxc";
+  SessionCheckpoint cp = SampleCheckpoint();
+  ASSERT_TRUE(SaveCheckpointFile(path, cp).ok());
+  // Append garbage: the CRC no longer covers the trailing bytes' claim.
+  FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputc(0x5A, f);
+  std::fclose(f);
+  auto got = LoadCheckpointFile(path);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+  RemoveCheckpointFile(path);
+}
+
+// --- End-to-end kill and resume --------------------------------------
+
+struct KilledRun {
+  std::optional<SessionCheckpoint> checkpoint;
+  int checkpoints_fired = 0;
+  Status status = Status::Ok();
+};
+
+// Runs a session whose link dies (drops everything) after `messages_alive`
+// inner-channel sends, capturing the last checkpoint the session saved.
+KilledRun RunUntilLinkDies(const CorpusPair& pair, const SyncConfig& config,
+                           int messages_alive) {
+  KilledRun out;
+  SimulatedChannel inner;
+  int sends = 0;
+  inner.SetFault([&sends, messages_alive](Direction, ByteSpan) {
+    return sends++ < messages_alive ? SimulatedChannel::FaultAction::kDeliver
+                                    : SimulatedChannel::FaultAction::kDrop;
+  });
+  transport::ReliableParams params;
+  params.max_attempts = 3;
+  params.initial_timeout_us = 1000;
+  transport::ReliableChannel channel(inner, params);
+
+  SyncSession session(pair.f_old, pair.f_new, config);
+  session.set_checkpoint_fn([&out](const SessionCheckpoint& cp) {
+    // Simulate persistence through the real serializer, as a caller would.
+    auto parsed = ParseCheckpoint(SerializeCheckpoint(cp));
+    ASSERT_TRUE(parsed.ok());
+    out.checkpoint = std::move(*parsed);
+    ++out.checkpoints_fired;
+  });
+  auto r = session.Run(channel);
+  out.status = r.status();
+  return out;
+}
+
+TEST(Resume, KilledSessionResumesWithStrictlyFewerBytes) {
+  CorpusPair pair = MakeCorpusPair(CorpusShape::kClusteredEdits, 20260806);
+  SyncConfig config;
+
+  // Baseline: the cost of synchronizing from scratch.
+  SimulatedChannel fresh_channel;
+  SyncSession fresh(pair.f_old, pair.f_new, config);
+  auto fresh_r = fresh.Run(fresh_channel);
+  ASSERT_TRUE(fresh_r.ok()) << fresh_r.status().ToString();
+  ASSERT_EQ(fresh_r->reconstructed, pair.f_new);
+  ASSERT_FALSE(fresh_r->resumed);
+  const uint64_t fresh_bytes = fresh_channel.stats().total_bytes();
+
+  // Kill the link partway through the map phase; the exact cut point is
+  // swept so the test does not depend on the protocol's message count.
+  KilledRun killed;
+  for (int alive = 6; alive <= 30; alive += 2) {
+    killed = RunUntilLinkDies(pair, config, alive);
+    if (killed.checkpoint.has_value() && !killed.status.ok()) {
+      break;
+    }
+  }
+  ASSERT_TRUE(killed.checkpoint.has_value())
+      << "no map round completed before any tested cut point";
+  ASSERT_FALSE(killed.status.ok()) << "session survived a dead link";
+  EXPECT_EQ(killed.status.code(), StatusCode::kUnavailable)
+      << killed.status.ToString();
+  ASSERT_GE(killed.checkpoint->completed_rounds, 1);
+
+  // Resume on a fresh link.
+  SimulatedChannel resume_channel;
+  SyncSession resumed(pair.f_old, pair.f_new, config);
+  resumed.set_resume_checkpoint(*killed.checkpoint);
+  obs::SyncObserver obs;
+  auto resumed_r = resumed.Run(resume_channel, &obs);
+  ASSERT_TRUE(resumed_r.ok()) << resumed_r.status().ToString();
+  EXPECT_EQ(resumed_r->reconstructed, pair.f_new);
+  EXPECT_TRUE(resumed_r->resumed);
+  EXPECT_EQ(resumed_r->resumed_rounds, killed.checkpoint->completed_rounds);
+  EXPECT_EQ(obs.event_count(obs::Event::kResume), 1u);
+  // The point of resuming: strictly fewer bytes than starting over.
+  EXPECT_LT(resume_channel.stats().total_bytes(), fresh_bytes);
+  EXPECT_LT(resume_channel.stats().roundtrips,
+            fresh_channel.stats().roundtrips);
+}
+
+TEST(Resume, CheckpointsAdvanceMonotonically) {
+  CorpusPair pair = MakeCorpusPair(CorpusShape::kDispersedEdits, 77);
+  SyncConfig config;
+  SimulatedChannel channel;
+  SyncSession session(pair.f_old, pair.f_new, config);
+  int last_rounds = 0;
+  int fired = 0;
+  session.set_checkpoint_fn([&](const SessionCheckpoint& cp) {
+    EXPECT_GT(cp.completed_rounds, last_rounds);
+    last_rounds = cp.completed_rounds;
+    ++fired;
+  });
+  auto r = session.Run(channel);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(fired, 0);
+  EXPECT_LE(fired, r->rounds + 1);
+}
+
+TEST(Resume, StaleTargetFallsBackToFreshTransparently) {
+  CorpusPair pair = MakeCorpusPair(CorpusShape::kClusteredEdits, 555);
+  SyncConfig config;
+
+  // Checkpoint taken against the original target...
+  std::optional<SessionCheckpoint> cp;
+  SimulatedChannel c1;
+  SyncSession s1(pair.f_old, pair.f_new, config);
+  s1.set_checkpoint_fn(
+      [&cp](const SessionCheckpoint& c) { cp = c; });
+  ASSERT_TRUE(s1.Run(c1).ok());
+  ASSERT_TRUE(cp.has_value());
+
+  // ...then the server's file changes before the resume. The server must
+  // reject the checkpoint and serve a fresh session in the same reply.
+  Bytes newer = pair.f_new;
+  newer.push_back(0xAB);
+  newer[newer.size() / 2] ^= 0xFF;
+  SimulatedChannel c2;
+  SyncSession s2(pair.f_old, newer, config);
+  s2.set_resume_checkpoint(*cp);
+  auto r = s2.Run(c2);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, newer);
+  EXPECT_FALSE(r->resumed);
+  EXPECT_EQ(r->resumed_rounds, 0);
+}
+
+TEST(Resume, StaleSourceIsIgnoredLocally) {
+  CorpusPair pair = MakeCorpusPair(CorpusShape::kBlockMove, 888);
+  SyncConfig config;
+  std::optional<SessionCheckpoint> cp;
+  SimulatedChannel c1;
+  SyncSession s1(pair.f_old, pair.f_new, config);
+  s1.set_checkpoint_fn([&cp](const SessionCheckpoint& c) { cp = c; });
+  ASSERT_TRUE(s1.Run(c1).ok());
+  ASSERT_TRUE(cp.has_value());
+
+  // The client's old file changed: the checkpoint no longer applies, and
+  // InstallCheckpoint's fingerprint check must catch it before any wire
+  // traffic. The session silently starts fresh.
+  Bytes other_old = pair.f_old;
+  ASSERT_FALSE(other_old.empty());
+  other_old[0] ^= 0x01;
+  SimulatedChannel c2;
+  SyncSession s2(other_old, pair.f_new, config);
+  s2.set_resume_checkpoint(*cp);
+  auto r = s2.Run(c2);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, pair.f_new);
+  EXPECT_FALSE(r->resumed);
+}
+
+TEST(Resume, ConfigDriftIsRejected) {
+  CorpusPair pair = MakeCorpusPair(CorpusShape::kClusteredEdits, 999);
+  SyncConfig config;
+  std::optional<SessionCheckpoint> cp;
+  SimulatedChannel c1;
+  SyncSession s1(pair.f_old, pair.f_new, config);
+  s1.set_checkpoint_fn([&cp](const SessionCheckpoint& c) { cp = c; });
+  ASSERT_TRUE(s1.Run(c1).ok());
+  ASSERT_TRUE(cp.has_value());
+
+  // A wire-affecting config change invalidates the checkpoint (the replay
+  // would diverge); the session must start fresh, not resume wrongly.
+  SyncConfig drifted = config;
+  drifted.start_block_size *= 2;
+  SimulatedChannel c2;
+  SyncSession s2(pair.f_old, pair.f_new, drifted);
+  s2.set_resume_checkpoint(*cp);
+  auto r = s2.Run(c2);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reconstructed, pair.f_new);
+  EXPECT_FALSE(r->resumed);
+}
+
+}  // namespace
+}  // namespace fsx

@@ -24,6 +24,7 @@ PHASES = {
     "literals",
     "delta",
     "fallback",
+    "transport",
 }
 
 
