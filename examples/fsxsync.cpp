@@ -7,8 +7,26 @@
 //           [--dry-run] [--keep-extra] [--trace]
 //           [--metrics-json[=path]]
 //           [--fault-drop=P] [--fault-corrupt=P] [--retries=N]
+//           [--journal] [--recover] [--verify-after-apply]
 //   fsxsync verify <dir>      # check a tree against its manifest
+//   fsxsync recover <dir>     # resolve a crashed apply's journal
 //   fsxsync demo
+//
+// --journal applies the result through the crash-safe journaled commit
+// path (store/apply.h): every file lands via fsync-ordered temp+rename
+// guarded by a write-ahead intent journal, files modified concurrently
+// are detected, skipped, and reported instead of clobbered, and a crash
+// at any point is repaired by `fsxsync recover <dir>` (or the next
+// --journal run) to a state where each file is bit-exactly old or new.
+// --recover resolves any leftover journal in <dest-dir> before syncing.
+// --verify-after-apply re-checks the destination against its freshly
+// written manifest before declaring success.
+//
+// Exit codes: 0 sync applied cleanly; 1 failure; 2 usage error;
+// 3 applied cleanly after recovering an interrupted run; 4 applied, but
+// some concurrently modified files were skipped (listed on stderr).
+// FSX_CRASH_AT=<n> arms a deterministic crash at the n-th durability
+// boundary (kill-point sweeps from the CLI; see docs/testing.md).
 //
 // --trace streams one line per wire message / protocol round / session
 // to stderr as it happens; --metrics-json emits the per-phase byte
@@ -40,6 +58,8 @@
 #include "fsync/core/collection.h"
 #include "fsync/obs/json.h"
 #include "fsync/obs/sync_obs.h"
+#include "fsync/store/apply.h"
+#include "fsync/store/crashpoint.h"
 #include "fsync/store/fsstore.h"
 #include "fsync/testing/faults.h"
 #include "fsync/transport/reliable.h"
@@ -180,11 +200,44 @@ struct FaultOptions {
   bool any() const { return drop > 0 || corrupt > 0 || retries > 0; }
 };
 
+struct ApplyCliOptions {
+  bool journal = false;       // crash-safe journaled apply path
+  bool recover_first = false; // resolve leftover journals before syncing
+  bool verify_after = false;  // re-verify dest against its manifest
+};
+
+// Exit-code taxonomy (documented in the header comment): conflicts beat
+// "recovered", which beats clean.
+constexpr int kExitClean = 0;
+constexpr int kExitFailed = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitRecovered = 3;
+constexpr int kExitConflicts = 4;
+
 int RunSync(const std::string& src_dir, const std::string& dst_dir,
             const std::string& method, bool dry_run, bool keep_extra,
             const std::string& config_path = "",
             const ObserveOptions& observe = {},
-            const FaultOptions& faults = {}) {
+            const FaultOptions& faults = {},
+            const ApplyCliOptions& apply = {}) {
+  bool recovered_before_sync = false;
+  if (apply.recover_first) {
+    auto rec = fsx::store::RecoverTree(dst_dir);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "recover: %s\n", rec.status().ToString().c_str());
+      return kExitFailed;
+    }
+    recovered_before_sync = rec->had_journal || rec->cleaned_temps > 0 ||
+                            rec->inplace_recovered > 0;
+    if (recovered_before_sync) {
+      std::fprintf(stderr,
+                   "recover: resolved interrupted apply in %s "
+                   "(%llu rolled back, %llu temps cleaned)\n",
+                   dst_dir.c_str(),
+                   static_cast<unsigned long long>(rec->rolled_back_files),
+                   static_cast<unsigned long long>(rec->cleaned_temps));
+    }
+  }
   auto server_tree = fsx::LoadTree(src_dir);
   if (!server_tree.ok()) {
     std::fprintf(stderr, "source: %s\n",
@@ -297,30 +350,115 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
   std::FILE* human =
       observe.metrics_json && observe.metrics_path.empty() ? stderr : stdout;
   PrintStats(human, method.c_str(), *result, tree_bytes);
-  if (observe.metrics_json &&
-      WriteMetricsJson(observer, method, observe.metrics_path,
-                       transport_counters.has_value()
-                           ? &*transport_counters
-                           : nullptr) != 0) {
-    return 1;
-  }
+  // Deferred until after the apply phase so journal/recovery/conflict
+  // events show up in the emitted document.
+  auto write_metrics = [&]() {
+    return !observe.metrics_json ||
+           WriteMetricsJson(observer, method, observe.metrics_path,
+                            transport_counters.has_value()
+                                ? &*transport_counters
+                                : nullptr) == 0;
+  };
   if (result->reconstructed != *server_tree) {
     std::fprintf(stderr, "internal error: reconstruction mismatch\n");
     return 1;
   }
   if (dry_run) {
     std::fprintf(human, "dry run: destination not modified\n");
-    return 0;
+    return write_metrics() ? kExitClean : kExitFailed;
   }
-  fsx::Status st = fsx::StoreTree(dst_dir, result->reconstructed,
-                                  /*delete_extra=*/!keep_extra,
-                                  /*write_manifest=*/true);
-  if (!st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
+
+  bool recovered = recovered_before_sync;
+  size_t conflicts = 0;
+  if (apply.journal) {
+    // Crash-safe path: journaled per-file commit, with the loaded dest
+    // tree as the conflict baseline — anything that changed since the
+    // scan is skipped and reported, not clobbered.
+    fsx::store::ApplyOptions options;
+    options.delete_extra = !keep_extra;
+    options.write_manifest = true;
+    auto report = fsx::store::ApplyTree(dst_dir, result->reconstructed,
+                                        fsx::BuildManifest(*client_tree),
+                                        options, obs);
+    if (!report.ok()) {
+      std::fprintf(stderr, "apply failed: %s\n",
+                   report.status().ToString().c_str());
+      return kExitFailed;
+    }
+    recovered = recovered || report->recovered;
+    conflicts = report->conflicts.size();
+    for (const std::string& name : report->conflicts) {
+      std::fprintf(stderr, "conflict: %s changed during sync; skipped\n",
+                   name.c_str());
+    }
+    std::fprintf(human,
+                 "destination updated (journaled: %llu written, "
+                 "%llu unchanged, %llu deleted, %zu conflicts)\n",
+                 static_cast<unsigned long long>(report->files_committed),
+                 static_cast<unsigned long long>(report->files_unchanged),
+                 static_cast<unsigned long long>(report->files_deleted),
+                 conflicts);
+  } else {
+    fsx::Status st = fsx::StoreTree(dst_dir, result->reconstructed,
+                                    /*delete_extra=*/!keep_extra,
+                                    /*write_manifest=*/true);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return kExitFailed;
+    }
+    std::fprintf(human, "destination updated (manifest written)\n");
   }
-  std::fprintf(human, "destination updated (manifest written)\n");
-  return 0;
+
+  if (apply.verify_after) {
+    auto dirty = fsx::VerifyTree(dst_dir);
+    if (!dirty.ok()) {
+      std::fprintf(stderr, "post-apply verify failed: %s\n",
+                   dirty.status().ToString().c_str());
+      return kExitFailed;
+    }
+    if (!dirty->empty()) {
+      std::fprintf(stderr,
+                   "post-apply verify: %zu file(s) differ from manifest\n",
+                   dirty->size());
+      return kExitFailed;
+    }
+    std::fprintf(human, "post-apply verify: clean\n");
+  }
+
+  if (!write_metrics()) {
+    return kExitFailed;
+  }
+  if (conflicts > 0) {
+    return kExitConflicts;
+  }
+  if (recovered) {
+    return kExitRecovered;
+  }
+  return kExitClean;
+}
+
+int Recover(const std::string& dir) {
+  auto rec = fsx::store::RecoverTree(dir);
+  if (!rec.ok()) {
+    std::fprintf(stderr, "recover failed: %s\n",
+                 rec.status().ToString().c_str());
+    return kExitFailed;
+  }
+  if (!rec->had_journal && rec->cleaned_temps == 0 &&
+      rec->inplace_recovered == 0) {
+    std::printf("%s: clean (no interrupted apply)\n", dir.c_str());
+    return kExitClean;
+  }
+  std::printf(
+      "%s: recovered (%s journal, %llu file(s) rolled back, "
+      "%llu temp(s) cleaned, %llu in-place journal(s) resolved)\n",
+      dir.c_str(),
+      rec->had_journal ? (rec->was_committed ? "committed" : "uncommitted")
+                       : "no",
+      static_cast<unsigned long long>(rec->rolled_back_files),
+      static_cast<unsigned long long>(rec->cleaned_temps),
+      static_cast<unsigned long long>(rec->inplace_recovered));
+  return kExitRecovered;
 }
 
 int Verify(const std::string& dir) {
@@ -369,11 +507,18 @@ int Demo() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Deterministic crash injection for the kill-point harness: honour
+  // FSX_CRASH_AT=<n> so external sweeps can kill the process at the
+  // n-th crash point (no-op unless the variable is set).
+  fsx::store::ArmCrashFromEnv();
   if (argc >= 2 && std::strcmp(argv[1], "demo") == 0) {
     return Demo();
   }
   if (argc >= 3 && std::strcmp(argv[1], "verify") == 0) {
     return Verify(argv[2]);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "recover") == 0) {
+    return Recover(argv[2]);
   }
   if (argc < 3) {
     std::fprintf(
@@ -381,10 +526,11 @@ int main(int argc, char** argv) {
         "usage: %s <source-dir> <dest-dir> [--method fsx|rsync|cdc|"
         "multiround] [--dry-run] [--keep-extra] [--trace] "
         "[--metrics-json[=path]] [--fault-drop=P] [--fault-corrupt=P] "
-        "[--retries=N]\n"
-        "       %s verify <dir>\n       %s demo\n",
-        argv[0], argv[0], argv[0]);
-    return 2;
+        "[--retries=N] [--journal] [--recover] [--verify-after-apply]\n"
+        "       %s verify <dir>\n       %s recover <dir>\n"
+        "       %s demo\n",
+        argv[0], argv[0], argv[0], argv[0]);
+    return kExitUsage;
   }
   std::string method = "fsx";
   std::string config_path;
@@ -392,6 +538,7 @@ int main(int argc, char** argv) {
   bool keep_extra = false;
   ObserveOptions observe;
   FaultOptions faults;
+  ApplyCliOptions apply;
   auto parse_prob = [](const char* text, double* out) {
     char* end = nullptr;
     double v = std::strtod(text, &end);
@@ -432,13 +579,19 @@ int main(int argc, char** argv) {
       faults.retries = std::atoi(argv[i] + 10);
       if (faults.retries < 1) {
         std::fprintf(stderr, "--retries needs a positive count\n");
-        return 2;
+        return kExitUsage;
       }
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      apply.journal = true;
+    } else if (std::strcmp(argv[i], "--recover") == 0) {
+      apply.recover_first = true;
+    } else if (std::strcmp(argv[i], "--verify-after-apply") == 0) {
+      apply.verify_after = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-      return 2;
+      return kExitUsage;
     }
   }
   return RunSync(argv[1], argv[2], method, dry_run, keep_extra,
-                 config_path, observe, faults);
+                 config_path, observe, faults, apply);
 }

@@ -34,9 +34,13 @@ enum class Event : uint8_t {
   kResume,            ///< a session resumed from a checkpoint
   kRepairRegion,      ///< one region repaired by the degradation ladder
   kFullFallback,      ///< last-resort compressed full transfer
+  kJournalCommit,     ///< a durable-apply transaction committed
+  kRecovery,          ///< a leftover journal was found and resolved
+  kRolledBackFile,    ///< recovery discarded a staged/partial file state
+  kConflictDetected,  ///< apply skipped a concurrently modified file
 };
 
-inline constexpr int kNumEvents = 8;
+inline constexpr int kNumEvents = 12;
 
 /// Stable lower-case name, used as the JSON/metrics key.
 inline const char* EventName(Event e) {
@@ -57,6 +61,14 @@ inline const char* EventName(Event e) {
       return "repaired_regions";
     case Event::kFullFallback:
       return "full_fallbacks";
+    case Event::kJournalCommit:
+      return "journal_commits";
+    case Event::kRecovery:
+      return "recoveries";
+    case Event::kRolledBackFile:
+      return "rolled_back_files";
+    case Event::kConflictDetected:
+      return "conflicts_detected";
   }
   return "unknown";
 }

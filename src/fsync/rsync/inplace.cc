@@ -30,9 +30,9 @@ Interval TargetOf(const ReconstructCommand& c) {
 
 }  // namespace
 
-StatusOr<InPlaceResult> InPlaceReconstruct(
-    ByteSpan outdated, std::vector<ReconstructCommand> commands,
-    uint64_t new_size) {
+StatusOr<InPlacePlan> PlanInPlace(ByteSpan outdated,
+                                  std::vector<ReconstructCommand> commands,
+                                  uint64_t new_size) {
   const size_t n = commands.size();
 
   // Validate tiling and copy ranges.
@@ -101,9 +101,10 @@ StatusOr<InPlaceResult> InPlaceReconstruct(
     }
   }
 
-  InPlaceResult result;
-  Bytes buf(outdated.begin(), outdated.end());
-  buf.resize(std::max<uint64_t>(new_size, buf.size()), 0);
+  InPlacePlan plan;
+  plan.new_size = new_size;
+  std::vector<size_t> order;
+  order.reserve(n);
 
   std::deque<size_t> ready;
   std::vector<bool> done(n, false);
@@ -113,25 +114,13 @@ StatusOr<InPlaceResult> InPlaceReconstruct(
     }
   }
 
-  auto execute = [&](size_t i) {
-    const ReconstructCommand& c = commands[i];
-    if (c.kind == ReconstructCommand::kLiteral) {
-      std::copy(c.literal.begin(), c.literal.end(),
-                buf.begin() + c.target_offset);
-    } else {
-      // Self-overlapping copies pick a safe direction.
-      if (c.target_offset <= c.source_offset) {
-        std::copy(buf.begin() + c.source_offset,
-                  buf.begin() + c.source_offset + c.length,
-                  buf.begin() + c.target_offset);
-      } else {
-        std::copy_backward(buf.begin() + c.source_offset,
-                           buf.begin() + c.source_offset + c.length,
-                           buf.begin() + c.target_offset + c.length);
-      }
-    }
+  // "Executing" a command here only fixes its position in the order; the
+  // promotion decisions depend on the dependency graph alone, never on
+  // buffer contents, which is what makes planning a pure function.
+  auto schedule = [&](size_t i) {
+    order.push_back(i);
     done[i] = true;
-    if (c.kind == ReconstructCommand::kCopy) {
+    if (commands[i].kind == ReconstructCommand::kCopy) {
       for (size_t u : blocked_by_copy[i]) {
         if (!done[u] && --in_degree[u] == 0) {
           ready.push_back(u);
@@ -140,16 +129,16 @@ StatusOr<InPlaceResult> InPlaceReconstruct(
     }
   };
 
-  size_t executed = 0;
-  while (executed < n) {
+  size_t scheduled = 0;
+  while (scheduled < n) {
     if (!ready.empty()) {
       size_t i = ready.front();
       ready.pop_front();
       if (done[i]) {
         continue;
       }
-      execute(i);
-      ++executed;
+      schedule(i);
+      ++scheduled;
       continue;
     }
     // Cycle: promote the cheapest pending copy to a literal. The literal
@@ -168,8 +157,8 @@ StatusOr<InPlaceResult> InPlaceReconstruct(
     ReconstructCommand& c = commands[victim];
     c.literal.assign(outdated.begin() + c.source_offset,
                      outdated.begin() + c.source_offset + c.length);
-    result.promoted_literal_bytes += c.length;
-    ++result.promoted_commands;
+    plan.promoted_literal_bytes += c.length;
+    ++plan.promoted_commands;
     // Promotion removes the source dependency: unblock its users first.
     for (size_t u : blocked_by_copy[victim]) {
       if (!done[u] && --in_degree[u] == 0) {
@@ -182,11 +171,50 @@ StatusOr<InPlaceResult> InPlaceReconstruct(
     if (in_degree[victim] == 0) {
       ready.push_back(victim);
     }
-    // Note: the literal itself still waits for nothing new; it executes
-    // when its own in_degree reaches zero (it may still be blocked by
-    // copies reading its target range, which is correct).
+    // Note: the promoted literal still waits for copies reading its
+    // target range; it is scheduled when its own in_degree reaches zero.
   }
 
+  plan.steps.reserve(n);
+  for (size_t i : order) {
+    plan.steps.push_back(std::move(commands[i]));
+  }
+  return plan;
+}
+
+void ApplyPlanStep(Bytes& buf, const ReconstructCommand& c) {
+  if (c.kind == ReconstructCommand::kLiteral) {
+    std::copy(c.literal.begin(), c.literal.end(),
+              buf.begin() + c.target_offset);
+    return;
+  }
+  // Self-overlapping copies pick a safe direction.
+  if (c.target_offset <= c.source_offset) {
+    std::copy(buf.begin() + c.source_offset,
+              buf.begin() + c.source_offset + c.length,
+              buf.begin() + c.target_offset);
+  } else {
+    std::copy_backward(buf.begin() + c.source_offset,
+                       buf.begin() + c.source_offset + c.length,
+                       buf.begin() + c.target_offset + c.length);
+  }
+}
+
+StatusOr<InPlaceResult> InPlaceReconstruct(
+    ByteSpan outdated, std::vector<ReconstructCommand> commands,
+    uint64_t new_size) {
+  FSYNC_ASSIGN_OR_RETURN(
+      InPlacePlan plan, PlanInPlace(outdated, std::move(commands), new_size));
+
+  InPlaceResult result;
+  result.promoted_literal_bytes = plan.promoted_literal_bytes;
+  result.promoted_commands = plan.promoted_commands;
+
+  Bytes buf(outdated.begin(), outdated.end());
+  buf.resize(std::max<uint64_t>(new_size, buf.size()), 0);
+  for (const ReconstructCommand& step : plan.steps) {
+    ApplyPlanStep(buf, step);
+  }
   buf.resize(new_size);
   result.reconstructed = std::move(buf);
   return result;

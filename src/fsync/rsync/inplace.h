@@ -37,10 +37,36 @@ struct InPlaceResult {
   uint64_t promoted_commands = 0;
 };
 
+/// An executable in-place plan: the input commands topologically ordered
+/// so that, executed sequentially, no copy reads a region an earlier
+/// step has already overwritten. Copies that participated in dependency
+/// cycles have been promoted to literals (their bytes resolved from the
+/// old file), so every step is safe to run against the evolving buffer
+/// — or against the file on disk, which is how the journaled low-space
+/// apply (fsync/store/apply.h) executes and journals block moves.
+struct InPlacePlan {
+  std::vector<ReconstructCommand> steps;  // execution order
+  uint64_t new_size = 0;
+  uint64_t promoted_literal_bytes = 0;
+  uint64_t promoted_commands = 0;
+};
+
+/// Plans an in-place reconstruction without touching any buffer: orders
+/// `commands` (copies before the commands that overwrite their sources)
+/// and breaks cycles by promoting the pending copy with the fewest
+/// bytes to a literal. Pure function of (outdated, commands, new_size);
+/// commands must tile [0, new_size) without overlap.
+StatusOr<InPlacePlan> PlanInPlace(ByteSpan outdated,
+                                  std::vector<ReconstructCommand> commands,
+                                  uint64_t new_size);
+
+/// Executes one plan step against an in-memory buffer (which must be at
+/// least max(old, new) bytes long). Copies pick a safe direction for
+/// self-overlap.
+void ApplyPlanStep(Bytes& buf, const ReconstructCommand& step);
+
 /// Executes `commands` against `outdated` using only the file buffer plus
-/// O(#commands) bookkeeping: copies are topologically ordered so no copy
-/// reads a region that an earlier command has already overwritten; cycles
-/// are broken by promoting the copy with the fewest bytes to a literal.
+/// O(#commands) bookkeeping (PlanInPlace + sequential ApplyPlanStep).
 /// `new_size` is the size of the reconstructed file. Commands must tile
 /// [0, new_size) without overlap.
 StatusOr<InPlaceResult> InPlaceReconstruct(

@@ -1,0 +1,696 @@
+#include "fsync/store/apply.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <utility>
+
+#include "fsync/store/crashpoint.h"
+#include "fsync/store/durable_io.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FSYNC_POSIX_IO 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace fsx::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kManifestFile[] = ".fsx-manifest";
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+StatusOr<Bytes> ReadFileBytes(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot read " + p.string());
+  }
+  Bytes data{std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>()};
+  return data;
+}
+
+/// The file as it exists on disk right now, in manifest terms; nullopt
+/// when absent. This is the conflict detector's ground truth.
+std::optional<ManifestEntry> DiskEntry(const fs::path& p) {
+  std::error_code ec;
+  if (!fs::is_regular_file(p, ec)) {
+    return std::nullopt;
+  }
+  auto data = ReadFileBytes(p);
+  if (!data.ok()) {
+    return std::nullopt;
+  }
+  return ManifestEntry{data->size(), FileFingerprint(*data)};
+}
+
+Status ValidateRelPath(const std::string& path) {
+  if (path.empty() || path.find("..") != std::string::npos ||
+      path.front() == '/') {
+    return Status::InvalidArgument("unsafe path in apply: " + path);
+  }
+  if (IsInternalArtifact(path)) {
+    return Status::InvalidArgument("reserved artifact name in apply: " +
+                                   path);
+  }
+  return Status::Ok();
+}
+
+/// Rewrites `<root>/.fsx-manifest` from the given manifest via durable
+/// temp + rename (the same commit shape as content files).
+Status WriteManifestDurable(const fs::path& root, const Manifest& manifest) {
+  fs::path target = root / kManifestFile;
+  fs::path tmp = target;
+  tmp += kTempSuffix;
+  FSYNC_RETURN_IF_ERROR(WriteFileDurable(tmp, SerializeManifest(manifest)));
+  return RenameDurable(tmp, target);
+}
+
+/// Random-access read/write handle used by the in-place apply and its
+/// rollback. POSIX pread/pwrite when available; seekable fstream
+/// otherwise (single-threaded, so seeks are safe).
+class RandomAccessFile {
+ public:
+  RandomAccessFile() = default;
+  RandomAccessFile(RandomAccessFile&& other) noexcept { *this = std::move(other); }
+  RandomAccessFile& operator=(RandomAccessFile&& other) noexcept {
+    if (this != &other) {
+      Close();
+      path_ = std::move(other.path_);
+#ifdef FSYNC_POSIX_IO
+      fd_ = other.fd_;
+      other.fd_ = -1;
+#else
+      stream_ = std::move(other.stream_);
+#endif
+    }
+    return *this;
+  }
+  ~RandomAccessFile() { Close(); }
+
+  static StatusOr<RandomAccessFile> Open(const fs::path& path) {
+    RandomAccessFile f;
+    f.path_ = path;
+#ifdef FSYNC_POSIX_IO
+    f.fd_ = ::open(path.c_str(), O_RDWR);
+    if (f.fd_ < 0) {
+      return Status::NotFound("cannot open " + path.string() + ": " +
+                              std::strerror(errno));
+    }
+#else
+    f.stream_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+    if (!f.stream_) {
+      return Status::NotFound("cannot open " + path.string());
+    }
+#endif
+    return f;
+  }
+
+  Status ReadAt(uint64_t offset, size_t n, Bytes* out) {
+    out->assign(n, 0);  // short reads past EOF read as zeros
+#ifdef FSYNC_POSIX_IO
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, out->data() + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        return Status::Internal("pread failed on " + path_.string() + ": " +
+                                std::strerror(errno));
+      }
+      if (r == 0) {
+        break;  // EOF; remainder stays zero
+      }
+      got += static_cast<size_t>(r);
+    }
+#else
+    stream_.clear();
+    stream_.seekg(static_cast<std::streamoff>(offset));
+    stream_.read(reinterpret_cast<char*>(out->data()),
+                 static_cast<std::streamsize>(n));
+    stream_.clear();  // reading past EOF is legitimate here
+#endif
+    return Status::Ok();
+  }
+
+  Status WriteAt(uint64_t offset, ByteSpan data) {
+#ifdef FSYNC_POSIX_IO
+    size_t put = 0;
+    while (put < data.size()) {
+      ssize_t w = ::pwrite(fd_, data.data() + put, data.size() - put,
+                           static_cast<off_t>(offset + put));
+      if (w < 0) {
+        return Status::Internal("pwrite failed on " + path_.string() + ": " +
+                                std::strerror(errno));
+      }
+      put += static_cast<size_t>(w);
+    }
+#else
+    stream_.clear();
+    stream_.seekp(static_cast<std::streamoff>(offset));
+    stream_.write(reinterpret_cast<const char*>(data.data()),
+                  static_cast<std::streamsize>(data.size()));
+    stream_.flush();
+    if (!stream_.good()) {
+      return Status::Internal("write failed on " + path_.string());
+    }
+#endif
+    return Status::Ok();
+  }
+
+  Status Truncate(uint64_t size) {
+#ifdef FSYNC_POSIX_IO
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Status::Internal("ftruncate failed on " + path_.string() +
+                              ": " + std::strerror(errno));
+    }
+#else
+    stream_.flush();
+    std::error_code ec;
+    fs::resize_file(path_, size, ec);
+    if (ec) {
+      return Status::Internal("resize failed on " + path_.string() + ": " +
+                              ec.message());
+    }
+#endif
+    return Status::Ok();
+  }
+
+  Status Sync() {
+    FireCrashPoint("inplace:fsync:before");
+#ifdef FSYNC_POSIX_IO
+    if (::fsync(fd_) != 0) {
+      return Status::Internal("fsync failed on " + path_.string() + ": " +
+                              std::strerror(errno));
+    }
+#else
+    stream_.flush();
+#endif
+    FireCrashPoint("inplace:fsync:after");
+    return Status::Ok();
+  }
+
+  void Close() {
+#ifdef FSYNC_POSIX_IO
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = -1;
+#else
+    if (stream_.is_open()) {
+      stream_.close();
+    }
+#endif
+  }
+
+ private:
+  fs::path path_;
+#ifdef FSYNC_POSIX_IO
+  int fd_ = -1;
+#else
+  std::fstream stream_;
+#endif
+};
+
+uint64_t StepLength(const ReconstructCommand& step) {
+  return step.kind == ReconstructCommand::kCopy ? step.length
+                                                : step.literal.size();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ApplyTransaction
+// ---------------------------------------------------------------------------
+
+ApplyTransaction::ApplyTransaction(std::string root, ApplyOptions options,
+                                   obs::SyncObserver* obs)
+    : root_(std::move(root)), options_(options), obs_(obs) {}
+
+Status ApplyTransaction::CheckBegun() const {
+  if (!begun_) {
+    return Status::FailedPrecondition("apply transaction not begun");
+  }
+  if (committed_) {
+    return Status::FailedPrecondition("apply transaction already committed");
+  }
+  return Status::Ok();
+}
+
+Status ApplyTransaction::Begin() {
+  if (begun_) {
+    return Status::FailedPrecondition("apply transaction already begun");
+  }
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + root_.string() + ": " +
+                            ec.message());
+  }
+  FSYNC_ASSIGN_OR_RETURN(RecoverReport rec,
+                         RecoverTree(root_.string(), obs_));
+  report_.recovered =
+      rec.had_journal || rec.cleaned_temps > 0 || rec.inplace_recovered > 0;
+  report_.rolled_back_files = rec.rolled_back_files;
+  if (options_.journal) {
+    FSYNC_ASSIGN_OR_RETURN(journal_,
+                           JournalWriter::Create(root_ / kJournalName));
+    JournalRecord begin;
+    begin.type = JournalRecordType::kBegin;
+    begin.mode = ApplyMode::kTree;
+    FSYNC_RETURN_IF_ERROR(journal_.Append(begin));
+  }
+  begun_ = true;
+  return Status::Ok();
+}
+
+Status ApplyTransaction::WriteFile(const std::string& path, ByteSpan content,
+                                   const ManifestEntry* expected_old) {
+  FSYNC_RETURN_IF_ERROR(CheckBegun());
+  FSYNC_RETURN_IF_ERROR(ValidateRelPath(path));
+
+  fs::path target = root_ / fs::path(path);
+  ManifestEntry next{content.size(), FileFingerprint(content)};
+  std::optional<ManifestEntry> disk = DiskEntry(target);
+
+  if (disk.has_value() && *disk == next) {
+    manifest_[path] = next;
+    report_.files.push_back({path, FileApplyOutcome::Action::kUnchanged});
+    ++report_.files_unchanged;
+    return Status::Ok();
+  }
+
+  // Conflict rule: the disk must look exactly as the caller last saw it
+  // (absent when expected_old is null). Anything else means the file
+  // changed under us; we refuse to clobber the concurrent edit.
+  bool conflict = expected_old == nullptr
+                      ? disk.has_value()
+                      : (!disk.has_value() || !(*disk == *expected_old));
+  if (conflict) {
+    if (disk.has_value()) {
+      manifest_[path] = *disk;  // manifest reflects what is really there
+    } else {
+      manifest_.erase(path);
+    }
+    report_.files.push_back(
+        {path, FileApplyOutcome::Action::kConflictSkipped});
+    report_.conflicts.push_back(path);
+    obs::AddEvent(obs_, obs::Event::kConflictDetected);
+    return Status::Aborted("concurrent modification of " + path +
+                           "; file skipped");
+  }
+
+  fs::path tmp = target;
+  tmp += kTempSuffix;
+  FSYNC_RETURN_IF_ERROR(WriteFileDurable(tmp, content));
+  if (options_.journal) {
+    JournalRecord intent;
+    intent.type = JournalRecordType::kFileIntent;
+    intent.op = FileOp::kWrite;
+    intent.path = path;
+    intent.size = next.size;
+    intent.fingerprint = next.fingerprint;
+    FSYNC_RETURN_IF_ERROR(journal_.Append(intent));
+  }
+  FSYNC_RETURN_IF_ERROR(RenameDurable(tmp, target));
+
+  manifest_[path] = next;
+  report_.files.push_back({path, FileApplyOutcome::Action::kCommitted});
+  ++report_.files_committed;
+  return Status::Ok();
+}
+
+Status ApplyTransaction::DeleteFile(const std::string& path,
+                                    const ManifestEntry* expected_old) {
+  FSYNC_RETURN_IF_ERROR(CheckBegun());
+  FSYNC_RETURN_IF_ERROR(ValidateRelPath(path));
+
+  fs::path target = root_ / fs::path(path);
+  std::optional<ManifestEntry> disk = DiskEntry(target);
+  if (!disk.has_value()) {
+    manifest_.erase(path);  // already gone; nothing to do
+    return Status::Ok();
+  }
+
+  // A file we were not told about (expected_old null: it appeared after
+  // the caller scanned the tree) or whose content moved on is someone
+  // else's work; skip it.
+  bool conflict = expected_old == nullptr || !(*disk == *expected_old);
+  if (conflict) {
+    manifest_[path] = *disk;
+    report_.files.push_back(
+        {path, FileApplyOutcome::Action::kConflictSkipped});
+    report_.conflicts.push_back(path);
+    obs::AddEvent(obs_, obs::Event::kConflictDetected);
+    return Status::Aborted("concurrent modification of " + path +
+                           "; delete skipped");
+  }
+
+  if (options_.journal) {
+    JournalRecord intent;
+    intent.type = JournalRecordType::kFileIntent;
+    intent.op = FileOp::kDelete;
+    intent.path = path;
+    FSYNC_RETURN_IF_ERROR(journal_.Append(intent));
+  }
+  FSYNC_RETURN_IF_ERROR(RemoveDurable(target));
+
+  manifest_.erase(path);
+  report_.files.push_back({path, FileApplyOutcome::Action::kDeleted});
+  ++report_.files_deleted;
+  return Status::Ok();
+}
+
+Status ApplyTransaction::Commit() {
+  FSYNC_RETURN_IF_ERROR(CheckBegun());
+  if (options_.write_manifest) {
+    FSYNC_RETURN_IF_ERROR(WriteManifestDurable(root_, manifest_));
+  }
+  if (options_.journal) {
+    JournalRecord commit;
+    commit.type = JournalRecordType::kCommit;
+    FSYNC_RETURN_IF_ERROR(journal_.Append(commit));
+    journal_.Close();
+    FSYNC_RETURN_IF_ERROR(RemoveJournal(root_ / kJournalName));
+    obs::AddEvent(obs_, obs::Event::kJournalCommit);
+  }
+  committed_ = true;
+  return Status::Ok();
+}
+
+StatusOr<ApplyReport> ApplyTree(const std::string& root,
+                                const Collection& files,
+                                const Manifest& expected,
+                                const ApplyOptions& options,
+                                obs::SyncObserver* obs) {
+  ApplyTransaction txn(root, options, obs);
+  FSYNC_RETURN_IF_ERROR(txn.Begin());
+
+  auto expected_entry = [&](const std::string& name) -> const ManifestEntry* {
+    auto it = expected.find(name);
+    return it == expected.end() ? nullptr : &it->second;
+  };
+
+  for (const auto& [name, data] : files) {
+    Status s = txn.WriteFile(name, data, expected_entry(name));
+    if (!s.ok() && s.code() != StatusCode::kAborted) {
+      return s;  // conflicts are per-file and already recorded; continue
+    }
+  }
+
+  if (options.delete_extra) {
+    std::error_code ec;
+    std::vector<std::string> extra;
+    for (auto it = fs::recursive_directory_iterator(root, ec);
+         it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (ec) {
+        return Status::Internal("walk failed: " + ec.message());
+      }
+      if (!it->is_regular_file(ec)) {
+        continue;
+      }
+      std::string rel =
+          fs::relative(it->path(), fs::path(root), ec).generic_string();
+      if (ec || rel.empty() || IsInternalArtifact(rel) ||
+          files.contains(rel)) {
+        continue;
+      }
+      extra.push_back(std::move(rel));
+    }
+    for (const std::string& rel : extra) {
+      Status s = txn.DeleteFile(rel, expected_entry(rel));
+      if (!s.ok() && s.code() != StatusCode::kAborted) {
+        return s;
+      }
+    }
+  }
+
+  FSYNC_RETURN_IF_ERROR(txn.Commit());
+  return txn.report();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+StatusOr<RecoverReport> RecoverTree(const std::string& root,
+                                    obs::SyncObserver* obs) {
+  RecoverReport rep;
+  fs::path base(root);
+  std::error_code ec;
+  if (!fs::is_directory(base, ec)) {
+    return rep;  // nothing on disk, nothing to recover
+  }
+  fs::path tree_journal = base / kJournalName;
+
+  // Scan once up front: stranded temps and per-file in-place journals.
+  // The tree journal itself is resolved separately below.
+  std::vector<fs::path> temps;
+  std::vector<fs::path> inplace_targets;
+  for (auto it = fs::recursive_directory_iterator(base, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) {
+      return Status::Internal("walk failed: " + ec.message());
+    }
+    if (!it->is_regular_file(ec)) {
+      continue;
+    }
+    std::string name = it->path().filename().string();
+    if (EndsWith(name, kTempSuffix)) {
+      temps.push_back(it->path());
+    } else if (EndsWith(name, kJournalSuffix) &&
+               it->path() != tree_journal) {
+      std::string target = it->path().string();
+      target.resize(target.size() - std::strlen(kJournalSuffix));
+      inplace_targets.push_back(fs::path(target));
+    }
+  }
+
+  // Per-file in-place journals first: they restore file *contents*,
+  // which the manifest refresh below must observe.
+  for (const fs::path& target : inplace_targets) {
+    FSYNC_ASSIGN_OR_RETURN(InPlaceRecoverResult r,
+                           RecoverInPlaceFile(target.string(), obs));
+    if (r.had_journal) {
+      ++rep.inplace_recovered;
+    }
+  }
+
+  // Resolve the tree journal. A header that fails to parse means the
+  // journal died at creation, before any intent could land — treat it
+  // as an empty uncommitted journal.
+  auto contents = ReadJournal(tree_journal);
+  if (contents.ok() || contents.status().code() == StatusCode::kDataLoss) {
+    rep.had_journal = true;
+    rep.was_committed = contents.ok() && contents->committed;
+    if (contents.ok()) {
+      for (const JournalRecord& r : contents->records) {
+        if (r.type != JournalRecordType::kFileIntent ||
+            r.op != FileOp::kWrite) {
+          continue;
+        }
+        fs::path tmp = base / fs::path(r.path);
+        tmp += kTempSuffix;
+        if (fs::is_regular_file(tmp, ec)) {
+          FSYNC_RETURN_IF_ERROR(RemoveDurable(tmp));
+          if (!rep.was_committed) {
+            ++rep.rolled_back_files;
+            obs::AddEvent(obs, obs::Event::kRolledBackFile);
+          } else {
+            ++rep.cleaned_temps;
+          }
+        }
+      }
+    }
+  } else if (contents.status().code() != StatusCode::kNotFound) {
+    return contents.status();
+  }
+
+  // Sweep temps not named by the journal (including non-journaled
+  // temp+rename writers that died mid-stage).
+  for (const fs::path& tmp : temps) {
+    if (!fs::is_regular_file(tmp, ec)) {
+      continue;  // the journal pass already removed it
+    }
+    FSYNC_RETURN_IF_ERROR(RemoveDurable(tmp));
+    ++rep.cleaned_temps;
+    obs::AddEvent(obs, obs::Event::kRolledBackFile);
+  }
+
+  // The manifest may describe the interrupted transaction's intent;
+  // refresh it to what actually survived so VerifyTree is clean again.
+  if (rep.had_journal && fs::is_regular_file(base / kManifestFile, ec)) {
+    FSYNC_ASSIGN_OR_RETURN(Collection survivors, LoadTree(root));
+    FSYNC_RETURN_IF_ERROR(
+        WriteManifestDurable(base, BuildManifest(survivors)));
+  }
+
+  if (rep.had_journal) {
+    // Removing the journal is the commit point of the recovery itself;
+    // everything above is idempotent if we die before this.
+    FSYNC_RETURN_IF_ERROR(RemoveJournal(tree_journal));
+    obs::AddEvent(obs, obs::Event::kRecovery);
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// In-place apply
+// ---------------------------------------------------------------------------
+
+StatusOr<InPlaceApplyResult> InPlaceApplyFile(
+    const std::string& path, std::vector<ReconstructCommand> commands,
+    uint64_t new_size, const Fingerprint* expected_old,
+    obs::SyncObserver* obs) {
+  InPlaceApplyResult out;
+  FSYNC_ASSIGN_OR_RETURN(InPlaceRecoverResult rec,
+                         RecoverInPlaceFile(path, obs));
+  out.recovered = rec.had_journal;
+
+  fs::path target(path);
+  FSYNC_ASSIGN_OR_RETURN(Bytes old_content, ReadFileBytes(target));
+  if (expected_old != nullptr && FileFingerprint(old_content) != *expected_old) {
+    obs::AddEvent(obs, obs::Event::kConflictDetected);
+    return Status::Aborted("concurrent modification of " + path +
+                           "; in-place apply refused");
+  }
+
+  FSYNC_ASSIGN_OR_RETURN(
+      InPlacePlan plan,
+      PlanInPlace(old_content, std::move(commands), new_size));
+  out.promoted_literal_bytes = plan.promoted_literal_bytes;
+  out.promoted_commands = plan.promoted_commands;
+
+  fs::path journal_path = target;
+  journal_path += kJournalSuffix;
+  FSYNC_ASSIGN_OR_RETURN(JournalWriter journal,
+                         JournalWriter::Create(journal_path));
+  JournalRecord begin;
+  begin.type = JournalRecordType::kBegin;
+  begin.mode = ApplyMode::kInPlace;
+  begin.old_size = old_content.size();
+  FSYNC_RETURN_IF_ERROR(journal.Append(begin));
+
+  FSYNC_ASSIGN_OR_RETURN(RandomAccessFile file, RandomAccessFile::Open(target));
+  uint64_t work_size = std::max<uint64_t>(new_size, old_content.size());
+  if (work_size > old_content.size()) {
+    FSYNC_RETURN_IF_ERROR(file.Truncate(work_size));
+    FireCrashPoint("inplace:grow");
+  }
+
+  Bytes scratch;
+  for (const ReconstructCommand& step : plan.steps) {
+    uint64_t len = StepLength(step);
+    if (len == 0) {
+      continue;
+    }
+    // Journal the bytes this step is about to destroy, then (only once
+    // that undo image is durable) execute the move. A crash anywhere in
+    // between rolls back to the original file via reverse replay.
+    JournalRecord move;
+    move.type = JournalRecordType::kBlockMove;
+    move.target_offset = step.target_offset;
+    FSYNC_RETURN_IF_ERROR(
+        file.ReadAt(step.target_offset, len, &move.undo));
+    FSYNC_RETURN_IF_ERROR(journal.Append(move));
+
+    if (step.kind == ReconstructCommand::kLiteral) {
+      FSYNC_RETURN_IF_ERROR(file.WriteAt(step.target_offset, step.literal));
+    } else {
+      FSYNC_RETURN_IF_ERROR(file.ReadAt(step.source_offset, len, &scratch));
+      FSYNC_RETURN_IF_ERROR(file.WriteAt(step.target_offset, scratch));
+    }
+    FireCrashPoint("inplace:step");
+    ++out.steps_executed;
+  }
+
+  FSYNC_RETURN_IF_ERROR(file.Truncate(new_size));
+  FSYNC_RETURN_IF_ERROR(file.Sync());
+  file.Close();
+
+  JournalRecord commit;
+  commit.type = JournalRecordType::kCommit;
+  FSYNC_RETURN_IF_ERROR(journal.Append(commit));
+  journal.Close();
+  FSYNC_RETURN_IF_ERROR(RemoveJournal(journal_path));
+  obs::AddEvent(obs, obs::Event::kJournalCommit);
+  return out;
+}
+
+StatusOr<InPlaceRecoverResult> RecoverInPlaceFile(const std::string& path,
+                                                  obs::SyncObserver* obs) {
+  InPlaceRecoverResult res;
+  fs::path target(path);
+  fs::path journal_path = target;
+  journal_path += kJournalSuffix;
+
+  auto contents = ReadJournal(journal_path);
+  if (!contents.ok()) {
+    if (contents.status().code() == StatusCode::kNotFound) {
+      return res;
+    }
+    if (contents.status().code() == StatusCode::kDataLoss) {
+      // Journal died at creation: no undo record means no mutation ever
+      // executed, so the file is untouched. Just clear the journal.
+      res.had_journal = true;
+      FSYNC_RETURN_IF_ERROR(RemoveJournal(journal_path));
+      obs::AddEvent(obs, obs::Event::kRecovery);
+      return res;
+    }
+    return contents.status();
+  }
+  res.had_journal = true;
+
+  if (contents->committed) {
+    res.completed = true;  // the file is the new one; only cleanup left
+    FSYNC_RETURN_IF_ERROR(RemoveJournal(journal_path));
+    obs::AddEvent(obs, obs::Event::kRecovery);
+    return res;
+  }
+
+  bool have_begin = false;
+  uint64_t old_size = 0;
+  std::vector<const JournalRecord*> moves;
+  for (const JournalRecord& r : contents->records) {
+    if (r.type == JournalRecordType::kBegin) {
+      have_begin = true;
+      old_size = r.old_size;
+    } else if (r.type == JournalRecordType::kBlockMove) {
+      moves.push_back(&r);
+    }
+  }
+
+  std::error_code ec;
+  if (have_begin && fs::is_regular_file(target, ec)) {
+    auto file_or = RandomAccessFile::Open(target);
+    if (!file_or.ok()) {
+      return file_or.status();
+    }
+    RandomAccessFile file = std::move(file_or).value();
+    // Reverse replay: each byte ends at the undo image of the earliest
+    // step that touched it — the original content — no matter which of
+    // the interrupted writes actually reached disk.
+    for (auto it = moves.rbegin(); it != moves.rend(); ++it) {
+      FSYNC_RETURN_IF_ERROR(file.WriteAt((*it)->target_offset, (*it)->undo));
+    }
+    FSYNC_RETURN_IF_ERROR(file.Truncate(old_size));
+    FSYNC_RETURN_IF_ERROR(file.Sync());
+    file.Close();
+    res.rolled_back = true;
+    obs::AddEvent(obs, obs::Event::kRolledBackFile);
+  }
+
+  FSYNC_RETURN_IF_ERROR(RemoveJournal(journal_path));
+  obs::AddEvent(obs, obs::Event::kRecovery);
+  return res;
+}
+
+}  // namespace fsx::store

@@ -1,0 +1,52 @@
+// Deterministic crash-injection hook for the durable-apply subsystem.
+// Every durability-relevant step in store/ (journal append, fsync,
+// rename, chunked data write) announces itself through FireCrashPoint
+// with a stable label; a harness (or FSX_CRASH_AT=<n>) can install a
+// hook that terminates the process at the n-th point, simulating a
+// crash at exactly that boundary. Sweeping n over every point is how
+// the crash suite proves the commit protocol leaves each file
+// bit-exactly old or new no matter where the process dies
+// (tests/crash_test.cc, docs/testing.md).
+//
+// With no hook installed a crash point costs one atomic increment and
+// one branch.
+#ifndef FSYNC_STORE_CRASHPOINT_H_
+#define FSYNC_STORE_CRASHPOINT_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace fsx::store {
+
+/// Hook invoked at each crash point with its label and the zero-based
+/// index of the point within the process (monotonic since the last
+/// SetCrashHook / ResetCrashPoints).
+using CrashHook = std::function<void(const char* label, uint64_t index)>;
+
+/// Installs `hook` (empty = uninstall) and resets the point counter.
+/// Not thread-safe: the durable-apply path is single-threaded and the
+/// harness installs hooks before any apply starts.
+void SetCrashHook(CrashHook hook);
+
+/// Number of crash points fired since the last SetCrashHook /
+/// ResetCrashPoints. A completed run's count is the sweep bound.
+uint64_t CrashPointsFired();
+void ResetCrashPoints();
+
+/// Exit code the environment/harness hooks use to signal an injected
+/// crash (distinguishable from genuine failures).
+inline constexpr int kCrashExitCode = 42;
+
+/// If FSX_CRASH_AT=<n> is set, installs a hook that _exit()s the
+/// process with kCrashExitCode at crash point n. Returns true when
+/// armed. fsxsync calls this at startup so CLI-level kill-point sweeps
+/// work without a test binary.
+bool ArmCrashFromEnv();
+
+/// Fired by the store layer before/after every fsync, rename, journal
+/// append, and between chunks of large data writes.
+void FireCrashPoint(const char* label);
+
+}  // namespace fsx::store
+
+#endif  // FSYNC_STORE_CRASHPOINT_H_

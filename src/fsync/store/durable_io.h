@@ -1,0 +1,40 @@
+// Durability primitives for the crash-safe apply path: fd-based writes
+// with real fsync barriers, atomic renames with parent-directory syncs,
+// and durable removes. Every fsync/rename/write boundary fires a crash
+// point (crashpoint.h), which is what makes the commit protocol's
+// ordering testable: the kill-point harness stops the process at each
+// boundary and recovery must still produce an old-or-new tree.
+//
+// On non-POSIX platforms the fsync calls degrade to no-ops (the write
+// and rename ordering is preserved); the crash harness is POSIX-only.
+#ifndef FSYNC_STORE_DURABLE_IO_H_
+#define FSYNC_STORE_DURABLE_IO_H_
+
+#include <filesystem>
+
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx::store {
+
+/// Writes `data` to `path` (creating parent directories), fsyncs the
+/// file, and closes it. Large payloads are written in chunks with a
+/// crash point between chunks, so the harness can observe genuinely
+/// torn in-progress files — the state temp+rename protects against.
+Status WriteFileDurable(const std::filesystem::path& path, ByteSpan data);
+
+/// fsyncs an existing file or directory by path.
+Status FsyncPath(const std::filesystem::path& path);
+
+/// Atomically renames `from` to `to`, then fsyncs `to`'s parent
+/// directory so the rename itself is durable.
+Status RenameDurable(const std::filesystem::path& from,
+                     const std::filesystem::path& to);
+
+/// Removes `path` if present (missing is OK), then fsyncs its parent
+/// directory. Unexpected filesystem errors are reported, not swallowed.
+Status RemoveDurable(const std::filesystem::path& path);
+
+}  // namespace fsx::store
+
+#endif  // FSYNC_STORE_DURABLE_IO_H_

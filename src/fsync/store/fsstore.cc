@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "fsync/store/journal.h"
 #include "fsync/util/hex.h"
 
 namespace fsx {
@@ -36,6 +37,23 @@ Status WriteFileBytes(const fs::path& p, ByteSpan data) {
             static_cast<std::streamsize>(data.size()));
   if (!out.good()) {
     return Status::Internal("short write to " + p.string());
+  }
+  return Status::Ok();
+}
+
+// Stage-and-rename write: a killed process leaves `p` either old or new
+// (the stranded `.fsx-tmp` is swept by store::RecoverTree). No fsync —
+// this protects against process death, not power loss; the journaled
+// apply path (store/apply.h) is the durable one.
+Status WriteFileAtomic(const fs::path& p, ByteSpan data) {
+  fs::path tmp = p;
+  tmp += store::kTempSuffix;
+  FSYNC_RETURN_IF_ERROR(WriteFileBytes(tmp, data));
+  std::error_code ec;
+  fs::rename(tmp, p, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::Internal("cannot rename into " + p.string());
   }
   return Status::Ok();
 }
@@ -113,6 +131,13 @@ StatusOr<Collection> LoadTree(const std::string& root) {
     if (ec) {
       return Status::Internal("walk failed: " + ec.message());
     }
+    if (it->is_symlink(ec)) {
+      // A symlink could alias content from outside the tree (or turn a
+      // later overwrite into an out-of-tree write); refuse rather than
+      // silently follow it.
+      return Status::FailedPrecondition("refusing symlink in tree: " +
+                                        it->path().string());
+    }
     if (!it->is_regular_file(ec)) {
       continue;
     }
@@ -120,7 +145,7 @@ StatusOr<Collection> LoadTree(const std::string& root) {
     if (ec || rel.empty() || rel.starts_with("..")) {
       return Status::Internal("path escapes tree: " + it->path().string());
     }
-    if (rel == kManifestName) {
+    if (store::IsInternalArtifact(rel)) {
       continue;  // metadata, not content
     }
     FSYNC_ASSIGN_OR_RETURN(Bytes data, ReadFileBytes(it->path()));
@@ -139,7 +164,7 @@ Status StoreTree(const std::string& root, const Collection& files,
         name.front() == '/') {
       return Status::InvalidArgument("unsafe path in collection: " + name);
     }
-    FSYNC_RETURN_IF_ERROR(WriteFileBytes(base / name, data));
+    FSYNC_RETURN_IF_ERROR(WriteFileAtomic(base / name, data));
   }
   if (delete_extra) {
     std::vector<fs::path> doomed;
@@ -150,7 +175,7 @@ Status StoreTree(const std::string& root, const Collection& files,
       }
       std::string rel =
           fs::relative(it->path(), base, ec).generic_string();
-      if (rel != kManifestName && !files.contains(rel)) {
+      if (!store::IsInternalArtifact(rel) && !files.contains(rel)) {
         doomed.push_back(it->path());
       }
     }
@@ -159,7 +184,7 @@ Status StoreTree(const std::string& root, const Collection& files,
     }
   }
   if (write_manifest) {
-    FSYNC_RETURN_IF_ERROR(WriteFileBytes(
+    FSYNC_RETURN_IF_ERROR(WriteFileAtomic(
         base / kManifestName, SerializeManifest(BuildManifest(files))));
   }
   return Status::Ok();
@@ -204,13 +229,25 @@ Status SaveCheckpointFile(const std::string& path,
 }
 
 StatusOr<SessionCheckpoint> LoadCheckpointFile(const std::string& path) {
+  // An interrupted SaveCheckpointFile may strand its temp; the real
+  // checkpoint (if any) is intact, so just clear the debris.
+  std::error_code ec;
+  fs::remove(fs::path(path + ".tmp"), ec);
   FSYNC_ASSIGN_OR_RETURN(Bytes data, ReadFileBytes(fs::path(path)));
   return ParseCheckpoint(data);
 }
 
-void RemoveCheckpointFile(const std::string& path) {
-  std::error_code ec;
-  fs::remove(fs::path(path), ec);
+Status RemoveCheckpointFile(const std::string& path) {
+  Status result = Status::Ok();
+  for (const std::string& victim : {path, path + ".tmp"}) {
+    std::error_code ec;
+    fs::remove(fs::path(victim), ec);
+    if (ec && result.ok()) {
+      result = Status::Internal("cannot remove checkpoint " + victim +
+                                ": " + ec.message());
+    }
+  }
+  return result;
 }
 
 }  // namespace fsx

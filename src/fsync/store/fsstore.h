@@ -36,13 +36,19 @@ Bytes SerializeManifest(const Manifest& manifest);
 StatusOr<Manifest> ParseManifest(ByteSpan data);
 
 /// Reads every regular file under `root` (paths relative to it, '/'
-/// separators). Refuses paths that escape the tree.
+/// separators). Refuses paths that escape the tree and symlinks (which
+/// could smuggle content from outside it); skips fsstore/apply
+/// bookkeeping artifacts (manifest, journals, staged temps).
 StatusOr<Collection> LoadTree(const std::string& root);
 
-/// Writes `files` under `root`, creating directories as needed. With
-/// `delete_extra`, regular files not in `files` are removed (mirror
-/// semantics). Also writes the manifest to `<root>/.fsx-manifest` when
-/// `write_manifest` is set.
+/// Writes `files` under `root`, creating directories as needed. Each
+/// file is staged to `<name>.fsx-tmp` and renamed into place, so a
+/// killed process leaves every file either old or new, never torn (for
+/// durability across power loss use the journaled store::ApplyTree).
+/// With `delete_extra`, regular files not in `files` are removed
+/// (mirror semantics) — except fsstore/apply bookkeeping artifacts
+/// (manifest, journals, staged temps). Also writes the manifest to
+/// `<root>/.fsx-manifest` when `write_manifest` is set.
 Status StoreTree(const std::string& root, const Collection& files,
                  bool delete_extra, bool write_manifest = false);
 
@@ -63,8 +69,10 @@ Status SaveCheckpointFile(const std::string& path,
 /// as "start fresh").
 StatusOr<SessionCheckpoint> LoadCheckpointFile(const std::string& path);
 
-/// Removes a checkpoint file if present (after a successful session).
-void RemoveCheckpointFile(const std::string& path);
+/// Removes a checkpoint file (after a successful session) along with
+/// any stranded `<path>.tmp` left by an interrupted save. Missing files
+/// are OK; real filesystem errors are reported, not swallowed.
+Status RemoveCheckpointFile(const std::string& path);
 
 }  // namespace fsx
 

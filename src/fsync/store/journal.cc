@@ -1,0 +1,351 @@
+#include "fsync/store/journal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "fsync/hash/crc32c.h"
+#include "fsync/store/crashpoint.h"
+#include "fsync/store/durable_io.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FSYNC_POSIX_IO 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace fsx::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[] = {'F', 'S', 'X', 'J', '1', '\n'};
+constexpr size_t kMagicLen = sizeof(kMagic);
+
+void PutU8(Bytes& out, uint8_t v) { out.push_back(v); }
+
+void PutU32(Bytes& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(Bytes& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutBytes(Bytes& out, ByteSpan data) {
+  PutU64(out, data.size());
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+void PutString(Bytes& out, const std::string& s) {
+  PutU64(out, s.size());
+  for (char c : s) {
+    out.push_back(static_cast<uint8_t>(c));
+  }
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return out;
+}
+
+class Cursor {
+ public:
+  explicit Cursor(ByteSpan data) : data_(data) {}
+
+  bool TakeU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool TakeU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+  bool TakeFixed(void* out, size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool TakeBytes(Bytes* out) {
+    uint64_t len = 0;
+    if (!TakeU64(&len) || len > data_.size() - pos_) return false;
+    out->assign(data_.begin() + pos_, data_.begin() + pos_ + len);
+    pos_ += len;
+    return true;
+  }
+  bool TakeString(std::string* out) {
+    uint64_t len = 0;
+    if (!TakeU64(&len) || len > data_.size() - pos_) return false;
+    out->assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  ByteSpan data_;
+  size_t pos_ = 0;
+};
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+Bytes EncodeJournalRecord(const JournalRecord& r) {
+  Bytes out;
+  PutU8(out, static_cast<uint8_t>(r.type));
+  switch (r.type) {
+    case JournalRecordType::kBegin:
+      PutU8(out, static_cast<uint8_t>(r.mode));
+      PutU64(out, r.old_size);
+      break;
+    case JournalRecordType::kFileIntent:
+      PutU8(out, static_cast<uint8_t>(r.op));
+      PutString(out, r.path);
+      PutU64(out, r.size);
+      out.insert(out.end(), r.fingerprint.begin(), r.fingerprint.end());
+      break;
+    case JournalRecordType::kBlockMove:
+      PutU64(out, r.target_offset);
+      PutBytes(out, r.undo);
+      break;
+    case JournalRecordType::kCommit:
+    case JournalRecordType::kAbort:
+      break;
+  }
+  return out;
+}
+
+StatusOr<JournalRecord> DecodeJournalRecord(ByteSpan payload) {
+  Cursor cur(payload);
+  uint8_t type = 0;
+  if (!cur.TakeU8(&type)) {
+    return Status::DataLoss("journal record: empty payload");
+  }
+  JournalRecord r;
+  r.type = static_cast<JournalRecordType>(type);
+  switch (r.type) {
+    case JournalRecordType::kBegin: {
+      uint8_t mode = 0;
+      if (!cur.TakeU8(&mode) || mode > 1 || !cur.TakeU64(&r.old_size)) {
+        return Status::DataLoss("journal record: bad BEGIN");
+      }
+      r.mode = static_cast<ApplyMode>(mode);
+      break;
+    }
+    case JournalRecordType::kFileIntent: {
+      uint8_t op = 0;
+      if (!cur.TakeU8(&op) || op > 1 || !cur.TakeString(&r.path) ||
+          !cur.TakeU64(&r.size) ||
+          !cur.TakeFixed(r.fingerprint.data(), r.fingerprint.size())) {
+        return Status::DataLoss("journal record: bad FILE-INTENT");
+      }
+      r.op = static_cast<FileOp>(op);
+      break;
+    }
+    case JournalRecordType::kBlockMove:
+      if (!cur.TakeU64(&r.target_offset) || !cur.TakeBytes(&r.undo)) {
+        return Status::DataLoss("journal record: bad BLOCK-MOVE");
+      }
+      break;
+    case JournalRecordType::kCommit:
+    case JournalRecordType::kAbort:
+      break;
+    default:
+      return Status::DataLoss("journal record: unknown type " +
+                              std::to_string(type));
+  }
+  if (!cur.exhausted()) {
+    return Status::DataLoss("journal record: trailing bytes");
+  }
+  return r;
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() { Close(); }
+
+void JournalWriter::Close() {
+#ifdef FSYNC_POSIX_IO
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+#endif
+  fd_ = -1;
+}
+
+StatusOr<JournalWriter> JournalWriter::Create(const fs::path& path) {
+  JournalWriter w;
+  w.path_ = path;
+#ifdef FSYNC_POSIX_IO
+  w.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
+                 0644);
+  if (w.fd_ < 0) {
+    return Status::Internal("cannot create journal " + path.string() +
+                            ": " + std::strerror(errno));
+  }
+  ssize_t n = ::write(w.fd_, kMagic, kMagicLen);
+  if (n != static_cast<ssize_t>(kMagicLen)) {
+    return Status::Internal("cannot write journal header " + path.string());
+  }
+  FireCrashPoint("journal:create:before-fsync");
+  if (::fsync(w.fd_) != 0) {
+    return Status::Internal("fsync failed on journal " + path.string());
+  }
+  FireCrashPoint("journal:create:after-fsync");
+#else
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot create journal " + path.string());
+    }
+    out.write(kMagic, kMagicLen);
+    if (!out.good()) {
+      return Status::Internal("cannot write journal header " +
+                              path.string());
+    }
+  }
+  w.fd_ = 0;  // sentinel: "open" on the fallback path
+  FireCrashPoint("journal:create:before-fsync");
+  FireCrashPoint("journal:create:after-fsync");
+#endif
+  // The journal's existence must itself be durable before the first
+  // intent: otherwise a crash could leave renamed files with no journal
+  // naming them.
+  if (path.has_parent_path()) {
+    FSYNC_RETURN_IF_ERROR(FsyncPath(path.parent_path()));
+  }
+  return w;
+}
+
+Status JournalWriter::Append(const JournalRecord& record) {
+  if (!open()) {
+    return Status::FailedPrecondition("journal writer not open");
+  }
+  Bytes payload = EncodeJournalRecord(record);
+  Bytes frame;
+  frame.reserve(payload.size() + 8);
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  PutU32(frame, Crc32c(payload));
+  FireCrashPoint("journal:append:before");
+#ifdef FSYNC_POSIX_IO
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      return Status::Internal("journal append failed on " + path_.string() +
+                              ": " + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::Internal("journal fsync failed on " + path_.string());
+  }
+#else
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  out.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("journal append failed on " + path_.string());
+  }
+#endif
+  FireCrashPoint("journal:append:after");
+  return Status::Ok();
+}
+
+StatusOr<JournalContents> ReadJournal(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no journal at " + path.string());
+  }
+  Bytes data{std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>()};
+  if (data.size() < kMagicLen ||
+      std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
+    return Status::DataLoss("journal " + path.string() +
+                            ": bad or truncated header");
+  }
+  JournalContents out;
+  size_t pos = kMagicLen;
+  while (pos < data.size()) {
+    if (pos + 4 > data.size()) {
+      out.torn_tail = true;
+      break;
+    }
+    uint32_t len = ReadU32(data.data() + pos);
+    if (pos + 4 + len + 4 > data.size()) {
+      out.torn_tail = true;
+      break;
+    }
+    ByteSpan payload(data.data() + pos + 4, len);
+    uint32_t want_crc = ReadU32(data.data() + pos + 4 + len);
+    if (Crc32c(payload) != want_crc) {
+      out.torn_tail = true;
+      break;
+    }
+    auto record = DecodeJournalRecord(payload);
+    if (!record.ok()) {
+      out.torn_tail = true;
+      break;
+    }
+    if (record->type == JournalRecordType::kCommit) {
+      out.committed = true;
+    }
+    if (record->type == JournalRecordType::kAbort) {
+      out.aborted = true;
+    }
+    out.records.push_back(*std::move(record));
+    pos += 4 + len + 4;
+  }
+  return out;
+}
+
+Status RemoveJournal(const fs::path& path) { return RemoveDurable(path); }
+
+bool IsInternalArtifact(const std::string& rel_path) {
+  // Basename-level check: artifacts can live in subdirectories (a staged
+  // temp sits next to its target file; an in-place journal next to its
+  // target).
+  size_t slash = rel_path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? rel_path : rel_path.substr(slash + 1);
+  return base == ".fsx-manifest" || base == kJournalName ||
+         EndsWith(base, kTempSuffix) || EndsWith(base, kJournalSuffix);
+}
+
+}  // namespace fsx::store

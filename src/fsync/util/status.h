@@ -21,6 +21,7 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kUnavailable,     // peer unreachable / retry budget exhausted
+  kAborted,         // concurrent modification detected; operation skipped
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "DATA_LOSS").
@@ -61,6 +62,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

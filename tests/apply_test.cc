@@ -1,0 +1,364 @@
+// Durable-apply behavior without crashes: transaction happy paths,
+// concurrent-modification conflicts, recovery no-ops, and the journaled
+// in-place file apply (including promotion accounting).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "fsync/obs/sync_obs.h"
+#include "fsync/store/apply.h"
+#include "fsync/store/journal.h"
+#include "fsync/util/random.h"
+
+namespace fsx::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ApplyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             ("fsx_apply_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()
+                  ->current_test_info()
+                  ->name()))
+                .string();
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void WriteRaw(const std::string& rel, const std::string& content) {
+    fs::path p = fs::path(root_) / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream(p, std::ios::binary) << content;
+  }
+
+  std::string root_;
+};
+
+Collection SampleFiles() {
+  Collection c;
+  c["a.txt"] = ToBytes("alpha");
+  c["dir/b.txt"] = ToBytes("bravo bravo");
+  c["dir/deep/c.bin"] = ToBytes("charlie");
+  return c;
+}
+
+TEST_F(ApplyTest, ApplyTreeWritesVerifiableTree) {
+  Collection files = SampleFiles();
+  obs::SyncObserver obs;
+  auto report = ApplyTree(root_, files, Manifest{}, {}, &obs);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->files_committed, files.size());
+  EXPECT_EQ(report->files_unchanged, 0u);
+  EXPECT_TRUE(report->conflicts.empty());
+  EXPECT_FALSE(report->recovered);
+  EXPECT_EQ(obs.event_count(obs::Event::kJournalCommit), 1u);
+  EXPECT_EQ(obs.event_count(obs::Event::kConflictDetected), 0u);
+
+  auto back = LoadTree(root_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, files);
+  auto dirty = VerifyTree(root_);
+  ASSERT_TRUE(dirty.ok()) << dirty.status().ToString();
+  EXPECT_TRUE(dirty->empty());
+  EXPECT_FALSE(fs::exists(fs::path(root_) / kJournalName));
+}
+
+TEST_F(ApplyTest, UnchangedFilesAreSkippedNotRewritten) {
+  Collection files = SampleFiles();
+  ASSERT_TRUE(ApplyTree(root_, files, Manifest{}).ok());
+  Manifest expected = BuildManifest(files);
+  auto report = ApplyTree(root_, files, expected);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->files_committed, 0u);
+  EXPECT_EQ(report->files_unchanged, files.size());
+}
+
+TEST_F(ApplyTest, DeleteExtraRespectsMirrorSemantics) {
+  Collection files = SampleFiles();
+  ASSERT_TRUE(ApplyTree(root_, files, Manifest{}).ok());
+  Manifest expected = BuildManifest(files);
+  Collection fewer = files;
+  fewer.erase("dir/b.txt");
+  auto report = ApplyTree(root_, fewer, expected);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->files_deleted, 1u);
+  auto back = LoadTree(root_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, fewer);
+}
+
+TEST_F(ApplyTest, ConflictingOverwriteIsSkippedAndReported) {
+  Collection files = SampleFiles();
+  ASSERT_TRUE(ApplyTree(root_, files, Manifest{}).ok());
+  Manifest expected = BuildManifest(files);
+
+  // Someone edits a.txt behind the syncer's back.
+  WriteRaw("a.txt", "locally edited");
+
+  Collection next = files;
+  next["a.txt"] = ToBytes("update from source");
+  next["dir/b.txt"] = ToBytes("bravo v2");
+  obs::SyncObserver obs;
+  auto report = ApplyTree(root_, next, expected, {}, &obs);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->conflicts.size(), 1u);
+  EXPECT_EQ(report->conflicts[0], "a.txt");
+  EXPECT_EQ(report->files_committed, 1u);  // dir/b.txt still applied
+  EXPECT_EQ(obs.event_count(obs::Event::kConflictDetected), 1u);
+
+  // The local edit survives; the rest of the tree is updated; the
+  // manifest reflects what is actually on disk, so verify is clean.
+  auto back = LoadTree(root_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)["a.txt"], ToBytes("locally edited"));
+  EXPECT_EQ((*back)["dir/b.txt"], ToBytes("bravo v2"));
+  auto dirty = VerifyTree(root_);
+  ASSERT_TRUE(dirty.ok());
+  EXPECT_TRUE(dirty->empty());
+}
+
+TEST_F(ApplyTest, ConflictingDeleteIsSkipped) {
+  Collection files = SampleFiles();
+  ASSERT_TRUE(ApplyTree(root_, files, Manifest{}).ok());
+  Manifest expected = BuildManifest(files);
+
+  WriteRaw("dir/b.txt", "changed since scan");
+  Collection fewer = files;
+  fewer.erase("dir/b.txt");
+
+  auto report = ApplyTree(root_, fewer, expected);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->conflicts.size(), 1u);
+  EXPECT_EQ(report->conflicts[0], "dir/b.txt");
+  EXPECT_EQ(report->files_deleted, 0u);
+  EXPECT_TRUE(fs::exists(fs::path(root_) / "dir/b.txt"));
+}
+
+TEST_F(ApplyTest, FileAppearingMidApplyIsNotDeleted) {
+  Collection files = SampleFiles();
+  ASSERT_TRUE(ApplyTree(root_, files, Manifest{}).ok());
+  Manifest expected = BuildManifest(files);
+
+  // A file the syncer never saw appears; mirror deletion must not eat
+  // it (expected_old is null for it).
+  WriteRaw("surprise.txt", "appeared mid-apply");
+
+  auto report = ApplyTree(root_, files, expected);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->conflicts.size(), 1u);
+  EXPECT_EQ(report->conflicts[0], "surprise.txt");
+  EXPECT_TRUE(fs::exists(fs::path(root_) / "surprise.txt"));
+}
+
+TEST_F(ApplyTest, RecoverTreeIsANoOpOnCleanTree) {
+  Collection files = SampleFiles();
+  ASSERT_TRUE(ApplyTree(root_, files, Manifest{}).ok());
+  obs::SyncObserver obs;
+  auto rec = RecoverTree(root_, &obs);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_FALSE(rec->had_journal);
+  EXPECT_EQ(rec->rolled_back_files, 0u);
+  EXPECT_EQ(rec->cleaned_temps, 0u);
+  EXPECT_EQ(obs.event_count(obs::Event::kRecovery), 0u);
+  auto rec2 = RecoverTree(root_ + "/no_such_dir");
+  ASSERT_TRUE(rec2.ok());
+  EXPECT_FALSE(rec2->had_journal);
+}
+
+TEST_F(ApplyTest, RecoverTreeSweepsStrandedTemps) {
+  Collection files = SampleFiles();
+  ASSERT_TRUE(ApplyTree(root_, files, Manifest{}).ok());
+  WriteRaw("dir/b.txt.fsx-tmp", "torn staging debris");
+  obs::SyncObserver obs;
+  auto rec = RecoverTree(root_, &obs);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->cleaned_temps, 1u);
+  EXPECT_FALSE(fs::exists(fs::path(root_) / "dir/b.txt.fsx-tmp"));
+  EXPECT_EQ(obs.event_count(obs::Event::kRolledBackFile), 1u);
+  // The debris never reached the content namespace.
+  auto back = LoadTree(root_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)["dir/b.txt"], ToBytes("bravo bravo"));
+}
+
+TEST_F(ApplyTest, ApplyRejectsUnsafeAndReservedPaths) {
+  ApplyTransaction txn(root_, {});
+  ASSERT_TRUE(txn.Begin().ok());
+  EXPECT_FALSE(txn.WriteFile("../escape", ToBytes("x"), nullptr).ok());
+  EXPECT_FALSE(txn.WriteFile("/abs", ToBytes("x"), nullptr).ok());
+  EXPECT_FALSE(txn.WriteFile(".fsx-manifest", ToBytes("x"), nullptr).ok());
+  EXPECT_FALSE(txn.WriteFile("a.fsx-tmp", ToBytes("x"), nullptr).ok());
+  EXPECT_FALSE(txn.WriteFile(".fsx-journal", ToBytes("x"), nullptr).ok());
+  ASSERT_TRUE(txn.Commit().ok());
+}
+
+TEST_F(ApplyTest, TransactionLifecycleIsEnforced) {
+  ApplyTransaction txn(root_, {});
+  EXPECT_EQ(txn.WriteFile("a", ToBytes("x"), nullptr).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(txn.Commit().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(txn.Begin().ok());
+  EXPECT_EQ(txn.Begin().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(txn.Commit().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// In-place file apply
+// ---------------------------------------------------------------------------
+
+Bytes FileBytes(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return Bytes{std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>()};
+}
+
+ReconstructCommand Copy(uint64_t src, uint64_t len, uint64_t dst) {
+  ReconstructCommand c;
+  c.kind = ReconstructCommand::kCopy;
+  c.source_offset = src;
+  c.length = len;
+  c.target_offset = dst;
+  return c;
+}
+
+ReconstructCommand Lit(const std::string& s, uint64_t dst) {
+  ReconstructCommand c;
+  c.kind = ReconstructCommand::kLiteral;
+  c.literal = ToBytes(s);
+  c.target_offset = dst;
+  return c;
+}
+
+TEST_F(ApplyTest, InPlaceApplyRewritesFileOnDisk) {
+  WriteRaw("f.bin", "AAAABBBB");
+  fs::path p = fs::path(root_) / "f.bin";
+  // New file: "BBBBAAAAxyz" — the two halves swap (a dependency cycle,
+  // so one side gets promoted) plus a fresh literal tail.
+  std::vector<ReconstructCommand> cmds = {
+      Copy(4, 4, 0), Copy(0, 4, 4), Lit("xyz", 8)};
+  obs::SyncObserver obs;
+  auto r = InPlaceApplyFile(p.string(), cmds, 11, nullptr, &obs);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(FileBytes(p), ToBytes("BBBBAAAAxyz"));
+  EXPECT_GT(r->steps_executed, 0u);
+  EXPECT_EQ(r->promoted_commands, 1u);  // cycle of two 4-byte copies
+  EXPECT_EQ(r->promoted_literal_bytes, 4u);
+  EXPECT_FALSE(fs::exists(p.string() + ".fsx-journal"));
+  EXPECT_EQ(obs.event_count(obs::Event::kJournalCommit), 1u);
+}
+
+TEST_F(ApplyTest, InPlaceApplyShrinksAndGrows) {
+  WriteRaw("f.bin", "0123456789");
+  fs::path p = fs::path(root_) / "f.bin";
+  // Shrink: keep the middle four bytes.
+  auto r = InPlaceApplyFile(p.string(), {Copy(3, 4, 0)}, 4);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(FileBytes(p), ToBytes("3456"));
+  // Grow: double it with a literal suffix.
+  auto r2 =
+      InPlaceApplyFile(p.string(), {Copy(0, 4, 0), Lit("grow", 4)}, 8);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(FileBytes(p), ToBytes("3456grow"));
+}
+
+TEST_F(ApplyTest, InPlaceApplyChecksExpectedFingerprint) {
+  WriteRaw("f.bin", "AAAABBBB");
+  fs::path p = fs::path(root_) / "f.bin";
+  Fingerprint wrong = FileFingerprint(ToBytes("something else"));
+  obs::SyncObserver obs;
+  auto r = InPlaceApplyFile(p.string(), {Copy(0, 8, 0)}, 8, &wrong, &obs);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(FileBytes(p), ToBytes("AAAABBBB"));  // untouched
+  EXPECT_EQ(obs.event_count(obs::Event::kConflictDetected), 1u);
+
+  Fingerprint right = FileFingerprint(ToBytes("AAAABBBB"));
+  auto r2 = InPlaceApplyFile(p.string(), {Copy(4, 4, 0)}, 4, &right, &obs);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(FileBytes(p), ToBytes("BBBB"));
+}
+
+TEST_F(ApplyTest, InPlaceApplyRequiresExistingFile) {
+  fs::path p = fs::path(root_) / "missing.bin";
+  fs::create_directories(root_);
+  auto r = InPlaceApplyFile(p.string(), {Lit("new", 0)}, 3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ApplyTest, RecoverInPlaceFileIsANoOpWithoutJournal) {
+  WriteRaw("f.bin", "stable");
+  fs::path p = fs::path(root_) / "f.bin";
+  auto r = RecoverInPlaceFile(p.string());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->had_journal);
+  EXPECT_EQ(FileBytes(p), ToBytes("stable"));
+}
+
+TEST_F(ApplyTest, RecoverInPlaceRollsBackUncommittedJournal) {
+  WriteRaw("f.bin", "AAAABBBB");
+  fs::path p = fs::path(root_) / "f.bin";
+  fs::path jp = fs::path(p.string() + ".fsx-journal");
+
+  // Hand-craft a crashed half-apply: BEGIN + one undo image, then the
+  // block move itself executed, but no COMMIT.
+  {
+    auto w = JournalWriter::Create(jp);
+    ASSERT_TRUE(w.ok());
+    JournalRecord begin;
+    begin.type = JournalRecordType::kBegin;
+    begin.mode = ApplyMode::kInPlace;
+    begin.old_size = 8;
+    ASSERT_TRUE(w->Append(begin).ok());
+    JournalRecord move;
+    move.type = JournalRecordType::kBlockMove;
+    move.target_offset = 0;
+    move.undo = ToBytes("AAAA");
+    ASSERT_TRUE(w->Append(move).ok());
+  }
+  WriteRaw("f.bin", "BBBBBBBB");  // the executed (uncommitted) move
+
+  obs::SyncObserver obs;
+  auto r = RecoverInPlaceFile(p.string(), &obs);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->had_journal);
+  EXPECT_TRUE(r->rolled_back);
+  EXPECT_FALSE(r->completed);
+  EXPECT_EQ(FileBytes(p), ToBytes("AAAABBBB"));  // bit-exact old
+  EXPECT_FALSE(fs::exists(jp));
+  EXPECT_EQ(obs.event_count(obs::Event::kRecovery), 1u);
+  EXPECT_EQ(obs.event_count(obs::Event::kRolledBackFile), 1u);
+}
+
+TEST_F(ApplyTest, RecoverInPlaceRemovesCommittedJournal) {
+  WriteRaw("f.bin", "new content");
+  fs::path p = fs::path(root_) / "f.bin";
+  fs::path jp = fs::path(p.string() + ".fsx-journal");
+  {
+    auto w = JournalWriter::Create(jp);
+    ASSERT_TRUE(w.ok());
+    JournalRecord begin;
+    begin.type = JournalRecordType::kBegin;
+    begin.mode = ApplyMode::kInPlace;
+    begin.old_size = 3;
+    ASSERT_TRUE(w->Append(begin).ok());
+    JournalRecord commit;
+    commit.type = JournalRecordType::kCommit;
+    ASSERT_TRUE(w->Append(commit).ok());
+  }
+  auto r = RecoverInPlaceFile(p.string());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->had_journal);
+  EXPECT_TRUE(r->completed);
+  EXPECT_FALSE(r->rolled_back);
+  EXPECT_EQ(FileBytes(p), ToBytes("new content"));  // kept, not rolled back
+  EXPECT_FALSE(fs::exists(jp));
+}
+
+}  // namespace
+}  // namespace fsx::store

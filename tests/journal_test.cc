@@ -1,0 +1,239 @@
+// Write-ahead journal format tests: record round-trips, the framed
+// on-disk encoding, torn-tail tolerance, and corruption detection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "fsync/store/journal.h"
+#include "fsync/util/random.h"
+
+namespace fsx::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fsx_journal_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = dir_ / "journal";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  fs::path path_;
+};
+
+JournalRecord BeginRecord(ApplyMode mode, uint64_t old_size) {
+  JournalRecord r;
+  r.type = JournalRecordType::kBegin;
+  r.mode = mode;
+  r.old_size = old_size;
+  return r;
+}
+
+JournalRecord IntentRecord(FileOp op, const std::string& path,
+                           uint64_t size) {
+  JournalRecord r;
+  r.type = JournalRecordType::kFileIntent;
+  r.op = op;
+  r.path = path;
+  r.size = size;
+  for (size_t i = 0; i < r.fingerprint.size(); ++i) {
+    r.fingerprint[i] = static_cast<uint8_t>(i * 7 + size);
+  }
+  return r;
+}
+
+JournalRecord MoveRecord(uint64_t offset, Bytes undo) {
+  JournalRecord r;
+  r.type = JournalRecordType::kBlockMove;
+  r.target_offset = offset;
+  r.undo = std::move(undo);
+  return r;
+}
+
+JournalRecord BareRecord(JournalRecordType type) {
+  JournalRecord r;
+  r.type = type;
+  return r;
+}
+
+TEST_F(JournalTest, EncodeDecodeRoundTripsEveryType) {
+  Rng rng(7);
+  std::vector<JournalRecord> records = {
+      BeginRecord(ApplyMode::kTree, 0),
+      BeginRecord(ApplyMode::kInPlace, 123456789),
+      IntentRecord(FileOp::kWrite, "dir/file.txt", 42),
+      IntentRecord(FileOp::kDelete, "gone.bin", 0),
+      MoveRecord(8192, rng.RandomBytes(300)),
+      MoveRecord(0, Bytes{}),
+      BareRecord(JournalRecordType::kCommit),
+      BareRecord(JournalRecordType::kAbort),
+  };
+  for (const JournalRecord& r : records) {
+    Bytes payload = EncodeJournalRecord(r);
+    auto back = DecodeJournalRecord(payload);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(*back, r);
+  }
+}
+
+TEST_F(JournalTest, DecodeRejectsTruncatedAndTrailing) {
+  Bytes payload = EncodeJournalRecord(IntentRecord(FileOp::kWrite, "x", 9));
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    Bytes torn(payload.begin(), payload.begin() + cut);
+    EXPECT_FALSE(DecodeJournalRecord(torn).ok()) << "cut=" << cut;
+  }
+  Bytes padded = payload;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeJournalRecord(padded).ok());
+  EXPECT_FALSE(DecodeJournalRecord(Bytes{99}).ok());  // unknown type
+}
+
+TEST_F(JournalTest, WriteReadRoundTrip) {
+  std::vector<JournalRecord> records = {
+      BeginRecord(ApplyMode::kTree, 0),
+      IntentRecord(FileOp::kWrite, "a.txt", 100),
+      IntentRecord(FileOp::kDelete, "b.txt", 0),
+      BareRecord(JournalRecordType::kCommit),
+  };
+  {
+    auto writer = JournalWriter::Create(path_);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    for (const JournalRecord& r : records) {
+      ASSERT_TRUE(writer->Append(r).ok());
+    }
+  }
+  auto back = ReadJournal(path_);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->records, records);
+  EXPECT_TRUE(back->committed);
+  EXPECT_FALSE(back->aborted);
+  EXPECT_FALSE(back->torn_tail);
+}
+
+TEST_F(JournalTest, MissingJournalIsNotFound) {
+  auto r = ReadJournal(path_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(JournalTest, BadMagicIsDataLoss) {
+  std::ofstream(path_, std::ios::binary) << "GARBAGE";
+  auto r = ReadJournal(path_);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+
+  std::ofstream(path_, std::ios::binary | std::ios::trunc) << "FSX";
+  r = ReadJournal(path_);  // shorter than the magic
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(JournalTest, TornTailIsToleratedAtEveryCut) {
+  std::vector<JournalRecord> records = {
+      BeginRecord(ApplyMode::kTree, 0),
+      IntentRecord(FileOp::kWrite, "a.txt", 100),
+      BareRecord(JournalRecordType::kCommit),
+  };
+  {
+    auto writer = JournalWriter::Create(path_);
+    ASSERT_TRUE(writer.ok());
+    for (const JournalRecord& r : records) {
+      ASSERT_TRUE(writer->Append(r).ok());
+    }
+  }
+  Bytes full;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    full.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  // Frame boundaries: cuts landing exactly between records read back as
+  // a shorter-but-clean journal; every other cut must flag a torn tail.
+  std::vector<size_t> boundaries = {6};
+  for (const JournalRecord& r : records) {
+    boundaries.push_back(boundaries.back() + 8 +
+                         EncodeJournalRecord(r).size());
+  }
+  ASSERT_EQ(boundaries.back(), full.size());
+
+  // Truncate at every byte past the magic: the reader must surface the
+  // intact prefix and flag (not fail on) the torn remainder.
+  for (size_t cut = 6; cut < full.size(); ++cut) {
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(full.data()),
+                static_cast<std::streamsize>(cut));
+    }
+    auto r = ReadJournal(path_);
+    ASSERT_TRUE(r.ok()) << "cut=" << cut;
+    bool at_boundary =
+        std::find(boundaries.begin(), boundaries.end(), cut) !=
+        boundaries.end();
+    EXPECT_EQ(r->torn_tail, !at_boundary) << "cut=" << cut;
+    EXPECT_LT(r->records.size(), records.size());
+    EXPECT_FALSE(r->committed) << "cut=" << cut;
+    for (size_t i = 0; i < r->records.size(); ++i) {
+      EXPECT_EQ(r->records[i], records[i]) << "cut=" << cut;
+    }
+  }
+}
+
+TEST_F(JournalTest, CorruptedRecordStopsTheReader) {
+  {
+    auto writer = JournalWriter::Create(path_);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(BeginRecord(ApplyMode::kTree, 0)).ok());
+    ASSERT_TRUE(
+        writer->Append(IntentRecord(FileOp::kWrite, "a.txt", 100)).ok());
+  }
+  // Flip one byte inside the second record's payload: its CRC must
+  // reject it, and the intact first record must survive.
+  auto size = fs::file_size(path_);
+  {
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(size) - 10);
+    char c = 0;
+    f.read(&c, 1);
+    f.seekp(static_cast<std::streamoff>(size) - 10);
+    c = static_cast<char>(c ^ 0xFF);
+    f.write(&c, 1);
+  }
+  auto r = ReadJournal(path_);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->records.size(), 1u);
+  EXPECT_EQ(r->records[0].type, JournalRecordType::kBegin);
+  EXPECT_TRUE(r->torn_tail);
+}
+
+TEST_F(JournalTest, RemoveJournalIsIdempotent) {
+  EXPECT_TRUE(RemoveJournal(path_).ok());  // missing is OK
+  { ASSERT_TRUE(JournalWriter::Create(path_).ok()); }
+  EXPECT_TRUE(RemoveJournal(path_).ok());
+  EXPECT_FALSE(fs::exists(path_));
+}
+
+TEST(InternalArtifactTest, ClassifiesBookkeepingNames) {
+  EXPECT_TRUE(IsInternalArtifact(".fsx-manifest"));
+  EXPECT_TRUE(IsInternalArtifact(".fsx-journal"));
+  EXPECT_TRUE(IsInternalArtifact("a.txt.fsx-tmp"));
+  EXPECT_TRUE(IsInternalArtifact("a.txt.fsx-journal"));
+  EXPECT_TRUE(IsInternalArtifact("dir/deep/.fsx-manifest"));
+  EXPECT_TRUE(IsInternalArtifact("dir/b.bin.fsx-tmp"));
+
+  EXPECT_FALSE(IsInternalArtifact("a.txt"));
+  EXPECT_FALSE(IsInternalArtifact("fsx-tmp"));
+  EXPECT_FALSE(IsInternalArtifact("dir/.fsx-manifest.txt"));
+  EXPECT_FALSE(IsInternalArtifact(".fsx-journal/file"));
+}
+
+}  // namespace
+}  // namespace fsx::store

@@ -134,5 +134,97 @@ TEST_F(StoreTest, ManifestExcludedFromLoad) {
   EXPECT_EQ(*back, files);  // .fsx-manifest not part of the content
 }
 
+TEST_F(StoreTest, VerifyWithoutManifestIsNotFound) {
+  Collection files = SampleCollection(7);
+  ASSERT_TRUE(StoreTree(root_, files, true, /*write_manifest=*/false).ok());
+  auto r = VerifyTree(root_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StoreTest, VerifyFlagsTruncatedFile) {
+  Collection files = SampleCollection(8);
+  ASSERT_TRUE(StoreTree(root_, files, true, /*write_manifest=*/true).ok());
+  fs::resize_file(fs::path(root_) / "dir/b.txt",
+                  files["dir/b.txt"].size() / 2);
+  auto dirty = VerifyTree(root_);
+  ASSERT_TRUE(dirty.ok()) << dirty.status().ToString();
+  std::vector<std::string> want = {"dir/b.txt"};
+  EXPECT_EQ(*dirty, want);
+}
+
+TEST_F(StoreTest, VerifyFlagsExtraFile) {
+  Collection files = SampleCollection(9);
+  ASSERT_TRUE(StoreTree(root_, files, true, /*write_manifest=*/true).ok());
+  std::ofstream(fs::path(root_) / "extra.txt") << "not in the manifest";
+  auto dirty = VerifyTree(root_);
+  ASSERT_TRUE(dirty.ok());
+  std::vector<std::string> want = {"extra.txt"};
+  EXPECT_EQ(*dirty, want);
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST_F(StoreTest, LoadRefusesSymlinks) {
+  Collection files = SampleCollection(10);
+  ASSERT_TRUE(StoreTree(root_, files, true, /*write_manifest=*/true).ok());
+  // A symlink could alias content from outside the tree; LoadTree must
+  // refuse it rather than follow it.
+  fs::create_symlink(fs::path(root_) / "a.txt",
+                     fs::path(root_) / "sneaky_link");
+  auto r = LoadTree(root_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+#endif
+
+TEST_F(StoreTest, InternalArtifactsExcludedFromLoadAndMirroring) {
+  Collection files = SampleCollection(11);
+  ASSERT_TRUE(StoreTree(root_, files, true, /*write_manifest=*/true).ok());
+  // Simulate debris from an interrupted apply: a staged temp (for a
+  // file not in this collection) and an in-place journal next to real
+  // content.
+  std::ofstream(fs::path(root_) / "ghost.txt.fsx-tmp") << "staged";
+  std::ofstream(fs::path(root_) / "dir/b.txt.fsx-journal") << "journal";
+
+  auto back = LoadTree(root_);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, files);  // artifacts are not content
+
+  // Mirror-mode rewrite must not treat the artifacts as "extra files"
+  // to delete — recovery owns them, not the mirroring pass.
+  ASSERT_TRUE(StoreTree(root_, files, /*delete_extra=*/true, true).ok());
+  EXPECT_TRUE(fs::exists(fs::path(root_) / "ghost.txt.fsx-tmp"));
+  EXPECT_TRUE(fs::exists(fs::path(root_) / "dir/b.txt.fsx-journal"));
+}
+
+TEST_F(StoreTest, StoreTreeLeavesNoTempsBehind) {
+  Collection files = SampleCollection(12);
+  ASSERT_TRUE(StoreTree(root_, files, true, /*write_manifest=*/true).ok());
+  for (auto it = fs::recursive_directory_iterator(root_);
+       it != fs::recursive_directory_iterator(); ++it) {
+    EXPECT_FALSE(it->path().filename().string().ends_with(".fsx-tmp"))
+        << it->path();
+  }
+}
+
+TEST_F(StoreTest, CheckpointRemovalCleansStrandedTemp) {
+  fs::create_directories(root_);
+  std::string path = root_ + "/session.ckpt";
+  std::ofstream(path) << "checkpoint";
+  std::ofstream(path + ".tmp") << "stranded temp from a crashed save";
+
+  // Loading ignores (and clears) the stranded temp.
+  auto loaded = LoadCheckpointFile(path);  // "checkpoint" isn't parseable,
+  EXPECT_FALSE(loaded.ok());               // but the temp is gone either way
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+  std::ofstream(path + ".tmp") << "stranded again";
+  EXPECT_TRUE(RemoveCheckpointFile(path).ok());
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  // Removing what is already gone stays OK.
+  EXPECT_TRUE(RemoveCheckpointFile(path).ok());
+}
+
 }  // namespace
 }  // namespace fsx

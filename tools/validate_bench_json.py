@@ -1,14 +1,22 @@
 #!/usr/bin/env python3
-"""Validate BENCH_*.json files against the fsx-bench-v1 schema.
+"""Validate fsx JSON artifacts: BENCH_*.json and fsxsync metrics files.
 
 Usage: validate_bench_json.py FILE [FILE...]
 
-Checks the structural schema documented in docs/benchmarks.md plus the
-accounting invariants the observability layer guarantees:
+Dispatches on the document's "schema" field:
+  - fsx-bench-v1: benchmark result sets (docs/benchmarks.md);
+  - fsx-metrics-v1: single-run metrics emitted by
+    `fsxsync --metrics-json`.
+
+Checks the structural schema plus the accounting invariants the
+observability layer guarantees:
   - bytes.up + bytes.down == bytes.total whenever the split is present;
   - the per-phase byte matrix sums to exactly bytes.up / bytes.down per
     direction whenever phases are present (the same equality the
-    conformance suite pins against the channel's TrafficStats).
+    conformance suite pins against the channel's TrafficStats);
+  - metrics documents carry the full event-counter vocabulary,
+    including the durable-apply counters (journal_commits, recoveries,
+    rolled_back_files, conflicts_detected).
 
 Standard library only; exits non-zero on the first invalid file.
 """
@@ -25,6 +33,21 @@ PHASES = {
     "delta",
     "fallback",
     "transport",
+}
+
+EVENTS = {
+    "retransmits",
+    "timeouts",
+    "corrupt_records",
+    "duplicate_records",
+    "reorder_buffered",
+    "resumes",
+    "repaired_regions",
+    "full_fallbacks",
+    "journal_commits",
+    "recoveries",
+    "rolled_back_files",
+    "conflicts_detected",
 }
 
 
@@ -99,10 +122,34 @@ def check_result(index, r):
     check_bytes(where, r["bytes"])
 
 
-def check_document(doc):
-    require(isinstance(doc, dict), "top level must be an object")
-    require(doc.get("schema") == "fsx-bench-v1",
-            f"'schema' must be 'fsx-bench-v1', got {doc.get('schema')!r}")
+def check_metrics_document(doc):
+    require(isinstance(doc.get("method"), str) and doc["method"],
+            "'method' must be a non-empty string")
+    require("bytes" in doc, "missing 'bytes'")
+    check_bytes("metrics", doc["bytes"])
+    require(is_uint(doc.get("rounds")),
+            "'rounds' must be a non-negative integer")
+    require(is_uint(doc.get("wall_ns")),
+            "'wall_ns' must be a non-negative integer")
+    events = doc.get("events")
+    require(isinstance(events, dict), "'events' must be an object")
+    missing = EVENTS - events.keys()
+    require(not missing, f"events: missing counters {sorted(missing)}")
+    unknown = events.keys() - EVENTS
+    require(not unknown, f"events: unknown counters {sorted(unknown)}")
+    for name, v in events.items():
+        require(is_uint(v),
+                f"events['{name}'] must be a non-negative integer")
+    if "transport" in doc:
+        transport = doc["transport"]
+        require(isinstance(transport, dict),
+                "'transport' must be an object")
+        for name, v in transport.items():
+            require(is_uint(v),
+                    f"transport['{name}'] must be a non-negative integer")
+
+
+def check_bench_document(doc):
     require(isinstance(doc.get("benchmark"), str) and doc["benchmark"],
             "'benchmark' must be a non-empty string")
     require(isinstance(doc.get("title"), str),
@@ -122,6 +169,19 @@ def check_document(doc):
         check_result(i, r)
 
 
+def check_document(doc):
+    require(isinstance(doc, dict), "top level must be an object")
+    schema = doc.get("schema")
+    if schema == "fsx-bench-v1":
+        check_bench_document(doc)
+    elif schema == "fsx-metrics-v1":
+        check_metrics_document(doc)
+    else:
+        raise Invalid("'schema' must be 'fsx-bench-v1' or "
+                      f"'fsx-metrics-v1', got {schema!r}")
+    return schema
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
@@ -131,11 +191,17 @@ def main(argv):
         try:
             with open(path, "rb") as f:
                 doc = json.load(f)
-            check_document(doc)
-            n_phases = sum(
-                1 for r in doc["results"] if "phases" in r["bytes"])
-            print(f"{path}: OK ({len(doc['results'])} results, "
-                  f"{n_phases} with phase attribution)")
+            schema = check_document(doc)
+            if schema == "fsx-bench-v1":
+                n_phases = sum(
+                    1 for r in doc["results"] if "phases" in r["bytes"])
+                print(f"{path}: OK ({len(doc['results'])} results, "
+                      f"{n_phases} with phase attribution)")
+            else:
+                nonzero = sorted(
+                    k for k, v in doc["events"].items() if v)
+                print(f"{path}: OK (metrics, method={doc['method']}, "
+                      f"events: {', '.join(nonzero) or 'none'})")
         except (OSError, json.JSONDecodeError) as e:
             print(f"{path}: UNREADABLE: {e}", file=sys.stderr)
             failures += 1
