@@ -225,6 +225,36 @@ uint64_t StepLength(const ReconstructCommand& step) {
                                                 : step.literal.size();
 }
 
+/// Manifest of the regular files actually on disk, for the recovery
+/// manifest refresh. Unlike LoadTree this never refuses the tree:
+/// symlinks and escaping paths are skipped (recovery must converge even
+/// on trees the strict loader would reject — a legitimate symlink plus
+/// a leftover journal must not make every future apply fail).
+StatusOr<Manifest> ManifestFromDiskLenient(const fs::path& base) {
+  Manifest m;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(base, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) {
+      return Status::Internal("walk failed: " + ec.message());
+    }
+    if (it->is_symlink(ec) || !it->is_regular_file(ec)) {
+      continue;
+    }
+    std::string rel = fs::relative(it->path(), base, ec).generic_string();
+    if (ec || rel.empty() || rel.starts_with("..") ||
+        IsInternalArtifact(rel)) {
+      continue;
+    }
+    auto data = ReadFileBytes(it->path());
+    if (!data.ok()) {
+      continue;  // vanished mid-walk; the manifest reflects what remains
+    }
+    m[rel] = ManifestEntry{data->size(), FileFingerprint(*data)};
+  }
+  return m;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -249,12 +279,7 @@ Status ApplyTransaction::Begin() {
   if (begun_) {
     return Status::FailedPrecondition("apply transaction already begun");
   }
-  std::error_code ec;
-  fs::create_directories(root_, ec);
-  if (ec) {
-    return Status::Internal("cannot create " + root_.string() + ": " +
-                            ec.message());
-  }
+  FSYNC_RETURN_IF_ERROR(CreateDirsDurable(root_));
   FSYNC_ASSIGN_OR_RETURN(RecoverReport rec,
                          RecoverTree(root_.string(), obs_));
   report_.recovered =
@@ -482,6 +507,9 @@ StatusOr<RecoverReport> RecoverTree(const std::string& root,
     if (r.had_journal) {
       ++rep.inplace_recovered;
     }
+    if (r.foreign) {
+      ++rep.foreign_journals;
+    }
   }
 
   // Resolve the tree journal. A header that fails to parse means the
@@ -528,9 +556,9 @@ StatusOr<RecoverReport> RecoverTree(const std::string& root,
   // The manifest may describe the interrupted transaction's intent;
   // refresh it to what actually survived so VerifyTree is clean again.
   if (rep.had_journal && fs::is_regular_file(base / kManifestFile, ec)) {
-    FSYNC_ASSIGN_OR_RETURN(Collection survivors, LoadTree(root));
-    FSYNC_RETURN_IF_ERROR(
-        WriteManifestDurable(base, BuildManifest(survivors)));
+    FSYNC_ASSIGN_OR_RETURN(Manifest survivors,
+                           ManifestFromDiskLenient(base));
+    FSYNC_RETURN_IF_ERROR(WriteManifestDurable(base, survivors));
   }
 
   if (rep.had_journal) {
@@ -612,6 +640,19 @@ StatusOr<InPlaceApplyResult> InPlaceApplyFile(
     ++out.steps_executed;
   }
 
+  // A shrink discards [new_size, old_size) — bytes no step journaled.
+  // Capture that tail as one more undo image before the truncate, so a
+  // crash before COMMIT can restore it: reverse replay writes the tail
+  // back first, earlier undo images then fix any of those bytes a step
+  // had already overwritten, and Truncate(old_size) is a no-op.
+  if (new_size < old_content.size()) {
+    JournalRecord tail;
+    tail.type = JournalRecordType::kBlockMove;
+    tail.target_offset = new_size;
+    FSYNC_RETURN_IF_ERROR(
+        file.ReadAt(new_size, old_content.size() - new_size, &tail.undo));
+    FSYNC_RETURN_IF_ERROR(journal.Append(tail));
+  }
   FSYNC_RETURN_IF_ERROR(file.Truncate(new_size));
   FSYNC_RETURN_IF_ERROR(file.Sync());
   file.Close();
@@ -638,6 +679,13 @@ StatusOr<InPlaceRecoverResult> RecoverInPlaceFile(const std::string& path,
       return res;
     }
     if (contents.status().code() == StatusCode::kDataLoss) {
+      if (!JournalFilePlausible(journal_path)) {
+        // Not a journal at all: a pre-existing user file that merely
+        // ends in the journal suffix. The apply side refuses to create
+        // such names (ValidateRelPath), so it is not ours to delete.
+        res.foreign = true;
+        return res;
+      }
       // Journal died at creation: no undo record means no mutation ever
       // executed, so the file is untouched. Just clear the journal.
       res.had_journal = true;

@@ -128,6 +128,9 @@ struct RecoverReport {
   uint64_t rolled_back_files = 0;  // staged temps discarded
   uint64_t cleaned_temps = 0;      // stranded *.fsx-tmp files removed
   uint64_t inplace_recovered = 0;  // per-file in-place journals resolved
+  /// Journal-suffixed files whose content is not a journal (wrong
+  /// magic): pre-existing user files, left untouched.
+  uint64_t foreign_journals = 0;
 };
 
 /// Brings a tree back to a consistent old-or-new state after a crash:
@@ -160,6 +163,9 @@ struct InPlaceRecoverResult {
   bool had_journal = false;
   bool rolled_back = false;  // undo images replayed; file is old again
   bool completed = false;    // journal was committed; file is new
+  /// The journal-suffixed file is not a journal (wrong magic): a
+  /// pre-existing user file. Left untouched.
+  bool foreign = false;
 };
 
 /// Resolves the in-place journal of `path` (if any): committed journals

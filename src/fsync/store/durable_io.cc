@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 #include "fsync/store/crashpoint.h"
 
@@ -33,8 +34,7 @@ std::string Errno(const std::string& what, const fs::path& p) {
 #ifdef FSYNC_POSIX_IO
 
 Status WriteFileDurable(const fs::path& path, ByteSpan data) {
-  std::error_code ec;
-  fs::create_directories(path.parent_path(), ec);
+  FSYNC_RETURN_IF_ERROR(CreateDirsDurable(path.parent_path()));
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return Status::Internal(Errno("cannot open", path));
@@ -82,8 +82,7 @@ Status FsyncPath(const fs::path& path) {
 #else  // !FSYNC_POSIX_IO
 
 Status WriteFileDurable(const fs::path& path, ByteSpan data) {
-  std::error_code ec;
-  fs::create_directories(path.parent_path(), ec);
+  FSYNC_RETURN_IF_ERROR(CreateDirsDurable(path.parent_path()));
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return Status::Internal("cannot open " + path.string());
@@ -106,6 +105,37 @@ Status FsyncPath(const fs::path&) {
 }
 
 #endif  // FSYNC_POSIX_IO
+
+Status CreateDirsDurable(const fs::path& dir) {
+  std::error_code ec;
+  if (dir.empty() || fs::exists(dir, ec)) {
+    return Status::Ok();
+  }
+  // Record the chain of missing ancestors (deepest first) before
+  // creating it, so we know exactly which directory entries are new.
+  std::vector<fs::path> created;
+  fs::path ancestor = dir;
+  while (!ancestor.empty() && !fs::exists(ancestor, ec)) {
+    created.push_back(ancestor);
+    fs::path parent = ancestor.parent_path();
+    if (parent == ancestor) {
+      break;
+    }
+    ancestor = parent;
+  }
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + dir.string() + ": " +
+                            ec.message());
+  }
+  for (const fs::path& p : created) {
+    FSYNC_RETURN_IF_ERROR(FsyncPath(p));
+  }
+  // The surviving ancestor's entry for the topmost new directory.
+  FSYNC_RETURN_IF_ERROR(
+      FsyncPath(ancestor.empty() ? fs::path(".") : ancestor));
+  return Status::Ok();
+}
 
 Status RenameDurable(const fs::path& from, const fs::path& to) {
   FireCrashPoint("rename:before");

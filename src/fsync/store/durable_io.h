@@ -26,6 +26,13 @@ Status WriteFileDurable(const std::filesystem::path& path, ByteSpan data);
 /// fsyncs an existing file or directory by path.
 Status FsyncPath(const std::filesystem::path& path);
 
+/// Creates `dir` and any missing ancestors, then fsyncs every directory
+/// that was created plus the pre-existing ancestor that gained a new
+/// entry — without this, a power loss can drop a freshly created
+/// subdirectory (and every committed file inside it) even after the
+/// files themselves were fsynced. No-op when `dir` already exists.
+Status CreateDirsDurable(const std::filesystem::path& dir);
+
 /// Atomically renames `from` to `to`, then fsyncs `to`'s parent
 /// directory so the rename itself is durable.
 Status RenameDurable(const std::filesystem::path& from,

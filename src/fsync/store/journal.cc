@@ -62,13 +62,16 @@ class Cursor {
  public:
   explicit Cursor(ByteSpan data) : data_(data) {}
 
+  // All bound checks compare against the remaining byte count
+  // (data_.size() - pos_, which never wraps since pos_ <= size) rather
+  // than adding to pos_, which could overflow on corrupt input.
   bool TakeU8(uint8_t* v) {
-    if (pos_ + 1 > data_.size()) return false;
+    if (data_.size() - pos_ < 1) return false;
     *v = data_[pos_++];
     return true;
   }
   bool TakeU64(uint64_t* v) {
-    if (pos_ + 8 > data_.size()) return false;
+    if (data_.size() - pos_ < 8) return false;
     uint64_t out = 0;
     for (int i = 0; i < 8; ++i) {
       out |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
@@ -78,7 +81,7 @@ class Cursor {
     return true;
   }
   bool TakeFixed(void* out, size_t n) {
-    if (pos_ + n > data_.size()) return false;
+    if (n > data_.size() - pos_) return false;
     std::memcpy(out, data_.data() + pos_, n);
     pos_ += n;
     return true;
@@ -303,12 +306,15 @@ StatusOr<JournalContents> ReadJournal(const fs::path& path) {
   JournalContents out;
   size_t pos = kMagicLen;
   while (pos < data.size()) {
-    if (pos + 4 > data.size()) {
+    // Compare against the remaining byte count — `pos + 4 + len + 4`
+    // can wrap on 32-bit size_t when a corrupt frame declares a length
+    // near UINT32_MAX, turning a torn-tail stop into an OOB read.
+    if (data.size() - pos < 8) {
       out.torn_tail = true;
       break;
     }
     uint32_t len = ReadU32(data.data() + pos);
-    if (pos + 4 + len + 4 > data.size()) {
+    if (len > data.size() - pos - 8) {
       out.torn_tail = true;
       break;
     }
@@ -336,6 +342,20 @@ StatusOr<JournalContents> ReadJournal(const fs::path& path) {
 }
 
 Status RemoveJournal(const fs::path& path) { return RemoveDurable(path); }
+
+bool JournalFilePlausible(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  char head[kMagicLen];
+  in.read(head, static_cast<std::streamsize>(kMagicLen));
+  size_t got = static_cast<size_t>(in.gcount());
+  // A full header must match exactly; a shorter file is plausible only
+  // as a torn prefix of the magic (including the empty file a crash at
+  // creation leaves behind).
+  return std::memcmp(head, kMagic, got) == 0;
+}
 
 bool IsInternalArtifact(const std::string& rel_path) {
   // Basename-level check: artifacts can live in subdirectories (a staged

@@ -124,6 +124,14 @@ StatusOr<JournalContents> ReadJournal(const std::filesystem::path& path);
 /// transaction and a completed recovery. Missing is OK.
 Status RemoveJournal(const std::filesystem::path& path);
 
+/// True when the file at `path` plausibly is (the beginning of) a
+/// journal this code wrote: it starts with the full FSXJ1 magic, or is
+/// shorter than the magic and matches its prefix (a writer that died
+/// while creating the header). Recovery uses this to tell a crashed
+/// journal apart from a pre-existing user file that merely ends in
+/// ".fsx-journal" — the latter must never be deleted.
+bool JournalFilePlausible(const std::filesystem::path& path);
+
 /// True for fsstore/apply bookkeeping files that are never collection
 /// content: the manifest, tree and in-place journals, and staged
 /// `*.fsx-tmp` files. LoadTree skips them, delete_extra must not

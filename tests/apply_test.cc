@@ -46,6 +46,12 @@ Collection SampleFiles() {
   return c;
 }
 
+Bytes FileBytes(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return Bytes{std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>()};
+}
+
 TEST_F(ApplyTest, ApplyTreeWritesVerifiableTree) {
   Collection files = SampleFiles();
   obs::SyncObserver obs;
@@ -185,6 +191,73 @@ TEST_F(ApplyTest, RecoverTreeSweepsStrandedTemps) {
   EXPECT_EQ((*back)["dir/b.txt"], ToBytes("bravo bravo"));
 }
 
+#if defined(__unix__) || defined(__APPLE__)
+TEST_F(ApplyTest, RecoverTreeToleratesSymlinksInTree) {
+  Collection files = SampleFiles();
+  ASSERT_TRUE(ApplyTree(root_, files, Manifest{}).ok());
+  // A legitimate symlink the strict LoadTree refuses, plus a leftover
+  // uncommitted journal. Recovery must still converge (lenient manifest
+  // rebuild) — otherwise the journal is never removed and every future
+  // apply on this tree fails permanently.
+  fs::create_symlink("a.txt", fs::path(root_) / "link.txt");
+  {
+    auto w = JournalWriter::Create(fs::path(root_) / kJournalName);
+    ASSERT_TRUE(w.ok());
+    JournalRecord begin;
+    begin.type = JournalRecordType::kBegin;
+    begin.mode = ApplyMode::kTree;
+    ASSERT_TRUE(w->Append(begin).ok());
+  }
+
+  obs::SyncObserver obs;
+  auto rec = RecoverTree(root_, &obs);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(rec->had_journal);
+  EXPECT_FALSE(fs::exists(fs::path(root_) / kJournalName));
+  EXPECT_TRUE(fs::is_symlink(fs::path(root_) / "link.txt"));
+
+  // A fresh apply (whose Begin recovers first) works again.
+  auto report = ApplyTree(root_, files, BuildManifest(files));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+}
+#endif  // __unix__ || __APPLE__
+
+TEST_F(ApplyTest, RecoveryLeavesForeignJournalSuffixedFilesAlone) {
+  Collection files = SampleFiles();
+  ASSERT_TRUE(ApplyTree(root_, files, Manifest{}).ok());
+  // A pre-existing user file that merely ends in the journal suffix:
+  // its content is not a journal (wrong magic), so recovery must not
+  // treat it as a crashed journal and delete it.
+  WriteRaw("notes.fsx-journal", "my notes, definitely not a journal");
+
+  auto file_rec =
+      RecoverInPlaceFile((fs::path(root_) / "notes").string());
+  ASSERT_TRUE(file_rec.ok()) << file_rec.status().ToString();
+  EXPECT_TRUE(file_rec->foreign);
+  EXPECT_FALSE(file_rec->had_journal);
+
+  auto rec = RecoverTree(root_);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->foreign_journals, 1u);
+  EXPECT_EQ(FileBytes(fs::path(root_) / "notes.fsx-journal"),
+            ToBytes("my notes, definitely not a journal"));
+}
+
+TEST_F(ApplyTest, RecoveryClearsJournalThatDiedAtCreation) {
+  Collection files = SampleFiles();
+  ASSERT_TRUE(ApplyTree(root_, files, Manifest{}).ok());
+  // A journal torn mid-header (a magic prefix) really is ours: no
+  // intent ever landed, so recovery just removes it.
+  WriteRaw("a.txt.fsx-journal", "FSX");
+
+  auto rec = RecoverTree(root_);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->inplace_recovered, 1u);
+  EXPECT_EQ(rec->foreign_journals, 0u);
+  EXPECT_FALSE(fs::exists(fs::path(root_) / "a.txt.fsx-journal"));
+  EXPECT_EQ(FileBytes(fs::path(root_) / "a.txt"), ToBytes("alpha"));
+}
+
 TEST_F(ApplyTest, ApplyRejectsUnsafeAndReservedPaths) {
   ApplyTransaction txn(root_, {});
   ASSERT_TRUE(txn.Begin().ok());
@@ -210,12 +283,6 @@ TEST_F(ApplyTest, TransactionLifecycleIsEnforced) {
 // ---------------------------------------------------------------------------
 // In-place file apply
 // ---------------------------------------------------------------------------
-
-Bytes FileBytes(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  return Bytes{std::istreambuf_iterator<char>(in),
-               std::istreambuf_iterator<char>()};
-}
 
 ReconstructCommand Copy(uint64_t src, uint64_t len, uint64_t dst) {
   ReconstructCommand c;

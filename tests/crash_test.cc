@@ -218,16 +218,21 @@ class InPlaceCrashTest : public CrashTest {
     CrashTest::SetUp();
     fs::create_directories(root_);
     path_ = (fs::path(root_) / "target.bin").string();
+    ConfigurePlan();
+    auto want = InPlaceReconstruct(old_content_, commands_, new_size_);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    new_content_ = want->reconstructed;
+    ASSERT_NE(new_content_, old_content_);
+  }
+
+  /// The plan under test; subclasses swap in other shapes (shrink).
+  virtual void ConfigurePlan() {
     old_content_ = ToBytes("0123456789abcdefABCDEF");
     // Swap the two 8-byte halves (a dependency cycle: one side gets
     // promoted to a literal) and append fresh bytes — every interesting
     // plan shape in one small file.
     commands_ = {CopyCmd(8, 8, 0), CopyCmd(0, 8, 8), LitCmd("+tail+", 16)};
     new_size_ = 22;
-    auto want = InPlaceReconstruct(old_content_, commands_, new_size_);
-    ASSERT_TRUE(want.ok()) << want.status().ToString();
-    new_content_ = want->reconstructed;
-    ASSERT_NE(new_content_, old_content_);
   }
 
   static ReconstructCommand CopyCmd(uint64_t src, uint64_t len,
@@ -259,6 +264,47 @@ class InPlaceCrashTest : public CrashTest {
     return InPlaceApplyFile(path_, commands_, new_size_).ok();
   }
 
+  /// Kills the apply at every crash point it fires and asserts the
+  /// recovery contract: bit-exactly old or new, no surviving journal,
+  /// and convergence on re-apply.
+  void SweepEveryKillPoint() {
+    ResetFile();
+    uint64_t total =
+        fsx::testing::CountCrashPoints([&] { return RunApply(); });
+    ASSERT_GT(total, 0u);
+
+    for (int64_t n = 0; n < static_cast<int64_t>(total); ++n) {
+      std::string ctx = "kill-point " + std::to_string(n);
+      ResetFile();
+      CrashRunResult run = RunWithCrashAt(n, [&] { return RunApply(); });
+      ASSERT_EQ(run.outcome, CrashRunResult::Outcome::kCrashed)
+          << ctx << ": " << run.error;
+
+      obs::SyncObserver obs;
+      auto rec = RecoverInPlaceFile(path_, &obs);
+      ASSERT_TRUE(rec.ok()) << ctx << ": " << rec.status().ToString();
+      Bytes disk = FileBytes(path_);
+      bool is_old = disk == old_content_;
+      bool is_new = disk == new_content_;
+      EXPECT_TRUE(is_old || is_new) << ctx << ": torn file after recovery";
+      EXPECT_FALSE(fs::exists(path_ + ".fsx-journal")) << ctx;
+      if (rec->had_journal) {
+        EXPECT_EQ(obs.event_count(obs::Event::kRecovery), 1u) << ctx;
+      }
+      if (rec->rolled_back) {
+        EXPECT_TRUE(is_old) << ctx << ": rollback did not restore old bytes";
+      }
+
+      // Converge: a rolled-back file re-applies from scratch; a
+      // completed one is already the target.
+      if (is_old) {
+        auto again = InPlaceApplyFile(path_, commands_, new_size_);
+        ASSERT_TRUE(again.ok()) << ctx << ": " << again.status().ToString();
+      }
+      EXPECT_EQ(FileBytes(path_), new_content_) << ctx;
+    }
+  }
+
   std::string path_;
   Bytes old_content_;
   Bytes new_content_;
@@ -267,40 +313,40 @@ class InPlaceCrashTest : public CrashTest {
 };
 
 TEST_F(InPlaceCrashTest, EveryKillPointRollsBackOrCompletes) {
-  ResetFile();
-  uint64_t total = fsx::testing::CountCrashPoints([&] { return RunApply(); });
-  ASSERT_GT(total, 0u);
+  SweepEveryKillPoint();
+}
 
-  for (int64_t n = 0; n < static_cast<int64_t>(total); ++n) {
-    std::string ctx = "kill-point " + std::to_string(n);
-    ResetFile();
-    CrashRunResult run = RunWithCrashAt(n, [&] { return RunApply(); });
-    ASSERT_EQ(run.outcome, CrashRunResult::Outcome::kCrashed)
-        << ctx << ": " << run.error;
-
-    obs::SyncObserver obs;
-    auto rec = RecoverInPlaceFile(path_, &obs);
-    ASSERT_TRUE(rec.ok()) << ctx << ": " << rec.status().ToString();
-    Bytes disk = FileBytes(path_);
-    bool is_old = disk == old_content_;
-    bool is_new = disk == new_content_;
-    EXPECT_TRUE(is_old || is_new) << ctx << ": torn file after recovery";
-    EXPECT_FALSE(fs::exists(path_ + ".fsx-journal")) << ctx;
-    if (rec->had_journal) {
-      EXPECT_EQ(obs.event_count(obs::Event::kRecovery), 1u) << ctx;
-    }
-    if (rec->rolled_back) {
-      EXPECT_TRUE(is_old) << ctx << ": rollback did not restore old bytes";
-    }
-
-    // Converge: a rolled-back file re-applies from scratch; a completed
-    // one is already the target.
-    if (is_old) {
-      auto again = InPlaceApplyFile(path_, commands_, new_size_);
-      ASSERT_TRUE(again.ok()) << ctx << ": " << again.status().ToString();
-    }
-    EXPECT_EQ(FileBytes(path_), new_content_) << ctx;
+// A shrinking plan: the final Truncate(new_size) discards tail bytes no
+// block move journaled, so rollback depends on the pre-truncate tail
+// undo record. Old "AAAABBBB" -> new "BBBB"; a crash between the shrink
+// and COMMIT must recover to exactly "AAAABBBB", never "AAAA\0\0\0\0".
+class InPlaceShrinkCrashTest : public InPlaceCrashTest {
+ protected:
+  void ConfigurePlan() override {
+    old_content_ = ToBytes("AAAABBBB");
+    commands_ = {CopyCmd(4, 4, 0)};
+    new_size_ = 4;
   }
+};
+
+TEST_F(InPlaceShrinkCrashTest, EveryKillPointRollsBackOrCompletes) {
+  SweepEveryKillPoint();
+}
+
+// Shrink whose copy sources live in the doomed tail: rollback must
+// restore [new_size, old_size) bit-exactly or the re-apply after a
+// rolled-back crash has nothing to copy from.
+class InPlaceShrinkFromTailCrashTest : public InPlaceCrashTest {
+ protected:
+  void ConfigurePlan() override {
+    old_content_ = ToBytes("0123456789abcdef");
+    commands_ = {CopyCmd(10, 6, 0), LitCmd("zz", 6)};
+    new_size_ = 8;
+  }
+};
+
+TEST_F(InPlaceShrinkFromTailCrashTest, EveryKillPointRollsBackOrCompletes) {
+  SweepEveryKillPoint();
 }
 
 TEST_F(InPlaceCrashTest, CrashDuringRollbackIsIdempotent) {

@@ -214,6 +214,45 @@ TEST_F(JournalTest, CorruptedRecordStopsTheReader) {
   EXPECT_TRUE(r->torn_tail);
 }
 
+TEST_F(JournalTest, HugeDeclaredFrameLengthIsATornTailNotARead) {
+  // A corrupt frame declaring a length near UINT32_MAX must stop the
+  // reader as a torn tail — naive `pos + 4 + len + 4` bound checks wrap
+  // on 32-bit size_t and turn this into an out-of-bounds read.
+  {
+    auto writer = JournalWriter::Create(path_);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(BeginRecord(ApplyMode::kTree, 0)).ok());
+  }
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    // 4-byte length 0xFFFFFFFF plus enough filler that the reader must
+    // reject it via the length comparison, not the short-frame check.
+    std::string frame = "\xFF\xFF\xFF\xFF";
+    frame += std::string(16, 'x');
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  }
+  auto r = ReadJournal(path_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->records.size(), 1u);
+  EXPECT_EQ(r->records[0].type, JournalRecordType::kBegin);
+  EXPECT_TRUE(r->torn_tail);
+  EXPECT_FALSE(r->committed);
+}
+
+TEST_F(JournalTest, JournalFilePlausibleMatchesOnlyMagicPrefixes) {
+  EXPECT_FALSE(JournalFilePlausible(path_));  // missing
+  for (const char* ours : {"", "F", "FSX", "FSXJ1\n",
+                           "FSXJ1\nplus arbitrary records"}) {
+    std::ofstream(path_, std::ios::binary | std::ios::trunc) << ours;
+    EXPECT_TRUE(JournalFilePlausible(path_)) << "content: " << ours;
+  }
+  for (const char* foreign :
+       {"G", "my notes", "FSXJ2\n", "fsxj1\n", "GARBAGE LONGER THAN MAGIC"}) {
+    std::ofstream(path_, std::ios::binary | std::ios::trunc) << foreign;
+    EXPECT_FALSE(JournalFilePlausible(path_)) << "content: " << foreign;
+  }
+}
+
 TEST_F(JournalTest, RemoveJournalIsIdempotent) {
   EXPECT_TRUE(RemoveJournal(path_).ok());  // missing is OK
   { ASSERT_TRUE(JournalWriter::Create(path_).ok()); }
