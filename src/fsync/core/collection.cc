@@ -48,6 +48,223 @@ std::vector<std::optional<StatusOr<R>>> ParallelSessions(
   return out;
 }
 
+// One multiplexed per-file session riding the shared channel.
+struct FileSession {
+  std::string name;
+  std::unique_ptr<SyncClientEndpoint> client_ep;
+  std::unique_ptr<SyncServerEndpoint> server_ep;
+  bool live = true;
+  bool fallback = false;
+};
+
+std::vector<FileSession> BuildFileSessions(
+    const std::vector<std::string>& names, const Collection& client,
+    const Collection& server, const SyncConfig& config) {
+  static const Bytes kEmpty;
+  std::vector<FileSession> sessions;
+  sessions.reserve(names.size());
+  for (const std::string& name : names) {
+    auto cit = client.find(name);
+    const Bytes& f_old = cit != client.end() ? cit->second : kEmpty;
+    const Bytes& f_new = server.at(name);
+    FileSession s;
+    s.name = name;
+    s.client_ep = std::make_unique<SyncClientEndpoint>(f_old, config);
+    s.server_ep = std::make_unique<SyncServerEndpoint>(f_new, config);
+    sessions.push_back(std::move(s));
+  }
+  return sessions;
+}
+
+// Every file's initial request, concatenated: the batch the multiplexed
+// loop consumes first. Callers send it themselves so they can pipeline it
+// behind other same-direction messages (a consecutive same-direction send
+// costs no roundtrip).
+Bytes BuildInitialRequestBatch(std::vector<FileSession>& sessions) {
+  BitWriter batch;
+  for (FileSession& s : sessions) {
+    Bytes req = s.client_ep->MakeRequest();
+    batch.WriteVarint(req.size());
+    batch.WriteBytes(req);
+  }
+  return batch.Finish();
+}
+
+struct MultiplexTotals {
+  uint64_t delta_bytes = 0;  // encoded delta payload across all sessions
+};
+
+// The shared heart of SyncCollectionBatched and SyncCollectionTree: runs
+// every per-file session to completion with ONE message per direction per
+// round for the whole batch, then one extra exchange for the rare
+// fallbacks. `c2s` is the already-received initial request batch. On
+// success every session's client endpoint holds its reconstruction.
+StatusOr<MultiplexTotals> RunMultiplexedSessions(
+    std::vector<FileSession>& sessions, const SyncConfig& config,
+    SimulatedChannel& channel, obs::SyncObserver* obs, Bytes c2s) {
+  using Dir = SimulatedChannel::Direction;
+  bool first = true;
+  size_t live = sessions.size();
+  uint32_t batch_round = 0;
+  while (live > 0) {
+    obs::SetRound(obs, ++batch_round);
+    const auto round_start = obs != nullptr
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
+    // Server: one sub-payload per live file.
+    obs::SetPhase(obs, obs::Phase::kCandidates);
+    BitReader in(c2s);
+    BitWriter batch;
+    for (FileSession& s : sessions) {
+      if (!s.live) {
+        continue;
+      }
+      FSYNC_ASSIGN_OR_RETURN(uint64_t len, in.ReadVarint());
+      FSYNC_ASSIGN_OR_RETURN(Bytes payload, in.ReadBytes(len));
+      StatusOr<Bytes> reply = first ? s.server_ep->OnRequest(payload)
+                                    : s.server_ep->OnClientMessage(payload);
+      FSYNC_RETURN_IF_ERROR(reply.status());
+      batch.WriteVarint(reply->size());
+      batch.WriteBytes(*reply);
+    }
+    first = false;
+    channel.Send(Dir::kServerToClient, batch.Finish());
+    FSYNC_ASSIGN_OR_RETURN(Bytes s2c, channel.Receive(Dir::kServerToClient));
+
+    // Client: consume replies; files whose session finished drop out
+    // (the server knows too: its endpoint reports done()).
+    BitReader rin(s2c);
+    BitWriter next;
+    size_t still_live = 0;
+    for (FileSession& s : sessions) {
+      if (!s.live) {
+        continue;
+      }
+      FSYNC_ASSIGN_OR_RETURN(uint64_t len, rin.ReadVarint());
+      FSYNC_ASSIGN_OR_RETURN(Bytes payload, rin.ReadBytes(len));
+      FSYNC_ASSIGN_OR_RETURN(std::optional<Bytes> reply,
+                             s.client_ep->OnServerMessage(payload));
+      if (reply.has_value()) {
+        next.WriteVarint(reply->size());
+        next.WriteBytes(*reply);
+        ++still_live;
+      } else {
+        // The server's endpoint reaches done() in the same step, so both
+        // sides agree on the live set without signalling.
+        s.live = false;
+        s.fallback = s.client_ep->needs_fallback();
+      }
+    }
+    live = still_live;
+    if (live > 0) {
+      obs::SetPhase(obs, obs::Phase::kVerification);
+      channel.Send(Dir::kClientToServer, next.Finish());
+      FSYNC_ASSIGN_OR_RETURN(c2s, channel.Receive(Dir::kClientToServer));
+    }
+    if (obs != nullptr) {
+      auto elapsed = std::chrono::steady_clock::now() - round_start;
+      obs->RecordRound(
+          batch_round,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()));
+    }
+  }
+
+  MultiplexTotals totals;
+  for (const FileSession& s : sessions) {
+    totals.delta_bytes += s.server_ep->delta_payload_bytes();
+  }
+  if (obs != nullptr) {
+    // As in SynchronizeFile: move the embedded delta payloads and the
+    // continuation-hash bits out of the candidate phase, summed over
+    // every multiplexed per-file session. Clamped moves preserve totals.
+    uint64_t continuation_bits = 0;
+    for (const FileSession& s : sessions) {
+      for (const RoundTrace& t : s.client_ep->trace()) {
+        continuation_bits += static_cast<uint64_t>(t.continuation_hashes) *
+                             EffectiveContinuationBits(config, t.round);
+      }
+    }
+    obs->Reattribute(obs::Phase::kCandidates, obs::Phase::kDelta,
+                     obs::Flow::kDown, totals.delta_bytes);
+    obs->Reattribute(obs::Phase::kCandidates, obs::Phase::kContinuation,
+                     obs::Flow::kDown, continuation_bits / 8);
+  }
+
+  // Fallbacks (rare): one extra exchange for all of them.
+  std::vector<size_t> fallback_ids;
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    if (sessions[i].fallback) {
+      fallback_ids.push_back(i);
+    }
+  }
+  if (!fallback_ids.empty()) {
+    obs::SetPhase(obs, obs::Phase::kFallback);
+    BitWriter ask;
+    ask.WriteVarint(fallback_ids.size());
+    for (size_t i : fallback_ids) {
+      ask.WriteVarint(i);
+    }
+    channel.Send(Dir::kClientToServer, ask.Finish());
+    FSYNC_ASSIGN_OR_RETURN(Bytes ask_msg,
+                           channel.Receive(Dir::kClientToServer));
+    BitReader ain(ask_msg);
+    FSYNC_ASSIGN_OR_RETURN(uint64_t n, ain.ReadVarint());
+    BitWriter full_batch;
+    for (uint64_t k = 0; k < n; ++k) {
+      FSYNC_ASSIGN_OR_RETURN(uint64_t idx, ain.ReadVarint());
+      if (idx >= sessions.size()) {
+        return Status::DataLoss("batched sync: bad fallback index");
+      }
+      Bytes full = sessions[idx].server_ep->OnFallbackRequest();
+      full_batch.WriteVarint(full.size());
+      full_batch.WriteBytes(full);
+    }
+    channel.Send(Dir::kServerToClient, full_batch.Finish());
+    FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,
+                           channel.Receive(Dir::kServerToClient));
+    BitReader fin(full_msg);
+    for (size_t i : fallback_ids) {
+      FSYNC_ASSIGN_OR_RETURN(uint64_t len, fin.ReadVarint());
+      FSYNC_ASSIGN_OR_RETURN(Bytes payload, fin.ReadBytes(len));
+      FSYNC_RETURN_IF_ERROR(
+          sessions[i].client_ep->OnFallbackTransfer(payload));
+    }
+  }
+
+  for (FileSession& s : sessions) {
+    if (!s.client_ep->done()) {
+      return Status::Internal("batched sync: unfinished session");
+    }
+  }
+  return totals;
+}
+
+// Parallel manifest hashing: fingerprints are computed across the worker
+// pool but assembled in path order, so the manifest (and therefore every
+// wire byte derived from it) is identical at any thread count.
+TreeManifest BuildManifestParallel(const Collection& files,
+                                   int num_threads) {
+  if (num_threads <= 1) {
+    return BuildTreeManifest(files);
+  }
+  std::vector<const Collection::value_type*> items;
+  items.reserve(files.size());
+  for (const auto& kv : files) {
+    items.push_back(&kv);
+  }
+  std::vector<Fingerprint> fps(items.size());
+  par::ParallelFor(num_threads, items.size(), [&](size_t i) {
+    fps[i] = FileFingerprint(items[i]->second);
+  });
+  TreeManifest out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    out[items[i]->first] = TreeEntry{fps[i], items[i]->second.size()};
+  }
+  return out;
+}
+
 }  // namespace
 
 StatusOr<CollectionSyncResult> SyncCollection(const Collection& client,
@@ -149,7 +366,11 @@ StatusOr<CollectionSyncResult> SyncCollectionBatched(
                          channel.Receive(Dir::kClientToServer));
 
   // --- 2. Server classifies: per client file 2 bits (kept / sync /
-  //         delete), then the list of names only it has. ---
+  //         delete), then the list of names only it has, then the adopt
+  //         list: planned files whose server content the client already
+  //         announced under another name (equal-hash short-circuit; each
+  //         is (index into the sorted plan, announce index) so the
+  //         client copies locally and both sides skip the session). ---
   std::vector<std::string> sync_names;  // deterministic on both sides
   {
     BitReader in(announce);
@@ -158,23 +379,34 @@ StatusOr<CollectionSyncResult> SyncCollectionBatched(
       return Status::Internal("batched sync: announce desync");
     }
     BitWriter verdict;
+    std::map<Fingerprint, uint64_t> announced;  // fp -> first index
+    std::map<std::string, Fingerprint> server_fp;  // for planned files
+    std::vector<std::string> changed_names;
     for (uint64_t i = 0; i < count; ++i) {
       FSYNC_ASSIGN_OR_RETURN(uint64_t len, in.ReadVarint());
       FSYNC_ASSIGN_OR_RETURN(Bytes name_bytes, in.ReadBytes(len));
       FSYNC_ASSIGN_OR_RETURN(Bytes fp_bytes, in.ReadBytes(16));
       std::string name = ToString(name_bytes);
+      Fingerprint client_fp;
+      std::copy(fp_bytes.begin(), fp_bytes.end(), client_fp.begin());
+      announced.emplace(client_fp, i);
       auto it = server.find(name);
       if (it == server.end()) {
         verdict.WriteBits(2, 2);  // delete
         continue;
       }
       Fingerprint fp = FileFingerprint(it->second);
-      bool same = std::equal(fp.begin(), fp.end(), fp_bytes.begin());
+      bool same = fp == client_fp;
       verdict.WriteBits(same ? 0 : 1, 2);
+      if (!same) {
+        server_fp[name] = fp;
+        changed_names.push_back(std::move(name));
+      }
     }
     std::vector<std::string> new_names;
     for (const auto& [name, data] : server) {
       if (!client.contains(name)) {
+        server_fp[name] = FileFingerprint(data);
         new_names.push_back(name);
       }
     }
@@ -182,6 +414,23 @@ StatusOr<CollectionSyncResult> SyncCollectionBatched(
     for (const std::string& name : new_names) {
       verdict.WriteVarint(name.size());
       verdict.WriteBytes(ToBytes(name));
+    }
+    // The server's copy of the sorted plan; identical to the client's
+    // sync_names before adoptions are removed.
+    std::vector<std::string> planned = std::move(changed_names);
+    planned.insert(planned.end(), new_names.begin(), new_names.end());
+    std::sort(planned.begin(), planned.end());
+    std::vector<std::pair<uint64_t, uint64_t>> adopt_pairs;
+    for (uint64_t i = 0; i < planned.size(); ++i) {
+      auto it = announced.find(server_fp.at(planned[i]));
+      if (it != announced.end()) {
+        adopt_pairs.emplace_back(i, it->second);
+      }
+    }
+    verdict.WriteVarint(adopt_pairs.size());
+    for (const auto& [idx, src] : adopt_pairs) {
+      verdict.WriteVarint(idx);
+      verdict.WriteVarint(src);
     }
     channel.Send(Dir::kServerToClient, verdict.Finish());
   }
@@ -209,176 +458,208 @@ StatusOr<CollectionSyncResult> SyncCollectionBatched(
       ++result.files_new;
     }
     std::sort(sync_names.begin(), sync_names.end());
+    // Adoptions: copy the named announce entry's content locally and
+    // drop the file from the session plan.
+    FSYNC_ASSIGN_OR_RETURN(uint64_t n_adopts, in.ReadVarint());
+    if (n_adopts > sync_names.size()) {
+      return Status::DataLoss("batched sync: implausible adopt count");
+    }
+    if (n_adopts > 0) {
+      std::vector<const std::string*> announce_order;
+      announce_order.reserve(client.size());
+      for (const auto& kv : client) {
+        announce_order.push_back(&kv.first);
+      }
+      std::vector<bool> adopted(sync_names.size(), false);
+      for (uint64_t k = 0; k < n_adopts; ++k) {
+        FSYNC_ASSIGN_OR_RETURN(uint64_t idx, in.ReadVarint());
+        FSYNC_ASSIGN_OR_RETURN(uint64_t src, in.ReadVarint());
+        if (idx >= sync_names.size() || src >= announce_order.size()) {
+          return Status::DataLoss("batched sync: bad adopt reference");
+        }
+        result.reconstructed[sync_names[idx]] =
+            client.at(*announce_order[src]);
+        adopted[idx] = true;
+        obs::AddEvent(obs, obs::Event::kRenameAdopted);
+      }
+      std::vector<std::string> rest;
+      rest.reserve(sync_names.size() - n_adopts);
+      for (size_t i = 0; i < sync_names.size(); ++i) {
+        if (!adopted[i]) {
+          rest.push_back(std::move(sync_names[i]));
+        }
+      }
+      sync_names = std::move(rest);
+    }
   }
 
   // --- 3. Multiplex the per-file sessions, one message per direction
-  //         per round for the whole batch. ---
-  static const Bytes kEmpty;
-  struct FileSession {
-    std::string name;
-    std::unique_ptr<SyncClientEndpoint> client_ep;
-    std::unique_ptr<SyncServerEndpoint> server_ep;
-    bool live = true;
-    bool fallback = false;
-  };
-  std::vector<FileSession> sessions;
-  sessions.reserve(sync_names.size());
-  for (const std::string& name : sync_names) {
-    auto cit = client.find(name);
-    const Bytes& f_old = cit != client.end() ? cit->second : kEmpty;
-    const Bytes& f_new = server.at(name);
-    FileSession s;
-    s.name = name;
-    s.client_ep = std::make_unique<SyncClientEndpoint>(f_old, config);
-    s.server_ep = std::make_unique<SyncServerEndpoint>(f_new, config);
-    sessions.push_back(std::move(s));
-  }
-
-  // Initial batch: every file's request.
-  {
-    BitWriter batch;
-    for (FileSession& s : sessions) {
-      Bytes req = s.client_ep->MakeRequest();
-      batch.WriteVarint(req.size());
-      batch.WriteBytes(req);
-    }
-    channel.Send(Dir::kClientToServer, batch.Finish());
-  }
+  //         per round for the whole batch; then the fallbacks. ---
+  std::vector<FileSession> sessions =
+      BuildFileSessions(sync_names, client, server, config);
+  channel.Send(Dir::kClientToServer, BuildInitialRequestBatch(sessions));
   FSYNC_ASSIGN_OR_RETURN(Bytes c2s, channel.Receive(Dir::kClientToServer));
-  bool first = true;
-  size_t live = sessions.size();
-  uint32_t batch_round = 0;
-  while (live > 0) {
-    obs::SetRound(obs, ++batch_round);
-    const auto round_start = obs != nullptr
-                                 ? std::chrono::steady_clock::now()
-                                 : std::chrono::steady_clock::time_point();
-    // Server: one sub-payload per live file.
-    obs::SetPhase(obs, obs::Phase::kCandidates);
-    BitReader in(c2s);
-    BitWriter batch;
-    for (FileSession& s : sessions) {
-      if (!s.live) {
-        continue;
-      }
-      FSYNC_ASSIGN_OR_RETURN(uint64_t len, in.ReadVarint());
-      FSYNC_ASSIGN_OR_RETURN(Bytes payload, in.ReadBytes(len));
-      StatusOr<Bytes> reply = first ? s.server_ep->OnRequest(payload)
-                                    : s.server_ep->OnClientMessage(payload);
-      FSYNC_RETURN_IF_ERROR(reply.status());
-      batch.WriteVarint(reply->size());
-      batch.WriteBytes(*reply);
-    }
-    first = false;
-    channel.Send(Dir::kServerToClient, batch.Finish());
-    FSYNC_ASSIGN_OR_RETURN(Bytes s2c, channel.Receive(Dir::kServerToClient));
-
-    // Client: consume replies; files whose session finished drop out
-    // (the server knows too: its endpoint reports done()).
-    BitReader rin(s2c);
-    BitWriter next;
-    size_t still_live = 0;
-    for (FileSession& s : sessions) {
-      if (!s.live) {
-        continue;
-      }
-      FSYNC_ASSIGN_OR_RETURN(uint64_t len, rin.ReadVarint());
-      FSYNC_ASSIGN_OR_RETURN(Bytes payload, rin.ReadBytes(len));
-      FSYNC_ASSIGN_OR_RETURN(std::optional<Bytes> reply,
-                             s.client_ep->OnServerMessage(payload));
-      if (reply.has_value()) {
-        next.WriteVarint(reply->size());
-        next.WriteBytes(*reply);
-        ++still_live;
-      } else {
-        // The server's endpoint reaches done() in the same step, so both
-        // sides agree on the live set without signalling.
-        s.live = false;
-        s.fallback = s.client_ep->needs_fallback();
-      }
-    }
-    live = still_live;
-    if (live > 0) {
-      obs::SetPhase(obs, obs::Phase::kVerification);
-      channel.Send(Dir::kClientToServer, next.Finish());
-      FSYNC_ASSIGN_OR_RETURN(c2s, channel.Receive(Dir::kClientToServer));
-    }
-    if (obs != nullptr) {
-      auto elapsed = std::chrono::steady_clock::now() - round_start;
-      obs->RecordRound(
-          batch_round,
-          static_cast<uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                  .count()));
-    }
-  }
-
-  if (obs != nullptr) {
-    // As in SynchronizeFile: move the embedded delta payloads and the
-    // continuation-hash bits out of the candidate phase, summed over
-    // every multiplexed per-file session. Clamped moves preserve totals.
-    uint64_t delta_bytes = 0;
-    uint64_t continuation_bits = 0;
-    for (const FileSession& s : sessions) {
-      delta_bytes += s.server_ep->delta_payload_bytes();
-      for (const RoundTrace& t : s.client_ep->trace()) {
-        continuation_bits += static_cast<uint64_t>(t.continuation_hashes) *
-                             EffectiveContinuationBits(config, t.round);
-      }
-    }
-    obs->Reattribute(obs::Phase::kCandidates, obs::Phase::kDelta,
-                     obs::Flow::kDown, delta_bytes);
-    obs->Reattribute(obs::Phase::kCandidates, obs::Phase::kContinuation,
-                     obs::Flow::kDown, continuation_bits / 8);
-  }
-
-  // --- 4. Fallbacks (rare): one extra exchange for all of them. ---
-  std::vector<size_t> fallback_ids;
-  for (size_t i = 0; i < sessions.size(); ++i) {
-    if (sessions[i].fallback) {
-      fallback_ids.push_back(i);
-    }
-  }
-  if (!fallback_ids.empty()) {
-    obs::SetPhase(obs, obs::Phase::kFallback);
-    BitWriter ask;
-    ask.WriteVarint(fallback_ids.size());
-    for (size_t i : fallback_ids) {
-      ask.WriteVarint(i);
-    }
-    channel.Send(Dir::kClientToServer, ask.Finish());
-    FSYNC_ASSIGN_OR_RETURN(Bytes ask_msg,
-                           channel.Receive(Dir::kClientToServer));
-    BitReader ain(ask_msg);
-    FSYNC_ASSIGN_OR_RETURN(uint64_t n, ain.ReadVarint());
-    BitWriter full_batch;
-    for (uint64_t k = 0; k < n; ++k) {
-      FSYNC_ASSIGN_OR_RETURN(uint64_t idx, ain.ReadVarint());
-      if (idx >= sessions.size()) {
-        return Status::DataLoss("batched sync: bad fallback index");
-      }
-      Bytes full = sessions[idx].server_ep->OnFallbackRequest();
-      full_batch.WriteVarint(full.size());
-      full_batch.WriteBytes(full);
-    }
-    channel.Send(Dir::kServerToClient, full_batch.Finish());
-    FSYNC_ASSIGN_OR_RETURN(Bytes full_msg,
-                           channel.Receive(Dir::kServerToClient));
-    BitReader fin(full_msg);
-    for (size_t i : fallback_ids) {
-      FSYNC_ASSIGN_OR_RETURN(uint64_t len, fin.ReadVarint());
-      FSYNC_ASSIGN_OR_RETURN(Bytes payload, fin.ReadBytes(len));
-      FSYNC_RETURN_IF_ERROR(
-          sessions[i].client_ep->OnFallbackTransfer(payload));
-    }
-  }
-
+  FSYNC_ASSIGN_OR_RETURN(MultiplexTotals totals,
+                         RunMultiplexedSessions(sessions, config, channel,
+                                                obs, std::move(c2s)));
+  result.delta_bytes = totals.delta_bytes;
   for (FileSession& s : sessions) {
-    if (!s.client_ep->done()) {
-      return Status::Internal("batched sync: unfinished session");
-    }
     result.reconstructed[s.name] = s.client_ep->result();
   }
+  result.stats = channel.stats();
+  return result;
+}
+
+StatusOr<TreeSyncResult> SyncCollectionTree(const Collection& client,
+                                            const Collection& server,
+                                            const TreeSyncParams& params,
+                                            SimulatedChannel& channel,
+                                            obs::SyncObserver* obs) {
+  using Dir = SimulatedChannel::Direction;
+  ObservedSession scope(channel, obs, "session-tree");
+  TreeSyncResult result;
+  result.files_total = server.size();
+
+  // --- 1. Manifest reconciliation (trie walk, Phase::kManifest). ---
+  TreeManifest client_manifest =
+      BuildManifestParallel(client, params.config.num_threads);
+  TreeManifest server_manifest =
+      BuildManifestParallel(server, params.config.num_threads);
+  FSYNC_ASSIGN_OR_RETURN(
+      ManifestDiff diff,
+      ManifestReconcile(client_manifest, server_manifest, params.merkle,
+                        channel, obs));
+  if (obs != nullptr) {
+    obs->set_protocol("session-tree");  // the nested scope renamed it
+  }
+  result.manifest_rounds = diff.rounds;
+  result.manifest_bytes = diff.stats.total_bytes();
+
+  // Mirror semantics, applied locally: start from the client snapshot,
+  // drop client-only files, adopt content the client already holds under
+  // another path (zero wire bytes past the walk).
+  result.reconstructed = client;
+  for (const std::string& path : diff.extra) {
+    result.reconstructed.erase(path);
+  }
+  for (const AdoptOp& op : diff.adopts) {
+    result.reconstructed[op.path] = client.at(op.from);
+    obs::AddEvent(obs, obs::Event::kRenameAdopted);
+  }
+  result.files_adopted = diff.adopts.size();
+  result.files_unchanged =
+      server.size() - diff.adopts.size() - diff.stale.size();
+  for (const std::string& path : diff.stale) {
+    if (!client.contains(path)) {
+      ++result.files_new;
+    }
+  }
+  for (const AdoptOp& op : diff.adopts) {
+    if (!client.contains(op.path)) {
+      ++result.files_new;
+    }
+  }
+
+  if (!diff.stale.empty()) {
+    // Both sides partition the residual stale set by the server-side
+    // size, which the walk already delivered to the client.
+    std::vector<std::string> small, large;
+    for (const std::string& path : diff.stale) {
+      (diff.stale_entries.at(path).size <= params.small_file_threshold
+           ? small
+           : large)
+          .push_back(path);
+    }
+    result.files_small = small.size();
+    result.files_sessioned = large.size();
+
+    // --- 2. Sync plan: the client requests every residual stale path,
+    //         then pipelines the large files' initial session requests
+    //         behind it (consecutive same-direction sends share one
+    //         roundtrip with the server's replies below). ---
+    obs::SetPhase(obs, obs::Phase::kManifest);
+    {
+      BitWriter plan;
+      plan.WriteVarint(diff.stale.size());
+      for (const std::string& path : diff.stale) {
+        plan.WriteVarint(path.size());
+        plan.WriteBytes(ToBytes(path));
+      }
+      channel.Send(Dir::kClientToServer, plan.Finish());
+    }
+    std::vector<FileSession> sessions =
+        BuildFileSessions(large, client, server, params.config);
+    if (!sessions.empty()) {
+      obs::SetPhase(obs, obs::Phase::kCandidates);
+      channel.Send(Dir::kClientToServer,
+                   BuildInitialRequestBatch(sessions));
+    }
+
+    // Server: parse the plan; answer the small files with one compressed
+    // bundle in plan order.
+    FSYNC_ASSIGN_OR_RETURN(Bytes plan_msg,
+                           channel.Receive(Dir::kClientToServer));
+    {
+      BitReader pin(plan_msg);
+      FSYNC_ASSIGN_OR_RETURN(uint64_t n_want, pin.ReadVarint());
+      if (n_want > plan_msg.size()) {
+        return Status::DataLoss("tree sync: implausible plan size");
+      }
+      BitWriter bundle;
+      uint64_t n_small = 0;
+      for (uint64_t i = 0; i < n_want; ++i) {
+        FSYNC_ASSIGN_OR_RETURN(uint64_t len, pin.ReadVarint());
+        FSYNC_ASSIGN_OR_RETURN(Bytes name_bytes, pin.ReadBytes(len));
+        auto it = server.find(ToString(name_bytes));
+        if (it == server.end()) {
+          return Status::DataLoss("tree sync: unknown path in plan");
+        }
+        if (it->second.size() <= params.small_file_threshold) {
+          Bytes comp = Compress(it->second);
+          bundle.WriteVarint(comp.size());
+          bundle.WriteBytes(comp);
+          ++n_small;
+        }
+      }
+      if (n_small > 0) {
+        obs::SetPhase(obs, obs::Phase::kLiterals);
+        channel.Send(Dir::kServerToClient, bundle.Finish());
+      }
+    }
+
+    // Client: unpack the small batch; the manifest fingerprint verifies
+    // each file without any extra wire traffic.
+    if (!small.empty()) {
+      FSYNC_ASSIGN_OR_RETURN(Bytes bundle_msg,
+                             channel.Receive(Dir::kServerToClient));
+      BitReader bin(bundle_msg);
+      for (const std::string& path : small) {
+        FSYNC_ASSIGN_OR_RETURN(uint64_t len, bin.ReadVarint());
+        FSYNC_ASSIGN_OR_RETURN(Bytes comp, bin.ReadBytes(len));
+        FSYNC_ASSIGN_OR_RETURN(Bytes data, Decompress(comp));
+        if (FileFingerprint(data) != diff.stale_entries.at(path).fp) {
+          return Status::DataLoss("tree sync: small-file batch mismatch");
+        }
+        result.reconstructed[path] = std::move(data);
+        obs::AddEvent(obs, obs::Event::kSmallFileBatched);
+      }
+    }
+
+    // --- 3. Multiplexed per-file sessions for the large files. ---
+    if (!sessions.empty()) {
+      FSYNC_ASSIGN_OR_RETURN(Bytes c2s,
+                             channel.Receive(Dir::kClientToServer));
+      FSYNC_ASSIGN_OR_RETURN(
+          MultiplexTotals totals,
+          RunMultiplexedSessions(sessions, params.config, channel, obs,
+                                 std::move(c2s)));
+      result.delta_bytes = totals.delta_bytes;
+      for (FileSession& s : sessions) {
+        result.reconstructed[s.name] = s.client_ep->result();
+      }
+    }
+  }
+
   result.stats = channel.stats();
   return result;
 }

@@ -16,6 +16,7 @@
 #include "fsync/core/config.h"
 #include "fsync/core/session.h"
 #include "fsync/net/channel.h"
+#include "fsync/reconcile/manifest.h"
 #include "fsync/rsync/rsync.h"
 
 namespace fsx {
@@ -58,6 +59,55 @@ StatusOr<CollectionSyncResult> SyncCollectionBatched(
     const Collection& client, const Collection& server,
     const SyncConfig& config, SimulatedChannel& channel,
     obs::SyncObserver* obs = nullptr);
+
+/// Tuning for the tree-level (manifest-reconciled) collection driver.
+struct TreeSyncParams {
+  /// Per-file session configuration for large stale files (its
+  /// num_threads also parallelizes manifest hashing; thread count never
+  /// changes a wire byte).
+  SyncConfig config;
+  /// Manifest trie-walk tuning. The wider default descent keeps the
+  /// whole manifest round to a handful of roundtrips even at 100k files.
+  MerkleParams merkle{.node_hash_bytes = 8, .leaf_batch = 4,
+                      .descend_levels = 4};
+  /// Stale files at or below this server-side size skip per-file
+  /// sessions and ship together in one compressed batch message. The
+  /// default is tuned for high-latency links: below ~16 KB a delta
+  /// session's extra roundtrips cost more than compressing the whole
+  /// file into the pipelined bundle.
+  uint64_t small_file_threshold = 16 * 1024;
+};
+
+/// Outcome of SyncCollectionTree. The per-file classification is
+/// mutually exclusive: every server file is exactly one of unchanged,
+/// adopted, small-batched, or sessioned.
+struct TreeSyncResult {
+  Collection reconstructed;
+  TrafficStats stats;
+  uint64_t files_total = 0;      ///< server-side file count
+  uint64_t files_unchanged = 0;  ///< never individually touched the wire
+  uint64_t files_new = 0;        ///< absent at the client before the sync
+  uint64_t files_adopted = 0;    ///< satisfied locally by content-hash
+                                 ///< adoption (zero literal wire bytes)
+  uint64_t files_small = 0;      ///< shipped in the aggregate small batch
+  uint64_t files_sessioned = 0;  ///< ran a multiplexed per-file session
+  int manifest_rounds = 0;       ///< trie-walk roundtrips
+  uint64_t manifest_bytes = 0;   ///< wire bytes spent on the walk
+  uint64_t delta_bytes = 0;      ///< encoded delta payload in sessions
+};
+
+/// Whole-tree pipelined sync: reconciles the (path -> content-hash,
+/// size, mode) manifests with a trie walk so unchanged files cost
+/// O(set difference); adopts renamed/moved/copied content from paths the
+/// client already holds (zero literal bytes); ships small stale files in
+/// one compressed batch; and multiplexes the remaining per-file sessions
+/// over `channel` exactly like SyncCollectionBatched. Wire output is
+/// deterministic and independent of config.num_threads.
+StatusOr<TreeSyncResult> SyncCollectionTree(const Collection& client,
+                                            const Collection& server,
+                                            const TreeSyncParams& params,
+                                            SimulatedChannel& channel,
+                                            obs::SyncObserver* obs = nullptr);
 
 /// Same, using classic rsync per changed file (the baseline).
 StatusOr<CollectionSyncResult> SyncCollectionRsync(

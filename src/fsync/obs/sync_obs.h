@@ -38,9 +38,13 @@ enum class Event : uint8_t {
   kRecovery,          ///< a leftover journal was found and resolved
   kRolledBackFile,    ///< recovery discarded a staged/partial file state
   kConflictDetected,  ///< apply skipped a concurrently modified file
+  kRenameAdopted,     ///< a moved/renamed file adopted by content hash
+                      ///< (zero literal bytes on the wire)
+  kSmallFileBatched,  ///< a small file shipped in the aggregate batch
+                      ///< round instead of its own session
 };
 
-inline constexpr int kNumEvents = 12;
+inline constexpr int kNumEvents = 14;
 
 /// Stable lower-case name, used as the JSON/metrics key.
 inline const char* EventName(Event e) {
@@ -69,6 +73,10 @@ inline const char* EventName(Event e) {
       return "rolled_back_files";
     case Event::kConflictDetected:
       return "conflicts_detected";
+    case Event::kRenameAdopted:
+      return "renames_adopted";
+    case Event::kSmallFileBatched:
+      return "small_files_batched";
   }
   return "unknown";
 }

@@ -28,9 +28,11 @@ enum class Phase : uint8_t {
   kFallback,      ///< compressed full-file transfer after a failure
   kTransport,     ///< reliable-transport overhead: record headers, CRCs,
                   ///< and the full cost of retransmitted records
+  kManifest,      ///< tree-level manifest reconciliation: trie node
+                  ///< probes, manifest leaf lists, and the sync plan
 };
 
-inline constexpr int kNumPhases = 8;
+inline constexpr int kNumPhases = 9;
 
 /// Stable lower-case name, used as the JSON key in BENCH_*.json.
 inline const char* PhaseName(Phase p) {
@@ -51,6 +53,8 @@ inline const char* PhaseName(Phase p) {
       return "fallback";
     case Phase::kTransport:
       return "transport";
+    case Phase::kManifest:
+      return "manifest";
   }
   return "unknown";
 }

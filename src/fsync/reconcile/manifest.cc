@@ -1,0 +1,105 @@
+#include "fsync/reconcile/manifest.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fsync/hash/md5.h"
+#include "fsync/reconcile/trie.h"
+#include "fsync/util/bit_io.h"
+
+namespace fsx {
+
+namespace {
+
+// Codec for the manifest protocol. Leaf entry wire form: varint name
+// length, name bytes, raw 16-byte fingerprint, varint size, varint mode
+// (see docs/PROTOCOL.md, "Manifest reconciliation"). The node hash covers the
+// same fields in fixed-width little-endian form.
+struct TreeEntryCodec {
+  using Meta = TreeEntry;
+  static void HashMeta(Md5& h, const TreeEntry& e) {
+    h.Update(ByteSpan(e.fp.data(), e.fp.size()));
+    uint8_t tail[12];
+    for (int i = 0; i < 8; ++i) {
+      tail[i] = static_cast<uint8_t>(e.size >> (8 * i));
+    }
+    for (int i = 0; i < 4; ++i) {
+      tail[8 + i] = static_cast<uint8_t>(e.mode >> (8 * i));
+    }
+    h.Update(ByteSpan(tail, sizeof(tail)));
+  }
+  static void WriteMeta(BitWriter& w, const TreeEntry& e) {
+    w.WriteBytes(ByteSpan(e.fp.data(), e.fp.size()));
+    w.WriteVarint(e.size);
+    w.WriteVarint(e.mode);
+  }
+  static StatusOr<TreeEntry> ReadMeta(BitReader& r) {
+    TreeEntry e;
+    FSYNC_ASSIGN_OR_RETURN(Bytes fp_bytes, r.ReadBytes(16));
+    std::copy(fp_bytes.begin(), fp_bytes.end(), e.fp.begin());
+    FSYNC_ASSIGN_OR_RETURN(e.size, r.ReadVarint());
+    FSYNC_ASSIGN_OR_RETURN(uint64_t mode, r.ReadVarint());
+    if (mode > 0777) {
+      return Status::DataLoss("manifest: implausible mode bits");
+    }
+    e.mode = static_cast<uint32_t>(mode);
+    return e;
+  }
+};
+
+}  // namespace
+
+TreeManifest BuildTreeManifest(const std::map<std::string, Bytes>& files) {
+  TreeManifest out;
+  for (const auto& [name, data] : files) {
+    out[name] = TreeEntry{FileFingerprint(data), data.size()};
+  }
+  return out;
+}
+
+void DetectAdoptions(const TreeManifest& client, ManifestDiff& diff) {
+  // Content key -> lexicographically smallest client path holding it.
+  // std::map iteration over `client` is already in path order, so the
+  // first insertion per key wins and the choice is deterministic.
+  std::map<std::pair<Fingerprint, uint64_t>, const TreeManifest::value_type*>
+      by_content;
+  for (const auto& kv : client) {
+    by_content.emplace(std::make_pair(kv.second.fp, kv.second.size), &kv);
+  }
+  std::vector<std::string> residual;
+  residual.reserve(diff.stale.size());
+  for (std::string& path : diff.stale) {
+    const TreeEntry& want = diff.stale_entries.at(path);
+    auto it = by_content.find(std::make_pair(want.fp, want.size));
+    if (it != by_content.end() && it->second->second.mode == want.mode) {
+      diff.adopts.push_back(AdoptOp{std::move(path), it->second->first});
+    } else {
+      residual.push_back(std::move(path));
+    }
+  }
+  diff.stale = std::move(residual);
+}
+
+StatusOr<ManifestDiff> ManifestReconcile(const TreeManifest& client,
+                                         const TreeManifest& server,
+                                         const MerkleParams& params,
+                                         SimulatedChannel& channel,
+                                         obs::SyncObserver* obs) {
+  ObservedSession scope(channel, obs, "manifest");
+  FSYNC_ASSIGN_OR_RETURN(
+      auto walk,
+      reconcile_internal::TrieReconcile<TreeEntryCodec>(
+          client, server, params.node_hash_bytes, params.leaf_batch,
+          params.descend_levels, channel, obs, obs::Phase::kManifest,
+          obs::Phase::kManifest));
+  ManifestDiff diff;
+  diff.stale = std::move(walk.stale);
+  diff.stale_entries = std::move(walk.stale_entries);
+  diff.extra = std::move(walk.extra);
+  diff.stats = walk.stats;
+  diff.rounds = walk.rounds;
+  DetectAdoptions(client, diff);
+  return diff;
+}
+
+}  // namespace fsx

@@ -1,0 +1,96 @@
+// Tree-level manifest reconciliation: the Directory Reconciliation step
+// that runs *before* any per-file sync. Both replicas summarize their
+// tree as a (path -> content-hash, size, mode) manifest; a hash-trie walk
+// (shared with merkle.h) narrows the exchange to the differing subset, so
+// an unchanged file costs nothing and the whole round trip is
+// O(set difference), not O(n) fingerprints.
+//
+// On top of the raw set difference, the client runs content-hash rename
+// detection: a stale path whose server-side (fingerprint, size) matches a
+// file the client already holds becomes a zero-literal AdoptOp ("take the
+// content from this old path") instead of a per-file sync session. Pure
+// renames/moves/copies therefore ship no literal data at all.
+#ifndef FSYNC_RECONCILE_MANIFEST_H_
+#define FSYNC_RECONCILE_MANIFEST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fsync/hash/fingerprint.h"
+#include "fsync/net/channel.h"
+#include "fsync/reconcile/merkle.h"
+#include "fsync/util/status.h"
+
+namespace fsx {
+
+/// One manifest row: everything tree-level reconciliation knows about a
+/// file without re-reading its contents.
+struct TreeEntry {
+  Fingerprint fp{};
+  uint64_t size = 0;
+  /// POSIX permission bits. Collections synthesized from in-memory maps
+  /// carry the conventional 0644; the field still rides the wire and the
+  /// trie node hashes, so a future chmod alone marks a file stale.
+  uint32_t mode = 0644;
+  friend bool operator==(const TreeEntry&, const TreeEntry&) = default;
+};
+
+/// (path -> TreeEntry) manifest of one replica's tree.
+using TreeManifest = std::map<std::string, TreeEntry>;
+
+/// Builds the manifest of an in-memory collection snapshot.
+TreeManifest BuildTreeManifest(const std::map<std::string, Bytes>& files);
+
+/// A zero-literal ledger op: `path` must take the content the client
+/// already holds at `from` (a rename/move/copy detected by content hash).
+/// Adoption reads from the client's *pre-sync* tree, so sources must be
+/// captured before any destructive applies.
+struct AdoptOp {
+  std::string path;  ///< destination (server-side path)
+  std::string from;  ///< existing client path with identical content
+  friend bool operator==(const AdoptOp&, const AdoptOp&) = default;
+};
+
+/// What the manifest round discovered (from the client's perspective).
+struct ManifestDiff {
+  /// Paths the client must fetch/update by per-file sync (differs or
+  /// server-only), minus those satisfied locally by `adopts`.
+  std::vector<std::string> stale;
+  /// Server-side entries for every differing path — both the `stale`
+  /// ones and the adopted ones — so callers can plan sessions (size) and
+  /// verify adoptions (fingerprint) without another round.
+  std::map<std::string, TreeEntry> stale_entries;
+  /// Paths only the client has: deleted under mirror semantics.
+  std::vector<std::string> extra;
+  /// Differing paths whose server content the client already holds under
+  /// another name; sorted by destination path.
+  std::vector<AdoptOp> adopts;
+  /// This walk's traffic only (deltas of the channel's TrafficStats), so
+  /// the round composes into a larger protocol on a shared channel.
+  TrafficStats stats;
+  int rounds = 0;
+};
+
+/// Runs the manifest trie walk between a client holding `client` and a
+/// server holding `server` over `channel`, then detects adoptions
+/// client-side. Exact: stale + adopts + extra always equals the true
+/// difference. All traffic is charged to obs::Phase::kManifest.
+StatusOr<ManifestDiff> ManifestReconcile(const TreeManifest& client,
+                                         const TreeManifest& server,
+                                         const MerkleParams& params,
+                                         SimulatedChannel& channel,
+                                         obs::SyncObserver* obs = nullptr);
+
+/// The rename-detection step alone (exposed for tests): partitions the
+/// already-reconciled `diff.stale` set into adoptions and residual stale
+/// paths, given the client's pre-sync manifest. Deterministic: each
+/// destination adopts from the lexicographically smallest matching client
+/// path; a source may serve many destinations (identical-content
+/// fan-out). Requires equal (fingerprint, size, mode).
+void DetectAdoptions(const TreeManifest& client, ManifestDiff& diff);
+
+}  // namespace fsx
+
+#endif  // FSYNC_RECONCILE_MANIFEST_H_

@@ -1,131 +1,36 @@
 #include "fsync/reconcile/merkle.h"
 
 #include <algorithm>
-#include <chrono>
+#include <utility>
 
 #include "fsync/hash/md5.h"
+#include "fsync/reconcile/trie.h"
 #include "fsync/util/bit_io.h"
 
 namespace fsx {
 
 namespace {
 
-constexpr int kMaxDepth = 64;
-
-// One replica's entries sorted by the 64-bit trie key H(name).
-struct Entry {
-  uint64_t key = 0;
-  std::string name;
-  Fingerprint fp{};
+// Codec for the fingerprint-only protocol. The wire format (leaf entry =
+// varint name length, name bytes, raw 16-byte fingerprint) and the node
+// hash preimage are byte-identical to the original monolithic
+// implementation, so transcripts pinned before the trie core was factored
+// out stay valid.
+struct FingerprintCodec {
+  using Meta = Fingerprint;
+  static void HashMeta(Md5& h, const Fingerprint& fp) {
+    h.Update(ByteSpan(fp.data(), fp.size()));
+  }
+  static void WriteMeta(BitWriter& w, const Fingerprint& fp) {
+    w.WriteBytes(ByteSpan(fp.data(), fp.size()));
+  }
+  static StatusOr<Fingerprint> ReadMeta(BitReader& r) {
+    FSYNC_ASSIGN_OR_RETURN(Bytes fp_bytes, r.ReadBytes(16));
+    Fingerprint fp;
+    std::copy(fp_bytes.begin(), fp_bytes.end(), fp.begin());
+    return fp;
+  }
 };
-
-uint64_t NameKey(const std::string& name) {
-  return Md5::HashBits(ToBytes(name), 64, /*salt=*/0x791E0);
-}
-
-std::vector<Entry> BuildEntries(const FileDigestMap& files) {
-  std::vector<Entry> out;
-  out.reserve(files.size());
-  for (const auto& [name, fp] : files) {
-    out.push_back({NameKey(name), name, fp});
-  }
-  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
-    return a.key != b.key ? a.key < b.key : a.name < b.name;
-  });
-  return out;
-}
-
-// A trie node: all entries whose key starts with the high `depth` bits of
-// `prefix` (prefix stored left-aligned in the high bits).
-struct NodeId {
-  int depth = 0;
-  uint64_t prefix = 0;  // high `depth` bits meaningful
-};
-
-// Half-open range of entries under `node`.
-std::pair<size_t, size_t> NodeRange(const std::vector<Entry>& entries,
-                                    NodeId node) {
-  if (node.depth == 0) {
-    return {0, entries.size()};
-  }
-  uint64_t lo_key = node.prefix;
-  uint64_t hi_key =
-      node.depth == 64
-          ? node.prefix
-          : node.prefix | ((uint64_t{1} << (64 - node.depth)) - 1);
-  auto lo = std::lower_bound(
-      entries.begin(), entries.end(), lo_key,
-      [](const Entry& e, uint64_t k) { return e.key < k; });
-  auto hi = std::upper_bound(
-      entries.begin(), entries.end(), hi_key,
-      [](uint64_t k, const Entry& e) { return k < e.key; });
-  return {static_cast<size_t>(lo - entries.begin()),
-          static_cast<size_t>(hi - entries.begin())};
-}
-
-uint64_t NodeHash(const std::vector<Entry>& entries, NodeId node,
-                  uint32_t hash_bytes) {
-  auto [lo, hi] = NodeRange(entries, node);
-  Md5 h;
-  for (size_t i = lo; i < hi; ++i) {
-    h.Update(ToBytes(entries[i].name));
-    uint8_t sep = 0;
-    h.Update(ByteSpan(&sep, 1));
-    h.Update(ByteSpan(entries[i].fp.data(), entries[i].fp.size()));
-  }
-  Md5Digest d = h.Finish();
-  uint64_t v = 0;
-  for (uint32_t i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(d[i]) << (8 * i);
-  }
-  return hash_bytes >= 8 ? v : v & ((uint64_t{1} << (8 * hash_bytes)) - 1);
-}
-
-void WriteNodeId(BitWriter& w, NodeId node) {
-  w.WriteBits(static_cast<uint64_t>(node.depth), 7);
-  if (node.depth > 0) {
-    w.WriteBits(node.prefix >> (64 - node.depth), node.depth);
-  }
-}
-
-StatusOr<NodeId> ReadNodeId(BitReader& r) {
-  NodeId node;
-  FSYNC_ASSIGN_OR_RETURN(uint64_t depth, r.ReadBits(7));
-  if (depth > kMaxDepth) {
-    return Status::DataLoss("merkle: bad node depth");
-  }
-  node.depth = static_cast<int>(depth);
-  if (node.depth > 0) {
-    FSYNC_ASSIGN_OR_RETURN(uint64_t p, r.ReadBits(node.depth));
-    node.prefix = p << (64 - node.depth);
-  }
-  return node;
-}
-
-NodeId Child(NodeId node, int bit) {
-  NodeId c;
-  c.depth = node.depth + 1;
-  c.prefix = node.prefix;
-  if (bit) {
-    c.prefix |= uint64_t{1} << (64 - c.depth);
-  }
-  return c;
-}
-
-// Server reply codes per queried node.
-constexpr uint64_t kReplyLeaves = 0;    // entry list follows
-constexpr uint64_t kReplyChildren = 1;  // two child hashes follow
-constexpr uint64_t kReplySame = 2;      // root only: hashes matched
-
-void WriteEntryList(BitWriter& w, const std::vector<Entry>& entries,
-                    size_t lo, size_t hi) {
-  w.WriteVarint(hi - lo);
-  for (size_t i = lo; i < hi; ++i) {
-    w.WriteVarint(entries[i].name.size());
-    w.WriteBytes(ToBytes(entries[i].name));
-    w.WriteBytes(ByteSpan(entries[i].fp.data(), entries[i].fp.size()));
-  }
-}
 
 }  // namespace
 
@@ -150,158 +55,17 @@ StatusOr<ReconcileResult> MerkleReconcile(const FileDigestMap& client_files,
                                           const MerkleParams& params,
                                           SimulatedChannel& channel,
                                           obs::SyncObserver* obs) {
-  using Dir = SimulatedChannel::Direction;
-  if (params.node_hash_bytes == 0 || params.node_hash_bytes > 8) {
-    return Status::InvalidArgument("merkle: node_hash_bytes in [1,8]");
-  }
   ObservedSession scope(channel, obs, "merkle");
+  FSYNC_ASSIGN_OR_RETURN(
+      auto diff,
+      reconcile_internal::TrieReconcile<FingerprintCodec>(
+          client_files, server_files, params.node_hash_bytes,
+          params.leaf_batch, params.descend_levels, channel, obs,
+          obs::Phase::kCandidates, obs::Phase::kLiterals));
   ReconcileResult result;
-  std::vector<Entry> client = BuildEntries(client_files);
-  std::vector<Entry> server = BuildEntries(server_files);
-
-  // Tracks which client entries were covered by a mismatching subtree the
-  // server enumerated; anything it has that the server's list lacks is
-  // extra, anything the server lists that it lacks (or differs) is stale.
-  std::vector<NodeId> pending = {NodeId{}};
-  bool first_round = true;
-
-  while (!pending.empty()) {
-    ++result.rounds;
-    obs::SetRound(obs, static_cast<uint32_t>(result.rounds));
-    const auto round_start = obs != nullptr
-                                 ? std::chrono::steady_clock::now()
-                                 : std::chrono::steady_clock::time_point();
-    // Client -> server: the nodes it wants resolved (+ root hash once).
-    obs::SetPhase(obs, obs::Phase::kCandidates);
-    BitWriter ask;
-    ask.WriteVarint(pending.size());
-    for (NodeId n : pending) {
-      WriteNodeId(ask, n);
-    }
-    if (first_round) {
-      ask.WriteBits(NodeHash(client, NodeId{}, params.node_hash_bytes),
-                    8 * params.node_hash_bytes);
-    }
-    channel.Send(Dir::kClientToServer, ask.Finish());
-    FSYNC_ASSIGN_OR_RETURN(Bytes ask_msg,
-                           channel.Receive(Dir::kClientToServer));
-
-    // Server: answer each node.
-    BitReader ain(ask_msg);
-    FSYNC_ASSIGN_OR_RETURN(uint64_t count, ain.ReadVarint());
-    if (count > ask_msg.size() * 8) {
-      return Status::DataLoss("merkle: implausible node count");
-    }
-    std::vector<NodeId> asked;
-    asked.reserve(count);
-    for (uint64_t i = 0; i < count; ++i) {
-      FSYNC_ASSIGN_OR_RETURN(NodeId n, ReadNodeId(ain));
-      asked.push_back(n);
-    }
-    BitWriter reply;
-    bool reply_has_leaves = false;
-    for (size_t i = 0; i < asked.size(); ++i) {
-      NodeId n = asked[i];
-      if (first_round && i == 0) {
-        FSYNC_ASSIGN_OR_RETURN(uint64_t client_root,
-                               ain.ReadBits(8 * params.node_hash_bytes));
-        if (client_root ==
-            NodeHash(server, NodeId{}, params.node_hash_bytes)) {
-          reply.WriteBits(kReplySame, 2);
-          continue;
-        }
-      }
-      auto [lo, hi] = NodeRange(server, n);
-      if (hi - lo <= params.leaf_batch || n.depth >= kMaxDepth) {
-        reply.WriteBits(kReplyLeaves, 2);
-        WriteEntryList(reply, server, lo, hi);
-        reply_has_leaves = true;
-      } else {
-        reply.WriteBits(kReplyChildren, 2);
-        for (int bit = 0; bit < 2; ++bit) {
-          reply.WriteBits(
-              NodeHash(server, Child(n, bit), params.node_hash_bytes),
-              8 * params.node_hash_bytes);
-        }
-      }
-    }
-    // Replies carrying entry lists are dominated by the shipped leaves;
-    // pure child-hash replies stay in the candidate phase.
-    obs::SetPhase(obs, reply_has_leaves ? obs::Phase::kLiterals
-                                        : obs::Phase::kCandidates);
-    channel.Send(Dir::kServerToClient, reply.Finish());
-    FSYNC_ASSIGN_OR_RETURN(Bytes reply_msg,
-                           channel.Receive(Dir::kServerToClient));
-
-    // Client: process replies; build next round's pending set.
-    BitReader rin(reply_msg);
-    std::vector<NodeId> next;
-    for (NodeId n : pending) {
-      FSYNC_ASSIGN_OR_RETURN(uint64_t code, rin.ReadBits(2));
-      if (code == kReplySame) {
-        continue;
-      }
-      if (code == kReplyChildren) {
-        for (int bit = 0; bit < 2; ++bit) {
-          FSYNC_ASSIGN_OR_RETURN(uint64_t server_hash,
-                                 rin.ReadBits(8 * params.node_hash_bytes));
-          NodeId c = Child(n, bit);
-          if (NodeHash(client, c, params.node_hash_bytes) != server_hash) {
-            next.push_back(c);
-          }
-        }
-        continue;
-      }
-      if (code != kReplyLeaves) {
-        return Status::DataLoss("merkle: bad reply code");
-      }
-      FSYNC_ASSIGN_OR_RETURN(uint64_t n_entries, rin.ReadVarint());
-      if (n_entries > reply_msg.size()) {
-        return Status::DataLoss("merkle: implausible entry count");
-      }
-      FileDigestMap server_side;
-      for (uint64_t e = 0; e < n_entries; ++e) {
-        FSYNC_ASSIGN_OR_RETURN(uint64_t len, rin.ReadVarint());
-        if (len > 4096) {
-          return Status::DataLoss("merkle: implausible name length");
-        }
-        FSYNC_ASSIGN_OR_RETURN(Bytes name_bytes, rin.ReadBytes(len));
-        FSYNC_ASSIGN_OR_RETURN(Bytes fp_bytes, rin.ReadBytes(16));
-        Fingerprint fp;
-        std::copy(fp_bytes.begin(), fp_bytes.end(), fp.begin());
-        server_side[ToString(name_bytes)] = fp;
-      }
-      // Compare against the client's entries in this subtree.
-      auto [clo, chi] = NodeRange(client, n);
-      for (size_t k = clo; k < chi; ++k) {
-        auto it = server_side.find(client[k].name);
-        if (it == server_side.end()) {
-          result.extra.push_back(client[k].name);
-        } else if (it->second != client[k].fp) {
-          result.stale.push_back(client[k].name);
-          server_side.erase(it);
-        } else {
-          server_side.erase(it);
-        }
-      }
-      for (const auto& [name, fp] : server_side) {
-        result.stale.push_back(name);  // server-only files
-      }
-    }
-    pending = std::move(next);
-    first_round = false;
-    if (obs != nullptr) {
-      auto elapsed = std::chrono::steady_clock::now() - round_start;
-      obs->RecordRound(
-          static_cast<uint32_t>(result.rounds),
-          static_cast<uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                  .count()));
-    }
-  }
-
-  std::sort(result.stale.begin(), result.stale.end());
-  std::sort(result.extra.begin(), result.extra.end());
+  result.stale = std::move(diff.stale);
+  result.extra = std::move(diff.extra);
+  result.rounds = diff.rounds;
   result.stats = channel.stats();
   return result;
 }

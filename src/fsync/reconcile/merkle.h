@@ -44,6 +44,13 @@ struct MerkleParams {
   /// Subtrees with at most this many leaves are shipped outright instead
   /// of probed further (cuts roundtrips on small differences).
   uint32_t leaf_batch = 4;
+  /// Trie levels descended per round: a mismatching node is answered with
+  /// the hashes of its 2^descend_levels descendant subtrees, trading
+  /// per-round hash bytes for proportionally fewer roundtrips. 1
+  /// reproduces the classic binary walk (and its exact wire format);
+  /// the tree-sync driver uses wider descents so the whole manifest
+  /// round finishes in a handful of roundtrips even at 100k files.
+  uint32_t descend_levels = 1;
 };
 
 /// Runs the trie walk between a client holding `client_files` and a

@@ -1,0 +1,370 @@
+// Internal shared core of the hash-trie reconciliation protocols. Both
+// the fingerprint-only MerkleReconcile (merkle.h) and the richer
+// ManifestReconcile (manifest.h) run the same top-down walk: each side
+// builds a binary trie keyed by H(name); the client probes nodes, the
+// server answers with either two child hashes or the subtree's leaf
+// entries, and the walk descends only where the hashes disagree. The
+// two protocols differ only in the per-entry payload (the `Meta`), so
+// the walk is a template over a small codec:
+//
+//   struct Codec {
+//     using Meta = ...;                    // ==-comparable entry payload
+//     static void HashMeta(Md5&, const Meta&);          // node hashing
+//     static void WriteMeta(BitWriter&, const Meta&);   // leaf wire form
+//     static StatusOr<Meta> ReadMeta(BitReader&);
+//   };
+//
+// This header is an implementation detail of fsync/reconcile — include
+// merkle.h or manifest.h instead.
+#ifndef FSYNC_RECONCILE_TRIE_H_
+#define FSYNC_RECONCILE_TRIE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fsync/hash/md5.h"
+#include "fsync/net/channel.h"
+#include "fsync/util/bit_io.h"
+#include "fsync/util/status.h"
+
+namespace fsx::reconcile_internal {
+
+inline constexpr int kMaxDepth = 64;
+
+inline uint64_t NameKey(const std::string& name) {
+  return Md5::HashBits(ToBytes(name), 64, /*salt=*/0x791E0);
+}
+
+// A trie node: all entries whose key starts with the high `depth` bits of
+// `prefix` (prefix stored left-aligned in the high bits).
+struct NodeId {
+  int depth = 0;
+  uint64_t prefix = 0;  // high `depth` bits meaningful
+};
+
+inline void WriteNodeId(BitWriter& w, NodeId node) {
+  w.WriteBits(static_cast<uint64_t>(node.depth), 7);
+  if (node.depth > 0) {
+    w.WriteBits(node.prefix >> (64 - node.depth), node.depth);
+  }
+}
+
+inline StatusOr<NodeId> ReadNodeId(BitReader& r) {
+  NodeId node;
+  FSYNC_ASSIGN_OR_RETURN(uint64_t depth, r.ReadBits(7));
+  if (depth > kMaxDepth) {
+    return Status::DataLoss("merkle: bad node depth");
+  }
+  node.depth = static_cast<int>(depth);
+  if (node.depth > 0) {
+    FSYNC_ASSIGN_OR_RETURN(uint64_t p, r.ReadBits(node.depth));
+    node.prefix = p << (64 - node.depth);
+  }
+  return node;
+}
+
+inline NodeId Child(NodeId node, int bit) {
+  NodeId c;
+  c.depth = node.depth + 1;
+  c.prefix = node.prefix;
+  if (bit) {
+    c.prefix |= uint64_t{1} << (64 - c.depth);
+  }
+  return c;
+}
+
+/// The `idx`-th descendant of `node` exactly `levels` below it (idx runs
+/// over the 2^levels subtrees in key order). Descendant(n, 1, b) ==
+/// Child(n, b).
+inline NodeId Descendant(NodeId node, int levels, uint64_t idx) {
+  NodeId d;
+  d.depth = node.depth + levels;
+  d.prefix = node.prefix | (idx << (64 - d.depth));
+  return d;
+}
+
+// Server reply codes per queried node.
+inline constexpr uint64_t kReplyLeaves = 0;    // entry list follows
+inline constexpr uint64_t kReplyChildren = 1;  // two child hashes follow
+inline constexpr uint64_t kReplySame = 2;      // root only: hashes matched
+
+// One replica's entries sorted by the 64-bit trie key H(name).
+template <typename Meta>
+struct Entry {
+  uint64_t key = 0;
+  std::string name;
+  Meta meta{};
+};
+
+template <typename Meta>
+std::vector<Entry<Meta>> BuildEntries(
+    const std::map<std::string, Meta>& files) {
+  std::vector<Entry<Meta>> out;
+  out.reserve(files.size());
+  for (const auto& [name, meta] : files) {
+    out.push_back({NameKey(name), name, meta});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry<Meta>& a, const Entry<Meta>& b) {
+              return a.key != b.key ? a.key < b.key : a.name < b.name;
+            });
+  return out;
+}
+
+// Half-open range of entries under `node`.
+template <typename Meta>
+std::pair<size_t, size_t> NodeRange(const std::vector<Entry<Meta>>& entries,
+                                    NodeId node) {
+  if (node.depth == 0) {
+    return {0, entries.size()};
+  }
+  uint64_t lo_key = node.prefix;
+  uint64_t hi_key =
+      node.depth == 64
+          ? node.prefix
+          : node.prefix | ((uint64_t{1} << (64 - node.depth)) - 1);
+  auto lo = std::lower_bound(
+      entries.begin(), entries.end(), lo_key,
+      [](const Entry<Meta>& e, uint64_t k) { return e.key < k; });
+  auto hi = std::upper_bound(
+      entries.begin(), entries.end(), hi_key,
+      [](uint64_t k, const Entry<Meta>& e) { return k < e.key; });
+  return {static_cast<size_t>(lo - entries.begin()),
+          static_cast<size_t>(hi - entries.begin())};
+}
+
+template <typename Codec>
+uint64_t NodeHash(const std::vector<Entry<typename Codec::Meta>>& entries,
+                  NodeId node, uint32_t hash_bytes) {
+  auto [lo, hi] = NodeRange(entries, node);
+  Md5 h;
+  for (size_t i = lo; i < hi; ++i) {
+    h.Update(ToBytes(entries[i].name));
+    uint8_t sep = 0;
+    h.Update(ByteSpan(&sep, 1));
+    Codec::HashMeta(h, entries[i].meta);
+  }
+  Md5Digest d = h.Finish();
+  uint64_t v = 0;
+  for (uint32_t i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(d[i]) << (8 * i);
+  }
+  return hash_bytes >= 8 ? v : v & ((uint64_t{1} << (8 * hash_bytes)) - 1);
+}
+
+template <typename Codec>
+void WriteEntryList(BitWriter& w,
+                    const std::vector<Entry<typename Codec::Meta>>& entries,
+                    size_t lo, size_t hi) {
+  w.WriteVarint(hi - lo);
+  for (size_t i = lo; i < hi; ++i) {
+    w.WriteVarint(entries[i].name.size());
+    w.WriteBytes(ToBytes(entries[i].name));
+    Codec::WriteMeta(w, entries[i].meta);
+  }
+}
+
+/// What the trie walk discovered (from the client's perspective).
+template <typename Meta>
+struct TrieDiff {
+  /// Paths whose metadata differs or that only the server has, with the
+  /// server-side metadata the walk delivered for them.
+  std::vector<std::string> stale;
+  std::map<std::string, Meta> stale_entries;
+  /// Paths only the client has (deleted under mirror semantics).
+  std::vector<std::string> extra;
+  TrafficStats stats;  // this walk's traffic only (channel deltas)
+  int rounds = 0;
+};
+
+/// Runs the walk between a client holding `client_files` and a server
+/// holding `server_files` over `channel`. Exact: the returned sets always
+/// equal the true difference. Wire traffic is attributed to `probe_phase`
+/// (node ids and child hashes) and `leaves_phase` (replies that ship leaf
+/// entry lists); the legacy fingerprint protocol uses candidate/literal
+/// phases, the manifest protocol charges everything to Phase::kManifest.
+template <typename Codec>
+StatusOr<TrieDiff<typename Codec::Meta>> TrieReconcile(
+    const std::map<std::string, typename Codec::Meta>& client_files,
+    const std::map<std::string, typename Codec::Meta>& server_files,
+    uint32_t node_hash_bytes, uint32_t leaf_batch, uint32_t descend_levels,
+    SimulatedChannel& channel, obs::SyncObserver* obs,
+    obs::Phase probe_phase, obs::Phase leaves_phase) {
+  using Dir = SimulatedChannel::Direction;
+  using Meta = typename Codec::Meta;
+  if (node_hash_bytes == 0 || node_hash_bytes > 8) {
+    return Status::InvalidArgument("merkle: node_hash_bytes in [1,8]");
+  }
+  if (descend_levels == 0 || descend_levels > 8) {
+    return Status::InvalidArgument("merkle: descend_levels in [1,8]");
+  }
+  TrieDiff<Meta> result;
+  const TrafficStats before = channel.stats();
+  std::vector<Entry<Meta>> client = BuildEntries(client_files);
+  std::vector<Entry<Meta>> server = BuildEntries(server_files);
+
+  // Tracks which client entries were covered by a mismatching subtree the
+  // server enumerated; anything it has that the server's list lacks is
+  // extra, anything the server lists that it lacks (or differs) is stale.
+  std::vector<NodeId> pending = {NodeId{}};
+  bool first_round = true;
+
+  while (!pending.empty()) {
+    ++result.rounds;
+    obs::SetRound(obs, static_cast<uint32_t>(result.rounds));
+    const auto round_start = obs != nullptr
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
+    // Client -> server: the nodes it wants resolved (+ root hash once).
+    obs::SetPhase(obs, probe_phase);
+    BitWriter ask;
+    ask.WriteVarint(pending.size());
+    for (NodeId n : pending) {
+      WriteNodeId(ask, n);
+    }
+    if (first_round) {
+      ask.WriteBits(NodeHash<Codec>(client, NodeId{}, node_hash_bytes),
+                    8 * node_hash_bytes);
+    }
+    channel.Send(Dir::kClientToServer, ask.Finish());
+    FSYNC_ASSIGN_OR_RETURN(Bytes ask_msg,
+                           channel.Receive(Dir::kClientToServer));
+
+    // Server: answer each node.
+    BitReader ain(ask_msg);
+    FSYNC_ASSIGN_OR_RETURN(uint64_t count, ain.ReadVarint());
+    if (count > ask_msg.size() * 8) {
+      return Status::DataLoss("merkle: implausible node count");
+    }
+    std::vector<NodeId> asked;
+    asked.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      FSYNC_ASSIGN_OR_RETURN(NodeId n, ReadNodeId(ain));
+      asked.push_back(n);
+    }
+    BitWriter reply;
+    bool reply_has_leaves = false;
+    for (size_t i = 0; i < asked.size(); ++i) {
+      NodeId n = asked[i];
+      if (first_round && i == 0) {
+        FSYNC_ASSIGN_OR_RETURN(uint64_t client_root,
+                               ain.ReadBits(8 * node_hash_bytes));
+        if (client_root ==
+            NodeHash<Codec>(server, NodeId{}, node_hash_bytes)) {
+          reply.WriteBits(kReplySame, 2);
+          continue;
+        }
+      }
+      auto [lo, hi] = NodeRange(server, n);
+      if (hi - lo <= leaf_batch || n.depth >= kMaxDepth) {
+        reply.WriteBits(kReplyLeaves, 2);
+        WriteEntryList<Codec>(reply, server, lo, hi);
+        reply_has_leaves = true;
+      } else {
+        // Both sides derive the effective descent from the node's depth,
+        // so no level count rides the wire.
+        const int levels = std::min<int>(
+            static_cast<int>(descend_levels), kMaxDepth - n.depth);
+        reply.WriteBits(kReplyChildren, 2);
+        for (uint64_t idx = 0; idx < (uint64_t{1} << levels); ++idx) {
+          reply.WriteBits(NodeHash<Codec>(server,
+                                          Descendant(n, levels, idx),
+                                          node_hash_bytes),
+                          8 * node_hash_bytes);
+        }
+      }
+    }
+    // Replies carrying entry lists are dominated by the shipped leaves;
+    // pure child-hash replies stay in the probe phase.
+    obs::SetPhase(obs, reply_has_leaves ? leaves_phase : probe_phase);
+    channel.Send(Dir::kServerToClient, reply.Finish());
+    FSYNC_ASSIGN_OR_RETURN(Bytes reply_msg,
+                           channel.Receive(Dir::kServerToClient));
+
+    // Client: process replies; build next round's pending set.
+    BitReader rin(reply_msg);
+    std::vector<NodeId> next;
+    for (NodeId n : pending) {
+      FSYNC_ASSIGN_OR_RETURN(uint64_t code, rin.ReadBits(2));
+      if (code == kReplySame) {
+        continue;
+      }
+      if (code == kReplyChildren) {
+        const int levels = std::min<int>(
+            static_cast<int>(descend_levels), kMaxDepth - n.depth);
+        for (uint64_t idx = 0; idx < (uint64_t{1} << levels); ++idx) {
+          FSYNC_ASSIGN_OR_RETURN(uint64_t server_hash,
+                                 rin.ReadBits(8 * node_hash_bytes));
+          NodeId c = Descendant(n, levels, idx);
+          if (NodeHash<Codec>(client, c, node_hash_bytes) != server_hash) {
+            next.push_back(c);
+          }
+        }
+        continue;
+      }
+      if (code != kReplyLeaves) {
+        return Status::DataLoss("merkle: bad reply code");
+      }
+      FSYNC_ASSIGN_OR_RETURN(uint64_t n_entries, rin.ReadVarint());
+      if (n_entries > reply_msg.size()) {
+        return Status::DataLoss("merkle: implausible entry count");
+      }
+      std::map<std::string, Meta> server_side;
+      for (uint64_t e = 0; e < n_entries; ++e) {
+        FSYNC_ASSIGN_OR_RETURN(uint64_t len, rin.ReadVarint());
+        if (len > 4096) {
+          return Status::DataLoss("merkle: implausible name length");
+        }
+        FSYNC_ASSIGN_OR_RETURN(Bytes name_bytes, rin.ReadBytes(len));
+        FSYNC_ASSIGN_OR_RETURN(Meta meta, Codec::ReadMeta(rin));
+        server_side[ToString(name_bytes)] = meta;
+      }
+      // Compare against the client's entries in this subtree.
+      auto [clo, chi] = NodeRange(client, n);
+      for (size_t k = clo; k < chi; ++k) {
+        auto it = server_side.find(client[k].name);
+        if (it == server_side.end()) {
+          result.extra.push_back(client[k].name);
+        } else {
+          if (it->second != client[k].meta) {
+            result.stale.push_back(client[k].name);
+            result.stale_entries[client[k].name] = it->second;
+          }
+          server_side.erase(it);
+        }
+      }
+      for (const auto& [name, meta] : server_side) {
+        result.stale.push_back(name);  // server-only files
+        result.stale_entries[name] = meta;
+      }
+    }
+    pending = std::move(next);
+    first_round = false;
+    if (obs != nullptr) {
+      auto elapsed = std::chrono::steady_clock::now() - round_start;
+      obs->RecordRound(
+          static_cast<uint32_t>(result.rounds),
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()));
+    }
+  }
+
+  std::sort(result.stale.begin(), result.stale.end());
+  std::sort(result.extra.begin(), result.extra.end());
+  const TrafficStats& after = channel.stats();
+  result.stats.client_to_server_bytes =
+      after.client_to_server_bytes - before.client_to_server_bytes;
+  result.stats.server_to_client_bytes =
+      after.server_to_client_bytes - before.server_to_client_bytes;
+  result.stats.roundtrips = after.roundtrips - before.roundtrips;
+  return result;
+}
+
+}  // namespace fsx::reconcile_internal
+
+#endif  // FSYNC_RECONCILE_TRIE_H_

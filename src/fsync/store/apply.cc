@@ -4,7 +4,9 @@
 #include <cerrno>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <optional>
+#include <set>
 #include <utility>
 
 #include "fsync/store/crashpoint.h"
@@ -297,8 +299,9 @@ Status ApplyTransaction::Begin() {
   return Status::Ok();
 }
 
-Status ApplyTransaction::WriteFile(const std::string& path, ByteSpan content,
-                                   const ManifestEntry* expected_old) {
+Status ApplyTransaction::StageFile(const std::string& path, ByteSpan content,
+                                   const ManifestEntry* expected_old,
+                                   FileOp op, const std::string& from_path) {
   FSYNC_RETURN_IF_ERROR(CheckBegun());
   FSYNC_RETURN_IF_ERROR(ValidateRelPath(path));
 
@@ -339,18 +342,65 @@ Status ApplyTransaction::WriteFile(const std::string& path, ByteSpan content,
   if (options_.journal) {
     JournalRecord intent;
     intent.type = JournalRecordType::kFileIntent;
-    intent.op = FileOp::kWrite;
+    intent.op = op;
     intent.path = path;
     intent.size = next.size;
     intent.fingerprint = next.fingerprint;
+    intent.from_path = from_path;
     FSYNC_RETURN_IF_ERROR(journal_.Append(intent));
   }
   FSYNC_RETURN_IF_ERROR(RenameDurable(tmp, target));
 
   manifest_[path] = next;
-  report_.files.push_back({path, FileApplyOutcome::Action::kCommitted});
+  if (op == FileOp::kAdopt) {
+    report_.files.push_back({path, FileApplyOutcome::Action::kAdopted});
+    ++report_.files_adopted;
+    obs::AddEvent(obs_, obs::Event::kRenameAdopted);
+  } else {
+    report_.files.push_back({path, FileApplyOutcome::Action::kCommitted});
+  }
   ++report_.files_committed;
   return Status::Ok();
+}
+
+Status ApplyTransaction::WriteFile(const std::string& path, ByteSpan content,
+                                   const ManifestEntry* expected_old) {
+  return StageFile(path, content, expected_old, FileOp::kWrite, {});
+}
+
+Status ApplyTransaction::AdoptFile(const std::string& path,
+                                   const std::string& from_path,
+                                   const ManifestEntry* expected_old) {
+  FSYNC_RETURN_IF_ERROR(CheckBegun());
+  FSYNC_RETURN_IF_ERROR(ValidateRelPath(path));
+  FSYNC_RETURN_IF_ERROR(ValidateRelPath(from_path));
+  auto content = ReadFileBytes(root_ / fs::path(from_path));
+  if (!content.ok()) {
+    // The source vanished under us (or a crashed predecessor already
+    // completed the rename and swept it). The target keeps whatever is
+    // on disk; record it faithfully like any other conflict.
+    std::optional<ManifestEntry> disk = DiskEntry(root_ / fs::path(path));
+    if (disk.has_value()) {
+      manifest_[path] = *disk;
+    } else {
+      manifest_.erase(path);
+    }
+    report_.files.push_back(
+        {path, FileApplyOutcome::Action::kConflictSkipped});
+    report_.conflicts.push_back(path);
+    obs::AddEvent(obs_, obs::Event::kConflictDetected);
+    return Status::Aborted("adopt source missing: " + from_path);
+  }
+  return StageFile(path, *content, expected_old, FileOp::kAdopt, from_path);
+}
+
+Status ApplyTransaction::AdoptFile(const std::string& path,
+                                   const std::string& from_path,
+                                   ByteSpan content,
+                                   const ManifestEntry* expected_old) {
+  FSYNC_RETURN_IF_ERROR(CheckBegun());
+  FSYNC_RETURN_IF_ERROR(ValidateRelPath(from_path));
+  return StageFile(path, content, expected_old, FileOp::kAdopt, from_path);
 }
 
 Status ApplyTransaction::DeleteFile(const std::string& path,
@@ -416,6 +466,15 @@ StatusOr<ApplyReport> ApplyTree(const std::string& root,
                                 const Manifest& expected,
                                 const ApplyOptions& options,
                                 obs::SyncObserver* obs) {
+  return ApplyTreeWithAdopts(root, files, {}, expected, options, obs);
+}
+
+StatusOr<ApplyReport> ApplyTreeWithAdopts(const std::string& root,
+                                          const Collection& files,
+                                          const std::vector<AdoptOp>& adopts,
+                                          const Manifest& expected,
+                                          const ApplyOptions& options,
+                                          obs::SyncObserver* obs) {
   ApplyTransaction txn(root, options, obs);
   FSYNC_RETURN_IF_ERROR(txn.Begin());
 
@@ -424,10 +483,38 @@ StatusOr<ApplyReport> ApplyTree(const std::string& root,
     return it == expected.end() ? nullptr : &it->second;
   };
 
+  // Snapshot every adoption source before any mutation: in a rename
+  // chain or swap (a->b plus b->a) a source may be overwritten by an
+  // earlier adopt in this very transaction, and every adopt must see
+  // the pre-transaction bytes. A source missing already now is handled
+  // per-file by AdoptFile's conflict path.
+  std::map<std::string, Bytes> sources;
+  for (const AdoptOp& op : adopts) {
+    if (sources.contains(op.from)) {
+      continue;
+    }
+    auto data = ReadFileBytes(fs::path(root) / fs::path(op.from));
+    if (data.ok()) {
+      sources[op.from] = std::move(*data);
+    }
+  }
+  std::set<std::string> adopted_paths;
+  for (const AdoptOp& op : adopts) {
+    adopted_paths.insert(op.path);
+    auto it = sources.find(op.from);
+    Status s = it == sources.end()
+                   ? txn.AdoptFile(op.path, op.from, expected_entry(op.path))
+                   : txn.AdoptFile(op.path, op.from, it->second,
+                                   expected_entry(op.path));
+    if (!s.ok() && s.code() != StatusCode::kAborted) {
+      return s;  // conflicts are per-file and already recorded; continue
+    }
+  }
+
   for (const auto& [name, data] : files) {
     Status s = txn.WriteFile(name, data, expected_entry(name));
     if (!s.ok() && s.code() != StatusCode::kAborted) {
-      return s;  // conflicts are per-file and already recorded; continue
+      return s;
     }
   }
 
@@ -445,7 +532,7 @@ StatusOr<ApplyReport> ApplyTree(const std::string& root,
       std::string rel =
           fs::relative(it->path(), fs::path(root), ec).generic_string();
       if (ec || rel.empty() || IsInternalArtifact(rel) ||
-          files.contains(rel)) {
+          files.contains(rel) || adopted_paths.contains(rel)) {
         continue;
       }
       extra.push_back(std::move(rel));
@@ -522,8 +609,8 @@ StatusOr<RecoverReport> RecoverTree(const std::string& root,
     if (contents.ok()) {
       for (const JournalRecord& r : contents->records) {
         if (r.type != JournalRecordType::kFileIntent ||
-            r.op != FileOp::kWrite) {
-          continue;
+            r.op == FileOp::kDelete) {
+          continue;  // writes and adopts stage temps; deletes do not
         }
         fs::path tmp = base / fs::path(r.path);
         tmp += kTempSuffix;

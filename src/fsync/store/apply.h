@@ -48,6 +48,7 @@ struct FileApplyOutcome {
     kCommitted,        // staged, journaled, renamed into place
     kUnchanged,        // disk already held the new content
     kDeleted,          // removed (mirror semantics)
+    kAdopted,          // committed from another local path (rename/move)
     kConflictSkipped,  // changed under us; left untouched
   };
   std::string path;
@@ -59,6 +60,7 @@ struct ApplyReport {
   uint64_t files_committed = 0;
   uint64_t files_unchanged = 0;
   uint64_t files_deleted = 0;
+  uint64_t files_adopted = 0;  // subset of committed staged from a local path
   /// Paths skipped because the on-disk state no longer matched the
   /// caller's expectation (each surfaced as Status::Aborted).
   std::vector<std::string> conflicts;
@@ -88,6 +90,22 @@ class ApplyTransaction {
   Status WriteFile(const std::string& path, ByteSpan content,
                    const ManifestEntry* expected_old);
 
+  /// Stages the tree's own current `from_path` content at `path` (a
+  /// rename/move/copy detected by manifest reconciliation: no network
+  /// bytes, but the same journaled temp-stage-rename commit as
+  /// WriteFile). The conflict rule on `path` is WriteFile's; a missing
+  /// or unreadable source is itself a conflict (Status::Aborted).
+  Status AdoptFile(const std::string& path, const std::string& from_path,
+                   const ManifestEntry* expected_old);
+
+  /// Same, with the adopted content supplied by the caller (a snapshot
+  /// of `from_path`'s pre-transaction bytes). Use this form when the
+  /// transaction contains rename chains or swaps (a->b plus b->a),
+  /// where an earlier adopt in the same transaction may already have
+  /// overwritten the source on disk.
+  Status AdoptFile(const std::string& path, const std::string& from_path,
+                   ByteSpan content, const ManifestEntry* expected_old);
+
   /// Deletes `path` (mirror semantics) under the same conflict rule:
   /// a file that no longer matches `expected_old` is skipped.
   Status DeleteFile(const std::string& path,
@@ -101,6 +119,9 @@ class ApplyTransaction {
 
  private:
   Status CheckBegun() const;
+  Status StageFile(const std::string& path, ByteSpan content,
+                   const ManifestEntry* expected_old, FileOp op,
+                   const std::string& from_path);
 
   std::filesystem::path root_;
   ApplyOptions options_;
@@ -121,6 +142,20 @@ StatusOr<ApplyReport> ApplyTree(const std::string& root,
                                 const Manifest& expected,
                                 const ApplyOptions& options = {},
                                 obs::SyncObserver* obs = nullptr);
+
+/// Like ApplyTree, but first materializes `adopts` (rename/move ops
+/// from manifest reconciliation) from the tree's pre-transaction
+/// content: every source is snapshotted before any mutation, so rename
+/// chains and swaps resolve to the old bytes. The desired final tree is
+/// `files` plus the adopted paths; with delete_extra, adoption sources
+/// not otherwise retained are removed (completing the rename). Adopt
+/// targets must not also appear in `files`.
+StatusOr<ApplyReport> ApplyTreeWithAdopts(const std::string& root,
+                                          const Collection& files,
+                                          const std::vector<AdoptOp>& adopts,
+                                          const Manifest& expected,
+                                          const ApplyOptions& options = {},
+                                          obs::SyncObserver* obs = nullptr);
 
 struct RecoverReport {
   bool had_journal = false;    // a tree journal was present

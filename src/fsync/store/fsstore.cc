@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "fsync/hash/md5.h"
 #include "fsync/store/journal.h"
 #include "fsync/util/hex.h"
 
@@ -66,6 +67,25 @@ Manifest BuildManifest(const Collection& files) {
     m[name] = ManifestEntry{data.size(), FileFingerprint(data)};
   }
   return m;
+}
+
+Fingerprint ManifestDigest(const Manifest& manifest) {
+  Md5 h;
+  uint8_t len[8];
+  for (const auto& [name, e] : manifest) {
+    for (int i = 0; i < 8; ++i) {
+      len[i] = static_cast<uint8_t>(uint64_t{name.size()} >> (8 * i));
+    }
+    h.Update(ByteSpan(len, sizeof(len)));
+    h.Update(ByteSpan(reinterpret_cast<const uint8_t*>(name.data()),
+                      name.size()));
+    for (int i = 0; i < 8; ++i) {
+      len[i] = static_cast<uint8_t>(e.size >> (8 * i));
+    }
+    h.Update(ByteSpan(len, sizeof(len)));
+    h.Update(ByteSpan(e.fingerprint.data(), e.fingerprint.size()));
+  }
+  return h.Finish();
 }
 
 Bytes SerializeManifest(const Manifest& manifest) {

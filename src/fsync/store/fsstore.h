@@ -30,6 +30,12 @@ using Manifest = std::map<std::string, ManifestEntry>;
 /// Computes the manifest of an in-memory collection.
 Manifest BuildManifest(const Collection& files);
 
+/// Deterministic digest of a whole manifest: MD5 over the sorted
+/// (length-prefixed path, size, fingerprint) entries. Equal digests
+/// mean byte-identical trees — the one-message fast path before any
+/// reconciliation round.
+Fingerprint ManifestDigest(const Manifest& manifest);
+
 /// Serializes / parses the manifest (stable text format, one line per
 /// file: "<hex fingerprint> <size> <path>\n", sorted by path).
 Bytes SerializeManifest(const Manifest& manifest);

@@ -127,6 +127,9 @@ Bytes EncodeJournalRecord(const JournalRecord& r) {
       PutString(out, r.path);
       PutU64(out, r.size);
       out.insert(out.end(), r.fingerprint.begin(), r.fingerprint.end());
+      if (r.op == FileOp::kAdopt) {
+        PutString(out, r.from_path);
+      }
       break;
     case JournalRecordType::kBlockMove:
       PutU64(out, r.target_offset);
@@ -158,12 +161,15 @@ StatusOr<JournalRecord> DecodeJournalRecord(ByteSpan payload) {
     }
     case JournalRecordType::kFileIntent: {
       uint8_t op = 0;
-      if (!cur.TakeU8(&op) || op > 1 || !cur.TakeString(&r.path) ||
+      if (!cur.TakeU8(&op) || op > 2 || !cur.TakeString(&r.path) ||
           !cur.TakeU64(&r.size) ||
           !cur.TakeFixed(r.fingerprint.data(), r.fingerprint.size())) {
         return Status::DataLoss("journal record: bad FILE-INTENT");
       }
       r.op = static_cast<FileOp>(op);
+      if (r.op == FileOp::kAdopt && !cur.TakeString(&r.from_path)) {
+        return Status::DataLoss("journal record: bad FILE-INTENT");
+      }
       break;
     }
     case JournalRecordType::kBlockMove:

@@ -48,7 +48,12 @@ enum class JournalRecordType : uint8_t {
 };
 
 enum class ApplyMode : uint8_t { kTree = 0, kInPlace = 1 };
-enum class FileOp : uint8_t { kWrite = 0, kDelete = 1 };
+enum class FileOp : uint8_t {
+  kWrite = 0,
+  kDelete = 1,
+  kAdopt = 2,  // content copied from another path in the same tree
+               // (rename/move detection; zero network bytes)
+};
 
 /// One journal record (a tagged union flattened into a struct; only
 /// the fields of the active `type` are meaningful).
@@ -60,8 +65,9 @@ struct JournalRecord {
   // kFileIntent
   FileOp op = FileOp::kWrite;
   std::string path;          // tree-relative path ('/'-separated)
-  uint64_t size = 0;         // staged content size (kWrite)
-  Fingerprint fingerprint{};  // staged content fingerprint (kWrite)
+  uint64_t size = 0;         // staged content size (kWrite/kAdopt)
+  Fingerprint fingerprint{};  // staged content fingerprint (kWrite/kAdopt)
+  std::string from_path;  // adoption source, tree-relative (kAdopt only)
   // kBlockMove (undo image)
   uint64_t target_offset = 0;
   Bytes undo;  // bytes the move is about to overwrite

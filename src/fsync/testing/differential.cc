@@ -97,6 +97,104 @@ void CheckOne(const ProtocolEntry& protocol, const CorpusPair& pair,
   }
 }
 
+void CheckOneTree(const TreeProtocolEntry& protocol,
+                  const TreeCorpusPair& pair,
+                  const DifferentialOptions& options,
+                  std::vector<DifferentialFailure>& failures) {
+  auto fail = [&](std::string what) {
+    failures.push_back({protocol.name, pair.Label(), std::move(what)});
+  };
+
+  SimulatedChannel channel;
+  obs::SyncObserver observer;
+  auto r = protocol.run(pair.old_tree, pair.new_tree, channel, &observer);
+  if (!r.ok()) {
+    fail("status: " + r.status().ToString());
+    return;
+  }
+
+  // 1. Exact tree reconstruction: same paths, same bytes.
+  if (r->reconstructed != pair.new_tree) {
+    std::ostringstream os;
+    os << "tree mismatch: got " << r->reconstructed.size()
+       << " files, want " << pair.new_tree.size();
+    for (const auto& [name, data] : pair.new_tree) {
+      auto it = r->reconstructed.find(name);
+      if (it == r->reconstructed.end()) {
+        os << "; missing " << name;
+        break;
+      }
+      if (it->second != data) {
+        os << "; wrong bytes at " << name;
+        break;
+      }
+    }
+    for (const auto& [name, data] : r->reconstructed) {
+      if (!pair.new_tree.contains(name)) {
+        os << "; spurious " << name;
+        break;
+      }
+    }
+    fail(os.str());
+  }
+
+  // 2. Truthful accounting against the channel's ground truth.
+  const TrafficStats& truth = channel.stats();
+  if (r->stats.client_to_server_bytes != truth.client_to_server_bytes ||
+      r->stats.server_to_client_bytes != truth.server_to_client_bytes ||
+      r->stats.roundtrips != truth.roundtrips) {
+    fail("reported stats disagree with channel accounting");
+  }
+
+  // 3. A drained channel: leftover messages mean the two sides
+  //    disagreed about the protocol's shape.
+  if (channel.HasPending(SimulatedChannel::Direction::kClientToServer) ||
+      channel.HasPending(SimulatedChannel::Direction::kServerToClient)) {
+    fail("undelivered messages left in the channel");
+  }
+
+  // 4. Roundtrip sanity.
+  if (truth.client_to_server_bytes > 0 && truth.server_to_client_bytes > 0 &&
+      truth.roundtrips == 0) {
+    fail("two-way traffic with zero recorded roundtrips");
+  }
+
+  // 5. Bit-budget: no tree protocol may cost more than a constant
+  //    factor of compressing the whole new tree, plus fixed slack and a
+  //    small per-file allowance for the manifest/fingerprint exchange.
+  Bytes concat;
+  for (const auto& [name, data] : pair.new_tree) {
+    concat.insert(concat.end(), data.begin(), data.end());
+  }
+  uint64_t full = Compress(concat).size();
+  double bound =
+      options.traffic_factor * static_cast<double>(full) +
+      static_cast<double>(options.traffic_slack_bytes) +
+      64.0 * static_cast<double>(pair.old_tree.size() +
+                                 pair.new_tree.size());
+  if (static_cast<double>(truth.total_bytes()) > bound) {
+    std::ostringstream os;
+    os << "traffic " << truth.total_bytes() << " exceeds bound "
+       << static_cast<uint64_t>(bound)
+       << " (compressed full tree is " << full << ")";
+    fail(os.str());
+  }
+
+  // 6. Complete phase attribution (the obs invariant): every wire byte
+  //    lands in exactly one (phase, direction) bucket.
+  if (observer.dir_bytes(obs::Flow::kUp) != truth.client_to_server_bytes ||
+      observer.dir_bytes(obs::Flow::kDown) !=
+          truth.server_to_client_bytes) {
+    std::ostringstream os;
+    os << "phase attribution disagrees with channel totals: up "
+       << observer.dir_bytes(obs::Flow::kUp) << " vs "
+       << truth.client_to_server_bytes << ", down "
+       << observer.dir_bytes(obs::Flow::kDown) << " vs "
+       << truth.server_to_client_bytes;
+    fail(os.str());
+  }
+}
+
 }  // namespace
 
 std::string DifferentialReport::Summary() const {
@@ -128,6 +226,28 @@ DifferentialReport RunDifferential(
 DifferentialReport RunDifferential(const std::vector<CorpusPair>& corpus,
                                    const DifferentialOptions& options) {
   return RunDifferential(corpus, ConformanceProtocols(), options);
+}
+
+DifferentialReport RunTreeDifferential(
+    const std::vector<TreeCorpusPair>& corpus,
+    const std::vector<TreeProtocolEntry>& protocols,
+    const DifferentialOptions& options) {
+  DifferentialReport report;
+  report.protocols = protocols.size();
+  report.pairs = corpus.size();
+  for (const TreeProtocolEntry& protocol : protocols) {
+    for (const TreeCorpusPair& pair : corpus) {
+      ++report.runs;
+      CheckOneTree(protocol, pair, options, report.failures);
+    }
+  }
+  return report;
+}
+
+DifferentialReport RunTreeDifferential(
+    const std::vector<TreeCorpusPair>& corpus,
+    const DifferentialOptions& options) {
+  return RunTreeDifferential(corpus, TreeConformanceProtocols(), options);
 }
 
 }  // namespace fsx

@@ -15,6 +15,8 @@
 
 #include "fsync/testing/corpus.h"
 #include "fsync/testing/protocols.h"
+#include "fsync/testing/tree_corpus.h"
+#include "fsync/testing/tree_protocols.h"
 
 namespace fsx {
 
@@ -54,6 +56,22 @@ DifferentialReport RunDifferential(const std::vector<CorpusPair>& corpus,
 /// Convenience overload using ConformanceProtocols().
 DifferentialReport RunDifferential(const std::vector<CorpusPair>& corpus,
                                    const DifferentialOptions& options = {});
+
+/// Tree-level differential sweep: every tree protocol over every tree
+/// pair, checking the same invariants at collection granularity (exact
+/// tree reconstruction, truthful accounting, drained channel, complete
+/// phase attribution). The traffic bound compares against compressing
+/// the whole new tree, plus `traffic_slack_bytes` and a per-file
+/// allowance for the manifest/fingerprint exchange.
+DifferentialReport RunTreeDifferential(
+    const std::vector<TreeCorpusPair>& corpus,
+    const std::vector<TreeProtocolEntry>& protocols,
+    const DifferentialOptions& options = {});
+
+/// Convenience overload using TreeConformanceProtocols().
+DifferentialReport RunTreeDifferential(
+    const std::vector<TreeCorpusPair>& corpus,
+    const DifferentialOptions& options = {});
 
 }  // namespace fsx
 

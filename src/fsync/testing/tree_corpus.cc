@@ -1,0 +1,291 @@
+#include "fsync/testing/tree_corpus.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fsync/util/random.h"
+#include "fsync/workload/edits.h"
+#include "fsync/workload/text_synth.h"
+#include "fsync/workload/tree.h"
+
+namespace fsx {
+
+namespace {
+
+// Trees are kept small (dozens of files, tiny contents) so the full
+// corpus times every protocol in seconds; scale testing lives in the
+// tree_sweep benchmark, not here.
+Collection BaseTree(Rng& rng, int num_files, uint64_t min_bytes,
+                    uint64_t max_bytes) {
+  Collection tree;
+  for (int i = 0; i < num_files; ++i) {
+    std::string name = SynthFileName(rng, ".c", i);
+    while (tree.contains(name)) {
+      name = SynthFileName(rng, ".c", i + num_files);
+    }
+    tree[name] = SynthSourceFile(rng, rng.SkewedSize(min_bytes, max_bytes));
+  }
+  return tree;
+}
+
+Collection RenameEverything(Rng& rng, const Collection& tree) {
+  Collection renamed;
+  int i = 0;
+  for (const auto& [name, data] : tree) {
+    std::string moved = "relocated/" + std::to_string(rng.Uniform(8)) +
+                        "/" + std::to_string(i++) + "_" +
+                        name.substr(name.rfind('/') + 1);
+    renamed[moved] = data;
+  }
+  return renamed;
+}
+
+TreeCorpusPair ChurnedPair(TreeShape shape, uint64_t seed,
+                           TreeChurnProfile profile) {
+  TreeCorpusPair p;
+  p.shape = shape;
+  p.seed = seed;
+  profile.seed = seed;
+  TreePair pair = MakeTreeWorkload(profile);
+  p.old_tree = std::move(pair.old_tree);
+  p.new_tree = std::move(pair.new_tree);
+  return p;
+}
+
+}  // namespace
+
+const std::vector<TreeShape>& AllTreeShapes() {
+  static const std::vector<TreeShape> kShapes = {
+      TreeShape::kIdenticalTrees,
+      TreeShape::kEmptyToFull,
+      TreeShape::kFullToEmpty,
+      TreeShape::kPureRename,
+      TreeShape::kRenameSwap,
+      TreeShape::kDirMove,
+      TreeShape::kDeepNesting,
+      TreeShape::kCaseOnlyRename,
+      TreeShape::kIdenticalContentFanout,
+      TreeShape::kSmallFileSwarm,
+      TreeShape::kMixedChurn,
+      TreeShape::kDeleteHeavy,
+      TreeShape::kCreateHeavy,
+      TreeShape::kEditHeavy,
+  };
+  return kShapes;
+}
+
+const char* TreeShapeName(TreeShape shape) {
+  switch (shape) {
+    case TreeShape::kIdenticalTrees:
+      return "identical-trees";
+    case TreeShape::kEmptyToFull:
+      return "empty-to-full";
+    case TreeShape::kFullToEmpty:
+      return "full-to-empty";
+    case TreeShape::kPureRename:
+      return "pure-rename";
+    case TreeShape::kRenameSwap:
+      return "rename-swap";
+    case TreeShape::kDirMove:
+      return "dir-move";
+    case TreeShape::kDeepNesting:
+      return "deep-nesting";
+    case TreeShape::kCaseOnlyRename:
+      return "case-only-rename";
+    case TreeShape::kIdenticalContentFanout:
+      return "identical-content-fanout";
+    case TreeShape::kSmallFileSwarm:
+      return "small-file-swarm";
+    case TreeShape::kMixedChurn:
+      return "mixed-churn";
+    case TreeShape::kDeleteHeavy:
+      return "delete-heavy";
+    case TreeShape::kCreateHeavy:
+      return "create-heavy";
+    case TreeShape::kEditHeavy:
+      return "edit-heavy";
+  }
+  return "unknown";
+}
+
+std::string TreeCorpusPair::Label() const {
+  return std::string(TreeShapeName(shape)) + "/" + std::to_string(seed);
+}
+
+TreeCorpusPair MakeTreeCorpusPair(TreeShape shape, uint64_t seed) {
+  TreeCorpusPair p;
+  p.shape = shape;
+  p.seed = seed;
+  Rng rng(seed ^ 0x7C0A9B5);
+
+  switch (shape) {
+    case TreeShape::kIdenticalTrees: {
+      p.old_tree = BaseTree(rng, 30, 64, 2048);
+      p.new_tree = p.old_tree;
+      return p;
+    }
+    case TreeShape::kEmptyToFull: {
+      p.new_tree = BaseTree(rng, 40, 64, 2048);
+      return p;
+    }
+    case TreeShape::kFullToEmpty: {
+      p.old_tree = BaseTree(rng, 40, 64, 2048);
+      return p;
+    }
+    case TreeShape::kPureRename: {
+      p.old_tree = BaseTree(rng, 40, 64, 2048);
+      p.new_tree = RenameEverything(rng, p.old_tree);
+      return p;
+    }
+    case TreeShape::kRenameSwap: {
+      // Pairs of files exchange contents: every adoption source is also
+      // an adoption target, so naive in-order copying would corrupt.
+      p.old_tree = BaseTree(rng, 24, 64, 1024);
+      p.new_tree = p.old_tree;
+      std::vector<std::string> names;
+      for (const auto& [name, data] : p.old_tree) {
+        names.push_back(name);
+      }
+      for (size_t i = 0; i + 1 < names.size(); i += 2) {
+        p.new_tree[names[i]] = p.old_tree.at(names[i + 1]);
+        p.new_tree[names[i + 1]] = p.old_tree.at(names[i]);
+      }
+      return p;
+    }
+    case TreeShape::kDirMove: {
+      p.old_tree.clear();
+      for (int i = 0; i < 30; ++i) {
+        std::string dir = i < 12 ? "lib/core/" : "lib/extra/";
+        p.old_tree[dir + "f" + std::to_string(i) + ".c"] =
+            SynthSourceFile(rng, rng.SkewedSize(64, 1024));
+      }
+      for (const auto& [name, data] : p.old_tree) {
+        std::string moved = name;
+        if (moved.starts_with("lib/core/")) {
+          moved = "lib/kernel/" + moved.substr(9);
+        }
+        p.new_tree[moved] = data;
+      }
+      return p;
+    }
+    case TreeShape::kDeepNesting: {
+      for (int i = 0; i < 20; ++i) {
+        std::string path;
+        int depth = 8 + static_cast<int>(rng.Uniform(8));
+        for (int d = 0; d < depth; ++d) {
+          path += "d" + std::to_string(rng.Uniform(3)) + "/";
+        }
+        path += "leaf" + std::to_string(i) + ".c";
+        Bytes data = SynthSourceFile(rng, rng.SkewedSize(64, 512));
+        p.old_tree[path] = data;
+        if (rng.NextDouble() < 0.5) {
+          p.new_tree[path] = std::move(data);  // unchanged
+        } else {
+          p.new_tree["migrated/" + path] = std::move(data);  // moved deeper
+        }
+      }
+      return p;
+    }
+    case TreeShape::kCaseOnlyRename: {
+      // Case flips are real renames to a byte-comparing protocol; a
+      // protocol normalizing case would collapse these paths and fail.
+      for (int i = 0; i < 16; ++i) {
+        std::string base = "docs/readme_" + std::to_string(i) + ".txt";
+        Bytes data = SynthSourceFile(rng, rng.SkewedSize(64, 512));
+        p.old_tree[base] = data;
+        std::string upper = base;
+        upper[5] = 'R';  // docs/Readme_i.txt
+        p.new_tree[i % 2 == 0 ? upper : base] = std::move(data);
+      }
+      return p;
+    }
+    case TreeShape::kIdenticalContentFanout: {
+      // One blob under many names; the new tree reshuffles the name set.
+      // Adoption must stay deterministic with many equal candidates.
+      Bytes blob = SynthSourceFile(rng, 700);
+      Bytes other = SynthSourceFile(rng, 400);
+      for (int i = 0; i < 12; ++i) {
+        p.old_tree["pool/copy" + std::to_string(i) + ".c"] = blob;
+      }
+      p.old_tree["pool/odd.c"] = other;
+      for (int i = 0; i < 12; ++i) {
+        p.new_tree["pool/renamed" + std::to_string(i) + ".c"] = blob;
+      }
+      p.new_tree["pool/extra_copy.c"] = blob;
+      p.new_tree["pool/odd.c"] = std::move(other);
+      return p;
+    }
+    case TreeShape::kSmallFileSwarm: {
+      TreeChurnProfile profile;
+      profile.num_files = 300;
+      profile.min_file_bytes = 8;
+      profile.max_file_bytes = 128;
+      profile.frac_unchanged = 0.8;
+      profile.frac_renamed = 0.08;
+      profile.frac_edited = 0.06;
+      profile.frac_deleted = 0.03;
+      profile.files_added = 12;
+      return ChurnedPair(shape, seed, profile);
+    }
+    case TreeShape::kMixedChurn: {
+      TreeChurnProfile profile = ReleaseTreeProfile(120);
+      profile.frac_unchanged = 0.7;
+      profile.frac_renamed = 0.1;
+      profile.frac_edited = 0.1;
+      profile.frac_deleted = 0.05;
+      profile.files_added = 6;
+      profile.dir_renames = 1;
+      return ChurnedPair(shape, seed, profile);
+    }
+    case TreeShape::kDeleteHeavy: {
+      TreeChurnProfile profile;
+      profile.num_files = 60;
+      profile.frac_unchanged = 0.3;
+      profile.frac_renamed = 0.05;
+      profile.frac_edited = 0.05;
+      profile.frac_deleted = 0.6;
+      profile.files_added = 0;
+      profile.dir_renames = 0;
+      return ChurnedPair(shape, seed, profile);
+    }
+    case TreeShape::kCreateHeavy: {
+      TreeChurnProfile profile;
+      profile.num_files = 25;
+      profile.frac_unchanged = 0.9;
+      profile.frac_renamed = 0;
+      profile.frac_edited = 0.1;
+      profile.frac_deleted = 0;
+      profile.files_added = 50;
+      profile.dir_renames = 0;
+      return ChurnedPair(shape, seed, profile);
+    }
+    case TreeShape::kEditHeavy: {
+      TreeChurnProfile profile;
+      profile.num_files = 50;
+      profile.frac_unchanged = 0.05;
+      profile.frac_renamed = 0;
+      profile.frac_edited = 0.95;
+      profile.frac_deleted = 0;
+      profile.files_added = 0;
+      profile.dir_renames = 0;
+      return ChurnedPair(shape, seed, profile);
+    }
+  }
+  return p;
+}
+
+std::vector<TreeCorpusPair> MakeTreeConformanceCorpus(int pairs_per_shape,
+                                                      uint64_t base_seed) {
+  std::vector<TreeCorpusPair> corpus;
+  for (TreeShape shape : AllTreeShapes()) {
+    for (int i = 0; i < pairs_per_shape; ++i) {
+      uint64_t seed =
+          base_seed * 1315423911u + static_cast<uint64_t>(shape) * 2654435761u +
+          static_cast<uint64_t>(i);
+      corpus.push_back(MakeTreeCorpusPair(shape, seed));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace fsx

@@ -1,0 +1,56 @@
+#include "fsync/testing/tree_protocols.h"
+
+namespace fsx {
+
+namespace {
+
+TreeProtocolEntry BatchedEntry(int num_threads) {
+  SyncConfig config;
+  config.num_threads = num_threads;
+  return {"collection-batched",
+          [config](const Collection& client, const Collection& server,
+                   SimulatedChannel& channel, obs::SyncObserver* obs)
+              -> StatusOr<TreeProtocolOutcome> {
+            FSYNC_ASSIGN_OR_RETURN(
+                CollectionSyncResult r,
+                SyncCollectionBatched(client, server, config, channel, obs));
+            TreeProtocolOutcome out;
+            out.reconstructed = std::move(r.reconstructed);
+            out.stats = r.stats;
+            return out;
+          }};
+}
+
+TreeProtocolEntry TreeEntryFn(int num_threads) {
+  TreeSyncParams params;
+  params.config.num_threads = num_threads;
+  return {"collection-tree",
+          [params](const Collection& client, const Collection& server,
+                   SimulatedChannel& channel, obs::SyncObserver* obs)
+              -> StatusOr<TreeProtocolOutcome> {
+            FSYNC_ASSIGN_OR_RETURN(
+                TreeSyncResult r,
+                SyncCollectionTree(client, server, params, channel, obs));
+            TreeProtocolOutcome out;
+            out.reconstructed = std::move(r.reconstructed);
+            out.stats = r.stats;
+            out.files_adopted = r.files_adopted;
+            out.rounds = r.manifest_rounds;
+            return out;
+          }};
+}
+
+}  // namespace
+
+const std::vector<TreeProtocolEntry>& TreeConformanceProtocols() {
+  static const std::vector<TreeProtocolEntry> kProtocols = {
+      BatchedEntry(1), TreeEntryFn(1)};
+  return kProtocols;
+}
+
+std::vector<TreeProtocolEntry> ThreadedTreeConformanceProtocols(
+    int num_threads) {
+  return {BatchedEntry(num_threads), TreeEntryFn(num_threads)};
+}
+
+}  // namespace fsx

@@ -1,0 +1,167 @@
+#include "fsync/workload/tree.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fsync/workload/edits.h"
+#include "fsync/workload/text_synth.h"
+
+namespace fsx {
+
+namespace {
+
+Bytes SynthContent(Rng& rng, TreeChurnProfile::Texture texture,
+                   size_t target_bytes) {
+  return texture == TreeChurnProfile::Texture::kWeb
+             ? SynthWebPage(rng, target_bytes)
+             : SynthSourceFile(rng, target_bytes);
+}
+
+const char* Extension(TreeChurnProfile::Texture texture) {
+  return texture == TreeChurnProfile::Texture::kWeb ? ".html" : ".c";
+}
+
+/// A destination path that does not collide with anything in `tree`.
+std::string FreshName(Rng& rng, const TreeChurnProfile& profile,
+                      const Collection& tree, int index) {
+  std::string name = SynthFileName(rng, Extension(profile.texture), index);
+  int bump = 0;
+  while (tree.contains(name)) {
+    name = SynthFileName(rng, Extension(profile.texture),
+                         index + profile.num_files + ++bump);
+  }
+  return name;
+}
+
+}  // namespace
+
+TreeChurnProfile ReleaseTreeProfile(int num_files) {
+  TreeChurnProfile p;
+  p.seed = 0x7BEE5;
+  p.num_files = num_files;
+  p.texture = TreeChurnProfile::Texture::kRelease;
+  p.frac_unchanged = 0.995;
+  p.frac_renamed = 0.002;
+  p.frac_edited = 0.002;
+  p.frac_deleted = 0.001;
+  p.files_added = num_files / 1000 + 1;
+  p.dir_renames = 1;
+  return p;
+}
+
+TreeChurnProfile WebTreeProfile(int num_files) {
+  TreeChurnProfile p;
+  p.seed = 0x3EB7EE;
+  p.num_files = num_files;
+  p.texture = TreeChurnProfile::Texture::kWeb;
+  p.frac_unchanged = 0.994;
+  p.frac_renamed = 0.003;
+  p.frac_edited = 0.002;
+  p.frac_deleted = 0.001;
+  p.files_added = num_files / 1000 + 1;
+  p.dir_renames = 1;
+  return p;
+}
+
+TreePair MakeTreeWorkload(const TreeChurnProfile& profile) {
+  Rng rng(profile.seed);
+  TreePair pair;
+
+  for (int i = 0; i < profile.num_files; ++i) {
+    std::string name = FreshName(rng, profile, pair.old_tree, i);
+    uint64_t size =
+        rng.SkewedSize(profile.min_file_bytes, profile.max_file_bytes);
+    pair.old_tree[name] = SynthContent(rng, profile.texture, size);
+  }
+
+  // Per-file churn. Rename targets are resolved against the growing new
+  // tree so two renames can never land on the same path.
+  int next_fresh = profile.num_files;
+  for (const auto& [name, content] : pair.old_tree) {
+    double bucket = rng.NextDouble();
+    if (bucket < profile.frac_unchanged) {
+      pair.new_tree[name] = content;
+    } else if (bucket < profile.frac_unchanged + profile.frac_renamed) {
+      std::string moved =
+          FreshName(rng, profile, pair.new_tree, next_fresh++);
+      pair.new_tree[moved] = content;
+    } else if (bucket < profile.frac_unchanged + profile.frac_renamed +
+                            profile.frac_edited) {
+      EditProfile ep;
+      ep.num_edits = static_cast<int>(rng.UniformInt(1, 6));
+      ep.min_edit_size = 2;
+      ep.max_edit_size = 128;
+      ep.locality = 0.85;
+      pair.new_tree[name] = ApplyEdits(content, ep, rng);
+    } else if (bucket < profile.frac_unchanged + profile.frac_renamed +
+                            profile.frac_edited + profile.frac_deleted) {
+      // deleted: absent from the new tree
+    } else {
+      pair.new_tree[name] = content;  // remainder unchanged
+    }
+  }
+
+  for (int i = 0; i < profile.files_added; ++i) {
+    std::string name =
+        FreshName(rng, profile, pair.new_tree, next_fresh++);
+    uint64_t size =
+        rng.SkewedSize(profile.min_file_bytes, profile.max_file_bytes);
+    pair.new_tree[name] = SynthContent(rng, profile.texture, size);
+  }
+
+  // Directory moves: re-root every file under a sampled directory
+  // prefix. Content is untouched, so a tree-aware protocol should adopt
+  // the whole subtree without literal bytes.
+  // A directory move must stay churn, not a rewrite of the tree: cap
+  // the moved subtree at ~0.5% of the files (at least 4).
+  const size_t max_subtree =
+      std::max<size_t>(4, static_cast<size_t>(profile.num_files) / 200);
+  for (int k = 0; k < profile.dir_renames; ++k) {
+    // Candidate = the deepest directory of each path (e.g. "src/parse/"),
+    // so a move affects one subdirectory, not the whole tree root.
+    std::vector<std::pair<std::string, size_t>> dirs;
+    for (const auto& [name, data] : pair.new_tree) {
+      size_t slash = name.rfind('/');
+      if (slash == std::string::npos) {
+        continue;
+      }
+      std::string dir = name.substr(0, slash + 1);
+      if (dirs.empty() || dirs.back().first != dir) {
+        dirs.emplace_back(std::move(dir), 1);
+      } else {
+        ++dirs.back().second;
+      }
+    }
+    std::erase_if(dirs, [&](const auto& d) {
+      return d.second > max_subtree || d.first.starts_with("moved_");
+    });
+    if (dirs.empty()) {
+      break;
+    }
+    const std::string& dir =
+        dirs[static_cast<size_t>(rng.UniformInt(
+                 0, static_cast<int64_t>(dirs.size()) - 1))]
+            .first;
+    std::string target =
+        "moved_" + std::to_string(k) + "/" + dir;
+    std::vector<std::pair<std::string, Bytes>> moved;
+    for (auto it = pair.new_tree.begin(); it != pair.new_tree.end();) {
+      if (it->first.starts_with(dir)) {
+        moved.emplace_back(target + it->first.substr(dir.size()),
+                           std::move(it->second));
+        it = pair.new_tree.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto& [name, data] : moved) {
+      pair.new_tree[name] = std::move(data);
+    }
+  }
+
+  return pair;
+}
+
+}  // namespace fsx

@@ -1,0 +1,60 @@
+// Whole-tree mutation workload: a base tree plus a churned successor
+// with the change texture tree-level sync cares about — renames and
+// directory moves (content identical, only the path changed), light
+// edits, deletions, and additions. Scales to 100k files (sizes default
+// small so a 100k tree stays in memory); deterministic in the seed.
+#ifndef FSYNC_WORKLOAD_TREE_H_
+#define FSYNC_WORKLOAD_TREE_H_
+
+#include <cstdint>
+
+#include "fsync/core/collection.h"
+
+namespace fsx {
+
+/// Shape of a tree-mutation pair. Fractions classify the base files;
+/// they should sum to at most 1 (the remainder is unchanged on top of
+/// frac_unchanged).
+struct TreeChurnProfile {
+  uint64_t seed = 0x7BEE;
+  int num_files = 1000;  // raise to 100000 for the headline benchmark
+  uint64_t min_file_bytes = 64;
+  uint64_t max_file_bytes = 4 * 1024;
+  /// Content texture: C-like source ("release") or HTML-like pages
+  /// ("web"), matching the paper's two data-set families.
+  enum class Texture { kRelease, kWeb };
+  Texture texture = Texture::kRelease;
+  /// Fraction of base files untouched (path and content).
+  double frac_unchanged = 0.96;
+  /// Fraction moved to a fresh path with identical content.
+  double frac_renamed = 0.02;
+  /// Fraction lightly edited in place.
+  double frac_edited = 0.01;
+  /// Fraction removed outright.
+  double frac_deleted = 0.005;
+  /// Files that exist only in the new tree.
+  int files_added = 5;
+  /// Whole-directory moves: every file under a sampled directory is
+  /// re-rooted (bulk rename churn, content identical).
+  int dir_renames = 1;
+};
+
+/// A "software release" preset with moderate rename churn.
+TreeChurnProfile ReleaseTreeProfile(int num_files);
+
+/// A "web mirror" preset: smaller edits, heavier path churn (site
+/// reorganizations move whole sections).
+TreeChurnProfile WebTreeProfile(int num_files);
+
+struct TreePair {
+  Collection old_tree;
+  Collection new_tree;
+};
+
+/// Generates the base tree and its churned successor (deterministic in
+/// `profile.seed`).
+TreePair MakeTreeWorkload(const TreeChurnProfile& profile);
+
+}  // namespace fsx
+
+#endif  // FSYNC_WORKLOAD_TREE_H_

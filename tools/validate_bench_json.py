@@ -33,6 +33,7 @@ PHASES = {
     "delta",
     "fallback",
     "transport",
+    "manifest",
 }
 
 EVENTS = {
@@ -48,6 +49,8 @@ EVENTS = {
     "recoveries",
     "rolled_back_files",
     "conflicts_detected",
+    "renames_adopted",
+    "small_files_batched",
 }
 
 
