@@ -1,0 +1,267 @@
+// Fan-out sweep: amortized server cost per additional client when N
+// clients sync the same release pair (the paper's headline scenario — a
+// collection recrawled nightly and served to its subscriber population),
+// with a cold server (no cache; every client pays full signature/delta
+// recomputation) versus a warm shared signature/delta cache
+// (fsync/cache/): compute once, then serve cached bytes.
+//
+// Expected shape (docs/caching.md cost model): cold server CPU grows
+// linearly in N, cost(N) ≈ N × compute; warm collapses to
+// cost(N) ≈ compute_once + N × bytes_shipped, so total server CPU is
+// nearly flat in N and the per-additional-client CPU drops by well over
+// an order of magnitude by N = 64. Wire bytes are identical in every
+// row pair — caching is server-local (tests/cache_conformance_test.cc).
+//
+// Covers both server paths: the interactive per-file session protocol
+// (transcript-chain memoization) and the broadcast hash-cast path
+// (signature-set + per-version delta memoization).
+//
+// `--json[=path]` additionally writes BENCH_fanout_sweep.json
+// (fsx-bench-v1).
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "fsync/cache/sync_cache.h"
+#include "fsync/core/broadcast.h"
+
+namespace fsx {
+namespace {
+
+constexpr int kClientSweep[] = {1, 4, 16, 64, 256};
+
+struct FanoutTotals {
+  uint64_t server_cpu_ns = 0;  // live server compute across all sessions
+  uint64_t wire_bytes = 0;     // per-client wire traffic, summed
+  uint64_t wall_ns = 0;
+  uint64_t sessions = 0;
+};
+
+// The stale subset of the release pair: only files whose sessions do real
+// work (unchanged files are fingerprint-skipped and would dilute the
+// per-client numbers with no-ops).
+std::vector<std::pair<const Bytes*, const Bytes*>> StalePairs(
+    const Collection& oldc, const Collection& newc) {
+  static const Bytes kEmpty;
+  std::vector<std::pair<const Bytes*, const Bytes*>> pairs;
+  for (const auto& [name, current] : newc) {
+    auto it = oldc.find(name);
+    const Bytes* old = it != oldc.end() ? &it->second : &kEmpty;
+    if (*old == current) {
+      continue;
+    }
+    pairs.emplace_back(old, &current);
+  }
+  return pairs;
+}
+
+// N clients, each running the full interactive session per stale file.
+// `cache` == nullptr is the cold server; a shared cache is the warm one.
+StatusOr<FanoutTotals> RunSessionFanout(
+    const std::vector<std::pair<const Bytes*, const Bytes*>>& pairs,
+    const std::vector<Fingerprint>& fps, const SyncConfig& config,
+    int clients, cache::SyncCache* cache) {
+  FanoutTotals totals;
+  bench::WallTimer timer;
+  for (int c = 0; c < clients; ++c) {
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      SimulatedChannel channel;
+      SyncSession session(*pairs[i].first, *pairs[i].second, config);
+      session.set_server_cache(cache);
+      session.set_server_fingerprint_hint(fps[i]);
+      FSYNC_ASSIGN_OR_RETURN(FileSyncResult r, session.Run(channel));
+      if (r.reconstructed != *pairs[i].second) {
+        return Status::Internal("fanout sweep: reconstruction mismatch");
+      }
+      totals.server_cpu_ns += r.server_cpu_ns;
+      totals.wire_bytes += r.stats.total_bytes();
+      ++totals.sessions;
+    }
+  }
+  totals.wall_ns = timer.Ns();
+  return totals;
+}
+
+// N clients served over the broadcast path: the server builds (or
+// fetches) each file's hash cast once per client request and answers the
+// client's range request with a (cached) delta. Server CPU is the cast
+// build + delta encode time; the client-side work (ApplyHashCast) is
+// excluded from it, exactly as in a real deployment.
+StatusOr<FanoutTotals> RunCastFanout(
+    const std::vector<std::pair<const Bytes*, const Bytes*>>& pairs,
+    const HashCastConfig& config, int clients, cache::SyncCache* cache) {
+  FanoutTotals totals;
+  bench::WallTimer timer;
+  for (int c = 0; c < clients; ++c) {
+    for (const auto& [old, current] : pairs) {
+      bench::WallTimer server_time;
+      FSYNC_ASSIGN_OR_RETURN(Bytes cast,
+                             BuildHashCastCached(*current, config, cache));
+      totals.server_cpu_ns += server_time.Ns();
+      FSYNC_ASSIGN_OR_RETURN(CastMap map, ApplyHashCast(*old, cast));
+      Bytes request = EncodeCastRequest(map);
+      bench::WallTimer delta_time;
+      FSYNC_ASSIGN_OR_RETURN(
+          Bytes delta, MakeCastDeltaCached(*current, request, config, cache));
+      totals.server_cpu_ns += delta_time.Ns();
+      FSYNC_ASSIGN_OR_RETURN(Bytes got,
+                             ApplyCastDelta(*old, map, delta));
+      if (got != *current) {
+        return Status::Internal("fanout sweep: cast mismatch");
+      }
+      totals.wire_bytes += cast.size() + request.size() + delta.size();
+      ++totals.sessions;
+    }
+  }
+  totals.wall_ns = timer.Ns();
+  return totals;
+}
+
+void PrintRow(const char* proto, const char* mode, int clients,
+              const FanoutTotals& t) {
+  std::printf(
+      "  %-7s %-4s N=%3d  server CPU %9.2f ms  (%8.3f ms/client)  "
+      "wire %9.1f KB  wall %8.2f ms\n",
+      proto, mode, clients, t.server_cpu_ns / 1e6,
+      t.server_cpu_ns / 1e6 / clients, t.wire_bytes / 1024.0,
+      t.wall_ns / 1e6);
+}
+
+void AddRow(bench::JsonReport& report, const std::string& name,
+            const char* mode, int clients, const FanoutTotals& t,
+            cache::SyncCache* cache) {
+  bench::BenchResult& row = report.Add(name);
+  row.Config("mode", mode)
+      .Config("clients", static_cast<uint64_t>(clients))
+      .Config("sessions", t.sessions)
+      .Config("server_cpu_ns", t.server_cpu_ns)
+      .Config("server_cpu_ns_per_client",
+              t.server_cpu_ns / static_cast<uint64_t>(clients))
+      .Rounds(static_cast<uint64_t>(clients))
+      .WallNs(t.wall_ns)
+      .Total(t.wire_bytes);
+  if (cache != nullptr) {
+    cache::CacheStats s = cache->Stats();
+    row.Config("cache_hits", s.hits)
+        .Config("cache_misses", s.misses)
+        .Config("cache_bytes_used", s.bytes_used)
+        .Config("cache_cpu_saved_ns", s.cpu_saved_ns);
+  }
+}
+
+int Run(bench::JsonReport& report) {
+  ReleaseProfile profile = GccLikeProfile();
+  profile.num_files = 12;
+  profile.min_file_bytes = 8 * 1024;
+  profile.max_file_bytes = 48 * 1024;
+  profile.frac_unchanged = 0.25;
+  ReleasePair release = MakeRelease(profile);
+  report.AddWorkload("fanout-gcc-like",
+                     release.new_release.size(),
+                     bench::CollectionBytes(release.new_release));
+
+  std::vector<std::pair<const Bytes*, const Bytes*>> pairs =
+      StalePairs(release.old_release, release.new_release);
+  std::vector<Fingerprint> fps;
+  fps.reserve(pairs.size());
+  for (const auto& [old, current] : pairs) {
+    fps.push_back(FileFingerprint(*current));
+  }
+  std::printf("%zu stale files per client\n\n", pairs.size());
+
+  SyncConfig config;
+  HashCastConfig cast_config;
+
+  uint64_t cold64 = 0;
+  uint64_t warm64 = 0;
+  std::printf("interactive sessions (transcript-chain cache):\n");
+  cache::SyncCache session_cache(/*max_bytes=*/0);
+  for (int n : kClientSweep) {
+    StatusOr<FanoutTotals> cold =
+        RunSessionFanout(pairs, fps, config, n, nullptr);
+    if (!cold.ok()) {
+      std::fprintf(stderr, "cold run failed: %s\n",
+                   cold.status().message().c_str());
+      return 1;
+    }
+    PrintRow("session", "cold", n, cold.value());
+    AddRow(report, "session_cold/N=" + std::to_string(n), "cold", n,
+           cold.value(), nullptr);
+    StatusOr<FanoutTotals> warm =
+        RunSessionFanout(pairs, fps, config, n, &session_cache);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "warm run failed: %s\n",
+                   warm.status().message().c_str());
+      return 1;
+    }
+    PrintRow("session", "warm", n, warm.value());
+    AddRow(report, "session_warm/N=" + std::to_string(n), "warm", n,
+           warm.value(), &session_cache);
+    if (cold.value().wire_bytes != warm.value().wire_bytes) {
+      std::fprintf(stderr, "wire bytes differ cold vs warm at N=%d\n", n);
+      return 1;
+    }
+    if (n == 64) {
+      cold64 = cold.value().server_cpu_ns;
+      warm64 = warm.value().server_cpu_ns;
+    }
+  }
+
+  std::printf("\nbroadcast hash cast (signature + delta cache):\n");
+  cache::SyncCache cast_cache(/*max_bytes=*/0);
+  for (int n : kClientSweep) {
+    StatusOr<FanoutTotals> cold =
+        RunCastFanout(pairs, cast_config, n, nullptr);
+    if (!cold.ok()) {
+      std::fprintf(stderr, "cast cold run failed: %s\n",
+                   cold.status().message().c_str());
+      return 1;
+    }
+    PrintRow("cast", "cold", n, cold.value());
+    AddRow(report, "cast_cold/N=" + std::to_string(n), "cold", n,
+           cold.value(), nullptr);
+    StatusOr<FanoutTotals> warm =
+        RunCastFanout(pairs, cast_config, n, &cast_cache);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "cast warm run failed: %s\n",
+                   warm.status().message().c_str());
+      return 1;
+    }
+    PrintRow("cast", "warm", n, warm.value());
+    AddRow(report, "cast_warm/N=" + std::to_string(n), "warm", n,
+           warm.value(), &cast_cache);
+    if (cold.value().wire_bytes != warm.value().wire_bytes) {
+      std::fprintf(stderr,
+                   "cast wire bytes differ cold vs warm at N=%d\n", n);
+      return 1;
+    }
+  }
+
+  if (warm64 > 0) {
+    std::printf("\nserver CPU at N=64: cold %.2f ms, warm %.2f ms "
+                "(%.1fx reduction)\n",
+                cold64 / 1e6, warm64 / 1e6,
+                static_cast<double>(cold64) / warm64);
+  } else if (cold64 > 0) {
+    std::printf("\nserver CPU at N=64: cold %.2f ms, warm 0 ms "
+                "(every request served from cache)\n",
+                cold64 / 1e6);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fsx
+
+int main(int argc, char** argv) {
+  fsx::bench::JsonReport report(
+      "fanout_sweep",
+      "amortized server cost per additional client, warm vs cold cache");
+  report.ParseArgs(argc, argv);
+  fsx::bench::PrintHeader(
+      "Fan-out sweep",
+      "N clients, one server: amortized signature/delta cost");
+  int rc = fsx::Run(report);
+  return rc != 0 ? rc : report.Write();
+}

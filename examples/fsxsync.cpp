@@ -5,12 +5,20 @@
 //
 //   fsxsync <source-dir> <dest-dir> [--method fsx|rsync|cdc|multiround]
 //           [--dry-run] [--keep-extra] [--trace]
-//           [--metrics-json[=path]]
+//           [--metrics-json[=path]] [--cache-bytes=N]
 //           [--fault-drop=P] [--fault-corrupt=P] [--retries=N]
 //           [--journal] [--recover] [--verify-after-apply]
 //   fsxsync verify <dir>      # check a tree against its manifest
 //   fsxsync recover <dir>     # resolve a crashed apply's journal
 //   fsxsync demo
+//
+// --cache-bytes=N (fsx method only) runs the server side through the
+// content-addressed signature/delta cache (docs/caching.md) with an
+// N-byte LRU budget (N=0: unbounded). One CLI run sees little benefit —
+// the cache pays off when a long-lived server answers many clients — but
+// the flag exercises the exact production code path, never changes the
+// wire bytes, and surfaces the cache counters under "cache" in
+// --metrics-json.
 //
 // --journal applies the result through the crash-safe journaled commit
 // path (store/apply.h): every file lands via fsync-ordered temp+rename
@@ -53,6 +61,7 @@
 
 #include <fstream>
 
+#include "fsync/cache/sync_cache.h"
 #include "fsync/core/adaptive.h"
 #include "fsync/core/config_io.h"
 #include "fsync/core/collection.h"
@@ -104,7 +113,8 @@ class StderrTraceSink : public fsx::obs::TraceSink {
 /// `transport` is non-null when the sync ran over the reliable transport.
 int WriteMetricsJson(const fsx::obs::SyncObserver& observer,
                      const std::string& method, const std::string& path,
-                     const fsx::transport::TransportCounters* transport) {
+                     const fsx::transport::TransportCounters* transport,
+                     const fsx::cache::SyncCache* cache) {
   fsx::obs::JsonWriter w;
   w.BeginObject();
   w.Key("schema");
@@ -143,6 +153,30 @@ int WriteMetricsJson(const fsx::obs::SyncObserver& observer,
     w.Uint(transport->reorder_buffered);
     w.Key("delivered");
     w.Uint(transport->delivered);
+    w.EndObject();
+  }
+  if (cache != nullptr) {
+    fsx::cache::CacheStats s = cache->Stats();
+    w.Key("cache");
+    w.BeginObject();
+    w.Key("hits");
+    w.Uint(s.hits);
+    w.Key("misses");
+    w.Uint(s.misses);
+    w.Key("insertions");
+    w.Uint(s.insertions);
+    w.Key("evictions");
+    w.Uint(s.evictions);
+    w.Key("entries");
+    w.Uint(s.entries);
+    w.Key("bytes_used");
+    w.Uint(s.bytes_used);
+    w.Key("bytes_saved");
+    w.Uint(s.bytes_saved);
+    w.Key("cpu_saved_ns");
+    w.Uint(s.cpu_saved_ns);
+    w.Key("dedup_bytes_saved");
+    w.Uint(s.dedup_bytes_saved);
     w.EndObject();
   }
   w.Key("events");
@@ -206,6 +240,11 @@ struct ApplyCliOptions {
   bool verify_after = false;  // re-verify dest against its manifest
 };
 
+struct CacheCliOptions {
+  bool enabled = false;    // --cache-bytes given
+  uint64_t max_bytes = 0;  // LRU budget; 0 = unbounded
+};
+
 // Exit-code taxonomy (documented in the header comment): conflicts beat
 // "recovered", which beats clean.
 constexpr int kExitClean = 0;
@@ -219,7 +258,8 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
             const std::string& config_path = "",
             const ObserveOptions& observe = {},
             const FaultOptions& faults = {},
-            const ApplyCliOptions& apply = {}) {
+            const ApplyCliOptions& apply = {},
+            const CacheCliOptions& cache_opts = {}) {
   bool recovered_before_sync = false;
   if (apply.recover_first) {
     auto rec = fsx::store::RecoverTree(dst_dir);
@@ -268,10 +308,20 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
                  "--fault-drop/--fault-corrupt/--retries need --method fsx\n");
     return 2;
   }
+  if (cache_opts.enabled && method != "fsx") {
+    std::fprintf(stderr, "--cache-bytes needs --method fsx\n");
+    return kExitUsage;
+  }
 
   fsx::StatusOr<fsx::CollectionSyncResult> result =
       fsx::Status::Internal("unset");
   std::optional<fsx::transport::TransportCounters> transport_counters;
+  std::optional<fsx::cache::SyncCache> server_cache;
+  if (cache_opts.enabled) {
+    server_cache.emplace(cache_opts.max_bytes);
+  }
+  fsx::cache::SyncCache* cache =
+      server_cache.has_value() ? &*server_cache : nullptr;
   if (method == "rsync") {
     result = SyncCollectionRsync(*client_tree, *server_tree,
                                  fsx::RsyncParams{}, obs);
@@ -318,7 +368,7 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
       }
       fsx::transport::ReliableChannel reliable(channel, params);
       result = SyncCollectionBatched(*client_tree, *server_tree, config,
-                                     reliable, obs);
+                                     reliable, obs, cache);
       transport_counters = reliable.counters();
       std::fprintf(stderr,
                    "transport: %llu records, %llu retransmits, "
@@ -331,7 +381,7 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
                        transport_counters->timeouts));
     } else {
       result = SyncCollectionBatched(*client_tree, *server_tree, config,
-                                     channel, obs);
+                                     channel, obs, cache);
     }
   } else {
     std::fprintf(stderr, "unknown method '%s' (fsx|rsync|cdc|multiround)\n",
@@ -357,7 +407,8 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
            WriteMetricsJson(observer, method, observe.metrics_path,
                             transport_counters.has_value()
                                 ? &*transport_counters
-                                : nullptr) == 0;
+                                : nullptr,
+                            cache) == 0;
   };
   if (result->reconstructed != *server_tree) {
     std::fprintf(stderr, "internal error: reconstruction mismatch\n");
@@ -525,10 +576,20 @@ int main(int argc, char** argv) {
         stderr,
         "usage: %s <source-dir> <dest-dir> [--method fsx|rsync|cdc|"
         "multiround] [--dry-run] [--keep-extra] [--trace] "
-        "[--metrics-json[=path]] [--fault-drop=P] [--fault-corrupt=P] "
-        "[--retries=N] [--journal] [--recover] [--verify-after-apply]\n"
+        "[--metrics-json[=path]] [--cache-bytes=N] [--fault-drop=P] "
+        "[--fault-corrupt=P] [--retries=N] [--journal] [--recover] "
+        "[--verify-after-apply]\n"
         "       %s verify <dir>\n       %s recover <dir>\n"
-        "       %s demo\n",
+        "       %s demo\n"
+        "\n"
+        "exit codes:\n"
+        "  0  sync applied cleanly\n"
+        "  1  failure (I/O, protocol, or post-apply verify mismatch)\n"
+        "  2  usage error (bad flag or flag/method combination)\n"
+        "  3  applied cleanly after recovering an interrupted apply\n"
+        "  4  applied, but concurrently modified files were skipped\n"
+        "     (each conflict listed on stderr)\n"
+        "  (FSX_CRASH_AT kill-point runs exit 42 at the armed boundary)\n",
         argv[0], argv[0], argv[0], argv[0]);
     return kExitUsage;
   }
@@ -539,6 +600,7 @@ int main(int argc, char** argv) {
   ObserveOptions observe;
   FaultOptions faults;
   ApplyCliOptions apply;
+  CacheCliOptions cache_opts;
   auto parse_prob = [](const char* text, double* out) {
     char* end = nullptr;
     double v = std::strtod(text, &end);
@@ -564,6 +626,16 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
       observe.metrics_json = true;
       observe.metrics_path = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--cache-bytes=", 14) == 0) {
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(argv[i] + 14, &end, 10);
+      if (end == argv[i] + 14 || *end != '\0') {
+        std::fprintf(stderr,
+                     "--cache-bytes needs a byte count (0 = unbounded)\n");
+        return kExitUsage;
+      }
+      cache_opts.enabled = true;
+      cache_opts.max_bytes = v;
     } else if (std::strncmp(argv[i], "--fault-drop=", 13) == 0) {
       if (!parse_prob(argv[i] + 13, &faults.drop)) {
         std::fprintf(stderr, "--fault-drop needs a probability in [0,1)\n");
@@ -593,5 +665,5 @@ int main(int argc, char** argv) {
     }
   }
   return RunSync(argv[1], argv[2], method, dry_run, keep_extra,
-                 config_path, observe, faults, apply);
+                 config_path, observe, faults, apply, cache_opts);
 }

@@ -1,0 +1,53 @@
+#include "fsync/cache/dedup_store.h"
+
+#include <algorithm>
+
+#include "fsync/hash/md5.h"
+
+namespace fsx::cache {
+
+BlockRef DedupStore::Insert(ByteSpan payload) {
+  BlockRef ref;
+  ref.size = payload.size();
+  ref.blocks.reserve((payload.size() + kBlockSize - 1) / kBlockSize);
+  for (uint64_t off = 0; off < payload.size(); off += kBlockSize) {
+    uint64_t len = std::min<uint64_t>(kBlockSize, payload.size() - off);
+    ByteSpan block = payload.subspan(off, len);
+    BlockId id = Md5::Hash(block);
+    auto [it, inserted] = table_.try_emplace(id);
+    if (inserted) {
+      it->second.data.assign(block.begin(), block.end());
+      stored_bytes_ += len;
+    } else {
+      dedup_bytes_saved_ += len;
+    }
+    ++it->second.refs;
+    ref.blocks.push_back(id);
+  }
+  return ref;
+}
+
+Bytes DedupStore::Materialize(const BlockRef& ref) const {
+  Bytes out;
+  out.reserve(ref.size);
+  for (const BlockId& id : ref.blocks) {
+    const Slot& slot = table_.at(id);
+    Append(out, slot.data);
+  }
+  return out;
+}
+
+void DedupStore::Release(const BlockRef& ref) {
+  for (const BlockId& id : ref.blocks) {
+    auto it = table_.find(id);
+    if (it == table_.end()) {
+      continue;  // double release; tolerate rather than corrupt
+    }
+    if (--it->second.refs == 0) {
+      stored_bytes_ -= it->second.data.size();
+      table_.erase(it);
+    }
+  }
+}
+
+}  // namespace fsx::cache

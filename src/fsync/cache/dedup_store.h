@@ -1,0 +1,84 @@
+// Content-addressed block storage with reference counting: the backing
+// store of the signature/delta cache (fsync/cache/sync_cache.h). Payloads
+// are split into fixed-size blocks, each keyed by its strong (MD5) hash;
+// a block whose bytes are already present is never stored twice, whatever
+// cache entry — or file — it came from. This is the object-store idiom of
+// bfsync's dedup table: identical content across files and versions is
+// one entry, so e.g. the hash casts of two releases sharing most of their
+// bytes, or the same delta cached under two session keys, share storage.
+//
+// The store is not thread-safe on its own; SyncCache serializes access
+// under its lock. It never touches the wire: everything in fsync/cache is
+// server-local memoization (see docs/caching.md).
+#ifndef FSYNC_CACHE_DEDUP_STORE_H_
+#define FSYNC_CACHE_DEDUP_STORE_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx::cache {
+
+/// Strong content address of one stored block (MD5 of its bytes).
+using BlockId = std::array<uint8_t, 16>;
+
+/// A payload held by the store, as a list of block references. The
+/// handle owns one reference on each block; Release gives them back.
+struct BlockRef {
+  std::vector<BlockId> blocks;
+  uint64_t size = 0;  // total payload bytes
+};
+
+/// Refcounted, content-addressed block table.
+class DedupStore {
+ public:
+  /// Block granularity of deduplication. Identical runs shorter than this
+  /// only dedup when aligned; 4 KiB matches the repair/region granularity
+  /// used elsewhere and keeps per-block overhead below 1%.
+  static constexpr uint64_t kBlockSize = 4096;
+
+  /// Stores `payload`, splitting it into kBlockSize blocks and taking one
+  /// reference on each. Blocks already present are not stored again.
+  BlockRef Insert(ByteSpan payload);
+
+  /// Reassembles the payload behind `ref` (blocks concatenated in order).
+  Bytes Materialize(const BlockRef& ref) const;
+
+  /// Drops one reference on each of `ref`'s blocks; blocks reaching zero
+  /// references are freed.
+  void Release(const BlockRef& ref);
+
+  /// Bytes of unique block storage currently held.
+  uint64_t stored_bytes() const { return stored_bytes_; }
+  /// Distinct blocks currently held.
+  uint64_t stored_blocks() const { return table_.size(); }
+  /// Cumulative bytes that Insert did NOT have to store because an
+  /// identical block already existed (cross-entry / cross-file dedup).
+  uint64_t dedup_bytes_saved() const { return dedup_bytes_saved_; }
+
+ private:
+  struct Slot {
+    Bytes data;
+    uint64_t refs = 0;
+  };
+  struct IdHash {
+    size_t operator()(const BlockId& id) const {
+      // The id is itself a strong hash; fold its first bytes.
+      uint64_t v;
+      static_assert(sizeof(v) <= sizeof(BlockId));
+      __builtin_memcpy(&v, id.data(), sizeof(v));
+      return static_cast<size_t>(v);
+    }
+  };
+
+  std::unordered_map<BlockId, Slot, IdHash> table_;
+  uint64_t stored_bytes_ = 0;
+  uint64_t dedup_bytes_saved_ = 0;
+};
+
+}  // namespace fsx::cache
+
+#endif  // FSYNC_CACHE_DEDUP_STORE_H_

@@ -1,0 +1,148 @@
+#include "fsync/cache/sync_cache.h"
+
+#include <cstring>
+
+namespace fsx::cache {
+
+namespace {
+
+// FNV-1a over the key's bytes, mixed from explicit fields so padding
+// never participates.
+uint64_t FoldKey(const CacheKey& k) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  uint8_t domain = static_cast<uint8_t>(k.domain);
+  mix(&domain, 1);
+  mix(k.content.data(), k.content.size());
+  mix(&k.aux0, sizeof(k.aux0));
+  mix(&k.aux1, sizeof(k.aux1));
+  mix(&k.aux2, sizeof(k.aux2));
+  return h;
+}
+
+}  // namespace
+
+size_t CacheKeyHash::operator()(const CacheKey& k) const {
+  return static_cast<size_t>(FoldKey(k));
+}
+
+CacheKey SignatureKey(const std::array<uint8_t, 16>& content_fp,
+                      uint64_t block_size, uint64_t config_digest) {
+  CacheKey k;
+  k.domain = CacheDomain::kSignature;
+  k.content = content_fp;
+  k.aux0 = block_size;
+  k.aux1 = config_digest;
+  return k;
+}
+
+CacheKey DeltaKey(const std::array<uint8_t, 16>& old_digest,
+                  const std::array<uint8_t, 16>& new_fp,
+                  uint64_t codec_and_config) {
+  CacheKey k;
+  k.domain = CacheDomain::kDelta;
+  k.content = new_fp;
+  std::memcpy(&k.aux0, old_digest.data(), sizeof(k.aux0));
+  std::memcpy(&k.aux1, old_digest.data() + sizeof(k.aux0), sizeof(k.aux1));
+  k.aux2 = codec_and_config;
+  return k;
+}
+
+CacheKey TranscriptKey(const std::array<uint8_t, 16>& new_fp,
+                       uint64_t config_digest, uint64_t chain_lo,
+                       uint64_t chain_hi) {
+  CacheKey k;
+  k.domain = CacheDomain::kTranscript;
+  k.content = new_fp;
+  k.aux0 = chain_lo;
+  k.aux1 = chain_hi;
+  k.aux2 = config_digest;
+  return k;
+}
+
+CacheKey ContentKey(const std::array<uint8_t, 16>& content_fp,
+                    uint64_t tag) {
+  CacheKey k;
+  k.domain = CacheDomain::kContent;
+  k.content = content_fp;
+  k.aux0 = tag;
+  return k;
+}
+
+std::optional<SyncCache::Hit> SyncCache::Get(const CacheKey& key,
+                                             obs::SyncObserver* obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    if (obs != nullptr) obs->AddEvent(obs::Event::kCacheMiss);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  const Entry& e = *it->second;
+  Hit hit;
+  hit.payload = store_.Materialize(e.ref);
+  hit.meta = e.meta;
+  hit.compute_ns = e.compute_ns;
+  ++hits_;
+  bytes_saved_ += hit.payload.size();
+  cpu_saved_ns_ += e.compute_ns;
+  if (obs != nullptr) {
+    obs->AddEvent(obs::Event::kCacheHit);
+    obs->AddEvent(obs::Event::kCacheBytesSaved, hit.payload.size());
+    obs->AddEvent(obs::Event::kCacheCpuSavedNs, e.compute_ns);
+  }
+  return hit;
+}
+
+void SyncCache::Put(const CacheKey& key, ByteSpan payload, const Meta& meta,
+                    uint64_t compute_ns, obs::SyncObserver* obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Another session raced us past the same miss; the deterministic key
+    // scheme guarantees its payload equals ours, so just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, store_.Insert(payload), meta, compute_ns});
+  index_.emplace(key, lru_.begin());
+  ++insertions_;
+  EvictToBudgetLocked(obs);
+}
+
+void SyncCache::EvictToBudgetLocked(obs::SyncObserver* obs) {
+  if (max_bytes_ == 0) return;
+  while (ChargedBytes() > max_bytes_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    index_.erase(victim.key);
+    store_.Release(victim.ref);
+    lru_.pop_back();
+    ++evictions_;
+    if (obs != nullptr) obs->AddEvent(obs::Event::kCacheEviction);
+  }
+}
+
+CacheStats SyncCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.insertions = insertions_;
+  s.bytes_saved = bytes_saved_;
+  s.cpu_saved_ns = cpu_saved_ns_;
+  s.entries = lru_.size();
+  s.bytes_used = ChargedBytes();
+  s.dedup_blocks = store_.stored_blocks();
+  s.dedup_bytes_saved = store_.dedup_bytes_saved();
+  return s;
+}
+
+}  // namespace fsx::cache

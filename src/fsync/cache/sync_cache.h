@@ -1,0 +1,179 @@
+// Content-addressed signature/delta cache: the server-side memoization
+// layer that makes fan-out cheap (ROADMAP item 2, the paper's "collection
+// recrawled nightly, served to N subscribers" scenario). Today's session
+// protocol recomputes signatures and deltas from scratch per client, so
+// server cost is O(clients x bytes); with this cache each distinct
+// computation happens once and every further client ships cached bytes.
+//
+// Keys are derived from strong content hashes — a file's fingerprint, a
+// request's digest — plus the wire-affecting configuration digest and
+// block-size parameters, so invalidation needs no bookkeeping: when a
+// file's content changes its fingerprint changes, every key derived from
+// it changes with it, and the orphaned entries age out of the LRU. A
+// config change likewise changes ConfigWireDigest and bypasses (never
+// poisons) existing entries.
+//
+// Determinism contract: a cached payload is the byte-exact response the
+// live computation produced when the entry was inserted, so cached and
+// uncached runs are wire bit-identical (pinned by the `cache`
+// conformance suite). The cache never adds, removes, or reorders a wire
+// byte; it only skips server CPU.
+//
+// Thread safety: all public methods are safe to call concurrently; many
+// sessions may share one cache (one mutex; the critical sections are
+// hash-map operations and block refcounting, never content hashing).
+#ifndef FSYNC_CACHE_SYNC_CACHE_H_
+#define FSYNC_CACHE_SYNC_CACHE_H_
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "fsync/cache/dedup_store.h"
+#include "fsync/obs/sync_obs.h"
+#include "fsync/util/bytes.h"
+
+namespace fsx::cache {
+
+/// What kind of computation an entry memoizes. Part of the key, so the
+/// domains can never collide even for equal content hashes.
+enum class CacheDomain : uint8_t {
+  kSignature = 1,   ///< signature sets (e.g. a broadcast hash cast)
+  kDelta = 2,       ///< encoded deltas for old -> new version pairs
+  kTranscript = 3,  ///< interactive-session server responses (chained)
+  kContent = 4,     ///< per-content artifacts (e.g. compressed payloads)
+};
+
+/// Composite content-addressed key: domain tag, a 16-byte strong content
+/// hash, and up to three auxiliary words (block size, config digest,
+/// chain state — see the builders below).
+struct CacheKey {
+  CacheDomain domain = CacheDomain::kSignature;
+  std::array<uint8_t, 16> content{};
+  uint64_t aux0 = 0;
+  uint64_t aux1 = 0;
+  uint64_t aux2 = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const;
+};
+
+/// Key of a memoized signature set: (file content hash, block size,
+/// wire-config digest). Used for broadcast hash casts; the interactive
+/// protocol's per-round signature payloads use TranscriptKey (their block
+/// schedule depends on the round history, which the chain encodes).
+CacheKey SignatureKey(const std::array<uint8_t, 16>& content_fp,
+                      uint64_t block_size, uint64_t config_digest);
+
+/// Key of a cached delta for one old -> new pair. `old_digest` is a
+/// strong 16-byte hash identifying the old side (a file fingerprint, or
+/// the MD5 of a cast request, which pins the client's confirmed map).
+CacheKey DeltaKey(const std::array<uint8_t, 16>& old_digest,
+                  const std::array<uint8_t, 16>& new_fp,
+                  uint64_t codec_and_config);
+
+/// Key of one interactive-session server response: target fingerprint,
+/// wire-config digest, and the MD5 chain over every client message
+/// consumed so far (split into two words). The chain pins the entire
+/// incoming history, which — the server endpoint being deterministic in
+/// (f_new, config, messages) — pins the response bytes exactly.
+CacheKey TranscriptKey(const std::array<uint8_t, 16>& new_fp,
+                       uint64_t config_digest, uint64_t chain_lo,
+                       uint64_t chain_hi);
+
+/// Key of a per-content artifact, e.g. `tag` 0 = stream-compressed file
+/// payload (full transfers, small-file batches).
+CacheKey ContentKey(const std::array<uint8_t, 16>& content_fp,
+                    uint64_t tag);
+
+/// Point-in-time counters. hits/misses/evictions count operations;
+/// bytes_saved sums the payload bytes served from cache; cpu_saved_ns
+/// sums the recompute time each hit avoided (the insert-time measurement
+/// of the computation the entry memoizes). dedup_* report the backing
+/// store's cross-entry block dedup.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t insertions = 0;
+  uint64_t bytes_saved = 0;
+  uint64_t cpu_saved_ns = 0;
+  uint64_t entries = 0;
+  uint64_t bytes_used = 0;
+  uint64_t dedup_blocks = 0;
+  uint64_t dedup_bytes_saved = 0;
+};
+
+/// Size-bounded, thread-safe, content-addressed LRU over the dedup store.
+class SyncCache {
+ public:
+  /// Small fixed metadata carried beside each payload (the session layer
+  /// stores endpoint state flags; see core/server_cache.cc).
+  using Meta = std::array<uint64_t, 4>;
+
+  struct Hit {
+    Bytes payload;
+    Meta meta{};
+    uint64_t compute_ns = 0;  // as recorded at insert time
+  };
+
+  /// `max_bytes` bounds the unique payload bytes held (plus a small
+  /// per-entry overhead); 0 means unbounded. Eviction is strict LRU.
+  explicit SyncCache(uint64_t max_bytes = 0) : max_bytes_(max_bytes) {}
+
+  SyncCache(const SyncCache&) = delete;
+  SyncCache& operator=(const SyncCache&) = delete;
+
+  /// Looks up `key`; a hit refreshes LRU recency and reports
+  /// kCacheHit/kCacheBytesSaved/kCacheCpuSavedNs to `obs` (a miss reports
+  /// kCacheMiss). `obs` may be null.
+  std::optional<Hit> Get(const CacheKey& key,
+                         obs::SyncObserver* obs = nullptr);
+
+  /// Inserts (or refreshes) `key`. `compute_ns` is the measured cost of
+  /// the computation the entry memoizes — what each future hit saves.
+  /// Evictions performed to make room are reported as kCacheEviction.
+  void Put(const CacheKey& key, ByteSpan payload, const Meta& meta = {},
+           uint64_t compute_ns = 0, obs::SyncObserver* obs = nullptr);
+
+  CacheStats Stats() const;
+  uint64_t max_bytes() const { return max_bytes_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    BlockRef ref;
+    Meta meta{};
+    uint64_t compute_ns = 0;
+  };
+  // Fixed per-entry accounting overhead (key, list/map nodes, block ids).
+  static constexpr uint64_t kEntryOverhead = 128;
+
+  uint64_t ChargedBytes() const {
+    return store_.stored_bytes() + kEntryOverhead * lru_.size();
+  }
+  void EvictToBudgetLocked(obs::SyncObserver* obs);
+
+  const uint64_t max_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+      index_;
+  DedupStore store_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t bytes_saved_ = 0;
+  uint64_t cpu_saved_ns_ = 0;
+};
+
+}  // namespace fsx::cache
+
+#endif  // FSYNC_CACHE_SYNC_CACHE_H_

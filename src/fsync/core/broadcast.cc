@@ -1,5 +1,6 @@
 #include "fsync/core/broadcast.h"
 
+#include <chrono>
 #include <map>
 
 #include "fsync/hash/fingerprint.h"
@@ -245,6 +246,74 @@ StatusOr<Bytes> MakeCastDelta(ByteSpan current, ByteSpan request,
     pos += len;
   }
   return DeltaEncode(config.delta_codec, ref, current);
+}
+
+uint64_t HashCastConfigDigest(const HashCastConfig& config) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(config.start_block_size);
+  mix(config.min_block_size);
+  mix(static_cast<uint64_t>(config.weak_bits));
+  mix(static_cast<uint64_t>(config.strong_bits));
+  mix(static_cast<uint64_t>(config.delta_codec));
+  return h;
+}
+
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+StatusOr<Bytes> BuildHashCastCached(ByteSpan current,
+                                    const HashCastConfig& config,
+                                    cache::SyncCache* cache,
+                                    obs::SyncObserver* obs,
+                                    int num_threads) {
+  if (cache == nullptr) {
+    return BuildHashCast(current, config, num_threads);
+  }
+  const cache::CacheKey key =
+      cache::SignatureKey(FileFingerprint(current), config.start_block_size,
+                          HashCastConfigDigest(config));
+  if (std::optional<cache::SyncCache::Hit> hit = cache->Get(key, obs)) {
+    return std::move(hit->payload);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  FSYNC_ASSIGN_OR_RETURN(Bytes cast,
+                         BuildHashCast(current, config, num_threads));
+  cache->Put(key, cast, {}, ElapsedNs(start), obs);
+  return cast;
+}
+
+StatusOr<Bytes> MakeCastDeltaCached(ByteSpan current, ByteSpan request,
+                                    const HashCastConfig& config,
+                                    cache::SyncCache* cache,
+                                    obs::SyncObserver* obs) {
+  if (cache == nullptr) {
+    return MakeCastDelta(current, request, config);
+  }
+  const cache::CacheKey key =
+      cache::DeltaKey(Md5::Hash(request), FileFingerprint(current),
+                      HashCastConfigDigest(config));
+  if (std::optional<cache::SyncCache::Hit> hit = cache->Get(key, obs)) {
+    return std::move(hit->payload);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  FSYNC_ASSIGN_OR_RETURN(Bytes delta,
+                         MakeCastDelta(current, request, config));
+  cache->Put(key, delta, {}, ElapsedNs(start), obs);
+  return delta;
 }
 
 StatusOr<Bytes> ApplyCastDelta(ByteSpan outdated, const CastMap& map,

@@ -16,7 +16,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "fsync/cache/sync_cache.h"
 #include "fsync/delta/delta.h"
+#include "fsync/obs/sync_obs.h"
 #include "fsync/util/bytes.h"
 #include "fsync/util/status.h"
 
@@ -38,6 +40,20 @@ struct HashCastConfig {
 /// in the cast) and every value produces an identical payload.
 StatusOr<Bytes> BuildHashCast(ByteSpan current, const HashCastConfig& config,
                               int num_threads = 1);
+
+/// Stable digest of the cast-shape parameters, used as a cache key
+/// component (every field changes the cast's bytes).
+uint64_t HashCastConfigDigest(const HashCastConfig& config);
+
+/// BuildHashCast memoized in `cache` under (content fingerprint, start
+/// block size, cast-config digest): in a recrawl-and-broadcast loop the
+/// cast of an unchanged file is built once, then served from the cache.
+/// Byte-identical to BuildHashCast; a null `cache` just forwards.
+StatusOr<Bytes> BuildHashCastCached(ByteSpan current,
+                                    const HashCastConfig& config,
+                                    cache::SyncCache* cache,
+                                    obs::SyncObserver* obs = nullptr,
+                                    int num_threads = 1);
 
 /// What a client learned from a cast: which ranges of the current file it
 /// already holds, and where.
@@ -70,6 +86,15 @@ Bytes EncodeCastRequest(const CastMap& map);
 /// Server side: answers a cast request with the delta payload.
 StatusOr<Bytes> MakeCastDelta(ByteSpan current, ByteSpan request,
                               const HashCastConfig& config);
+
+/// MakeCastDelta memoized in `cache` under (request digest, current-file
+/// fingerprint, config digest): clients holding the same outdated version
+/// send identical requests, so a popular old -> new pair encodes its
+/// delta once. Byte-identical to MakeCastDelta; a null `cache` forwards.
+StatusOr<Bytes> MakeCastDeltaCached(ByteSpan current, ByteSpan request,
+                                    const HashCastConfig& config,
+                                    cache::SyncCache* cache,
+                                    obs::SyncObserver* obs = nullptr);
 
 /// Client side: reconstructs the current file from its map and the
 /// server's delta. Fails with DataLoss if the result does not match the

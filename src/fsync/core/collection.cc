@@ -7,6 +7,7 @@
 
 #include "fsync/compress/codec.h"
 #include "fsync/core/endpoint.h"
+#include "fsync/core/server_cache.h"
 #include "fsync/hash/fingerprint.h"
 #include "fsync/par/thread_pool.h"
 #include "fsync/util/bit_io.h"
@@ -48,18 +49,24 @@ std::vector<std::optional<StatusOr<R>>> ParallelSessions(
   return out;
 }
 
-// One multiplexed per-file session riding the shared channel.
+// One multiplexed per-file session riding the shared channel. The server
+// side is the caching wrapper: with a shared cache installed, a fan-out
+// of identical collection syncs serves every per-file response from it.
 struct FileSession {
   std::string name;
   std::unique_ptr<SyncClientEndpoint> client_ep;
-  std::unique_ptr<SyncServerEndpoint> server_ep;
+  std::unique_ptr<CachedServerEndpoint> server_ep;
   bool live = true;
   bool fallback = false;
 };
 
+// `fp_hints`, when available (the tree driver's server manifest), spares
+// the server endpoint one whole-file hash per session on the warm path.
 std::vector<FileSession> BuildFileSessions(
     const std::vector<std::string>& names, const Collection& client,
-    const Collection& server, const SyncConfig& config) {
+    const Collection& server, const SyncConfig& config,
+    cache::SyncCache* cache, obs::SyncObserver* obs,
+    const TreeManifest* fp_hints = nullptr) {
   static const Bytes kEmpty;
   std::vector<FileSession> sessions;
   sessions.reserve(names.size());
@@ -67,10 +74,18 @@ std::vector<FileSession> BuildFileSessions(
     auto cit = client.find(name);
     const Bytes& f_old = cit != client.end() ? cit->second : kEmpty;
     const Bytes& f_new = server.at(name);
+    const Fingerprint* hint = nullptr;
+    if (fp_hints != nullptr) {
+      auto hit = fp_hints->find(name);
+      if (hit != fp_hints->end()) {
+        hint = &hit->second.fp;
+      }
+    }
     FileSession s;
     s.name = name;
     s.client_ep = std::make_unique<SyncClientEndpoint>(f_old, config);
-    s.server_ep = std::make_unique<SyncServerEndpoint>(f_new, config);
+    s.server_ep = std::make_unique<CachedServerEndpoint>(f_new, config,
+                                                         cache, obs, hint);
     sessions.push_back(std::move(s));
   }
   return sessions;
@@ -241,6 +256,29 @@ StatusOr<MultiplexTotals> RunMultiplexedSessions(
   return totals;
 }
 
+// Stream-compresses `data`, memoized under its content fingerprint (the
+// compressed payload is a pure function of the bytes, so the key needs
+// nothing else). Serves the tree driver's small-file bundles: in a
+// fan-out every client's bundle re-compresses the same files.
+Bytes CachedCompress(cache::SyncCache* cache, const Fingerprint& fp,
+                     ByteSpan data, obs::SyncObserver* obs) {
+  if (cache == nullptr) {
+    return Compress(data);
+  }
+  const cache::CacheKey key = cache::ContentKey(fp, /*tag=*/0);
+  if (std::optional<cache::SyncCache::Hit> hit = cache->Get(key, obs)) {
+    return std::move(hit->payload);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Bytes comp = Compress(data);
+  const uint64_t ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  cache->Put(key, comp, {}, ns, obs);
+  return comp;
+}
+
 // Parallel manifest hashing: fingerprints are computed across the worker
 // pool but assembled in path order, so the manifest (and therefore every
 // wire byte derived from it) is identical at any thread count.
@@ -270,7 +308,8 @@ TreeManifest BuildManifestParallel(const Collection& files,
 StatusOr<CollectionSyncResult> SyncCollection(const Collection& client,
                                               const Collection& server,
                                               const SyncConfig& config,
-                                              obs::SyncObserver* obs) {
+                                              obs::SyncObserver* obs,
+                                              cache::SyncCache* cache) {
   CollectionSyncResult result;
   result.stats.client_to_server_bytes += FingerprintExchangeBytes(client);
   // The fingerprint exchange is charged out-of-band (no channel carries
@@ -290,7 +329,7 @@ StatusOr<CollectionSyncResult> SyncCollection(const Collection& client,
     auto it = client.find(name);
     const Bytes& outdated = it != client.end() ? it->second : kEmpty;
     SimulatedChannel channel;
-    return SynchronizeFile(outdated, current, config, channel, obs);
+    return SynchronizeFile(outdated, current, config, channel, obs, cache);
   };
   std::vector<std::optional<StatusOr<FileSyncResult>>> pre;
   if (config.num_threads > 1 && obs == nullptr) {
@@ -343,7 +382,7 @@ StatusOr<CollectionSyncResult> SyncCollection(const Collection& client,
 StatusOr<CollectionSyncResult> SyncCollectionBatched(
     const Collection& client, const Collection& server,
     const SyncConfig& config, SimulatedChannel& channel,
-    obs::SyncObserver* obs) {
+    obs::SyncObserver* obs, cache::SyncCache* cache) {
   using Dir = SimulatedChannel::Direction;
   ObservedSession scope(channel, obs, "session-batched");
   CollectionSyncResult result;
@@ -496,7 +535,7 @@ StatusOr<CollectionSyncResult> SyncCollectionBatched(
   // --- 3. Multiplex the per-file sessions, one message per direction
   //         per round for the whole batch; then the fallbacks. ---
   std::vector<FileSession> sessions =
-      BuildFileSessions(sync_names, client, server, config);
+      BuildFileSessions(sync_names, client, server, config, cache, obs);
   channel.Send(Dir::kClientToServer, BuildInitialRequestBatch(sessions));
   FSYNC_ASSIGN_OR_RETURN(Bytes c2s, channel.Receive(Dir::kClientToServer));
   FSYNC_ASSIGN_OR_RETURN(MultiplexTotals totals,
@@ -588,7 +627,8 @@ StatusOr<TreeSyncResult> SyncCollectionTree(const Collection& client,
       channel.Send(Dir::kClientToServer, plan.Finish());
     }
     std::vector<FileSession> sessions =
-        BuildFileSessions(large, client, server, params.config);
+        BuildFileSessions(large, client, server, params.config,
+                          params.cache, obs, &server_manifest);
     if (!sessions.empty()) {
       obs::SetPhase(obs, obs::Phase::kCandidates);
       channel.Send(Dir::kClientToServer,
@@ -610,12 +650,15 @@ StatusOr<TreeSyncResult> SyncCollectionTree(const Collection& client,
       for (uint64_t i = 0; i < n_want; ++i) {
         FSYNC_ASSIGN_OR_RETURN(uint64_t len, pin.ReadVarint());
         FSYNC_ASSIGN_OR_RETURN(Bytes name_bytes, pin.ReadBytes(len));
-        auto it = server.find(ToString(name_bytes));
+        std::string want = ToString(name_bytes);
+        auto it = server.find(want);
         if (it == server.end()) {
           return Status::DataLoss("tree sync: unknown path in plan");
         }
         if (it->second.size() <= params.small_file_threshold) {
-          Bytes comp = Compress(it->second);
+          Bytes comp = CachedCompress(params.cache,
+                                      server_manifest.at(want).fp,
+                                      it->second, obs);
           bundle.WriteVarint(comp.size());
           bundle.WriteBytes(comp);
           ++n_small;

@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 
+#include "fsync/cache/sync_cache.h"
 #include "fsync/cdc/cdc_sync.h"
 #include "fsync/multiround/multiround.h"
 #include "fsync/core/config.h"
@@ -44,9 +45,16 @@ struct CollectionSyncResult {
 /// observer's totals match the returned stats exactly (unchanged files'
 /// excluded session traffic is rolled back in the observer too, and the
 /// out-of-band fingerprint exchange is charged to the handshake phase).
+///
+/// The collection drivers also accept an optional `cache::SyncCache*`:
+/// a shared server-side response cache that memoizes signatures, deltas,
+/// and compressed payloads across sessions, so a fan-out of N clients
+/// syncing the same snapshot computes each only once. Server-local:
+/// wire bytes are identical with and without it (see docs/caching.md).
 StatusOr<CollectionSyncResult> SyncCollection(
     const Collection& client, const Collection& server,
-    const SyncConfig& config, obs::SyncObserver* obs = nullptr);
+    const SyncConfig& config, obs::SyncObserver* obs = nullptr,
+    cache::SyncCache* cache = nullptr);
 
 /// Like SyncCollection, but genuinely multiplexes every per-file session
 /// over the single `channel`: each protocol round sends ONE message per
@@ -58,7 +66,7 @@ StatusOr<CollectionSyncResult> SyncCollection(
 StatusOr<CollectionSyncResult> SyncCollectionBatched(
     const Collection& client, const Collection& server,
     const SyncConfig& config, SimulatedChannel& channel,
-    obs::SyncObserver* obs = nullptr);
+    obs::SyncObserver* obs = nullptr, cache::SyncCache* cache = nullptr);
 
 /// Tuning for the tree-level (manifest-reconciled) collection driver.
 struct TreeSyncParams {
@@ -76,6 +84,10 @@ struct TreeSyncParams {
   /// session's extra roundtrips cost more than compressing the whole
   /// file into the pipelined bundle.
   uint64_t small_file_threshold = 16 * 1024;
+  /// Optional shared server-side response cache (see SyncCollection).
+  /// Keys ride the manifest content hashes, so entries from a previous
+  /// snapshot are simply never looked up again after a file changes.
+  cache::SyncCache* cache = nullptr;
 };
 
 /// Outcome of SyncCollectionTree. The per-file classification is

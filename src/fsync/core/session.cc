@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "fsync/core/endpoint.h"
+#include "fsync/core/server_cache.h"
 
 namespace fsx {
 
@@ -27,7 +28,9 @@ StatusOr<FileSyncResult> SyncSession::Run(SimulatedChannel& channel,
 
   ObservedSession scope(channel, obs, "session");
   SyncClientEndpoint client(f_old_, config_);
-  SyncServerEndpoint server(f_new_, config_);
+  CachedServerEndpoint server(
+      f_new_, config_, server_cache_, obs,
+      fp_new_hint_.has_value() ? &*fp_new_hint_ : nullptr);
   client.set_observer(obs);
   FileSyncResult result;
 
@@ -178,14 +181,17 @@ StatusOr<FileSyncResult> SyncSession::Run(SimulatedChannel& channel,
   result.map_server_to_client_bytes =
       map_loop_s2c - std::min(map_loop_s2c, result.delta_bytes);
   result.map_client_to_server_bytes = map_loop_c2s;
+  result.server_cpu_ns = server.server_cpu_ns();
   return result;
 }
 
 StatusOr<FileSyncResult> SynchronizeFile(ByteSpan f_old, ByteSpan f_new,
                                          const SyncConfig& config,
                                          SimulatedChannel& channel,
-                                         obs::SyncObserver* obs) {
+                                         obs::SyncObserver* obs,
+                                         cache::SyncCache* cache) {
   SyncSession session(f_old, f_new, config);
+  session.set_server_cache(cache);
   return session.Run(channel, obs);
 }
 

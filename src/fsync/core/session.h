@@ -10,9 +10,11 @@
 #include <optional>
 #include <vector>
 
+#include "fsync/cache/sync_cache.h"
 #include "fsync/core/checkpoint.h"
 #include "fsync/core/config.h"
 #include "fsync/core/endpoint.h"
+#include "fsync/hash/fingerprint.h"
 #include "fsync/net/channel.h"
 #include "fsync/util/bytes.h"
 #include "fsync/util/status.h"
@@ -38,6 +40,10 @@ struct FileSyncResult {
   // reconstruction, 1 = region repair, 2 = full transfer.
   int degradation_level = 0;
   uint32_t repaired_regions = 0;  // regions patched at level 1
+  // Wall time spent in live server-side computation (signatures, deltas,
+  // compression). With a warm shared cache (set_server_cache) this
+  // collapses toward zero; see docs/caching.md.
+  uint64_t server_cpu_ns = 0;
 };
 
 /// One file synchronization between in-process endpoints, with optional
@@ -64,6 +70,20 @@ class SyncSession {
     checkpoint_fn_ = std::move(fn);
   }
 
+  /// Installs a shared server-side response cache (may be null). Caching
+  /// is server-local memoization: it never changes a wire byte (pinned by
+  /// the `cache` conformance suite), only skips recomputation when many
+  /// sessions sync the same (f_old, f_new, config). The cache must
+  /// outlive Run() and may be shared across concurrent sessions.
+  void set_server_cache(cache::SyncCache* cache) { server_cache_ = cache; }
+
+  /// Tells the server side the fingerprint of `f_new` up front (e.g. from
+  /// a collection manifest), so the warm-cache path need not re-hash the
+  /// file per session. Purely a server-local shortcut.
+  void set_server_fingerprint_hint(const Fingerprint& fp) {
+    fp_new_hint_ = fp;
+  }
+
   /// Runs the protocol to completion over `channel`. See SynchronizeFile
   /// for the contract; additionally fills the resume/degradation fields
   /// of FileSyncResult and fires the checkpoint hook.
@@ -76,6 +96,8 @@ class SyncSession {
   const SyncConfig config_;
   std::optional<SessionCheckpoint> resume_cp_;
   std::function<void(const SessionCheckpoint&)> checkpoint_fn_;
+  cache::SyncCache* server_cache_ = nullptr;
+  std::optional<Fingerprint> fp_new_hint_;
 };
 
 /// Runs the full protocol between in-process endpoints over `channel`.
@@ -87,10 +109,13 @@ class SyncSession {
 /// traffic per phase (handshake / candidates / verification /
 /// continuation / delta / fallback) and emits per-round trace events;
 /// see fsync/obs/sync_obs.h. Passing nullptr costs one branch per send.
+/// A non-null `cache` memoizes the server's responses across sessions
+/// (see SyncSession::set_server_cache); it never changes wire bytes.
 StatusOr<FileSyncResult> SynchronizeFile(ByteSpan f_old, ByteSpan f_new,
                                          const SyncConfig& config,
                                          SimulatedChannel& channel,
-                                         obs::SyncObserver* obs = nullptr);
+                                         obs::SyncObserver* obs = nullptr,
+                                         cache::SyncCache* cache = nullptr);
 
 }  // namespace fsx
 

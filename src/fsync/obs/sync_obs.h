@@ -42,9 +42,16 @@ enum class Event : uint8_t {
                       ///< (zero literal bytes on the wire)
   kSmallFileBatched,  ///< a small file shipped in the aggregate batch
                       ///< round instead of its own session
+  kCacheHit,          ///< a server computation was served from the cache
+  kCacheMiss,         ///< a cache lookup found nothing (live compute ran)
+  kCacheEviction,     ///< an LRU entry was evicted to meet the byte budget
+  kCacheBytesSaved,   ///< payload bytes served from cache instead of
+                      ///< being recomputed (counted per byte)
+  kCacheCpuSavedNs,   ///< recompute time a cache hit avoided, in
+                      ///< nanoseconds (insert-time measurement)
 };
 
-inline constexpr int kNumEvents = 14;
+inline constexpr int kNumEvents = 19;
 
 /// Stable lower-case name, used as the JSON/metrics key.
 inline const char* EventName(Event e) {
@@ -77,6 +84,16 @@ inline const char* EventName(Event e) {
       return "renames_adopted";
     case Event::kSmallFileBatched:
       return "small_files_batched";
+    case Event::kCacheHit:
+      return "cache_hits";
+    case Event::kCacheMiss:
+      return "cache_misses";
+    case Event::kCacheEviction:
+      return "cache_evictions";
+    case Event::kCacheBytesSaved:
+      return "cache_bytes_saved";
+    case Event::kCacheCpuSavedNs:
+      return "cache_cpu_saved_ns";
   }
   return "unknown";
 }

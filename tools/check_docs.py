@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Check the repo's markdown docs for drift.
+
+Usage: check_docs.py [REPO_ROOT]     (default: the repo containing this
+                                      script)
+
+Three checks, all against the working tree:
+
+  1. Relative links resolve. Every `[text](target)` in a scanned file
+     whose target is not an absolute URL (http/https/mailto) must point
+     at an existing file or directory, relative to the file containing
+     the link.
+  2. Anchors resolve. A `path#fragment` (or in-file `#fragment`) link
+     must name a heading that exists in the target file, using GitHub's
+     heading-to-anchor slug rules.
+  3. Architecture coverage. Every subsystem directory under
+     `src/fsync/` must be referenced by path (`src/fsync/<name>`) from
+     `docs/architecture.md`, so a new module cannot land without a
+     place in the module map.
+
+Scans every `*.md` at the repo root and under `docs/`. Fenced code
+blocks and inline code spans are ignored (links inside them are
+examples, not references). Standard library only; exits non-zero with
+one line per problem.
+"""
+
+import os
+import re
+import sys
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+FENCE_RE = re.compile(r"^(```|~~~)")
+INLINE_CODE_RE = re.compile(r"`[^`]*`")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+
+def strip_code(lines):
+    """Yield (lineno, text) for lines outside fenced code blocks, with
+    inline code spans blanked out."""
+    in_fence = False
+    for n, line in enumerate(lines, 1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield n, INLINE_CODE_RE.sub("", line)
+
+
+def github_slug(heading, seen):
+    """GitHub's heading -> anchor id algorithm (close enough for ASCII
+    docs): drop code ticks, lowercase, keep alphanumerics/spaces/
+    hyphens/underscores, spaces to hyphens, dedupe with -1, -2, ..."""
+    text = heading.replace("`", "")
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linkified headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    slug = text.replace(" ", "-")
+    if slug in seen:
+        k = seen[slug]
+        seen[slug] = k + 1
+        slug = f"{slug}-{k}"
+    else:
+        seen[slug] = 1
+    return slug
+
+
+def anchors_of(path, cache):
+    if path in cache:
+        return cache[path]
+    anchors = set()
+    seen = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError:
+        cache[path] = anchors
+        return anchors
+    in_fence = False
+    for line in lines:
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_slug(m.group(2), seen))
+    cache[path] = anchors
+    return anchors
+
+
+def check_file(md_path, root, anchor_cache, problems):
+    with open(md_path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    base = os.path.dirname(md_path)
+    rel = os.path.relpath(md_path, root)
+    for lineno, text in strip_code(lines):
+        for m in LINK_RE.finditer(text):
+            target = m.group(1)
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = os.path.normpath(os.path.join(base, path_part))
+                if not os.path.exists(resolved):
+                    problems.append(
+                        f"{rel}:{lineno}: broken link '{target}' "
+                        f"({os.path.relpath(resolved, root)} does not exist)")
+                    continue
+            else:
+                resolved = md_path
+            if fragment:
+                if not resolved.endswith(".md") or os.path.isdir(resolved):
+                    continue  # anchors into non-markdown are not checked
+                if fragment not in anchors_of(resolved, anchor_cache):
+                    problems.append(
+                        f"{rel}:{lineno}: broken anchor '{target}' "
+                        f"(no heading slugs to '#{fragment}' in "
+                        f"{os.path.relpath(resolved, root)})")
+
+
+def check_architecture_coverage(root, problems):
+    fsync = os.path.join(root, "src", "fsync")
+    arch = os.path.join(root, "docs", "architecture.md")
+    if not os.path.isdir(fsync) or not os.path.isfile(arch):
+        problems.append("missing src/fsync/ or docs/architecture.md")
+        return
+    with open(arch, encoding="utf-8") as f:
+        text = f.read()
+    for name in sorted(os.listdir(fsync)):
+        if not os.path.isdir(os.path.join(fsync, name)):
+            continue
+        if f"src/fsync/{name}" not in text:
+            problems.append(
+                f"docs/architecture.md: subsystem src/fsync/{name}/ is "
+                "never referenced — add it to the module map")
+
+
+def main(argv):
+    if len(argv) > 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    root = os.path.abspath(
+        argv[1] if len(argv) == 2
+        else os.path.join(os.path.dirname(__file__), ".."))
+    targets = []
+    for entry in sorted(os.listdir(root)):
+        if entry.endswith(".md"):
+            targets.append(os.path.join(root, entry))
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for entry in sorted(os.listdir(docs)):
+            if entry.endswith(".md"):
+                targets.append(os.path.join(docs, entry))
+    problems = []
+    anchor_cache = {}
+    for md in targets:
+        check_file(md, root, anchor_cache, problems)
+    check_architecture_coverage(root, problems)
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        print(f"check_docs: {len(problems)} problem(s) in "
+              f"{len(targets)} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({len(targets)} markdown files, all links, "
+          "anchors, and src/fsync/ coverage valid)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,7 +16,9 @@ observability layer guarantees:
     conformance suite pins against the channel's TrafficStats);
   - metrics documents carry the full event-counter vocabulary,
     including the durable-apply counters (journal_commits, recoveries,
-    rolled_back_files, conflicts_detected).
+    rolled_back_files, conflicts_detected) and the server-cache counters
+    (cache_hits, cache_misses, cache_evictions, cache_bytes_saved,
+    cache_cpu_saved_ns).
 
 Standard library only; exits non-zero on the first invalid file.
 """
@@ -51,6 +53,11 @@ EVENTS = {
     "conflicts_detected",
     "renames_adopted",
     "small_files_batched",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "cache_bytes_saved",
+    "cache_cpu_saved_ns",
 }
 
 
@@ -150,6 +157,12 @@ def check_metrics_document(doc):
         for name, v in transport.items():
             require(is_uint(v),
                     f"transport['{name}'] must be a non-negative integer")
+    if "cache" in doc:
+        cache = doc["cache"]
+        require(isinstance(cache, dict), "'cache' must be an object")
+        for name, v in cache.items():
+            require(is_uint(v),
+                    f"cache['{name}'] must be a non-negative integer")
 
 
 def check_bench_document(doc):
