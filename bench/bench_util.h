@@ -87,6 +87,9 @@ struct BenchResult {
   uint64_t down = 0;
   bool has_dirs = false;
   bool has_phases = false;
+  bool has_throughput = false;
+  uint64_t processed = 0;     // bytes pushed through the kernel
+  double gib_per_s = 0.0;
   uint64_t phases[obs::kNumPhases][2] = {};
 
   BenchResult& Config(const std::string& key, const std::string& value) {
@@ -113,6 +116,18 @@ struct BenchResult {
     down = stats.server_to_client_bytes;
     total = up + down;
     has_dirs = true;
+    return *this;
+  }
+  /// Records a bandwidth measurement: `bytes_processed` bytes pushed
+  /// through the benchmarked kernel in `ns` wall nanoseconds. Sets
+  /// wall_ns too, so rate and raw timing travel together.
+  BenchResult& Throughput(uint64_t bytes_processed, uint64_t ns) {
+    processed = bytes_processed;
+    wall_ns = ns;
+    gib_per_s = ns == 0 ? 0.0
+                        : static_cast<double>(bytes_processed) * 1e9 /
+                              (static_cast<double>(ns) * 1073741824.0);
+    has_throughput = true;
     return *this;
   }
   BenchResult& Observed(const obs::SyncObserver& o) {
@@ -211,6 +226,15 @@ class JsonReport {
       w.Uint(r.rounds);
       w.Key("wall_ns");
       w.Uint(r.wall_ns);
+      if (r.has_throughput) {
+        w.Key("throughput");
+        w.BeginObject();
+        w.Key("bytes_processed");
+        w.Uint(r.processed);
+        w.Key("gib_per_s");
+        w.Double(r.gib_per_s);
+        w.EndObject();
+      }
       w.Key("bytes");
       w.BeginObject();
       w.Key("total");

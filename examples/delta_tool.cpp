@@ -12,6 +12,7 @@
 #include <string>
 
 #include "fsync/delta/delta.h"
+#include "fsync/util/mapped_file.h"
 #include "fsync/util/random.h"
 #include "fsync/workload/edits.h"
 #include "fsync/workload/text_synth.h"
@@ -21,12 +22,11 @@ namespace {
 using fsx::Bytes;
 
 bool ReadFile(const std::string& path, Bytes& out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  auto data = fsx::ReadWholeFile(path);
+  if (!data.ok()) {
     return false;
   }
-  out.assign(std::istreambuf_iterator<char>(in),
-             std::istreambuf_iterator<char>());
+  out = std::move(data).value();
   return true;
 }
 

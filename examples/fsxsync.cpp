@@ -11,6 +11,13 @@
 //   fsxsync verify <dir>      # check a tree against its manifest
 //   fsxsync recover <dir>     # resolve a crashed apply's journal
 //   fsxsync demo
+//   fsxsync --features        # CPU features + active dispatch tier
+//
+// --features reports what the runtime kernel dispatch (fsync/simd/)
+// probed on this host and which tier the hot paths will use; the same
+// information lands under "dispatch" in --metrics-json. Tiers are pure
+// execution knobs — wire bytes never depend on them (FSX_FORCE_SCALAR=1
+// pins the portable kernels for A/B comparison).
 //
 // --cache-bytes=N (fsx method only) runs the server side through the
 // content-addressed signature/delta cache (docs/caching.md) with an
@@ -67,6 +74,7 @@
 #include "fsync/core/collection.h"
 #include "fsync/obs/json.h"
 #include "fsync/obs/sync_obs.h"
+#include "fsync/simd/dispatch.h"
 #include "fsync/store/apply.h"
 #include "fsync/store/crashpoint.h"
 #include "fsync/store/fsstore.h"
@@ -109,6 +117,27 @@ class StderrTraceSink : public fsx::obs::TraceSink {
   }
 };
 
+/// `fsxsync --features`: what the dispatch layer probed on this host and
+/// which kernel tier the hot paths will use (honours FSX_FORCE_SCALAR).
+int PrintFeatures() {
+  const fsx::simd::CpuFeatures& cpu = fsx::simd::DetectCpuFeatures();
+  std::printf("dispatch:        %s\n",
+              fsx::simd::DescribeDispatch().c_str());
+  std::printf("active tier:     %s\n",
+              fsx::simd::TierName(fsx::simd::ActiveTier()));
+  std::printf("available tiers:");
+  for (fsx::simd::DispatchTier t : fsx::simd::AvailableTiers()) {
+    std::printf(" %s", fsx::simd::TierName(t));
+  }
+  std::printf("\n");
+  std::printf("cpu:             sse4.2=%c avx2=%c pclmul=%c armv8crc=%c\n",
+              cpu.sse42 ? 'y' : 'n', cpu.avx2 ? 'y' : 'n',
+              cpu.clmul ? 'y' : 'n', cpu.armv8_crc ? 'y' : 'n');
+  std::printf("forced scalar:   %s (FSX_FORCE_SCALAR)\n",
+              fsx::simd::ForceScalarFromEnv() ? "yes" : "no");
+  return 0;
+}
+
 /// --metrics-json output: phase attribution + aggregate instruments.
 /// `transport` is non-null when the sync ran over the reliable transport.
 int WriteMetricsJson(const fsx::obs::SyncObserver& observer,
@@ -136,6 +165,16 @@ int WriteMetricsJson(const fsx::obs::SyncObserver& observer,
   w.Uint(observer.rounds());
   w.Key("wall_ns");
   w.Uint(observer.wall_ns());
+  // Which kernel tier the hot paths ran on — an execution detail (wire
+  // bytes are tier-independent), recorded so perf numbers are
+  // attributable to the hardware that produced them.
+  w.Key("dispatch");
+  w.BeginObject();
+  w.Key("tier");
+  w.String(fsx::simd::TierName(fsx::simd::ActiveTier()));
+  w.Key("forced_scalar");
+  w.Bool(fsx::simd::ForceScalarFromEnv());
+  w.EndObject();
   if (transport != nullptr) {
     w.Key("transport");
     w.BeginObject();
@@ -562,6 +601,10 @@ int main(int argc, char** argv) {
   // FSX_CRASH_AT=<n> so external sweeps can kill the process at the
   // n-th crash point (no-op unless the variable is set).
   fsx::store::ArmCrashFromEnv();
+  if (argc >= 2 && (std::strcmp(argv[1], "--features") == 0 ||
+                    std::strcmp(argv[1], "features") == 0)) {
+    return PrintFeatures();
+  }
   if (argc >= 2 && std::strcmp(argv[1], "demo") == 0) {
     return Demo();
   }
@@ -580,7 +623,7 @@ int main(int argc, char** argv) {
         "[--fault-corrupt=P] [--retries=N] [--journal] [--recover] "
         "[--verify-after-apply]\n"
         "       %s verify <dir>\n       %s recover <dir>\n"
-        "       %s demo\n"
+        "       %s demo\n       %s --features\n"
         "\n"
         "exit codes:\n"
         "  0  sync applied cleanly\n"
@@ -590,7 +633,7 @@ int main(int argc, char** argv) {
         "  4  applied, but concurrently modified files were skipped\n"
         "     (each conflict listed on stderr)\n"
         "  (FSX_CRASH_AT kill-point runs exit 42 at the armed boundary)\n",
-        argv[0], argv[0], argv[0], argv[0]);
+        argv[0], argv[0], argv[0], argv[0], argv[0]);
     return kExitUsage;
   }
   std::string method = "fsx";

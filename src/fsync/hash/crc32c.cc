@@ -2,6 +2,9 @@
 
 #include <array>
 
+#include "fsync/simd/crc32c_kernels.h"
+#include "fsync/simd/dispatch.h"
+
 namespace fsx {
 
 namespace {
@@ -33,7 +36,7 @@ constexpr Crc32cTables kTables{};
 
 }  // namespace
 
-uint32_t Crc32cUpdate(uint32_t crc, ByteSpan data) {
+uint32_t Crc32cUpdatePortable(uint32_t crc, ByteSpan data) {
   const uint8_t* p = data.data();
   size_t n = data.size();
   while (n >= 4) {
@@ -51,6 +54,19 @@ uint32_t Crc32cUpdate(uint32_t crc, ByteSpan data) {
     --n;
   }
   return crc;
+}
+
+uint32_t Crc32cUpdate(uint32_t crc, ByteSpan data) {
+  if (data.empty()) {
+    return crc;
+  }
+  simd::DispatchTier tier = simd::ActiveTier();
+  if (tier != simd::DispatchTier::kScalar) {
+    if (simd::Crc32cKernelFn kernel = simd::Crc32cKernel(tier)) {
+      return kernel(crc, data.data(), data.size());
+    }
+  }
+  return Crc32cUpdatePortable(crc, data);
 }
 
 uint32_t Crc32c(ByteSpan data) {

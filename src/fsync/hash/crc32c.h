@@ -2,8 +2,14 @@
 // checksum the reliable transport uses to frame records. Chosen over the
 // protocol's rolling hashes because record integrity needs burst-error
 // detection, not rollability; CRC32C detects all single-bit errors and
-// all bursts up to 32 bits. Software table-driven (slice-by-4); no
-// hardware dependency so results are identical on every platform.
+// all bursts up to 32 bits.
+//
+// Crc32cUpdate dispatches at runtime: hardware CRC instructions (SSE4.2
+// / ARMv8, three-stream interleaved — see simd/crc32c_kernels.h) when
+// the CPU has them, the portable slice-by-4 tables otherwise. Every tier
+// computes the same value for every input, so results stay identical on
+// every platform; FSX_FORCE_SCALAR=1 (or simd::ForceTier) pins the
+// portable code.
 #ifndef FSYNC_HASH_CRC32C_H_
 #define FSYNC_HASH_CRC32C_H_
 
@@ -21,6 +27,11 @@ uint32_t Crc32c(ByteSpan data);
 inline constexpr uint32_t kCrc32cInit = 0xFFFFFFFFu;
 uint32_t Crc32cUpdate(uint32_t crc, ByteSpan data);
 inline uint32_t Crc32cFinish(uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+/// The portable slice-by-4 kernel, bypassing dispatch. Reference
+/// implementation for the cross-tier equivalence tests and the
+/// scalar-vs-hardware rows of bench/throughput_sweep.
+uint32_t Crc32cUpdatePortable(uint32_t crc, ByteSpan data);
 
 }  // namespace fsx
 

@@ -1,0 +1,74 @@
+// GEAR-table rolling hash (the content-dependent-shingling family:
+// FastCDC / "Scalable String Reconciliation by Recursive
+// Content-Dependent Shingling"). The inner step is one table lookup,
+// one shift, and one add —
+//
+//   h_{i+1} = (h_i << 1) + T[b_in]  (mod 2^64)
+//
+// — which pipelines far better than the Adler pair's two coupled 16-bit
+// sums: no modular folds, no multiply, and the removal term for a fixed
+// window W is a single subtraction of T[b_out] << W (identically zero
+// once W >= 64, because the contribution has shifted out of the word).
+// The hash of a window therefore depends on its trailing min(W, 64)
+// bytes; with the 64-entry effective window and 64-bit state it is a
+// strictly stronger per-position discriminator than the 32-bit Adler
+// pair for the scan loop's prefilter probes.
+//
+// Trade-off: GEAR is neither composable nor decomposable, so the fsx
+// endpoint's sibling-hash suppression (Section 5.5) cannot use it; it is
+// offered as a config-gated alternative weak hash for the flat-scan
+// protocols (MultiroundParams::use_gear), wire-compatible only with
+// itself.
+#ifndef FSYNC_HASH_GEAR_H_
+#define FSYNC_HASH_GEAR_H_
+
+#include <cstdint>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// Namespace-style collection of GEAR hash operations.
+class Gear {
+ public:
+  /// Hash of `block` (depends on its trailing min(size, 64) bytes).
+  static uint64_t Hash(ByteSpan block);
+
+  /// Low `num_bits` bits (num_bits in [1, 32]) — the wire-width form,
+  /// symmetric with TabledAdler::Truncate.
+  static uint32_t Truncate(uint64_t hash, int num_bits);
+
+  /// The 256-entry 64-bit substitution table (exposed for tests). Fixed
+  /// pseudo-random constants: both endpoints must agree byte for byte.
+  static const uint64_t* Table();
+};
+
+/// Rolling GEAR hash over a fixed-size window.
+class GearWindow {
+ public:
+  /// Initializes over `window`, which defines the window size.
+  explicit GearWindow(ByteSpan window);
+
+  /// Slides by one byte: drops `out` (old first byte), appends `in`.
+  void Roll(uint8_t out, uint8_t in) {
+    hash_ = (hash_ << 1) + Gear::Table()[in] - RemovalTerm(out);
+  }
+
+  /// Current hash value.
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t RemovalTerm(uint8_t out) const {
+    // After the shift, `out`'s contribution sits at bit offset
+    // window_size_; for windows of 64+ bytes it has already left the
+    // 64-bit state and removal is free.
+    return window_size_ < 64 ? Gear::Table()[out] << window_size_ : 0;
+  }
+
+  uint64_t hash_ = 0;
+  uint32_t window_size_ = 0;
+};
+
+}  // namespace fsx
+
+#endif  // FSYNC_HASH_GEAR_H_

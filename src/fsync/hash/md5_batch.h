@@ -1,0 +1,38 @@
+// Batched strong-hash verification: MD5 over four independent messages
+// in lockstep. MD5's compression function is one long dependency chain,
+// so a single hash cannot use wide execution units — but four unrelated
+// hashes can run in the same instructions with 4x32-bit SIMD lanes (or,
+// without SIMD, still overlap their dependency chains for ILP). The
+// protocols verify *many* candidate blocks of the same size per round
+// (zsync control files, multiround round hashes, group-testing batches),
+// which is exactly this shape.
+//
+// Bit-exactness contract: Md5HashBitsBatch(b, n, k, s, out) leaves
+// out[i] == Md5::HashBits(b[i], k, s) for every input — the batch is an
+// execution detail, never a wire-visible one (pinned in hash_test.cc).
+#ifndef FSYNC_HASH_MD5_BATCH_H_
+#define FSYNC_HASH_MD5_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx {
+
+/// Computes out[i] = Md5::HashBits(blocks[i], num_bits, salt) for
+/// i in [0, n). Runs of four consecutive equal-length blocks go through
+/// the interleaved 4-lane compress; stragglers (tails, odd counts) fall
+/// back to the scalar hasher. Callers that sort or group by size get the
+/// full batch speedup; any order is correct.
+void Md5HashBitsBatch(const ByteSpan* blocks, size_t n, int num_bits,
+                      uint64_t salt, uint64_t* out);
+
+/// The 4-lane core: all four blocks MUST have the same size.
+/// out[i] = Md5::HashBits(blocks[i], num_bits, salt).
+void Md5HashBits4(const ByteSpan blocks[4], int num_bits, uint64_t salt,
+                  uint64_t out[4]);
+
+}  // namespace fsx
+
+#endif  // FSYNC_HASH_MD5_BATCH_H_

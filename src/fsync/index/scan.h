@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "fsync/hash/gear.h"
 #include "fsync/hash/tabled_adler.h"
 #include "fsync/index/block_index.h"
 #include "fsync/par/thread_pool.h"
@@ -30,6 +31,36 @@ namespace fsx {
 
 /// "No position matched" marker in scan results.
 inline constexpr uint64_t kScanNoMatch = ~uint64_t{0};
+
+/// Weak-hash policy for the scan loop: pairs a whole-block hash (what
+/// the sender computes per block) with a rolling window and the
+/// truncation that maps both onto wire-width keys. Policies are a
+/// compile-time knob — the two sides of a transfer must use the same
+/// one, and switching changes the wire bytes (it is a protocol
+/// parameter, not an execution detail).
+struct AdlerScanHash {
+  using Window = TabledAdlerWindow;
+  static uint32_t BlockKey(ByteSpan block, int bits) {
+    return static_cast<uint32_t>(
+        TabledAdler::Truncate(TabledAdler::Hash(block), bits));
+  }
+  static uint32_t WindowKey(const Window& w, int bits) {
+    return TabledAdler::Truncate(w.pair(), bits);
+  }
+};
+
+/// GEAR-table policy: one shift+add+lookup per rolled byte (see
+/// hash/gear.h). Window hashes depend on the trailing min(size, 64)
+/// bytes only, which is what makes the roll this cheap.
+struct GearScanHash {
+  using Window = GearWindow;
+  static uint32_t BlockKey(ByteSpan block, int bits) {
+    return Gear::Truncate(Gear::Hash(block), bits);
+  }
+  static uint32_t WindowKey(const Window& w, int bits) {
+    return Gear::Truncate(w.value(), bits);
+  }
+};
 
 /// Execution knobs for the scan loops.
 struct ScanOptions {
@@ -42,14 +73,22 @@ struct ScanOptions {
 };
 
 /// Finds, for every item i, the earliest position p in `haystack` such
-/// that Truncate(hash(haystack[p, p+size)), weak_bits) == keys[i] and
+/// that Hash::WindowKey(window at p, weak_bits) == keys[i] and
 /// verify(i, p) returns true; writes it to out_pos[i] (kScanNoMatch when
 /// none). `verify` must be a pure function of (item, position) — with
 /// options.num_threads > 1 it is called concurrently from several
 /// threads. `scratch` (optional) reuses a BlockIndex's allocation across
 /// calls; the per-byte probe uses its bitmap prefilter, so non-matching
 /// positions cost one load.
-template <typename Verify>
+///
+/// The inner loop rolls the window eight positions ahead of the
+/// prefilter probes: rolling is a pure dependency chain on the window
+/// state while probing is a load plus an unpredictable branch, so
+/// buffering eight keys lets the roll chain run unstalled and turns the
+/// probes into a short batched sweep. Probes still happen in position
+/// order, so earliest-match semantics (and therefore wire bytes) are
+/// untouched — the stride is an execution detail.
+template <typename Hash = AdlerScanHash, typename Verify>
 void ScanForKeys(ByteSpan haystack, uint64_t size, int weak_bits,
                  const std::vector<uint32_t>& keys, Verify&& verify,
                  std::vector<uint64_t>& out_pos,
@@ -74,20 +113,40 @@ void ScanForKeys(ByteSpan haystack, uint64_t size, int weak_bits,
   auto scan_range = [&](uint64_t begin, uint64_t end,
                         std::vector<uint64_t>& pos) {
     size_t unmatched = keys.size();
-    TabledAdlerWindow window(haystack.subspan(begin, size));
-    for (uint64_t p = begin; p < end; ++p) {
-      uint32_t key = TabledAdler::Truncate(window.pair(), weak_bits);
-      if (index.MaybeContains(key)) {
-        index.ForEach(key, [&](const BlockIndex::Entry& e) {
-          if (pos[e.idx] == kScanNoMatch && verify(e.idx, p)) {
-            pos[e.idx] = p;
-            --unmatched;
-          }
-          return false;  // several items may share a key
-        });
-        if (unmatched == 0) {
+    typename Hash::Window window(haystack.subspan(begin, size));
+    // Probes a key observed at position p; returns true when every item
+    // has matched (global early exit).
+    auto probe = [&](uint32_t key, uint64_t p, std::vector<uint64_t>& pp) {
+      index.ForEach(key, [&](const BlockIndex::Entry& e) {
+        if (pp[e.idx] == kScanNoMatch && verify(e.idx, p)) {
+          pp[e.idx] = p;
+          --unmatched;
+        }
+        return false;  // several items may share a key
+      });
+      return unmatched == 0;
+    };
+    constexpr uint64_t kStride = 8;
+    uint64_t p = begin;
+    uint32_t keybuf[kStride];
+    while (p + kStride <= end) {
+      for (uint64_t k = 0; k < kStride; ++k) {
+        keybuf[k] = Hash::WindowKey(window, weak_bits);
+        if (p + k + 1 < end) {
+          window.Roll(haystack[p + k], haystack[p + k + size]);
+        }
+      }
+      for (uint64_t k = 0; k < kStride; ++k) {
+        if (index.MaybeContains(keybuf[k]) && probe(keybuf[k], p + k, pos)) {
           return;
         }
+      }
+      p += kStride;
+    }
+    for (; p < end; ++p) {
+      uint32_t key = Hash::WindowKey(window, weak_bits);
+      if (index.MaybeContains(key) && probe(key, p, pos)) {
+        return;
       }
       if (p + 1 < end) {
         window.Roll(haystack[p], haystack[p + size]);

@@ -5,7 +5,9 @@
 
 #include "fsync/compress/codec.h"
 #include "fsync/hash/fingerprint.h"
+#include "fsync/hash/gear.h"
 #include "fsync/hash/md5.h"
+#include "fsync/hash/md5_batch.h"
 #include "fsync/hash/tabled_adler.h"
 #include "fsync/index/scan.h"
 #include "fsync/par/thread_pool.h"
@@ -155,13 +157,30 @@ StatusOr<MultiroundResult> MultiroundSynchronize(
       to_hash.push_back(&b);
     }
     round_hashes.assign(to_hash.size(), WeakStrong{});
-    par::ParallelFor(params.num_threads, to_hash.size(), [&](size_t i) {
-      ByteSpan block = current.subspan(to_hash[i]->offset, to_hash[i]->size);
-      round_hashes[i].weak = static_cast<uint32_t>(
-          TabledAdler::Truncate(TabledAdler::Hash(block), params.weak_bits));
+    // Strides of four so the strong hashes go through the interleaved
+    // 4-lane MD5 (within a round most unresolved blocks share a size, so
+    // groups usually qualify). Results land in block order either way.
+    const size_t n_groups = (to_hash.size() + 3) / 4;
+    par::ParallelFor(params.num_threads, n_groups, [&](size_t g) {
+      const size_t begin = 4 * g;
+      const size_t count = std::min<size_t>(4, to_hash.size() - begin);
+      ByteSpan blocks[4];
+      uint64_t strong[4];
+      for (size_t k = 0; k < count; ++k) {
+        blocks[k] = current.subspan(to_hash[begin + k]->offset,
+                                    to_hash[begin + k]->size);
+      }
       if (params.strong_bits > 0) {
-        round_hashes[i].strong =
-            Md5::HashBits(block, params.strong_bits, 0xA11);
+        Md5HashBitsBatch(blocks, count, params.strong_bits, 0xA11, strong);
+      }
+      for (size_t k = 0; k < count; ++k) {
+        round_hashes[begin + k].weak =
+            params.use_gear
+                ? GearScanHash::BlockKey(blocks[k], params.weak_bits)
+                : AdlerScanHash::BlockKey(blocks[k], params.weak_bits);
+        if (params.strong_bits > 0) {
+          round_hashes[begin + k].strong = strong[k];
+        }
       }
     });
     BitWriter hashes;
@@ -203,16 +222,21 @@ StatusOr<MultiroundResult> MultiroundSynchronize(
       }
       const uint64_t block_size = size;
       const std::vector<size_t>& items = idxs;
-      ScanForKeys(
-          outdated, block_size, params.weak_bits, scan_keys,
-          [&](size_t j, uint64_t pos) {
-            // Verify the strong bits locally before accepting.
-            return params.strong_bits == 0 ||
-                   Md5::HashBits(outdated.subspan(pos, block_size),
-                                 params.strong_bits,
-                                 0xA11) == pending[items[j]].strong;
-          },
-          scan_pos, scan_opts, &scan_scratch);
+      auto verify = [&](size_t j, uint64_t pos) {
+        // Verify the strong bits locally before accepting.
+        return params.strong_bits == 0 ||
+               Md5::HashBits(outdated.subspan(pos, block_size),
+                             params.strong_bits,
+                             0xA11) == pending[items[j]].strong;
+      };
+      if (params.use_gear) {
+        ScanForKeys<GearScanHash>(outdated, block_size, params.weak_bits,
+                                  scan_keys, verify, scan_pos, scan_opts,
+                                  &scan_scratch);
+      } else {
+        ScanForKeys(outdated, block_size, params.weak_bits, scan_keys,
+                    verify, scan_pos, scan_opts, &scan_scratch);
+      }
       for (size_t j = 0; j < idxs.size(); ++j) {
         if (scan_pos[j] != kScanNoMatch) {
           pending[idxs[j]].found = true;

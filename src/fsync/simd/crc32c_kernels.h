@@ -1,0 +1,33 @@
+// Hardware CRC32C kernels (Castagnoli polynomial, reflected 0x82F63B78)
+// behind the dispatch layer: SSE4.2 `_mm_crc32_u64` on x86-64 and ARMv8
+// `__crc32cd` on AArch64, both three-stream interleaved so long buffers
+// saturate the CRC unit's pipeline (the instruction has 3-cycle latency
+// but 1-cycle throughput; three independent chains hide the latency).
+// Streams are merged with precomputed GF(2) zero-extension operators —
+// the standard crc32c "shift" technique — so results are bit-identical
+// to the portable slice-by-4 code for every input.
+//
+// Callers go through hash/crc32c.h; this header exists for the dispatch
+// glue, tests, and the throughput bench, which exercise kernels directly.
+#ifndef FSYNC_SIMD_CRC32C_KERNELS_H_
+#define FSYNC_SIMD_CRC32C_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fsync/simd/dispatch.h"
+
+namespace fsx::simd {
+
+/// A CRC32C update kernel: continues `crc` (no init/final xor) over
+/// `data[0, n)`.
+using Crc32cKernelFn = uint32_t (*)(uint32_t crc, const uint8_t* data,
+                                    size_t n);
+
+/// The hardware kernel for `tier`, or nullptr when this build/host has
+/// none (scalar tier, or a tier compiled out on this architecture).
+Crc32cKernelFn Crc32cKernel(DispatchTier tier);
+
+}  // namespace fsx::simd
+
+#endif  // FSYNC_SIMD_CRC32C_KERNELS_H_

@@ -1,0 +1,134 @@
+#include "fsync/simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+
+namespace fsx::simd {
+
+namespace {
+
+CpuFeatures Probe() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  f.sse42 = __builtin_cpu_supports("sse4.2");
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.clmul = __builtin_cpu_supports("pclmul");
+#elif defined(__aarch64__) && defined(__linux__)
+  f.armv8_crc = (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#endif
+  return f;
+}
+
+DispatchTier BestHardwareTier() {
+  const CpuFeatures& f = DetectCpuFeatures();
+  if (f.sse42) {
+    return DispatchTier::kSse42;
+  }
+  if (f.armv8_crc) {
+    return DispatchTier::kArmv8Crc;
+  }
+  return DispatchTier::kScalar;
+}
+
+// kUnresolved marks "not yet computed"; any other value is the cached
+// DispatchTier. ForceTier writes the cache directly (or resets it).
+constexpr int kUnresolved = -1;
+std::atomic<int> g_active{kUnresolved};
+std::atomic<bool> g_forced{false};
+
+DispatchTier Resolve() {
+  if (ForceScalarFromEnv()) {
+    return DispatchTier::kScalar;
+  }
+  return BestHardwareTier();
+}
+
+}  // namespace
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = Probe();
+  return features;
+}
+
+DispatchTier ActiveTier() {
+  int cached = g_active.load(std::memory_order_relaxed);
+  if (cached == kUnresolved) {
+    cached = static_cast<int>(Resolve());
+    g_active.store(cached, std::memory_order_relaxed);
+  }
+  return static_cast<DispatchTier>(cached);
+}
+
+const char* TierName(DispatchTier tier) {
+  switch (tier) {
+    case DispatchTier::kScalar:
+      return "scalar";
+    case DispatchTier::kSse42:
+      return "sse42";
+    case DispatchTier::kArmv8Crc:
+      return "armv8crc";
+  }
+  return "unknown";
+}
+
+std::vector<DispatchTier> AvailableTiers() {
+  std::vector<DispatchTier> tiers = {DispatchTier::kScalar};
+  const CpuFeatures& f = DetectCpuFeatures();
+  if (f.sse42) {
+    tiers.push_back(DispatchTier::kSse42);
+  }
+  if (f.armv8_crc) {
+    tiers.push_back(DispatchTier::kArmv8Crc);
+  }
+  return tiers;
+}
+
+void ForceTier(std::optional<DispatchTier> tier) {
+  if (!tier.has_value()) {
+    g_forced.store(false, std::memory_order_relaxed);
+    g_active.store(kUnresolved, std::memory_order_relaxed);
+    return;
+  }
+  DispatchTier want = *tier;
+  if (want != DispatchTier::kScalar) {
+    // Never force a kernel the host cannot execute.
+    const CpuFeatures& f = DetectCpuFeatures();
+    bool runnable = (want == DispatchTier::kSse42 && f.sse42) ||
+                    (want == DispatchTier::kArmv8Crc && f.armv8_crc);
+    if (!runnable) {
+      return;
+    }
+  }
+  g_forced.store(true, std::memory_order_relaxed);
+  g_active.store(static_cast<int>(want), std::memory_order_relaxed);
+}
+
+bool ForceScalarFromEnv() {
+  const char* v = std::getenv("FSX_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' &&
+         !(v[0] == '0' && v[1] == '\0');
+}
+
+std::string DescribeDispatch() {
+  const CpuFeatures& f = DetectCpuFeatures();
+  std::string cpu;
+  if (f.sse42) cpu += " sse4.2";
+  if (f.avx2) cpu += " avx2";
+  if (f.clmul) cpu += " pclmul";
+  if (f.armv8_crc) cpu += " armv8-crc";
+  if (cpu.empty()) cpu = " none";
+  std::string forced = g_forced.load(std::memory_order_relaxed)
+                           ? TierName(ActiveTier())
+                           : (ForceScalarFromEnv() ? "scalar (env)" : "none");
+  return std::string(TierName(ActiveTier())) + " (cpu:" + cpu +
+         "; forced: " + forced + ")";
+}
+
+}  // namespace fsx::simd

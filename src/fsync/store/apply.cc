@@ -11,6 +11,7 @@
 
 #include "fsync/store/crashpoint.h"
 #include "fsync/store/durable_io.h"
+#include "fsync/util/mapped_file.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define FSYNC_POSIX_IO 1
@@ -32,13 +33,7 @@ bool EndsWith(const std::string& s, const char* suffix) {
 }
 
 StatusOr<Bytes> ReadFileBytes(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  if (!in) {
-    return Status::NotFound("cannot read " + p.string());
-  }
-  Bytes data{std::istreambuf_iterator<char>(in),
-             std::istreambuf_iterator<char>()};
-  return data;
+  return ReadWholeFile(p.string());
 }
 
 /// The file as it exists on disk right now, in manifest terms; nullopt

@@ -8,6 +8,7 @@
 #include "fsync/hash/md5.h"
 #include "fsync/store/journal.h"
 #include "fsync/util/hex.h"
+#include "fsync/util/mapped_file.h"
 
 namespace fsx {
 
@@ -18,13 +19,10 @@ namespace {
 constexpr char kManifestName[] = ".fsx-manifest";
 
 StatusOr<Bytes> ReadFileBytes(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  if (!in) {
-    return Status::NotFound("cannot read " + p.string());
-  }
-  Bytes data{std::istreambuf_iterator<char>(in),
-             std::istreambuf_iterator<char>()};
-  return data;
+  // One stat + read loop (util/mapped_file.h) instead of the former
+  // byte-at-a-time istreambuf_iterator — the collection loader walks
+  // whole trees through here.
+  return ReadWholeFile(p.string());
 }
 
 Status WriteFileBytes(const fs::path& p, ByteSpan data) {

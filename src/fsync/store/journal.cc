@@ -7,6 +7,7 @@
 
 #include "fsync/hash/crc32c.h"
 #include "fsync/store/crashpoint.h"
+#include "fsync/util/mapped_file.h"
 #include "fsync/store/durable_io.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -298,12 +299,11 @@ Status JournalWriter::Append(const JournalRecord& record) {
 }
 
 StatusOr<JournalContents> ReadJournal(const fs::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  StatusOr<Bytes> data_or = ReadWholeFile(path.string());
+  if (!data_or.ok()) {
     return Status::NotFound("no journal at " + path.string());
   }
-  Bytes data{std::istreambuf_iterator<char>(in),
-             std::istreambuf_iterator<char>()};
+  Bytes data = std::move(data_or).value();
   if (data.size() < kMagicLen ||
       std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
     return Status::DataLoss("journal " + path.string() +

@@ -1,0 +1,146 @@
+#include "fsync/util/mapped_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FSYNC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace fsx {
+
+namespace {
+
+#if defined(FSYNC_HAVE_MMAP)
+// RAII fd so every early return below closes it.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Status ReadAll(int fd, uint64_t file_size, Bytes& out,
+               const std::string& path) {
+  out.resize(file_size);
+  size_t off = 0;
+  while (off < out.size()) {
+    ssize_t n = ::read(fd, out.data() + off, out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("read " + path + ": " +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      // File shrank between stat and read; a short result is still a
+      // consistent snapshot of the remaining bytes.
+      out.resize(off);
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+#endif
+
+}  // namespace
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    fallback_ = std::move(other.fallback_);
+    if (!mapped_) data_ = fallback_.data();
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+void MappedFile::Reset() {
+#if defined(FSYNC_HAVE_MMAP)
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.clear();
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+#if defined(FSYNC_HAVE_MMAP)
+  Fd f;
+  f.fd = ::open(path.c_str(), O_RDONLY);
+  if (f.fd < 0) {
+    return Status::NotFound("cannot read " + path);
+  }
+  struct stat st;
+  if (::fstat(f.fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    return Status::NotFound("not a regular file: " + path);
+  }
+  MappedFile m;
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size > 0) {
+    void* p = ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, f.fd, 0);
+    if (p != MAP_FAILED) {
+#if defined(MADV_SEQUENTIAL)
+      ::madvise(p, file_size, MADV_SEQUENTIAL);  // advisory; may fail
+#endif
+      m.data_ = static_cast<const uint8_t*>(p);
+      m.size_ = file_size;
+      m.mapped_ = true;
+      return m;
+    }
+  }
+  // mmap declined (empty file, odd filesystem): owned-buffer fallback.
+  FSYNC_RETURN_IF_ERROR(ReadAll(f.fd, file_size, m.fallback_, path));
+  m.data_ = m.fallback_.data();
+  m.size_ = m.fallback_.size();
+  return m;
+#else
+  MappedFile m;
+  FSYNC_ASSIGN_OR_RETURN(m.fallback_, ReadWholeFile(path));
+  m.data_ = m.fallback_.data();
+  m.size_ = m.fallback_.size();
+  return m;
+#endif
+}
+
+StatusOr<Bytes> ReadWholeFile(const std::string& path) {
+#if defined(FSYNC_HAVE_MMAP)
+  Fd f;
+  f.fd = ::open(path.c_str(), O_RDONLY);
+  if (f.fd < 0) {
+    return Status::NotFound("cannot read " + path);
+  }
+  struct stat st;
+  if (::fstat(f.fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    return Status::NotFound("not a regular file: " + path);
+  }
+  Bytes out;
+  FSYNC_RETURN_IF_ERROR(
+      ReadAll(f.fd, static_cast<uint64_t>(st.st_size), out, path));
+  return out;
+#else
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot read " + path);
+  }
+  Bytes data{std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>()};
+  return data;
+#endif
+}
+
+}  // namespace fsx

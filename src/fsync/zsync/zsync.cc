@@ -3,6 +3,7 @@
 #include "fsync/compress/codec.h"
 #include "fsync/hash/fingerprint.h"
 #include "fsync/hash/md5.h"
+#include "fsync/hash/md5_batch.h"
 #include "fsync/hash/tabled_adler.h"
 #include "fsync/index/scan.h"
 #include "fsync/par/thread_pool.h"
@@ -76,13 +77,27 @@ StatusOr<Bytes> MakeZsyncControl(ByteSpan current,
     uint64_t strong = 0;
   };
   std::vector<BlockHashes> hashes(n_blocks);
-  par::ParallelFor(params.num_threads, n_blocks, [&](size_t i) {
-    uint64_t off = i * bs;
-    ByteSpan block =
-        current.subspan(off, std::min<uint64_t>(bs, current.size() - off));
-    hashes[i] = {static_cast<uint32_t>(TabledAdler::Truncate(
-                     TabledAdler::Hash(block), params.weak_bits)),
-                 Md5::HashBits(block, params.strong_bits, kStrongSalt)};
+  // Strides of four so the strong hashes go through the interleaved
+  // 4-lane MD5 (all full blocks share `bs`; only the tail group falls
+  // back to scalar). Results land in block order either way.
+  const size_t n_groups = (n_blocks + 3) / 4;
+  par::ParallelFor(params.num_threads, n_groups, [&](size_t g) {
+    const size_t begin = 4 * g;
+    const size_t count = std::min<size_t>(4, n_blocks - begin);
+    ByteSpan blocks[4];
+    uint64_t strong[4];
+    for (size_t k = 0; k < count; ++k) {
+      uint64_t off = (begin + k) * bs;
+      blocks[k] =
+          current.subspan(off, std::min<uint64_t>(bs, current.size() - off));
+    }
+    Md5HashBitsBatch(blocks, count, params.strong_bits, kStrongSalt, strong);
+    for (size_t k = 0; k < count; ++k) {
+      hashes[begin + k] = {
+          static_cast<uint32_t>(TabledAdler::Truncate(
+              TabledAdler::Hash(blocks[k]), params.weak_bits)),
+          strong[k]};
+    }
   });
   for (const BlockHashes& h : hashes) {
     out.WriteBits(h.weak, params.weak_bits);

@@ -10,6 +10,8 @@
 
 #include "fsync/cdc/cdc_sync.h"
 #include "fsync/compress/huffman.h"
+#include "fsync/hash/gear.h"
+#include "fsync/hash/rolling_adler.h"
 #include "fsync/hash/tabled_adler.h"
 #include "fsync/multiround/multiround.h"
 #include "fsync/util/bit_io.h"
@@ -26,6 +28,55 @@ uint64_t BaseSeed() {
   static const uint64_t kBase = SeedFromEnv(0);
   return kBase;
 }
+
+// --- Rolling hashes vs. from-scratch recomputation ----------------------
+//
+// The weak-hash scan loops only ever see rolled values, so a roll/
+// recompute divergence is silent corruption: blocks stop matching and
+// the protocols quietly transfer everything literally. Pin, for every
+// rolling hash (classic Adler, tabled Adler, GEAR), that sliding to a
+// random offset equals hashing the window from scratch — random window
+// sizes, random offsets, random data, FSX_SEED replays.
+
+class RollingHashModel : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RollingHashModel, RollEqualsRecomputeAtRandomOffsets) {
+  const uint64_t seed = BaseSeed() + GetParam() * 1000003;
+  Rng rng(seed);
+  const std::string trace = "replay with FSX_SEED=" + std::to_string(seed);
+  const size_t n = 2048 + rng.Uniform(8192);
+  Bytes data = rng.RandomBytes(n);
+  // Window sizes spanning the removal-term regimes: tiny, around the
+  // GEAR 64-byte horizon, and protocol-typical block sizes.
+  const size_t window = 1 + rng.Uniform(std::min<size_t>(n - 1, 4096));
+
+  RollingAdler classic(ByteSpan(data.data(), window));
+  TabledAdlerWindow tabled(ByteSpan(data.data(), window));
+  GearWindow gear(ByteSpan(data.data(), window));
+  size_t pos = 0;
+  for (int hop = 0; hop < 64 && pos + window < n; ++hop) {
+    // Random stride, so checks land at uncorrelated offsets.
+    size_t stride = 1 + rng.Uniform(64);
+    for (size_t s = 0; s < stride && pos + window < n; ++s, ++pos) {
+      classic.Roll(data[pos], data[pos + window]);
+      tabled.Roll(data[pos], data[pos + window]);
+      gear.Roll(data[pos], data[pos + window]);
+    }
+    ByteSpan at(data.data() + pos, window);
+    EXPECT_EQ(classic.value(), RollingAdler(at).value())
+        << "classic adler, window " << window << " pos " << pos << "; "
+        << trace;
+    AdlerPair fresh = TabledAdler::Hash(at);
+    EXPECT_TRUE(tabled.pair().a == fresh.a && tabled.pair().b == fresh.b)
+        << "tabled adler, window " << window << " pos " << pos << "; "
+        << trace;
+    EXPECT_EQ(gear.value(), Gear::Hash(at))
+        << "gear, window " << window << " pos " << pos << "; " << trace;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWindows, RollingHashModel,
+                         ::testing::Range(uint64_t{0}, uint64_t{24}));
 
 // --- Bit I/O vs. a vector<bool> reference model -------------------------
 

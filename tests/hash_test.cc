@@ -1,14 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "fsync/hash/crc32c.h"
 #include "fsync/hash/fingerprint.h"
+#include "fsync/hash/gear.h"
 #include "fsync/hash/karp_rabin.h"
 #include "fsync/hash/md4.h"
 #include "fsync/hash/md5.h"
+#include "fsync/hash/md5_batch.h"
 #include "fsync/hash/rolling_adler.h"
 #include "fsync/hash/tabled_adler.h"
+#include "fsync/simd/dispatch.h"
 #include "fsync/util/hex.h"
 #include "fsync/util/random.h"
 
@@ -285,6 +291,208 @@ TEST(Crc32c, DetectsSingleBitErrors) {
       EXPECT_NE(Crc32c(bad), good)
           << "bit " << bit << " of byte " << byte;
     }
+  }
+}
+
+// --- CRC32C dispatch tiers (simd/): every runnable kernel must be
+// bit-identical to the portable slice-by-4 code ------------------------
+
+// Restores automatic tier resolution however a test exits.
+class TierGuard {
+ public:
+  explicit TierGuard(simd::DispatchTier tier) { simd::ForceTier(tier); }
+  ~TierGuard() { simd::ForceTier(std::nullopt); }
+};
+
+class Crc32cTiers : public ::testing::TestWithParam<simd::DispatchTier> {};
+
+TEST_P(Crc32cTiers, MatchesRfc3720Vectors) {
+  TierGuard guard(GetParam());
+  EXPECT_EQ(Crc32c(ByteSpan()), 0x00000000u);
+  EXPECT_EQ(Crc32c(B("123456789")), 0xE3069283u);
+  Bytes zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros), 0x8A9136AAu);
+  Bytes ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones), 0x62A8AB43u);
+  Bytes incrementing(32);
+  for (int i = 0; i < 32; ++i) incrementing[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(Crc32c(incrementing), 0x46DD794Eu);
+  Bytes decrementing(32);
+  for (int i = 0; i < 32; ++i) {
+    decrementing[i] = static_cast<uint8_t>(31 - i);
+  }
+  EXPECT_EQ(Crc32c(decrementing), 0x113FDB5Cu);
+}
+
+TEST_P(Crc32cTiers, UnalignedAndShortBuffersMatchPortable) {
+  TierGuard guard(GetParam());
+  Bytes data = Rng(7).RandomBytes(256);
+  // Every sub-8-byte length at every alignment in [0, 8), plus lengths
+  // around the word boundary — the kernel's byte-wise head/tail paths.
+  for (size_t offset = 0; offset < 8; ++offset) {
+    for (size_t len : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                       size_t{4}, size_t{5}, size_t{6}, size_t{7},
+                       size_t{8}, size_t{9}, size_t{15}, size_t{16},
+                       size_t{17}, size_t{63}, size_t{64}, size_t{65}}) {
+      ByteSpan span(data.data() + offset, len);
+      EXPECT_EQ(Crc32cUpdate(kCrc32cInit, span),
+                Crc32cUpdatePortable(kCrc32cInit, span))
+          << "offset " << offset << " len " << len;
+    }
+  }
+}
+
+TEST_P(Crc32cTiers, PageStraddlingBuffersMatchPortable) {
+  TierGuard guard(GetParam());
+  // Two touching pages; spans end exactly at, one byte past, and
+  // straddling the boundary, at shifted alignments.
+  constexpr size_t kPage = 4096;
+  std::vector<uint8_t> pages(2 * kPage);
+  Rng rng(11);
+  for (uint8_t& b : pages) b = static_cast<uint8_t>(rng.Next());
+  for (size_t begin : {kPage - 257, kPage - 64, kPage - 9, kPage - 1}) {
+    for (size_t len : {size_t{1}, size_t{8}, size_t{9}, size_t{64},
+                       size_t{300}, size_t{2 * kPage} /* clipped */}) {
+      size_t n = std::min(len, 2 * kPage - begin);
+      ByteSpan span(pages.data() + begin, n);
+      EXPECT_EQ(Crc32cUpdate(kCrc32cInit, span),
+                Crc32cUpdatePortable(kCrc32cInit, span))
+          << "begin " << begin << " len " << n;
+    }
+  }
+}
+
+TEST_P(Crc32cTiers, LongBuffersExerciseStreamCombine) {
+  TierGuard guard(GetParam());
+  // > 3 long stripes (3 * 8 KiB) so the interleaved three-stream path
+  // and its GF(2) recombination run; odd tail defeats round sizes.
+  Bytes data = Rng(13).RandomBytes(3 * 8192 * 4 + 137);
+  EXPECT_EQ(Crc32cUpdate(kCrc32cInit, data),
+            Crc32cUpdatePortable(kCrc32cInit, data));
+  // Chained updates across uneven cuts must equal the one-shot CRC.
+  for (size_t cut : {size_t{1}, size_t{8191}, size_t{3 * 8192},
+                     size_t{3 * 8192 * 2 + 5}}) {
+    uint32_t crc = kCrc32cInit;
+    crc = Crc32cUpdate(crc, ByteSpan(data.data(), cut));
+    crc = Crc32cUpdate(crc, ByteSpan(data.data() + cut, data.size() - cut));
+    EXPECT_EQ(Crc32cFinish(crc), Crc32c(data)) << "cut at " << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRunnableTiers, Crc32cTiers,
+    ::testing::ValuesIn(simd::AvailableTiers()),
+    [](const ::testing::TestParamInfo<simd::DispatchTier>& info) {
+      return simd::TierName(info.param);
+    });
+
+TEST(DispatchControl, ForceTierPinsAndReleases) {
+  simd::ForceTier(simd::DispatchTier::kScalar);
+  EXPECT_EQ(simd::ActiveTier(), simd::DispatchTier::kScalar);
+  simd::ForceTier(std::nullopt);
+  // Auto resolution again: whatever it picks must be runnable here.
+  simd::DispatchTier tier = simd::ActiveTier();
+  bool runnable = false;
+  for (simd::DispatchTier t : simd::AvailableTiers()) {
+    runnable = runnable || t == tier;
+  }
+  EXPECT_TRUE(runnable);
+}
+
+// --- GEAR rolling hash ------------------------------------------------
+
+TEST(Gear, RollMatchesRecompute) {
+  Bytes data = Rng(21).RandomBytes(4096);
+  for (size_t window : {size_t{3}, size_t{32}, size_t{64}, size_t{256}}) {
+    GearWindow rolling(ByteSpan(data.data(), window));
+    for (size_t p = 0; p + window < data.size(); ++p) {
+      EXPECT_EQ(rolling.value(),
+                Gear::Hash(ByteSpan(data.data() + p, window)))
+          << "window " << window << " at " << p;
+      rolling.Roll(data[p], data[p + window]);
+    }
+  }
+}
+
+TEST(Gear, HashDependsOnTrailing64Bytes) {
+  // Contributions shift out of the 64-bit state after 64 positions, so
+  // blocks agreeing on their last 64 bytes hash identically — the
+  // documented trade-off for the one-shift-per-byte roll.
+  Bytes a = Rng(22).RandomBytes(256);
+  Bytes b = Rng(23).RandomBytes(256);
+  std::copy(a.end() - 64, a.end(), b.end() - 64);
+  EXPECT_EQ(Gear::Hash(a), Gear::Hash(b));
+  b.back() ^= 1;  // touch the trailing window: hashes split
+  EXPECT_NE(Gear::Hash(a), Gear::Hash(b));
+}
+
+TEST(Gear, TruncateKeepsLowBits) {
+  const uint64_t h = 0xFEDCBA9876543210ull;
+  EXPECT_EQ(Gear::Truncate(h, 32), 0x76543210u);
+  EXPECT_EQ(Gear::Truncate(h, 16), 0x3210u);
+  EXPECT_EQ(Gear::Truncate(h, 1), 0u);
+  EXPECT_EQ(Gear::Truncate(0xFFFFFFFFFFFFFFFFull, 24), 0xFFFFFFu);
+}
+
+TEST(Gear, TableIsDeterministic) {
+  // Both endpoints regenerate the table; it must never drift.
+  const uint64_t* table = Gear::Table();
+  uint64_t folded = 0;
+  for (int i = 0; i < 256; ++i) folded ^= table[i] * (i + 1);
+  EXPECT_EQ(table[0], Gear::Table()[0]);
+  EXPECT_NE(folded, 0u);  // sanity: actually populated
+  EXPECT_EQ(Gear::Hash(B("abc")),
+            (((table['a'] << 1) + table['b']) << 1) + table['c']);
+}
+
+// --- Batched 4-lane MD5: bit-exact vs the scalar hasher ---------------
+
+TEST(Md5Batch, MatchesScalarAcrossSizesAndSalts) {
+  Rng rng(31);
+  // Sizes poke the padding state machine: empty, sub-block, the 55/56
+  // padding split (with and without the 8-byte salt prefix), block
+  // multiples, and typical sync block sizes.
+  for (size_t size : {size_t{0}, size_t{1}, size_t{47}, size_t{48},
+                      size_t{55}, size_t{56}, size_t{63}, size_t{64},
+                      size_t{65}, size_t{119}, size_t{120}, size_t{128},
+                      size_t{2048}}) {
+    for (uint64_t salt : {uint64_t{0}, uint64_t{0xA11},
+                          uint64_t{0x25A6C}, ~uint64_t{0}}) {
+      Bytes backing = rng.RandomBytes(4 * size + 3);
+      ByteSpan blocks[4];
+      for (int l = 0; l < 4; ++l) {
+        blocks[l] = ByteSpan(backing.data() + l * size, size);
+      }
+      uint64_t out[4];
+      for (int bits : {1, 16, 24, 64}) {
+        Md5HashBits4(blocks, bits, salt, out);
+        for (int l = 0; l < 4; ++l) {
+          EXPECT_EQ(out[l], Md5::HashBits(blocks[l], bits, salt))
+              << "size " << size << " salt " << salt << " bits " << bits
+              << " lane " << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(Md5Batch, BatchHandlesMixedSizesAndStragglers) {
+  Rng rng(37);
+  // 11 blocks of irregular sizes: runs of equal sizes go 4-wide, the
+  // rest fall back to scalar — outputs must be identical either way.
+  const size_t sizes[] = {100, 100, 100, 100, 100, 100, 100,
+                          37,  100, 100, 64};
+  Bytes backing = rng.RandomBytes(1024);
+  std::vector<ByteSpan> blocks;
+  size_t off = 0;
+  for (size_t s : sizes) {
+    blocks.push_back(ByteSpan(backing.data() + off, s));
+    off += s;
+  }
+  std::vector<uint64_t> out(blocks.size());
+  Md5HashBitsBatch(blocks.data(), blocks.size(), 48, 0xFEED, out.data());
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(out[i], Md5::HashBits(blocks[i], 48, 0xFEED)) << "block " << i;
   }
 }
 

@@ -11,6 +11,9 @@ Dispatches on the document's "schema" field:
 Checks the structural schema plus the accounting invariants the
 observability layer guarantees:
   - bytes.up + bytes.down == bytes.total whenever the split is present;
+  - results carrying a "throughput" object (the GB/s sweeps) have
+    non-negative bytes_processed/gib_per_s and a config.dispatch_tier
+    tag naming the kernel tier measured;
   - the per-phase byte matrix sums to exactly bytes.up / bytes.down per
     direction whenever phases are present (the same equality the
     conformance suite pins against the channel's TrafficStats);
@@ -128,6 +131,22 @@ def check_result(index, r):
             f"{where}: 'rounds' must be a non-negative integer")
     require(is_uint(r.get("wall_ns")),
             f"{where}: 'wall_ns' must be a non-negative integer")
+    if "throughput" in r:
+        tp = r["throughput"]
+        require(isinstance(tp, dict),
+                f"{where}: 'throughput' must be an object")
+        require(is_uint(tp.get("bytes_processed")),
+                f"{where}: throughput.bytes_processed must be a "
+                "non-negative integer")
+        rate = tp.get("gib_per_s")
+        require(isinstance(rate, (int, float))
+                and not isinstance(rate, bool) and rate >= 0,
+                f"{where}: throughput.gib_per_s must be a non-negative "
+                "number")
+        require(isinstance(config.get("dispatch_tier"), str)
+                and config["dispatch_tier"],
+                f"{where}: throughput results must tag "
+                "config.dispatch_tier with the kernel tier measured")
     require("bytes" in r, f"{where}: missing 'bytes'")
     check_bytes(where, r["bytes"])
 
@@ -150,6 +169,15 @@ def check_metrics_document(doc):
     for name, v in events.items():
         require(is_uint(v),
                 f"events['{name}'] must be a non-negative integer")
+    if "dispatch" in doc:
+        dispatch = doc["dispatch"]
+        require(isinstance(dispatch, dict),
+                "'dispatch' must be an object")
+        require(isinstance(dispatch.get("tier"), str)
+                and dispatch["tier"],
+                "dispatch.tier must be a non-empty string")
+        require(isinstance(dispatch.get("forced_scalar"), bool),
+                "dispatch.forced_scalar must be a boolean")
     if "transport" in doc:
         transport = doc["transport"]
         require(isinstance(transport, dict),
