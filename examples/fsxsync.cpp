@@ -10,8 +10,20 @@
 //           [--journal] [--recover] [--verify-after-apply]
 //   fsxsync verify <dir>      # check a tree against its manifest
 //   fsxsync recover <dir>     # resolve a crashed apply's journal
+//   fsxsync serve <dir> [--port=N] [--unix=path] [--config <file>]
+//           [--cache-bytes=N] [--max-conns=N]
+//   fsxsync connect <host:port> <dest-dir> [--unix=path]
+//           [--checkpoint-dir=path] [--keep-extra]
 //   fsxsync demo
 //   fsxsync --features        # CPU features + active dispatch tier
+//
+// serve/connect swap the simulated link for the real thing: `serve`
+// runs the multi-client epoll daemon (fsync/netd/) over the directory
+// tree, `connect` synchronizes a destination directory from it. SIGTERM
+// or SIGINT on the server triggers a graceful drain: in-flight sessions
+// finish, new ones are refused, the process exits once the last client
+// completes. `connect --checkpoint-dir` persists per-file session
+// checkpoints so a killed client resumes where it left off.
 //
 // --features reports what the runtime kernel dispatch (fsync/simd/)
 // probed on this host and which tier the hot paths will use; the same
@@ -59,6 +71,7 @@
 // Files present only in <dest-dir> are deleted (mirror semantics) unless
 // --keep-extra is given. A manifest is written to the destination so a
 // later `fsxsync verify` can spot local modifications cheaply.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -70,6 +83,8 @@
 
 #include "fsync/cache/sync_cache.h"
 #include "fsync/core/adaptive.h"
+#include "fsync/netd/client.h"
+#include "fsync/netd/daemon.h"
 #include "fsync/core/config_io.h"
 #include "fsync/core/collection.h"
 #include "fsync/obs/json.h"
@@ -594,6 +609,173 @@ int Demo() {
   return Verify(dst);
 }
 
+// `fsxsync serve`: the real multi-client daemon (fsync/netd/). SIGTERM
+// and SIGINT trigger a graceful drain — in-flight sessions finish, new
+// ones are refused, and the process exits once the last client is done
+// (bounded by the daemon's drain deadline).
+fsx::netd::SyncDaemon* g_serve_daemon = nullptr;
+
+void ServeSignalHandler(int) {
+  if (g_serve_daemon != nullptr) {
+    g_serve_daemon->Drain();  // async-signal-safe: atomic + pipe write
+  }
+}
+
+int Serve(int argc, char** argv) {
+  std::string dir;
+  fsx::netd::DaemonOptions options;
+  std::string config_path;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--unix=", 7) == 0) {
+      options.unix_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--cache-bytes=", 14) == 0) {
+      options.cache_bytes = std::strtoull(argv[i] + 14, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--max-conns=", 12) == 0) {
+      options.max_connections =
+          static_cast<size_t>(std::strtoull(argv[i] + 12, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (argv[i][0] != '-' && dir.empty()) {
+      dir = argv[i];
+    } else {
+      std::fprintf(stderr, "serve: unknown flag %s\n", argv[i]);
+      return kExitUsage;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: fsxsync serve <dir> [--port=N] [--unix=path] "
+                 "[--config <file>] [--cache-bytes=N] [--max-conns=N]\n");
+    return kExitUsage;
+  }
+  if (!config_path.empty()) {
+    std::ifstream in(config_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read config %s\n", config_path.c_str());
+      return kExitFailed;
+    }
+    std::string text{std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>()};
+    auto parsed = fsx::ParseSyncConfig(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return kExitFailed;
+    }
+    options.config = *parsed;
+  }
+  auto tree = fsx::LoadTree(dir);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "serve: %s\n", tree.status().ToString().c_str());
+    return kExitFailed;
+  }
+  fsx::netd::SyncDaemon daemon(std::move(*tree), options);
+  fsx::Status started = daemon.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve: %s\n", started.ToString().c_str());
+    return kExitFailed;
+  }
+  g_serve_daemon = &daemon;
+  std::signal(SIGTERM, ServeSignalHandler);
+  std::signal(SIGINT, ServeSignalHandler);
+  if (options.unix_path.empty()) {
+    std::printf("serving %s on %s:%u (%s backend)\n", dir.c_str(),
+                options.host.c_str(), static_cast<unsigned>(daemon.port()),
+                daemon.poller_name());
+  } else {
+    std::printf("serving %s on unix:%s (%s backend)\n", dir.c_str(),
+                options.unix_path.c_str(), daemon.poller_name());
+  }
+  std::fflush(stdout);
+  daemon.Join();  // returns when a signal-triggered drain completes
+  g_serve_daemon = nullptr;
+  fsx::netd::DaemonStats stats = daemon.stats();
+  std::printf(
+      "drained: %llu conns accepted, %llu sessions completed, "
+      "%llu KB in / %llu KB out\n",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.sessions_completed),
+      static_cast<unsigned long long>(stats.bytes_in / 1024),
+      static_cast<unsigned long long>(stats.bytes_out / 1024));
+  return kExitClean;
+}
+
+// `fsxsync connect`: synchronize <dest-dir> from a running daemon.
+int Connect(int argc, char** argv) {
+  std::string server;
+  std::string dir;
+  fsx::netd::ClientOptions opts;
+  bool keep_extra = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--unix=", 7) == 0) {
+      opts.unix_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
+      opts.checkpoint_dir = argv[i] + 17;
+    } else if (std::strcmp(argv[i], "--keep-extra") == 0) {
+      keep_extra = true;
+    } else if (argv[i][0] != '-' && server.empty() &&
+               opts.unix_path.empty()) {
+      server = argv[i];
+    } else if (argv[i][0] != '-' && dir.empty()) {
+      dir = argv[i];
+    } else {
+      std::fprintf(stderr, "connect: unknown flag %s\n", argv[i]);
+      return kExitUsage;
+    }
+  }
+  if (!server.empty()) {
+    const size_t colon = server.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "connect: server must be <host>:<port>\n");
+      return kExitUsage;
+    }
+    opts.host = server.substr(0, colon);
+    opts.port = static_cast<uint16_t>(std::atoi(server.c_str() + colon + 1));
+  }
+  if (dir.empty() || (server.empty() && opts.unix_path.empty())) {
+    std::fprintf(stderr,
+                 "usage: fsxsync connect <host:port> <dest-dir> "
+                 "[--unix=path] [--checkpoint-dir=path] [--keep-extra]\n");
+    return kExitUsage;
+  }
+  auto local = fsx::LoadTree(dir);
+  if (!local.ok()) {
+    std::fprintf(stderr, "connect: %s\n", local.status().ToString().c_str());
+    return kExitFailed;
+  }
+  if (!opts.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.checkpoint_dir, ec);
+  }
+  auto result = fsx::netd::RunSyncClient(*local, opts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 result.status().ToString().c_str());
+    return kExitFailed;
+  }
+  fsx::Status stored = fsx::StoreTree(dir, result->reconstructed,
+                                      /*delete_extra=*/!keep_extra,
+                                      /*write_manifest=*/true);
+  if (!stored.ok()) {
+    std::fprintf(stderr, "connect: %s\n", stored.ToString().c_str());
+    return kExitFailed;
+  }
+  std::printf(
+      "synced %s: %llu files (%llu unchanged, %llu sessioned, "
+      "%llu new, %llu resumed, %llu aborted)\n",
+      dir.c_str(), static_cast<unsigned long long>(result->files_total),
+      static_cast<unsigned long long>(result->files_unchanged),
+      static_cast<unsigned long long>(result->files_sessioned),
+      static_cast<unsigned long long>(result->files_new),
+      static_cast<unsigned long long>(result->files_resumed),
+      static_cast<unsigned long long>(result->files_aborted));
+  if (result->files_aborted > 0) {
+    return result->server_draining ? kExitConflicts : kExitFailed;
+  }
+  return kExitClean;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -614,6 +796,12 @@ int main(int argc, char** argv) {
   if (argc >= 3 && std::strcmp(argv[1], "recover") == 0) {
     return Recover(argv[2]);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    return Serve(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "connect") == 0) {
+    return Connect(argc, argv);
+  }
   if (argc < 3) {
     std::fprintf(
         stderr,
@@ -623,7 +811,12 @@ int main(int argc, char** argv) {
         "[--fault-corrupt=P] [--retries=N] [--journal] [--recover] "
         "[--verify-after-apply]\n"
         "       %s verify <dir>\n       %s recover <dir>\n"
+        "       %s serve <dir> [--port=N] [--unix=path]\n"
+        "       %s connect <host:port> <dest-dir>\n"
         "       %s demo\n       %s --features\n"
+        "\n"
+        "serve/connect run a real multi-client daemon over TCP or unix\n"
+        "sockets (SIGTERM drains gracefully; see docs/architecture.md).\n"
         "\n"
         "exit codes:\n"
         "  0  sync applied cleanly\n"
@@ -633,7 +826,7 @@ int main(int argc, char** argv) {
         "  4  applied, but concurrently modified files were skipped\n"
         "     (each conflict listed on stderr)\n"
         "  (FSX_CRASH_AT kill-point runs exit 42 at the armed boundary)\n",
-        argv[0], argv[0], argv[0], argv[0], argv[0]);
+        argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
     return kExitUsage;
   }
   std::string method = "fsx";

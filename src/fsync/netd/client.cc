@@ -1,0 +1,424 @@
+#include "fsync/netd/client.h"
+
+#include <ctime>
+#include <deque>
+#include <map>
+#include <memory>
+#include <poll.h>
+
+#include "fsync/core/checkpoint.h"
+#include "fsync/core/config_io.h"
+#include "fsync/core/endpoint.h"
+#include "fsync/hash/md5.h"
+#include "fsync/netd/frame.h"
+#include "fsync/netd/protocol.h"
+#include "fsync/netd/sockets.h"
+#include "fsync/store/fsstore.h"
+#include "fsync/util/hex.h"
+
+namespace fsx::netd {
+
+namespace {
+
+uint64_t NowMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000;
+}
+
+/// Blocking framed transport over the client's fd.
+class ClientConn {
+ public:
+  ClientConn(Fd fd, FaultInjector* fault, int io_timeout_ms)
+      : fd_(std::move(fd)),
+        io_{fd_.get(), fault},
+        fault_(fault),
+        timeout_ms_(io_timeout_ms) {}
+
+  Status SendMsg(Msg msg, uint64_t stream, ByteSpan body) {
+    Bytes payload = EncodeDaemonMsg(msg, stream, body);
+    Bytes frame = EncodeFrame(transport::kRecordTypeDaemon, next_seq_++, 0,
+                              ByteSpan(payload.data(), payload.size()));
+    if (fault_ != nullptr) {
+      fault_->MaybeTear(frame.data(), frame.size());
+    }
+    size_t off = 0;
+    while (off < frame.size()) {
+      bool would_block = false;
+      long n = io_.Write(frame.data() + off, frame.size() - off,
+                         &would_block);
+      if (n >= 0) {
+        off += static_cast<size_t>(n);
+        bytes_sent_ += static_cast<uint64_t>(n);
+        continue;
+      }
+      if (!would_block) {
+        return Status::Unavailable("client: write failed (server gone?)");
+      }
+      pollfd p{fd_.get(), POLLOUT, 0};
+      int rc;
+      do {
+        rc = ::poll(&p, 1, timeout_ms_);
+      } while (rc < 0 && errno == EINTR);
+      if (rc <= 0) {
+        return Status::Unavailable("client: write stalled past deadline");
+      }
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<DaemonMsg> RecvMsg() {
+    const uint64_t deadline = NowMs() + static_cast<uint64_t>(timeout_ms_);
+    uint8_t buf[64 * 1024];
+    for (;;) {
+      auto rec = reader_.Next();
+      if (rec.ok()) {
+        if (rec->type != transport::kRecordTypeDaemon) {
+          return Status::DataLoss("client: unexpected record type");
+        }
+        return ParseDaemonMsg(
+            ByteSpan(rec->payload.data(), rec->payload.size()));
+      }
+      if (rec.status().code() != StatusCode::kNotFound) {
+        return rec.status();  // poisoned stream (torn frame, bad CRC)
+      }
+      const uint64_t now = NowMs();
+      if (now >= deadline) {
+        return Status::Unavailable("client: receive timed out");
+      }
+      pollfd p{fd_.get(), POLLIN, 0};
+      int rc;
+      do {
+        rc = ::poll(&p, 1, static_cast<int>(deadline - now));
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        return Status::Unavailable("client: receive timed out");
+      }
+      if (rc < 0) {
+        return Status::Internal("client: poll failed");
+      }
+      bool would_block = false;
+      long n = io_.Read(buf, sizeof(buf), &would_block);
+      if (n > 0) {
+        bytes_received_ += static_cast<uint64_t>(n);
+        reader_.Feed(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        return Status::Unavailable("client: server closed the connection");
+      }
+      if (!would_block) {
+        return Status::Unavailable("client: read failed (server reset?)");
+      }
+    }
+  }
+
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  Fd fd_;
+  SocketIo io_;
+  FaultInjector* fault_;
+  int timeout_ms_;
+  FrameReader reader_;
+  uint32_t next_seq_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+/// One in-flight per-file session (client side).
+struct FileSession {
+  enum class Phase { kAwaitFirst, kAwaitRound, kAwaitRepair, kAwaitFallback };
+
+  std::string path;
+  Bytes f_old;  // owned; the endpoint references it
+  std::unique_ptr<SyncClientEndpoint> ep;
+  Phase phase = Phase::kAwaitFirst;
+  bool resume = false;
+  int saved_rounds = 0;
+  std::string ckpt_path;  // "" = checkpoints disabled
+};
+
+std::string CheckpointPathFor(const std::string& dir,
+                              const std::string& path) {
+  if (dir.empty()) {
+    return "";
+  }
+  const Md5Digest digest = Md5::Hash(
+      ByteSpan(reinterpret_cast<const uint8_t*>(path.data()), path.size()));
+  return dir + "/" + HexEncode(ByteSpan(digest.data(), digest.size())) +
+         ".ckpt";
+}
+
+void MaybeSaveCheckpoint(FileSession& s) {
+  if (s.ckpt_path.empty() || s.ep->completed_rounds() <= s.saved_rounds) {
+    return;
+  }
+  s.saved_rounds = s.ep->completed_rounds();
+  // Best effort: a failed save only costs resume coverage.
+  Status st = SaveCheckpointFile(s.ckpt_path, s.ep->MakeCheckpoint());
+  (void)st;
+}
+
+}  // namespace
+
+StatusOr<ClientResult> RunSyncClient(const Collection& local,
+                                     const ClientOptions& options) {
+  // Connect.
+  StatusOr<Fd> fd = options.unix_path.empty()
+                        ? ConnectTcp(options.host, options.port)
+                        : ConnectUnix(options.unix_path);
+  FSYNC_RETURN_IF_ERROR(fd.status());
+  std::unique_ptr<FaultInjector> fault;
+  if (options.fault.any()) {
+    fault = std::make_unique<FaultInjector>(options.fault);
+  }
+  ClientConn conn(std::move(*fd), fault.get(), options.io_timeout_ms);
+
+  ClientResult result;
+
+  // Handshake: hello, then adopt the server's config (verifying the
+  // announced wire digest actually matches the parsed text).
+  {
+    Bytes hello = EncodeHello();
+    FSYNC_RETURN_IF_ERROR(
+        conn.SendMsg(Msg::kHello, 0, ByteSpan(hello.data(), hello.size())));
+    FSYNC_ASSIGN_OR_RETURN(DaemonMsg msg, conn.RecvMsg());
+    if (msg.msg != Msg::kHelloAck || msg.stream != 0) {
+      return Status::DataLoss("client: expected hello ack");
+    }
+    FSYNC_ASSIGN_OR_RETURN(
+        HelloAck ack, ParseHelloAck(ByteSpan(msg.body.data(),
+                                             msg.body.size())));
+    if (!ack.accepted) {
+      return Status::Unavailable("client: server refused protocol version " +
+                                 std::to_string(kDaemonVersion));
+    }
+    FSYNC_ASSIGN_OR_RETURN(result.config, ParseSyncConfig(ack.config_text));
+    if (ConfigWireDigest(result.config) != ack.config_digest) {
+      return Status::DataLoss(
+          "client: negotiated config digest mismatch (corrupt handshake?)");
+    }
+  }
+  const SyncConfig& config = result.config;
+
+  // Manifest.
+  Manifest manifest;
+  {
+    FSYNC_RETURN_IF_ERROR(conn.SendMsg(Msg::kManifestRequest, 0, ByteSpan()));
+    FSYNC_ASSIGN_OR_RETURN(DaemonMsg msg, conn.RecvMsg());
+    if (msg.msg == Msg::kDraining) {
+      return Status::Unavailable("client: server is draining");
+    }
+    if (msg.msg != Msg::kManifest || msg.stream != 0) {
+      return Status::DataLoss("client: expected manifest");
+    }
+    FSYNC_ASSIGN_OR_RETURN(
+        manifest, ParseManifest(ByteSpan(msg.body.data(), msg.body.size())));
+  }
+  // Security boundary: wire paths become filesystem paths downstream;
+  // refuse the whole sync if the server names anything unsafe.
+  for (const auto& [path, entry] : manifest) {
+    if (!IsSafeRelativePath(path)) {
+      return Status::InvalidArgument("client: unsafe path in manifest: " +
+                                     path);
+    }
+  }
+
+  // Plan: unchanged files copy locally; everything else runs a session.
+  std::deque<std::string> pending;
+  result.files_total = manifest.size();
+  for (const auto& [path, entry] : manifest) {
+    auto it = local.find(path);
+    if (it != local.end() && it->second.size() == entry.size &&
+        FileFingerprint(ByteSpan(it->second.data(), it->second.size())) ==
+            entry.fingerprint) {
+      result.reconstructed[path] = it->second;
+      ++result.files_unchanged;
+      continue;
+    }
+    if (it == local.end()) {
+      ++result.files_new;
+    }
+    pending.push_back(path);
+  }
+  for (const auto& [path, data] : local) {
+    if (manifest.find(path) == manifest.end()) {
+      ++result.files_deleted;  // mirror semantics: not in reconstructed
+    }
+  }
+
+  // Multiplexed sessions.
+  std::map<uint64_t, FileSession> sessions;
+  uint64_t next_stream = 1;
+  bool draining = false;
+
+  auto open_next = [&]() -> Status {
+    while (!draining && !pending.empty() &&
+           sessions.size() < static_cast<size_t>(options.max_streams)) {
+      const std::string path = pending.front();
+      pending.pop_front();
+      FileSession s;
+      s.path = path;
+      auto it = local.find(path);
+      if (it != local.end()) {
+        s.f_old = it->second;
+      }
+      s.ep = std::make_unique<SyncClientEndpoint>(
+          ByteSpan(s.f_old.data(), s.f_old.size()), config);
+      s.ckpt_path = CheckpointPathFor(options.checkpoint_dir, path);
+      OpenFile open;
+      open.path = path;
+      if (!s.ckpt_path.empty()) {
+        auto cp = LoadCheckpointFile(s.ckpt_path);
+        if (cp.ok() && s.ep->InstallCheckpoint(*cp).ok()) {
+          s.resume = true;
+          open.kind = OpenKind::kResume;
+          open.first_msg = s.ep->MakeResumeRequest();
+        }
+      }
+      if (!s.resume) {
+        open.kind = OpenKind::kFresh;
+        open.first_msg = s.ep->MakeRequest();
+      }
+      const uint64_t stream = next_stream++;
+      Bytes body = EncodeOpenFile(open);
+      FSYNC_RETURN_IF_ERROR(conn.SendMsg(Msg::kOpenFile, stream,
+                                         ByteSpan(body.data(), body.size())));
+      ++result.files_sessioned;
+      sessions.emplace(stream, std::move(s));
+    }
+    return Status::Ok();
+  };
+
+  auto finish_file = [&](uint64_t stream) -> Status {
+    FileSession& s = sessions.at(stream);
+    if (!s.ep->done()) {
+      return Status::Internal("client: session ended without completion");
+    }
+    result.reconstructed[s.path] = s.ep->result();
+    if (s.ep->resumed()) {
+      ++result.files_resumed;
+    }
+    if (!s.ckpt_path.empty()) {
+      Status st = RemoveCheckpointFile(s.ckpt_path);
+      (void)st;
+    }
+    FSYNC_RETURN_IF_ERROR(conn.SendMsg(Msg::kCloseStream, stream, ByteSpan()));
+    sessions.erase(stream);
+    return open_next();
+  };
+
+  FSYNC_RETURN_IF_ERROR(open_next());
+
+  while (!sessions.empty()) {
+    FSYNC_ASSIGN_OR_RETURN(DaemonMsg msg, conn.RecvMsg());
+    if (msg.stream == 0) {
+      if (msg.msg == Msg::kDraining) {
+        draining = true;
+        result.server_draining = true;
+        continue;
+      }
+      if (msg.msg == Msg::kError) {
+        auto err = ParseError(ByteSpan(msg.body.data(), msg.body.size()));
+        return Status::Unavailable(
+            "client: server error: " +
+            (err.ok() ? err->detail : std::string("unparseable")));
+      }
+      return Status::DataLoss("client: unexpected control message");
+    }
+    auto sit = sessions.find(msg.stream);
+    if (sit == sessions.end()) {
+      continue;  // late message for a closed stream; harmless
+    }
+    FileSession& s = sit->second;
+    if (msg.msg == Msg::kError) {
+      // Stream-scoped failure (draining refusal, server-side error):
+      // abort this file, keep the rest of the sync alive.
+      ++result.files_aborted;
+      sessions.erase(sit);
+      FSYNC_RETURN_IF_ERROR(open_next());
+      continue;
+    }
+    if (msg.msg != Msg::kFileMsg) {
+      return Status::DataLoss("client: unexpected message on file stream");
+    }
+    const ByteSpan body(msg.body.data(), msg.body.size());
+
+    switch (s.phase) {
+      case FileSession::Phase::kAwaitFirst:
+      case FileSession::Phase::kAwaitRound: {
+        StatusOr<std::optional<Bytes>> reply =
+            (s.phase == FileSession::Phase::kAwaitFirst && s.resume)
+                ? s.ep->OnResumeReply(body)
+                : s.ep->OnServerMessage(body);
+        FSYNC_RETURN_IF_ERROR(reply.status());
+        s.phase = FileSession::Phase::kAwaitRound;
+        MaybeSaveCheckpoint(s);
+        if (reply->has_value()) {
+          Bytes out = EncodeFileMsg(FileSub::kRoundReply,
+                                    ByteSpan((*reply)->data(),
+                                             (*reply)->size()));
+          FSYNC_RETURN_IF_ERROR(conn.SendMsg(
+              Msg::kFileMsg, msg.stream, ByteSpan(out.data(), out.size())));
+          break;
+        }
+        if (!s.ep->needs_fallback()) {
+          FSYNC_RETURN_IF_ERROR(finish_file(msg.stream));
+          break;
+        }
+        // Degradation ladder, same order as core/session.cc.
+        if (s.ep->has_repair_candidate()) {
+          Bytes req = s.ep->MakeRepairRequest();
+          Bytes out = EncodeFileMsg(FileSub::kRepairRequest,
+                                    ByteSpan(req.data(), req.size()));
+          FSYNC_RETURN_IF_ERROR(conn.SendMsg(
+              Msg::kFileMsg, msg.stream, ByteSpan(out.data(), out.size())));
+          s.phase = FileSession::Phase::kAwaitRepair;
+        } else {
+          Bytes ask = {1};
+          Bytes out = EncodeFileMsg(FileSub::kFallbackRequest,
+                                    ByteSpan(ask.data(), ask.size()));
+          FSYNC_RETURN_IF_ERROR(conn.SendMsg(
+              Msg::kFileMsg, msg.stream, ByteSpan(out.data(), out.size())));
+          s.phase = FileSession::Phase::kAwaitFallback;
+        }
+        break;
+      }
+      case FileSession::Phase::kAwaitRepair: {
+        FSYNC_ASSIGN_OR_RETURN(RepairOutcome outcome,
+                               s.ep->OnRepairReply(body));
+        if (outcome == RepairOutcome::kStillBroken) {
+          Bytes ask = {1};
+          Bytes out = EncodeFileMsg(FileSub::kFallbackRequest,
+                                    ByteSpan(ask.data(), ask.size()));
+          FSYNC_RETURN_IF_ERROR(conn.SendMsg(
+              Msg::kFileMsg, msg.stream, ByteSpan(out.data(), out.size())));
+          s.phase = FileSession::Phase::kAwaitFallback;
+          break;
+        }
+        ++result.files_degraded;
+        FSYNC_RETURN_IF_ERROR(finish_file(msg.stream));
+        break;
+      }
+      case FileSession::Phase::kAwaitFallback: {
+        FSYNC_RETURN_IF_ERROR(s.ep->OnFallbackTransfer(body));
+        ++result.files_degraded;
+        FSYNC_RETURN_IF_ERROR(finish_file(msg.stream));
+        break;
+      }
+    }
+  }
+
+  result.files_aborted += pending.size();
+  Status bye = conn.SendMsg(Msg::kGoodbye, 0, ByteSpan());
+  (void)bye;  // the sync succeeded; a lost goodbye costs nothing
+
+  result.physical_bytes_sent = conn.bytes_sent();
+  result.physical_bytes_received = conn.bytes_received();
+  return result;
+}
+
+}  // namespace fsx::netd

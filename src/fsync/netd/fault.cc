@@ -1,0 +1,60 @@
+#include "fsync/netd/fault.h"
+
+namespace fsx::netd {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+double FaultInjector::NextUnit() {
+  return static_cast<double>(SplitMix64(state_) >> 11) * 0x1.0p-53;
+}
+
+size_t FaultInjector::ClampRead(size_t len) {
+  if (len == 0) {
+    return 0;
+  }
+  if (plan_.stall > 0 && NextUnit() < plan_.stall) {
+    return 0;  // pretend the socket had nothing this round
+  }
+  if (plan_.short_read > 0 && NextUnit() < plan_.short_read) {
+    return 1 + static_cast<size_t>(SplitMix64(state_) % len);
+  }
+  return len;
+}
+
+size_t FaultInjector::ClampWrite(size_t len) {
+  if (len == 0) {
+    return 0;
+  }
+  if (plan_.stall > 0 && NextUnit() < plan_.stall) {
+    return 0;
+  }
+  if (plan_.short_write > 0 && NextUnit() < plan_.short_write) {
+    return 1 + static_cast<size_t>(SplitMix64(state_) % len);
+  }
+  return len;
+}
+
+bool FaultInjector::MaybeTear(uint8_t* data, size_t len) {
+  if (len == 0 || plan_.torn_frame <= 0 || NextUnit() >= plan_.torn_frame) {
+    return false;
+  }
+  // Garble up to 8 bytes at the tail: the CRC32C trailer (and possibly
+  // payload) no longer checks out, so the receiver must discard the
+  // frame and treat the connection as corrupt.
+  const size_t n = len < 8 ? len : 8;
+  for (size_t i = 0; i < n; ++i) {
+    data[len - 1 - i] ^= static_cast<uint8_t>(0xA5 + i);
+  }
+  return true;
+}
+
+}  // namespace fsx::netd

@@ -1,0 +1,73 @@
+// Socket-level fault injector for the daemon chaos suite. Unlike the
+// message-level fault hooks on SimulatedChannel (testing/faults.h),
+// these faults live below the framing layer, where real networks
+// misbehave: reads and writes return fewer bytes than asked, the peer
+// stalls, connections reset mid-frame, and frames arrive torn. The
+// injector is deterministic from its seed, so a chaos failure replays
+// exactly.
+#ifndef FSYNC_NETD_FAULT_H_
+#define FSYNC_NETD_FAULT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fsync/util/bytes.h"
+
+namespace fsx::netd {
+
+/// Probabilities/parameters of one fault plan. Default: no faults.
+struct FaultPlan {
+  uint64_t seed = 1;
+  /// Probability that a read/write is clamped to a few bytes (exercises
+  /// every partial-I/O resumption path).
+  double short_read = 0.0;
+  double short_write = 0.0;
+  /// Probability that an I/O op reports "would block" even though the
+  /// socket is ready (a stalling peer; the event loop must simply retry
+  /// without spinning or wedging).
+  double stall = 0.0;
+  /// Connection is hard-reset after this many total bytes have crossed
+  /// this injector (0 = never). Models a peer dying mid-session.
+  uint64_t reset_after_bytes = 0;
+  /// Probability that a written frame is torn: the tail of the write is
+  /// replaced with garbage. The receiver's CRC32C must catch it and
+  /// treat the connection as corrupt/lost — never deliver the payload.
+  double torn_frame = 0.0;
+
+  bool any() const {
+    return short_read > 0 || short_write > 0 || stall > 0 ||
+           reset_after_bytes > 0 || torn_frame > 0;
+  }
+};
+
+/// Deterministic per-connection fault state (splitmix64 stream).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan), state_(plan.seed | 1) {}
+
+  /// Clamps an I/O request of `len` bytes: full length, a short count,
+  /// 0 (injected stall -> treated as would-block), or SIZE_MAX
+  /// (injected reset).
+  size_t ClampRead(size_t len);
+  size_t ClampWrite(size_t len);
+  /// Mutates an outgoing buffer in place to tear the frame (flips bytes
+  /// near the end). Returns true if the buffer was torn.
+  bool MaybeTear(uint8_t* data, size_t len);
+
+  uint64_t bytes_seen() const { return bytes_seen_; }
+  void AddBytes(uint64_t n) { bytes_seen_ += n; }
+  bool ResetDue() const {
+    return plan_.reset_after_bytes != 0 &&
+           bytes_seen_ >= plan_.reset_after_bytes;
+  }
+
+ private:
+  double NextUnit();  // uniform in [0, 1)
+  FaultPlan plan_;
+  uint64_t state_;
+  uint64_t bytes_seen_ = 0;
+};
+
+}  // namespace fsx::netd
+
+#endif  // FSYNC_NETD_FAULT_H_

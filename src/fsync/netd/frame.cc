@@ -1,0 +1,72 @@
+#include "fsync/netd/frame.h"
+
+namespace fsx::netd {
+
+Bytes EncodeFrame(uint8_t type, uint32_t seq, uint32_t ack,
+                  ByteSpan payload) {
+  Bytes record = transport::EncodeRecord(type, seq, ack, payload);
+  Bytes out;
+  out.reserve(record.size() + 5);
+  uint64_t n = record.size();
+  while (n >= 0x80) {
+    out.push_back(static_cast<uint8_t>(n) | 0x80);
+    n >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(n));
+  Append(out, ByteSpan(record.data(), record.size()));
+  return out;
+}
+
+void FrameReader::Feed(const uint8_t* data, size_t len) {
+  buffer_.insert(buffer_.end(), data, data + len);
+}
+
+StatusOr<transport::Record> FrameReader::Next() {
+  if (poisoned_) {
+    return Status::DataLoss("netd: frame stream poisoned");
+  }
+  // Parse the varint length prefix without consuming it until the whole
+  // frame is buffered.
+  uint64_t frame_len = 0;
+  int shift = 0;
+  size_t header = 0;
+  for (;; ++header) {
+    if (header >= buffer_.size()) {
+      return Status::NotFound("netd: frame incomplete");
+    }
+    if (header >= 10) {
+      poisoned_ = true;
+      return Status::DataLoss("netd: varint length prefix overlong");
+    }
+    const uint8_t byte = buffer_[header];
+    frame_len |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    shift += 7;
+    if ((byte & 0x80) == 0) {
+      ++header;
+      break;
+    }
+  }
+  if (frame_len > kMaxFrameBytes) {
+    poisoned_ = true;
+    return Status::DataLoss("netd: frame length " +
+                            std::to_string(frame_len) + " exceeds bound");
+  }
+  if (buffer_.size() - header < frame_len) {
+    return Status::NotFound("netd: frame incomplete");
+  }
+  Bytes record(buffer_.begin() + static_cast<long>(header),
+               buffer_.begin() + static_cast<long>(header + frame_len));
+  auto rec = transport::DecodeRecord(ByteSpan(record.data(), record.size()));
+  if (!rec.ok()) {
+    // CRC or structure failure: on a reliable byte stream this is not
+    // loss, it is corruption or desync — unrecoverable for this
+    // connection.
+    poisoned_ = true;
+    return rec.status();
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<long>(header + frame_len));
+  return rec;
+}
+
+}  // namespace fsx::netd

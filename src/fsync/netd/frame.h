@@ -1,0 +1,62 @@
+// Byte-stream framing for netd: every message crossing a socket is one
+//
+//   [varint frame length][record]
+//
+// where the record is the CRC32C-checked transport record of record.h
+// (type, seq, ack, payload, crc). The varint prefix is the same framing
+// the SimulatedChannel charges for, so socket runs and simulated runs
+// account identical wire costs; the CRC turns torn frames and stream
+// desynchronization into detected errors instead of silent corruption.
+//
+// FrameReader is an incremental parser: feed it whatever read() returned
+// (any split, byte by byte if the network insists) and take complete
+// records out. A frame that exceeds the size bound or fails its CRC
+// poisons the reader — the stream can no longer be trusted and the
+// connection must be dropped.
+#ifndef FSYNC_NETD_FRAME_H_
+#define FSYNC_NETD_FRAME_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "fsync/transport/record.h"
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx::netd {
+
+/// Upper bound on one frame (varint value). Protocol messages are far
+/// smaller; anything bigger is a desynchronized or hostile stream.
+inline constexpr uint64_t kMaxFrameBytes = 64ull * 1024 * 1024;
+
+/// Encodes `payload` as a record of `type` and prepends the varint
+/// length prefix. `seq` is the per-connection frame counter; `ack` is
+/// free for the caller (the daemon leaves it 0).
+Bytes EncodeFrame(uint8_t type, uint32_t seq, uint32_t ack,
+                  ByteSpan payload);
+
+/// Incremental frame parser over a byte stream.
+class FrameReader {
+ public:
+  /// Appends raw bytes from the socket.
+  void Feed(const uint8_t* data, size_t len);
+
+  /// Extracts the next complete record, if any. Returns:
+  ///   - a Record when one is complete and CRC-clean,
+  ///   - kNotFound when more bytes are needed (not an error),
+  ///   - kDataLoss when the stream is poisoned (oversized frame, CRC
+  ///     failure, bad record type); every later call fails too.
+  StatusOr<transport::Record> Next();
+
+  /// Bytes buffered but not yet consumed (bounded-memory checks).
+  size_t buffered_bytes() const { return buffer_.size(); }
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  std::deque<uint8_t> buffer_;
+  bool poisoned_ = false;
+};
+
+}  // namespace fsx::netd
+
+#endif  // FSYNC_NETD_FRAME_H_

@@ -1,0 +1,113 @@
+// Daemon session protocol: the control vocabulary multiplexing many
+// file-sync streams over one framed connection.
+//
+// Every daemon message travels in one record of type kRecordTypeDaemon
+// (frame.h) whose payload is
+//
+//   [msg u8][stream varint][body...]
+//
+// Stream 0 is the connection control stream (hello, manifest, drain,
+// goodbye); streams >= 1 are client-chosen ids, one per file session.
+// The file-session bodies are the *unmodified* endpoint messages of
+// core/endpoint.h — the daemon adds routing, never protocol content, so
+// a daemon sync is wire-compatible with an in-process session.
+//
+//   client -> server                      server -> client
+//   kHello      magic,version             kHelloAck  verdict,digest,config
+//   kManifestRequest                      kManifest  serialized manifest
+//   kOpenFile   kind,path,first msg       kFileMsg   server message
+//   kFileMsg    sub,payload               kFileMsg   server message
+//   kCloseStream                          kError     code,detail
+//   kGoodbye                              kDraining  (stream 0)
+#ifndef FSYNC_NETD_PROTOCOL_H_
+#define FSYNC_NETD_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "fsync/util/bytes.h"
+#include "fsync/util/status.h"
+
+namespace fsx::netd {
+
+/// Protocol magic ("FSXD") and version, negotiated in the handshake. A
+/// server refuses mismatched magic outright and answers a higher client
+/// version with its own (the client decides whether it can speak it).
+inline constexpr uint32_t kDaemonMagic = 0x46535844;  // "FSXD"
+inline constexpr uint8_t kDaemonVersion = 1;
+
+enum class Msg : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kManifestRequest = 3,
+  kManifest = 4,
+  kOpenFile = 5,
+  kFileMsg = 6,
+  kCloseStream = 7,
+  kError = 8,
+  kDraining = 9,
+  kGoodbye = 10,
+};
+
+/// kOpenFile body: how the first embedded message must be interpreted.
+enum class OpenKind : uint8_t {
+  kFresh = 0,   // embedded message is MakeRequest()
+  kResume = 1,  // embedded message is MakeResumeRequest()
+};
+
+/// Client->server kFileMsg body sub-kinds, mapping onto the server
+/// endpoint surface. Server->client kFileMsg bodies are raw server
+/// messages (no sub-kind; the client endpoint knows what it awaits).
+enum class FileSub : uint8_t {
+  kRoundReply = 2,       // -> OnClientMessage
+  kRepairRequest = 3,    // -> OnRepairRequest
+  kFallbackRequest = 4,  // -> OnFallbackRequest
+};
+
+/// One parsed daemon message.
+struct DaemonMsg {
+  Msg msg = Msg::kError;
+  uint64_t stream = 0;
+  Bytes body;
+};
+
+/// [msg u8][stream varint][body] — the record payload.
+Bytes EncodeDaemonMsg(Msg msg, uint64_t stream, ByteSpan body);
+StatusOr<DaemonMsg> ParseDaemonMsg(ByteSpan payload);
+
+// Body builders/parsers for the structured control messages. File-session
+// bodies are opaque endpoint payloads and need none.
+
+Bytes EncodeHello();
+Status ParseHello(ByteSpan body, uint8_t* version);
+
+struct HelloAck {
+  bool accepted = false;
+  uint8_t version = kDaemonVersion;
+  uint64_t config_digest = 0;
+  std::string config_text;  // SerializeSyncConfig of the server's config
+};
+Bytes EncodeHelloAck(const HelloAck& ack);
+StatusOr<HelloAck> ParseHelloAck(ByteSpan body);
+
+struct OpenFile {
+  OpenKind kind = OpenKind::kFresh;
+  std::string path;
+  Bytes first_msg;
+};
+Bytes EncodeOpenFile(const OpenFile& open);
+StatusOr<OpenFile> ParseOpenFile(ByteSpan body);
+
+Bytes EncodeFileMsg(FileSub sub, ByteSpan payload);
+StatusOr<std::pair<FileSub, Bytes>> ParseFileMsg(ByteSpan body);
+
+struct WireError {
+  uint8_t code = 0;  // StatusCode, numeric
+  std::string detail;
+};
+Bytes EncodeError(const Status& status);
+StatusOr<WireError> ParseError(ByteSpan body);
+
+}  // namespace fsx::netd
+
+#endif  // FSYNC_NETD_PROTOCOL_H_

@@ -1,0 +1,73 @@
+// Token-bucket byte-rate limiter for the daemon: one bucket per
+// connection and one global bucket, refilled from the event loop's
+// monotonic clock. The loop asks how many bytes it may move right now;
+// zero means "re-arm the poll timeout for RefillDelayUs and come back".
+#ifndef FSYNC_NETD_RATE_H_
+#define FSYNC_NETD_RATE_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace fsx::netd {
+
+class TokenBucket {
+ public:
+  /// `bytes_per_sec` == 0 disables limiting (Grant always allows all).
+  /// The burst defaults to one second's worth, floored so a single
+  /// maximum-size socket read is always eventually possible.
+  explicit TokenBucket(uint64_t bytes_per_sec = 0, uint64_t burst = 0)
+      : rate_(bytes_per_sec),
+        burst_(burst != 0 ? burst : std::max<uint64_t>(bytes_per_sec,
+                                                       64 * 1024)),
+        tokens_(burst_) {}
+
+  bool unlimited() const { return rate_ == 0; }
+
+  /// Refills from elapsed time, then grants up to `want` bytes.
+  uint64_t Grant(uint64_t want, uint64_t now_us) {
+    if (rate_ == 0) {
+      return want;
+    }
+    Refill(now_us);
+    const uint64_t granted = std::min(want, tokens_);
+    tokens_ -= granted;
+    return granted;
+  }
+
+  /// Charges bytes already moved (used when the kernel wrote more than
+  /// the grant, e.g. after a retry loop). Saturates at zero.
+  void Charge(uint64_t bytes) { tokens_ -= std::min(bytes, tokens_); }
+
+  /// How long until at least `want` bytes are available (0 = now).
+  uint64_t RefillDelayUs(uint64_t want, uint64_t now_us) {
+    if (rate_ == 0) {
+      return 0;
+    }
+    Refill(now_us);
+    want = std::min(want, burst_);
+    if (tokens_ >= want) {
+      return 0;
+    }
+    return (want - tokens_) * 1000000 / rate_ + 1;
+  }
+
+ private:
+  void Refill(uint64_t now_us) {
+    if (last_us_ == 0) {
+      last_us_ = now_us;
+      return;
+    }
+    const uint64_t elapsed = now_us > last_us_ ? now_us - last_us_ : 0;
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_ / 1000000);
+    last_us_ = now_us;
+  }
+
+  uint64_t rate_;
+  uint64_t burst_;
+  uint64_t tokens_;
+  uint64_t last_us_ = 0;
+};
+
+}  // namespace fsx::netd
+
+#endif  // FSYNC_NETD_RATE_H_

@@ -1,0 +1,100 @@
+#include "fsync/netd/reflector.h"
+
+#include <cerrno>
+#include <deque>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace fsx::netd {
+
+Reflector::Reflector(Fd fd) : fd_(std::move(fd)) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) == 0) {
+    stop_read_ = Fd(pipe_fds[0]);
+    stop_write_ = Fd(pipe_fds[1]);
+  }
+  (void)SetNonBlocking(fd_.get());
+  thread_ = std::thread([this] { Run(); });
+}
+
+Reflector::~Reflector() {
+  if (stop_write_.valid()) {
+    const uint8_t one = 1;
+    ssize_t rc = ::write(stop_write_.get(), &one, 1);
+    (void)rc;
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void Reflector::Run() {
+  std::deque<uint8_t> pending;
+  uint8_t buf[64 * 1024];
+  bool peer_gone = false;
+  for (;;) {
+    pollfd fds[2];
+    fds[0].fd = fd_.get();
+    fds[0].events = static_cast<short>((peer_gone ? 0 : POLLIN) |
+                                       (pending.empty() ? 0 : POLLOUT));
+    fds[0].revents = 0;
+    fds[1].fd = stop_read_.valid() ? stop_read_.get() : -1;
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    if (peer_gone && pending.empty()) {
+      return;
+    }
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    if (fds[1].revents != 0) {
+      return;  // Stop requested
+    }
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0 && !peer_gone) {
+      for (;;) {
+        ssize_t n = ::read(fd_.get(), buf, sizeof(buf));
+        if (n > 0) {
+          pending.insert(pending.end(), buf, buf + n);
+          continue;
+        }
+        if (n == 0) {
+          peer_gone = true;  // flush what is buffered, then exit
+        } else if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                   errno == EINTR) {
+          // drained for now
+        } else {
+          return;  // hard error; peer will see the close
+        }
+        break;
+      }
+    }
+    while (!pending.empty()) {
+      // Deque storage is segmented; write the contiguous head chunk.
+      size_t chunk = 0;
+      while (chunk < pending.size() && chunk < sizeof(buf)) {
+        buf[chunk] = pending[chunk];
+        ++chunk;
+      }
+      ssize_t n = ::send(fd_.get(), buf, chunk, MSG_NOSIGNAL);
+      if (n > 0) {
+        pending.erase(pending.begin(), pending.begin() + n);
+        bytes_echoed_ += static_cast<uint64_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;  // kernel buffer full; wait for POLLOUT
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return;  // peer reset
+    }
+  }
+}
+
+}  // namespace fsx::netd

@@ -1,0 +1,49 @@
+// Byte reflector: the peer process-half of a loopback SocketChannel run.
+//
+// The repo's protocol drivers are lockstep — one function alternates
+// between acting as client and server, always receiving exactly what it
+// just sent. Put a reflector on the far end of a socketpair and an
+// unmodified driver runs over a real socket: every frame is written to
+// the fd, crosses the kernel, is echoed back verbatim, and is read and
+// CRC-checked on return. Traffic genuinely traverses the socket (twice),
+// while the driver's logic and accounting stay byte-identical to an
+// in-process SimulatedChannel run.
+//
+// The reflector runs on its own thread, nonblocking at both ends, with
+// an elastic internal buffer so a burst of writes can never deadlock
+// against a full kernel buffer.
+#ifndef FSYNC_NETD_REFLECTOR_H_
+#define FSYNC_NETD_REFLECTOR_H_
+
+#include <thread>
+
+#include "fsync/netd/sockets.h"
+
+namespace fsx::netd {
+
+class Reflector {
+ public:
+  /// Takes ownership of `fd` (the far end of the socketpair) and starts
+  /// echoing. Stops when the peer closes or Stop() is called.
+  explicit Reflector(Fd fd);
+  ~Reflector();
+
+  Reflector(const Reflector&) = delete;
+  Reflector& operator=(const Reflector&) = delete;
+
+  /// Total bytes echoed back (after the loop has finished).
+  uint64_t bytes_echoed() const { return bytes_echoed_; }
+
+ private:
+  void Run();
+
+  Fd fd_;
+  Fd stop_read_;   // self-pipe: Stop()/dtor wakes the poll loop
+  Fd stop_write_;
+  uint64_t bytes_echoed_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace fsx::netd
+
+#endif  // FSYNC_NETD_REFLECTOR_H_

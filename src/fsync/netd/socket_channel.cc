@@ -1,0 +1,199 @@
+#include "fsync/netd/socket_channel.h"
+
+#include <cassert>
+#include <cstring>
+#include <ctime>
+#include <poll.h>
+
+namespace fsx::netd {
+
+namespace {
+
+uint64_t NowMs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000;
+}
+
+int PollOne(int fd, short events, int timeout_ms) {
+  pollfd p{fd, events, 0};
+  int rc;
+  do {
+    rc = ::poll(&p, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
+}  // namespace
+
+void SocketChannel::Send(Direction dir, ByteSpan payload) {
+  // Accounting mirrors SimulatedChannel::Send exactly: logical wire cost
+  // (payload + varint framing), roundtrip on c2s -> s2c reversal,
+  // observer attribution, transcript of the original payload. The sender
+  // is charged even if the write then fails — cost reflects the send.
+  const uint64_t wire = MessageWireBytes(payload.size());
+  if (dir == Direction::kClientToServer) {
+    stats_.client_to_server_bytes += wire;
+    last_dir_ = dir;
+  } else {
+    stats_.server_to_client_bytes += wire;
+    if (last_dir_ == Direction::kClientToServer) {
+      ++stats_.roundtrips;
+    }
+    last_dir_ = dir;
+  }
+  if (observer() != nullptr) {
+    observer()->OnWireMessage(dir == Direction::kClientToServer
+                                  ? obs::Flow::kUp
+                                  : obs::Flow::kDown,
+                              wire);
+  }
+  if (record_transcript_) {
+    transcript_.push_back({dir, Bytes(payload.begin(), payload.end())});
+  }
+
+  if (!wire_error_.ok()) {
+    return;  // connection already dead; error surfaces on Receive
+  }
+  const uint8_t type = dir == Direction::kClientToServer
+                           ? transport::kRecordTypeNetClientToServer
+                           : transport::kRecordTypeNetServerToClient;
+  Bytes frame = EncodeFrame(type, next_seq_++, 0, payload);
+  if (io_.fault != nullptr) {
+    io_.fault->MaybeTear(frame.data(), frame.size());
+  }
+  WriteAll(ByteSpan(frame.data(), frame.size()));
+}
+
+void SocketChannel::WriteAll(ByteSpan frame) {
+  size_t off = 0;
+  while (off < frame.size()) {
+    bool would_block = false;
+    long n = io_.Write(frame.data() + off, frame.size() - off, &would_block);
+    if (n >= 0) {
+      off += static_cast<size_t>(n);
+      physical_sent_ += static_cast<uint64_t>(n);
+      continue;
+    }
+    if (would_block) {
+      if (PollOne(io_.fd, POLLOUT, receive_timeout_ms_ == 0
+                                       ? -1
+                                       : receive_timeout_ms_) <= 0) {
+        wire_error_ = Status::Unavailable("socket: write stalled past deadline");
+        return;
+      }
+      continue;
+    }
+    wire_error_ = Status::Unavailable("socket: write failed (peer reset?)");
+    return;
+  }
+}
+
+Status SocketChannel::Pump(int block_ms) {
+  uint8_t buf[64 * 1024];
+  bool first = true;
+  for (;;) {
+    bool would_block = false;
+    long n = io_.Read(buf, sizeof(buf), &would_block);
+    if (n > 0) {
+      physical_received_ += static_cast<uint64_t>(n);
+      reader_.Feed(buf, static_cast<size_t>(n));
+      first = false;
+      // Extract everything now complete.
+      for (;;) {
+        auto rec = reader_.Next();
+        if (!rec.ok()) {
+          if (rec.status().code() == StatusCode::kNotFound) {
+            break;  // need more bytes
+          }
+          wire_error_ = rec.status();
+          return wire_error_;
+        }
+        Bytes payload(rec->payload.begin(), rec->payload.end());
+        if (rec->type == transport::kRecordTypeNetClientToServer) {
+          to_server_.push_back(std::move(payload));
+        } else if (rec->type == transport::kRecordTypeNetServerToClient) {
+          to_client_.push_back(std::move(payload));
+        } else {
+          wire_error_ = Status::DataLoss(
+              "socket: unexpected record type on channel stream");
+          return wire_error_;
+        }
+      }
+      continue;  // maybe more readable right now
+    }
+    if (n == 0) {
+      wire_error_ = Status::Unavailable("socket: peer closed");
+      return wire_error_;
+    }
+    if (would_block) {
+      if (!first || block_ms == 0) {
+        return Status::Ok();  // drained what was there
+      }
+      int rc = PollOne(io_.fd, POLLIN, block_ms);
+      if (rc < 0) {
+        wire_error_ = Status::Internal(std::string("poll: ") +
+                                       std::strerror(errno));
+        return wire_error_;
+      }
+      if (rc == 0) {
+        return Status::Ok();  // timeout; caller re-checks its deadline
+      }
+      first = false;  // socket (probably) readable; retry the read once
+      continue;
+    }
+    wire_error_ = Status::Unavailable("socket: read failed (peer reset?)");
+    return wire_error_;
+  }
+}
+
+StatusOr<Bytes> SocketChannel::Receive(Direction dir) {
+  auto& queue =
+      dir == Direction::kClientToServer ? to_server_ : to_client_;
+  const uint64_t deadline =
+      receive_timeout_ms_ == 0
+          ? 0
+          : NowMs() + static_cast<uint64_t>(receive_timeout_ms_);
+  while (queue.empty()) {
+    if (!wire_error_.ok()) {
+      return wire_error_;
+    }
+    int wait_ms = -1;
+    if (deadline != 0) {
+      const uint64_t now = NowMs();
+      if (now >= deadline) {
+        return Status::Unavailable("socket: receive timed out");
+      }
+      wait_ms = static_cast<int>(deadline - now);
+    }
+    FSYNC_RETURN_IF_ERROR(Pump(wait_ms < 0 ? 3600 * 1000 : wait_ms));
+  }
+  Bytes msg = std::move(queue.front());
+  queue.pop_front();
+  if (tamper_) {
+    tamper_(dir, msg);
+  }
+  return msg;
+}
+
+bool SocketChannel::HasPending(Direction dir) const {
+  // Drain anything already readable so "pending" includes messages that
+  // are sitting in the kernel buffer, matching the in-process channel's
+  // notion of a queued message.
+  auto* self = const_cast<SocketChannel*>(this);
+  if (self->wire_error_.ok()) {
+    Status ignored = self->Pump(0);
+    (void)ignored;  // error latches in wire_error_; surfaces on Receive
+  }
+  return dir == Direction::kClientToServer ? !to_server_.empty()
+                                           : !to_client_.empty();
+}
+
+void SocketChannel::ResetStats() {
+  assert(to_server_.empty() && to_client_.empty());
+  stats_ = TrafficStats{};
+  last_dir_ = Direction::kServerToClient;
+}
+
+}  // namespace fsx::netd

@@ -1,0 +1,96 @@
+// SimulatedChannel over a real socket. Protocol drivers in this repo are
+// lockstep: they run both endpoints in one process, always Send(dir, x)
+// and then Receive(dir) on the same direction. SocketChannel preserves
+// that contract while pushing every message through a real fd as a
+// CRC32C-framed record tagged with its direction; with a byte-reflecting
+// peer (netd/reflector.h) on the other end of a socketpair, unmodified
+// protocols, the cache front, and resume checkpoints all run over real
+// sockets, and every message crosses the wire.
+//
+// Byte/roundtrip accounting is intentionally the *logical* cost — the
+// same MessageWireBytes(payload) figure SimulatedChannel charges — so a
+// socket run and a simulated run of the same protocol produce identical
+// TrafficStats and transcripts. The physical fd traffic (record header,
+// CRC, reflector echo) is reported separately via physical_bytes().
+#ifndef FSYNC_NETD_SOCKET_CHANNEL_H_
+#define FSYNC_NETD_SOCKET_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "fsync/net/channel.h"
+#include "fsync/netd/fault.h"
+#include "fsync/netd/frame.h"
+#include "fsync/netd/sockets.h"
+
+namespace fsx::netd {
+
+class SocketChannel final : public SimulatedChannel {
+ public:
+  /// Does not own `fd` (but switches it to non-blocking mode — Pump
+  /// relies on EAGAIN to know the kernel buffer is drained). `fault`
+  /// (optional) injects socket-level faults into every read and write.
+  explicit SocketChannel(int fd, FaultInjector* fault = nullptr)
+      : io_{fd, fault} {
+    (void)SetNonBlocking(fd);
+  }
+
+  void Send(Direction dir, ByteSpan payload) override;
+  StatusOr<Bytes> Receive(Direction dir) override;
+  bool HasPending(Direction dir) const override;
+  const TrafficStats& stats() const override { return stats_; }
+  void ResetStats() override;
+
+  void SetTamper(std::function<void(Direction, Bytes&)> tamper) override {
+    tamper_ = std::move(tamper);
+  }
+  /// Message-level fault hooks do not compose with a real byte stream
+  /// (there is no queue to drop from or reorder); the chaos suite uses
+  /// the socket-level FaultInjector instead.
+  void SetFault(
+      std::function<FaultAction(Direction, ByteSpan)> /*fault*/) override {}
+
+  void EnableTranscript() override { record_transcript_ = true; }
+  const std::vector<TranscriptEntry>& transcript() const override {
+    return transcript_;
+  }
+
+  /// Receive() gives up (kUnavailable) after this long without a
+  /// complete frame. 0 = wait forever.
+  void set_receive_timeout_ms(int ms) { receive_timeout_ms_ = ms; }
+
+  /// Raw bytes actually written to / read from the fd (framing, CRC and
+  /// reflector echo included).
+  uint64_t physical_bytes_sent() const { return physical_sent_; }
+  uint64_t physical_bytes_received() const { return physical_received_; }
+
+  /// Set when Send/Receive hit a hard socket error; once set, every
+  /// subsequent Receive fails with it (Send is void, so errors latch).
+  const Status& wire_error() const { return wire_error_; }
+
+ private:
+  /// Writes all of `frame` to the fd, polling on would-block.
+  void WriteAll(ByteSpan frame);
+  /// Drains readable bytes into queues. `block_ms`: 0 = only what is
+  /// already readable; >0 = poll up to that long for the first byte.
+  Status Pump(int block_ms);
+
+  SocketIo io_;
+  FrameReader reader_;
+  std::deque<Bytes> to_server_;
+  std::deque<Bytes> to_client_;
+  std::function<void(Direction, Bytes&)> tamper_;
+  std::vector<TranscriptEntry> transcript_;
+  bool record_transcript_ = false;
+  TrafficStats stats_;
+  Direction last_dir_ = Direction::kServerToClient;
+  uint32_t next_seq_ = 0;
+  int receive_timeout_ms_ = 30000;
+  uint64_t physical_sent_ = 0;
+  uint64_t physical_received_ = 0;
+  Status wire_error_ = Status::Ok();
+};
+
+}  // namespace fsx::netd
+
+#endif  // FSYNC_NETD_SOCKET_CHANNEL_H_

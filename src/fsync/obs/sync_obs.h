@@ -49,9 +49,16 @@ enum class Event : uint8_t {
                       ///< being recomputed (counted per byte)
   kCacheCpuSavedNs,   ///< recompute time a cache hit avoided, in
                       ///< nanoseconds (insert-time measurement)
+  kConnAccepted,      ///< the daemon accepted a client connection
+  kConnEvicted,       ///< a connection was evicted (oldest-idle) to make
+                      ///< room at the connection cap
+  kConnDrained,       ///< a connection finished cleanly during drain
+  kBackpressureStall, ///< reads from a client paused because its write
+                      ///< queue crossed the high watermark
+  kDeadlineExpired,   ///< an idle/handshake/session/drain deadline fired
 };
 
-inline constexpr int kNumEvents = 19;
+inline constexpr int kNumEvents = 24;
 
 /// Stable lower-case name, used as the JSON/metrics key.
 inline const char* EventName(Event e) {
@@ -94,6 +101,16 @@ inline const char* EventName(Event e) {
       return "cache_bytes_saved";
     case Event::kCacheCpuSavedNs:
       return "cache_cpu_saved_ns";
+    case Event::kConnAccepted:
+      return "connections_accepted";
+    case Event::kConnEvicted:
+      return "connections_evicted";
+    case Event::kConnDrained:
+      return "connections_drained";
+    case Event::kBackpressureStall:
+      return "backpressure_stalls";
+    case Event::kDeadlineExpired:
+      return "deadline_expirations";
   }
   return "unknown";
 }

@@ -51,8 +51,10 @@ std::optional<ManifestEntry> DiskEntry(const fs::path& p) {
 }
 
 Status ValidateRelPath(const std::string& path) {
-  if (path.empty() || path.find("..") != std::string::npos ||
-      path.front() == '/') {
+  // Component-wise safety check (fsstore.h): rejects "..", ".", empty
+  // components, absolute paths, backslashes and NULs — wire manifests
+  // reach here, so this is a security boundary, not input hygiene.
+  if (!IsSafeRelativePath(path)) {
     return Status::InvalidArgument("unsafe path in apply: " + path);
   }
   if (IsInternalArtifact(path)) {

@@ -59,6 +59,31 @@ Status WriteFileAtomic(const fs::path& p, ByteSpan data) {
 
 }  // namespace
 
+bool IsSafeRelativePath(const std::string& path) {
+  if (path.empty() || path.front() == '/') {
+    return false;
+  }
+  size_t start = 0;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') {
+      if (path[i] == '\0' || path[i] == '\\') {
+        return false;
+      }
+      continue;
+    }
+    const size_t len = i - start;
+    if (len == 0) {
+      return false;  // leading/trailing/double slash
+    }
+    if ((len == 1 && path[start] == '.') ||
+        (len == 2 && path[start] == '.' && path[start + 1] == '.')) {
+      return false;
+    }
+    start = i + 1;
+  }
+  return true;
+}
+
 Manifest BuildManifest(const Collection& files) {
   Manifest m;
   for (const auto& [name, data] : files) {
@@ -178,8 +203,7 @@ Status StoreTree(const std::string& root, const Collection& files,
   fs::path base(root);
   fs::create_directories(base, ec);
   for (const auto& [name, data] : files) {
-    if (name.empty() || name.find("..") != std::string::npos ||
-        name.front() == '/') {
+    if (!IsSafeRelativePath(name)) {
       return Status::InvalidArgument("unsafe path in collection: " + name);
     }
     FSYNC_RETURN_IF_ERROR(WriteFileAtomic(base / name, data));

@@ -15,6 +15,15 @@
 
 namespace fsx {
 
+/// True when `path` is a safe tree-relative name: non-empty, '/'
+/// separated, with no empty, "." or ".." components, no leading '/',
+/// and no NUL or backslash bytes. Everything that turns wire data into
+/// filesystem paths (apply transactions, the netd client's manifest
+/// handling) must reject anything else *before* touching the
+/// filesystem — a hostile manifest must not be able to write outside
+/// the tree.
+bool IsSafeRelativePath(const std::string& path);
+
 /// Per-file metadata recorded in a manifest.
 struct ManifestEntry {
   uint64_t size = 0;

@@ -1,0 +1,24 @@
+#include "fsync/transport/clock.h"
+
+#include <ctime>
+
+namespace fsx::transport {
+
+uint64_t MonotonicClock::now_us() const {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1'000;
+}
+
+void MonotonicClock::Wait(uint64_t delta_us) {
+  timespec req{};
+  req.tv_sec = static_cast<time_t>(delta_us / 1'000'000);
+  req.tv_nsec = static_cast<long>((delta_us % 1'000'000) * 1'000);
+  timespec rem{};
+  while (nanosleep(&req, &rem) != 0) {
+    req = rem;  // EINTR: resume the remaining sleep
+  }
+}
+
+}  // namespace fsx::transport

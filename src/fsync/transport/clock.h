@@ -1,0 +1,41 @@
+// Clock abstraction unifying deterministic simulation time and real
+// monotonic time. The reliable transport's retransmission deadlines and
+// the sync daemon's connection deadlines are both expressed against this
+// interface: tests inject a SimClock (sim_clock.h) and get exactly
+// replayable timeout sequences; the daemon installs a MonotonicClock and
+// gets wall-clock deadlines immune to NTP steps.
+#ifndef FSYNC_TRANSPORT_CLOCK_H_
+#define FSYNC_TRANSPORT_CLOCK_H_
+
+#include <cstdint>
+
+namespace fsx::transport {
+
+/// Monotonic microsecond clock. Implementations differ only in what
+/// makes time pass: virtual clocks advance instantly when asked to wait
+/// (deterministic tests), real clocks actually sleep.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Microseconds since an arbitrary fixed origin. Never decreases.
+  virtual uint64_t now_us() const = 0;
+
+  /// Lets `delta_us` of time pass before the caller re-checks a
+  /// deadline. A virtual clock advances immediately; a real clock
+  /// sleeps. Event-loop code never calls this — it folds deadlines into
+  /// its poll timeout instead — but lockstep code (the reliable
+  /// channel's retransmit loop) uses it as its only time source.
+  virtual void Wait(uint64_t delta_us) = 0;
+};
+
+/// Real time: CLOCK_MONOTONIC. Wait() sleeps (EINTR-resistant).
+class MonotonicClock final : public Clock {
+ public:
+  uint64_t now_us() const override;
+  void Wait(uint64_t delta_us) override;
+};
+
+}  // namespace fsx::transport
+
+#endif  // FSYNC_TRANSPORT_CLOCK_H_

@@ -45,7 +45,7 @@ StatusOr<Record> DecodeRecord(ByteSpan frame) {
   }
   Record rec;
   rec.type = frame[0];
-  if (rec.type != kRecordTypeData) {
+  if (rec.type > kRecordTypeMaxValid) {
     return Status::DataLoss("transport: unknown record type");
   }
   rec.seq = GetLe32(frame.data() + 1);

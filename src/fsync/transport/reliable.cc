@@ -88,9 +88,12 @@ void ReliableChannel::DrainRaw(Direction dir) {
       return;  // unreachable given HasPending; be defensive anyway
     }
     auto rec = DecodeRecord(ByteSpan(raw->data(), raw->size()));
-    if (!rec.ok()) {
+    if (!rec.ok() || rec->type != kRecordTypeData) {
       // Corruption is indistinguishable from loss: drop the record and
-      // let the sender's timeout recover it.
+      // let the sender's timeout recover it. Valid records of a foreign
+      // type (socket-channel or daemon frames, which share the record
+      // format) have no business on a reliable stream and are dropped
+      // the same way.
       ++counters_.corrupt_dropped;
       obs::AddEvent(inner_.observer(), obs::Event::kCorruptRecord);
       continue;
@@ -140,7 +143,10 @@ StatusOr<Bytes> ReliableChannel::Receive(Direction dir) {
     ++attempts;
     ++counters_.timeouts;
     obs::AddEvent(inner_.observer(), obs::Event::kTimeout);
-    clock_->Advance(timeout_us);
+    // Through the Clock interface: a SimClock advances instantly (the
+    // deterministic test path), a MonotonicClock really sleeps out the
+    // backoff before the retransmission burst.
+    clock_->Wait(timeout_us);
     timeout_us = std::min(timeout_us * 2, params_.max_timeout_us);
     // Go-back-N recovery: re-send every unacknowledged record in order.
     // Retransmissions pass through the inner channel's fault hooks like

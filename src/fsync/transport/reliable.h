@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "fsync/net/channel.h"
+#include "fsync/transport/clock.h"
 #include "fsync/transport/sim_clock.h"
 #include "fsync/util/bytes.h"
 #include "fsync/util/status.h"
@@ -76,11 +77,16 @@ struct TransportCounters {
 /// through the wrapper once it is constructed.
 class ReliableChannel final : public SimulatedChannel {
  public:
-  /// `clock` may be shared with the test harness to inspect virtual time;
-  /// pass nullptr to let the channel own a private clock.
+  /// `clock` may be shared with the test harness to inspect virtual
+  /// time (SimClock) or bound to real time (MonotonicClock) when the
+  /// channel runs outside the lockstep simulation; pass nullptr to let
+  /// the channel own a private deterministic SimClock. Backoff and
+  /// retries go exclusively through the Clock interface, so the same
+  /// code is deterministic under SimClock and monotonic under the
+  /// daemon.
   explicit ReliableChannel(SimulatedChannel& inner,
                            ReliableParams params = {},
-                           SimClock* clock = nullptr)
+                           Clock* clock = nullptr)
       : inner_(inner), params_(params),
         clock_(clock != nullptr ? clock : &own_clock_) {}
 
@@ -129,7 +135,7 @@ class ReliableChannel final : public SimulatedChannel {
   bool LogicalPending(Direction dir);
 
   const TransportCounters& counters() const { return counters_; }
-  const SimClock& clock() const { return *clock_; }
+  const Clock& clock() const { return *clock_; }
   SimulatedChannel& inner() { return inner_; }
 
  private:
@@ -167,7 +173,7 @@ class ReliableChannel final : public SimulatedChannel {
   SimulatedChannel& inner_;
   ReliableParams params_;
   SimClock own_clock_;
-  SimClock* clock_;
+  Clock* clock_;
   TransportCounters counters_;
   DirState dirs_[2];
   std::vector<TranscriptEntry> transcript_;

@@ -1,22 +1,28 @@
-// Deterministic virtual clock for the reliable transport. Retransmission
-// timeouts and exponential backoff are expressed against this clock, never
-// against wall time, so every transport test (including the chaos suite)
-// is exactly replayable: a given seed produces the same timeout sequence
-// on every platform and under every sanitizer.
+// Deterministic virtual clock for the reliable transport and the daemon
+// deadline tests. Retransmission timeouts and exponential backoff are
+// expressed against the Clock interface (clock.h), never against wall
+// time, so every transport test (including the chaos suite) is exactly
+// replayable: a given seed produces the same timeout sequence on every
+// platform and under every sanitizer. The daemon swaps in a
+// MonotonicClock at the same interface.
 #ifndef FSYNC_TRANSPORT_SIM_CLOCK_H_
 #define FSYNC_TRANSPORT_SIM_CLOCK_H_
 
 #include <cstdint>
 
+#include "fsync/transport/clock.h"
+
 namespace fsx::transport {
 
 /// Monotonic virtual clock in microseconds. Time passes only when a
 /// component explicitly advances it (the reliable channel does so once
-/// per expired receive deadline).
-class SimClock {
+/// per expired receive deadline, via Wait).
+class SimClock final : public Clock {
  public:
-  uint64_t now_us() const { return now_us_; }
+  uint64_t now_us() const override { return now_us_; }
   void Advance(uint64_t delta_us) { now_us_ += delta_us; }
+  /// Virtual waiting is instantaneous: the deadline simply arrives.
+  void Wait(uint64_t delta_us) override { Advance(delta_us); }
 
  private:
   uint64_t now_us_ = 0;

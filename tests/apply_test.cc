@@ -73,6 +73,25 @@ TEST_F(ApplyTest, ApplyTreeWritesVerifiableTree) {
   EXPECT_FALSE(fs::exists(fs::path(root_) / kJournalName));
 }
 
+TEST_F(ApplyTest, HostileManifestPathsAbortBeforeTouchingDisk) {
+  // A manifest is wire data: a compromised or malicious server must not
+  // be able to name its way out of the destination tree. The whole
+  // apply aborts (not a per-file skip) and nothing lands outside root.
+  const std::string outside_marker = root_ + "_outside_marker";
+  fs::remove(outside_marker);
+  for (const std::string evil :
+       {"../escape", "/etc/fsx_apply_test", "dir/../../escape", "..",
+        "a\\..\\b", "dir//double"}) {
+    Collection files = SampleFiles();
+    files[evil] = ToBytes("pwned");
+    auto report = ApplyTree(root_, files, Manifest{});
+    EXPECT_FALSE(report.ok()) << evil;
+    EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument) << evil;
+  }
+  EXPECT_FALSE(fs::exists(outside_marker));
+  EXPECT_FALSE(fs::exists(fs::path(root_).parent_path() / "escape"));
+}
+
 TEST_F(ApplyTest, UnchangedFilesAreSkippedNotRewritten) {
   Collection files = SampleFiles();
   ASSERT_TRUE(ApplyTree(root_, files, Manifest{}).ok());

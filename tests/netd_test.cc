@@ -1,0 +1,792 @@
+// netd suite: frame/protocol codec units, pollers, rate limiting, and
+// the loopback conformance sweep — every registered protocol (and the
+// tree drivers) run over a real socketpair through SocketChannel with
+// transcripts byte-compared against the in-process SimulatedChannel
+// run. Plus SyncDaemon end-to-end: handshake, manifest, multiplexed
+// sessions, concurrency fan-out, eviction, deadlines, backpressure, and
+// graceful drain. Labeled `net` in CTest.
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+#include "fsync/core/config_io.h"
+#include "fsync/core/checkpoint.h"
+#include "fsync/core/endpoint.h"
+#include "fsync/netd/client.h"
+#include "fsync/netd/daemon.h"
+#include "fsync/netd/event_loop.h"
+#include "fsync/netd/frame.h"
+#include "fsync/netd/protocol.h"
+#include "fsync/netd/rate.h"
+#include "fsync/netd/reflector.h"
+#include "fsync/netd/socket_channel.h"
+#include "fsync/netd/sockets.h"
+#include "fsync/store/fsstore.h"
+#include "fsync/testing/corpus.h"
+#include "fsync/testing/protocols.h"
+#include "fsync/testing/tree_protocols.h"
+#include "fsync/util/random.h"
+#include "fsync/workload/tree.h"
+
+namespace fsx::netd {
+namespace {
+
+// ---------------------------------------------------------------- frame
+
+TEST(Frame, RoundTripsSingleRecord) {
+  Bytes payload = ToBytes("the quick brown fox");
+  Bytes frame = EncodeFrame(transport::kRecordTypeDaemon, 7, 3,
+                            ByteSpan(payload.data(), payload.size()));
+  FrameReader reader;
+  reader.Feed(frame.data(), frame.size());
+  auto rec = reader.Next();
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->type, transport::kRecordTypeDaemon);
+  EXPECT_EQ(rec->seq, 7u);
+  EXPECT_EQ(rec->payload, payload);
+  EXPECT_EQ(reader.Next().status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(Frame, ReassemblesByteByByte) {
+  // Three frames, fed one byte at a time, must come out whole and in
+  // order — the incremental varint/length parser may never mis-split.
+  std::vector<Bytes> payloads = {ToBytes("a"), Bytes(300, 0x42), Bytes{}};
+  Bytes wire;
+  uint32_t seq = 0;
+  for (const Bytes& p : payloads) {
+    Bytes f = EncodeFrame(transport::kRecordTypeDaemon, seq++, 0,
+                          ByteSpan(p.data(), p.size()));
+    wire.insert(wire.end(), f.begin(), f.end());
+  }
+  FrameReader reader;
+  std::vector<Bytes> got;
+  for (uint8_t b : wire) {
+    reader.Feed(&b, 1);
+    for (;;) {
+      auto rec = reader.Next();
+      if (!rec.ok()) {
+        ASSERT_EQ(rec.status().code(), StatusCode::kNotFound);
+        break;
+      }
+      got.push_back(rec->payload);
+    }
+  }
+  EXPECT_EQ(got, payloads);
+}
+
+TEST(Frame, PoisonsOnCorruptRecord) {
+  Bytes payload = ToBytes("payload");
+  Bytes frame = EncodeFrame(transport::kRecordTypeDaemon, 0, 0,
+                            ByteSpan(payload.data(), payload.size()));
+  frame.back() ^= 0xFF;  // break the CRC
+  FrameReader reader;
+  reader.Feed(frame.data(), frame.size());
+  EXPECT_EQ(reader.Next().status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(reader.poisoned());
+  // Poisoning is permanent: a good frame after the bad one stays dead.
+  Bytes good = EncodeFrame(transport::kRecordTypeDaemon, 1, 0,
+                           ByteSpan(payload.data(), payload.size()));
+  reader.Feed(good.data(), good.size());
+  EXPECT_EQ(reader.Next().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Frame, RejectsOversizedFrame) {
+  // A length header past the bound must poison immediately, without
+  // waiting for (or allocating) the advertised bytes.
+  uint8_t huge[10];
+  size_t n = 0;
+  uint64_t v = uint64_t{kMaxFrameBytes} + 1;
+  while (v >= 0x80) {
+    huge[n++] = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  huge[n++] = static_cast<uint8_t>(v);
+  FrameReader reader;
+  reader.Feed(huge, n);
+  EXPECT_EQ(reader.Next().status().code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(reader.poisoned());
+}
+
+// ------------------------------------------------------------- protocol
+
+TEST(Protocol, DaemonMsgRoundTrip) {
+  Bytes body = ToBytes("body bytes");
+  Bytes wire = EncodeDaemonMsg(Msg::kFileMsg, 12345,
+                               ByteSpan(body.data(), body.size()));
+  auto msg = ParseDaemonMsg(ByteSpan(wire.data(), wire.size()));
+  ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+  EXPECT_EQ(msg->msg, Msg::kFileMsg);
+  EXPECT_EQ(msg->stream, 12345u);
+  EXPECT_EQ(msg->body, body);
+}
+
+TEST(Protocol, HelloAndAckRoundTrip) {
+  Bytes hello = EncodeHello();
+  uint8_t version = 0;
+  ASSERT_TRUE(
+      ParseHello(ByteSpan(hello.data(), hello.size()), &version).ok());
+  EXPECT_EQ(version, kDaemonVersion);
+
+  HelloAck ack;
+  ack.accepted = true;
+  ack.config_digest = 0xDEADBEEFCAFEF00Dull;
+  ack.config_text = SerializeSyncConfig(SyncConfig{});
+  Bytes wire = EncodeHelloAck(ack);
+  auto parsed = ParseHelloAck(ByteSpan(wire.data(), wire.size()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->accepted);
+  EXPECT_EQ(parsed->config_digest, ack.config_digest);
+  EXPECT_EQ(parsed->config_text, ack.config_text);
+}
+
+TEST(Protocol, HelloRejectsBadMagic) {
+  Bytes hello = EncodeHello();
+  hello[0] ^= 0x01;
+  uint8_t version = 0;
+  EXPECT_FALSE(
+      ParseHello(ByteSpan(hello.data(), hello.size()), &version).ok());
+}
+
+TEST(Protocol, OpenFileAndFileMsgRoundTrip) {
+  OpenFile open;
+  open.kind = OpenKind::kResume;
+  open.path = "dir/sub/file.txt";
+  open.first_msg = Bytes(100, 0x5A);
+  Bytes wire = EncodeOpenFile(open);
+  auto parsed = ParseOpenFile(ByteSpan(wire.data(), wire.size()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->kind, OpenKind::kResume);
+  EXPECT_EQ(parsed->path, open.path);
+  EXPECT_EQ(parsed->first_msg, open.first_msg);
+
+  Bytes payload = ToBytes("round reply");
+  Bytes fm = EncodeFileMsg(FileSub::kRoundReply,
+                           ByteSpan(payload.data(), payload.size()));
+  auto pf = ParseFileMsg(ByteSpan(fm.data(), fm.size()));
+  ASSERT_TRUE(pf.ok()) << pf.status().ToString();
+  EXPECT_EQ(pf->first, FileSub::kRoundReply);
+  EXPECT_EQ(pf->second, payload);
+}
+
+TEST(Protocol, ErrorRoundTrip) {
+  Bytes wire = EncodeError(Status::NotFound("no such file: x"));
+  auto err = ParseError(ByteSpan(wire.data(), wire.size()));
+  ASSERT_TRUE(err.ok()) << err.status().ToString();
+  EXPECT_EQ(err->code, static_cast<uint8_t>(StatusCode::kNotFound));
+  EXPECT_EQ(err->detail, "no such file: x");
+}
+
+// ----------------------------------------------------------------- rate
+
+TEST(Rate, TokenBucketGrantsAndRefills) {
+  TokenBucket bucket(1000, 1000);  // 1000 B/s, 1000 B burst
+  EXPECT_FALSE(bucket.unlimited());
+  uint64_t t0 = 1'000'000;
+  EXPECT_EQ(bucket.Grant(600, t0), 600u);
+  EXPECT_EQ(bucket.Grant(600, t0), 400u);  // bucket drained
+  EXPECT_EQ(bucket.Grant(600, t0), 0u);
+  // Half a second refills half the bucket.
+  EXPECT_EQ(bucket.Grant(600, t0 + 500'000), 500u);
+  // Unused grant can be returned.
+  bucket.Charge(0);
+  EXPECT_GT(bucket.RefillDelayUs(100, t0 + 500'000), 0u);
+}
+
+TEST(Rate, ZeroRateIsUnlimited) {
+  TokenBucket bucket;
+  EXPECT_TRUE(bucket.unlimited());
+  EXPECT_EQ(bucket.Grant(1u << 30, 0), uint64_t{1} << 30);
+}
+
+// -------------------------------------------------------------- pollers
+
+void ExercisePoller(Poller& poller) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  Fd rd(fds[0]), wr(fds[1]);
+  ASSERT_TRUE(poller.Add(rd.get(), true, false).ok());
+
+  std::vector<Poller::Event> events;
+  ASSERT_TRUE(poller.Wait(0, &events).ok());
+  EXPECT_TRUE(events.empty());  // nothing readable yet
+
+  ASSERT_EQ(::write(wr.get(), "x", 1), 1);
+  ASSERT_TRUE(poller.Wait(1000, &events).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].fd, rd.get());
+  EXPECT_TRUE(events[0].readable);
+
+  char c;
+  ASSERT_EQ(::read(rd.get(), &c, 1), 1);
+  ASSERT_TRUE(poller.Update(rd.get(), false, false).ok());
+  ASSERT_EQ(::write(wr.get(), "y", 1), 1);
+  ASSERT_TRUE(poller.Wait(0, &events).ok());
+  EXPECT_TRUE(events.empty());  // interest masked off
+  poller.Remove(rd.get());
+}
+
+TEST(Poller, PollBackend) {
+  auto poller = MakePollPoller();
+  ASSERT_NE(poller, nullptr);
+  ExercisePoller(*poller);
+}
+
+TEST(Poller, EpollBackend) {
+  auto poller = MakeEpollPoller();
+  if (poller == nullptr) {
+    GTEST_SKIP() << "epoll unavailable on this kernel";
+  }
+  ExercisePoller(*poller);
+}
+
+// ----------------------------------------------- loopback conformance
+
+// Runs `entry` twice — over a SimulatedChannel and over a socketpair
+// with a byte-reflecting peer — and requires bit-identical transcripts,
+// stats, and reconstruction. This is the contract that lets every
+// protocol in the library run over real sockets unmodified.
+void ExpectSocketRunMatchesSimulated(const ProtocolEntry& entry,
+                                     const CorpusPair& pair) {
+  SimulatedChannel sim;
+  sim.EnableTranscript();
+  auto sim_result = entry.run(pair.f_old, pair.f_new, sim, nullptr);
+  ASSERT_TRUE(sim_result.ok())
+      << entry.name << "/" << pair.Label() << ": "
+      << sim_result.status().ToString();
+
+  auto fds = StreamSocketPair();
+  ASSERT_TRUE(fds.ok()) << fds.status().ToString();
+  Reflector reflector(std::move(fds->second));
+  SocketChannel sock(fds->first.get());
+  sock.EnableTranscript();
+  auto sock_result = entry.run(pair.f_old, pair.f_new, sock, nullptr);
+  ASSERT_TRUE(sock_result.ok())
+      << entry.name << "/" << pair.Label() << ": "
+      << sock_result.status().ToString();
+
+  EXPECT_EQ(sock_result->reconstructed, pair.f_new)
+      << entry.name << "/" << pair.Label();
+  EXPECT_EQ(sock.stats().client_to_server_bytes,
+            sim.stats().client_to_server_bytes)
+      << entry.name << "/" << pair.Label();
+  EXPECT_EQ(sock.stats().server_to_client_bytes,
+            sim.stats().server_to_client_bytes)
+      << entry.name << "/" << pair.Label();
+  EXPECT_EQ(sock.stats().roundtrips, sim.stats().roundtrips)
+      << entry.name << "/" << pair.Label();
+
+  ASSERT_EQ(sock.transcript().size(), sim.transcript().size())
+      << entry.name << "/" << pair.Label();
+  for (size_t i = 0; i < sim.transcript().size(); ++i) {
+    ASSERT_EQ(sock.transcript()[i].dir, sim.transcript()[i].dir)
+        << entry.name << "/" << pair.Label() << " message " << i;
+    ASSERT_EQ(sock.transcript()[i].payload, sim.transcript()[i].payload)
+        << entry.name << "/" << pair.Label() << " message " << i;
+  }
+  // The physical stream really carried everything (framing overhead on
+  // top of the logical payload bytes, both directions echoed).
+  EXPECT_GE(sock.physical_bytes_sent(),
+            sim.stats().total_bytes());
+}
+
+TEST(LoopbackConformance, AllProtocolsAllShapesMatchSimulated) {
+  const uint64_t seed = SeedFromEnv(29);
+  for (const ProtocolEntry& entry : ConformanceProtocols()) {
+    for (CorpusShape shape : AllCorpusShapes()) {
+      ExpectSocketRunMatchesSimulated(entry, MakeCorpusPair(shape, seed));
+    }
+  }
+}
+
+TEST(LoopbackConformance, TreeProtocolsMatchSimulated) {
+  TreeChurnProfile profile = ReleaseTreeProfile(60);
+  profile.seed = SeedFromEnv(31);
+  TreePair pair = MakeTreeWorkload(profile);
+  for (const TreeProtocolEntry& entry : TreeConformanceProtocols()) {
+    SimulatedChannel sim;
+    sim.EnableTranscript();
+    auto sim_result = entry.run(pair.old_tree, pair.new_tree, sim, nullptr);
+    ASSERT_TRUE(sim_result.ok())
+        << entry.name << ": " << sim_result.status().ToString();
+
+    auto fds = StreamSocketPair();
+    ASSERT_TRUE(fds.ok()) << fds.status().ToString();
+    Reflector reflector(std::move(fds->second));
+    SocketChannel sock(fds->first.get());
+    sock.EnableTranscript();
+    auto sock_result =
+        entry.run(pair.old_tree, pair.new_tree, sock, nullptr);
+    ASSERT_TRUE(sock_result.ok())
+        << entry.name << ": " << sock_result.status().ToString();
+
+    EXPECT_EQ(sock_result->reconstructed, pair.new_tree) << entry.name;
+    EXPECT_EQ(sock.stats().total_bytes(), sim.stats().total_bytes())
+        << entry.name;
+    ASSERT_EQ(sock.transcript().size(), sim.transcript().size())
+        << entry.name;
+    for (size_t i = 0; i < sim.transcript().size(); ++i) {
+      ASSERT_EQ(sock.transcript()[i].payload, sim.transcript()[i].payload)
+          << entry.name << " message " << i;
+    }
+  }
+}
+
+TEST(LoopbackConformance, TornFrameIsCaughtByCrc) {
+  // A fault injector that garbles frame tails must surface as a channel
+  // error (CRC poisoning) — never as delivered-but-wrong payload.
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.torn_frame = 1.0;  // every write torn
+  FaultInjector fault(plan);
+  auto fds = StreamSocketPair();
+  ASSERT_TRUE(fds.ok());
+  Reflector reflector(std::move(fds->second));
+  SocketChannel sock(fds->first.get(), &fault);
+  sock.set_receive_timeout_ms(2000);
+  Bytes payload = ToBytes("this payload will be torn on the wire");
+  sock.Send(SimulatedChannel::Direction::kClientToServer,
+            ByteSpan(payload.data(), payload.size()));
+  auto got = sock.Receive(SimulatedChannel::Direction::kClientToServer);
+  ASSERT_FALSE(got.ok());
+  EXPECT_NE(got.status().code(), StatusCode::kNotFound);
+}
+
+// --------------------------------------------------------------- daemon
+
+Collection SmallServerTree() {
+  TreeChurnProfile profile = ReleaseTreeProfile(40);
+  profile.seed = 0x5EED;
+  return MakeTreeWorkload(profile).new_tree;
+}
+
+Collection StaleLocalTree() {
+  TreeChurnProfile profile = ReleaseTreeProfile(40);
+  profile.seed = 0x5EED;
+  return MakeTreeWorkload(profile).old_tree;
+}
+
+TEST(Daemon, SingleClientFullSync) {
+  Collection server_tree = SmallServerTree();
+  SyncDaemon daemon(server_tree, DaemonOptions{});
+  ASSERT_TRUE(daemon.Start().ok());
+  ASSERT_NE(daemon.port(), 0);
+
+  ClientOptions opts;
+  opts.port = daemon.port();
+  auto result = RunSyncClient(StaleLocalTree(), opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->reconstructed, server_tree);
+  EXPECT_EQ(result->files_total, server_tree.size());
+  EXPECT_GT(result->files_unchanged, 0u);
+  EXPECT_GT(result->files_sessioned, 0u);
+  EXPECT_EQ(result->files_aborted, 0u);
+
+  // Drain, not Stop: Stop() is immediate and may tear the connection
+  // down before the loop has processed the client's trailing
+  // kCloseStream/kGoodbye records, undercounting sessions_completed.
+  daemon.Drain();
+  daemon.Join();
+  DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.sessions_opened, result->files_sessioned);
+  EXPECT_EQ(stats.sessions_completed, result->files_sessioned);
+  EXPECT_EQ(stats.open_connections, 0u);
+}
+
+TEST(Daemon, EmptyLocalReplicaBootstraps) {
+  Collection server_tree = SmallServerTree();
+  SyncDaemon daemon(server_tree, DaemonOptions{});
+  ASSERT_TRUE(daemon.Start().ok());
+  ClientOptions opts;
+  opts.port = daemon.port();
+  auto result = RunSyncClient(Collection{}, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->reconstructed, server_tree);
+  EXPECT_EQ(result->files_new, server_tree.size());
+}
+
+TEST(Daemon, UnixDomainSocket) {
+  Collection server_tree = SmallServerTree();
+  DaemonOptions options;
+  options.unix_path = ::testing::TempDir() + "/fsx-netd-test.sock";
+  SyncDaemon daemon(server_tree, options);
+  ASSERT_TRUE(daemon.Start().ok());
+  ClientOptions opts;
+  opts.unix_path = options.unix_path;
+  auto result = RunSyncClient(StaleLocalTree(), opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->reconstructed, server_tree);
+}
+
+TEST(Daemon, PollBackendServesClients) {
+  Collection server_tree = SmallServerTree();
+  DaemonOptions options;
+  options.force_poll = true;
+  SyncDaemon daemon(server_tree, options);
+  ASSERT_TRUE(daemon.Start().ok());
+  EXPECT_STREQ(daemon.poller_name(), "poll");
+  ClientOptions opts;
+  opts.port = daemon.port();
+  auto result = RunSyncClient(StaleLocalTree(), opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->reconstructed, server_tree);
+}
+
+TEST(Daemon, ServesManyConcurrentClientsBitIdentical) {
+  // The ISSUE acceptance bar: >= 64 concurrent loopback clients, every
+  // replica bit-identical to the server tree (which is itself what a
+  // SimulatedChannel session run converges to — the daemon carries the
+  // same endpoint messages, so equality of trees is equality of runs).
+  constexpr int kClients = 64;
+  Collection server_tree = SmallServerTree();
+  Collection stale = StaleLocalTree();
+  SyncDaemon daemon(server_tree, DaemonOptions{});
+  ASSERT_TRUE(daemon.Start().ok());
+
+  std::vector<StatusOr<ClientResult>> results(
+      kClients, Status::Internal("not run"));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      threads.emplace_back([&, i] {
+        ClientOptions opts;
+        opts.port = daemon.port();
+        // Mix of stale and empty replicas, all converging to the tree.
+        results[i] = RunSyncClient(i % 4 == 0 ? Collection{} : stale, opts);
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(results[i].ok())
+        << "client " << i << ": " << results[i].status().ToString();
+    EXPECT_EQ(results[i]->reconstructed, server_tree) << "client " << i;
+  }
+  daemon.Drain();  // graceful: process trailing records before exit
+  daemon.Join();
+  DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.connections_accepted, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.sessions_opened, stats.sessions_completed);
+  EXPECT_EQ(stats.open_connections, 0u);
+}
+
+// Raw-socket helper for the protocol-level daemon tests: a minimal
+// hand-rolled client speaking just enough of the daemon protocol.
+class RawClient {
+ public:
+  static StatusOr<RawClient> Connect(uint16_t port) {
+    auto fd = ConnectTcp("127.0.0.1", port);
+    FSYNC_RETURN_IF_ERROR(fd.status());
+    return RawClient(std::move(*fd));
+  }
+
+  Status Send(Msg msg, uint64_t stream, ByteSpan body) {
+    Bytes payload = EncodeDaemonMsg(msg, stream, body);
+    Bytes frame = EncodeFrame(transport::kRecordTypeDaemon, seq_++, 0,
+                              ByteSpan(payload.data(), payload.size()));
+    size_t off = 0;
+    while (off < frame.size()) {
+      ssize_t n = ::send(fd_.get(), frame.data() + off, frame.size() - off,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        return Status::Unavailable("raw send failed");
+      }
+      off += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<DaemonMsg> Recv(int timeout_ms = 5000) {
+    uint8_t buf[4096];
+    for (;;) {
+      auto rec = reader_.Next();
+      if (rec.ok()) {
+        return ParseDaemonMsg(
+            ByteSpan(rec->payload.data(), rec->payload.size()));
+      }
+      if (rec.status().code() != StatusCode::kNotFound) {
+        return rec.status();
+      }
+      pollfd p{fd_.get(), POLLIN, 0};
+      if (::poll(&p, 1, timeout_ms) <= 0) {
+        return Status::Unavailable("raw recv timed out");
+      }
+      ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+      if (n <= 0) {
+        return Status::Unavailable("raw peer closed");
+      }
+      reader_.Feed(buf, static_cast<size_t>(n));
+    }
+  }
+
+  Status Handshake() {
+    Bytes hello = EncodeHello();
+    FSYNC_RETURN_IF_ERROR(
+        Send(Msg::kHello, 0, ByteSpan(hello.data(), hello.size())));
+    FSYNC_ASSIGN_OR_RETURN(DaemonMsg ack, Recv());
+    if (ack.msg != Msg::kHelloAck) {
+      return Status::DataLoss("expected hello ack");
+    }
+    return Status::Ok();
+  }
+
+  /// True when the server has closed this connection (EOF within
+  /// `timeout_ms`).
+  bool WaitForEof(int timeout_ms) {
+    uint8_t buf[4096];
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      int remain = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count());
+      if (remain <= 0) {
+        return false;
+      }
+      pollfd p{fd_.get(), POLLIN, 0};
+      if (::poll(&p, 1, remain) <= 0) {
+        continue;
+      }
+      ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+      if (n <= 0) {
+        return true;
+      }
+    }
+  }
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  explicit RawClient(Fd fd) : fd_(std::move(fd)) {}
+
+  Fd fd_;
+  FrameReader reader_;
+  uint32_t seq_ = 0;
+};
+
+TEST(Daemon, HandshakeDeadlineClosesSilentConnections) {
+  DaemonOptions options;
+  options.limits.handshake_deadline_us = 50'000;  // 50 ms
+  SyncDaemon daemon(SmallServerTree(), options);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  auto raw = RawClient::Connect(daemon.port());
+  ASSERT_TRUE(raw.ok());
+  // Say nothing; the daemon must hang up on its own.
+  EXPECT_TRUE(raw->WaitForEof(5000));
+  daemon.Stop();
+  daemon.Join();
+  EXPECT_GE(daemon.stats().deadline_expirations, 1u);
+  EXPECT_EQ(daemon.stats().open_connections, 0u);
+}
+
+TEST(Daemon, ConnectionCapEvictsOldestIdle) {
+  DaemonOptions options;
+  options.max_connections = 1;
+  SyncDaemon daemon(SmallServerTree(), options);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  auto first = RawClient::Connect(daemon.port());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->Handshake().ok());
+
+  // Second client pushes past the cap; the idle first one is evicted
+  // and the newcomer is served.
+  auto second = RawClient::Connect(daemon.port());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->Handshake().ok());
+
+  EXPECT_TRUE(first->WaitForEof(5000));
+  daemon.Stop();
+  daemon.Join();
+  EXPECT_GE(daemon.stats().connections_evicted, 1u);
+}
+
+TEST(Daemon, BackpressureStallsSlowReaders) {
+  // A client that requests a large reply and stops reading must trip
+  // the write-queue high watermark: the daemon registers a backpressure
+  // stall and pauses reads instead of buffering unboundedly. A big
+  // manifest (thousands of entries) queued against a tiny watermark
+  // crosses it deterministically.
+  Collection tree;
+  for (int i = 0; i < 3000; ++i) {
+    tree["dir" + std::to_string(i % 10) + "/file-" + std::to_string(i)] =
+        ToBytes("contents " + std::to_string(i));
+  }
+  DaemonOptions options;
+  options.limits.write_queue_high_bytes = 64 * 1024;
+  options.limits.write_queue_low_bytes = 16 * 1024;
+  SyncDaemon daemon(std::move(tree), options);
+  ASSERT_TRUE(daemon.Start().ok());
+
+  auto raw = RawClient::Connect(daemon.port());
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw->Handshake().ok());
+  ASSERT_TRUE(raw->Send(Msg::kManifestRequest, 0, ByteSpan()).ok());
+
+  // Read nothing until the stall registers.
+  bool stalled = false;
+  for (int i = 0; i < 200 && !stalled; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    stalled = daemon.stats().backpressure_stalls > 0;
+  }
+  EXPECT_TRUE(stalled);
+
+  // Once the slow reader catches up, the connection must be perfectly
+  // usable again: the manifest arrives intact and goodbye closes clean.
+  auto manifest = raw->Recv();
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  EXPECT_EQ(manifest->msg, Msg::kManifest);
+  EXPECT_GT(manifest->body.size(), 64u * 1024);
+  ASSERT_TRUE(raw->Send(Msg::kGoodbye, 0, ByteSpan()).ok());
+  EXPECT_TRUE(raw->WaitForEof(5000));
+  daemon.Stop();
+  daemon.Join();
+  EXPECT_GE(daemon.stats().backpressure_stalls, 1u);
+  EXPECT_EQ(daemon.stats().open_connections, 0u);
+}
+
+TEST(Daemon, GracefulDrainFinishesInFlightAndRefusesNew) {
+  SyncDaemon daemon(SmallServerTree(), DaemonOptions{});
+  ASSERT_TRUE(daemon.Start().ok());
+
+  auto raw = RawClient::Connect(daemon.port());
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(raw->Handshake().ok());
+
+  daemon.Drain();
+  // The connected client is told, then new session opens are refused.
+  auto msg = raw->Recv();
+  ASSERT_TRUE(msg.ok()) << msg.status().ToString();
+  EXPECT_EQ(msg->msg, Msg::kDraining);
+
+  SyncConfig config;
+  SyncClientEndpoint ep(ByteSpan(), config);
+  OpenFile open;
+  open.path = "nonexistent";
+  open.first_msg = ep.MakeRequest();
+  Bytes body = EncodeOpenFile(open);
+  ASSERT_TRUE(raw->Send(Msg::kOpenFile, 1,
+                        ByteSpan(body.data(), body.size()))
+                  .ok());
+  auto refusal = raw->Recv();
+  ASSERT_TRUE(refusal.ok()) << refusal.status().ToString();
+  EXPECT_EQ(refusal->msg, Msg::kError);
+
+  ASSERT_TRUE(raw->Send(Msg::kGoodbye, 0, ByteSpan()).ok());
+  EXPECT_TRUE(raw->WaitForEof(5000));
+  daemon.Join();  // drain completes once the last connection is gone
+
+  // Listener is down: nobody new gets in.
+  EXPECT_FALSE(RawClient::Connect(daemon.port()).ok());
+  EXPECT_GE(daemon.stats().connections_drained, 1u);
+  EXPECT_EQ(daemon.stats().open_connections, 0u);
+}
+
+TEST(Daemon, DrainWithNoConnectionsExitsImmediately) {
+  SyncDaemon daemon(SmallServerTree(), DaemonOptions{});
+  ASSERT_TRUE(daemon.Start().ok());
+  daemon.Drain();
+  daemon.Join();
+  EXPECT_FALSE(RawClient::Connect(daemon.port()).ok());
+}
+
+// A hostile server must not be able to smuggle unsafe paths into the
+// client: the manifest is validated with IsSafeRelativePath before any
+// session (or any checkpoint file name) is derived from it.
+TEST(Daemon, ClientRejectsHostileManifest) {
+  uint16_t port = 0;
+  auto listener_or = ListenTcp("127.0.0.1", 0, &port);
+  ASSERT_TRUE(listener_or.ok());
+  Fd listener = std::move(*listener_or);
+
+  std::thread evil_server([fd = listener.get()] {
+    pollfd lp{fd, POLLIN, 0};
+    if (::poll(&lp, 1, 5000) <= 0) {
+      return;
+    }
+    int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      return;
+    }
+    Fd c(conn);
+    FrameReader reader;
+    uint32_t seq = 0;
+    auto send_msg = [&](Msg msg, ByteSpan body) {
+      Bytes payload = EncodeDaemonMsg(msg, 0, body);
+      Bytes frame = EncodeFrame(transport::kRecordTypeDaemon, seq++, 0,
+                                ByteSpan(payload.data(), payload.size()));
+      size_t off = 0;
+      while (off < frame.size()) {
+        ssize_t n = ::send(c.get(), frame.data() + off, frame.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+          return;
+        }
+        off += static_cast<size_t>(n);
+      }
+    };
+    uint8_t buf[4096];
+    int replies = 0;
+    while (replies < 2) {
+      auto rec = reader.Next();
+      if (rec.ok()) {
+        auto msg =
+            ParseDaemonMsg(ByteSpan(rec->payload.data(),
+                                    rec->payload.size()));
+        if (!msg.ok()) {
+          return;
+        }
+        if (msg->msg == Msg::kHello) {
+          HelloAck ack;
+          ack.accepted = true;
+          SyncConfig config;
+          ack.config_digest = ConfigWireDigest(config);
+          ack.config_text = SerializeSyncConfig(config);
+          Bytes body = EncodeHelloAck(ack);
+          send_msg(Msg::kHelloAck, ByteSpan(body.data(), body.size()));
+          ++replies;
+        } else if (msg->msg == Msg::kManifestRequest) {
+          Manifest evil;
+          evil["../../etc/passwd"] = ManifestEntry{};
+          Bytes body = SerializeManifest(evil);
+          send_msg(Msg::kManifest, ByteSpan(body.data(), body.size()));
+          ++replies;
+        }
+        continue;
+      }
+      pollfd p{c.get(), POLLIN, 0};
+      if (::poll(&p, 1, 5000) <= 0) {
+        return;
+      }
+      ssize_t n = ::recv(c.get(), buf, sizeof(buf), 0);
+      if (n <= 0) {
+        return;
+      }
+      reader.Feed(buf, static_cast<size_t>(n));
+    }
+    // Hold the socket open until the client has reacted.
+    pollfd p{c.get(), POLLIN, 0};
+    ::poll(&p, 1, 5000);
+  });
+
+  ClientOptions opts;
+  opts.port = port;
+  opts.io_timeout_ms = 5000;
+  auto result = RunSyncClient(Collection{}, opts);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  evil_server.join();
+}
+
+}  // namespace
+}  // namespace fsx::netd

@@ -77,6 +77,29 @@ TEST_F(StoreTest, RejectsUnsafePaths) {
   EXPECT_FALSE(StoreTree(root_, evil2, false).ok());
 }
 
+TEST(SafePathTest, AcceptsOrdinaryRelativePaths) {
+  for (const char* good :
+       {"a", "a.txt", "dir/b.txt", "dir/deep/c.bin", "with space/f",
+        ".hidden", "dir/.dotfile", "a..b", "..a", "trailing.", "a/..b/c",
+        "unicode/\xc3\xa9.txt"}) {
+    EXPECT_TRUE(IsSafeRelativePath(good)) << good;
+  }
+}
+
+TEST(SafePathTest, RejectsEscapesAndMalformedPaths) {
+  for (const char* evil :
+       {"", "/", "/etc/passwd", "../escape", "..", ".",
+        "dir/../../escape", "dir/..", "a//b", "a/", "/a", "./a", "a/./b",
+        "a\\b", "..\\escape", "dir/../sibling"}) {
+    EXPECT_FALSE(IsSafeRelativePath(evil)) << evil;
+  }
+  // Embedded NUL (can truncate a C path downstream).
+  std::string nul = "a";
+  nul.push_back('\0');
+  nul += "b";
+  EXPECT_FALSE(IsSafeRelativePath(nul));
+}
+
 TEST_F(StoreTest, LoadMissingDirectoryFails) {
   auto r = LoadTree(root_ + "/does_not_exist");
   EXPECT_FALSE(r.ok());

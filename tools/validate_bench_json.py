@@ -19,9 +19,11 @@ observability layer guarantees:
     conformance suite pins against the channel's TrafficStats);
   - metrics documents carry the full event-counter vocabulary,
     including the durable-apply counters (journal_commits, recoveries,
-    rolled_back_files, conflicts_detected) and the server-cache counters
+    rolled_back_files, conflicts_detected), the server-cache counters
     (cache_hits, cache_misses, cache_evictions, cache_bytes_saved,
-    cache_cpu_saved_ns).
+    cache_cpu_saved_ns), and the daemon counters (connections_accepted,
+    connections_evicted, connections_drained, backpressure_stalls,
+    deadline_expirations).
 
 Standard library only; exits non-zero on the first invalid file.
 """
@@ -61,6 +63,11 @@ EVENTS = {
     "cache_evictions",
     "cache_bytes_saved",
     "cache_cpu_saved_ns",
+    "connections_accepted",
+    "connections_evicted",
+    "connections_drained",
+    "backpressure_stalls",
+    "deadline_expirations",
 }
 
 
