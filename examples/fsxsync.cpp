@@ -51,9 +51,14 @@
 //
 // Exit codes: 0 sync applied cleanly; 1 failure; 2 usage error;
 // 3 applied cleanly after recovering an interrupted run; 4 applied, but
-// some concurrently modified files were skipped (listed on stderr).
+// some concurrently modified files were skipped (listed on stderr);
+// 5 the destination disk filled up (RESOURCE_EXHAUSTED) — the apply
+// aborted and rolled back, re-run after freeing space.
 // FSX_CRASH_AT=<n> arms a deterministic crash at the n-th durability
 // boundary (kill-point sweeps from the CLI; see docs/testing.md).
+// FSX_DISK_FAULT=<spec> arms deterministic disk-fault injection on the
+// store's vfs seam (e.g. "enospc-after=4096" or "fsync-fail"; see
+// store/vfs_fault.h for the grammar and docs/testing.md for the sweep).
 //
 // --trace streams one line per wire message / protocol round / session
 // to stderr as it happens; --metrics-json emits the per-phase byte
@@ -93,6 +98,8 @@
 #include "fsync/store/apply.h"
 #include "fsync/store/crashpoint.h"
 #include "fsync/store/fsstore.h"
+#include "fsync/store/vfs.h"
+#include "fsync/store/vfs_fault.h"
 #include "fsync/testing/faults.h"
 #include "fsync/transport/reliable.h"
 #include "fsync/util/random.h"
@@ -306,6 +313,15 @@ constexpr int kExitFailed = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitRecovered = 3;
 constexpr int kExitConflicts = 4;
+constexpr int kExitDiskFull = 5;
+
+/// Exit code for a failed store operation: disk-full gets its own code
+/// so wrappers can distinguish "free space and retry" from a real bug.
+int ExitCodeFor(const fsx::Status& status) {
+  return status.code() == fsx::StatusCode::kResourceExhausted
+             ? kExitDiskFull
+             : kExitFailed;
+}
 
 int RunSync(const std::string& src_dir, const std::string& dst_dir,
             const std::string& method, bool dry_run, bool keep_extra,
@@ -457,6 +473,15 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
   // Deferred until after the apply phase so journal/recovery/conflict
   // events show up in the emitted document.
   auto write_metrics = [&]() {
+    // The vfs layer counts fsync failures and injected faults in
+    // process-global atomics (it has no observer); fold them into the
+    // event table so they land in the JSON document. Each return path
+    // calls this lambda at most once, so the fold cannot double-count.
+    const fsx::store::VfsCounters& vfs = fsx::store::GlobalVfsCounters();
+    observer.AddEvent(fsx::obs::Event::kFsyncFailure,
+                      vfs.fsync_failures.load());
+    observer.AddEvent(fsx::obs::Event::kDiskFaultInjected,
+                      vfs.faults_injected.load());
     return !observe.metrics_json ||
            WriteMetricsJson(observer, method, observe.metrics_path,
                             transport_counters.has_value()
@@ -488,7 +513,8 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
     if (!report.ok()) {
       std::fprintf(stderr, "apply failed: %s\n",
                    report.status().ToString().c_str());
-      return kExitFailed;
+      (void)write_metrics();  // surface enospc_aborts/fsync_failures
+      return ExitCodeFor(report.status());
     }
     recovered = recovered || report->recovered;
     conflicts = report->conflicts.size();
@@ -509,7 +535,8 @@ int RunSync(const std::string& src_dir, const std::string& dst_dir,
                                     /*write_manifest=*/true);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
-      return kExitFailed;
+      (void)write_metrics();
+      return ExitCodeFor(st);
     }
     std::fprintf(human, "destination updated (manifest written)\n");
   }
@@ -759,7 +786,7 @@ int Connect(int argc, char** argv) {
                                       /*write_manifest=*/true);
   if (!stored.ok()) {
     std::fprintf(stderr, "connect: %s\n", stored.ToString().c_str());
-    return kExitFailed;
+    return ExitCodeFor(stored);
   }
   std::printf(
       "synced %s: %llu files (%llu unchanged, %llu sessioned, "
@@ -783,6 +810,11 @@ int main(int argc, char** argv) {
   // FSX_CRASH_AT=<n> so external sweeps can kill the process at the
   // n-th crash point (no-op unless the variable is set).
   fsx::store::ArmCrashFromEnv();
+  // Deterministic disk-fault injection on the store's vfs seam: honour
+  // FSX_DISK_FAULT=<spec> (e.g. "enospc-after=4096", "fail-op=7,
+  // errno=eio", "fsync-fail,pattern=.manifest") so external sweeps can
+  // exercise error paths without a special filesystem (no-op when unset).
+  fsx::store::ArmDiskFaultFromEnv();
   if (argc >= 2 && (std::strcmp(argv[1], "--features") == 0 ||
                     std::strcmp(argv[1], "features") == 0)) {
     return PrintFeatures();
@@ -825,7 +857,11 @@ int main(int argc, char** argv) {
         "  3  applied cleanly after recovering an interrupted apply\n"
         "  4  applied, but concurrently modified files were skipped\n"
         "     (each conflict listed on stderr)\n"
-        "  (FSX_CRASH_AT kill-point runs exit 42 at the armed boundary)\n",
+        "  5  destination disk full (apply aborted and rolled back;\n"
+        "     free space and re-run)\n"
+        "  (FSX_CRASH_AT kill-point runs exit 42 at the armed boundary;\n"
+        "   FSX_DISK_FAULT=<spec> arms deterministic disk-fault\n"
+        "   injection, e.g. enospc-after=4096 or fsync-fail)\n",
         argv[0], argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
     return kExitUsage;
   }

@@ -1,10 +1,12 @@
 #include "fsync/netd/client.h"
 
+#include <chrono>
 #include <ctime>
 #include <deque>
 #include <map>
 #include <memory>
 #include <poll.h>
+#include <thread>
 
 #include "fsync/core/checkpoint.h"
 #include "fsync/core/config_io.h"
@@ -152,14 +154,31 @@ std::string CheckpointPathFor(const std::string& dir,
          ".ckpt";
 }
 
-void MaybeSaveCheckpoint(FileSession& s) {
-  if (s.ckpt_path.empty() || s.ep->completed_rounds() <= s.saved_rounds) {
+void MaybeSaveCheckpoint(FileSession& s, ClientResult& result) {
+  if (s.ckpt_path.empty() || result.checkpoints_disabled ||
+      s.ep->completed_rounds() <= s.saved_rounds) {
     return;
   }
   s.saved_rounds = s.ep->completed_rounds();
-  // Best effort: a failed save only costs resume coverage.
+  // Best effort (a failed save only costs resume coverage), but disk
+  // faults degrade deliberately: a transient EIO / failed fsync gets one
+  // retry after a short backoff; a persistent failure — or disk-full,
+  // which a retry cannot fix — disables checkpointing for the rest of
+  // the run instead of hammering a dead disk once per round.
   Status st = SaveCheckpointFile(s.ckpt_path, s.ep->MakeCheckpoint());
-  (void)st;
+  if (st.ok()) {
+    return;
+  }
+  if (st.code() == StatusCode::kUnavailable ||
+      st.code() == StatusCode::kDataLoss) {
+    ++result.disk_retries;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    st = SaveCheckpointFile(s.ckpt_path, s.ep->MakeCheckpoint());
+    if (st.ok()) {
+      return;
+    }
+  }
+  result.checkpoints_disabled = true;
 }
 
 }  // namespace
@@ -356,7 +375,7 @@ StatusOr<ClientResult> RunSyncClient(const Collection& local,
                 : s.ep->OnServerMessage(body);
         FSYNC_RETURN_IF_ERROR(reply.status());
         s.phase = FileSession::Phase::kAwaitRound;
-        MaybeSaveCheckpoint(s);
+        MaybeSaveCheckpoint(s, result);
         if (reply->has_value()) {
           Bytes out = EncodeFileMsg(FileSub::kRoundReply,
                                     ByteSpan((*reply)->data(),

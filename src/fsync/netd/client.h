@@ -63,6 +63,14 @@ struct ClientResult {
   uint64_t physical_bytes_sent = 0;
   uint64_t physical_bytes_received = 0;
   bool server_draining = false;  // saw kDraining during the run
+
+  /// Checkpoint writes retried after a transient disk fault (EIO or a
+  /// failed fsync). A retry that also fails — or a disk-full/read-only
+  /// failure — sets `checkpoints_disabled`: the sync itself continues
+  /// (checkpoints only buy resume coverage), but the client stops
+  /// hammering a dead disk once per round.
+  uint64_t disk_retries = 0;
+  bool checkpoints_disabled = false;
 };
 
 /// Synchronizes `local` against the daemon's tree. Fails on connection

@@ -56,9 +56,17 @@ enum class Event : uint8_t {
   kBackpressureStall, ///< reads from a client paused because its write
                       ///< queue crossed the high watermark
   kDeadlineExpired,   ///< an idle/handshake/session/drain deadline fired
+  kDiskFaultInjected, ///< the fault-injecting Vfs failed a disk op
+                      ///< (tests/CLI smoke only; zero in production)
+  kEnospcAbort,       ///< a tree apply aborted and rolled back on
+                      ///< disk-full (kResourceExhausted) mid-transaction
+  kFsyncFailure,      ///< an fsync returned an error; the affected file
+                      ///< is treated as unverified, never as synced
+  kDiskRetry,         ///< a staged write was retried after a transient
+                      ///< disk fault (EIO / failed fsync)
 };
 
-inline constexpr int kNumEvents = 24;
+inline constexpr int kNumEvents = 28;
 
 /// Stable lower-case name, used as the JSON/metrics key.
 inline const char* EventName(Event e) {
@@ -111,6 +119,14 @@ inline const char* EventName(Event e) {
       return "backpressure_stalls";
     case Event::kDeadlineExpired:
       return "deadline_expirations";
+    case Event::kDiskFaultInjected:
+      return "disk_faults_injected";
+    case Event::kEnospcAbort:
+      return "enospc_aborts";
+    case Event::kFsyncFailure:
+      return "fsync_failures";
+    case Event::kDiskRetry:
+      return "disk_retries";
   }
   return "unknown";
 }

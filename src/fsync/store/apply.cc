@@ -1,23 +1,17 @@
 #include "fsync/store/apply.h"
 
 #include <algorithm>
-#include <cerrno>
 #include <cstring>
-#include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <utility>
 
 #include "fsync/store/crashpoint.h"
 #include "fsync/store/durable_io.h"
+#include "fsync/store/vfs.h"
 #include "fsync/util/mapped_file.h"
-
-#if defined(__unix__) || defined(__APPLE__)
-#define FSYNC_POSIX_IO 1
-#include <fcntl.h>
-#include <unistd.h>
-#endif
 
 namespace fsx::store {
 
@@ -75,149 +69,110 @@ Status WriteManifestDurable(const fs::path& root, const Manifest& manifest) {
 }
 
 /// Random-access read/write handle used by the in-place apply and its
-/// rollback. POSIX pread/pwrite when available; seekable fstream
-/// otherwise (single-threaded, so seeks are safe).
+/// rollback. A thin loop layer over the process-current Vfs, so the
+/// disk-fault harness can fail any single pread/pwrite/ftruncate/fsync
+/// the in-place path performs.
 class RandomAccessFile {
  public:
   RandomAccessFile() = default;
-  RandomAccessFile(RandomAccessFile&& other) noexcept { *this = std::move(other); }
-  RandomAccessFile& operator=(RandomAccessFile&& other) noexcept {
-    if (this != &other) {
-      Close();
-      path_ = std::move(other.path_);
-#ifdef FSYNC_POSIX_IO
-      fd_ = other.fd_;
-      other.fd_ = -1;
-#else
-      stream_ = std::move(other.stream_);
-#endif
-    }
-    return *this;
-  }
   ~RandomAccessFile() { Close(); }
+  RandomAccessFile(RandomAccessFile&&) noexcept = default;
+  RandomAccessFile& operator=(RandomAccessFile&&) noexcept = default;
 
   static StatusOr<RandomAccessFile> Open(const fs::path& path) {
     RandomAccessFile f;
-    f.path_ = path;
-#ifdef FSYNC_POSIX_IO
-    f.fd_ = ::open(path.c_str(), O_RDWR);
-    if (f.fd_ < 0) {
-      return Status::NotFound("cannot open " + path.string() + ": " +
-                              std::strerror(errno));
-    }
-#else
-    f.stream_.open(path, std::ios::binary | std::ios::in | std::ios::out);
-    if (!f.stream_) {
-      return Status::NotFound("cannot open " + path.string());
-    }
-#endif
+    FSYNC_ASSIGN_OR_RETURN(f.file_,
+                           CurrentVfs().Open(path, OpenMode::kReadWrite));
     return f;
   }
 
   Status ReadAt(uint64_t offset, size_t n, Bytes* out) {
     out->assign(n, 0);  // short reads past EOF read as zeros
-#ifdef FSYNC_POSIX_IO
     size_t got = 0;
     while (got < n) {
-      ssize_t r = ::pread(fd_, out->data() + got, n - got,
-                          static_cast<off_t>(offset + got));
-      if (r < 0) {
-        return Status::Internal("pread failed on " + path_.string() + ": " +
-                                std::strerror(errno));
-      }
+      FSYNC_ASSIGN_OR_RETURN(
+          size_t r, file_->Pread(offset + got, out->data() + got, n - got));
       if (r == 0) {
         break;  // EOF; remainder stays zero
       }
-      got += static_cast<size_t>(r);
+      got += r;
     }
-#else
-    stream_.clear();
-    stream_.seekg(static_cast<std::streamoff>(offset));
-    stream_.read(reinterpret_cast<char*>(out->data()),
-                 static_cast<std::streamsize>(n));
-    stream_.clear();  // reading past EOF is legitimate here
-#endif
     return Status::Ok();
   }
 
   Status WriteAt(uint64_t offset, ByteSpan data) {
-#ifdef FSYNC_POSIX_IO
     size_t put = 0;
     while (put < data.size()) {
-      ssize_t w = ::pwrite(fd_, data.data() + put, data.size() - put,
-                           static_cast<off_t>(offset + put));
-      if (w < 0) {
-        return Status::Internal("pwrite failed on " + path_.string() + ": " +
-                                std::strerror(errno));
+      FSYNC_ASSIGN_OR_RETURN(
+          size_t w, file_->Pwrite(offset + put, data.data() + put,
+                                  data.size() - put));
+      if (w == 0) {
+        return Status::Internal("zero-length pwrite on " +
+                                file_->path().string());
       }
-      put += static_cast<size_t>(w);
+      put += w;
     }
-#else
-    stream_.clear();
-    stream_.seekp(static_cast<std::streamoff>(offset));
-    stream_.write(reinterpret_cast<const char*>(data.data()),
-                  static_cast<std::streamsize>(data.size()));
-    stream_.flush();
-    if (!stream_.good()) {
-      return Status::Internal("write failed on " + path_.string());
-    }
-#endif
     return Status::Ok();
   }
 
-  Status Truncate(uint64_t size) {
-#ifdef FSYNC_POSIX_IO
-    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
-      return Status::Internal("ftruncate failed on " + path_.string() +
-                              ": " + std::strerror(errno));
-    }
-#else
-    stream_.flush();
-    std::error_code ec;
-    fs::resize_file(path_, size, ec);
-    if (ec) {
-      return Status::Internal("resize failed on " + path_.string() + ": " +
-                              ec.message());
-    }
-#endif
-    return Status::Ok();
-  }
+  Status Truncate(uint64_t size) { return file_->Truncate(size); }
 
   Status Sync() {
     FireCrashPoint("inplace:fsync:before");
-#ifdef FSYNC_POSIX_IO
-    if (::fsync(fd_) != 0) {
-      return Status::Internal("fsync failed on " + path_.string() + ": " +
-                              std::strerror(errno));
-    }
-#else
-    stream_.flush();
-#endif
+    FSYNC_RETURN_IF_ERROR(file_->Fsync());
     FireCrashPoint("inplace:fsync:after");
     return Status::Ok();
   }
 
   void Close() {
-#ifdef FSYNC_POSIX_IO
-    if (fd_ >= 0) {
-      ::close(fd_);
+    if (file_) {
+      file_->Close();
+      file_.reset();
     }
-    fd_ = -1;
-#else
-    if (stream_.is_open()) {
-      stream_.close();
-    }
-#endif
   }
 
  private:
-  fs::path path_;
-#ifdef FSYNC_POSIX_IO
-  int fd_ = -1;
-#else
-  std::fstream stream_;
-#endif
+  std::unique_ptr<VfsFile> file_;
 };
+
+/// Best-effort removal of a staged temp after a failed write; errors
+/// are dropped (the disk may still be failing) — recovery sweeps any
+/// leftover *.fsx-tmp the next time the tree is touched.
+void CleanupTemp(const fs::path& tmp) { (void)CurrentVfs().Unlink(tmp); }
+
+/// Writes the staged temp durably. A transient disk fault (kUnavailable
+/// EIO, or kDataLoss from a failed fsync that may have dropped dirty
+/// pages) is retried once; after the retry the temp is read back and
+/// its fingerprint checked against the intent, because a failed fsync
+/// leaves the on-disk bytes unverified — success is claimed on proof,
+/// never assumed. Anything else (ENOSPC included) surfaces unchanged.
+Status StageTempDurable(const fs::path& tmp, ByteSpan content,
+                        const ManifestEntry& next, obs::SyncObserver* obs) {
+  Status first = WriteFileDurable(tmp, content);
+  if (first.ok()) {
+    return first;
+  }
+  if (first.code() != StatusCode::kUnavailable &&
+      first.code() != StatusCode::kDataLoss) {
+    CleanupTemp(tmp);
+    return first;
+  }
+  obs::AddEvent(obs, obs::Event::kDiskRetry);
+  CleanupTemp(tmp);
+  Status retry = WriteFileDurable(tmp, content);
+  if (!retry.ok()) {
+    CleanupTemp(tmp);
+    return retry;
+  }
+  auto back = ReadFileBytes(tmp);
+  if (!back.ok() || back->size() != next.size ||
+      FileFingerprint(*back) != next.fingerprint) {
+    CleanupTemp(tmp);
+    return Status::DataLoss("staged file failed post-retry verification: " +
+                            tmp.string());
+  }
+  return Status::Ok();
+}
 
 uint64_t StepLength(const ReconstructCommand& step) {
   return step.kind == ReconstructCommand::kCopy ? step.length
@@ -335,7 +290,7 @@ Status ApplyTransaction::StageFile(const std::string& path, ByteSpan content,
 
   fs::path tmp = target;
   tmp += kTempSuffix;
-  FSYNC_RETURN_IF_ERROR(WriteFileDurable(tmp, content));
+  FSYNC_RETURN_IF_ERROR(StageTempDurable(tmp, content, next, obs_));
   if (options_.journal) {
     JournalRecord intent;
     intent.type = JournalRecordType::kFileIntent;
@@ -458,6 +413,24 @@ Status ApplyTransaction::Commit() {
   return Status::Ok();
 }
 
+Status ApplyTransaction::Abort() {
+  FSYNC_RETURN_IF_ERROR(CheckBegun());
+  committed_ = true;  // the transaction is finished; further staging refused
+  if (options_.journal && journal_.open()) {
+    // Best-effort: the ABORT record makes the rollback explicit in the
+    // journal, but the disk that forced the abort may refuse this
+    // append too — recovery rolls back an uncommitted journal either
+    // way.
+    JournalRecord abort_rec;
+    abort_rec.type = JournalRecordType::kAbort;
+    (void)journal_.Append(abort_rec);
+    journal_.Close();
+  }
+  FSYNC_ASSIGN_OR_RETURN(RecoverReport rec, RecoverTree(root_.string(), obs_));
+  report_.rolled_back_files += rec.rolled_back_files;
+  return Status::Ok();
+}
+
 StatusOr<ApplyReport> ApplyTree(const std::string& root,
                                 const Collection& files,
                                 const Manifest& expected,
@@ -473,7 +446,23 @@ StatusOr<ApplyReport> ApplyTreeWithAdopts(const std::string& root,
                                           const ApplyOptions& options,
                                           obs::SyncObserver* obs) {
   ApplyTransaction txn(root, options, obs);
-  FSYNC_RETURN_IF_ERROR(txn.Begin());
+
+  // Disk-full mid-transaction must abort and roll back, not return with
+  // half the tree applied: the caller sees kResourceExhausted and an
+  // old-or-new tree instead of a half-written one. The rollback is
+  // best-effort here (the disk is by definition failing); the next
+  // Begin() re-runs the same idempotent recovery.
+  auto fail = [&](Status s) -> Status {
+    if (s.code() == StatusCode::kResourceExhausted) {
+      obs::AddEvent(obs, obs::Event::kEnospcAbort);
+      (void)txn.Abort();
+    }
+    return s;
+  };
+
+  if (Status s = txn.Begin(); !s.ok()) {
+    return fail(s);
+  }
 
   auto expected_entry = [&](const std::string& name) -> const ManifestEntry* {
     auto it = expected.find(name);
@@ -504,14 +493,14 @@ StatusOr<ApplyReport> ApplyTreeWithAdopts(const std::string& root,
                    : txn.AdoptFile(op.path, op.from, it->second,
                                    expected_entry(op.path));
     if (!s.ok() && s.code() != StatusCode::kAborted) {
-      return s;  // conflicts are per-file and already recorded; continue
+      return fail(s);  // conflicts are per-file and already recorded
     }
   }
 
   for (const auto& [name, data] : files) {
     Status s = txn.WriteFile(name, data, expected_entry(name));
     if (!s.ok() && s.code() != StatusCode::kAborted) {
-      return s;
+      return fail(s);
     }
   }
 
@@ -537,12 +526,14 @@ StatusOr<ApplyReport> ApplyTreeWithAdopts(const std::string& root,
     for (const std::string& rel : extra) {
       Status s = txn.DeleteFile(rel, expected_entry(rel));
       if (!s.ok() && s.code() != StatusCode::kAborted) {
-        return s;
+        return fail(s);
       }
     }
   }
 
-  FSYNC_RETURN_IF_ERROR(txn.Commit());
+  if (Status s = txn.Commit(); !s.ok()) {
+    return fail(s);
+  }
   return txn.report();
 }
 

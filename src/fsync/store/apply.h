@@ -115,6 +115,14 @@ class ApplyTransaction {
   /// COMMIT record, and removes the journal.
   Status Commit();
 
+  /// Abandons the transaction after a mid-apply disk fault (disk full,
+  /// persistent EIO): appends a best-effort ABORT record, closes the
+  /// journal, and rolls staged temps back via RecoverTree, so the tree
+  /// ends old-or-new with no debris. Idempotent with crash recovery —
+  /// if the rollback itself fails on the bad disk, the next Begin()
+  /// re-runs it.
+  Status Abort();
+
   const ApplyReport& report() const { return report_; }
 
  private:

@@ -1,19 +1,10 @@
 #include "fsync/store/durable_io.h"
 
-#include <cerrno>
-#include <cstring>
+#include <memory>
 #include <vector>
 
 #include "fsync/store/crashpoint.h"
-
-#if defined(__unix__) || defined(__APPLE__)
-#define FSYNC_POSIX_IO 1
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-#else
-#include <fstream>
-#endif
+#include "fsync/store/vfs.h"
 
 namespace fsx::store {
 
@@ -25,92 +16,42 @@ namespace {
 // the harness can leave a half-written file behind.
 constexpr size_t kWriteChunk = 1 << 16;
 
-std::string Errno(const std::string& what, const fs::path& p) {
-  return what + " " + p.string() + ": " + std::strerror(errno);
-}
-
 }  // namespace
 
-#ifdef FSYNC_POSIX_IO
-
 Status WriteFileDurable(const fs::path& path, ByteSpan data) {
+  Vfs& vfs = CurrentVfs();
   FSYNC_RETURN_IF_ERROR(CreateDirsDurable(path.parent_path()));
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::Internal(Errno("cannot open", path));
-  }
+  FSYNC_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
+                         vfs.Open(path, OpenMode::kTruncate));
   size_t off = 0;
   while (off < data.size()) {
     size_t chunk = std::min(kWriteChunk, data.size() - off);
-    ssize_t n = ::write(fd, data.data() + off, chunk);
-    if (n < 0) {
-      ::close(fd);
-      return Status::Internal(Errno("write failed on", path));
-    }
-    off += static_cast<size_t>(n);
+    FSYNC_RETURN_IF_ERROR(
+        WriteFully(*file, ByteSpan(data.data() + off, chunk)));
+    off += chunk;
     if (off < data.size()) {
       FireCrashPoint("write:chunk");
     }
   }
   FireCrashPoint("fsync:file:before");
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    return Status::Internal(Errno("fsync failed on", path));
-  }
+  FSYNC_RETURN_IF_ERROR(file->Fsync());
   FireCrashPoint("fsync:file:after");
-  if (::close(fd) != 0) {
-    return Status::Internal(Errno("close failed on", path));
-  }
-  return Status::Ok();
+  return file->Close();
 }
 
 Status FsyncPath(const fs::path& path) {
-  int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return Status::Internal(Errno("cannot open for fsync", path));
-  }
   FireCrashPoint("fsync:path:before");
-  int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) {
-    return Status::Internal(Errno("fsync failed on", path));
-  }
+  FSYNC_RETURN_IF_ERROR(CurrentVfs().FsyncPath(path));
   FireCrashPoint("fsync:path:after");
   return Status::Ok();
 }
-
-#else  // !FSYNC_POSIX_IO
-
-Status WriteFileDurable(const fs::path& path, ByteSpan data) {
-  FSYNC_RETURN_IF_ERROR(CreateDirsDurable(path.parent_path()));
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Internal("cannot open " + path.string());
-  }
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  out.flush();
-  if (!out.good()) {
-    return Status::Internal("short write to " + path.string());
-  }
-  FireCrashPoint("fsync:file:before");
-  FireCrashPoint("fsync:file:after");
-  return Status::Ok();
-}
-
-Status FsyncPath(const fs::path&) {
-  FireCrashPoint("fsync:path:before");
-  FireCrashPoint("fsync:path:after");
-  return Status::Ok();
-}
-
-#endif  // FSYNC_POSIX_IO
 
 Status CreateDirsDurable(const fs::path& dir) {
   std::error_code ec;
   if (dir.empty() || fs::exists(dir, ec)) {
     return Status::Ok();
   }
+  Vfs& vfs = CurrentVfs();
   // Record the chain of missing ancestors (deepest first) before
   // creating it, so we know exactly which directory entries are new.
   std::vector<fs::path> created;
@@ -123,10 +64,8 @@ Status CreateDirsDurable(const fs::path& dir) {
     }
     ancestor = parent;
   }
-  fs::create_directories(dir, ec);
-  if (ec) {
-    return Status::Internal("cannot create " + dir.string() + ": " +
-                            ec.message());
+  for (auto it = created.rbegin(); it != created.rend(); ++it) {
+    FSYNC_RETURN_IF_ERROR(vfs.Mkdir(*it));
   }
   for (const fs::path& p : created) {
     FSYNC_RETURN_IF_ERROR(FsyncPath(p));
@@ -139,12 +78,7 @@ Status CreateDirsDurable(const fs::path& dir) {
 
 Status RenameDurable(const fs::path& from, const fs::path& to) {
   FireCrashPoint("rename:before");
-  std::error_code ec;
-  fs::rename(from, to, ec);
-  if (ec) {
-    return Status::Internal("cannot rename " + from.string() + " -> " +
-                            to.string() + ": " + ec.message());
-  }
+  FSYNC_RETURN_IF_ERROR(CurrentVfs().Rename(from, to));
   FireCrashPoint("rename:after");
   if (to.has_parent_path()) {
     FSYNC_RETURN_IF_ERROR(FsyncPath(to.parent_path()));
@@ -154,12 +88,7 @@ Status RenameDurable(const fs::path& from, const fs::path& to) {
 
 Status RemoveDurable(const fs::path& path) {
   FireCrashPoint("remove:before");
-  std::error_code ec;
-  bool removed = fs::remove(path, ec);
-  if (ec) {
-    return Status::Internal("cannot remove " + path.string() + ": " +
-                            ec.message());
-  }
+  FSYNC_ASSIGN_OR_RETURN(bool removed, CurrentVfs().Unlink(path));
   FireCrashPoint("remove:after");
   if (removed && path.has_parent_path()) {
     FSYNC_RETURN_IF_ERROR(FsyncPath(path.parent_path()));

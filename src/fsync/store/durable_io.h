@@ -5,8 +5,12 @@
 // ordering testable: the kill-point harness stops the process at each
 // boundary and recovery must still produce an old-or-new tree.
 //
-// On non-POSIX platforms the fsync calls degrade to no-ops (the write
-// and rename ordering is preserved); the crash harness is POSIX-only.
+// All disk operations route through the process-current Vfs (vfs.h), so
+// the disk-fault harness (vfs_fault.h) can fail any single syscall and
+// errors carry the errno taxonomy (kResourceExhausted for ENOSPC,
+// kUnavailable/kDataLoss for EIO). On non-POSIX platforms RealVfs's
+// fsync degrades to a no-op (the write and rename ordering is
+// preserved); the crash and disk-fault harnesses are POSIX-only.
 #ifndef FSYNC_STORE_DURABLE_IO_H_
 #define FSYNC_STORE_DURABLE_IO_H_
 

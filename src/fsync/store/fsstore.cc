@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <charconv>
 #include <filesystem>
-#include <fstream>
+#include <memory>
 
 #include "fsync/hash/md5.h"
 #include "fsync/store/journal.h"
+#include "fsync/store/vfs.h"
 #include "fsync/util/hex.h"
 #include "fsync/util/mapped_file.h"
 
@@ -25,34 +26,31 @@ StatusOr<Bytes> ReadFileBytes(const fs::path& p) {
   return ReadWholeFile(p.string());
 }
 
+// Plain (non-durable) write through the process-current Vfs, so the
+// disk-fault harness reaches it and errors carry the errno taxonomy.
+// No fsync — this protects against process death, not power loss; the
+// journaled apply path (store/apply.h) is the durable one.
 Status WriteFileBytes(const fs::path& p, ByteSpan data) {
-  std::error_code ec;
-  fs::create_directories(p.parent_path(), ec);
-  std::ofstream out(p, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Internal("cannot write " + p.string());
+  store::Vfs& vfs = store::CurrentVfs();
+  if (p.has_parent_path()) {
+    FSYNC_RETURN_IF_ERROR(store::MkdirAll(vfs, p.parent_path()));
   }
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  if (!out.good()) {
-    return Status::Internal("short write to " + p.string());
-  }
-  return Status::Ok();
+  FSYNC_ASSIGN_OR_RETURN(std::unique_ptr<store::VfsFile> file,
+                         vfs.Open(p, store::OpenMode::kTruncate));
+  FSYNC_RETURN_IF_ERROR(store::WriteFully(*file, data));
+  return file->Close();
 }
 
 // Stage-and-rename write: a killed process leaves `p` either old or new
-// (the stranded `.fsx-tmp` is swept by store::RecoverTree). No fsync —
-// this protects against process death, not power loss; the journaled
-// apply path (store/apply.h) is the durable one.
+// (the stranded `.fsx-tmp` is swept by store::RecoverTree).
 Status WriteFileAtomic(const fs::path& p, ByteSpan data) {
   fs::path tmp = p;
   tmp += store::kTempSuffix;
   FSYNC_RETURN_IF_ERROR(WriteFileBytes(tmp, data));
-  std::error_code ec;
-  fs::rename(tmp, p, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    return Status::Internal("cannot rename into " + p.string());
+  Status renamed = store::CurrentVfs().Rename(tmp, p);
+  if (!renamed.ok()) {
+    (void)store::CurrentVfs().Unlink(tmp);
+    return renamed;
   }
   return Status::Ok();
 }
@@ -261,11 +259,10 @@ Status SaveCheckpointFile(const std::string& path,
   fs::path tmp = target;
   tmp += ".tmp";
   FSYNC_RETURN_IF_ERROR(WriteFileBytes(tmp, SerializeCheckpoint(cp)));
-  std::error_code ec;
-  fs::rename(tmp, target, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    return Status::Internal("cannot rename checkpoint into " + path);
+  Status renamed = store::CurrentVfs().Rename(tmp, target);
+  if (!renamed.ok()) {
+    (void)store::CurrentVfs().Unlink(tmp);
+    return renamed;
   }
   return Status::Ok();
 }
@@ -273,20 +270,21 @@ Status SaveCheckpointFile(const std::string& path,
 StatusOr<SessionCheckpoint> LoadCheckpointFile(const std::string& path) {
   // An interrupted SaveCheckpointFile may strand its temp; the real
   // checkpoint (if any) is intact, so just clear the debris.
-  std::error_code ec;
-  fs::remove(fs::path(path + ".tmp"), ec);
-  FSYNC_ASSIGN_OR_RETURN(Bytes data, ReadFileBytes(fs::path(path)));
+  (void)store::CurrentVfs().Unlink(fs::path(path + ".tmp"));
+  // Via the vfs (not the mmap reader): a checkpoint that exists but is
+  // unreadable — a directory, EACCES — must surface its typed status,
+  // not be misreported as "no checkpoint, start from scratch".
+  FSYNC_ASSIGN_OR_RETURN(
+      Bytes data, store::ReadFileViaVfs(store::CurrentVfs(), fs::path(path)));
   return ParseCheckpoint(data);
 }
 
 Status RemoveCheckpointFile(const std::string& path) {
   Status result = Status::Ok();
   for (const std::string& victim : {path, path + ".tmp"}) {
-    std::error_code ec;
-    fs::remove(fs::path(victim), ec);
-    if (ec && result.ok()) {
-      result = Status::Internal("cannot remove checkpoint " + victim +
-                                ": " + ec.message());
+    StatusOr<bool> removed = store::CurrentVfs().Unlink(fs::path(victim));
+    if (!removed.ok() && result.ok()) {
+      result = removed.status();
     }
   }
   return result;

@@ -7,14 +7,8 @@
 
 #include "fsync/hash/crc32c.h"
 #include "fsync/store/crashpoint.h"
-#include "fsync/util/mapped_file.h"
 #include "fsync/store/durable_io.h"
-
-#if defined(__unix__) || defined(__APPLE__)
-#define FSYNC_POSIX_IO 1
-#include <fcntl.h>
-#include <unistd.h>
-#endif
+#include "fsync/store/vfs.h"
 
 namespace fsx::store {
 
@@ -192,66 +186,34 @@ StatusOr<JournalRecord> DecodeJournalRecord(ByteSpan payload) {
 }
 
 JournalWriter::JournalWriter(JournalWriter&& other) noexcept
-    : path_(std::move(other.path_)), fd_(other.fd_) {
-  other.fd_ = -1;
-}
+    : path_(std::move(other.path_)), file_(std::move(other.file_)) {}
 
 JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
   if (this != &other) {
     Close();
     path_ = std::move(other.path_);
-    fd_ = other.fd_;
-    other.fd_ = -1;
+    file_ = std::move(other.file_);
   }
   return *this;
 }
 
 JournalWriter::~JournalWriter() { Close(); }
 
-void JournalWriter::Close() {
-#ifdef FSYNC_POSIX_IO
-  if (fd_ >= 0) {
-    ::close(fd_);
-  }
-#endif
-  fd_ = -1;
-}
+void JournalWriter::Close() { file_.reset(); }
 
 StatusOr<JournalWriter> JournalWriter::Create(const fs::path& path) {
   JournalWriter w;
   w.path_ = path;
-#ifdef FSYNC_POSIX_IO
-  w.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND,
-                 0644);
-  if (w.fd_ < 0) {
-    return Status::Internal("cannot create journal " + path.string() +
-                            ": " + std::strerror(errno));
-  }
-  ssize_t n = ::write(w.fd_, kMagic, kMagicLen);
-  if (n != static_cast<ssize_t>(kMagicLen)) {
-    return Status::Internal("cannot write journal header " + path.string());
-  }
+  FSYNC_ASSIGN_OR_RETURN(w.file_,
+                         CurrentVfs().Open(path, OpenMode::kTruncate));
+  // The single WriteFully helper handles short writes and EINTR — the
+  // header is framed data like any record, not a bare ::write.
+  FSYNC_RETURN_IF_ERROR(WriteFully(
+      *w.file_,
+      ByteSpan(reinterpret_cast<const uint8_t*>(kMagic), kMagicLen)));
   FireCrashPoint("journal:create:before-fsync");
-  if (::fsync(w.fd_) != 0) {
-    return Status::Internal("fsync failed on journal " + path.string());
-  }
+  FSYNC_RETURN_IF_ERROR(w.file_->Fsync());
   FireCrashPoint("journal:create:after-fsync");
-#else
-  {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::Internal("cannot create journal " + path.string());
-    }
-    out.write(kMagic, kMagicLen);
-    if (!out.good()) {
-      return Status::Internal("cannot write journal header " +
-                              path.string());
-    }
-  }
-  w.fd_ = 0;  // sentinel: "open" on the fallback path
-  FireCrashPoint("journal:create:before-fsync");
-  FireCrashPoint("journal:create:after-fsync");
-#endif
   // The journal's existence must itself be durable before the first
   // intent: otherwise a crash could leave renamed files with no journal
   // naming them.
@@ -272,36 +234,23 @@ Status JournalWriter::Append(const JournalRecord& record) {
   frame.insert(frame.end(), payload.begin(), payload.end());
   PutU32(frame, Crc32c(payload));
   FireCrashPoint("journal:append:before");
-#ifdef FSYNC_POSIX_IO
-  size_t off = 0;
-  while (off < frame.size()) {
-    ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
-    if (n < 0) {
-      return Status::Internal("journal append failed on " + path_.string() +
-                              ": " + std::strerror(errno));
-    }
-    off += static_cast<size_t>(n);
-  }
-  if (::fsync(fd_) != 0) {
-    return Status::Internal("journal fsync failed on " + path_.string());
-  }
-#else
-  std::ofstream out(path_, std::ios::binary | std::ios::app);
-  out.write(reinterpret_cast<const char*>(frame.data()),
-            static_cast<std::streamsize>(frame.size()));
-  out.flush();
-  if (!out.good()) {
-    return Status::Internal("journal append failed on " + path_.string());
-  }
-#endif
+  FSYNC_RETURN_IF_ERROR(WriteFully(*file_, frame));
+  FSYNC_RETURN_IF_ERROR(file_->Fsync());
   FireCrashPoint("journal:append:after");
   return Status::Ok();
 }
 
 StatusOr<JournalContents> ReadJournal(const fs::path& path) {
-  StatusOr<Bytes> data_or = ReadWholeFile(path.string());
+  StatusOr<Bytes> data_or = ReadFileViaVfs(CurrentVfs(), path);
   if (!data_or.ok()) {
-    return Status::NotFound("no journal at " + path.string());
+    // ENOENT is genuinely "no journal"; anything else (a directory,
+    // EACCES, EIO) must keep its typed code — recovery deciding
+    // "nothing in flight" off an unreadable journal would be silent
+    // data loss.
+    if (data_or.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound("no journal at " + path.string());
+    }
+    return data_or.status();
   }
   Bytes data = std::move(data_or).value();
   if (data.size() < kMagicLen ||

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,8 @@
 #include "fsync/util/status.h"
 
 namespace fsx::store {
+
+class VfsFile;
 
 /// Name of the tree-level journal at the root of a managed tree, and
 /// the suffix of staged temp files awaiting their commit rename. An
@@ -102,15 +105,15 @@ class JournalWriter {
   /// append mode; earlier records are never rewritten).
   Status Append(const JournalRecord& record);
 
-  /// Closes the underlying descriptor (also done by the destructor).
+  /// Closes the underlying file (also done by the destructor).
   void Close();
 
-  bool open() const { return fd_ >= 0; }
+  bool open() const { return file_ != nullptr; }
   const std::filesystem::path& path() const { return path_; }
 
  private:
   std::filesystem::path path_;
-  int fd_ = -1;  // POSIX descriptor; -1 on non-POSIX fallback builds
+  std::unique_ptr<VfsFile> file_;  // via the process-current Vfs (vfs.h)
 };
 
 /// A journal read back during recovery.
@@ -123,7 +126,11 @@ struct JournalContents {
 
 /// Reads the journal at `path`. kNotFound when absent; kDataLoss only
 /// when the header magic is wrong (a torn tail is reported via
-/// `torn_tail`, not as an error).
+/// `torn_tail`, not as an error). A journal that exists but cannot be
+/// read — a directory, unreadable permissions, a failing device —
+/// surfaces its typed status (kFailedPrecondition / kUnavailable, see
+/// ErrnoToStatus) rather than being misreported as absent: recovery
+/// must not conclude "no journal, nothing in flight" from EACCES.
 StatusOr<JournalContents> ReadJournal(const std::filesystem::path& path);
 
 /// Durably removes the journal — the commit point of both a completed

@@ -1,0 +1,430 @@
+#include "fsync/store/vfs.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FSYNC_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#endif
+
+namespace fsx::store {
+
+namespace fs = std::filesystem;
+
+const char* VfsOpName(VfsOp op) {
+  switch (op) {
+    case VfsOp::kOpen:
+      return "open";
+    case VfsOp::kRead:
+      return "read";
+    case VfsOp::kPread:
+      return "pread";
+    case VfsOp::kWrite:
+      return "write";
+    case VfsOp::kPwrite:
+      return "pwrite";
+    case VfsOp::kFsync:
+      return "fsync";
+    case VfsOp::kTruncate:
+      return "ftruncate";
+    case VfsOp::kRename:
+      return "rename";
+    case VfsOp::kUnlink:
+      return "unlink";
+    case VfsOp::kMkdir:
+      return "mkdir";
+    case VfsOp::kFsyncPath:
+      return "fsync-path";
+  }
+  return "unknown";
+}
+
+VfsCounters& GlobalVfsCounters() {
+  static VfsCounters counters;
+  return counters;
+}
+
+namespace {
+
+#ifdef FSYNC_POSIX_IO
+
+class RealVfsFile : public VfsFile {
+ public:
+  RealVfsFile(fs::path path, int fd) : VfsFile(std::move(path)), fd_(fd) {}
+  ~RealVfsFile() override { (void)Close(); }
+
+  StatusOr<size_t> Read(void* buf, size_t n) override {
+    for (;;) {
+      ssize_t r = ::read(fd_, buf, n);
+      if (r >= 0) {
+        return static_cast<size_t>(r);
+      }
+      if (errno != EINTR) {
+        return ErrnoToStatus(errno, "read " + path_.string());
+      }
+    }
+  }
+
+  StatusOr<size_t> Pread(uint64_t offset, void* buf, size_t n) override {
+    for (;;) {
+      ssize_t r = ::pread(fd_, buf, n, static_cast<off_t>(offset));
+      if (r >= 0) {
+        return static_cast<size_t>(r);
+      }
+      if (errno != EINTR) {
+        return ErrnoToStatus(errno, "pread " + path_.string());
+      }
+    }
+  }
+
+  StatusOr<size_t> Write(const void* buf, size_t n) override {
+    for (;;) {
+      ssize_t w = ::write(fd_, buf, n);
+      if (w >= 0) {
+        return static_cast<size_t>(w);
+      }
+      if (errno != EINTR) {
+        return ErrnoToStatus(errno, "write " + path_.string());
+      }
+    }
+  }
+
+  StatusOr<size_t> Pwrite(uint64_t offset, const void* buf,
+                          size_t n) override {
+    for (;;) {
+      ssize_t w = ::pwrite(fd_, buf, n, static_cast<off_t>(offset));
+      if (w >= 0) {
+        return static_cast<size_t>(w);
+      }
+      if (errno != EINTR) {
+        return ErrnoToStatus(errno, "pwrite " + path_.string());
+      }
+    }
+  }
+
+  Status Fsync() override {
+    if (::fsync(fd_) != 0) {
+      GlobalVfsCounters().fsync_failures.fetch_add(
+          1, std::memory_order_relaxed);
+      // An fsync EIO means dirty pages may already have been dropped
+      // (fsyncgate): the data, not just the device, is suspect.
+      Status s = ErrnoToStatus(errno, "fsync " + path_.string());
+      if (s.code() == StatusCode::kUnavailable) {
+        return Status::DataLoss(s.message());
+      }
+      return s;
+    }
+    return Status::Ok();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return ErrnoToStatus(errno, "ftruncate " + path_.string());
+    }
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) {
+      return Status::Ok();
+    }
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return ErrnoToStatus(errno, "close " + path_.string());
+    }
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+};
+
+class RealVfs : public Vfs {
+ public:
+  StatusOr<std::unique_ptr<VfsFile>> Open(const fs::path& path,
+                                          OpenMode mode) override {
+    int flags = 0;
+    switch (mode) {
+      case OpenMode::kRead:
+        flags = O_RDONLY;
+        break;
+      case OpenMode::kTruncate:
+        flags = O_WRONLY | O_CREAT | O_TRUNC;
+        break;
+      case OpenMode::kReadWrite:
+        flags = O_RDWR;
+        break;
+    }
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return ErrnoToStatus(errno, "open " + path.string());
+    }
+    // O_RDONLY on a directory succeeds; the EISDIR only surfaces at
+    // read(2). Reject it here so "the journal is a directory" is a
+    // typed status at open, not a late read error.
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && S_ISDIR(st.st_mode)) {
+      ::close(fd);
+      return ErrnoToStatus(EISDIR, "open " + path.string());
+    }
+    return std::unique_ptr<VfsFile>(new RealVfsFile(path, fd));
+  }
+
+  Status Rename(const fs::path& from, const fs::path& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoToStatus(errno, "rename " + from.string() + " -> " +
+                                      to.string());
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<bool> Unlink(const fs::path& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) {
+        return false;
+      }
+      return ErrnoToStatus(errno, "unlink " + path.string());
+    }
+    return true;
+  }
+
+  Status Mkdir(const fs::path& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0) {
+      if (errno == EEXIST) {
+        std::error_code ec;
+        if (fs::is_directory(path, ec)) {
+          return Status::Ok();
+        }
+        return Status::FailedPrecondition("mkdir " + path.string() +
+                                          ": exists and is not a directory");
+      }
+      return ErrnoToStatus(errno, "mkdir " + path.string());
+    }
+    return Status::Ok();
+  }
+
+  Status FsyncPath(const fs::path& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return ErrnoToStatus(errno, "open for fsync " + path.string());
+    }
+    int rc = ::fsync(fd);
+    int saved = errno;
+    ::close(fd);
+    if (rc != 0) {
+      GlobalVfsCounters().fsync_failures.fetch_add(
+          1, std::memory_order_relaxed);
+      Status s = ErrnoToStatus(saved, "fsync " + path.string());
+      if (s.code() == StatusCode::kUnavailable) {
+        return Status::DataLoss(s.message());
+      }
+      return s;
+    }
+    return Status::Ok();
+  }
+};
+
+#else  // !FSYNC_POSIX_IO
+
+// Portable fallback: seekable fstream, fsync degrades to flush (the
+// write/rename ordering is preserved; the fault harness is POSIX-only).
+class RealVfsFile : public VfsFile {
+ public:
+  RealVfsFile(fs::path path, std::fstream stream)
+      : VfsFile(std::move(path)), stream_(std::move(stream)) {}
+  ~RealVfsFile() override { (void)Close(); }
+
+  StatusOr<size_t> Read(void* buf, size_t n) override {
+    stream_.clear();
+    stream_.read(static_cast<char*>(buf),
+                 static_cast<std::streamsize>(n));
+    size_t got = static_cast<size_t>(stream_.gcount());
+    stream_.clear();
+    return got;
+  }
+  StatusOr<size_t> Pread(uint64_t offset, void* buf, size_t n) override {
+    stream_.clear();
+    stream_.seekg(static_cast<std::streamoff>(offset));
+    return Read(buf, n);
+  }
+  StatusOr<size_t> Write(const void* buf, size_t n) override {
+    stream_.clear();
+    stream_.write(static_cast<const char*>(buf),
+                  static_cast<std::streamsize>(n));
+    stream_.flush();
+    if (!stream_.good()) {
+      return Status::Internal("write failed on " + path_.string());
+    }
+    return n;
+  }
+  StatusOr<size_t> Pwrite(uint64_t offset, const void* buf,
+                          size_t n) override {
+    stream_.clear();
+    stream_.seekp(static_cast<std::streamoff>(offset));
+    return Write(buf, n);
+  }
+  Status Fsync() override {
+    stream_.flush();
+    return Status::Ok();
+  }
+  Status Truncate(uint64_t size) override {
+    stream_.flush();
+    std::error_code ec;
+    fs::resize_file(path_, size, ec);
+    if (ec) {
+      return Status::Internal("resize failed on " + path_.string() + ": " +
+                              ec.message());
+    }
+    return Status::Ok();
+  }
+  Status Close() override {
+    if (stream_.is_open()) {
+      stream_.close();
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::fstream stream_;
+};
+
+class RealVfs : public Vfs {
+ public:
+  StatusOr<std::unique_ptr<VfsFile>> Open(const fs::path& path,
+                                          OpenMode mode) override {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      return Status::FailedPrecondition("open " + path.string() +
+                                        ": is a directory");
+    }
+    std::ios::openmode om = std::ios::binary;
+    switch (mode) {
+      case OpenMode::kRead:
+        om |= std::ios::in;
+        break;
+      case OpenMode::kTruncate:
+        om |= std::ios::out | std::ios::trunc;
+        break;
+      case OpenMode::kReadWrite:
+        om |= std::ios::in | std::ios::out;
+        break;
+    }
+    std::fstream stream(path, om);
+    if (!stream) {
+      return Status::NotFound("cannot open " + path.string());
+    }
+    return std::unique_ptr<VfsFile>(
+        new RealVfsFile(path, std::move(stream)));
+  }
+  Status Rename(const fs::path& from, const fs::path& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) {
+      return Status::Internal("cannot rename " + from.string() + " -> " +
+                              to.string() + ": " + ec.message());
+    }
+    return Status::Ok();
+  }
+  StatusOr<bool> Unlink(const fs::path& path) override {
+    std::error_code ec;
+    bool removed = fs::remove(path, ec);
+    if (ec) {
+      return Status::Internal("cannot remove " + path.string() + ": " +
+                              ec.message());
+    }
+    return removed;
+  }
+  Status Mkdir(const fs::path& path) override {
+    std::error_code ec;
+    fs::create_directory(path, ec);
+    if (ec && !fs::is_directory(path, ec)) {
+      return Status::Internal("cannot create " + path.string());
+    }
+    return Status::Ok();
+  }
+  Status FsyncPath(const fs::path&) override { return Status::Ok(); }
+};
+
+#endif  // FSYNC_POSIX_IO
+
+std::atomic<Vfs*>& CurrentVfsSlot() {
+  static std::atomic<Vfs*> current{nullptr};
+  return current;
+}
+
+}  // namespace
+
+Vfs& RealVfsInstance() {
+  static RealVfs real;
+  return real;
+}
+
+Vfs& CurrentVfs() {
+  Vfs* v = CurrentVfsSlot().load(std::memory_order_acquire);
+  return v != nullptr ? *v : RealVfsInstance();
+}
+
+Vfs* SetCurrentVfs(Vfs* vfs) {
+  return CurrentVfsSlot().exchange(vfs, std::memory_order_acq_rel);
+}
+
+Status WriteFully(VfsFile& file, ByteSpan data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    FSYNC_ASSIGN_OR_RETURN(size_t n,
+                           file.Write(data.data() + off, data.size() - off));
+    if (n == 0) {
+      return Status::Internal("zero-length write on " +
+                              file.path().string());
+    }
+    off += n;
+  }
+  return Status::Ok();
+}
+
+StatusOr<Bytes> ReadFileViaVfs(Vfs& vfs, const fs::path& path) {
+  FSYNC_ASSIGN_OR_RETURN(std::unique_ptr<VfsFile> file,
+                         vfs.Open(path, OpenMode::kRead));
+  Bytes out;
+  uint8_t buf[1 << 16];
+  for (;;) {
+    FSYNC_ASSIGN_OR_RETURN(size_t n, file->Read(buf, sizeof(buf)));
+    if (n == 0) {
+      break;
+    }
+    out.insert(out.end(), buf, buf + n);
+  }
+  FSYNC_RETURN_IF_ERROR(file->Close());
+  return out;
+}
+
+Status MkdirAll(Vfs& vfs, const fs::path& dir) {
+  std::error_code ec;
+  if (dir.empty() || fs::exists(dir, ec)) {
+    return Status::Ok();
+  }
+  std::vector<fs::path> missing;
+  fs::path ancestor = dir;
+  while (!ancestor.empty() && !fs::exists(ancestor, ec)) {
+    missing.push_back(ancestor);
+    fs::path parent = ancestor.parent_path();
+    if (parent == ancestor) {
+      break;
+    }
+    ancestor = parent;
+  }
+  for (auto it = missing.rbegin(); it != missing.rend(); ++it) {
+    FSYNC_RETURN_IF_ERROR(vfs.Mkdir(*it));
+  }
+  return Status::Ok();
+}
+
+}  // namespace fsx::store

@@ -1,0 +1,41 @@
+#include "fsync/testing/diskfault.h"
+
+#include "fsync/store/vfs.h"
+
+namespace fsx::testing {
+
+uint64_t CountDiskOps(const std::function<bool()>& fn,
+                      const std::string& path_pattern) {
+  store::FaultVfs vfs;
+  store::DiskFaultRule probe;
+  probe.path_pattern = path_pattern;
+  probe.fail_at_op = -1;  // never fires; counts matching ops
+  size_t rule = vfs.AddRule(probe);
+  store::ScopedVfs scoped(&vfs);
+  if (!fn()) {
+    return 0;
+  }
+  return vfs.RuleOpsSeen(rule);
+}
+
+DiskFaultRun RunWithDiskFaultAt(int64_t op_index, int fault_errno,
+                                const std::function<bool()>& fn,
+                                const std::string& path_pattern,
+                                bool sticky) {
+  store::FaultVfs vfs;
+  store::DiskFaultRule rule;
+  rule.path_pattern = path_pattern;
+  rule.fail_at_op = op_index;
+  rule.fail_errno = fault_errno;
+  rule.sticky = sticky;
+  vfs.AddRule(rule);
+  DiskFaultRun out;
+  {
+    store::ScopedVfs scoped(&vfs);
+    out.fn_ok = fn();
+  }
+  out.faults_injected = vfs.faults_injected();
+  return out;
+}
+
+}  // namespace fsx::testing

@@ -1,0 +1,48 @@
+// In-process disk-fault sweep harness for the durable-apply subsystem —
+// the disk analogue of the fork-based kill-point harness (crash.h). A
+// probe run counts the vfs operations an apply/journal/recover scenario
+// performs (CountDiskOps); the sweep then re-runs the scenario once per
+// op index with a FaultVfs (store/vfs_fault.h) armed to fail exactly
+// that operation, and the test asserts the degradation contract: the
+// operation returns a typed error (or survives via its retry path),
+// every file is bit-exactly old or new, and a clean-disk RecoverTree
+// plus re-apply converges.
+//
+// Unlike the crash harness this never forks: a disk fault is an error
+// return, not a process death, so the sweep runs in-process and stays
+// asan/tsan-friendly.
+#ifndef FSYNC_TESTING_DISKFAULT_H_
+#define FSYNC_TESTING_DISKFAULT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fsync/store/vfs_fault.h"
+
+namespace fsx::testing {
+
+/// Runs `fn` with a pass-through FaultVfs installed and returns how many
+/// vfs operations (matching `path_pattern`, empty = all) it performed —
+/// the sweep bound. Returns 0 if `fn` itself fails.
+uint64_t CountDiskOps(const std::function<bool()>& fn,
+                      const std::string& path_pattern = "");
+
+struct DiskFaultRun {
+  bool fn_ok = false;            ///< what `fn` returned
+  uint64_t faults_injected = 0;  ///< 0 = op_index beyond the run's ops
+};
+
+/// Runs `fn` with a FaultVfs armed to fail the `op_index`-th matching
+/// vfs operation with `fault_errno` (one-shot; `sticky` keeps the disk
+/// failing for the rest of the run). The override is scoped: the
+/// process-current Vfs is restored before returning, so recovery and
+/// verification in the caller run against the real disk.
+DiskFaultRun RunWithDiskFaultAt(int64_t op_index, int fault_errno,
+                                const std::function<bool()>& fn,
+                                const std::string& path_pattern = "",
+                                bool sticky = false);
+
+}  // namespace fsx::testing
+
+#endif  // FSYNC_TESTING_DISKFAULT_H_

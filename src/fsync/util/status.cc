@@ -1,5 +1,8 @@
 #include "fsync/util/status.h"
 
+#include <cerrno>
+#include <cstring>
+
 namespace fsx {
 
 const char* StatusCodeName(StatusCode code) {
@@ -24,8 +27,34 @@ const char* StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kAborted:
       return "ABORTED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
+}
+
+Status ErrnoToStatus(int errno_value, const std::string& context) {
+  std::string msg = context + ": " + std::strerror(errno_value);
+  switch (errno_value) {
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+    case EFBIG:
+      return Status::ResourceExhausted(std::move(msg));
+    case EIO:
+      return Status::Unavailable(std::move(msg));
+    case ENOENT:
+    case ENOTDIR:
+      return Status::NotFound(std::move(msg));
+    case EACCES:
+    case EPERM:
+    case EROFS:
+    case EISDIR:
+      return Status::FailedPrecondition(std::move(msg));
+    default:
+      return Status::Internal(std::move(msg));
+  }
 }
 
 std::string Status::ToString() const {

@@ -22,10 +22,22 @@ enum class StatusCode {
   kUnimplemented,
   kUnavailable,     // peer unreachable / retry budget exhausted
   kAborted,         // concurrent modification detected; operation skipped
+  kResourceExhausted,  // out of disk space / quota (ENOSPC, EDQUOT)
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "DATA_LOSS").
 const char* StatusCodeName(StatusCode code);
+
+class Status;
+
+/// Maps an errno value from a disk syscall to the status taxonomy:
+/// ENOSPC/EDQUOT/EFBIG -> kResourceExhausted (space: retry after freeing),
+/// EIO -> kUnavailable (flaky device: retryable; fsync call sites upgrade
+/// to kDataLoss because dirty pages may already be dropped), ENOENT/ENOTDIR
+/// -> kNotFound, EACCES/EPERM/EROFS -> kFailedPrecondition (the mount or
+/// mode forbids it), EISDIR -> kFailedPrecondition, everything else ->
+/// kInternal. The message is "<context>: <strerror>".
+Status ErrnoToStatus(int errno_value, const std::string& context);
 
 /// Result of an operation that can fail. Cheap to copy when OK (no
 /// allocation); carries a code plus message otherwise.
@@ -65,6 +77,9 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -9,10 +9,17 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "fsync/netd/client.h"
 #include "fsync/netd/daemon.h"
+#include "fsync/obs/sync_obs.h"
+#include "fsync/store/apply.h"
+#include "fsync/store/fsstore.h"
+#include "fsync/store/vfs.h"
+#include "fsync/store/vfs_fault.h"
 #include "fsync/util/random.h"
 #include "fsync/workload/tree.h"
 
@@ -262,6 +269,116 @@ TEST(DaemonChaos, DrainUnderLoadLeavesNoWedgedClients) {
   }
   EXPECT_EQ(full + aborted, kClients);
   EXPECT_EQ(daemon.stats().open_connections, 0u);
+}
+
+TEST(DaemonChaos, DiskFullOnOneClientDoesNotDisturbTheOthers) {
+  // 16 clients sync from the daemon concurrently and apply the result
+  // to their own replica dirs. One replica sits on a "full disk"
+  // (injected ENOSPC scoped to its path): that apply must abort with a
+  // typed RESOURCE_EXHAUSTED and roll back to per-file old-or-new,
+  // while the other 15 applies land bit-identical. Once space "frees
+  // up" (the fault is disarmed), the victim's retry converges too.
+  const uint64_t seed = SeedFromEnv(0xC4A5);
+  Collection server_tree = ServerTree(seed);
+  Collection stale = StaleTree(seed);
+  SyncDaemon daemon(server_tree, DaemonOptions{});
+  ASSERT_TRUE(daemon.Start().ok());
+
+  const std::string base = ::testing::TempDir() + "/fsx-netd-diskfault";
+  std::filesystem::remove_all(base);
+  constexpr int kClients = 16;
+  std::vector<std::string> dirs;
+  dirs.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    dirs.push_back(base + "/client-" + std::to_string(i));
+    ASSERT_TRUE(StoreTree(dirs[i], stale, /*delete_extra=*/true,
+                          /*write_manifest=*/true)
+                    .ok());
+  }
+  const Manifest stale_manifest = BuildManifest(stale);
+
+  // Arm the full disk only after the stale replicas exist: the byte
+  // budget throttles just the applies under test, and only under
+  // client 0's root (the trailing '/' keeps "client-1x" out).
+  store::FaultVfs fault_vfs;
+  store::DiskFaultRule rule;
+  rule.path_pattern = "client-0/";
+  rule.enospc_after_bytes = 256;
+  fault_vfs.AddRule(rule);
+
+  std::vector<Status> apply_status(kClients, Status::Internal("not run"));
+  std::vector<obs::SyncObserver> observers(kClients);
+  {
+    store::ScopedVfs scoped(&fault_vfs);
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      threads.emplace_back([&, i] {
+        ClientOptions opts;
+        opts.port = daemon.port();
+        opts.io_timeout_ms = 10000;
+        auto synced = RunSyncClient(stale, opts);
+        if (!synced.ok()) {
+          apply_status[i] = synced.status();
+          return;
+        }
+        EXPECT_EQ(synced->reconstructed, server_tree) << "client " << i;
+        auto report =
+            store::ApplyTree(dirs[i], synced->reconstructed,
+                             stale_manifest, {}, &observers[i]);
+        apply_status[i] = report.ok() ? Status::Ok() : report.status();
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+
+  // The victim: typed disk-full, an enospc_aborts event, and a replica
+  // where every file is bit-exact old or new — never torn.
+  EXPECT_EQ(apply_status[0].code(), StatusCode::kResourceExhausted)
+      << apply_status[0].ToString();
+  EXPECT_GE(observers[0].event_count(obs::Event::kEnospcAbort), 1u);
+  auto victim = LoadTree(dirs[0]);
+  ASSERT_TRUE(victim.ok()) << victim.status().ToString();
+  for (const auto& [path, data] : *victim) {
+    auto old_it = stale.find(path);
+    auto new_it = server_tree.find(path);
+    EXPECT_TRUE((old_it != stale.end() && old_it->second == data) ||
+                (new_it != server_tree.end() && new_it->second == data))
+        << path << " is neither the old nor the new content";
+  }
+
+  // The bystanders: clean applies, bit-identical replicas.
+  for (int i = 1; i < kClients; ++i) {
+    ASSERT_TRUE(apply_status[i].ok())
+        << "client " << i << ": " << apply_status[i].ToString();
+    auto tree = LoadTree(dirs[i]);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    EXPECT_EQ(*tree, server_tree) << "client " << i;
+  }
+
+  // Disk-full cleared: recovery plus a fresh sync+apply must converge.
+  {
+    auto rec = store::RecoverTree(dirs[0]);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    ClientOptions opts;
+    opts.port = daemon.port();
+    opts.io_timeout_ms = 10000;
+    auto synced = RunSyncClient(stale, opts);
+    ASSERT_TRUE(synced.ok()) << synced.status().ToString();
+    auto report = store::ApplyTree(dirs[0], synced->reconstructed,
+                                   stale_manifest, {});
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    auto tree = LoadTree(dirs[0]);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    EXPECT_EQ(*tree, server_tree);
+  }
+
+  daemon.Stop();
+  daemon.Join();
+  EXPECT_EQ(daemon.stats().open_connections, 0u);
+  std::filesystem::remove_all(base);
 }
 
 }  // namespace

@@ -21,9 +21,10 @@ observability layer guarantees:
     including the durable-apply counters (journal_commits, recoveries,
     rolled_back_files, conflicts_detected), the server-cache counters
     (cache_hits, cache_misses, cache_evictions, cache_bytes_saved,
-    cache_cpu_saved_ns), and the daemon counters (connections_accepted,
+    cache_cpu_saved_ns), the daemon counters (connections_accepted,
     connections_evicted, connections_drained, backpressure_stalls,
-    deadline_expirations).
+    deadline_expirations), and the disk-fault counters
+    (disk_faults_injected, enospc_aborts, fsync_failures, disk_retries).
 
 Standard library only; exits non-zero on the first invalid file.
 """
@@ -68,6 +69,10 @@ EVENTS = {
     "connections_drained",
     "backpressure_stalls",
     "deadline_expirations",
+    "disk_faults_injected",
+    "enospc_aborts",
+    "fsync_failures",
+    "disk_retries",
 }
 
 
